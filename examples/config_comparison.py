@@ -1,0 +1,56 @@
+"""Harness-configuration comparison (Fig. 5 style).
+
+Runs the same application and load through all three harness
+configurations — integrated (in-process), loopback (real TCP over
+127.0.0.1), and networked (TCP + modelled NIC/switch delay) — and
+shows how much of the measured tail each configuration's transport
+contributes.
+
+Run:  python examples/config_comparison.py
+"""
+
+from repro import HarnessConfig, create_app, run_harness
+from repro.stats import format_latency
+
+
+def main() -> None:
+    app = create_app("masstree", n_records=1500)
+    app.setup()
+
+    print(f"{'configuration':>14} {'p50':>12} {'p95':>12} {'p99':>12} "
+          f"{'net (p50)':>12}")
+    for configuration in ("integrated", "loopback", "networked"):
+        result = run_harness(
+            app,
+            HarnessConfig(
+                configuration=configuration,
+                qps=250,
+                warmup_requests=30,
+                measure_requests=400,
+                seed=7,
+            ),
+        )
+        sojourn = result.sojourn
+        # Median transport time = sojourn minus queue minus service.
+        from repro.stats import percentile
+
+        net_times = [r.network_time for r in result.stats.records]
+        print(
+            f"{configuration:>14} {format_latency(sojourn.p50):>12} "
+            f"{format_latency(sojourn.p95):>12} "
+            f"{format_latency(sojourn.p99):>12} "
+            f"{format_latency(percentile(net_times, 50)):>12}"
+        )
+
+    print(
+        "\nFor masstree's ~100 us requests the network stack is visible "
+        "but not dominant; for sub-100 us apps (silo, specjbb) it costs "
+        "real capacity — see benchmarks/bench_fig5.py. For long-request "
+        "apps the three configurations are interchangeable, which is "
+        "what makes the integrated configuration suitable for "
+        "simulation studies."
+    )
+
+
+if __name__ == "__main__":
+    main()

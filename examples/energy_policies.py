@@ -1,0 +1,62 @@
+"""Energy vs. tail latency: the trade TailBench was built to study.
+
+Evaluates four power-management policies on the masstree profile
+across loads: static max frequency, static low frequency, reactive
+queue-boost DVFS (Rubik/Adrenaline style), and deep sleep states
+(PowerNap style). Reports p95 latency and average power (relative to
+nominal active power).
+
+Run:  python examples/energy_policies.py
+"""
+
+from repro.energy import (
+    DeepSleep,
+    NoSleep,
+    QueueBoost,
+    StaticFrequency,
+    simulate_energy,
+)
+from repro.sim import paper_profile
+from repro.stats import format_latency
+
+POLICIES = (
+    ("static max", StaticFrequency(1.0), NoSleep()),
+    ("static 0.6x", StaticFrequency(0.6), NoSleep()),
+    ("queue-boost", QueueBoost(low=0.6, high=1.0), NoSleep()),
+    ("deep sleep", StaticFrequency(1.0), DeepSleep(wakeup_latency=300e-6)),
+)
+
+
+def main() -> None:
+    profile = paper_profile("masstree")
+    saturation = 1.0 / profile.service.mean
+    for load in (0.15, 0.30, 0.60):
+        qps = load * saturation
+        print(f"masstree @ {load:.0%} load ({qps:.0f} qps):")
+        print(f"  {'policy':>12} {'p95':>12} {'p99':>12} {'avg power':>10}")
+        for label, freq_policy, sleep_policy in POLICIES:
+            result = simulate_energy(
+                profile.service,
+                qps,
+                frequency_policy=freq_policy,
+                sleep_policy=sleep_policy,
+                measure_requests=10_000,
+            )
+            print(
+                f"  {label:>12} {format_latency(result.sojourn.p95):>12} "
+                f"{format_latency(result.sojourn.p99):>12} "
+                f"{result.average_power:>9.2f}x"
+            )
+        print()
+    print(
+        "Reactive DVFS keeps most of static-low's savings while staying "
+        "near static-max's tail; deep sleep saves idle power but moves "
+        "its ~300 us wakeup straight into the tail at low load — the "
+        "microsecond-vs-hundreds-of-microseconds timescale split the "
+        "paper's introduction describes. Policies like these are what "
+        "a tail-latency benchmark suite exists to evaluate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: measure tail latency of one application in 20 lines.
+
+Builds the masstree key-value store, drives it with the mycsb-a
+workload through the integrated harness configuration at a fixed
+request rate, and prints the measured latency distribution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HarnessConfig, create_app, run_harness
+
+
+def main() -> None:
+    # 1. Build an application (any of the eight suite members).
+    app = create_app("masstree", n_records=2000)
+    app.setup()
+
+    # 2. Configure a load test: open-loop Poisson arrivals at 400 QPS,
+    #    single worker thread, 200 warmup + 1000 measured requests.
+    config = HarnessConfig(
+        configuration="integrated",
+        qps=400,
+        n_threads=1,
+        warmup_requests=200,
+        measure_requests=1000,
+    )
+
+    # 3. Run and report.
+    result = run_harness(app, config)
+    print(result.describe())
+    print()
+    print("sojourn p95:", f"{result.sojourn.p95 * 1e6:.0f} us")
+    print("service p95:", f"{result.service.p95 * 1e6:.0f} us")
+    print("queueing p95:", f"{result.queue.p95 * 1e6:.0f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Analysis tools built on the harness and simulator.
+
+Operator-facing utilities the paper's introduction motivates: SLO-
+compliant capacity planning, fan-out (tail-at-scale) amplification,
+and latency decomposition.
+"""
+
+from .decomposition import LatencyBreakdown, decompose
+from .fanout import fanout_quantile, fanout_summary, required_leaf_quantile
+from .slo import SloCapacity, capacity_curve, find_slo_capacity
+
+__all__ = [
+    "LatencyBreakdown",
+    "decompose",
+    "fanout_quantile",
+    "fanout_summary",
+    "required_leaf_quantile",
+    "SloCapacity",
+    "capacity_curve",
+    "find_slo_capacity",
+]

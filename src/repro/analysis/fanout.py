@@ -1,0 +1,62 @@
+"""Fan-out (tail-at-scale) analysis.
+
+High-fanout services wait for the slowest of many leaf responses
+(Sec. II-A; Dean & Barroso's "tail at scale"). Given a leaf latency
+distribution, these helpers compute the end-to-end distribution of the
+max over N independent leaves — analytically from an empirical sample,
+without re-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..stats import quantile
+
+__all__ = ["fanout_quantile", "fanout_summary", "required_leaf_quantile"]
+
+
+def fanout_quantile(
+    leaf_samples: Sequence[float], fanout: int, q: float
+) -> float:
+    """The ``q``-quantile of ``max(L_1..L_fanout)`` for iid leaves.
+
+    Uses the order-statistic identity ``P(max <= t) = F(t)^n``: the
+    end-to-end q-quantile equals the leaf's ``q**(1/n)`` quantile. No
+    resampling noise, exact given the empirical leaf CDF.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    if not leaf_samples:
+        raise ValueError("need leaf samples")
+    leaf_q = q ** (1.0 / fanout)
+    return quantile(list(leaf_samples), leaf_q)
+
+
+def fanout_summary(
+    leaf_samples: Sequence[float],
+    fanouts: Sequence[int],
+    qs: Sequence[float] = (0.5, 0.95, 0.99),
+) -> dict:
+    """End-to-end quantiles for several fan-outs: {fanout: {q: value}}."""
+    return {
+        n: {q: fanout_quantile(leaf_samples, n, q) for q in qs}
+        for n in fanouts
+    }
+
+
+def required_leaf_quantile(fanout: int, end_to_end_q: float) -> float:
+    """Which leaf quantile bounds the end-to-end ``q`` at ``fanout``.
+
+    E.g. to control the end-to-end *median* at fan-out 100, the leaf's
+    ~99.3rd percentile is what matters: ``0.5 ** (1/100) ~= 0.9931``.
+    This is the quantitative version of the paper's motivation for
+    characterizing leaf-node tails.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if not 0.0 < end_to_end_q < 1.0:
+        raise ValueError("end_to_end_q must be in (0, 1)")
+    return end_to_end_q ** (1.0 / fanout)

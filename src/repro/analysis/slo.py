@@ -1,0 +1,126 @@
+"""SLO-driven capacity analysis.
+
+Datacenter operators provision latency-critical services by the
+highest load that still meets a tail-latency SLO (e.g. "p95 under
+5 ms"), not by peak throughput — the reason utilization stays low
+(Sec. II-A). These helpers turn the simulator into that planning tool:
+find the SLO-compliant capacity of a configuration, and quantify how
+much capacity a proposed change (more threads, a different harness
+configuration, ideal memory) buys or costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sim import AppProfile, SimConfig, SimResult, simulate_load
+
+__all__ = ["SloCapacity", "find_slo_capacity", "capacity_curve"]
+
+
+@dataclass(frozen=True)
+class SloCapacity:
+    """Result of an SLO capacity search."""
+
+    qps: float
+    latency_at_qps: float
+    slo: float
+    percentile: float
+    utilization: float
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the SLO still unused at the found capacity."""
+        return 1.0 - self.latency_at_qps / self.slo
+
+
+def _tail(result: SimResult, percentile: float) -> float:
+    return result.sojourn.percentiles.get(
+        percentile, result.stats.summary("sojourn").percentiles[percentile]
+    )
+
+
+def find_slo_capacity(
+    profile: AppProfile,
+    slo_seconds: float,
+    percentile: float = 95.0,
+    config: SimConfig = None,
+    tolerance: float = 0.02,
+    measure_requests: int = 8000,
+    max_iterations: int = 30,
+) -> SloCapacity:
+    """Binary-search the highest QPS whose tail latency meets the SLO.
+
+    ``config`` supplies everything except ``qps`` (threads,
+    configuration, seed); defaults to a single-threaded integrated
+    setup. The search brackets between 0 and the analytic saturation
+    rate, converging to ``tolerance`` (relative QPS).
+    """
+    if slo_seconds <= 0:
+        raise ValueError("slo_seconds must be positive")
+    if not 0.0 < percentile < 100.0:
+        raise ValueError("percentile must be in (0, 100)")
+    base = config or SimConfig(measure_requests=measure_requests)
+
+    def measure(qps: float) -> SimResult:
+        return simulate_load(profile, base.with_qps(qps))
+
+    saturation = profile.service_model(
+        n_threads=base.n_threads
+    ).saturation_qps(base.n_threads)
+    # If even 1% of saturation misses the SLO, the SLO is infeasible
+    # (tail of the service distribution itself exceeds it).
+    lo_qps = saturation * 0.01
+    lo_result = measure(lo_qps)
+    if _tail(lo_result, percentile) > slo_seconds:
+        raise ValueError(
+            f"SLO {slo_seconds} is below the p{percentile:g} of the "
+            f"service-time distribution itself — infeasible at any load"
+        )
+    lo, hi = lo_qps, saturation * 0.999
+    best = (lo_qps, lo_result)
+    for _ in range(max_iterations):
+        if (hi - lo) / hi < tolerance:
+            break
+        mid = (lo + hi) / 2.0
+        result = measure(mid)
+        if _tail(result, percentile) <= slo_seconds:
+            lo = mid
+            best = (mid, result)
+        else:
+            hi = mid
+    qps, result = best
+    return SloCapacity(
+        qps=qps,
+        latency_at_qps=_tail(result, percentile),
+        slo=slo_seconds,
+        percentile=percentile,
+        utilization=result.utilization,
+    )
+
+
+def capacity_curve(
+    profile: AppProfile,
+    slos: Tuple[float, ...],
+    percentile: float = 95.0,
+    config: SimConfig = None,
+    measure_requests: int = 6000,
+) -> Tuple[SloCapacity, ...]:
+    """SLO-compliant capacity at each of several SLO targets.
+
+    The resulting (slo, qps) curve is what operators trade against:
+    tighter SLOs cost capacity superlinearly near the tail.
+    """
+    if not slos:
+        raise ValueError("need at least one SLO target")
+    return tuple(
+        find_slo_capacity(
+            profile,
+            slo,
+            percentile=percentile,
+            config=config,
+            measure_requests=measure_requests,
+        )
+        for slo in slos
+    )

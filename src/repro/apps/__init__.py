@@ -1,0 +1,48 @@
+"""The eight TailBench applications (Table I of the paper).
+
+Every application implements :class:`~repro.apps.base.Application` and
+registers a factory here, so experiment drivers can instantiate the
+whole suite by name::
+
+    from repro.apps import create_app
+    app = create_app("xapian")
+    app.setup()
+
+Factories accept keyword overrides for dataset sizes etc.; defaults are
+sized for interactive use on a laptop.
+"""
+
+from .base import Application, Client, app_names, create_app, register_app
+from .img_dnn import ImgDnnApp
+from .masstree import MasstreeApp
+from .moses import MosesApp
+from .shore import ShoreApp
+from .silo import SiloApp
+from .specjbb import SpecJbbApp
+from .sphinx import SphinxApp
+from .xapian import XapianApp
+
+register_app("xapian", XapianApp)
+register_app("masstree", MasstreeApp)
+register_app("moses", MosesApp)
+register_app("sphinx", SphinxApp)
+register_app("img-dnn", ImgDnnApp)
+register_app("specjbb", SpecJbbApp)
+register_app("silo", SiloApp)
+register_app("shore", ShoreApp)
+
+__all__ = [
+    "Application",
+    "Client",
+    "app_names",
+    "create_app",
+    "register_app",
+    "XapianApp",
+    "MasstreeApp",
+    "MosesApp",
+    "SphinxApp",
+    "ImgDnnApp",
+    "SpecJbbApp",
+    "SiloApp",
+    "ShoreApp",
+]

@@ -1,0 +1,81 @@
+"""Application interface and registry.
+
+Every TailBench application plugs into the harness through the same
+two-sided contract:
+
+- server side — :class:`Application`: ``setup()`` builds the dataset
+  (index, table, model); ``process(payload)`` services one request.
+- client side — :class:`Client`: ``next_request()`` yields the next
+  request payload, drawn from the app's workload distribution.
+
+The registry maps the paper's application names (xapian, masstree,
+moses, sphinx, img-dnn, specjbb, silo, shore) to factories, so the
+experiment drivers can iterate over the whole suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["Application", "Client", "register_app", "create_app", "app_names"]
+
+
+class Client:
+    """Generates the request stream for one application."""
+
+    def next_request(self) -> Any:
+        """Return the next request payload."""
+        raise NotImplementedError
+
+
+class Application:
+    """One latency-critical server application."""
+
+    #: Canonical name used in the paper's tables/figures.
+    name: str = "base"
+    #: Domain label from Table I (documentation only).
+    domain: str = ""
+
+    def setup(self) -> None:
+        """Build datasets/models. Must be called before ``process``."""
+        raise NotImplementedError
+
+    def process(self, payload: Any) -> Any:
+        """Service one request; returns the response payload.
+
+        Called concurrently from multiple worker threads when the
+        harness runs with ``n_threads > 1`` — implementations must be
+        thread-safe (the OLTP apps bring their own concurrency
+        control; read-mostly apps use immutable shared state).
+        """
+        raise NotImplementedError
+
+    def make_client(self, seed: int = 0) -> Client:
+        """Build a request generator with its own RNG stream."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Callable[..., Application]] = {}
+
+
+def register_app(name: str, factory: Callable[..., Application]) -> None:
+    """Register an application factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"application {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create_app(name: str, **kwargs) -> Application:
+    """Instantiate a registered application (without calling setup)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def app_names() -> List[str]:
+    """All registered application names, sorted."""
+    return sorted(_REGISTRY)

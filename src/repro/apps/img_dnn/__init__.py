@@ -1,0 +1,20 @@
+"""img-dnn: image recognition (autoencoder + softmax regression)."""
+
+from .app import ImgDnnApp, ImgDnnClient
+from .autoencoder import AutoencoderClassifier
+from .mnist_synth import IMAGE_SIZE, N_CLASSES, DigitSample, SyntheticMnist
+from .network import DenseLayer, SoftmaxClassifier, sigmoid, softmax
+
+__all__ = [
+    "ImgDnnApp",
+    "ImgDnnClient",
+    "AutoencoderClassifier",
+    "IMAGE_SIZE",
+    "N_CLASSES",
+    "DigitSample",
+    "SyntheticMnist",
+    "DenseLayer",
+    "SoftmaxClassifier",
+    "sigmoid",
+    "softmax",
+]

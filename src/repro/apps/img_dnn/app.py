@@ -1,0 +1,67 @@
+"""img-dnn: the handwriting (image) recognition application."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Application, Client
+from .autoencoder import AutoencoderClassifier
+from .mnist_synth import IMAGE_SIZE, N_CLASSES, SyntheticMnist
+
+__all__ = ["ImgDnnApp", "ImgDnnClient"]
+
+
+class ImgDnnClient(Client):
+    """Draws random digit images to classify."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._generator = SyntheticMnist(seed=seed + 1000)
+
+    def next_request(self) -> np.ndarray:
+        return self._generator.sample().pixels
+
+
+class ImgDnnApp(Application):
+    """Autoencoder + softmax digit recognizer.
+
+    Requests are flattened images; responses are predicted digit
+    labels. Each request is a fixed-size matrix pipeline, so service
+    times are nearly constant (Fig. 2).
+    """
+
+    name = "img-dnn"
+    domain = "Image Recognition"
+
+    def __init__(
+        self, train_samples: int = 1500, epochs: int = 10, seed: int = 0
+    ) -> None:
+        if train_samples < N_CLASSES:
+            raise ValueError("too few training samples")
+        self._train_samples = train_samples
+        self._epochs = epochs
+        self._seed = seed
+        self._model: AutoencoderClassifier = None
+        self.train_accuracy: float = None
+
+    def setup(self) -> None:
+        generator = SyntheticMnist(seed=self._seed)
+        x, y = generator.dataset(self._train_samples)
+        model = AutoencoderClassifier(
+            layer_sizes=(IMAGE_SIZE * IMAGE_SIZE, 96, 48), seed=self._seed
+        )
+        model.pretrain(x, epochs=max(3, self._epochs // 2))
+        model.train_classifier(x, y, epochs=self._epochs)
+        self.train_accuracy = model.accuracy(x, y)
+        self._model = model
+
+    @property
+    def model(self) -> AutoencoderClassifier:
+        if self._model is None:
+            raise RuntimeError("call setup() first")
+        return self._model
+
+    def process(self, payload: np.ndarray) -> int:
+        return int(self.model.predict(payload))
+
+    def make_client(self, seed: int = 0) -> ImgDnnClient:
+        return ImgDnnClient(seed=seed)

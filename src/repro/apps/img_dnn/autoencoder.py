@@ -1,0 +1,122 @@
+"""Autoencoder + softmax recognition pipeline.
+
+img-dnn identifies handwritten characters with a deep autoencoder
+coupled with softmax regression (Sec. III). The pipeline here is the
+same: an encoder is pretrained to reconstruct the input (autoencoder
+objective), then a softmax head is trained on the learned codes, with
+a light fine-tuning pass through both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .network import DenseLayer, SoftmaxClassifier
+
+__all__ = ["AutoencoderClassifier"]
+
+
+class AutoencoderClassifier:
+    """Encoder stack + softmax head for digit recognition.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Encoder widths, input first (e.g. ``(256, 96, 48)``).
+    n_classes:
+        Output classes (10 digits).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int] = (256, 96, 48),
+        n_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and one hidden layer")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = tuple(layer_sizes)
+        self.encoder = [
+            DenseLayer(layer_sizes[i], layer_sizes[i + 1], rng)
+            for i in range(len(layer_sizes) - 1)
+        ]
+        self.decoder = [
+            DenseLayer(layer_sizes[i + 1], layer_sizes[i], rng)
+            for i in reversed(range(len(layer_sizes) - 1))
+        ]
+        self.head = SoftmaxClassifier(layer_sizes[-1], n_classes, rng)
+
+    # -- training -------------------------------------------------------
+    def pretrain(
+        self, x: np.ndarray, epochs: int = 5, lr: float = 1.0, batch: int = 32
+    ) -> float:
+        """Autoencoder reconstruction pretraining; returns final MSE."""
+        mse = float("inf")
+        for _ in range(epochs):
+            errs = []
+            for lo in range(0, len(x), batch):
+                xb = x[lo : lo + batch]
+                h = xb
+                for layer in self.encoder:
+                    h = layer.forward(h, remember=True)
+                recon = h
+                for layer in self.decoder:
+                    recon = layer.forward(recon, remember=True)
+                err = recon - xb
+                errs.append(float((err ** 2).mean()))
+                grad = 2.0 * err
+                for layer in reversed(self.decoder):
+                    grad = layer.backward(grad, lr)
+                for layer in reversed(self.encoder):
+                    grad = layer.backward(grad, lr)
+            mse = float(np.mean(errs))
+        return mse
+
+    def train_classifier(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        lr: float = 2.0,
+        batch: int = 32,
+        fine_tune: bool = True,
+    ) -> float:
+        """Train the softmax head (and fine-tune the encoder).
+
+        Returns the final training loss.
+        """
+        loss = float("inf")
+        for _ in range(epochs):
+            losses = []
+            for lo in range(0, len(x), batch):
+                xb, yb = x[lo : lo + batch], y[lo : lo + batch]
+                h = xb
+                for layer in self.encoder:
+                    h = layer.forward(h, remember=True)
+                step_loss, grad = self.head.train_step(h, yb, lr)
+                losses.append(step_loss)
+                if fine_tune:
+                    for layer in reversed(self.encoder):
+                        grad = layer.backward(grad, lr)
+            loss = float(np.mean(losses))
+        return loss
+
+    # -- inference --------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        h = x
+        for layer in self.encoder:
+            h = layer.forward(h)
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch (or single flattened image)."""
+        single = x.ndim == 1
+        batch = x[None, :] if single else x
+        pred = self.head.predict(self.encode(batch))
+        return pred[0] if single else pred
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())

@@ -1,0 +1,87 @@
+"""Minimal dense neural-network layers (numpy, from scratch).
+
+Just enough machinery for img-dnn's pipeline: fully-connected layers
+with sigmoid activations, a softmax cross-entropy head, and plain SGD.
+Forward passes are the per-request work; training happens once at
+setup.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DenseLayer", "sigmoid", "softmax", "SoftmaxClassifier"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=-1, keepdims=True)
+
+
+class DenseLayer:
+    """Fully connected layer with sigmoid activation."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.weights = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self._x: np.ndarray = None
+        self._a: np.ndarray = None
+
+    def forward(self, x: np.ndarray, remember: bool = False) -> np.ndarray:
+        a = sigmoid(x @ self.weights + self.bias)
+        if remember:
+            self._x, self._a = x, a
+        return a
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> np.ndarray:
+        """SGD step from upstream gradient; returns gradient w.r.t input."""
+        if self._a is None:
+            raise RuntimeError("forward(remember=True) must precede backward")
+        dz = grad_out * self._a * (1.0 - self._a)
+        grad_in = dz @ self.weights.T
+        self.weights -= lr * (self._x.T @ dz) / len(dz)
+        self.bias -= lr * dz.mean(axis=0)
+        return grad_in
+
+
+class SoftmaxClassifier:
+    """Softmax regression head with cross-entropy loss."""
+
+    def __init__(self, n_in: int, n_classes: int, rng: np.random.Generator) -> None:
+        if n_in < 1 or n_classes < 2:
+            raise ValueError("need n_in >= 1 and n_classes >= 2")
+        self.weights = rng.normal(0.0, 0.01, size=(n_in, n_classes))
+        self.bias = np.zeros(n_classes)
+
+    def probabilities(self, x: np.ndarray) -> np.ndarray:
+        return softmax(x @ self.weights + self.bias)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(x @ self.weights + self.bias, axis=-1)
+
+    def train_step(self, x: np.ndarray, y: np.ndarray, lr: float) -> Tuple[float, np.ndarray]:
+        """One SGD step; returns (loss, gradient w.r.t. inputs)."""
+        probs = self.probabilities(x)
+        n = len(x)
+        loss = -np.log(probs[np.arange(n), y] + 1e-12).mean()
+        delta = probs
+        delta[np.arange(n), y] -= 1.0
+        grad_in = delta @ self.weights.T
+        self.weights -= lr * (x.T @ delta) / n
+        self.bias -= lr * delta.mean(axis=0)
+        return float(loss), grad_in

@@ -1,0 +1,7 @@
+"""masstree: fast in-memory key-value store (trie of B+trees)."""
+
+from .app import MasstreeApp, MasstreeClient
+from .btree import BPlusTree
+from .tree import Masstree, key_slices
+
+__all__ = ["MasstreeApp", "MasstreeClient", "BPlusTree", "Masstree", "key_slices"]

@@ -1,0 +1,79 @@
+"""masstree: the in-memory key-value store application."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...workloads.ycsb import YcsbOperation, YcsbWorkload
+from ..base import Application, Client
+from .tree import Masstree
+
+__all__ = ["MasstreeApp", "MasstreeClient"]
+
+
+class MasstreeClient(Client):
+    """mycsb-a driver: 50% GET / 50% PUT, Zipfian key popularity."""
+
+    def __init__(self, n_records: int, value_size: int, seed: int = 0) -> None:
+        self._workload = YcsbWorkload(
+            n_records=n_records, value_size=value_size, seed=seed
+        )
+
+    def next_request(self) -> YcsbOperation:
+        return self._workload.next_operation()
+
+
+class MasstreeApp(Application):
+    """Key-value store with near-constant per-request service times.
+
+    Requests are :class:`YcsbOperation` payloads; GETs return the
+    stored value (or None), PUTs return True/False for insert/update.
+    """
+
+    name = "masstree"
+    domain = "Key-Value Store"
+
+    def __init__(
+        self, n_records: int = 10_000, value_size: int = 100, seed: int = 0
+    ) -> None:
+        self._n_records = n_records
+        self._value_size = value_size
+        self._seed = seed
+        self._tree: Masstree = None
+
+    def setup(self) -> None:
+        tree = Masstree()
+        workload = YcsbWorkload(
+            n_records=self._n_records, value_size=self._value_size
+        )
+        for key, value in workload.initial_records().items():
+            tree.put(key.encode(), value)
+        self._tree = tree
+
+    @property
+    def tree(self) -> Masstree:
+        if self._tree is None:
+            raise RuntimeError("call setup() first")
+        return self._tree
+
+    def process(self, payload: YcsbOperation) -> Optional[bytes]:
+        if payload.op == "get":
+            return self.tree.get(payload.key.encode())
+        if payload.op == "put":
+            return self.tree.put(payload.key.encode(), payload.value)
+        if payload.op == "scan":
+            # Short range scan from the key (YCSB workload-E style);
+            # the scan length rides in the value field as an int.
+            length = int.from_bytes(payload.value or b"\x0a", "big")
+            out = []
+            for key, value in self.tree.range(
+                payload.key.encode(), b"\xff" * 24
+            ):
+                out.append((key, value))
+                if len(out) >= length:
+                    break
+            return out
+        raise ValueError(f"unknown operation {payload.op!r}")
+
+    def make_client(self, seed: int = 0) -> MasstreeClient:
+        return MasstreeClient(self._n_records, self._value_size, seed=seed)

@@ -1,0 +1,183 @@
+"""In-memory B+tree.
+
+The building block of the masstree-style key-value store: an order-N
+B+tree with sorted keys in leaves, linked leaf nodes for range scans,
+and standard split-on-insert rebalancing. Keys are arbitrary ordered
+Python values (the masstree layer uses fixed-width byte slices).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[Any] = []
+        self.children: List["_Node"] = []  # internal nodes only
+        self.values: List[Any] = []  # leaves only
+        self.next_leaf: Optional["_Node"] = None  # leaves only
+
+
+class BPlusTree:
+    """Order-``order`` B+tree mapping keys to values.
+
+    ``order`` is the maximum number of keys per node; nodes split when
+    they exceed it. Lookup and insert are O(log n) with cache-friendly
+    sorted arrays in each node — the design masstree builds its trie
+    layers out of.
+    """
+
+    def __init__(self, order: int = 16) -> None:
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- lookup ----------------------------------------------------------
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- insert ----------------------------------------------------------
+    def put(self, key: Any, value: Any) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+            return False
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self._size += 1
+        # Split upward while nodes overflow.
+        while len(node.keys) > self.order:
+            sep, sibling = self._split(node)
+            if not path:
+                new_root = _Node(is_leaf=False)
+                new_root.keys = [sep]
+                new_root.children = [node, sibling]
+                self._root = new_root
+                break
+            parent, child_idx = path.pop()
+            parent.keys.insert(child_idx, sep)
+            parent.children.insert(child_idx + 1, sibling)
+            node = parent
+        return True
+
+    def _split(self, node: _Node) -> Tuple[Any, _Node]:
+        """Split an overflowing node; returns (separator, right sibling)."""
+        mid = len(node.keys) // 2
+        sibling = _Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        return separator, sibling
+
+    # -- delete ----------------------------------------------------------
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns True if it was present.
+
+        Uses lazy deletion (no rebalancing): leaves may underflow,
+        which trades a little space for much simpler concurrent reads —
+        the same trade masstree itself makes for removes.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._size -= 1
+            return True
+        return False
+
+    # -- scans -----------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All items in key order (via the leaf chain)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def range(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, Any]]:
+        """Items with ``lo <= key < hi`` in key order."""
+        leaf = self._find_leaf(lo)
+        idx = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key >= hi:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    # -- invariants (used by property tests) ------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain must be sorted and cover exactly len(self) items.
+        items = list(self.items())
+        keys = [k for k, _ in items]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(items) == self._size, "size counter mismatch"
+
+    def _check_node(self, node: _Node, lo, hi, is_root: bool = False) -> None:
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        for key in node.keys:
+            if lo is not None:
+                assert key >= lo, "key below subtree lower bound"
+            if hi is not None:
+                assert key < hi, "key above subtree upper bound"
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) <= self.order
+        else:
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                self._check_node(child, bounds[i], bounds[i + 1])

@@ -1,0 +1,21 @@
+"""moses: statistical machine translation (phrase-based stack decoder)."""
+
+from .app import MosesApp, MosesClient
+from .corpus import ParallelCorpus, SentencePair
+from .decoder import StackDecoder, Translation
+from .lm import BOS, EOS, NGramLanguageModel
+from .phrase_table import PhraseOption, PhraseTable
+
+__all__ = [
+    "MosesApp",
+    "MosesClient",
+    "ParallelCorpus",
+    "SentencePair",
+    "StackDecoder",
+    "Translation",
+    "BOS",
+    "EOS",
+    "NGramLanguageModel",
+    "PhraseOption",
+    "PhraseTable",
+]

@@ -1,0 +1,70 @@
+"""moses: the real-time statistical machine translation application."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..base import Application, Client
+from .corpus import ParallelCorpus
+from .decoder import StackDecoder, Translation
+from .lm import NGramLanguageModel
+from .phrase_table import PhraseTable
+
+__all__ = ["MosesApp", "MosesClient"]
+
+
+class MosesClient(Client):
+    """Draws dialogue-snippet source sentences to translate."""
+
+    def __init__(self, corpus: ParallelCorpus, seed: int = 0) -> None:
+        self._corpus = corpus
+        self._rng = random.Random(seed)
+
+    def next_request(self) -> Tuple[str, ...]:
+        return self._corpus.sample_source_sentence(self._rng)
+
+
+class MosesApp(Application):
+    """Phrase-based SMT decoder trained on a synthetic bitext.
+
+    Requests are source-token tuples; responses are
+    :class:`Translation` results. Model state is immutable after
+    setup, so concurrent decoding threads share it safely.
+    """
+
+    name = "moses"
+    domain = "Real-Time Translation"
+
+    def __init__(
+        self,
+        vocab_size: int = 400,
+        n_sentences: int = 2000,
+        stack_size: int = 20,
+        seed: int = 0,
+    ) -> None:
+        self._corpus = ParallelCorpus(
+            vocab_size=vocab_size, n_sentences=n_sentences, seed=seed
+        )
+        self._stack_size = stack_size
+        self._decoder: StackDecoder = None
+
+    def setup(self) -> None:
+        pairs = self._corpus.sentence_pairs()
+        table = PhraseTable()
+        table.build(pairs)
+        lm = NGramLanguageModel(order=3)
+        lm.train(pair.target for pair in pairs)
+        self._decoder = StackDecoder(table, lm, stack_size=self._stack_size)
+
+    @property
+    def decoder(self) -> StackDecoder:
+        if self._decoder is None:
+            raise RuntimeError("call setup() first")
+        return self._decoder
+
+    def process(self, payload) -> Translation:
+        return self.decoder.decode(payload)
+
+    def make_client(self, seed: int = 0) -> MosesClient:
+        return MosesClient(self._corpus, seed=seed)

@@ -1,0 +1,147 @@
+"""Phrase-based beam-search stack decoder.
+
+The moses decoding algorithm [Koehn et al., ACL 2007]: hypotheses
+cover subsets of source positions (a bitmask); stacks are indexed by
+number of covered words; each expansion applies a translation option
+over an uncovered span within a distortion limit; hypotheses are
+scored by translation model + language model + distortion penalty and
+histogram-pruned per stack. Decoding work grows with sentence length
+and stack size, which is what gives moses its broad service-time
+distribution (Fig. 2) and its sensitivity to memory-system contention
+(Sec. VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .lm import BOS, NGramLanguageModel
+from .phrase_table import PhraseTable
+
+__all__ = ["Translation", "StackDecoder"]
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Decoder output: best target sentence and its model score."""
+
+    target: Tuple[str, ...]
+    score: float
+    n_hypotheses: int
+
+
+@dataclass(frozen=True)
+class _Hypothesis:
+    coverage: int  # bitmask of translated source positions
+    n_covered: int
+    last_end: int  # source position after the last translated phrase
+    context: Tuple[str, ...]  # LM context (last order-1 target words)
+    output: Tuple[str, ...]
+    score: float
+
+
+class StackDecoder:
+    """Beam-search stack decoding over a phrase table and an LM.
+
+    Parameters
+    ----------
+    stack_size:
+        Histogram pruning limit: hypotheses kept per stack.
+    distortion_limit:
+        Maximum jump between the end of the previous phrase and the
+        start of the next one.
+    distortion_penalty:
+        Per-position reordering cost (negative log-linear weight).
+    """
+
+    def __init__(
+        self,
+        phrase_table: PhraseTable,
+        language_model: NGramLanguageModel,
+        stack_size: int = 20,
+        distortion_limit: int = 3,
+        distortion_penalty: float = 0.5,
+    ) -> None:
+        if stack_size < 1:
+            raise ValueError("stack_size must be >= 1")
+        if distortion_limit < 0 or distortion_penalty < 0:
+            raise ValueError("distortion parameters must be non-negative")
+        self.phrase_table = phrase_table
+        self.language_model = language_model
+        self.stack_size = stack_size
+        self.distortion_limit = distortion_limit
+        self.distortion_penalty = distortion_penalty
+
+    def decode(self, sentence: Sequence[str]) -> Translation:
+        sentence = tuple(sentence)
+        if not sentence:
+            return Translation((), 0.0, 0)
+        n = len(sentence)
+        span_options = self.phrase_table.lookup_all(sentence)
+        order = self.language_model.order
+        initial_ctx = (BOS,) * (order - 1) if order > 1 else ()
+        stacks: List[Dict[Tuple[int, Tuple[str, ...]], _Hypothesis]] = [
+            {} for _ in range(n + 1)
+        ]
+        root = _Hypothesis(0, 0, 0, initial_ctx, (), 0.0)
+        stacks[0][(0, initial_ctx)] = root
+        n_hyps = 1
+
+        for covered in range(n):
+            stack = stacks[covered]
+            if not stack:
+                continue
+            # Histogram pruning: keep the best stack_size hypotheses.
+            survivors = sorted(
+                stack.values(), key=lambda h: h.score, reverse=True
+            )[: self.stack_size]
+            for hyp in survivors:
+                for (start, end), options in span_options.items():
+                    if self._blocked(hyp, start, end, n):
+                        continue
+                    for option in options:
+                        new_hyp = self._extend(hyp, start, end, option)
+                        n_hyps += 1
+                        key = (new_hyp.coverage, new_hyp.context)
+                        bucket = stacks[new_hyp.n_covered]
+                        existing = bucket.get(key)
+                        if existing is None or new_hyp.score > existing.score:
+                            bucket[key] = new_hyp  # recombination
+
+        final = stacks[n]
+        if not final:  # pragma: no cover - pass-through options prevent this
+            return Translation(sentence, float("-inf"), n_hyps)
+        best = max(final.values(), key=lambda h: h.score)
+        # Close the sentence under the LM (end-of-sentence event).
+        eos_bonus = self.language_model.logprob("</s>", best.context)
+        return Translation(best.output, best.score + eos_bonus, n_hyps)
+
+    def _blocked(self, hyp: _Hypothesis, start: int, end: int, n: int) -> bool:
+        span_mask = ((1 << (end - start)) - 1) << start
+        if hyp.coverage & span_mask:
+            return True  # overlaps already-translated positions
+        if abs(start - hyp.last_end) > self.distortion_limit:
+            return True
+        return False
+
+    def _extend(
+        self, hyp: _Hypothesis, start: int, end: int, option
+    ) -> _Hypothesis:
+        lm_score = 0.0
+        context = hyp.context
+        order = self.language_model.order
+        for word in option.target:
+            lm_score += self.language_model.logprob(word, context)
+            if order > 1:
+                context = (context + (word,))[-(order - 1) :]
+        distortion = -self.distortion_penalty * abs(start - hyp.last_end)
+        span_mask = ((1 << (end - start)) - 1) << start
+        return _Hypothesis(
+            coverage=hyp.coverage | span_mask,
+            n_covered=hyp.n_covered + (end - start),
+            last_end=end,
+            context=context,
+            output=hyp.output + option.target,
+            score=hyp.score + option.log_prob + lm_score + distortion,
+        )

@@ -1,0 +1,102 @@
+"""N-gram language model with interpolated backoff.
+
+Scores target-side fluency during decoding. Trained on the target side
+of the parallel corpus; uses Jelinek-Mercer interpolation across
+orders (trigram -> bigram -> unigram -> uniform), all in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["NGramLanguageModel", "BOS", "EOS"]
+
+BOS = "<s>"
+EOS = "</s>"
+
+
+class NGramLanguageModel:
+    """Interpolated n-gram LM over token sequences.
+
+    Parameters
+    ----------
+    order:
+        Maximum n-gram order (3 = trigram).
+    lambdas:
+        Interpolation weights, highest order first; must sum to < 1,
+        the remainder going to the uniform floor.
+    """
+
+    def __init__(
+        self, order: int = 3, lambdas: Sequence[float] = (0.6, 0.25, 0.1)
+    ) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if len(lambdas) != order:
+            raise ValueError("need one lambda per order")
+        if sum(lambdas) >= 1.0 or any(l < 0 for l in lambdas):
+            raise ValueError("lambdas must be non-negative and sum to < 1")
+        self.order = order
+        self.lambdas = tuple(lambdas)
+        self._counts: Dict[int, Counter] = {n: Counter() for n in range(1, order + 1)}
+        self._context_totals: Dict[int, Counter] = {
+            n: Counter() for n in range(1, order + 1)
+        }
+        self._vocab = set()
+        self._trained = False
+
+    def train(self, sentences) -> None:
+        """Count n-grams over an iterable of token sequences."""
+        for sentence in sentences:
+            tokens = [BOS] * (self.order - 1) + list(sentence) + [EOS]
+            self._vocab.update(tokens)
+            for n in range(1, self.order + 1):
+                for i in range(len(tokens) - n + 1):
+                    gram = tuple(tokens[i : i + n])
+                    self._counts[n][gram] += 1
+                    self._context_totals[n][gram[:-1]] += 1
+        self._trained = True
+
+    @property
+    def vocab_size(self) -> int:
+        return max(1, len(self._vocab))
+
+    def _order_prob(self, gram: Tuple[str, ...]) -> float:
+        n = len(gram)
+        count = self._counts[n].get(gram, 0)
+        context = self._context_totals[n].get(gram[:-1], 0)
+        if context == 0:
+            return 0.0
+        return count / context
+
+    def prob(self, word: str, context: Tuple[str, ...]) -> float:
+        """Interpolated P(word | context)."""
+        if not self._trained:
+            raise RuntimeError("train() the model first")
+        context = tuple(context)[-(self.order - 1) :] if self.order > 1 else ()
+        p = (1.0 - sum(self.lambdas)) / self.vocab_size  # uniform floor
+        for i, lam in enumerate(self.lambdas):
+            n = self.order - i
+            if n == 1:
+                gram = (word,)
+            else:
+                ctx = context[-(n - 1) :]
+                if len(ctx) < n - 1:
+                    ctx = (BOS,) * (n - 1 - len(ctx)) + ctx
+                gram = ctx + (word,)
+            p += lam * self._order_prob(gram)
+        return p
+
+    def logprob(self, word: str, context: Tuple[str, ...]) -> float:
+        return math.log(self.prob(word, context))
+
+    def sentence_logprob(self, tokens: Sequence[str]) -> float:
+        """Total log P of a sentence including the end-of-sentence event."""
+        history: Tuple[str, ...] = (BOS,) * (self.order - 1)
+        total = 0.0
+        for word in list(tokens) + [EOS]:
+            total += self.logprob(word, history)
+            history = (history + (word,))[-(self.order - 1) :] if self.order > 1 else ()
+        return total

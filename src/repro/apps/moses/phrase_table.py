@@ -1,0 +1,120 @@
+"""Phrase table extraction and storage.
+
+Builds the translation model of the phrase-based decoder: contiguous
+source phrases up to a maximum length paired with target phrases, with
+maximum-likelihood translation log-probabilities. Extraction follows
+the standard recipe — align the bitext (here with the corpus's
+monotone-with-local-swaps structure, a window-based heuristic aligner
+suffices), enumerate consistent phrase pairs, and relative-frequency
+score them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .corpus import SentencePair
+
+__all__ = ["PhraseOption", "PhraseTable"]
+
+
+@dataclass(frozen=True)
+class PhraseOption:
+    """One translation option for a source phrase."""
+
+    target: Tuple[str, ...]
+    log_prob: float
+
+
+class PhraseTable:
+    """Source phrase -> ranked translation options.
+
+    Parameters
+    ----------
+    max_phrase_len:
+        Maximum source/target phrase length extracted.
+    max_options:
+        Translation options kept per source phrase (the rest are
+        pruned, as in moses's ttable-limit).
+    """
+
+    def __init__(self, max_phrase_len: int = 3, max_options: int = 5) -> None:
+        if max_phrase_len < 1 or max_options < 1:
+            raise ValueError("invalid phrase table parameters")
+        self.max_phrase_len = max_phrase_len
+        self.max_options = max_options
+        self._table: Dict[Tuple[str, ...], List[PhraseOption]] = {}
+
+    def build(self, pairs: Sequence[SentencePair]) -> None:
+        cooc: Dict[Tuple[str, ...], Counter] = defaultdict(Counter)
+        src_counts: Counter = Counter()
+        for pair in pairs:
+            for s_start, s_end, t_start, t_end in self._aligned_spans(pair):
+                src = pair.source[s_start:s_end]
+                tgt = pair.target[t_start:t_end]
+                cooc[src][tgt] += 1
+                src_counts[src] += 1
+        table = {}
+        for src, tgt_counts in cooc.items():
+            total = src_counts[src]
+            options = [
+                PhraseOption(tgt, math.log(count / total))
+                for tgt, count in tgt_counts.most_common(self.max_options)
+            ]
+            table[src] = options
+        self._table = table
+
+    def _aligned_spans(self, pair: SentencePair):
+        """Yield consistent phrase spans from a window-based alignment.
+
+        The synthetic corpus is monotone with local swaps, so source
+        position i aligns within a +/-1 window on the target side.
+        Phrase pairs are emitted for every co-extensive window up to
+        ``max_phrase_len`` where source and target spans cover each
+        other.
+        """
+        n = min(len(pair.source), len(pair.target))
+        for start in range(n):
+            for length in range(1, self.max_phrase_len + 1):
+                end = start + length
+                if end > n:
+                    break
+                yield start, end, start, end
+
+    # -- queries --------------------------------------------------------
+    def options(self, phrase: Sequence[str]) -> List[PhraseOption]:
+        return list(self._table.get(tuple(phrase), ()))
+
+    def __contains__(self, phrase) -> bool:
+        return tuple(phrase) in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup_all(
+        self, sentence: Sequence[str]
+    ) -> Dict[Tuple[int, int], List[PhraseOption]]:
+        """All translation options for every span of ``sentence``.
+
+        Unknown single words get a pass-through option (moses's
+        unknown-word handling) with a fixed penalty, so decoding never
+        dead-ends.
+        """
+        sentence = tuple(sentence)
+        spans: Dict[Tuple[int, int], List[PhraseOption]] = {}
+        for start in range(len(sentence)):
+            for length in range(1, self.max_phrase_len + 1):
+                end = start + length
+                if end > len(sentence):
+                    break
+                opts = self.options(sentence[start:end])
+                if opts:
+                    spans[(start, end)] = opts
+            if (start, start + 1) not in spans:
+                spans[(start, start + 1)] = [
+                    PhraseOption((sentence[start],), math.log(1e-4))
+                ]
+        return spans

@@ -1,0 +1,27 @@
+"""shore: on-disk OLTP (slotted pages, buffer pool, WAL, strict 2PL)."""
+
+from .app import ShoreApp, ShoreClient
+from .bufferpool import BufferPool, BufferPoolFullError
+from .disk import PAGE_SIZE, SimulatedSSD
+from .engine import ShoreEngine, ShoreTable, ShoreTransaction
+from .lockmgr import LockManager, LockTimeout
+from .pages import PageFullError, SlottedPage
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "ShoreApp",
+    "ShoreClient",
+    "BufferPool",
+    "BufferPoolFullError",
+    "PAGE_SIZE",
+    "SimulatedSSD",
+    "ShoreEngine",
+    "ShoreTable",
+    "ShoreTransaction",
+    "LockManager",
+    "LockTimeout",
+    "PageFullError",
+    "SlottedPage",
+    "LogRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,116 @@
+"""Buffer pool with LRU replacement.
+
+The buffer pool caches page images between the engine and the
+simulated SSD. Misses pay real device I/O — that cost, surfacing on
+whichever unlucky request touches a cold page, is the source of
+shore's long-tailed service times (Fig. 2). Pages are pinned during
+use; dirty pages are written back on eviction (no-steal is enforced
+one level up by the engine's commit-time flush).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Dict
+
+from .disk import SimulatedSSD
+from .pages import SlottedPage
+
+__all__ = ["BufferPool", "BufferPoolFullError"]
+
+
+class BufferPoolFullError(Exception):
+    """Every frame is pinned; nothing can be evicted."""
+
+
+class _Frame:
+    __slots__ = ("page", "pins", "dirty")
+
+    def __init__(self, page: SlottedPage) -> None:
+        self.page = page
+        self.pins = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache over a :class:`SimulatedSSD`."""
+
+    def __init__(self, device: SimulatedSSD, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._device = device
+        self.capacity = capacity
+        self._frames: Dict[int, _Frame] = {}
+        self._lru: collections.OrderedDict = collections.OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0, "writebacks": 0}
+
+    def pin(self, page_id: int) -> SlottedPage:
+        """Fetch and pin a page; caller must unpin when done."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats["hits"] += 1
+            else:
+                self.stats["misses"] += 1
+                self._make_room()
+                data = self._device.read_page(page_id)
+                frame = _Frame(SlottedPage(self._device.page_size, data))
+                self._frames[page_id] = frame
+            frame.pins += 1
+            self._lru[page_id] = None
+            self._lru.move_to_end(page_id)
+            return frame.page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pins == 0:
+                raise ValueError(f"page {page_id} is not pinned")
+            frame.pins -= 1
+            if dirty:
+                frame.dirty = True
+
+    def _make_room(self) -> None:
+        """Evict LRU unpinned frames until under capacity (lock held)."""
+        while len(self._frames) >= self.capacity:
+            victim = None
+            for page_id in self._lru:
+                if self._frames[page_id].pins == 0:
+                    victim = page_id
+                    break
+            if victim is None:
+                raise BufferPoolFullError(
+                    f"all {self.capacity} frames are pinned"
+                )
+            frame = self._frames.pop(victim)
+            del self._lru[victim]
+            self.stats["evictions"] += 1
+            if frame.dirty:
+                self._device.write_page(victim, frame.page.encode())
+                self.stats["writebacks"] += 1
+
+    def flush_page(self, page_id: int) -> None:
+        """Write one page back if dirty (keeps it cached)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.dirty:
+                self._device.write_page(page_id, frame.page.encode())
+                frame.dirty = False
+                self.stats["writebacks"] += 1
+
+    def flush_all(self) -> None:
+        with self._lock:
+            for page_id in list(self._frames):
+                self.flush_page(page_id)
+            self._device.sync()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)

@@ -1,0 +1,142 @@
+"""Simulated SSD: a file-backed page store.
+
+Shore keeps its database and logs on a solid-state drive (Sec. III).
+This module provides the device abstraction: fixed-size page reads and
+writes against a real temporary file (so the kernel I/O path is truly
+exercised) plus an optional added per-operation latency for modelling
+slower devices. Thread-safe via positioned I/O (pread/pwrite).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Optional
+
+__all__ = ["SimulatedSSD", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+
+class SimulatedSSD:
+    """Page-granular block device backed by a temp file.
+
+    Parameters
+    ----------
+    path:
+        Backing file path; a fresh temp file when omitted.
+    page_size:
+        Bytes per page.
+    read_latency / write_latency:
+        Extra seconds busy-waited per operation to emulate a slower
+        device (0 = raw file speed). Busy-waiting (not sleeping) keeps
+        sub-millisecond latencies accurate.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        page_size: int = PAGE_SIZE,
+        read_latency: float = 0.0,
+        write_latency: float = 0.0,
+    ) -> None:
+        if page_size < 128:
+            raise ValueError("page_size too small")
+        if read_latency < 0 or write_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.page_size = page_size
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        if path is None:
+            fd, self._path = tempfile.mkstemp(prefix="repro-shore-", suffix=".db")
+            self._fd = fd
+            self._owns_file = True
+        else:
+            self._path = path
+            self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+            self._owns_file = False
+        self._lock = threading.Lock()
+        self._n_pages = 0
+        self.stats = {"reads": 0, "writes": 0}
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def n_pages(self) -> int:
+        with self._lock:
+            return self._n_pages
+
+    def allocate_page(self) -> int:
+        """Reserve a new page id (zero-filled on first write)."""
+        with self._lock:
+            page_id = self._n_pages
+            self._n_pages += 1
+            return page_id
+
+    def adopt_existing(self) -> int:
+        """Register pages already present in the backing file.
+
+        Used when reopening a database file after a restart: page ids
+        up to the file's current size become addressable again.
+        Returns the number of pages adopted.
+        """
+        size = os.fstat(self._fd).st_size
+        pages = size // self.page_size
+        with self._lock:
+            self._n_pages = max(self._n_pages, pages)
+            return self._n_pages
+
+    def _delay(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        deadline = time.perf_counter() + seconds
+        while time.perf_counter() < deadline:
+            pass
+
+    def read_page(self, page_id: int) -> bytes:
+        self._check_page_id(page_id)
+        self._delay(self.read_latency)
+        data = os.pread(self._fd, self.page_size, page_id * self.page_size)
+        with self._lock:
+            self.stats["reads"] += 1
+        if len(data) < self.page_size:  # never-written page reads as zeros
+            data = data + b"\x00" * (self.page_size - len(data))
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check_page_id(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page data must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+        self._delay(self.write_latency)
+        os.pwrite(self._fd, data, page_id * self.page_size)
+        with self._lock:
+            self.stats["writes"] += 1
+
+    def sync(self) -> None:
+        """Durability barrier (fdatasync)."""
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+            if self._owns_file and os.path.exists(self._path):
+                os.unlink(self._path)
+
+    def _check_page_id(self, page_id: int) -> None:
+        with self._lock:
+            if not 0 <= page_id < self._n_pages:
+                raise ValueError(f"page id {page_id} out of range")
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,437 @@
+"""The shore storage engine: 2PL transactions over paged storage.
+
+Ties the pieces together: slotted pages on the simulated SSD behind a
+buffer pool, an in-memory primary index (key -> record id), a
+write-ahead log with commit forcing, and a strict-2PL lock manager at
+partition granularity.
+
+Transactions buffer their effects locally and apply them at commit,
+after the redo log is forced — so pages on disk only ever contain
+committed data plus possibly-missing tail updates, and redo-only
+recovery (:meth:`ShoreEngine.recover`) is sound.
+
+The engine's transaction and table objects are duck-type compatible
+with the silo OCC API, so the same TPC-C transaction bodies
+(:class:`repro.apps.silo.tpcc.TpccExecutor`) run on both engines —
+the paper likewise drives both databases with the same workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from bisect import bisect_left, insort
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..silo.occ import TransactionAborted
+from .bufferpool import BufferPool
+from .disk import SimulatedSSD
+from .lockmgr import LockManager, LockTimeout
+from .pages import PageFullError
+from .wal import OP_CHECKPOINT, OP_COMMIT, OP_DELETE, OP_INSERT, OP_UPDATE, WriteAheadLog
+
+__all__ = ["ShoreEngine", "ShoreTable", "ShoreTransaction"]
+
+RID = Tuple[int, int]  # (page_id, slot)
+
+
+class ShoreTable:
+    """One table: in-memory key index over paged record storage."""
+
+    def __init__(
+        self,
+        engine: "ShoreEngine",
+        name: str,
+        partition_fn: Callable[[Hashable], Hashable] = None,
+    ) -> None:
+        self._engine = engine
+        self.name = name
+        self._partition_fn = partition_fn or (lambda key: 0)
+        self._index: Dict[Hashable, RID] = {}
+        self._partition_keys: Dict[Hashable, List] = {}
+        self._index_lock = threading.Lock()
+        self._fill_page: Optional[int] = None  # current insertion target
+
+    def partition_of(self, key: Hashable) -> Hashable:
+        return self._partition_fn(key)
+
+    # -- index maintenance (engine-internal) ----------------------------
+    def rid_of(self, key: Hashable) -> Optional[RID]:
+        with self._index_lock:
+            return self._index.get(key)
+
+    def index_insert(self, key: Hashable, rid: RID) -> None:
+        with self._index_lock:
+            if key in self._index:
+                raise KeyError(f"{self.name}: duplicate key {key!r}")
+            self._index[key] = rid
+            insort(self._partition_keys.setdefault(self.partition_of(key), []), key)
+
+    def index_delete(self, key: Hashable) -> RID:
+        with self._index_lock:
+            rid = self._index.pop(key)
+            keys = self._partition_keys[self.partition_of(key)]
+            idx = bisect_left(keys, key)
+            if idx < len(keys) and keys[idx] == key:
+                keys.pop(idx)
+            return rid
+
+    def keys_in_range(self, partition: Hashable, lo, hi) -> List:
+        with self._index_lock:
+            keys = self._partition_keys.get(partition, [])
+            return keys[bisect_left(keys, lo) : bisect_left(keys, hi)]
+
+    def last_key(self, partition: Hashable, below=None) -> Optional[Hashable]:
+        with self._index_lock:
+            keys = self._partition_keys.get(partition, [])
+            if below is None:
+                return keys[-1] if keys else None
+            idx = bisect_left(keys, below)
+            return keys[idx - 1] if idx > 0 else None
+
+    def __len__(self) -> int:
+        with self._index_lock:
+            return len(self._index)
+
+    def load(self, key: Hashable, value: Any) -> None:
+        """Non-transactional insert for initial database population."""
+        self.index_insert(key, self.store_value(key, value))
+
+    # -- record storage ---------------------------------------------------
+    def read_value(self, rid: RID) -> Any:
+        """Read the record's value (records are (table, key, value))."""
+        page = self._engine.pool.pin(rid[0])
+        try:
+            return page.read(rid[1])[2]
+        finally:
+            self._engine.pool.unpin(rid[0])
+
+    def store_value(self, key: Hashable, value: Any) -> RID:
+        """Place a record on a page with space; returns its RID.
+
+        Records are stored self-describing — (table name, key, value) —
+        so a restart can rebuild every index by scanning pages.
+        """
+        engine = self._engine
+        payload = (self.name, key, value)
+        with engine.allocation_lock:
+            candidates = [self._fill_page] if self._fill_page is not None else []
+            for page_id in candidates:
+                page = engine.pool.pin(page_id)
+                try:
+                    slot = page.insert(payload)
+                    engine.pool.unpin(page_id, dirty=True)
+                    return (page_id, slot)
+                except PageFullError:
+                    engine.pool.unpin(page_id)
+            page_id = engine.device.allocate_page()
+            page = engine.pool.pin(page_id)
+            try:
+                slot = page.insert(payload)
+            finally:
+                engine.pool.unpin(page_id, dirty=True)
+            self._fill_page = page_id
+            return (page_id, slot)
+
+    def update_value(self, rid: RID, key: Hashable, value: Any) -> RID:
+        """Update in place, relocating if the record outgrew its page."""
+        engine = self._engine
+        page = engine.pool.pin(rid[0])
+        try:
+            page.update(rid[1], (self.name, key, value))
+            engine.pool.unpin(rid[0], dirty=True)
+            return rid
+        except PageFullError:
+            page.delete(rid[1])
+            engine.pool.unpin(rid[0], dirty=True)
+            return self.store_value(key, value)
+
+    def delete_value(self, rid: RID) -> None:
+        page = self._engine.pool.pin(rid[0])
+        try:
+            page.delete(rid[1])
+        finally:
+            self._engine.pool.unpin(rid[0], dirty=True)
+
+
+class ShoreEngine:
+    """Owns the device, buffer pool, log, lock manager, and tables."""
+
+    def __init__(
+        self,
+        buffer_capacity: int = 128,
+        lock_timeout: float = 0.2,
+        db_path: Optional[str] = None,
+        log_path: Optional[str] = None,
+        read_latency: float = 0.0,
+        write_latency: float = 0.0,
+    ) -> None:
+        self.device = SimulatedSSD(
+            path=db_path, read_latency=read_latency, write_latency=write_latency
+        )
+        self.pool = BufferPool(self.device, capacity=buffer_capacity)
+        self.log = WriteAheadLog(path=log_path)
+        self.locks = LockManager(timeout=lock_timeout)
+        self.tables: Dict[str, ShoreTable] = {}
+        self.allocation_lock = threading.Lock()
+        self._txn_ids = itertools.count(1)
+        self.stats = {"commits": 0, "aborts": 0}
+        self._stats_lock = threading.Lock()
+
+    def create_table(
+        self, name: str, partition_fn: Callable[[Hashable], Hashable] = None
+    ) -> ShoreTable:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = ShoreTable(self, name, partition_fn)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> ShoreTable:
+        return self.tables[name]
+
+    def transaction(self) -> "ShoreTransaction":
+        return ShoreTransaction(self, next(self._txn_ids))
+
+    def run(self, body: Callable[["ShoreTransaction"], Any], max_retries: int = 50) -> Any:
+        """Execute ``body(txn)`` with abort-and-retry on lock timeouts.
+
+        Retries back off with randomized exponential delays so that
+        repeatedly colliding transactions (deadlock victims) desynchronize
+        instead of livelocking.
+        """
+        import random as _random
+        import time as _time
+
+        backoff_rng = _random.Random(id(body) ^ threading.get_ident())
+        for attempt in range(max_retries):
+            txn = self.transaction()
+            try:
+                result = body(txn)
+                txn.commit()
+                return result
+            except TransactionAborted:
+                txn.abort()
+                with self._stats_lock:
+                    self.stats["aborts"] += 1
+                if attempt >= 1:
+                    limit = min(0.0005 * (2 ** min(attempt, 7)), 0.05)
+                    _time.sleep(backoff_rng.uniform(0.0, limit))
+                continue
+        raise TransactionAborted(f"gave up after {max_retries} retries")
+
+    def checkpoint(self) -> int:
+        """Flush all pages and mark the log; bounds future recovery work.
+
+        After a checkpoint, recovery rebuilds the indexes from the
+        (fully flushed) pages and replays only log records beyond the
+        checkpoint. Returns the checkpoint LSN.
+        """
+        self.pool.flush_all()
+        lsn = self.log.append(0, OP_CHECKPOINT)
+        self.log.force()
+        return lsn
+
+    def rebuild_indexes(self) -> int:
+        """Reconstruct every table's index by scanning data pages.
+
+        Records are self-describing (table name, key, value); tables
+        must already be created (schema is code, not data). Returns
+        the number of live records indexed.
+        """
+        from .pages import SlottedPage
+
+        n_pages = self.device.adopt_existing()
+        indexed = 0
+        for page_id in range(n_pages):
+            page = SlottedPage(
+                self.device.page_size, self.device.read_page(page_id)
+            )
+            for slot in range(page.n_slots):
+                if not page.is_live(slot):
+                    continue
+                name, key, _value = page.read(slot)
+                table = self.tables.get(name)
+                if table is None:
+                    continue
+                table.index_insert(key, (page_id, slot))
+                indexed += 1
+        return indexed
+
+    def recover(self) -> int:
+        """Redo recovery: restore the last committed state.
+
+        Without a checkpoint: replays every committed transaction's
+        redo records into a fresh page store. With a checkpoint:
+        rebuilds indexes from the flushed pages, then replays only the
+        committed records beyond the last checkpoint (idempotently).
+        Returns the number of transactions replayed.
+        """
+        committed = set()
+        checkpoint_lsn = 0
+        for record in self.log.records():
+            if record.op == OP_COMMIT:
+                committed.add(record.txn_id)
+            elif record.op == OP_CHECKPOINT:
+                checkpoint_lsn = record.lsn
+        if checkpoint_lsn:
+            self.rebuild_indexes()
+        replayed = set()
+        for record in self.log.records():
+            if record.lsn <= checkpoint_lsn:
+                continue
+            if record.txn_id not in committed:
+                continue
+            table = self.tables.get(record.table) if record.table else None
+            if table is None:
+                continue
+            replayed.add(record.txn_id)
+            rid = table.rid_of(record.key)
+            if record.op == OP_INSERT:
+                if rid is None:
+                    table.index_insert(
+                        record.key, table.store_value(record.key, record.value)
+                    )
+                else:
+                    table.update_value(rid, record.key, record.value)
+            elif record.op == OP_UPDATE:
+                if rid is not None:
+                    new_rid = table.update_value(rid, record.key, record.value)
+                    if new_rid != rid:
+                        table.index_delete(record.key)
+                        table.index_insert(record.key, new_rid)
+                else:
+                    table.index_insert(
+                        record.key, table.store_value(record.key, record.value)
+                    )
+            elif record.op == OP_DELETE:
+                if rid is not None:
+                    table.delete_value(table.index_delete(record.key))
+        self.pool.flush_all()
+        return len(replayed)
+
+    def close(self) -> None:
+        self.pool.flush_all()
+        self.log.close()
+        self.device.close()
+
+
+class ShoreTransaction:
+    """Strict-2PL transaction with commit-time apply (duck-types silo's)."""
+
+    def __init__(self, engine: ShoreEngine, txn_id: int) -> None:
+        self._engine = engine
+        self.txn_id = txn_id
+        self._writes: Dict[Tuple[str, Hashable], Tuple[ShoreTable, Any]] = {}
+        self._inserts: Dict[Tuple[str, Hashable], Tuple[ShoreTable, Any]] = {}
+        self._deletes: Dict[Tuple[str, Hashable], ShoreTable] = {}
+        self._done = False
+
+    # -- locking helpers ---------------------------------------------------
+    def _lock_shared(self, table: ShoreTable, partition: Hashable) -> None:
+        try:
+            self._engine.locks.acquire_shared(
+                self.txn_id, (table.name, partition)
+            )
+        except LockTimeout as exc:
+            raise TransactionAborted(str(exc)) from exc
+
+    def _lock_exclusive(self, table: ShoreTable, partition: Hashable) -> None:
+        try:
+            self._engine.locks.acquire_exclusive(
+                self.txn_id, (table.name, partition)
+            )
+        except LockTimeout as exc:
+            raise TransactionAborted(str(exc)) from exc
+
+    # -- operations (silo-compatible surface) ------------------------------
+    def read(self, table: ShoreTable, key: Hashable) -> Any:
+        ref = (table.name, key)
+        if ref in self._writes:
+            return self._writes[ref][1]
+        if ref in self._inserts:
+            return self._inserts[ref][1]
+        if ref in self._deletes:
+            return None
+        self._lock_shared(table, table.partition_of(key))
+        rid = table.rid_of(key)
+        if rid is None:
+            return None
+        return table.read_value(rid)
+
+    def write(self, table: ShoreTable, key: Hashable, value: Any) -> None:
+        ref = (table.name, key)
+        self._lock_exclusive(table, table.partition_of(key))
+        if ref in self._inserts:
+            self._inserts[ref] = (table, value)
+            return
+        self._writes[ref] = (table, value)
+        self._engine.log.append(self.txn_id, OP_UPDATE, table.name, key, value)
+
+    def insert(self, table: ShoreTable, key: Hashable, value: Any) -> None:
+        ref = (table.name, key)
+        self._lock_exclusive(table, table.partition_of(key))
+        if ref in self._inserts or ref in self._writes:
+            raise TransactionAborted("double insert within transaction")
+        self._inserts[ref] = (table, value)
+        self._engine.log.append(self.txn_id, OP_INSERT, table.name, key, value)
+
+    def delete(self, table: ShoreTable, key: Hashable) -> None:
+        ref = (table.name, key)
+        self._lock_exclusive(table, table.partition_of(key))
+        self._inserts.pop(ref, None)
+        self._writes.pop(ref, None)
+        self._deletes[ref] = table
+        self._engine.log.append(self.txn_id, OP_DELETE, table.name, key)
+
+    def note_scan(self, table: ShoreTable, partition: Hashable) -> None:
+        self._lock_shared(table, partition)
+
+    def scan(self, table: ShoreTable, partition: Hashable, lo, hi) -> List:
+        self._lock_shared(table, partition)
+        out = []
+        for key in table.keys_in_range(partition, lo, hi):
+            value = self.read(table, key)
+            if value is not None:
+                out.append((key, value))
+        for (name, key), (t, value) in self._inserts.items():
+            if name == table.name and t.partition_of(key) == partition and lo <= key < hi:
+                out.append((key, value))
+        out.sort(key=lambda kv: kv[0])
+        return out
+
+    # -- commit/abort --------------------------------------------------------
+    def commit(self) -> None:
+        if self._done:
+            raise RuntimeError("transaction already finished")
+        self._done = True
+        engine = self._engine
+        try:
+            if self._writes or self._inserts or self._deletes:
+                engine.log.commit(self.txn_id)  # force redo + COMMIT
+                for (name, key), (table, value) in self._writes.items():
+                    rid = table.rid_of(key)
+                    if rid is None:
+                        table.index_insert(key, table.store_value(key, value))
+                        continue
+                    new_rid = table.update_value(rid, key, value)
+                    if new_rid != rid:
+                        table.index_delete(key)
+                        table.index_insert(key, new_rid)
+                for (name, key), (table, value) in self._inserts.items():
+                    table.index_insert(key, table.store_value(key, value))
+                for (name, key), table in self._deletes.items():
+                    rid = table.rid_of(key)
+                    if rid is not None:
+                        table.delete_value(table.index_delete(key))
+            with engine._stats_lock:
+                engine.stats["commits"] += 1
+        finally:
+            engine.locks.release_all(self.txn_id)
+
+    def abort(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._engine.log.append(self.txn_id, "abort")
+        self._engine.locks.release_all(self.txn_id)

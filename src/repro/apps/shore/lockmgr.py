@@ -1,0 +1,108 @@
+"""Two-phase-locking lock manager with timeout-based deadlock recovery.
+
+Shore-style pessimistic concurrency: shared/exclusive locks at
+partition (district) granularity, held until commit or abort.
+Deadlocks are broken by acquisition timeout — the waiter aborts and
+retries, the standard timeout policy of disk-era storage managers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Set
+
+__all__ = ["LockManager", "LockTimeout"]
+
+
+class LockTimeout(Exception):
+    """Could not acquire the lock in time (probable deadlock)."""
+
+
+class _Lock:
+    __slots__ = ("cond", "sharers", "exclusive")
+
+    def __init__(self, mutex: threading.Lock) -> None:
+        self.cond = threading.Condition(mutex)
+        self.sharers: Set[int] = set()
+        self.exclusive: int = None  # owning txn id
+
+
+class LockManager:
+    """Table of named shared/exclusive locks.
+
+    Lock names are arbitrary hashables (the engine uses
+    ``(table_name, partition)``). Upgrades (shared -> exclusive by the
+    same transaction) are supported; all of a transaction's locks are
+    released together at commit/abort (strict 2PL).
+    """
+
+    def __init__(self, timeout: float = 0.2) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._locks: Dict[Hashable, _Lock] = {}
+        self._held: Dict[int, Set[Hashable]] = {}
+
+    def _lock_for(self, name: Hashable) -> _Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = _Lock(self._mutex)
+            self._locks[name] = lock
+        return lock
+
+    def acquire_shared(self, txn_id: int, name: Hashable) -> None:
+        with self._mutex:
+            lock = self._lock_for(name)
+            if lock.exclusive == txn_id or txn_id in lock.sharers:
+                return  # already held (exclusive implies shared)
+            deadline = self._deadline()
+            while lock.exclusive is not None:
+                if not lock.cond.wait(self._remaining(deadline)):
+                    raise LockTimeout(f"shared lock on {name!r} timed out")
+            lock.sharers.add(txn_id)
+            self._held.setdefault(txn_id, set()).add(name)
+
+    def acquire_exclusive(self, txn_id: int, name: Hashable) -> None:
+        with self._mutex:
+            lock = self._lock_for(name)
+            if lock.exclusive == txn_id:
+                return
+            deadline = self._deadline()
+            while True:
+                others_share = lock.sharers - {txn_id}
+                if lock.exclusive is None and not others_share:
+                    break
+                if not lock.cond.wait(self._remaining(deadline)):
+                    raise LockTimeout(f"exclusive lock on {name!r} timed out")
+            lock.sharers.discard(txn_id)  # upgrade
+            lock.exclusive = txn_id
+            self._held.setdefault(txn_id, set()).add(name)
+
+    def release_all(self, txn_id: int) -> None:
+        with self._mutex:
+            for name in self._held.pop(txn_id, ()):
+                lock = self._locks.get(name)
+                if lock is None:
+                    continue
+                lock.sharers.discard(txn_id)
+                if lock.exclusive == txn_id:
+                    lock.exclusive = None
+                lock.cond.notify_all()
+
+    def held_by(self, txn_id: int) -> Set[Hashable]:
+        with self._mutex:
+            return set(self._held.get(txn_id, ()))
+
+    def _deadline(self) -> float:
+        import time
+
+        return time.monotonic() + self.timeout
+
+    def _remaining(self, deadline: float) -> float:
+        import time
+
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise LockTimeout("lock wait exhausted")
+        return remaining

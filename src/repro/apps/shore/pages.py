@@ -1,0 +1,132 @@
+"""Slotted-page layout.
+
+Classic slotted pages: a header (slot count, free-space offset, page
+LSN), a slot directory growing from the front, and record payloads
+growing from the back. Records are pickled values; a slot of length 0
+marks a deleted record (its id stays allocated, as in Shore's RID
+stability guarantee).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["SlottedPage", "PageFullError"]
+
+_HEADER = struct.Struct(">IIQ")  # n_slots, free_offset, page_lsn
+_SLOT = struct.Struct(">HH")  # record offset, record length
+
+
+class PageFullError(Exception):
+    """The record does not fit in this page's free space."""
+
+
+class SlottedPage:
+    """In-memory image of one slotted page."""
+
+    def __init__(self, page_size: int, data: Optional[bytes] = None) -> None:
+        if page_size < _HEADER.size + _SLOT.size + 16:
+            raise ValueError("page_size too small for slotted layout")
+        self.page_size = page_size
+        if data is None:
+            self._slots: List[Tuple[int, int]] = []
+            self._payloads: List[Optional[bytes]] = []
+            self.page_lsn = 0
+        else:
+            self._decode(data)
+
+    # -- encode/decode ---------------------------------------------------
+    def _decode(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise ValueError("page image has wrong size")
+        n_slots, _free, lsn = _HEADER.unpack_from(data, 0)
+        self.page_lsn = lsn
+        self._slots = []
+        self._payloads = []
+        pos = _HEADER.size
+        for _ in range(n_slots):
+            off, length = _SLOT.unpack_from(data, pos)
+            pos += _SLOT.size
+            self._slots.append((off, length))
+            self._payloads.append(data[off : off + length] if length else None)
+
+    def encode(self) -> bytes:
+        buf = bytearray(self.page_size)
+        free = self.page_size
+        slot_entries = []
+        for payload in self._payloads:
+            if payload is None:
+                slot_entries.append((0, 0))
+            else:
+                free -= len(payload)
+                buf[free : free + len(payload)] = payload
+                slot_entries.append((free, len(payload)))
+        _HEADER.pack_into(buf, 0, len(slot_entries), free, self.page_lsn)
+        pos = _HEADER.size
+        for off, length in slot_entries:
+            _SLOT.pack_into(buf, pos, off, length)
+            pos += _SLOT.size
+        if pos > free:
+            raise PageFullError("slot directory collided with payloads")
+        return bytes(buf)
+
+    # -- space accounting --------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return len(self._payloads)
+
+    def used_bytes(self) -> int:
+        payload = sum(len(p) for p in self._payloads if p is not None)
+        return _HEADER.size + _SLOT.size * len(self._payloads) + payload
+
+    def free_bytes(self) -> int:
+        return self.page_size - self.used_bytes()
+
+    def fits(self, payload_len: int, new_slot: bool = True) -> bool:
+        need = payload_len + (_SLOT.size if new_slot else 0)
+        return self.free_bytes() >= need
+
+    # -- record operations ---------------------------------------------------
+    def insert(self, value: Any) -> int:
+        """Add a record; returns its slot id. Raises PageFullError."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if not self.fits(len(payload)):
+            raise PageFullError(
+                f"{len(payload)} bytes do not fit ({self.free_bytes()} free)"
+            )
+        self._payloads.append(payload)
+        self._slots.append((0, len(payload)))
+        return len(self._payloads) - 1
+
+    def read(self, slot: int) -> Any:
+        payload = self._payload_of(slot)
+        if payload is None:
+            raise KeyError(f"slot {slot} is deleted")
+        return pickle.loads(payload)
+
+    def update(self, slot: int, value: Any) -> None:
+        old = self._payload_of(slot)
+        if old is None:
+            raise KeyError(f"slot {slot} is deleted")
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        growth = len(payload) - len(old)
+        if growth > 0 and self.free_bytes() < growth:
+            raise PageFullError("updated record no longer fits")
+        self._payloads[slot] = payload
+
+    def delete(self, slot: int) -> None:
+        if self._payload_of(slot) is None:
+            raise KeyError(f"slot {slot} already deleted")
+        self._payloads[slot] = None
+
+    def is_live(self, slot: int) -> bool:
+        return (
+            0 <= slot < len(self._payloads) and self._payloads[slot] is not None
+        )
+
+    def _payload_of(self, slot: int) -> Optional[bytes]:
+        if not 0 <= slot < len(self._payloads):
+            raise KeyError(f"slot {slot} out of range")
+        return self._payloads[slot]

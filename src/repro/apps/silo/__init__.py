@@ -1,0 +1,19 @@
+"""silo: in-memory OLTP with epoch-based optimistic concurrency control."""
+
+from .app import SiloApp, SiloClient
+from .occ import Database, Record, Table, Transaction, TransactionAborted
+from .tables import TpccTables, populate
+from .tpcc import TpccExecutor
+
+__all__ = [
+    "SiloApp",
+    "SiloClient",
+    "Database",
+    "Record",
+    "Table",
+    "Transaction",
+    "TransactionAborted",
+    "TpccTables",
+    "populate",
+    "TpccExecutor",
+]

@@ -1,0 +1,65 @@
+"""silo: the in-memory OLTP application."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...workloads.tpcc import TpccScale, TpccTransaction, TpccWorkload
+from ..base import Application, Client
+from .occ import Database
+from .tables import TpccTables, populate
+from .tpcc import TpccExecutor
+
+__all__ = ["SiloApp", "SiloClient"]
+
+
+class SiloClient(Client):
+    """Generates the standard TPC-C transaction mix."""
+
+    def __init__(self, scale: TpccScale, seed: int = 0) -> None:
+        self._workload = TpccWorkload(scale=scale, seed=seed)
+
+    def next_request(self) -> TpccTransaction:
+        return self._workload.next_transaction()
+
+
+class SiloApp(Application):
+    """In-memory transactional database with Silo-style OCC.
+
+    Requests are :class:`TpccTransaction` descriptors; the app runs
+    them under optimistic concurrency control with retry-on-abort.
+    The paper configures silo with TPC-C at 1 warehouse.
+    """
+
+    name = "silo"
+    domain = "OLTP (in-memory)"
+
+    def __init__(self, scale: TpccScale = None, seed: int = 0) -> None:
+        self._scale = scale or TpccScale.small()
+        self._seed = seed
+        self._db: Database = None
+        self._executor: TpccExecutor = None
+
+    def setup(self) -> None:
+        db = Database()
+        tables = TpccTables.create(db)
+        populate(tables, self._scale, seed=self._seed)
+        self._db = db
+        self._executor = TpccExecutor(tables)
+
+    @property
+    def database(self) -> Database:
+        if self._db is None:
+            raise RuntimeError("call setup() first")
+        return self._db
+
+    def process(self, payload: TpccTransaction) -> Dict:
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("call setup() first")
+        return self._db.run(
+            lambda txn: executor.execute(txn, payload.kind, payload.params)
+        )
+
+    def make_client(self, seed: int = 0) -> SiloClient:
+        return SiloClient(self._scale, seed=seed)

@@ -1,0 +1,379 @@
+"""Epoch-based optimistic concurrency control (the Silo protocol).
+
+Implements the commit protocol of Silo [Tu et al., SOSP 2013]:
+transactions run without locks, recording a read-set (record ->
+observed TID) and buffering writes; at commit they (1) lock the
+write-set in a global order, (2) validate that every read-set record
+is unchanged and unlocked by others and that every scanned partition's
+structure version is unchanged (phantom protection; Silo validates
+B-tree node versions, we validate per-partition versions — coarser,
+but sound), (3) draw a transaction ID embedding the current epoch, and
+(4) apply writes and release locks. Failed validation aborts the
+transaction for retry.
+
+Epochs advance on a commit-count trigger (standing in for Silo's 40 ms
+epoch thread); TIDs are ``(epoch << 32) | sequence`` so recency is
+totally ordered across epochs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from bisect import bisect_left, insort
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["TransactionAborted", "Record", "Table", "Database", "Transaction"]
+
+_EPOCH_SHIFT = 32
+
+
+class TransactionAborted(Exception):
+    """Validation failed; the caller should retry the transaction."""
+
+
+class Record:
+    """One versioned record: value + TID word + lock owner."""
+
+    __slots__ = ("value", "tid", "owner", "deleted")
+
+    def __init__(self, value: Any, tid: int) -> None:
+        self.value = value
+        self.tid = tid
+        self.owner: Optional[int] = None  # committing txn id, if locked
+        self.deleted = False
+
+
+class Table:
+    """A named table: hash primary index + sorted per-partition keys.
+
+    Parameters
+    ----------
+    name:
+        Table name (stable identity for lock ordering).
+    partition_fn:
+        Maps a key to its partition id. Structure versions (phantom
+        protection) are kept per partition so inserts in one district
+        do not abort scans in another, matching TPC-C's access
+        locality. Defaults to a single partition.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self, name: str, partition_fn: Callable[[Hashable], Hashable] = None
+    ) -> None:
+        self.name = name
+        self.table_id = next(Table._ids)
+        self._partition_fn = partition_fn or (lambda key: 0)
+        self._records: Dict[Hashable, Record] = {}
+        self._partition_keys: Dict[Hashable, List] = {}
+        self._partition_versions: Dict[Hashable, int] = {}
+        self._structure_lock = threading.Lock()
+
+    def partition_of(self, key: Hashable) -> Hashable:
+        return self._partition_fn(key)
+
+    # -- raw access (used by Transaction and by initial loading) -------
+    def get_record(self, key: Hashable) -> Optional[Record]:
+        record = self._records.get(key)
+        if record is None or record.deleted:
+            return None
+        return record
+
+    def structure_version(self, partition: Hashable) -> int:
+        return self._partition_versions.get(partition, 0)
+
+    def load(self, key: Hashable, value: Any) -> None:
+        """Non-transactional insert for initial database population."""
+        self._insert_record(key, Record(value, tid=0))
+
+    def _insert_record(self, key: Hashable, record: Record) -> None:
+        with self._structure_lock:
+            existing = self._records.get(key)
+            if existing is not None and not existing.deleted:
+                raise KeyError(f"{self.name}: duplicate key {key!r}")
+            partition = self.partition_of(key)
+            # A delete removed the key from the sorted partition list;
+            # re-inserting over the tombstone must restore it.
+            if existing is None or existing.deleted:
+                insort(self._partition_keys.setdefault(partition, []), key)
+            self._records[key] = record
+            self._partition_versions[partition] = (
+                self._partition_versions.get(partition, 0) + 1
+            )
+
+    def _delete_record(self, key: Hashable) -> None:
+        with self._structure_lock:
+            record = self._records.get(key)
+            if record is None or record.deleted:
+                raise KeyError(f"{self.name}: no key {key!r}")
+            record.deleted = True
+            partition = self.partition_of(key)
+            keys = self._partition_keys.get(partition, [])
+            idx = bisect_left(keys, key)
+            if idx < len(keys) and keys[idx] == key:
+                keys.pop(idx)
+            self._partition_versions[partition] = (
+                self._partition_versions.get(partition, 0) + 1
+            )
+
+    def keys_in_range(self, partition: Hashable, lo, hi) -> List:
+        """Keys with ``lo <= key < hi`` inside one partition (snapshot)."""
+        with self._structure_lock:
+            keys = self._partition_keys.get(partition, [])
+            return keys[bisect_left(keys, lo) : bisect_left(keys, hi)]
+
+    def last_key(self, partition: Hashable, below=None) -> Optional[Hashable]:
+        """Largest key in the partition (optionally ``< below``)."""
+        with self._structure_lock:
+            keys = self._partition_keys.get(partition, [])
+            if below is None:
+                return keys[-1] if keys else None
+            idx = bisect_left(keys, below)
+            return keys[idx - 1] if idx > 0 else None
+
+    def __len__(self) -> int:
+        with self._structure_lock:
+            return sum(len(keys) for keys in self._partition_keys.values())
+
+
+class Database:
+    """Holds tables and the global epoch state."""
+
+    def __init__(self, epoch_commit_interval: int = 1000) -> None:
+        if epoch_commit_interval < 1:
+            raise ValueError("epoch_commit_interval must be >= 1")
+        self.tables: Dict[str, Table] = {}
+        self._epoch = 1
+        self._epoch_lock = threading.Lock()
+        self._commits_this_epoch = 0
+        self._epoch_commit_interval = epoch_commit_interval
+        self._txn_ids = itertools.count(1)
+        self.stats = {"commits": 0, "aborts": 0}
+        self._stats_lock = threading.Lock()
+
+    def create_table(
+        self, name: str, partition_fn: Callable[[Hashable], Hashable] = None
+    ) -> Table:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, partition_fn)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        return self.tables[name]
+
+    @property
+    def epoch(self) -> int:
+        with self._epoch_lock:
+            return self._epoch
+
+    def _on_commit(self) -> int:
+        """Account a commit; returns the epoch it belongs to."""
+        with self._epoch_lock:
+            epoch = self._epoch
+            self._commits_this_epoch += 1
+            if self._commits_this_epoch >= self._epoch_commit_interval:
+                self._epoch += 1
+                self._commits_this_epoch = 0
+        with self._stats_lock:
+            self.stats["commits"] += 1
+        return epoch
+
+    def _on_abort(self) -> None:
+        with self._stats_lock:
+            self.stats["aborts"] += 1
+
+    def transaction(self) -> "Transaction":
+        return Transaction(self, next(self._txn_ids))
+
+    def run(self, body: Callable[["Transaction"], Any], max_retries: int = 100) -> Any:
+        """Execute ``body(txn)`` with OCC retry-on-abort.
+
+        Retries use randomized exponential backoff: scan-heavy
+        transactions (delivery, stock-level) would otherwise livelock
+        against a steady stream of conflicting inserts.
+        """
+        import random as _random
+        import time as _time
+
+        backoff_rng = _random.Random(id(body) ^ threading.get_ident())
+        for attempt in range(max_retries):
+            txn = self.transaction()
+            try:
+                result = body(txn)
+                txn.commit()
+                return result
+            except TransactionAborted:
+                self._on_abort()
+                if attempt >= 2:
+                    limit = min(0.0001 * (2 ** min(attempt, 8)), 0.01)
+                    _time.sleep(backoff_rng.uniform(0.0, limit))
+                continue
+        raise TransactionAborted(f"gave up after {max_retries} retries")
+
+
+class Transaction:
+    """One OCC transaction: buffered writes, validated reads."""
+
+    def __init__(self, db: Database, txn_id: int) -> None:
+        self._db = db
+        self.txn_id = txn_id
+        self._reads: Dict[Tuple[int, Hashable], Tuple[Table, int]] = {}
+        self._writes: Dict[Tuple[int, Hashable], Tuple[Table, Hashable, Any]] = {}
+        self._inserts: Dict[Tuple[int, Hashable], Tuple[Table, Hashable, Any]] = {}
+        self._deletes: Dict[Tuple[int, Hashable], Tuple[Table, Hashable]] = {}
+        self._scans: Dict[Tuple[int, Hashable], Tuple[Table, int]] = {}
+        self._done = False
+
+    # -- operations -----------------------------------------------------
+    def read(self, table: Table, key: Hashable) -> Any:
+        """Read a record's value (None if absent), tracking the TID."""
+        ref = (table.table_id, key)
+        if ref in self._writes:
+            return self._writes[ref][2]
+        if ref in self._inserts:
+            return self._inserts[ref][2]
+        if ref in self._deletes:
+            return None
+        record = table.get_record(key)
+        if record is None:
+            # Record absence via the partition version (anti-phantom).
+            self.note_scan(table, table.partition_of(key))
+            return None
+        if record.owner is not None and record.owner != self.txn_id:
+            raise TransactionAborted("read of locked record")
+        self._reads[ref] = (table, record.tid)
+        return record.value
+
+    def write(self, table: Table, key: Hashable, value: Any) -> None:
+        """Buffer an update to an existing record."""
+        ref = (table.table_id, key)
+        if ref in self._inserts:
+            self._inserts[ref] = (table, key, value)
+            return
+        self._writes[ref] = (table, key, value)
+
+    def insert(self, table: Table, key: Hashable, value: Any) -> None:
+        """Buffer the insertion of a new record."""
+        ref = (table.table_id, key)
+        if ref in self._inserts or ref in self._writes:
+            raise TransactionAborted("double insert within transaction")
+        self._inserts[ref] = (table, key, value)
+
+    def delete(self, table: Table, key: Hashable) -> None:
+        """Buffer the deletion of an existing record."""
+        ref = (table.table_id, key)
+        self._inserts.pop(ref, None)
+        self._writes.pop(ref, None)
+        self._deletes[ref] = (table, key)
+
+    def note_scan(self, table: Table, partition: Hashable) -> None:
+        """Record a structure-version dependency on a partition."""
+        ref = (table.table_id, partition)
+        if ref not in self._scans:
+            self._scans[ref] = (table, table.structure_version(partition))
+
+    def scan(self, table: Table, partition: Hashable, lo, hi) -> List[Tuple[Hashable, Any]]:
+        """Read all records with ``lo <= key < hi`` in a partition."""
+        self.note_scan(table, partition)
+        out = []
+        for key in table.keys_in_range(partition, lo, hi):
+            value = self.read(table, key)
+            if value is not None:
+                out.append((key, value))
+        # Include this transaction's own pending inserts in range.
+        for (tid_key, key), (t, k, v) in self._inserts.items():
+            if (
+                tid_key == table.table_id
+                and t.partition_of(k) == partition
+                and lo <= k < hi
+            ):
+                out.append((k, v))
+        out.sort(key=lambda kv: kv[0])
+        return out
+
+    # -- commit protocol --------------------------------------------------
+    def commit(self) -> None:
+        if self._done:
+            raise RuntimeError("transaction already finished")
+        self._done = True
+        if not (self._writes or self._inserts or self._deletes):
+            self._db._on_commit()  # read-only: validation-free in Silo
+            return
+
+        # Phase 1: lock the write-set in global (table_id, key) order.
+        write_refs = sorted(set(self._writes) | set(self._deletes))
+        locked: List[Record] = []
+        try:
+            for ref in write_refs:
+                table, key = (
+                    self._writes[ref][:2] if ref in self._writes
+                    else self._deletes[ref]
+                )
+                record = table.get_record(key)
+                if record is None:
+                    raise TransactionAborted("write target vanished")
+                if not self._try_lock(record):
+                    raise TransactionAborted("write-write conflict")
+                locked.append(record)
+
+            # Phase 2: validate reads and scans.
+            for (table_id, key), (table, seen_tid) in self._reads.items():
+                record = table.get_record(key)
+                if record is None or record.tid != seen_tid:
+                    raise TransactionAborted("read-set changed")
+                if record.owner is not None and record.owner != self.txn_id:
+                    raise TransactionAborted("read record locked by writer")
+            for (table_id, partition), (table, seen_ver) in self._scans.items():
+                if table.structure_version(partition) != seen_ver:
+                    raise TransactionAborted("phantom: partition changed")
+
+            # Phase 3: TID assignment.
+            epoch = self._db._on_commit()
+            max_seen = max(
+                [tid for _, tid in self._reads.values()]
+                + [record.tid for record in locked]
+                + [0]
+            )
+            commit_tid = max(max_seen + 1, epoch << _EPOCH_SHIFT)
+
+            # Phase 4: apply.
+            for ref in write_refs:
+                if ref in self._deletes:
+                    continue
+                table, key, value = self._writes[ref]
+                record = table.get_record(key)
+                record.value = value
+                record.tid = commit_tid
+            for table, key, value in self._inserts.values():
+                table._insert_record(key, Record(value, commit_tid))
+            for table, key in self._deletes.values():
+                table._delete_record(key)
+        except TransactionAborted:
+            for record in locked:
+                self._unlock(record)
+            raise
+        else:
+            for record in locked:
+                self._unlock(record)
+
+    # One process-wide mutex serializes owner-bit transitions. Silo
+    # uses a per-record compare-and-swap; CPython has no CAS primitive,
+    # and the critical section here is a couple of attribute ops, so a
+    # shared lock is the faithful-and-correct substitute.
+    _owner_mutex = threading.Lock()
+
+    def _try_lock(self, record: Record) -> bool:
+        with Transaction._owner_mutex:
+            if record.owner is None or record.owner == self.txn_id:
+                record.owner = self.txn_id
+                return True
+            return False
+
+    def _unlock(self, record: Record) -> None:
+        with Transaction._owner_mutex:
+            if record.owner == self.txn_id:
+                record.owner = None

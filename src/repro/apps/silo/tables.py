@@ -1,0 +1,129 @@
+"""TPC-C schema and initial population for the silo engine.
+
+Tables follow the TPC-C entity layout with composite tuple keys.
+Partition functions put each district's rows in their own partition so
+OCC phantom validation only conflicts within a district — matching
+TPC-C's access locality and Silo's low-contention design point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...workloads.tpcc import TpccScale, make_last_name
+from .occ import Database, Table
+
+__all__ = ["TpccTables", "populate"]
+
+#: Sentinel larger than any real id in tuple-key range scans.
+MAX_ID = 1 << 40
+
+
+@dataclass
+class TpccTables:
+    """Handles to all TPC-C tables in one database."""
+
+    warehouse: Table
+    district: Table
+    customer: Table
+    customer_name_index: Table
+    customer_order_index: Table
+    item: Table
+    stock: Table
+    orders: Table
+    new_orders: Table
+    order_lines: Table
+    history: Table
+
+    @classmethod
+    def create(cls, db: Database) -> "TpccTables":
+        by_district = lambda key: key[:2]  # noqa: E731 - tiny key fn
+        return cls(
+            warehouse=db.create_table("warehouse"),
+            district=db.create_table("district", lambda key: key),
+            customer=db.create_table("customer", by_district),
+            customer_name_index=db.create_table(
+                "customer_name_index", by_district
+            ),
+            customer_order_index=db.create_table(
+                "customer_order_index", lambda key: key[:3]
+            ),
+            item=db.create_table("item"),
+            stock=db.create_table("stock", lambda key: key[0]),
+            orders=db.create_table("orders", by_district),
+            new_orders=db.create_table("new_orders", by_district),
+            order_lines=db.create_table("order_lines", by_district),
+            history=db.create_table("history", by_district),
+        )
+
+
+def populate(tables: TpccTables, scale: TpccScale, seed: int = 0) -> None:
+    """Load the initial TPC-C dataset (non-transactionally, pre-run).
+
+    The last third of each district's initial orders are left
+    undelivered (present in NEW-ORDER), providing work for delivery
+    transactions, per the TPC-C initial-state rules (scaled).
+    """
+    rng = random.Random(seed)
+    for i in range(1, scale.items + 1):
+        tables.item.load(
+            i, {"name": f"item-{i}", "price": round(rng.uniform(1.0, 100.0), 2)}
+        )
+    for w in range(1, scale.warehouses + 1):
+        tables.warehouse.load(w, {"name": f"warehouse-{w}", "ytd": 0.0})
+        for i in range(1, scale.items + 1):
+            tables.stock.load(
+                (w, i),
+                {"quantity": rng.randint(10, 100), "ytd": 0, "order_cnt": 0},
+            )
+        for d in range(1, scale.districts_per_warehouse + 1):
+            n_orders = scale.initial_orders_per_district
+            tables.district.load(
+                (w, d),
+                {"name": f"district-{w}-{d}", "ytd": 0.0, "next_o_id": n_orders + 1},
+            )
+            for c in range(1, scale.customers_per_district + 1):
+                last = make_last_name((c - 1) % 1000)
+                tables.customer.load(
+                    (w, d, c),
+                    {
+                        "first": f"first-{c}",
+                        "last": last,
+                        "balance": -10.0,
+                        "ytd_payment": 10.0,
+                        "payment_cnt": 1,
+                        "delivery_cnt": 0,
+                    },
+                )
+                tables.customer_name_index.load((w, d, last, c), c)
+            # Initial orders: one per customer, shuffled, oldest first.
+            customers = list(range(1, scale.customers_per_district + 1))
+            rng.shuffle(customers)
+            delivered_cutoff = n_orders - max(1, n_orders // 3)
+            for o in range(1, n_orders + 1):
+                c = customers[(o - 1) % len(customers)]
+                n_lines = rng.randint(5, 15)
+                delivered = o <= delivered_cutoff
+                tables.orders.load(
+                    (w, d, o),
+                    {
+                        "c_id": c,
+                        "carrier_id": rng.randint(1, 10) if delivered else None,
+                        "ol_cnt": n_lines,
+                    },
+                )
+                tables.customer_order_index.load((w, d, c, o), o)
+                if not delivered:
+                    tables.new_orders.load((w, d, o), True)
+                for line in range(1, n_lines + 1):
+                    item_id = rng.randint(1, scale.items)
+                    tables.order_lines.load(
+                        (w, d, o, line),
+                        {
+                            "item_id": item_id,
+                            "supply_w_id": w,
+                            "quantity": rng.randint(1, 10),
+                            "amount": round(rng.uniform(0.01, 99.99), 2),
+                        },
+                    )

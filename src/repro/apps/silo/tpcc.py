@@ -1,0 +1,230 @@
+"""TPC-C transaction logic over the OCC engine.
+
+The five TPC-C transaction types implemented against the
+:class:`~repro.apps.silo.occ.Transaction` API. Each function takes an
+open transaction plus the parameter dict produced by
+:class:`repro.workloads.tpcc.TpccWorkload` and returns the
+transaction's result payload; OCC aborts propagate to the caller's
+retry loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .occ import Transaction, TransactionAborted
+from .tables import MAX_ID, TpccTables
+
+__all__ = ["TpccExecutor"]
+
+
+class TpccExecutor:
+    """Binds the TPC-C transaction bodies to a table set."""
+
+    def __init__(self, tables: TpccTables) -> None:
+        self._t = tables
+
+    # -- New-Order (45%) -------------------------------------------------
+    def new_order(self, txn: Transaction, params: Dict) -> Dict:
+        t = self._t
+        w_id, d_id, c_id = params["w_id"], params["d_id"], params["c_id"]
+        district = txn.read(t.district, (w_id, d_id))
+        if district is None:
+            raise KeyError(f"no district ({w_id}, {d_id})")
+        o_id = district["next_o_id"]
+        txn.write(
+            t.district, (w_id, d_id), {**district, "next_o_id": o_id + 1}
+        )
+        total = 0.0
+        lines = params["lines"]
+        for i, line in enumerate(lines, start=1):
+            item = txn.read(t.item, line["item_id"])
+            if item is None:
+                # TPC-C mandates ~1% of new-orders abort on a bad item;
+                # our generator only emits valid ids, so this is a guard.
+                raise TransactionAborted("invalid item")
+            stock_key = (line["supply_w_id"], line["item_id"])
+            stock = txn.read(t.stock, stock_key)
+            quantity = stock["quantity"]
+            new_qty = (
+                quantity - line["quantity"]
+                if quantity >= line["quantity"] + 10
+                else quantity - line["quantity"] + 91
+            )
+            txn.write(
+                t.stock,
+                stock_key,
+                {
+                    "quantity": new_qty,
+                    "ytd": stock["ytd"] + line["quantity"],
+                    "order_cnt": stock["order_cnt"] + 1,
+                },
+            )
+            amount = round(item["price"] * line["quantity"], 2)
+            total += amount
+            txn.insert(
+                t.order_lines,
+                (w_id, d_id, o_id, i),
+                {
+                    "item_id": line["item_id"],
+                    "supply_w_id": line["supply_w_id"],
+                    "quantity": line["quantity"],
+                    "amount": amount,
+                },
+            )
+        txn.insert(
+            t.orders,
+            (w_id, d_id, o_id),
+            {"c_id": c_id, "carrier_id": None, "ol_cnt": len(lines)},
+        )
+        txn.insert(t.new_orders, (w_id, d_id, o_id), True)
+        txn.insert(t.customer_order_index, (w_id, d_id, c_id, o_id), o_id)
+        return {"order_id": o_id, "total": round(total, 2)}
+
+    # -- Payment (43%) ---------------------------------------------------
+    def payment(self, txn: Transaction, params: Dict) -> Dict:
+        t = self._t
+        w_id, d_id = params["w_id"], params["d_id"]
+        amount = params["amount"]
+        warehouse = txn.read(t.warehouse, w_id)
+        txn.write(t.warehouse, w_id, {**warehouse, "ytd": warehouse["ytd"] + amount})
+        district = txn.read(t.district, (w_id, d_id))
+        txn.write(
+            t.district, (w_id, d_id), {**district, "ytd": district["ytd"] + amount}
+        )
+        c_id = params.get("c_id")
+        if c_id is None:
+            c_id = self._customer_by_last_name(txn, w_id, d_id, params["c_last"])
+            if c_id is None:
+                return {"customer_found": False}
+        customer = txn.read(t.customer, (w_id, d_id, c_id))
+        if customer is None:
+            return {"customer_found": False}
+        txn.write(
+            t.customer,
+            (w_id, d_id, c_id),
+            {
+                **customer,
+                "balance": customer["balance"] - amount,
+                "ytd_payment": customer["ytd_payment"] + amount,
+                "payment_cnt": customer["payment_cnt"] + 1,
+            },
+        )
+        txn.insert(
+            t.history, (w_id, d_id, c_id, txn.txn_id), {"amount": amount}
+        )
+        return {
+            "customer_found": True,
+            "c_id": c_id,
+            "balance": round(customer["balance"] - amount, 2),
+        }
+
+    def _customer_by_last_name(self, txn, w_id, d_id, c_last):
+        """TPC-C clause 2.5.2.2: midpoint of name-sorted matches."""
+        matches = txn.scan(
+            self._t.customer_name_index,
+            (w_id, d_id),
+            (w_id, d_id, c_last, 0),
+            (w_id, d_id, c_last, MAX_ID),
+        )
+        if not matches:
+            return None
+        return matches[len(matches) // 2][1]
+
+    # -- Order-Status (4%) -------------------------------------------------
+    def order_status(self, txn: Transaction, params: Dict) -> Dict:
+        t = self._t
+        w_id, d_id, c_id = params["w_id"], params["d_id"], params["c_id"]
+        txn.note_scan(t.customer_order_index, (w_id, d_id, c_id))
+        last = t.customer_order_index.last_key(
+            (w_id, d_id, c_id), below=(w_id, d_id, c_id, MAX_ID)
+        )
+        if last is None:
+            return {"order_id": None}
+        o_id = last[3]
+        order = txn.read(t.orders, (w_id, d_id, o_id))
+        lines = txn.scan(
+            t.order_lines,
+            (w_id, d_id),
+            (w_id, d_id, o_id, 0),
+            (w_id, d_id, o_id, MAX_ID),
+        )
+        return {
+            "order_id": o_id,
+            "carrier_id": order["carrier_id"] if order else None,
+            "lines": [value for _, value in lines],
+        }
+
+    # -- Delivery (4%) ------------------------------------------------------
+    def delivery(self, txn: Transaction, params: Dict) -> Dict:
+        """Deliver the oldest undelivered order in every district."""
+        t = self._t
+        w_id, carrier = params["w_id"], params["carrier_id"]
+        delivered: List[int] = []
+        for d_id in self._district_ids(txn, w_id):
+            pending = txn.scan(
+                t.new_orders,
+                (w_id, d_id),
+                (w_id, d_id, 0),
+                (w_id, d_id, MAX_ID),
+            )
+            if not pending:
+                continue
+            (w, d, o_id), _ = pending[0]
+            txn.delete(t.new_orders, (w, d, o_id))
+            order = txn.read(t.orders, (w, d, o_id))
+            txn.write(t.orders, (w, d, o_id), {**order, "carrier_id": carrier})
+            lines = txn.scan(
+                t.order_lines, (w, d), (w, d, o_id, 0), (w, d, o_id, MAX_ID)
+            )
+            total = sum(value["amount"] for _, value in lines)
+            customer_key = (w, d, order["c_id"])
+            customer = txn.read(t.customer, customer_key)
+            txn.write(
+                t.customer,
+                customer_key,
+                {
+                    **customer,
+                    "balance": customer["balance"] + total,
+                    "delivery_cnt": customer["delivery_cnt"] + 1,
+                },
+            )
+            delivered.append(o_id)
+        return {"delivered_orders": delivered}
+
+    def _district_ids(self, txn, w_id) -> List[int]:
+        districts = []
+        d = 1
+        while txn.read(self._t.district, (w_id, d)) is not None:
+            districts.append(d)
+            d += 1
+        return districts
+
+    # -- Stock-Level (4%) -----------------------------------------------------
+    def stock_level(self, txn: Transaction, params: Dict) -> Dict:
+        """Distinct recently-ordered items below the stock threshold."""
+        t = self._t
+        w_id, d_id = params["w_id"], params["d_id"]
+        threshold = params["threshold"]
+        district = txn.read(t.district, (w_id, d_id))
+        next_o_id = district["next_o_id"]
+        lines = txn.scan(
+            t.order_lines,
+            (w_id, d_id),
+            (w_id, d_id, max(1, next_o_id - 20), 0),
+            (w_id, d_id, next_o_id, MAX_ID),
+        )
+        item_ids = {value["item_id"] for _, value in lines}
+        low = 0
+        for item_id in item_ids:
+            stock = txn.read(t.stock, (w_id, item_id))
+            if stock is not None and stock["quantity"] < threshold:
+                low += 1
+        return {"low_stock": low}
+
+    # -- dispatch ----------------------------------------------------------
+    def execute(self, txn: Transaction, kind: str, params: Dict) -> Dict:
+        handler = getattr(self, kind, None)
+        if handler is None or kind.startswith("_"):
+            raise ValueError(f"unknown TPC-C transaction {kind!r}")
+        return handler(txn, params)

@@ -1,0 +1,15 @@
+"""specjbb: Java middleware (3-tier wholesale-company model)."""
+
+from .app import JbbRequest, SpecJbbApp, SpecJbbClient
+from .company import Company, Customer, Order, OrderLine, Warehouse
+
+__all__ = [
+    "JbbRequest",
+    "SpecJbbApp",
+    "SpecJbbClient",
+    "Company",
+    "Customer",
+    "Order",
+    "OrderLine",
+    "Warehouse",
+]

@@ -1,0 +1,134 @@
+"""specjbb: the Java-middleware business-transaction application."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..base import Application, Client
+from . import transactions
+from .company import Company
+
+__all__ = ["SpecJbbApp", "SpecJbbClient", "JbbRequest"]
+
+#: Request mix: mostly short transactions, occasional long batches.
+_MIX = (
+    ("new_order", 0.35),
+    ("payment", 0.35),
+    ("order_status", 0.15),
+    ("delivery", 0.05),
+    ("stock_report", 0.05),
+    ("customer_report", 0.05),
+)
+
+
+@dataclass(frozen=True)
+class JbbRequest:
+    """One middleware request: a kind tag plus parameters."""
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+
+
+class SpecJbbClient(Client):
+    """Generates the SPECjbb-style request mix."""
+
+    def __init__(self, company_shape: Dict, seed: int = 0) -> None:
+        self._shape = company_shape
+        self._rng = random.Random(seed)
+
+    def next_request(self) -> JbbRequest:
+        rng = self._rng
+        u = rng.random()
+        acc = 0.0
+        kind = _MIX[-1][0]
+        for name, weight in _MIX:
+            acc += weight
+            if u < acc:
+                kind = name
+                break
+        w = rng.randint(1, self._shape["n_warehouses"])
+        d = rng.randint(1, self._shape["n_districts"])
+        c = rng.randint(1, self._shape["customers_per_district"])
+        if kind == "new_order":
+            items = [
+                {
+                    "item_id": rng.randint(1, self._shape["n_items"]),
+                    "quantity": rng.randint(1, 5),
+                }
+                for _ in range(rng.randint(1, 8))
+            ]
+            return JbbRequest(kind, {"w": w, "d": d, "c": c, "items": items})
+        if kind == "payment":
+            return JbbRequest(
+                kind,
+                {"w": w, "d": d, "c": c, "amount": round(rng.uniform(1, 500), 2)},
+            )
+        if kind == "order_status":
+            return JbbRequest(kind, {"w": w, "d": d, "c": c})
+        if kind == "delivery":
+            return JbbRequest(kind, {"w": w, "carrier": rng.randint(1, 10)})
+        if kind == "stock_report":
+            return JbbRequest(kind, {"w": w, "threshold": rng.randint(60, 100)})
+        return JbbRequest(kind, {"w": w, "d": d})
+
+
+class SpecJbbApp(Application):
+    """3-tier wholesale-company middleware.
+
+    The front tier (request validation/dispatch) lives in
+    :meth:`process`; business logic is the middle tier
+    (:mod:`transactions`); the in-memory model is the backend.
+    """
+
+    name = "specjbb"
+    domain = "Java Middleware"
+
+    def __init__(
+        self,
+        n_warehouses: int = 2,
+        n_districts: int = 4,
+        customers_per_district: int = 50,
+        n_items: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        self._shape = {
+            "n_warehouses": n_warehouses,
+            "n_districts": n_districts,
+            "customers_per_district": customers_per_district,
+            "n_items": n_items,
+        }
+        self._seed = seed
+        self._company: Company = None
+
+    def setup(self) -> None:
+        self._company = Company(seed=self._seed, **self._shape)
+
+    @property
+    def company(self) -> Company:
+        if self._company is None:
+            raise RuntimeError("call setup() first")
+        return self._company
+
+    def process(self, payload: JbbRequest) -> Dict:
+        company = self.company
+        kind, p = payload.kind, payload.params
+        if kind == "new_order":
+            return transactions.new_order(company, p["w"], p["d"], p["c"], p["items"])
+        if kind == "payment":
+            return transactions.process_payment(
+                company, p["w"], p["d"], p["c"], p["amount"]
+            )
+        if kind == "order_status":
+            return transactions.order_status(company, p["w"], p["d"], p["c"])
+        if kind == "delivery":
+            return transactions.process_deliveries(company, p["w"], p["carrier"])
+        if kind == "stock_report":
+            return transactions.stock_report(company, p["w"], p["threshold"])
+        if kind == "customer_report":
+            return transactions.customer_report(company, p["w"], p["d"])
+        raise ValueError(f"unknown request kind {kind!r}")
+
+    def make_client(self, seed: int = 0) -> SpecJbbClient:
+        return SpecJbbClient(self._shape, seed=seed)

@@ -1,0 +1,116 @@
+"""In-memory wholesale-company model (the SPECjbb business domain).
+
+SPECjbb emulates a three-tier system for a wholesale company handling
+client requests such as payments and deliveries (Sec. III). This
+module is the backend tier: warehouses, districts, customers, stock,
+and orders held in in-memory structures, with per-warehouse locking —
+the Java-collections-heavy style of real middleware backends.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Customer", "Order", "OrderLine", "Warehouse", "Company"]
+
+
+@dataclass
+class Customer:
+    customer_id: int
+    name: str
+    balance: float = 0.0
+    ytd_payment: float = 0.0
+    payment_count: int = 0
+    order_history: List[int] = field(default_factory=list)
+
+
+@dataclass
+class OrderLine:
+    item_id: int
+    quantity: int
+    amount: float
+
+
+@dataclass
+class Order:
+    order_id: int
+    customer_id: int
+    district_id: int
+    lines: List[OrderLine]
+    delivered: bool = False
+    carrier_id: Optional[int] = None
+
+
+@dataclass
+class Warehouse:
+    """One warehouse: stock, customers per district, order books."""
+
+    warehouse_id: int
+    n_districts: int
+    stock: Dict[int, int]
+    customers: Dict[int, Dict[int, Customer]]  # district -> id -> customer
+    orders: Dict[int, Order] = field(default_factory=dict)
+    undelivered: List[int] = field(default_factory=list)
+    ytd: float = 0.0
+    next_order_id: int = 1
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class Company:
+    """The modelled wholesale company (backend tier).
+
+    Parameters
+    ----------
+    n_warehouses / n_districts / customers_per_district / n_items:
+        Model cardinalities. Defaults are deliberately modest so setup
+        is fast; the business-logic shape, not the data volume, drives
+        specjbb's short-request behaviour.
+    """
+
+    def __init__(
+        self,
+        n_warehouses: int = 2,
+        n_districts: int = 4,
+        customers_per_district: int = 50,
+        n_items: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if min(n_warehouses, n_districts, customers_per_district, n_items) < 1:
+            raise ValueError("company cardinalities must be >= 1")
+        self.n_warehouses = n_warehouses
+        self.n_districts = n_districts
+        self.customers_per_district = customers_per_district
+        self.n_items = n_items
+        rng = random.Random(seed)
+        self.item_prices: Dict[int, float] = {
+            i: round(rng.uniform(1.0, 100.0), 2) for i in range(1, n_items + 1)
+        }
+        self.warehouses: Dict[int, Warehouse] = {}
+        for w in range(1, n_warehouses + 1):
+            customers = {
+                d: {
+                    c: Customer(c, f"customer-{w}-{d}-{c}")
+                    for c in range(1, customers_per_district + 1)
+                }
+                for d in range(1, n_districts + 1)
+            }
+            stock = {i: rng.randint(50, 200) for i in range(1, n_items + 1)}
+            self.warehouses[w] = Warehouse(w, n_districts, stock, customers)
+
+    def warehouse(self, warehouse_id: int) -> Warehouse:
+        try:
+            return self.warehouses[warehouse_id]
+        except KeyError:
+            raise KeyError(f"no warehouse {warehouse_id}") from None
+
+    def price(self, item_id: int) -> float:
+        try:
+            return self.item_prices[item_id]
+        except KeyError:
+            raise KeyError(f"no item {item_id}") from None
+
+    def total_orders(self) -> int:
+        return sum(len(w.orders) for w in self.warehouses.values())

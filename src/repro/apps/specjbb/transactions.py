@@ -1,0 +1,138 @@
+"""Business transactions of the wholesale company (middle tier).
+
+Each function implements one client-request type against the backend
+model, holding the warehouse lock for the duration (coarse-grained
+middleware-style locking). The mix mirrors SPECjbb's: mostly short
+transactions (new order, payment, order status) with an occasional
+much longer batch (delivery sweeps a district's undelivered orders;
+stock report scans the stock table) — the source of specjbb's
+narrow-body, long-tail service-time shape in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .company import Company, Order, OrderLine
+
+__all__ = [
+    "new_order",
+    "process_payment",
+    "order_status",
+    "process_deliveries",
+    "stock_report",
+    "customer_report",
+]
+
+
+def new_order(
+    company: Company,
+    warehouse_id: int,
+    district_id: int,
+    customer_id: int,
+    items: List[Dict],
+) -> Dict:
+    """Create an order; returns order id and total amount."""
+    if not items:
+        raise ValueError("an order needs at least one line")
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        customer = wh.customers[district_id][customer_id]
+        lines = []
+        total = 0.0
+        for item in items:
+            item_id, qty = item["item_id"], item["quantity"]
+            price = company.price(item_id)
+            amount = round(price * qty, 2)
+            stock = wh.stock[item_id]
+            # Restock when low, as SPECjbb's warehouse logic does.
+            wh.stock[item_id] = stock - qty if stock >= qty + 10 else stock - qty + 100
+            lines.append(OrderLine(item_id, qty, amount))
+            total += amount
+        order_id = wh.next_order_id
+        wh.next_order_id += 1
+        order = Order(order_id, customer_id, district_id, lines)
+        wh.orders[order_id] = order
+        wh.undelivered.append(order_id)
+        customer.order_history.append(order_id)
+        customer.balance += total
+        return {"order_id": order_id, "total": round(total, 2)}
+
+
+def process_payment(
+    company: Company,
+    warehouse_id: int,
+    district_id: int,
+    customer_id: int,
+    amount: float,
+) -> Dict:
+    """Apply a customer payment."""
+    if amount <= 0:
+        raise ValueError("payment amount must be positive")
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        customer = wh.customers[district_id][customer_id]
+        customer.balance -= amount
+        customer.ytd_payment += amount
+        customer.payment_count += 1
+        wh.ytd += amount
+        return {"balance": round(customer.balance, 2)}
+
+
+def order_status(
+    company: Company, warehouse_id: int, district_id: int, customer_id: int
+) -> Dict:
+    """Look up the customer's most recent order."""
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        customer = wh.customers[district_id][customer_id]
+        if not customer.order_history:
+            return {"order_id": None, "lines": 0, "delivered": None}
+        order = wh.orders[customer.order_history[-1]]
+        return {
+            "order_id": order.order_id,
+            "lines": len(order.lines),
+            "delivered": order.delivered,
+        }
+
+
+def process_deliveries(
+    company: Company, warehouse_id: int, carrier_id: int, batch_size: int = 10
+) -> Dict:
+    """Deliver a batch of pending orders (the long-tail transaction)."""
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        delivered = 0
+        while wh.undelivered and delivered < batch_size:
+            order_id = wh.undelivered.pop(0)
+            order = wh.orders[order_id]
+            order.delivered = True
+            order.carrier_id = carrier_id
+            # Settle the order amount against the customer balance.
+            customer = wh.customers[order.district_id][order.customer_id]
+            customer.balance -= sum(line.amount for line in order.lines)
+            delivered += 1
+        return {"delivered": delivered}
+
+
+def stock_report(company: Company, warehouse_id: int, threshold: int) -> Dict:
+    """Count items below a stock threshold (full stock-table scan)."""
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        low = sum(1 for qty in wh.stock.values() if qty < threshold)
+        return {"low_stock_items": low}
+
+
+def customer_report(
+    company: Company, warehouse_id: int, district_id: int
+) -> Dict:
+    """Aggregate a district's customer balances (reporting tier)."""
+    wh = company.warehouse(warehouse_id)
+    with wh.lock:
+        district = wh.customers[district_id]
+        balances = [c.balance for c in district.values()]
+        return {
+            "customers": len(balances),
+            "total_balance": round(sum(balances), 2),
+            "max_balance": round(max(balances), 2) if balances else 0.0,
+        }

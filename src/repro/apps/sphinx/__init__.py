@@ -1,0 +1,25 @@
+"""sphinx: speech recognition (GMM-HMM + beam-searched Viterbi)."""
+
+from .app import SphinxApp, SphinxClient
+from .features import Utterance, UtteranceGenerator
+from .hmm import STATES_PER_PHONE, AcousticModel, DecodingNetwork
+from .lexicon import AN4_WORDS, PHONES, build_lexicon
+from .scoring import edit_distance, word_error_rate
+from .viterbi import RecognitionResult, ViterbiDecoder
+
+__all__ = [
+    "SphinxApp",
+    "SphinxClient",
+    "Utterance",
+    "UtteranceGenerator",
+    "STATES_PER_PHONE",
+    "AcousticModel",
+    "DecodingNetwork",
+    "AN4_WORDS",
+    "PHONES",
+    "build_lexicon",
+    "RecognitionResult",
+    "ViterbiDecoder",
+    "edit_distance",
+    "word_error_rate",
+]

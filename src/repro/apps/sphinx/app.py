@@ -1,0 +1,60 @@
+"""sphinx: the speech recognition application."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import Application, Client
+from .features import UtteranceGenerator
+from .hmm import AcousticModel
+from .lexicon import build_lexicon
+from .viterbi import RecognitionResult, ViterbiDecoder
+
+__all__ = ["SphinxApp", "SphinxClient"]
+
+
+class SphinxClient(Client):
+    """Draws random AN4-style utterances (feature-frame matrices)."""
+
+    def __init__(self, model: AcousticModel, seed: int = 0, **gen_kwargs) -> None:
+        self._generator = UtteranceGenerator(model, seed=seed, **gen_kwargs)
+
+    def next_request(self) -> np.ndarray:
+        return self._generator.next_utterance().frames
+
+
+class SphinxApp(Application):
+    """GMM-HMM recognizer with Viterbi beam search.
+
+    Requests are (T, dim) feature matrices; responses are
+    :class:`RecognitionResult`. Compute-intensive with high variance —
+    the longest service times in the suite, as in the paper.
+    """
+
+    name = "sphinx"
+    domain = "Speech Recognition"
+
+    def __init__(self, beam: float = 80.0, seed: int = 0) -> None:
+        self._seed = seed
+        self._beam = beam
+        self._model: AcousticModel = None
+        self._decoder: ViterbiDecoder = None
+
+    def setup(self) -> None:
+        self._model = AcousticModel(build_lexicon(), seed=self._seed)
+        self._model.network()  # build eagerly, not on first request
+        self._decoder = ViterbiDecoder(self._model, beam=self._beam)
+
+    @property
+    def model(self) -> AcousticModel:
+        if self._model is None:
+            raise RuntimeError("call setup() first")
+        return self._model
+
+    def process(self, payload: np.ndarray) -> RecognitionResult:
+        if self._decoder is None:
+            raise RuntimeError("call setup() first")
+        return self._decoder.decode(payload)
+
+    def make_client(self, seed: int = 0) -> SphinxClient:
+        return SphinxClient(self.model, seed=seed)

@@ -1,0 +1,99 @@
+"""Synthetic utterance generation.
+
+Stands in for the CMU AN4 recordings: draws a word sequence (an
+alphanumeric string, like AN4's spelled IDs and numbers), walks each
+word's HMM generatively — sampling a dwell time per state and emitting
+feature frames from the state's mixture — and adds observation noise.
+Because the frames come from the same acoustic model the recognizer
+searches, recognition accuracy is meaningful and decoding effort
+behaves like the real thing (longer utterances => more frames => more
+beam work).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .hmm import AcousticModel
+
+__all__ = ["Utterance", "UtteranceGenerator"]
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """Feature frames plus the ground-truth transcript."""
+
+    frames: np.ndarray  # (T, dim)
+    transcript: Tuple[str, ...]
+
+
+class UtteranceGenerator:
+    """Draws AN4-style utterances from an acoustic model.
+
+    Parameters
+    ----------
+    min_words / max_words:
+        Utterance length range in words (AN4 utterances are short
+        strings of letters and digits).
+    mean_dwell:
+        Mean frames spent in each HMM state (geometric dwell).
+    noise:
+        Observation noise standard deviation added on top of the
+        state's sampled emission.
+    """
+
+    def __init__(
+        self,
+        model: AcousticModel,
+        min_words: int = 2,
+        max_words: int = 8,
+        mean_dwell: float = 3.0,
+        noise: float = 0.4,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= min_words <= max_words:
+            raise ValueError("need 1 <= min_words <= max_words")
+        if mean_dwell < 1.0:
+            raise ValueError("mean_dwell must be >= 1")
+        self._model = model
+        self._net = model.network()
+        self.min_words = min_words
+        self.max_words = max_words
+        self.mean_dwell = mean_dwell
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed + 7)
+
+    def next_utterance(self) -> Utterance:
+        n_words = self._rng.randint(self.min_words, self.max_words)
+        words = tuple(
+            self._rng.choice(self._net.words) for _ in range(n_words)
+        )
+        frames: List[np.ndarray] = []
+        for word in words:
+            frames.extend(self._emit_word(word))
+        return Utterance(np.asarray(frames), words)
+
+    def _emit_word(self, word: str) -> List[np.ndarray]:
+        word_idx = self._net.words.index(word)
+        start = int(self._net.word_entry[word_idx])
+        end = int(self._net.word_exit[word_idx])
+        frames: List[np.ndarray] = []
+        for state in range(start, end + 1):
+            dwell = 1 + self._np_rng.geometric(1.0 / self.mean_dwell)
+            for _ in range(int(dwell)):
+                frames.append(self._emit_state(state))
+        return frames
+
+    def _emit_state(self, state: int) -> np.ndarray:
+        logw = self._net.mix_logw[state]
+        comp = self._np_rng.choice(len(logw), p=np.exp(logw) / np.exp(logw).sum())
+        mean = self._net.means[state, comp]
+        std = np.exp(0.5 * self._net.log_vars[state, comp])
+        return self._np_rng.normal(mean, std) + self._np_rng.normal(
+            0.0, self.noise, size=mean.shape
+        )

@@ -1,0 +1,172 @@
+"""GMM-HMM acoustic model.
+
+Each phone is a 3-state left-to-right HMM; each state emits feature
+vectors from a diagonal-covariance Gaussian mixture. The full decoding
+network is the concatenation of word HMMs (phones in sequence) with
+inter-word transitions — the structure sphinx searches with Viterbi
+beam decoding.
+
+The model is *generated*, not trained: state means are drawn from a
+deterministic RNG so that (a) the synthetic feature generator and the
+recognizer share ground truth, and (b) states are acoustically
+separable but confusable enough that beam search does real pruning
+work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .lexicon import PHONES
+
+__all__ = ["AcousticModel", "DecodingNetwork"]
+
+STATES_PER_PHONE = 3
+
+
+@dataclass(frozen=True)
+class DecodingNetwork:
+    """Flattened HMM state space for the whole vocabulary.
+
+    States are laid out contiguously per word, phones in order, 3
+    states per phone, so within-word forward transitions are simply
+    ``state -> state + 1``. Arrays:
+
+    - ``means``/``log_vars``: (n_states, n_mix, dim) GMM parameters.
+    - ``mix_logw``: (n_states, n_mix) mixture log-weights.
+    - ``word_entry``/``word_exit``: first and last state per word.
+    - ``log_self``/``log_fwd``: loop and advance log-probabilities.
+    """
+
+    words: Tuple[str, ...]
+    means: np.ndarray
+    log_vars: np.ndarray
+    mix_logw: np.ndarray
+    word_entry: np.ndarray
+    word_exit: np.ndarray
+    log_self: float
+    log_fwd: float
+
+    @property
+    def n_states(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.means.shape[2]
+
+
+class AcousticModel:
+    """Builds and holds the GMM-HMM parameters.
+
+    Parameters
+    ----------
+    lexicon:
+        Word -> phone-sequence map.
+    dim:
+        Feature dimensionality (13 mimics MFCC statics).
+    n_mix:
+        Gaussians per state.
+    separation:
+        Distance between phone-state cluster centers in feature space;
+        lower values make states more confusable (more beam work).
+    """
+
+    def __init__(
+        self,
+        lexicon: Dict[str, List[str]],
+        dim: int = 13,
+        n_mix: int = 2,
+        separation: float = 3.0,
+        self_loop_prob: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        if not lexicon:
+            raise ValueError("lexicon must be non-empty")
+        if not 0.0 < self_loop_prob < 1.0:
+            raise ValueError("self_loop_prob must be in (0, 1)")
+        self.lexicon = dict(lexicon)
+        self.dim = dim
+        self.n_mix = n_mix
+        self.separation = separation
+        self.self_loop_prob = self_loop_prob
+        self.seed = seed
+        self._network: DecodingNetwork = None
+        # Per-phone per-state canonical means, shared across words so
+        # the same phone sounds the same wherever it appears.
+        rng = np.random.default_rng(seed)
+        self._phone_state_means = {
+            phone: rng.normal(0.0, separation, size=(STATES_PER_PHONE, dim))
+            for phone in PHONES
+        }
+
+    def network(self) -> DecodingNetwork:
+        if self._network is not None:
+            return self._network
+        rng = np.random.default_rng(self.seed + 1)
+        words = tuple(sorted(self.lexicon))
+        means, log_vars, logw = [], [], []
+        entries, exits = [], []
+        state = 0
+        for word in words:
+            entries.append(state)
+            for phone in self.lexicon[word]:
+                base = self._phone_state_means[phone]
+                for s in range(STATES_PER_PHONE):
+                    # Mixture components jitter around the canonical mean.
+                    comp_means = base[s] + rng.normal(
+                        0.0, 0.3, size=(self.n_mix, self.dim)
+                    )
+                    means.append(comp_means)
+                    log_vars.append(np.zeros((self.n_mix, self.dim)))
+                    w = rng.dirichlet(np.ones(self.n_mix) * 5.0)
+                    logw.append(np.log(w))
+                    state += 1
+            exits.append(state - 1)
+        self._network = DecodingNetwork(
+            words=words,
+            means=np.asarray(means),
+            log_vars=np.asarray(log_vars),
+            mix_logw=np.asarray(logw),
+            word_entry=np.asarray(entries),
+            word_exit=np.asarray(exits),
+            log_self=math.log(self.self_loop_prob),
+            log_fwd=math.log(1.0 - self.self_loop_prob),
+        )
+        return self._network
+
+    def emission_logprobs(
+        self, frames: np.ndarray, active: np.ndarray = None
+    ) -> np.ndarray:
+        """Log P(frame | state) for every (frame, state) pair.
+
+        ``frames`` is (T, dim). If ``active`` (bool mask over states)
+        is given, only those states are evaluated and the rest get
+        -inf — that is where beam pruning actually saves work.
+        """
+        net = self.network()
+        means = net.means
+        log_vars = net.log_vars
+        logw = net.mix_logw
+        if active is not None:
+            means = means[active]
+            log_vars = log_vars[active]
+            logw = logw[active]
+        # (T, S', M, D) squared Mahalanobis terms, diagonal covariance.
+        diff = frames[:, None, None, :] - means[None, :, :, :]
+        inv_var = np.exp(-log_vars)[None, :, :, :]
+        quad = np.sum(diff * diff * inv_var + log_vars[None], axis=3)
+        const = -0.5 * means.shape[-1] * math.log(2.0 * math.pi)
+        comp_ll = const - 0.5 * quad + logw[None, :, :]
+        # logsumexp over mixture components.
+        mx = comp_ll.max(axis=2, keepdims=True)
+        ll = mx[:, :, 0] + np.log(np.sum(np.exp(comp_ll - mx), axis=2))
+        if active is None:
+            return ll
+        full = np.full((frames.shape[0], net.n_states), -np.inf)
+        full[:, active] = ll
+        return full

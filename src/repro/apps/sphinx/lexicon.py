@@ -1,0 +1,60 @@
+"""Pronunciation lexicon for the alphanumeric recognition task.
+
+CMU AN4 (the paper's sphinx input set) is an alphanumeric database:
+utterances are sequences of spelled letters and digits. The lexicon
+maps each word (letter or digit) to a phone sequence drawn from a
+compact phone inventory, mirroring AN4's structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["PHONES", "build_lexicon", "AN4_WORDS"]
+
+#: Compact phone inventory (a subset of ARPAbet).
+PHONES: Tuple[str, ...] = (
+    "ah", "ey", "b", "iy", "s", "d", "eh", "f", "jh", "k",
+    "l", "m", "n", "ow", "p", "r", "t", "uw", "v", "w",
+    "y", "z", "th", "ay", "ch",
+)
+
+#: AN4-style vocabulary: spelled letters and digits.
+AN4_WORDS: Tuple[str, ...] = tuple(
+    list("abcdefghijklmnopqrstuvwxyz")
+    + ["zero", "one", "two", "three", "four", "five", "six", "seven",
+       "eight", "nine"]
+)
+
+_LETTER_PRONUNCIATIONS: Dict[str, List[str]] = {
+    "a": ["ey"], "b": ["b", "iy"], "c": ["s", "iy"], "d": ["d", "iy"],
+    "e": ["iy"], "f": ["eh", "f"], "g": ["jh", "iy"], "h": ["ey", "ch"],
+    "i": ["ay"], "j": ["jh", "ey"], "k": ["k", "ey"], "l": ["eh", "l"],
+    "m": ["eh", "m"], "n": ["eh", "n"], "o": ["ow"], "p": ["p", "iy"],
+    "q": ["k", "y", "uw"], "r": ["ah", "r"], "s": ["eh", "s"],
+    "t": ["t", "iy"], "u": ["y", "uw"], "v": ["v", "iy"],
+    "w": ["d", "ah", "b", "l", "y", "uw"], "x": ["eh", "k", "s"],
+    "y": ["w", "ay"], "z": ["z", "iy"],
+}
+
+_DIGIT_PRONUNCIATIONS: Dict[str, List[str]] = {
+    "zero": ["z", "iy", "r", "ow"], "one": ["w", "ah", "n"],
+    "two": ["t", "uw"], "three": ["th", "r", "iy"],
+    "four": ["f", "ow", "r"], "five": ["f", "ay", "v"],
+    "six": ["s", "iy", "k", "s"],
+    "seven": ["s", "eh", "v", "eh", "n"], "eight": ["ey", "t"],
+    "nine": ["n", "ay", "n"],
+}
+
+
+def build_lexicon() -> Dict[str, List[str]]:
+    """Word -> phone sequence for the full AN4-style vocabulary."""
+    lexicon: Dict[str, List[str]] = {}
+    lexicon.update(_LETTER_PRONUNCIATIONS)
+    lexicon.update(_DIGIT_PRONUNCIATIONS)
+    phone_set = set(PHONES)
+    for word, phones in lexicon.items():
+        unknown = set(phones) - phone_set
+        if unknown:
+            raise ValueError(f"word {word!r} uses unknown phones {unknown}")
+    return lexicon

@@ -1,0 +1,44 @@
+"""Recognition accuracy scoring.
+
+Word error rate (WER) via Levenshtein alignment — the standard speech
+recognition metric: (substitutions + deletions + insertions) divided
+by reference length. Used by tests and examples to validate that the
+recognizer actually recognizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["edit_distance", "word_error_rate"]
+
+
+def edit_distance(reference: Sequence[str], hypothesis: Sequence[str]) -> int:
+    """Levenshtein distance between two token sequences."""
+    ref = list(reference)
+    hyp = list(hypothesis)
+    if not ref:
+        return len(hyp)
+    if not hyp:
+        return len(ref)
+    previous = list(range(len(hyp) + 1))
+    for i, ref_tok in enumerate(ref, start=1):
+        current = [i] + [0] * len(hyp)
+        for j, hyp_tok in enumerate(hyp, start=1):
+            cost = 0 if ref_tok == hyp_tok else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution / match
+            )
+        previous = current
+    return previous[-1]
+
+
+def word_error_rate(
+    reference: Sequence[str], hypothesis: Sequence[str]
+) -> float:
+    """WER = edit distance / reference length (can exceed 1)."""
+    if not reference:
+        raise ValueError("reference transcript must be non-empty")
+    return edit_distance(reference, hypothesis) / len(reference)

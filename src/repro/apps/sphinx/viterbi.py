@@ -1,0 +1,128 @@
+"""Beam-searched Viterbi decoding over the flattened word network.
+
+Token-passing Viterbi with per-frame beam pruning: only states within
+``beam`` of the best score stay active, and emissions are evaluated
+for active states only — so acoustic confusability directly translates
+into decoding work, as in sphinx's probabilistically pruned search
+tree (Sec. III).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .hmm import AcousticModel
+
+__all__ = ["RecognitionResult", "ViterbiDecoder"]
+
+
+@dataclass(frozen=True)
+class RecognitionResult:
+    """Decoded transcript with its Viterbi score and work counter."""
+
+    words: Tuple[str, ...]
+    score: float
+    active_states: int  # total active states across frames (work proxy)
+
+
+class ViterbiDecoder:
+    """Decodes feature-frame matrices into word sequences.
+
+    Parameters
+    ----------
+    beam:
+        Log-likelihood beam width; states scoring below
+        ``best - beam`` are pruned each frame.
+    """
+
+    def __init__(self, model: AcousticModel, beam: float = 80.0) -> None:
+        if beam <= 0:
+            raise ValueError("beam must be positive")
+        self._model = model
+        self._net = model.network()
+        self.beam = beam
+        net = self._net
+        n_words = len(net.words)
+        self._word_lm = math.log(1.0 / n_words)  # uniform word bigram
+        # state -> owning word index
+        self._state_word = np.zeros(net.n_states, dtype=np.int64)
+        for w in range(n_words):
+            self._state_word[net.word_entry[w] : net.word_exit[w] + 1] = w
+        self._entry_mask = np.zeros(net.n_states, dtype=bool)
+        self._entry_mask[net.word_entry] = True
+
+    def decode(self, frames: np.ndarray) -> RecognitionResult:
+        if frames.ndim != 2 or frames.shape[1] != self._net.dim:
+            raise ValueError(
+                f"frames must be (T, {self._net.dim}), got {frames.shape}"
+            )
+        if frames.shape[0] == 0:
+            return RecognitionResult((), 0.0, 0)
+        net = self._net
+        n_states = net.n_states
+        n_frames = frames.shape[0]
+        bp = np.zeros((n_frames, n_states), dtype=np.int32)
+        neg_inf = -np.inf
+
+        score = np.full(n_states, neg_inf)
+        score[net.word_entry] = self._word_lm
+        active = score > neg_inf
+        ll0 = self._model.emission_logprobs(frames[0:1], active)[0]
+        score = score + ll0
+        bp[0, :] = np.arange(n_states)
+        total_active = int(active.sum())
+
+        for t in range(1, n_frames):
+            self_sc = score + net.log_self
+            fwd_sc = np.full(n_states, neg_inf)
+            fwd_sc[1:] = score[:-1] + net.log_fwd
+            fwd_sc[self._entry_mask] = neg_inf  # no cross-word fall-through
+
+            new_score = self_sc.copy()
+            pred = np.arange(n_states, dtype=np.int32)
+            take_fwd = fwd_sc > new_score
+            new_score[take_fwd] = fwd_sc[take_fwd]
+            pred[take_fwd] = np.nonzero(take_fwd)[0].astype(np.int32) - 1
+
+            # Word-to-word transitions: best exit feeds every entry.
+            exit_scores = score[net.word_exit] + net.log_fwd + self._word_lm
+            best_exit_word = int(np.argmax(exit_scores))
+            best_exit_score = float(exit_scores[best_exit_word])
+            best_exit_state = np.int32(net.word_exit[best_exit_word])
+            entries = net.word_entry
+            better = best_exit_score > new_score[entries]
+            new_score[entries[better]] = best_exit_score
+            pred[entries[better]] = best_exit_state
+
+            # Beam pruning before paying for emissions.
+            best = new_score.max()
+            if best == neg_inf:
+                break
+            active = new_score >= best - self.beam
+            new_score[~active] = neg_inf
+            total_active += int(active.sum())
+            ll = self._model.emission_logprobs(frames[t : t + 1], active)[0]
+            score = new_score + ll
+            bp[t, :] = pred
+
+        # Final: best word-exit state wins.
+        final_scores = score[net.word_exit]
+        best_word = int(np.argmax(final_scores))
+        best_score = float(final_scores[best_word])
+        state = int(net.word_exit[best_word])
+
+        # Backtrace, emitting a word at each entry event.
+        path: List[int] = [state]
+        for t in range(n_frames - 1, 0, -1):
+            state = int(bp[t, state])
+            path.append(state)
+        path.reverse()
+        words: List[str] = [str(net.words[self._state_word[path[0]]])]
+        for prev, cur in zip(path, path[1:]):
+            if cur != prev and self._entry_mask[cur]:
+                words.append(str(net.words[self._state_word[cur]]))
+        return RecognitionResult(tuple(words), best_score, total_active)

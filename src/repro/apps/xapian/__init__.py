@@ -1,0 +1,17 @@
+"""xapian: online search leaf node (inverted index + BM25)."""
+
+from .app import XapianApp, XapianClient
+from .corpus import Document, SyntheticCorpus
+from .index import InvertedIndex, SearchResult
+from .tokenizer import STOPWORDS, tokenize
+
+__all__ = [
+    "XapianApp",
+    "XapianClient",
+    "Document",
+    "SyntheticCorpus",
+    "InvertedIndex",
+    "SearchResult",
+    "STOPWORDS",
+    "tokenize",
+]

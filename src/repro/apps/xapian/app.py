@@ -1,0 +1,68 @@
+"""xapian: the online-search leaf node application."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workloads.zipf import ZipfQuerySampler
+from ..base import Application, Client
+from .corpus import SyntheticCorpus
+from .index import InvertedIndex, SearchResult
+
+__all__ = ["XapianApp", "XapianClient"]
+
+
+class XapianClient(Client):
+    """Draws search queries with Zipfian term popularity (Sec. III)."""
+
+    def __init__(self, vocabulary, seed: int = 0) -> None:
+        self._sampler = ZipfQuerySampler(vocabulary, seed=seed)
+
+    def next_request(self) -> str:
+        return self._sampler.next_query()
+
+
+class XapianApp(Application):
+    """Search-engine leaf node over a synthetic Wikipedia-like corpus.
+
+    Each request is a free-text query; the response is the BM25 top-k.
+    Read-only after setup, so it is safely shared across worker
+    threads.
+    """
+
+    name = "xapian"
+    domain = "Online Search"
+
+    def __init__(
+        self,
+        n_docs: int = 2000,
+        vocab_size: int = 5000,
+        mean_doc_len: int = 200,
+        top_k: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self._corpus = SyntheticCorpus(
+            n_docs=n_docs,
+            vocab_size=vocab_size,
+            mean_doc_len=mean_doc_len,
+            seed=seed,
+        )
+        self._top_k = top_k
+        self._index: InvertedIndex = None
+
+    def setup(self) -> None:
+        index = InvertedIndex()
+        index.build(self._corpus.documents())
+        self._index = index
+
+    @property
+    def index(self) -> InvertedIndex:
+        if self._index is None:
+            raise RuntimeError("call setup() first")
+        return self._index
+
+    def process(self, payload: str) -> List[SearchResult]:
+        return self.index.search(payload, top_k=self._top_k)
+
+    def make_client(self, seed: int = 0) -> XapianClient:
+        return XapianClient(self._corpus.vocabulary, seed=seed)

@@ -1,0 +1,106 @@
+"""Synthetic Wikipedia-like corpus generation.
+
+The paper indexes a 2013 dump of English Wikipedia; we have no network,
+so we synthesize a corpus with the statistical properties that matter
+to search-engine service times: a Zipfian term-frequency distribution
+(so popular query terms have long postings lists) and a wide spread of
+document lengths (so per-document scoring work varies).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Document", "SyntheticCorpus"]
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def _make_word(rng: random.Random, syllables: int) -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_CONSONANTS))
+        parts.append(rng.choice(_VOWELS))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Document:
+    """One corpus document."""
+
+    doc_id: int
+    title: str
+    text: str
+
+
+class SyntheticCorpus:
+    """Deterministic pseudo-Wikipedia.
+
+    Parameters
+    ----------
+    n_docs:
+        Number of documents.
+    vocab_size:
+        Vocabulary size; terms are generated once and reused with
+        Zipfian frequency across all documents.
+    mean_doc_len:
+        Mean document length in tokens. Actual lengths are drawn from a
+        lognormal-ish spread (short stubs to long articles), like real
+        encyclopedias.
+    """
+
+    def __init__(
+        self,
+        n_docs: int = 2000,
+        vocab_size: int = 5000,
+        mean_doc_len: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if n_docs < 1 or vocab_size < 10 or mean_doc_len < 5:
+            raise ValueError("corpus parameters too small")
+        self.n_docs = n_docs
+        self.vocab_size = vocab_size
+        self.mean_doc_len = mean_doc_len
+        self.seed = seed
+        rng = random.Random(seed)
+        seen = set()
+        vocab: List[str] = []
+        while len(vocab) < vocab_size:
+            word = _make_word(rng, rng.randint(1, 4))
+            if word not in seen:
+                seen.add(word)
+                vocab.append(word)
+        #: Vocabulary ordered most-frequent-first (Zipf rank order).
+        self.vocabulary: List[str] = vocab
+        # Zipfian cumulative weights for term selection.
+        weights = [1.0 / (i + 1) for i in range(vocab_size)]
+        total = sum(weights)
+        self._cum = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cum.append(acc)
+        self._cum[-1] = 1.0
+
+    def _pick_term(self, rng: random.Random) -> str:
+        import bisect
+
+        u = rng.random()
+        return self.vocabulary[
+            min(bisect.bisect_left(self._cum, u), self.vocab_size - 1)
+        ]
+
+    def documents(self) -> List[Document]:
+        """Generate the full corpus (deterministic for a given seed)."""
+        rng = random.Random(self.seed + 1)
+        docs = []
+        for doc_id in range(self.n_docs):
+            # Lognormal length spread: stubs to long articles.
+            length = max(5, int(rng.lognormvariate(0.0, 0.6) * self.mean_doc_len))
+            words = [self._pick_term(rng) for _ in range(length)]
+            title = " ".join(words[: min(4, len(words))])
+            docs.append(Document(doc_id, title, " ".join(words)))
+        return docs

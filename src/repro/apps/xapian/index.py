@@ -1,0 +1,158 @@
+"""Inverted index with BM25 ranked retrieval.
+
+This is the leaf-node search core: term -> postings (doc id, term
+frequency), document lengths for BM25 normalization, and top-k query
+evaluation with a document-at-a-time heap. Service time scales with
+the total postings volume of the query terms, which — combined with
+Zipfian query popularity — produces the broad service-time
+distribution Fig. 2 shows for xapian.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .corpus import Document
+from .tokenizer import tokenize
+
+__all__ = ["SearchResult", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit."""
+
+    doc_id: int
+    score: float
+    title: str
+
+
+class InvertedIndex:
+    """In-memory inverted index with BM25 scoring.
+
+    Parameters
+    ----------
+    k1, b:
+        Standard BM25 parameters (term-frequency saturation and length
+        normalization).
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0 or not 0.0 <= b <= 1.0:
+            raise ValueError("invalid BM25 parameters")
+        self.k1 = k1
+        self.b = b
+        self._postings: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+        self._doc_len: Dict[int, int] = {}
+        self._titles: Dict[int, str] = {}
+        self._total_len = 0
+
+    # -- construction ----------------------------------------------------
+    def add_document(self, doc: Document) -> None:
+        if doc.doc_id in self._doc_len:
+            raise ValueError(f"duplicate document id {doc.doc_id}")
+        terms = tokenize(doc.text)
+        counts = Counter(terms)
+        for term, tf in counts.items():
+            self._postings[term].append((doc.doc_id, tf))
+        self._doc_len[doc.doc_id] = len(terms)
+        self._titles[doc.doc_id] = doc.title
+        self._total_len += len(terms)
+
+    def build(self, documents: Iterable[Document]) -> None:
+        for doc in documents:
+            self.add_document(doc)
+        # Postings sorted by doc id: deterministic iteration and the
+        # layout a real engine would use for skipping/compression.
+        for plist in self._postings.values():
+            plist.sort()
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def n_docs(self) -> int:
+        return len(self._doc_len)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def avg_doc_len(self) -> float:
+        if not self._doc_len:
+            raise ValueError("index is empty")
+        return self._total_len / len(self._doc_len)
+
+    def doc_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def postings(self, term: str) -> Sequence[Tuple[int, int]]:
+        return tuple(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        """BM25 idf with the standard +1 floor (never negative)."""
+        df = self.doc_frequency(term)
+        n = self.n_docs
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    # -- query evaluation --------------------------------------------------
+    def search(
+        self, query: str, top_k: int = 10, conjunctive: bool = False
+    ) -> List[SearchResult]:
+        """BM25 top-k retrieval.
+
+        Disjunctive (OR) by default; ``conjunctive=True`` requires
+        every query term to appear (AND semantics), evaluated with a
+        sorted-postings intersection — shortest list first, as real
+        engines do.
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.n_docs == 0:
+            return []
+        terms = tokenize(query)
+        if not terms:
+            return []
+        unique_terms = sorted(set(terms))
+        candidates = None
+        if conjunctive:
+            candidates = self._intersect(unique_terms)
+            if not candidates:
+                return []
+        avg_len = self.avg_doc_len
+        scores: Dict[int, float] = defaultdict(float)
+        for term in unique_terms:
+            plist = self._postings.get(term)
+            if not plist:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in plist:
+                if candidates is not None and doc_id not in candidates:
+                    continue
+                dl = self._doc_len[doc_id]
+                denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_len)
+                scores[doc_id] += idf * tf * (self.k1 + 1.0) / denom
+        top = heapq.nlargest(top_k, scores.items(), key=lambda kv: (kv[1], -kv[0]))
+        return [
+            SearchResult(doc_id, score, self._titles[doc_id])
+            for doc_id, score in top
+        ]
+
+    def _intersect(self, terms) -> set:
+        """Document ids containing every term (shortest-first merge)."""
+        plists = []
+        for term in terms:
+            plist = self._postings.get(term)
+            if not plist:
+                return set()
+            plists.append(plist)
+        plists.sort(key=len)
+        result = {doc_id for doc_id, _ in plists[0]}
+        for plist in plists[1:]:
+            result &= {doc_id for doc_id, _ in plist}
+            if not result:
+                return result
+        return result

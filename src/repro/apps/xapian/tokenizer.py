@@ -1,0 +1,42 @@
+"""Tokenization and light normalization for the search engine."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Common English stopwords removed at both index and query time.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the
+    to was were will with this which or not but they their there then than
+    so if into out up down over under again once only own same""".split()
+)
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Lowercase, split on non-alphanumerics, drop stopwords.
+
+    A light suffix-stripping step (plural/gerund endings) stands in for
+    a full stemmer; it is deterministic and keeps index and query terms
+    consistent.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    out = []
+    for token in tokens:
+        if drop_stopwords and token in STOPWORDS:
+            continue
+        out.append(_strip_suffix(token))
+    return out
+
+
+def _strip_suffix(token: str) -> str:
+    for suffix in ("ing", "ies", "es", "s"):
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            if suffix == "ies":
+                return token[: -len(suffix)] + "y"
+            return token[: -len(suffix)]
+    return token

@@ -1,0 +1,31 @@
+"""Microarchitecture substrate: caches, DRRIP, branch prediction, traces."""
+
+from .branch import GsharePredictor
+from .cache import LruPolicy, ReplacementPolicy, SetAssociativeCache
+from .drrip import BrripPolicy, DrripPolicy, SrripPolicy
+from .hierarchy import CacheHierarchy, HierarchyStats
+from .mpki import AppMpki, characterize_app, characterize_suite
+from .timing import CpiEstimate, TimingParameters, cpi_from_mpki, estimate_cpi
+from .trace import TRACE_PROFILES, TraceGenerator, TraceProfile
+
+__all__ = [
+    "GsharePredictor",
+    "LruPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "BrripPolicy",
+    "DrripPolicy",
+    "SrripPolicy",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "AppMpki",
+    "characterize_app",
+    "characterize_suite",
+    "TRACE_PROFILES",
+    "TraceGenerator",
+    "TraceProfile",
+    "CpiEstimate",
+    "TimingParameters",
+    "cpi_from_mpki",
+    "estimate_cpi",
+]

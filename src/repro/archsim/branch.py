@@ -1,0 +1,62 @@
+"""Gshare branch predictor.
+
+Global-history-XOR-PC indexed table of 2-bit saturating counters — the
+classic dynamic predictor. Misprediction counts per kilo-instruction
+give Table I's Branch MPKI row.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GsharePredictor"]
+
+
+class GsharePredictor:
+    """2-bit counter table indexed by ``PC xor global_history``."""
+
+    def __init__(
+        self, table_bits: int = 12, history_bits: int = 12, init_value: int = 1
+    ) -> None:
+        if table_bits < 1 or history_bits < 0:
+            raise ValueError("invalid predictor geometry")
+        if not 0 <= init_value <= 3:
+            raise ValueError("init_value must be a 2-bit counter value")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [init_value] * (1 << table_bits)
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train on the outcome; returns correctness."""
+        idx = self._index(pc)
+        predicted = self._table[idx] >= 2
+        correct = predicted == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken and self._table[idx] < 3:
+            self._table[idx] += 1
+        elif not taken and self._table[idx] > 0:
+            self._table[idx] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (
+            self.mispredictions / self.predictions if self.predictions else 0.0
+        )
+
+    def mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return self.mispredictions / (instructions / 1000.0)

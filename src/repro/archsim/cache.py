@@ -1,0 +1,129 @@
+"""Set-associative cache model.
+
+Tag-array-only simulation (no data movement): enough to count hits and
+misses per level, which is all Table I's MPKI characterization needs.
+Replacement policy is pluggable; :mod:`repro.archsim.drrip` provides
+the DRRIP policy the paper's L3 uses (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ReplacementPolicy", "LruPolicy", "SetAssociativeCache"]
+
+
+class ReplacementPolicy:
+    """Per-set replacement state machine."""
+
+    def on_hit(self, set_state, way: int) -> None:
+        raise NotImplementedError
+
+    def on_fill(self, set_state, way: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, set_state) -> int:
+        """Pick the way to evict (all ways valid)."""
+        raise NotImplementedError
+
+    def new_set_state(self, n_ways: int):
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: state is a recency list (MRU first)."""
+
+    def new_set_state(self, n_ways: int) -> List[int]:
+        return list(range(n_ways))
+
+    def on_hit(self, set_state: List[int], way: int) -> None:
+        set_state.remove(way)
+        set_state.insert(0, way)
+
+    def on_fill(self, set_state: List[int], way: int) -> None:
+        self.on_hit(set_state, way)
+
+    def victim(self, set_state: List[int]) -> int:
+        return set_state[-1]
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    Parameters
+    ----------
+    size_bytes / ways / line_bytes:
+        Geometry; ``size_bytes`` must be an exact multiple of
+        ``ways * line_bytes``.
+    policy:
+        Replacement policy (default LRU).
+    name:
+        Label used in statistics output.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways * line_bytes")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // (ways * line_bytes)
+        self._policy = policy or LruPolicy()
+        # tags[set][way] = line address or None
+        self._tags: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(self.n_sets)
+        ]
+        self._states = [self._policy.new_set_state(ways) for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.line_bytes
+        return line % self.n_sets, line
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; fills on miss. Returns True on hit."""
+        set_idx, line = self._locate(addr)
+        tags = self._tags[set_idx]
+        state = self._states[set_idx]
+        for way, tag in enumerate(tags):
+            if tag == line:
+                self.hits += 1
+                self._policy.on_hit(state, way)
+                return True
+        self.misses += 1
+        # Fill: prefer an invalid way, otherwise evict the victim.
+        try:
+            way = tags.index(None)
+        except ValueError:
+            way = self._policy.victim(state)
+        tags[way] = line
+        self._policy.on_fill(state, way)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Presence probe without statistics or state changes."""
+        set_idx, line = self._locate(addr)
+        return line in self._tags[set_idx]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,139 @@
+"""DRRIP replacement (Dynamic Re-Reference Interval Prediction).
+
+The paper's experimental system uses DRRIP in the L3 (Table II).
+Implements SRRIP (fills at "long re-reference" RRPV), BRRIP (fills at
+"distant" with occasional "long"), and set dueling between them with a
+policy-selection counter [Jaleel et al., ISCA 2010].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .cache import ReplacementPolicy
+
+__all__ = ["SrripPolicy", "BrripPolicy", "DrripPolicy"]
+
+
+class _RrpvState:
+    """Per-set RRPV registers."""
+
+    __slots__ = ("rrpv",)
+
+    def __init__(self, n_ways: int, max_rrpv: int) -> None:
+        self.rrpv: List[int] = [max_rrpv] * n_ways
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP: fill at max_rrpv - 1, promote to 0 on hit."""
+
+    def __init__(self, max_rrpv: int = 3) -> None:
+        if max_rrpv < 1:
+            raise ValueError("max_rrpv must be >= 1")
+        self.max_rrpv = max_rrpv
+
+    def new_set_state(self, n_ways: int) -> _RrpvState:
+        return _RrpvState(n_ways, self.max_rrpv)
+
+    def on_hit(self, set_state: _RrpvState, way: int) -> None:
+        set_state.rrpv[way] = 0
+
+    def on_fill(self, set_state: _RrpvState, way: int) -> None:
+        set_state.rrpv[way] = self.max_rrpv - 1
+
+    def victim(self, set_state: _RrpvState) -> int:
+        rrpv = set_state.rrpv
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= self.max_rrpv:
+                    return way
+            for way in range(len(rrpv)):  # age everyone and rescan
+                rrpv[way] += 1
+
+
+class BrripPolicy(SrripPolicy):
+    """Bimodal RRIP: mostly fill at distant, rarely at long."""
+
+    def __init__(self, max_rrpv: int = 3, long_probability: float = 1 / 32,
+                 seed: int = 0) -> None:
+        super().__init__(max_rrpv)
+        if not 0.0 <= long_probability <= 1.0:
+            raise ValueError("long_probability must be in [0, 1]")
+        self.long_probability = long_probability
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_state: _RrpvState, way: int) -> None:
+        if self._rng.random() < self.long_probability:
+            set_state.rrpv[way] = self.max_rrpv - 1
+        else:
+            set_state.rrpv[way] = self.max_rrpv
+
+
+class DrripPolicy(ReplacementPolicy):
+    """Set-dueling DRRIP: SRRIP vs BRRIP leader sets + PSEL counter.
+
+    Set membership is decided lazily by per-set identity: this policy
+    object is shared across sets, and each set's state records which
+    camp it belongs to (leader-SRRIP / leader-BRRIP / follower).
+    """
+
+    _FOLLOWER, _LEAD_SRRIP, _LEAD_BRRIP = 0, 1, 2
+
+    def __init__(
+        self,
+        max_rrpv: int = 3,
+        duel_period: int = 32,
+        psel_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self._srrip = SrripPolicy(max_rrpv)
+        self._brrip = BrripPolicy(max_rrpv, seed=seed)
+        self.max_rrpv = max_rrpv
+        self.duel_period = duel_period
+        self._psel_max = (1 << psel_bits) - 1
+        self._psel = self._psel_max // 2
+        self._set_counter = 0
+
+    def new_set_state(self, n_ways: int):
+        # Leader sets are interleaved: set 0 of each duel period leads
+        # SRRIP, set duel_period//2 leads BRRIP.
+        idx = self._set_counter % self.duel_period
+        self._set_counter += 1
+        if idx == 0:
+            camp = self._LEAD_SRRIP
+        elif idx == self.duel_period // 2:
+            camp = self._LEAD_BRRIP
+        else:
+            camp = self._FOLLOWER
+        state = _RrpvState(n_ways, self.max_rrpv)
+        return (camp, state)
+
+    def _active_policy(self, camp: int) -> SrripPolicy:
+        if camp == self._LEAD_SRRIP:
+            return self._srrip
+        if camp == self._LEAD_BRRIP:
+            return self._brrip
+        # Follower: PSEL's upper half favours BRRIP.
+        return self._srrip if self._psel < (self._psel_max + 1) // 2 else self._brrip
+
+    def on_hit(self, set_state, way: int) -> None:
+        camp, state = set_state
+        self._srrip.on_hit(state, way)  # hit promotion is policy-independent
+
+    def on_fill(self, set_state, way: int) -> None:
+        camp, state = set_state
+        # A fill means the leader set missed: steer PSEL away from it.
+        if camp == self._LEAD_SRRIP and self._psel < self._psel_max:
+            self._psel += 1
+        elif camp == self._LEAD_BRRIP and self._psel > 0:
+            self._psel -= 1
+        self._active_policy(camp).on_fill(state, way)
+
+    def victim(self, set_state) -> int:
+        camp, state = set_state
+        return self._srrip.victim(state)  # RRPV victim search is shared
+
+    @property
+    def psel(self) -> int:
+        return self._psel

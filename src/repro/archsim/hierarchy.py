@@ -1,0 +1,85 @@
+"""Cache hierarchy of the experimental system (Table II).
+
+Split L1I/L1D, private unified L2, shared inclusive L3 with DRRIP —
+the Xeon E5-2670 configuration TailBench characterizes on. Accesses
+walk the hierarchy level by level; per-level hit/miss counts feed the
+MPKI rows of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PAPER_SYSTEM, SystemConfig
+from .cache import SetAssociativeCache
+from .drrip import DrripPolicy
+
+__all__ = ["CacheHierarchy", "HierarchyStats"]
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Misses per kilo-instruction at every level."""
+
+    instructions: int
+    l1i_mpki: float
+    l1d_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+
+    def as_dict(self) -> dict:
+        return {
+            "L1I": self.l1i_mpki,
+            "L1D": self.l1d_mpki,
+            "L2": self.l2_mpki,
+            "L3": self.l3_mpki,
+        }
+
+
+class CacheHierarchy:
+    """One core's view of the memory hierarchy."""
+
+    def __init__(self, system: SystemConfig = PAPER_SYSTEM) -> None:
+        line = system.line_bytes
+        self.l1i = SetAssociativeCache(
+            system.l1i_kb * 1024, system.l1i_ways, line, name="L1I"
+        )
+        self.l1d = SetAssociativeCache(
+            system.l1d_kb * 1024, system.l1d_ways, line, name="L1D"
+        )
+        self.l2 = SetAssociativeCache(
+            system.l2_kb * 1024, system.l2_ways, line, name="L2"
+        )
+        self.l3 = SetAssociativeCache(
+            system.l3_mb * 1024 * 1024,
+            system.l3_ways,
+            line,
+            policy=DrripPolicy(),
+            name="L3",
+        )
+        self.instructions = 0
+
+    def fetch(self, pc: int) -> None:
+        """Instruction fetch: L1I -> L2 -> L3."""
+        self.instructions += 1
+        if not self.l1i.access(pc):
+            if not self.l2.access(pc):
+                self.l3.access(pc)
+
+    def load_store(self, addr: int) -> None:
+        """Data access: L1D -> L2 -> L3."""
+        if not self.l1d.access(addr):
+            if not self.l2.access(addr):
+                self.l3.access(addr)
+
+    def stats(self) -> HierarchyStats:
+        if self.instructions == 0:
+            raise ValueError("no instructions executed yet")
+        kilo = self.instructions / 1000.0
+        return HierarchyStats(
+            instructions=self.instructions,
+            l1i_mpki=self.l1i.misses / kilo,
+            l1d_mpki=self.l1d.misses / kilo,
+            l2_mpki=self.l2.misses / kilo,
+            l3_mpki=self.l3.misses / kilo,
+        )

@@ -1,0 +1,123 @@
+"""Execution-time estimation from microarchitectural events.
+
+A zsim-style timing model on top of the cache/branch characterization:
+cycles are a base CPI plus per-event penalties for each miss level and
+branch mispredict. Two uses:
+
+- estimate per-app CPI (and thus relative service-time cost per
+  instruction) from first principles, independently of the calibrated
+  latency profiles;
+- quantify *memory-boundness*: the CPI ratio between the real memory
+  hierarchy and an idealized one (zero-penalty misses) — a
+  trace-grounded cross-check of the Sec. VII case study's
+  memory-vs-synchronization split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mpki import AppMpki, characterize_app
+
+__all__ = ["TimingParameters", "CpiEstimate", "estimate_cpi"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Per-event cycle costs (SandyBridge-era magnitudes).
+
+    ``base_cpi`` reflects a wide out-of-order core on cache-resident
+    code; penalties are *exposed* latencies after overlap (hence lower
+    than raw load-to-use numbers).
+    """
+
+    base_cpi: float = 0.45
+    l2_hit_penalty: float = 8.0  # L1 miss, L2 hit
+    l3_hit_penalty: float = 30.0  # L2 miss, L3 hit
+    memory_penalty: float = 180.0  # L3 miss
+    branch_penalty: float = 14.0  # mispredict flush
+
+    def __post_init__(self) -> None:
+        for name in (
+            "base_cpi", "l2_hit_penalty", "l3_hit_penalty",
+            "memory_penalty", "branch_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class CpiEstimate:
+    """CPI decomposition for one application."""
+
+    name: str
+    cpi: float
+    base: float
+    l2_component: float
+    l3_component: float
+    memory_component: float
+    branch_component: float
+
+    @property
+    def memory_boundness(self) -> float:
+        """Fraction of cycles attributable to the memory hierarchy."""
+        return (
+            self.l2_component + self.l3_component + self.memory_component
+        ) / self.cpi
+
+    @property
+    def ideal_memory_cpi(self) -> float:
+        """CPI with a zero-latency, infinite-bandwidth memory system."""
+        return self.base + self.branch_component
+
+    @property
+    def ideal_memory_speedup(self) -> float:
+        """How much faster the app runs under ideal memory (Sec. VII)."""
+        return self.cpi / self.ideal_memory_cpi
+
+
+def cpi_from_mpki(
+    mpki: AppMpki, params: TimingParameters = TimingParameters()
+) -> CpiEstimate:
+    """Convert a characterization into a CPI decomposition.
+
+    Per kilo-instruction: L1 misses that hit L2 pay the L2 penalty,
+    L2 misses that hit L3 pay the L3 penalty, L3 misses pay memory.
+    Both instruction and data misses are counted (the hierarchy stats
+    already merge them at L2/L3).
+    """
+    per_ki = 1.0 / 1000.0
+    l1_misses = mpki.l1i + mpki.l1d
+    l2_hits = max(l1_misses - mpki.l2, 0.0)
+    l3_hits = max(mpki.l2 - mpki.l3, 0.0)
+    l2_component = l2_hits * params.l2_hit_penalty * per_ki
+    l3_component = l3_hits * params.l3_hit_penalty * per_ki
+    memory_component = mpki.l3 * params.memory_penalty * per_ki
+    branch_component = mpki.branch * params.branch_penalty * per_ki
+    cpi = (
+        params.base_cpi
+        + l2_component
+        + l3_component
+        + memory_component
+        + branch_component
+    )
+    return CpiEstimate(
+        name=mpki.name,
+        cpi=cpi,
+        base=params.base_cpi,
+        l2_component=l2_component,
+        l3_component=l3_component,
+        memory_component=memory_component,
+        branch_component=branch_component,
+    )
+
+
+def estimate_cpi(
+    name: str,
+    n_instructions: int = 200_000,
+    params: TimingParameters = TimingParameters(),
+    seed: int = 0,
+) -> CpiEstimate:
+    """Characterize ``name`` and estimate its CPI decomposition."""
+    mpki = characterize_app(name, n_instructions=n_instructions, seed=seed)
+    return cpi_from_mpki(mpki, params)

@@ -1,0 +1,63 @@
+"""The TailBench harness: the paper's primary contribution.
+
+Open-loop traffic shaping, an instrumented request queue, worker-pool
+servers, statistics collection with HDR histograms, three pluggable
+harness configurations (integrated / loopback / networked), and a
+repeated-run measurement methodology with confidence-interval
+convergence.
+"""
+
+from .clock import Clock, VirtualClock, WallClock
+from .collector import CollectedStats, StatsCollector
+from .config import PAPER_SYSTEM, HarnessConfig, SystemConfig
+from .harness import HarnessResult, run_harness
+from .queueing import QueueClosed, RequestQueue
+from .request import Request, RequestRecord
+from .runner import CampaignResult, run_campaign
+from .server import Server
+from .traffic import (
+    ArrivalProcess,
+    ArrivalSchedule,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TrafficShaper,
+)
+from .transport import (
+    IntegratedTransport,
+    LoopbackTransport,
+    NetworkedTransport,
+    Transport,
+    make_transport,
+)
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "CollectedStats",
+    "StatsCollector",
+    "PAPER_SYSTEM",
+    "HarnessConfig",
+    "SystemConfig",
+    "HarnessResult",
+    "run_harness",
+    "QueueClosed",
+    "RequestQueue",
+    "Request",
+    "RequestRecord",
+    "CampaignResult",
+    "run_campaign",
+    "Server",
+    "ArrivalProcess",
+    "ArrivalSchedule",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "TrafficShaper",
+    "IntegratedTransport",
+    "LoopbackTransport",
+    "NetworkedTransport",
+    "Transport",
+    "make_transport",
+]

@@ -1,0 +1,228 @@
+"""Statistics collector.
+
+Aggregates per-request timing into the three latency axes the paper
+reports — queue time, service time, and sojourn time. For short runs
+it keeps every :class:`RequestRecord` (maximum accuracy, full
+distributions); beyond a configurable threshold it switches to HDR
+histograms (logarithmic space, <=1% value error), mirroring Sec. IV-C.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..stats import HdrHistogram, LatencySummary
+from .request import RequestRecord
+
+__all__ = ["StatsCollector", "CollectedStats", "TimelinePoint"]
+
+_METRICS = ("sojourn", "service", "queue")
+
+
+class TimelinePoint:
+    """One time window of a percentile-over-time series."""
+
+    __slots__ = ("time", "count", "value")
+
+    def __init__(self, time: float, count: int, value: float) -> None:
+        self.time = time
+        self.count = count
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimelinePoint(t={self.time:.4f}, n={self.count}, v={self.value:.6f})"
+
+
+class CollectedStats:
+    """Immutable view over one run's collected latency data."""
+
+    def __init__(
+        self,
+        records: Optional[List[RequestRecord]],
+        histograms: Optional[Dict[str, HdrHistogram]],
+        dropped_warmup: int,
+    ) -> None:
+        self._records = records
+        self._histograms = histograms
+        self.dropped_warmup = dropped_warmup
+
+    @property
+    def exact(self) -> bool:
+        """True when full per-request records were retained."""
+        return self._records is not None
+
+    @property
+    def count(self) -> int:
+        if self._records is not None:
+            return len(self._records)
+        return self._histograms["sojourn"].total_count
+
+    @property
+    def records(self) -> Sequence[RequestRecord]:
+        if self._records is None:
+            raise ValueError("per-request records were not retained (HDR mode)")
+        return tuple(self._records)
+
+    def samples(self, metric: str = "sojourn") -> List[float]:
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected {_METRICS}")
+        if self._records is None:
+            raise ValueError("per-request records were not retained (HDR mode)")
+        attr = f"{metric}_time"
+        return [getattr(r, attr) for r in self._records]
+
+    def histogram(self, metric: str = "sojourn") -> HdrHistogram:
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected {_METRICS}")
+        if self._histograms is not None:
+            return self._histograms[metric]
+        hist = HdrHistogram()
+        for value in self.samples(metric):
+            hist.record(max(value, 0.0))
+        return hist
+
+    def summary(self, metric: str = "sojourn") -> LatencySummary:
+        if self.count == 0:
+            raise ValueError("no requests were collected")
+        if self._records is not None:
+            return LatencySummary.from_samples(self.samples(metric))
+        return LatencySummary.from_histogram(self._histograms[metric])
+
+    def timeline(
+        self, metric: str = "sojourn", n_windows: int = 10, pct: float = 95.0
+    ) -> List["TimelinePoint"]:
+        """Percentile-over-time: ``pct`` of ``metric`` per time window.
+
+        Splits the measurement interval (by request generation instant)
+        into equal windows. A flat timeline indicates steady state; a
+        trend means the warmup was too short or the system is drifting
+        (the paper's hysteresis concern, Sec. IV-C). Exact mode only.
+        """
+        if n_windows < 2:
+            raise ValueError("need at least 2 windows")
+        if not 0.0 < pct < 100.0:
+            raise ValueError("pct must be in (0, 100)")
+        records = self.records  # raises in HDR mode
+        if len(records) < n_windows:
+            raise ValueError("fewer records than windows")
+        from ..stats import percentile as _percentile
+
+        start = min(r.generated_at for r in records)
+        end = max(r.generated_at for r in records)
+        span = max(end - start, 1e-12)
+        attr = f"{metric}_time"
+        buckets: List[List[float]] = [[] for _ in range(n_windows)]
+        for record in records:
+            idx = min(
+                n_windows - 1,
+                int((record.generated_at - start) / span * n_windows),
+            )
+            buckets[idx].append(getattr(record, attr))
+        points = []
+        for i, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            mid = start + (i + 0.5) * span / n_windows
+            points.append(
+                TimelinePoint(mid, len(bucket), _percentile(bucket, pct))
+            )
+        return points
+
+    def is_steady(
+        self,
+        metric: str = "sojourn",
+        pct: float = 95.0,
+        tolerance: float = 0.5,
+    ) -> bool:
+        """Heuristic steady-state check: first vs second half percentile.
+
+        Returns False when the second half's ``pct`` differs from the
+        first half's by more than ``tolerance`` (relative) — the
+        signature of an unwarmed or drifting measurement.
+        """
+        records = self.records
+        if len(records) < 20:
+            raise ValueError("too few records for a steadiness check")
+        from ..stats import percentile as _percentile
+
+        ordered = sorted(records, key=lambda r: r.generated_at)
+        half = len(ordered) // 2
+        attr = f"{metric}_time"
+        first = _percentile([getattr(r, attr) for r in ordered[:half]], pct)
+        second = _percentile([getattr(r, attr) for r in ordered[half:]], pct)
+        if first == 0 and second == 0:
+            return True
+        base = max(first, second)
+        return abs(second - first) / base <= tolerance
+
+
+class StatsCollector:
+    """Thread-safe sink for completed request records.
+
+    Parameters
+    ----------
+    warmup_requests:
+        Number of initial completions to discard (steady-state only,
+        per the paper's warmup rule).
+    exact_limit:
+        Keep full records up to this many measured requests; past it,
+        degrade gracefully to HDR histograms.
+    """
+
+    def __init__(
+        self, warmup_requests: int = 0, exact_limit: int = 200_000
+    ) -> None:
+        if warmup_requests < 0:
+            raise ValueError("warmup_requests must be >= 0")
+        if exact_limit < 1:
+            raise ValueError("exact_limit must be >= 1")
+        self._warmup = warmup_requests
+        self._exact_limit = exact_limit
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._records: Optional[List[RequestRecord]] = []
+        self._histograms: Optional[Dict[str, HdrHistogram]] = None
+        self._dropped = 0
+
+    def add(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._seen += 1
+            if self._seen <= self._warmup:
+                self._dropped += 1
+                return
+            if self._records is not None:
+                self._records.append(record)
+                if len(self._records) > self._exact_limit:
+                    self._switch_to_histograms_locked()
+            else:
+                self._record_into_histograms_locked(record)
+
+    def _switch_to_histograms_locked(self) -> None:
+        self._histograms = {m: HdrHistogram() for m in _METRICS}
+        for rec in self._records:
+            self._record_into_histograms_locked(rec)
+        self._records = None
+
+    def _record_into_histograms_locked(self, record: RequestRecord) -> None:
+        self._histograms["sojourn"].record(max(record.sojourn_time, 0.0))
+        self._histograms["service"].record(max(record.service_time, 0.0))
+        self._histograms["queue"].record(max(record.queue_time, 0.0))
+
+    @property
+    def measured_count(self) -> int:
+        with self._lock:
+            if self._records is not None:
+                return len(self._records)
+            return self._histograms["sojourn"].total_count
+
+    def snapshot(self) -> CollectedStats:
+        """Freeze current contents into an immutable view."""
+        with self._lock:
+            if self._records is not None:
+                return CollectedStats(list(self._records), None, self._dropped)
+            return CollectedStats(
+                None,
+                {m: h.copy() for m, h in self._histograms.items()},
+                self._dropped,
+            )

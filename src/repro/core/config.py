@@ -1,0 +1,123 @@
+"""Harness and experiment configuration objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HarnessConfig", "SystemConfig", "PAPER_SYSTEM"]
+
+_CONFIG_NAMES = ("integrated", "loopback", "networked")
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """One load-testing run's parameters.
+
+    Attributes
+    ----------
+    configuration:
+        Harness configuration name: integrated / loopback / networked.
+    qps:
+        Offered load (mean arrival rate) in queries per second.
+    n_threads:
+        Application worker threads.
+    warmup_requests:
+        Leading completions discarded to reach steady state.
+    measure_requests:
+        Completions actually measured.
+    seed:
+        RNG seed for the arrival schedule and payload stream; repeated
+        runs use different seeds (hysteresis countermeasure, Sec. IV-C).
+    one_way_delay:
+        Modelled wire delay for the networked configuration.
+    deterministic_arrivals:
+        Use fixed interarrival gaps instead of exponential (testing /
+        calibration only; real measurements keep the Poisson default).
+    """
+
+    configuration: str = "integrated"
+    qps: float = 100.0
+    n_threads: int = 1
+    warmup_requests: int = 100
+    measure_requests: int = 2000
+    seed: int = 0
+    one_way_delay: float = 25e-6
+    deterministic_arrivals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.configuration not in _CONFIG_NAMES:
+            raise ValueError(
+                f"configuration must be one of {_CONFIG_NAMES}, "
+                f"got {self.configuration!r}"
+            )
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.warmup_requests < 0 or self.measure_requests < 1:
+            raise ValueError("invalid request counts")
+        if self.one_way_delay < 0:
+            raise ValueError("one_way_delay must be non-negative")
+
+    @property
+    def total_requests(self) -> int:
+        return self.warmup_requests + self.measure_requests
+
+    def with_seed(self, seed: int) -> "HarnessConfig":
+        return HarnessConfig(
+            configuration=self.configuration,
+            qps=self.qps,
+            n_threads=self.n_threads,
+            warmup_requests=self.warmup_requests,
+            measure_requests=self.measure_requests,
+            seed=seed,
+            one_way_delay=self.one_way_delay,
+            deterministic_arrivals=self.deterministic_arrivals,
+        )
+
+    def with_qps(self, qps: float) -> "HarnessConfig":
+        return HarnessConfig(
+            configuration=self.configuration,
+            qps=qps,
+            n_threads=self.n_threads,
+            warmup_requests=self.warmup_requests,
+            measure_requests=self.measure_requests,
+            seed=self.seed,
+            one_way_delay=self.one_way_delay,
+            deterministic_arrivals=self.deterministic_arrivals,
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Machine description (the paper's Table II).
+
+    Used by :mod:`repro.archsim` to size the cache hierarchy and by the
+    simulator to document what system a calibration profile models.
+    """
+
+    name: str = "Xeon E5-2670 (SandyBridge)"
+    cores: int = 8
+    frequency_ghz: float = 2.4
+    l1i_kb: int = 32
+    l1i_ways: int = 8
+    l1d_kb: int = 32
+    l1d_ways: int = 8
+    l2_kb: int = 256
+    l2_ways: int = 8
+    l3_mb: int = 20
+    l3_ways: int = 20
+    line_bytes: int = 64
+    memory_gb: int = 32
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "cores", "l1i_kb", "l1i_ways", "l1d_kb", "l1d_ways",
+            "l2_kb", "l2_ways", "l3_mb", "l3_ways", "line_bytes",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+
+#: The experimental system of Table II.
+PAPER_SYSTEM = SystemConfig()

@@ -1,0 +1,123 @@
+"""End-to-end harness orchestration for live (wall-clock) runs.
+
+``run_harness`` wires together the TailBench harness components of
+Fig. 1 — application client, traffic shaper, transport, request queue,
+worker pool, statistics collector — executes one warm measurement run,
+and returns a :class:`HarnessResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..stats import LatencySummary
+from .clock import Clock, WallClock
+from .collector import CollectedStats, StatsCollector
+from .config import HarnessConfig
+from .traffic import (
+    ArrivalSchedule,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TrafficShaper,
+)
+from .transport import make_transport
+
+__all__ = ["HarnessResult", "run_harness"]
+
+
+@dataclass(frozen=True)
+class HarnessResult:
+    """Outcome of one measurement run."""
+
+    config: HarnessConfig
+    stats: CollectedStats
+    offered_qps: float
+    achieved_qps: float
+    wall_time: float
+    server_errors: tuple
+
+    @property
+    def sojourn(self) -> LatencySummary:
+        return self.stats.summary("sojourn")
+
+    @property
+    def service(self) -> LatencySummary:
+        return self.stats.summary("service")
+
+    @property
+    def queue(self) -> LatencySummary:
+        return self.stats.summary("queue")
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: the server could not keep up.
+
+        If achieved throughput fell more than 10% below offered load,
+        the queue was growing without bound during the run.
+        """
+        return self.achieved_qps < 0.9 * self.offered_qps
+
+    def describe(self) -> str:
+        lines = [
+            f"configuration={self.config.configuration} "
+            f"qps={self.offered_qps:g} threads={self.config.n_threads}",
+            f"achieved_qps={self.achieved_qps:.1f} "
+            f"measured={self.stats.count} saturated={self.saturated}",
+            f"sojourn: {self.sojourn.describe()}",
+            f"service: {self.service.describe()}",
+            f"queue:   {self.queue.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+def run_harness(
+    app,
+    config: HarnessConfig,
+    clock: Optional[Clock] = None,
+) -> HarnessResult:
+    """Execute one live load-testing run against ``app``.
+
+    ``app`` implements the :class:`repro.apps.base.Application`
+    interface and must already be set up (indexes built, tables
+    loaded). The run generates ``config.total_requests`` requests at
+    ``config.qps`` with exponential interarrival times, discards the
+    warmup prefix, and measures the rest.
+    """
+    clock = clock or WallClock()
+    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    transport = make_transport(
+        config.configuration, clock, one_way_delay=config.one_way_delay
+    )
+
+    client = app.make_client(seed=config.seed)
+    payloads: List = [client.next_request() for _ in range(config.total_requests)]
+
+    process = (
+        DeterministicArrivals(config.qps)
+        if config.deterministic_arrivals
+        else PoissonArrivals(config.qps)
+    )
+    schedule = ArrivalSchedule.generate(
+        process, config.total_requests, seed=config.seed
+    )
+    shaper = TrafficShaper(clock, schedule)
+
+    transport.start(app, config.n_threads, collector)
+    started = clock.now()
+    try:
+        shaper.run(transport.send, payloads)
+        transport.drain()
+    finally:
+        wall_time = clock.now() - started
+        transport.stop()
+
+    achieved = config.total_requests / wall_time if wall_time > 0 else 0.0
+    return HarnessResult(
+        config=config,
+        stats=collector.snapshot(),
+        offered_qps=config.qps,
+        achieved_qps=achieved,
+        wall_time=wall_time,
+        server_errors=tuple(transport.server_errors),
+    )

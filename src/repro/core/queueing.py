@@ -1,0 +1,93 @@
+"""Instrumented, thread-safe request queue.
+
+The request queue sits between the transport and the application
+worker threads. It is the instrumentation point for the two halves of
+server-side latency: *queueing time* (enqueue -> dequeue-by-worker) and
+*service time* (worker start -> worker end), per Sec. IV of the paper.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Optional
+
+from .clock import Clock
+from .request import Request
+
+__all__ = ["RequestQueue", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised when getting from a closed, drained queue."""
+
+
+class RequestQueue:
+    """Unbounded FIFO of :class:`Request` with enqueue timestamping.
+
+    Latency-critical servers do not drop requests under study loads, so
+    the queue is unbounded; saturation shows up as unbounded queueing
+    delay, exactly as in the paper's latency-vs-load curves.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._peak_depth = 0
+        self._total_enqueued = 0
+
+    def put(self, request: Request) -> None:
+        """Enqueue, stamping ``enqueued_at``."""
+        request.enqueued_at = self._clock.now()
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._items.append(request)
+            self._total_enqueued += 1
+            if len(self._items) > self._peak_depth:
+                self._peak_depth = len(self._items)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Request:
+        """Dequeue the oldest request; blocks until one is available.
+
+        Raises :class:`QueueClosed` once the queue is closed and empty.
+        The caller (worker thread) stamps ``service_start_at`` itself,
+        immediately before invoking the application, so queue time is
+        charged all the way to the actual start of processing.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("queue is closed and drained")
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError("no request arrived in time")
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting requests; wake all blocked getters."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def peak_depth(self) -> int:
+        with self._lock:
+            return self._peak_depth
+
+    @property
+    def total_enqueued(self) -> int:
+        with self._lock:
+            return self._total_enqueued

@@ -1,0 +1,116 @@
+"""Request/response records and their timestamp chain.
+
+TailBench distinguishes *service time* (application processing only)
+from *sojourn time* (end-to-end: queueing + service + network), see
+Sec. V. Each :class:`Request` carries the full timestamp chain so all
+of these can be derived after the fact:
+
+    generated -> sent -> enqueued -> service_start -> service_end
+              -> response_received
+
+``generated`` is the ideal open-loop arrival instant produced by the
+traffic shaper; measuring latency from this instant (rather than from
+the actual send time) is what avoids the coordinated-omission pitfall
+[Tene 2013]: a late send does not hide the queueing delay the request
+actually suffered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Request", "RequestRecord"]
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One in-flight request plus its accumulating timestamps (seconds)."""
+
+    payload: Any
+    generated_at: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    sent_at: Optional[float] = None
+    enqueued_at: Optional[float] = None
+    service_start_at: Optional[float] = None
+    service_end_at: Optional[float] = None
+    response_received_at: Optional[float] = None
+    response: Any = None
+    error: Optional[str] = None
+
+    def finish(self) -> "RequestRecord":
+        """Freeze into an immutable record; validates the chain."""
+        chain = [
+            ("generated_at", self.generated_at),
+            ("sent_at", self.sent_at),
+            ("enqueued_at", self.enqueued_at),
+            ("service_start_at", self.service_start_at),
+            ("service_end_at", self.service_end_at),
+            ("response_received_at", self.response_received_at),
+        ]
+        prev_name, prev_val = chain[0]
+        for name, val in chain[1:]:
+            if val is None:
+                raise ValueError(f"request {self.request_id}: {name} not stamped")
+            if val < prev_val - 1e-9:
+                raise ValueError(
+                    f"request {self.request_id}: {name}={val} precedes "
+                    f"{prev_name}={prev_val}"
+                )
+            prev_name, prev_val = name, val
+        return RequestRecord(
+            request_id=self.request_id,
+            generated_at=self.generated_at,
+            sent_at=self.sent_at,
+            enqueued_at=self.enqueued_at,
+            service_start_at=self.service_start_at,
+            service_end_at=self.service_end_at,
+            response_received_at=self.response_received_at,
+        )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable timing record of one completed request."""
+
+    request_id: int
+    generated_at: float
+    sent_at: float
+    enqueued_at: float
+    service_start_at: float
+    service_end_at: float
+    response_received_at: float
+
+    @property
+    def service_time(self) -> float:
+        """Pure application processing time."""
+        return self.service_end_at - self.service_start_at
+
+    @property
+    def queue_time(self) -> float:
+        """Time spent waiting in the server's request queue."""
+        return self.service_start_at - self.enqueued_at
+
+    @property
+    def sojourn_time(self) -> float:
+        """End-to-end latency from ideal (open-loop) generation instant."""
+        return self.response_received_at - self.generated_at
+
+    @property
+    def send_delay(self) -> float:
+        """Client-side lag between ideal arrival instant and actual send.
+
+        Persistent growth here means the load generator itself cannot
+        keep up — a measurement-validity red flag the harness checks.
+        """
+        return self.sent_at - self.generated_at
+
+    @property
+    def network_time(self) -> float:
+        """Transport time, both directions (send->enqueue + service_end->recv)."""
+        return (self.enqueued_at - self.sent_at) + (
+            self.response_received_at - self.service_end_at
+        )

@@ -1,0 +1,95 @@
+"""Repeated-run measurement campaigns.
+
+Single runs — even long ones — can be biased by performance hysteresis
+(memory layout, JIT state, cache history). Following Sec. IV-C, the
+runner repeats runs with re-randomized request streams and interarrival
+times until the 95% confidence interval of every reported metric is
+within the precision target (default 1%), then reports the averaged
+metrics with their CIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..stats import MetricEstimate, RunController
+from .config import HarnessConfig
+from .harness import HarnessResult, run_harness
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+_DEFAULT_METRICS = ("mean", "p95", "p99")
+
+
+def _metrics_of(result: HarnessResult, names) -> Dict[str, float]:
+    summary = result.sojourn
+    values = {
+        "mean": summary.mean,
+        "p50": summary.p50,
+        "p95": summary.p95,
+        "p99": summary.p99,
+    }
+    return {name: values[name] for name in names}
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Converged estimates across repeated randomized runs."""
+
+    config: HarnessConfig
+    estimates: Dict[str, MetricEstimate]
+    runs: tuple
+    converged: bool
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    def value(self, metric: str) -> float:
+        return self.estimates[metric].mean
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}: {est.mean * 1e3:.3f} ms "
+            f"(+/- {est.relative_half_width * 100:.2f}%)"
+            for name, est in sorted(self.estimates.items())
+        ]
+        status = "converged" if self.converged else "NOT converged"
+        return f"{self.n_runs} runs, {status}; " + ", ".join(parts)
+
+
+def run_campaign(
+    app,
+    config: HarnessConfig,
+    metrics=_DEFAULT_METRICS,
+    relative_precision: float = 0.01,
+    min_runs: int = 3,
+    max_runs: int = 20,
+    run_fn: Optional[Callable[[object, HarnessConfig], HarnessResult]] = None,
+) -> CampaignResult:
+    """Repeat measurement runs until every metric's CI converges.
+
+    ``run_fn`` defaults to the live harness (:func:`run_harness`); the
+    simulator passes its own virtual-time runner, so the same campaign
+    logic governs both modes.
+    """
+    controller = RunController(
+        relative_precision=relative_precision,
+        min_runs=min_runs,
+        max_runs=max_runs,
+    )
+    run_fn = run_fn or run_harness
+    results: List[HarnessResult] = []
+    seed = config.seed
+    while controller.should_continue():
+        result = run_fn(app, config.with_seed(seed))
+        results.append(result)
+        controller.add_run(_metrics_of(result, metrics))
+        seed += 1
+    return CampaignResult(
+        config=config,
+        estimates=controller.estimates(),
+        runs=tuple(results),
+        converged=controller.converged(),
+    )

@@ -1,0 +1,104 @@
+"""Application server: a worker-thread pool over the request queue.
+
+Each worker pulls requests from the shared :class:`RequestQueue`,
+stamps service start/end around the application's ``process`` call,
+and hands the completed request to a response callback (the transport's
+reply path). This mirrors the paper's harness structure (Fig. 1): the
+request queue is shared among application threads, and the number of
+workers is the "threads" axis of Figs. 4 and 7.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable, List
+
+from .clock import Clock
+from .queueing import QueueClosed, RequestQueue
+from .request import Request
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Worker pool that services requests from a queue.
+
+    Parameters
+    ----------
+    app:
+        Object with a ``process(payload) -> response`` method (the
+        :class:`repro.apps.base.Application` interface).
+    queue:
+        Shared request queue (already instrumented).
+    clock:
+        Time source for service start/end stamps.
+    n_threads:
+        Number of worker threads.
+    respond:
+        Callback invoked with each completed :class:`Request`.
+    """
+
+    def __init__(
+        self,
+        app,
+        queue: RequestQueue,
+        clock: Clock,
+        n_threads: int = 1,
+        respond: Callable[[Request], None] = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one worker thread")
+        self._app = app
+        self._queue = queue
+        self._clock = clock
+        self._respond = respond or (lambda req: None)
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker_loop, name=f"tb-worker-{i}", daemon=True
+            )
+            for i in range(n_threads)
+        ]
+        self._started = False
+        self._errors: List[str] = []
+        self._errors_lock = threading.Lock()
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for t in self._threads:
+            t.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                request = self._queue.get()
+            except QueueClosed:
+                return
+            request.service_start_at = self._clock.now()
+            try:
+                request.response = self._app.process(request.payload)
+            except Exception:  # noqa: BLE001 - report, don't kill the worker
+                request.error = traceback.format_exc()
+                with self._errors_lock:
+                    self._errors.append(request.error)
+            request.service_end_at = self._clock.now()
+            self._respond(request)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Close the queue and join all workers."""
+        self._queue.close()
+        for t in self._threads:
+            t.join(timeout)
+            if t.is_alive():
+                raise RuntimeError(f"worker {t.name} failed to stop")
+
+    @property
+    def errors(self) -> List[str]:
+        with self._errors_lock:
+            return list(self._errors)

@@ -1,0 +1,36 @@
+"""The three harness configurations of Fig. 1 as pluggable transports."""
+
+from .base import Transport, TransportStats
+from .integrated import IntegratedTransport
+from .loopback import LoopbackTransport
+from .networked import DelayLine, NetworkedTransport
+from .remote import AppServerProcess, run_harness_multiprocess
+
+__all__ = [
+    "Transport",
+    "TransportStats",
+    "IntegratedTransport",
+    "LoopbackTransport",
+    "NetworkedTransport",
+    "DelayLine",
+    "AppServerProcess",
+    "run_harness_multiprocess",
+]
+
+
+def make_transport(config: str, clock, one_way_delay: float = 25e-6) -> Transport:
+    """Build a transport by configuration name.
+
+    ``config`` is one of ``"integrated"``, ``"loopback"``,
+    ``"networked"`` — the three setups of Fig. 1.
+    """
+    if config == "integrated":
+        return IntegratedTransport(clock)
+    if config == "loopback":
+        return LoopbackTransport(clock)
+    if config == "networked":
+        return NetworkedTransport(clock, one_way_delay=one_way_delay)
+    raise ValueError(
+        f"unknown harness configuration {config!r}; expected "
+        "'integrated', 'loopback', or 'networked'"
+    )

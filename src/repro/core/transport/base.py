@@ -1,0 +1,140 @@
+"""Transport interface shared by the three harness configurations.
+
+A transport owns the path between the client (traffic shaper) and the
+application's request queue, and the return path for responses. The
+three configurations of Fig. 1 are three transports:
+
+- :class:`repro.core.transport.integrated.IntegratedTransport` — client
+  and application in one process, direct hand-off (shared memory).
+- :class:`repro.core.transport.loopback.LoopbackTransport` — real TCP
+  over 127.0.0.1, capturing genuine kernel network-stack overheads.
+- :class:`repro.core.transport.networked.NetworkedTransport` — TCP plus
+  a modelled NIC/switch delay line, standing in for the multi-machine
+  setup (we have one machine; the paper shows the network contributes
+  an additive per-end overhead, which is what the delay line injects).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from ..clock import Clock
+from ..collector import StatsCollector
+from ..queueing import RequestQueue
+from ..request import Request
+from ..server import Server
+
+__all__ = ["Transport", "TransportStats"]
+
+
+class TransportStats:
+    """Counters a transport maintains for sanity checks."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.completed = 0
+        self.errored = 0
+
+
+class Transport:
+    """Abstract base: lifecycle + completion accounting.
+
+    Subclasses implement :meth:`_submit` (client -> server path) and
+    may override :meth:`_start_impl`/:meth:`_stop_impl` for their I/O
+    machinery. The base class tracks outstanding requests so
+    :meth:`drain` can wait for the last response of an open-loop run.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._collector: Optional[StatsCollector] = None
+        self._queue: Optional[RequestQueue] = None
+        self._server: Optional[Server] = None
+        self._outstanding = 0
+        self._lock = threading.Lock()
+        self._all_done = threading.Condition(self._lock)
+        self._running = False
+        self.stats = TransportStats()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, app, n_threads: int, collector: StatsCollector) -> None:
+        if self._running:
+            raise RuntimeError("transport already started")
+        self._collector = collector
+        self._queue = RequestQueue(self._clock)
+        self._server = Server(
+            app,
+            self._queue,
+            self._clock,
+            n_threads=n_threads,
+            respond=self._on_response,
+        )
+        self._start_impl()
+        self._server.start()
+        self._running = True
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._server.shutdown()
+        self._stop_impl()
+        self._running = False
+
+    def _start_impl(self) -> None:
+        """Hook for I/O machinery startup (sockets, threads)."""
+
+    def _stop_impl(self) -> None:
+        """Hook for I/O machinery teardown."""
+
+    # -- client side ---------------------------------------------------
+    def send(self, generated_at: float, payload: Any) -> None:
+        """Submit one request; ``generated_at`` is the ideal instant."""
+        if not self._running:
+            raise RuntimeError("transport not started")
+        request = Request(payload=payload, generated_at=generated_at)
+        request.sent_at = self._clock.now()
+        with self._lock:
+            self._outstanding += 1
+            self.stats.sent += 1
+        self._submit(request)
+
+    def _submit(self, request: Request) -> None:
+        raise NotImplementedError
+
+    def drain(self, timeout: float = 300.0) -> None:
+        """Block until every sent request has completed."""
+        with self._all_done:
+            if not self._all_done.wait_for(
+                lambda: self._outstanding == 0, timeout
+            ):
+                raise TimeoutError(
+                    f"{self._outstanding} requests still outstanding"
+                )
+
+    # -- server -> client return path ----------------------------------
+    def _on_response(self, request: Request) -> None:
+        """Called by the server when processing finishes.
+
+        Default implementation completes in-process (used by the
+        integrated transport); socket transports override this to ship
+        the response back through their reply path instead.
+        """
+        self._complete(request)
+
+    def _complete(self, request: Request) -> None:
+        """Stamp receipt, record, and account the completion."""
+        request.response_received_at = self._clock.now()
+        if request.error is None:
+            self._collector.add(request.finish())
+        with self._all_done:
+            self._outstanding -= 1
+            self.stats.completed += 1
+            if request.error is not None:
+                self.stats.errored += 1
+            if self._outstanding == 0:
+                self._all_done.notify_all()
+
+    @property
+    def server_errors(self):
+        return self._server.errors if self._server else []

@@ -1,0 +1,22 @@
+"""Integrated configuration: client + harness + application, one process.
+
+Requests pass from the traffic shaper straight into the request queue
+(a shared-memory hand-off), so no network-stack overhead is incurred.
+This is the configuration the paper recommends for simulation
+(Sec. IV-B): userspace-only communication that a user-level simulator
+can execute.
+"""
+
+from __future__ import annotations
+
+from ..request import Request
+from .base import Transport
+
+__all__ = ["IntegratedTransport"]
+
+
+class IntegratedTransport(Transport):
+    """Direct in-process hand-off between client and server."""
+
+    def _submit(self, request: Request) -> None:
+        self._queue.put(request)

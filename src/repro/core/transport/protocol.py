@@ -1,0 +1,51 @@
+"""Length-prefixed wire protocol for the socket transports.
+
+Frames are ``uint32 big-endian length`` followed by a pickled message
+body. Pickle is appropriate here because both endpoints are parts of
+this harness (never untrusted peers) and application payloads are
+arbitrary Python objects (TPC-C transaction descriptors, query strings,
+numpy arrays).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = ["send_message", "recv_message", "ConnectionClosed"]
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames: corruption guard
+
+
+class ConnectionClosed(Exception):
+    """Peer closed the connection cleanly."""
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame too large: {len(body)} bytes")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed("peer closed connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame too large: {length} bytes")
+    return pickle.loads(_recv_exact(sock, length))

@@ -1,0 +1,284 @@
+"""Multi-process networked harness: the app server in its own process.
+
+The paper's networked configuration runs clients on machines separate
+from the application. This module reproduces that process boundary on
+one host: the application lives in a child OS process (its own GIL,
+allocator, and scheduler context), serving framed TCP requests;
+clients (the traffic shaper) run in the parent.
+
+Timestamping across processes follows the multi-machine discipline:
+no cross-process clock comparisons. The parent measures sojourn time
+from its own clock; the server reports *durations* (queue time,
+service time) measured on its clock; the parent reconstructs a
+consistent timestamp chain by anchoring those durations to the
+response arrival instant — exactly what a cross-machine TailBench
+deployment must do, since clocks are not synchronized.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+from ..clock import WallClock
+from ..collector import StatsCollector
+from ..config import HarnessConfig
+from ..queueing import RequestQueue
+from ..request import Request
+from ..server import Server
+from ..traffic import (
+    ArrivalSchedule,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TrafficShaper,
+)
+from .protocol import ConnectionClosed, recv_message, send_message
+
+__all__ = ["AppServerProcess", "run_harness_multiprocess"]
+
+
+def _server_main(app_name: str, app_kwargs: Dict, n_threads: int,
+                 port_pipe) -> None:
+    """Child-process entry point: build the app and serve TCP requests."""
+    from ...apps import create_app  # import inside the child
+
+    app = create_app(app_name, **app_kwargs)
+    app.setup()
+    clock = WallClock()
+    queue = RequestQueue(clock)
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port_pipe.send(listener.getsockname()[1])
+    port_pipe.close()
+
+    reply_locks: Dict[int, threading.Lock] = {}
+    connections: Dict[int, socket.socket] = {}
+
+    def respond(request: Request) -> None:
+        conn_id, request_id = request.payload[0], request.payload[1]
+        message = {
+            "id": request_id,
+            "queue_time": request.service_start_at - request.enqueued_at,
+            "service_time": request.service_end_at - request.service_start_at,
+            "response": request.response,
+            "error": request.error,
+        }
+        conn = connections.get(conn_id)
+        if conn is None:
+            return
+        with reply_locks[conn_id]:
+            try:
+                send_message(conn, message)
+            except OSError:
+                pass
+
+    class _Shim:
+        """Unwraps the (conn_id, request_id, payload) envelope."""
+
+        @staticmethod
+        def process(payload):
+            return app.process(payload[2])
+
+    server = Server(_Shim(), queue, clock, n_threads=n_threads, respond=respond)
+    server.start()
+
+    def reader(conn_id: int, conn: socket.socket) -> None:
+        while True:
+            try:
+                message = recv_message(conn)
+            except (ConnectionClosed, OSError):
+                return
+            if message.get("op") == "shutdown":
+                queue.close()
+                return
+            request = Request(
+                payload=(conn_id, message["id"], message["payload"]),
+                generated_at=0.0,
+            )
+            request.sent_at = clock.now()
+            queue.put(request)
+
+    next_conn = 0
+    try:
+        while True:
+            conn, _ = listener.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connections[next_conn] = conn
+            reply_locks[next_conn] = threading.Lock()
+            threading.Thread(
+                target=reader, args=(next_conn, conn), daemon=True
+            ).start()
+            next_conn += 1
+    except OSError:
+        pass  # listener closed during shutdown
+
+
+class AppServerProcess:
+    """Lifecycle wrapper around the child application-server process."""
+
+    def __init__(self, app_name: str, app_kwargs: Dict = None,
+                 n_threads: int = 1) -> None:
+        self.app_name = app_name
+        self.app_kwargs = dict(app_kwargs or {})
+        self.n_threads = n_threads
+        self._process: Optional[multiprocessing.Process] = None
+        self.port: Optional[int] = None
+
+    def start(self, timeout: float = 120.0) -> int:
+        if self._process is not None:
+            raise RuntimeError("server process already started")
+        parent_pipe, child_pipe = multiprocessing.Pipe(duplex=False)
+        self._process = multiprocessing.get_context("fork").Process(
+            target=_server_main,
+            args=(self.app_name, self.app_kwargs, self.n_threads, child_pipe),
+            daemon=True,
+        )
+        self._process.start()
+        child_pipe.close()
+        if not parent_pipe.poll(timeout):
+            self.stop()
+            raise TimeoutError("app server did not report its port in time")
+        self.port = parent_pipe.recv()
+        return self.port
+
+    def connect(self) -> socket.socket:
+        if self.port is None:
+            raise RuntimeError("server not started")
+        conn = socket.create_connection(("127.0.0.1", self.port))
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.terminate()
+            self._process.join(10.0)
+            self._process = None
+
+
+
+def run_harness_multiprocess(
+    app_name: str,
+    config: HarnessConfig,
+    app_kwargs: Dict = None,
+    n_client_connections: int = 2,
+):
+    """One measurement run against an app in a separate process.
+
+    Multiple client connections avoid client-side queuing (Sec. IV-C);
+    requests round-robin across them. Returns a
+    :class:`repro.core.harness.HarnessResult`.
+    """
+    from ..harness import HarnessResult  # deferred: avoids import cycle
+
+    if n_client_connections < 1:
+        raise ValueError("need at least one client connection")
+    clock = WallClock()
+    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    server = AppServerProcess(
+        app_name, app_kwargs, n_threads=config.n_threads
+    )
+    server.start()
+
+    pending: Dict[int, Request] = {}
+    pending_lock = threading.Lock()
+    outstanding = threading.Semaphore(0)
+    completed = {"count": 0, "errors": 0}
+
+    def client_reader(conn: socket.socket) -> None:
+        while True:
+            try:
+                message = recv_message(conn)
+            except (ConnectionClosed, OSError):
+                return
+            now = clock.now()
+            with pending_lock:
+                request = pending.pop(message["id"], None)
+            if request is None:
+                continue
+            # Anchor server-side durations to the response instant
+            # (cross-process clocks are not comparable; durations are).
+            request.response_received_at = now
+            service_end = now
+            service_start = service_end - max(message["service_time"], 0.0)
+            enqueued = service_start - max(message["queue_time"], 0.0)
+            request.enqueued_at = max(enqueued, request.sent_at)
+            request.service_start_at = max(service_start, request.enqueued_at)
+            request.service_end_at = max(service_end, request.service_start_at)
+            request.error = message["error"]
+            if request.error is None:
+                collector.add(request.finish())
+            else:
+                completed["errors"] += 1
+            completed["count"] += 1
+            outstanding.release()
+
+    connections = [server.connect() for _ in range(n_client_connections)]
+    readers = [
+        threading.Thread(target=client_reader, args=(conn,), daemon=True)
+        for conn in connections
+    ]
+    for thread in readers:
+        thread.start()
+
+    # Build payloads in the parent with the app's client generator.
+    from ...apps import create_app
+
+    template = create_app(app_name, **(app_kwargs or {}))
+    client = template.make_client(seed=config.seed)
+    payloads = [client.next_request() for _ in range(config.total_requests)]
+
+    send_locks = [threading.Lock() for _ in connections]
+    counter = {"i": 0}
+
+    def send(generated_at: float, payload: Any) -> None:
+        request = Request(payload=None, generated_at=generated_at)
+        request.sent_at = clock.now()
+        with pending_lock:
+            pending[request.request_id] = request
+        idx = counter["i"] % len(connections)
+        counter["i"] += 1
+        with send_locks[idx]:
+            send_message(
+                connections[idx], {"id": request.request_id, "payload": payload}
+            )
+
+    process = (
+        DeterministicArrivals(config.qps)
+        if config.deterministic_arrivals
+        else PoissonArrivals(config.qps)
+    )
+    schedule = ArrivalSchedule.generate(
+        process, config.total_requests, seed=config.seed
+    )
+    shaper = TrafficShaper(clock, schedule)
+
+    started = clock.now()
+    try:
+        shaper.run(send, payloads)
+        for _ in range(config.total_requests):
+            if not outstanding.acquire(timeout=120.0):
+                raise TimeoutError("responses stopped arriving")
+        wall_time = clock.now() - started
+    finally:
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        server.stop()
+
+    return HarnessResult(
+        config=config,
+        stats=collector.snapshot(),
+        offered_qps=config.qps,
+        achieved_qps=config.total_requests / wall_time if wall_time else 0.0,
+        wall_time=wall_time,
+        server_errors=tuple(
+            ["(remote process)"] * completed["errors"]
+        ),
+    )

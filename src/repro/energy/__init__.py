@@ -1,0 +1,32 @@
+"""Energy modelling: DVFS policies, sleep states, power accounting.
+
+The extension layer the paper motivates: TailBench exists so that
+techniques like fast DVFS [Rubik, Adrenaline] and deep idle states
+[PowerNap] can be evaluated against tail latency. This package
+provides those mechanisms in the virtual-time simulator, with a
+relative power model, so energy-vs-tail trade-offs are measurable.
+"""
+
+from .policies import (
+    DeepSleep,
+    FrequencyPolicy,
+    NoSleep,
+    QueueBoost,
+    SleepPolicy,
+    StaticFrequency,
+)
+from .power import EnergyAccount, PowerModel
+from .server import EnergyResult, simulate_energy
+
+__all__ = [
+    "DeepSleep",
+    "FrequencyPolicy",
+    "NoSleep",
+    "QueueBoost",
+    "SleepPolicy",
+    "StaticFrequency",
+    "EnergyAccount",
+    "PowerModel",
+    "EnergyResult",
+    "simulate_energy",
+]

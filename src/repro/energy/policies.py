@@ -1,0 +1,104 @@
+"""Frequency (DVFS) and sleep-state policies.
+
+The knobs the paper's related work turns: per-request DVFS decisions
+[Rubik, Adrenaline, TimeTrader] and idle sleep states [PowerNap,
+DreamWeaver]. A :class:`FrequencyPolicy` picks the clock for each
+request at dispatch; a :class:`SleepPolicy` decides when an idle
+worker enters a deep state and what waking costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FrequencyPolicy",
+    "StaticFrequency",
+    "QueueBoost",
+    "SleepPolicy",
+    "NoSleep",
+    "DeepSleep",
+]
+
+
+class FrequencyPolicy:
+    """Chooses the relative frequency for the next request."""
+
+    def frequency(self, queue_depth: int, waited: float) -> float:
+        """Frequency for a request that waited ``waited`` seconds with
+        ``queue_depth`` requests behind it."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StaticFrequency(FrequencyPolicy):
+    """Fixed clock — the baseline at 1.0, or a lower static setting."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.value <= 1.5:
+            raise ValueError("frequency must be within [0.1, 1.5] of nominal")
+
+    def frequency(self, queue_depth: int, waited: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class QueueBoost(FrequencyPolicy):
+    """Rubik-style reactive DVFS: slow when alone, boost under pressure.
+
+    Runs at ``low`` when the request found an empty queue and did not
+    wait; switches to ``high`` when queueing indicates the tail is at
+    risk. Reacting per-request is what makes DVFS usable at
+    microsecond timescales (the paper's timescale argument).
+    """
+
+    low: float = 0.6
+    high: float = 1.0
+    depth_threshold: int = 1
+    wait_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.low <= self.high <= 1.5:
+            raise ValueError("need 0.1 <= low <= high <= 1.5")
+        if self.depth_threshold < 0 or self.wait_threshold < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    def frequency(self, queue_depth: int, waited: float) -> float:
+        if queue_depth >= self.depth_threshold or waited > self.wait_threshold:
+            return self.high
+        return self.low
+
+
+class SleepPolicy:
+    """Decides entry into (and the cost of leaving) a deep idle state."""
+
+    #: Idle time before the worker drops into the deep state.
+    entry_threshold: float = float("inf")
+    #: Latency paid by the request that wakes a sleeping worker.
+    wakeup_latency: float = 0.0
+
+
+@dataclass(frozen=True)
+class NoSleep(SleepPolicy):
+    """Workers stay in active-idle; no wakeup cost, higher idle power."""
+
+    entry_threshold: float = float("inf")
+    wakeup_latency: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeepSleep(SleepPolicy):
+    """PowerNap-style deep state.
+
+    Defaults model the paper's magnitudes: entry after 100 us of
+    idleness, several hundred microseconds to wake.
+    """
+
+    entry_threshold: float = 100e-6
+    wakeup_latency: float = 300e-6
+
+    def __post_init__(self) -> None:
+        if self.entry_threshold < 0 or self.wakeup_latency < 0:
+            raise ValueError("sleep parameters must be non-negative")

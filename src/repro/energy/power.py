@@ -1,0 +1,99 @@
+"""Power and energy accounting.
+
+A standard CMOS power model: dynamic power scales cubically with
+frequency (voltage tracks frequency), plus static leakage. Frequencies
+are expressed relative to nominal (1.0 = Table II's 2.4 GHz), power in
+relative units (1.0 = nominal active power), so results read as
+fractions of the baseline — absolute watts would imply a calibration
+the paper does not provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel", "EnergyAccount"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Relative power as a function of state and frequency.
+
+    static_fraction:
+        Share of nominal active power that is leakage/uncore (does not
+        scale with frequency). ~0.3 for server-class parts.
+    idle_fraction:
+        Active-idle (C0/C1) power as a fraction of nominal.
+    sleep_fraction:
+        Deep-sleep power as a fraction of nominal.
+    """
+
+    static_fraction: float = 0.30
+    idle_fraction: float = 0.45
+    sleep_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("static_fraction", "idle_fraction", "sleep_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    def active_power(self, frequency: float) -> float:
+        """Relative power while executing at ``frequency`` (of nominal)."""
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        dynamic = (1.0 - self.static_fraction) * frequency ** 3
+        return self.static_fraction + dynamic
+
+    @property
+    def idle_power(self) -> float:
+        return self.idle_fraction
+
+    @property
+    def sleep_power(self) -> float:
+        return self.sleep_fraction
+
+
+class EnergyAccount:
+    """Accumulates energy over (state, duration) intervals."""
+
+    def __init__(self, model: PowerModel) -> None:
+        self.model = model
+        self.active_energy = 0.0
+        self.idle_energy = 0.0
+        self.sleep_energy = 0.0
+        self.busy_time = 0.0
+        self.idle_time = 0.0
+        self.sleep_time = 0.0
+
+    def add_active(self, duration: float, frequency: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.active_energy += self.model.active_power(frequency) * duration
+        self.busy_time += duration
+
+    def add_idle(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.idle_energy += self.model.idle_power * duration
+        self.idle_time += duration
+
+    def add_sleep(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.sleep_energy += self.model.sleep_power * duration
+        self.sleep_time += duration
+
+    @property
+    def total_energy(self) -> float:
+        return self.active_energy + self.idle_energy + self.sleep_energy
+
+    @property
+    def total_time(self) -> float:
+        return self.busy_time + self.idle_time + self.sleep_time
+
+    @property
+    def average_power(self) -> float:
+        if self.total_time == 0:
+            raise ValueError("no time accounted yet")
+        return self.total_energy / self.total_time

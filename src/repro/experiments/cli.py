@@ -1,0 +1,116 @@
+"""Command-line entry point: ``tailbench <experiment>``.
+
+Regenerates any of the paper's tables/figures from the terminal::
+
+    tailbench table1
+    tailbench fig5 --fast
+    tailbench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from .fig2 import render_fig2, run_fig2
+from .fig3 import render_fig3, run_fig3
+from .fig4 import render_fig4, run_fig4
+from .fig5 import render_fig5, run_fig5
+from .fig6 import render_fig6, run_fig6
+from .fig7 import render_fig7, run_fig7
+from .extensions import (
+    render_ext_colocation,
+    render_ext_energy,
+    run_ext_colocation,
+    run_ext_energy,
+)
+from .fig8 import render_fig8, run_fig8
+from .table1 import render_table1, run_table1
+
+__all__ = ["main", "EXPERIMENTS", "EXTENSIONS"]
+
+#: name -> (runner(measure_kwargs) -> data, renderer(data) -> str)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1": (run_table1, render_table1),
+    "fig2": (run_fig2, render_fig2),
+    "fig3": (run_fig3, render_fig3),
+    "fig4": (run_fig4, render_fig4),
+    "fig5": (run_fig5, render_fig5),
+    "fig6": (run_fig6, render_fig6),
+    "fig7": (run_fig7, render_fig7),
+    "fig8": (run_fig8, render_fig8),
+}
+
+#: Extension studies (not paper artifacts; excluded from "all").
+EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
+    "ext-colocation": (run_ext_colocation, render_ext_colocation),
+    "ext-energy": (run_ext_energy, render_ext_energy),
+}
+
+_FAST_KWARGS = {
+    "table1": {"measure_requests": 4000, "n_instructions": 100_000},
+    "fig2": {"n_samples": 4000},
+    "fig3": {"measure_requests": 3000},
+    "fig4": {"measure_requests": 3000},
+    "fig5": {"measure_requests": 3000},
+    "fig6": {"measure_requests": 3000},
+    "fig7": {"measure_requests": 3000},
+    "fig8": {"measure_requests": 5000},
+    "ext-colocation": {"measure_requests": 2500},
+    "ext-energy": {"measure_requests": 3000},
+}
+
+
+def run_experiment(name: str, fast: bool = False, seed: int = 0) -> str:
+    """Run one experiment and return its rendered output."""
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    try:
+        runner, renderer = registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(registry)}"
+        ) from None
+    kwargs = dict(_FAST_KWARGS[name]) if fast else {}
+    kwargs["seed"] = seed
+    return renderer(runner(**kwargs))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tailbench",
+        description="Regenerate TailBench (IISWC 2016) tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + sorted(EXTENSIONS) + ["all"],
+        help="which table/figure to regenerate ('all' covers the "
+        "paper artifacts; ext-* studies run individually)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller sample sizes (quick look, noisier tails)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each experiment's output to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        output = run_experiment(name, fast=args.fast, seed=args.seed)
+        print(output)
+        print()
+        if args.save:
+            import pathlib
+
+            directory = pathlib.Path(args.save)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.txt").write_text(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

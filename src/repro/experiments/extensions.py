@@ -1,0 +1,132 @@
+"""Extension experiments (beyond the paper's tables/figures).
+
+Registered on the CLI as ``ext-colocation`` and ``ext-energy``; not
+part of ``tailbench all`` (which regenerates only the paper's
+artifacts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..energy import DeepSleep, NoSleep, QueueBoost, StaticFrequency, simulate_energy
+from ..sim import (
+    BatchColocation,
+    SimConfig,
+    max_safe_batch_share,
+    paper_profile,
+    simulate_colocated,
+)
+from .reporting import ascii_table, format_latency
+
+__all__ = [
+    "run_ext_colocation",
+    "render_ext_colocation",
+    "run_ext_energy",
+    "render_ext_energy",
+]
+
+
+def run_ext_colocation(
+    app: str = "xapian",
+    loads: Tuple[float, ...] = (0.2, 0.4, 0.6),
+    shares: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
+    slo_seconds: float = 8e-3,
+    measure_requests: int = 5000,
+    seed: int = 0,
+) -> Dict:
+    """Tail latency vs batch share, plus the max safe share per load."""
+    profile = paper_profile(app)
+    saturation = 1.0 / profile.service.mean
+    qps = 0.3 * saturation
+    sweep = []
+    for share in shares:
+        result = simulate_colocated(
+            profile,
+            SimConfig(qps=qps, measure_requests=measure_requests, seed=seed),
+            BatchColocation(cpu_share=share, mem_pressure=share * 0.3),
+        )
+        sweep.append((share, result.sojourn.p95, result.sojourn.p99))
+    safe = [
+        (
+            load,
+            max_safe_batch_share(
+                profile,
+                load * saturation,
+                slo_seconds=slo_seconds,
+                measure_requests=measure_requests,
+            ),
+        )
+        for load in loads
+    ]
+    return {"app": app, "qps": qps, "sweep": sweep, "safe": safe,
+            "slo": slo_seconds}
+
+
+def render_ext_colocation(data: Dict) -> str:
+    sweep_rows = [
+        [f"{share:.0%}", format_latency(p95), format_latency(p99)]
+        for share, p95, p99 in data["sweep"]
+    ]
+    safe_rows = [
+        [f"{load:.0%}", f"{share:.0%}"] for load, share in data["safe"]
+    ]
+    return "\n\n".join(
+        [
+            ascii_table(
+                ["batch share", "p95", "p99"],
+                sweep_rows,
+                title=f"Colocation: {data['app']} @ {data['qps']:.0f} qps",
+            ),
+            ascii_table(
+                ["LC load", "max safe batch share"],
+                safe_rows,
+                title=f"Batch share keeping p95 under "
+                f"{format_latency(data['slo'])}",
+            ),
+        ]
+    )
+
+
+def run_ext_energy(
+    app: str = "masstree",
+    loads: Tuple[float, ...] = (0.15, 0.3, 0.6),
+    measure_requests: int = 8000,
+    seed: int = 0,
+) -> Dict:
+    """p95 and average power for four power-management policies."""
+    profile = paper_profile(app)
+    saturation = 1.0 / profile.service.mean
+    policies = (
+        ("static-max", StaticFrequency(1.0), NoSleep()),
+        ("static-0.6x", StaticFrequency(0.6), NoSleep()),
+        ("queue-boost", QueueBoost(low=0.6, high=1.0), NoSleep()),
+        ("deep-sleep", StaticFrequency(1.0), DeepSleep()),
+    )
+    rows = []
+    for load in loads:
+        for label, freq, sleep in policies:
+            result = simulate_energy(
+                profile.service,
+                load * saturation,
+                frequency_policy=freq,
+                sleep_policy=sleep,
+                measure_requests=measure_requests,
+                seed=seed,
+            )
+            rows.append(
+                (load, label, result.sojourn.p95, result.average_power)
+            )
+    return {"app": app, "rows": rows}
+
+
+def render_ext_energy(data: Dict) -> str:
+    rows = [
+        [f"{load:.0%}", label, format_latency(p95), f"{power:.2f}x"]
+        for load, label, p95, power in data["rows"]
+    ]
+    return ascii_table(
+        ["load", "policy", "p95", "avg power"],
+        rows,
+        title=f"Energy policies: {data['app']}",
+    )

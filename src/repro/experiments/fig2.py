@@ -1,0 +1,85 @@
+"""Fig. 2: cumulative distribution functions of request service times.
+
+Two sources are supported: the calibrated per-app service models
+(fast, deterministic — the benchmark default) or live measurement of
+the Python mini-apps via
+:func:`repro.sim.service_models.profile_application`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps import create_app
+from ..sim import paper_profile, profile_application
+from ..stats import quantile
+from .reporting import ascii_table, format_latency
+from .table1 import APP_ORDER
+
+__all__ = ["ServiceCdf", "run_fig2", "run_fig2_live", "render_fig2"]
+
+_CDF_QUANTILES = (0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class ServiceCdf:
+    """One application's empirical service-time CDF."""
+
+    name: str
+    samples: Tuple[float, ...]
+
+    def cdf_points(self, n_points: int = 100) -> List[Tuple[float, float]]:
+        """Evenly spaced (value, cumulative probability) points."""
+        if n_points < 2:
+            raise ValueError("need at least 2 points")
+        data = sorted(self.samples)
+        return [
+            (data[min(len(data) - 1, int(i / (n_points - 1) * (len(data) - 1)))],
+             i / (n_points - 1))
+            for i in range(n_points)
+        ]
+
+    def quantiles(self) -> Dict[float, float]:
+        return {q: quantile(self.samples, q) for q in _CDF_QUANTILES}
+
+
+def run_fig2(n_samples: int = 20_000, seed: int = 0) -> Dict[str, ServiceCdf]:
+    """Sample each calibrated service-time model (simulation source)."""
+    out = {}
+    for name in APP_ORDER:
+        profile = paper_profile(name)
+        rng = random.Random(seed + hash(name) % 1000)
+        samples = tuple(profile.service.sample(rng) for _ in range(n_samples))
+        out[name] = ServiceCdf(name, samples)
+    return out
+
+
+def run_fig2_live(
+    n_samples: int = 200, seed: int = 0, apps: Tuple[str, ...] = APP_ORDER,
+    app_kwargs: Dict[str, dict] = None,
+) -> Dict[str, ServiceCdf]:
+    """Measure the live Python mini-apps back-to-back (no queueing)."""
+    app_kwargs = app_kwargs or {}
+    out = {}
+    for name in apps:
+        app = create_app(name, **app_kwargs.get(name, {}))
+        app.setup()
+        empirical = profile_application(app, n_requests=n_samples, seed=seed)
+        out[name] = ServiceCdf(name, tuple(empirical.values))
+    return out
+
+
+def render_fig2(cdfs: Dict[str, ServiceCdf]) -> str:
+    """Render the CDFs as a quantile table (one row per app)."""
+    headers = ["app"] + [f"p{int(q * 100)}" for q in _CDF_QUANTILES]
+    rows = []
+    for name, cdf in cdfs.items():
+        quantiles = cdf.quantiles()
+        rows.append(
+            [name] + [format_latency(quantiles[q]) for q in _CDF_QUANTILES]
+        )
+    return ascii_table(
+        headers, rows, title="Fig. 2: service-time distribution quantiles"
+    )

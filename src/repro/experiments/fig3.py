@@ -1,0 +1,145 @@
+"""Fig. 3: mean, 95th, and 99th percentile latency vs. request rate.
+
+Single worker thread, sweeping offered load up to saturation. The
+headline behaviours: tails grow far faster than means as load rises,
+and the gap is larger for applications with more variable service
+times — which is why tail latency must be measured directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim import SimConfig, network_model_for, paper_profile, simulate_app
+from .reporting import ascii_table, format_latency
+from .table1 import APP_ORDER
+
+__all__ = ["LatencyCurve", "sweep_app", "run_fig3", "render_fig3",
+           "DEFAULT_LOAD_POINTS"]
+
+DEFAULT_LOAD_POINTS: Tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+)
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """One latency-vs-QPS series."""
+
+    name: str
+    qps: Tuple[float, ...]
+    mean: Tuple[float, ...]
+    p95: Tuple[float, ...]
+    p99: Tuple[float, ...]
+    #: Measured server utilization per point (empty when not recorded).
+    utilization: Tuple[float, ...] = ()
+
+    def measured_capacity(self, index: int = None) -> float:
+        """Service capacity inferred from measured utilization.
+
+        ``capacity = qps / utilization`` at a mid-sweep point — the
+        vertical asymptote every latency curve runs into, independent
+        of queueing (pooling) effects.
+        """
+        if not self.utilization:
+            raise ValueError("utilization was not recorded for this curve")
+        if index is None:
+            index = len(self.qps) // 2
+        if self.utilization[index] <= 0:
+            raise ValueError("utilization is zero at the probe point")
+        return self.qps[index] / self.utilization[index]
+
+    def saturation_onset(self, threshold_ratio: float = 5.0) -> float:
+        """QPS where p95 first exceeds ``threshold_ratio`` x low-load p95.
+
+        A robust "knee" locator used by tests to confirm that tails
+        blow up close to the analytic saturation rate.
+        """
+        if not self.qps:
+            raise ValueError("empty curve")
+        base = self.p95[0]
+        for q, p in zip(self.qps, self.p95):
+            if p > threshold_ratio * base:
+                return q
+        return self.qps[-1]
+
+
+def sweep_app(
+    name: str,
+    configuration: str = "networked",
+    n_threads: int = 1,
+    load_points: Tuple[float, ...] = DEFAULT_LOAD_POINTS,
+    measure_requests: int = 10_000,
+    seed: int = 0,
+    simulated_system: bool = False,
+    ideal_memory: bool = False,
+    absolute_qps_points: Tuple[float, ...] = None,
+) -> LatencyCurve:
+    """Sweep offered load for one app.
+
+    By default the sweep visits ``load_points`` fractions of this
+    configuration's own saturation rate. Pass ``absolute_qps_points``
+    to sweep a fixed QPS grid instead (needed when comparing setups
+    whose capacities differ, e.g. Fig. 4's common QPS/thread axis).
+    """
+    profile = paper_profile(name)
+    model = profile.service_model(
+        n_threads=n_threads,
+        ideal_memory=ideal_memory,
+        simulated_system=simulated_system,
+        added_occupancy=network_model_for(configuration).server_occupancy,
+    )
+    saturation = model.saturation_qps(n_threads)
+    if absolute_qps_points is not None:
+        sweep = [(q / saturation, q) for q in absolute_qps_points]
+    else:
+        sweep = [(load, load * saturation) for load in load_points]
+    qps_list, means, p95s, p99s, utils = [], [], [], [], []
+    for load, qps in sweep:
+        result = simulate_app(
+            name,
+            SimConfig(
+                qps=qps,
+                n_threads=n_threads,
+                configuration=configuration,
+                measure_requests=measure_requests,
+                warmup_requests=max(100, measure_requests // 10),
+                seed=seed,
+                simulated_system=simulated_system,
+                ideal_memory=ideal_memory,
+            ),
+        )
+        summary = result.sojourn
+        qps_list.append(qps)
+        means.append(summary.mean)
+        p95s.append(summary.p95)
+        p99s.append(summary.p99)
+        utils.append(result.utilization)
+    return LatencyCurve(
+        name, tuple(qps_list), tuple(means), tuple(p95s), tuple(p99s),
+        tuple(utils),
+    )
+
+
+def run_fig3(
+    measure_requests: int = 10_000, seed: int = 0,
+    apps: Tuple[str, ...] = APP_ORDER,
+) -> Dict[str, LatencyCurve]:
+    """Latency-vs-QPS curves for the whole suite (1 thread)."""
+    return {
+        name: sweep_app(name, measure_requests=measure_requests, seed=seed)
+        for name in apps
+    }
+
+
+def render_fig3(curves: Dict[str, LatencyCurve]) -> str:
+    out: List[str] = []
+    for name, curve in curves.items():
+        headers = ["QPS", "mean", "p95", "p99"]
+        rows = [
+            [f"{q:.1f}", format_latency(m), format_latency(a), format_latency(b)]
+            for q, m, a, b in zip(curve.qps, curve.mean, curve.p95, curve.p99)
+        ]
+        out.append(ascii_table(headers, rows, title=f"Fig. 3: {name} (1 thread)"))
+    return "\n\n".join(out)

@@ -1,0 +1,111 @@
+"""Fig. 5: harness-configuration validation (single-threaded).
+
+For each application, compares 95th percentile latency across the
+three harness configurations on the "real system" plus the simulated
+system under the integrated configuration. The paper's findings to
+reproduce:
+
+- integrated ~= loopback ~= networked for the six long-request apps;
+- networked/loopback saturate 39% (silo) and 23% (specjbb) below
+  integrated, because the network stack occupies a meaningful slice of
+  worker time relative to sub-100us requests;
+- simulation matches the real system up to a constant per-app
+  performance error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..sim import network_model_for, paper_profile
+from .fig3 import DEFAULT_LOAD_POINTS, LatencyCurve, sweep_app
+from .reporting import ascii_table, format_latency
+from .table1 import APP_ORDER
+
+__all__ = ["ConfigComparison", "run_fig5", "render_fig5", "SETUPS"]
+
+#: The four series of Fig. 5: (label, configuration, simulated_system).
+SETUPS: Tuple[Tuple[str, str, bool], ...] = (
+    ("networked", "networked", False),
+    ("loopback", "loopback", False),
+    ("integrated", "integrated", False),
+    ("simulation", "integrated", True),
+)
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """Per-setup latency curves for one application."""
+
+    name: str
+    curves: Dict[str, LatencyCurve]
+
+    def saturation_qps(self, setup: str) -> float:
+        """Analytic saturation rate of one setup."""
+        profile = paper_profile(self.name)
+        configuration = dict((s[0], s[1]) for s in SETUPS)[setup]
+        simulated = dict((s[0], s[2]) for s in SETUPS)[setup]
+        model = profile.service_model(
+            simulated_system=simulated,
+            added_occupancy=network_model_for(configuration).server_occupancy,
+        )
+        return model.saturation_qps()
+
+    def saturation_drop(self, setup: str, baseline: str = "integrated") -> float:
+        """Fractional saturation loss of ``setup`` vs. ``baseline``.
+
+        The green/red percentage annotations of Fig. 5: e.g.
+        ``saturation_drop("networked")`` ~= 0.39 for silo.
+        """
+        base = self.saturation_qps(baseline)
+        other = self.saturation_qps(setup)
+        return (base - other) / base
+
+
+def run_fig5(
+    measure_requests: int = 10_000,
+    seed: int = 0,
+    apps: Tuple[str, ...] = APP_ORDER,
+    n_threads: int = 1,
+) -> Dict[str, ConfigComparison]:
+    results = {}
+    for name in apps:
+        curves = {}
+        for label, configuration, simulated in SETUPS:
+            curves[label] = sweep_app(
+                name,
+                configuration=configuration,
+                n_threads=n_threads,
+                measure_requests=measure_requests,
+                seed=seed,
+                simulated_system=simulated,
+            )
+        results[name] = ConfigComparison(name, curves)
+    return results
+
+
+def render_fig5(results: Dict[str, ConfigComparison]) -> str:
+    out = []
+    for name, comparison in results.items():
+        headers = ["load pt"] + [s[0] for s in SETUPS]
+        n_points = len(next(iter(comparison.curves.values())).qps)
+        rows = []
+        for i in range(n_points):
+            load = DEFAULT_LOAD_POINTS[i] if i < len(DEFAULT_LOAD_POINTS) else i
+            row = [f"{load:.0%}"]
+            for label, _, _ in SETUPS:
+                curve = comparison.curves[label]
+                row.append(
+                    f"{curve.qps[i]:8.0f}qps {format_latency(curve.p95[i])}"
+                )
+            rows.append(row)
+        out.append(ascii_table(rows=rows, headers=headers,
+                               title=f"Fig. 5: {name} (p95 per setup)"))
+        out.append(
+            f"saturation drop vs integrated: "
+            f"networked {comparison.saturation_drop('networked'):.0%}, "
+            f"loopback {comparison.saturation_drop('loopback'):.0%}, "
+            f"simulation {comparison.saturation_drop('simulation'):+.0%}"
+        )
+    return "\n\n".join(out)

@@ -1,0 +1,91 @@
+"""Fig. 6: latency vs. *load* (not QPS) for shore and img-dnn.
+
+These two applications show the largest simulation error in Fig. 5.
+Plotting against normalized system load instead of absolute QPS makes
+the real-system and simulated curves nearly coincide: the simulator's
+error is a constant speed factor, so behaviour *at equal load* is
+preserved — the key argument that simulation yields accurate insight
+into tail-latency behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .fig3 import DEFAULT_LOAD_POINTS, sweep_app
+from .fig5 import SETUPS
+from .reporting import ascii_table, format_latency
+
+__all__ = ["LoadNormalizedCurves", "run_fig6", "render_fig6", "FIG6_APPS"]
+
+FIG6_APPS: Tuple[str, ...] = ("shore", "img-dnn")
+
+
+@dataclass(frozen=True)
+class LoadNormalizedCurves:
+    """p95 at each *load fraction*, per setup."""
+
+    name: str
+    load_points: Tuple[float, ...]
+    p95_by_setup: Dict[str, Tuple[float, ...]]
+
+    def max_relative_spread(self) -> float:
+        """Worst-case spread across setups at any load point.
+
+        Small values mean the curves collapse when plotted against
+        load — the paper's Fig. 6 claim. Computed as
+        ``(max - min) / min`` per load point, maximized over points.
+        """
+        worst = 0.0
+        for i in range(len(self.load_points)):
+            values = [series[i] for series in self.p95_by_setup.values()]
+            spread = (max(values) - min(values)) / min(values)
+            worst = max(worst, spread)
+        return worst
+
+
+def run_fig6(
+    measure_requests: int = 10_000,
+    seed: int = 0,
+    apps: Tuple[str, ...] = FIG6_APPS,
+    load_points: Tuple[float, ...] = DEFAULT_LOAD_POINTS,
+) -> Dict[str, LoadNormalizedCurves]:
+    results = {}
+    for name in apps:
+        p95_by_setup: Dict[str, Tuple[float, ...]] = {}
+        for label, configuration, simulated in SETUPS:
+            curve = sweep_app(
+                name,
+                configuration=configuration,
+                load_points=load_points,
+                measure_requests=measure_requests,
+                seed=seed,
+                simulated_system=simulated,
+            )
+            p95_by_setup[label] = curve.p95
+        results[name] = LoadNormalizedCurves(name, tuple(load_points), p95_by_setup)
+    return results
+
+
+def render_fig6(results: Dict[str, LoadNormalizedCurves]) -> str:
+    out: List[str] = []
+    for name, curves in results.items():
+        headers = ["load"] + list(curves.p95_by_setup)
+        rows = []
+        for i, load in enumerate(curves.load_points):
+            rows.append(
+                [f"{load:.0%}"]
+                + [
+                    format_latency(series[i])
+                    for series in curves.p95_by_setup.values()
+                ]
+            )
+        out.append(
+            ascii_table(headers, rows, title=f"Fig. 6: {name} (p95 vs load)")
+        )
+        out.append(
+            f"max relative spread across setups: "
+            f"{curves.max_relative_spread():.1%}"
+        )
+    return "\n\n".join(out)

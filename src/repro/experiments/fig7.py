@@ -1,0 +1,31 @@
+"""Fig. 7: harness-configuration validation with 4 worker threads.
+
+The multithreaded repeat of Fig. 5 for four representative apps:
+configuration agreement persists for long-request applications, and
+short-request specjbb again saturates earlier under the networked and
+loopback configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .fig5 import ConfigComparison, render_fig5, run_fig5
+
+__all__ = ["run_fig7", "render_fig7", "FIG7_APPS"]
+
+FIG7_APPS: Tuple[str, ...] = ("specjbb", "masstree", "xapian", "img-dnn")
+
+
+def run_fig7(
+    measure_requests: int = 10_000, seed: int = 0,
+    apps: Tuple[str, ...] = FIG7_APPS,
+) -> Dict[str, ConfigComparison]:
+    """Fig. 5's sweep at 4 worker threads."""
+    return run_fig5(
+        measure_requests=measure_requests, seed=seed, apps=apps, n_threads=4
+    )
+
+
+def render_fig7(results: Dict[str, ConfigComparison]) -> str:
+    return render_fig5(results).replace("Fig. 5", "Fig. 7 (4 threads)")

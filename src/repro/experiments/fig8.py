@@ -1,0 +1,141 @@
+"""Fig. 8: the Sec. VII case study — why do moses and silo scale badly?
+
+Compares, for 1 and 4 threads, the 95th percentile latency of:
+
+- the pure M/G/n queueing model (what latency would be if adding
+  threads had no cost), and
+- the simulated system with an *idealized memory system* (memory
+  contention removed; synchronization overheads remain).
+
+All latencies are normalized to the 1-thread low-load value, as in the
+paper. The reproduced conclusion: moses's ideal-memory curves agree
+with M/G/n (its real problem is memory contention), while silo's
+4-thread ideal-memory curve stays degraded (synchronization-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..queueing import mgk_percentiles
+from ..sim import SimConfig, paper_profile, simulate_app
+from .fig3 import DEFAULT_LOAD_POINTS
+from .reporting import ascii_table
+
+__all__ = ["CaseStudyResult", "run_fig8", "render_fig8", "FIG8_APPS"]
+
+FIG8_APPS: Tuple[str, ...] = ("moses", "silo")
+THREADS: Tuple[int, ...] = (1, 4)
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Normalized p95 curves for one application."""
+
+    name: str
+    load_points: Tuple[float, ...]
+    #: series label -> normalized p95 per load point. Labels:
+    #: "M/G/1", "M/G/4", "ideal-mem 1T", "ideal-mem 4T".
+    series: Dict[str, Tuple[float, ...]]
+
+    def ideal_tracks_mgn(self, k: int, tolerance: float = 0.35) -> bool:
+        """Does the ideal-memory system match the M/G/k model?
+
+        True means thread-scaling losses were *memory* contention
+        (eliminated by ideal memory); False means something else —
+        synchronization — still degrades the ideal-memory system.
+        Compared at moderate loads (excluding near-saturation points
+        where both series diverge steeply).
+        """
+        model = self.series[f"M/G/{k}"]
+        ideal = self.series[f"ideal-mem {k}T"]
+        checked = 0
+        for i, load in enumerate(self.load_points):
+            if load > 0.75:
+                continue
+            checked += 1
+            if abs(ideal[i] - model[i]) > tolerance * max(model[i], 1e-12):
+                return False
+        return checked > 0
+
+
+def run_fig8(
+    measure_requests: int = 20_000,
+    seed: int = 0,
+    apps: Tuple[str, ...] = FIG8_APPS,
+    load_points: Tuple[float, ...] = DEFAULT_LOAD_POINTS,
+) -> Dict[str, CaseStudyResult]:
+    results = {}
+    for name in apps:
+        profile = paper_profile(name)
+        base_service = profile.service
+        # Normalization: 1-thread, low-load p95 of the M/G/1 model.
+        low = mgk_percentiles(
+            base_service,
+            qps=0.05 / base_service.mean,
+            k=1,
+            measure_requests=measure_requests,
+            seed=seed,
+        )
+        norm = low.sojourn.p95
+        series: Dict[str, Tuple[float, ...]] = {}
+        for k in THREADS:
+            # Pure M/G/k model: service times unchanged by threads.
+            mgk_vals = []
+            for load in load_points:
+                qps = load * k / base_service.mean
+                result = mgk_percentiles(
+                    base_service, qps=qps, k=k,
+                    measure_requests=measure_requests, seed=seed,
+                )
+                mgk_vals.append(result.sojourn.p95 / norm)
+            series[f"M/G/{k}"] = tuple(mgk_vals)
+
+            # Simulated system with idealized memory: sync overheads
+            # stay, memory contention removed.
+            ideal_vals = []
+            sync_factor = profile.contention.factor(k, ideal_memory=True)
+            sat = k / (base_service.mean * sync_factor)
+            for load in load_points:
+                result = simulate_app(
+                    name,
+                    SimConfig(
+                        qps=load * sat,
+                        n_threads=k,
+                        configuration="integrated",
+                        measure_requests=measure_requests,
+                        warmup_requests=max(100, measure_requests // 10),
+                        seed=seed,
+                        ideal_memory=True,
+                    ),
+                )
+                ideal_vals.append(result.sojourn.p95 / norm)
+            series[f"ideal-mem {k}T"] = tuple(ideal_vals)
+        results[name] = CaseStudyResult(name, tuple(load_points), series)
+    return results
+
+
+def render_fig8(results: Dict[str, CaseStudyResult]) -> str:
+    out = []
+    for name, result in results.items():
+        headers = ["load"] + list(result.series)
+        rows = []
+        for i, load in enumerate(result.load_points):
+            rows.append(
+                [f"{load:.0%}"]
+                + [f"{series[i]:.2f}x" for series in result.series.values()]
+            )
+        out.append(
+            ascii_table(
+                headers, rows,
+                title=f"Fig. 8: {name} (p95 normalized to 1-thread low load)",
+            )
+        )
+        verdict = (
+            "memory-bound (ideal memory restores M/G/4)"
+            if result.ideal_tracks_mgn(4)
+            else "synchronization-bound (ideal memory does not help)"
+        )
+        out.append(f"{name}: {verdict}")
+    return "\n\n".join(out)

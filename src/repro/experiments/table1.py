@@ -1,0 +1,131 @@
+"""Table I: application characterization.
+
+Regenerates both halves of the paper's Table I:
+
+- microarchitectural rows (L1I/L1D/L2/L3/branch MPKI) via the
+  :mod:`repro.archsim` cache hierarchy over per-app synthetic traces;
+- tail-latency rows (95th percentile at 20/50/70% load) via the
+  virtual-time simulator under the networked configuration, matching
+  the paper's multi-node measurement setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..archsim import characterize_app
+from ..sim import SimConfig, network_model_for, paper_profile, simulate_app
+from .reporting import ascii_table, format_latency
+
+__all__ = ["Table1Row", "run_table1", "render_table1", "APP_ORDER", "PAPER_TABLE1"]
+
+APP_ORDER: Tuple[str, ...] = (
+    "xapian", "masstree", "moses", "sphinx",
+    "img-dnn", "specjbb", "silo", "shore",
+)
+
+LOADS: Tuple[float, ...] = (0.2, 0.5, 0.7)
+
+#: The paper's Table I values for side-by-side comparison:
+#: (L1I, L1D, L2, L3, Branch MPKI, p95@20%, p95@50%, p95@70% [seconds]).
+PAPER_TABLE1: Dict[str, Tuple[float, ...]] = {
+    "xapian": (1.14, 13.69, 8.94, 0.02, 7.22, 2.67e-3, 4.88e-3, 9.48e-3),
+    "masstree": (0.23, 11.41, 9.32, 5.41, 5.66, 428e-6, 688e-6, 1.18e-3),
+    "moses": (1.79, 26.82, 24.77, 19.95, 2.24, 3.06e-3, 5.41e-3, 11.42e-3),
+    "sphinx": (0.06, 23.83, 20.22, 3.51, 6.94, 2.08, 2.78, 3.82),
+    "img-dnn": (0.32, 87.49, 16.64, 15.05, 0.35, 2.51e-3, 3.94e-3, 6.91e-3),
+    "specjbb": (8.87, 15.62, 14.91, 3.49, 4.99, 293e-6, 507e-6, 739e-6),
+    "silo": (1.2, 2.88, 1.92, 0.56, 5.58, 191e-6, 374e-6, 1.33e-3),
+    "shore": (22.68, 23.83, 20.22, 3.51, 6.94, 1.99e-3, 2.80e-3, 4.20e-3),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One application's measured characterization."""
+
+    name: str
+    l1i_mpki: float
+    l1d_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+    branch_mpki: float
+    p95_by_load: Dict[float, float]  # load fraction -> seconds
+
+
+def run_table1(
+    measure_requests: int = 20_000,
+    n_instructions: int = 300_000,
+    seed: int = 0,
+) -> List[Table1Row]:
+    """Measure every application; returns one row per app."""
+    rows = []
+    for name in APP_ORDER:
+        mpki = characterize_app(name, n_instructions=n_instructions, seed=seed)
+        profile = paper_profile(name)
+        occupancy = network_model_for("networked").server_occupancy
+        saturation = 1.0 / (profile.service.mean + occupancy)
+        p95 = {}
+        for load in LOADS:
+            result = simulate_app(
+                name,
+                SimConfig(
+                    qps=load * saturation,
+                    configuration="networked",
+                    measure_requests=measure_requests,
+                    warmup_requests=max(100, measure_requests // 10),
+                    seed=seed,
+                ),
+            )
+            p95[load] = result.sojourn.p95
+        rows.append(
+            Table1Row(
+                name=name,
+                l1i_mpki=mpki.l1i,
+                l1d_mpki=mpki.l1d,
+                l2_mpki=mpki.l2,
+                l3_mpki=mpki.l3,
+                branch_mpki=mpki.branch,
+                p95_by_load=p95,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row], compare: bool = True) -> str:
+    """Render the measured table (optionally with paper values)."""
+    headers = ["metric"] + [row.name for row in rows]
+    def fmt(ours: float, paper: float, latency: bool = False) -> str:
+        shown = format_latency(ours) if latency else f"{ours:.2f}"
+        if not compare:
+            return shown
+        ref = format_latency(paper) if latency else f"{paper:.2f}"
+        return f"{shown} ({ref})"
+
+    metric_rows = []
+    for i, (label, attr) in enumerate(
+        [
+            ("L1I MPKI", "l1i_mpki"),
+            ("L1D MPKI", "l1d_mpki"),
+            ("L2 MPKI", "l2_mpki"),
+            ("L3 MPKI", "l3_mpki"),
+            ("Branch MPKI", "branch_mpki"),
+        ]
+    ):
+        metric_rows.append(
+            [label]
+            + [fmt(getattr(r, attr), PAPER_TABLE1[r.name][i]) for r in rows]
+        )
+    for j, load in enumerate(LOADS):
+        metric_rows.append(
+            [f"95th %ile @ {load:.0%}"]
+            + [
+                fmt(r.p95_by_load[load], PAPER_TABLE1[r.name][5 + j], latency=True)
+                for r in rows
+            ]
+        )
+    title = "Table I: TailBench application characterization"
+    if compare:
+        title += "  [ours (paper)]"
+    return ascii_table(headers, metric_rows, title=title)

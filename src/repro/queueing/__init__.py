@@ -1,0 +1,26 @@
+"""Analytic queueing models: M/G/1 (Pollaczek–Khinchine) and M/G/k."""
+
+from .mg1 import mean_queue_length, mean_sojourn, mean_wait, utilization
+from .mgk import (
+    erlang_c,
+    mgk_mean_sojourn,
+    mgk_mean_wait,
+    mgk_percentiles,
+    mmk_mean_wait,
+)
+from .mmk import mm1_sojourn_percentile, mmk_wait_ccdf, mmk_wait_percentile
+
+__all__ = [
+    "mean_queue_length",
+    "mean_sojourn",
+    "mean_wait",
+    "utilization",
+    "erlang_c",
+    "mgk_mean_sojourn",
+    "mgk_mean_wait",
+    "mgk_percentiles",
+    "mmk_mean_wait",
+    "mm1_sojourn_percentile",
+    "mmk_wait_ccdf",
+    "mmk_wait_percentile",
+]

@@ -1,0 +1,97 @@
+"""M/G/k queueing analysis.
+
+The Fig. 8 baselines: what latency *would* be with k threads if adding
+threads carried no overhead (service times unchanged). Mean waits use
+the Lee–Longton approximation (exact for k=1, asymptotically good
+under moderate load); percentiles come from a virtual-time simulation
+of the M/G/k system itself, reusing the discrete-event server model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..sim.calibration import AppProfile
+from ..sim.contention import NO_CONTENTION
+from ..sim.latency_sim import SimConfig, SimResult, simulate_load
+from ..stats import Distribution
+
+__all__ = [
+    "erlang_c",
+    "mmk_mean_wait",
+    "mgk_mean_wait",
+    "mgk_mean_sojourn",
+    "mgk_percentiles",
+]
+
+
+def erlang_c(k: int, offered: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/k).
+
+    ``offered`` is the offered load in Erlangs, ``a = lambda * E[S]``;
+    must be below ``k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if offered < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered >= k:
+        return 1.0
+    # Numerically stable iterative form of the Erlang-B recursion,
+    # then convert B -> C.
+    b = 1.0
+    for i in range(1, k + 1):
+        b = offered * b / (i + offered * b)
+    rho = offered / k
+    return b / (1.0 - rho + rho * b)
+
+
+def mmk_mean_wait(arrival_rate: float, mean_service: float, k: int) -> float:
+    """Mean waiting time in M/M/k."""
+    if arrival_rate <= 0 or mean_service <= 0:
+        raise ValueError("rates must be positive")
+    offered = arrival_rate * mean_service
+    if offered >= k:
+        return float("inf")
+    pw = erlang_c(k, offered)
+    return pw * mean_service / (k - offered)
+
+
+def mgk_mean_wait(arrival_rate: float, service: Distribution, k: int) -> float:
+    """Lee–Longton M/G/k mean wait: ``(1 + SCV)/2 * W(M/M/k)``."""
+    base = mmk_mean_wait(arrival_rate, service.mean, k)
+    if math.isinf(base):
+        return base
+    return (1.0 + service.scv) / 2.0 * base
+
+
+def mgk_mean_sojourn(arrival_rate: float, service: Distribution, k: int) -> float:
+    """Mean time in system under M/G/k."""
+    wait = mgk_mean_wait(arrival_rate, service, k)
+    return float("inf") if math.isinf(wait) else wait + service.mean
+
+
+def mgk_percentiles(
+    service: Distribution,
+    qps: float,
+    k: int,
+    measure_requests: int = 20_000,
+    seed: int = 0,
+) -> SimResult:
+    """Percentile latencies of the pure M/G/k model, by simulation.
+
+    This is the dashed-line baseline of Fig. 8: ``k`` servers, the
+    *unmodified* service distribution (no contention, no network, no
+    simulator error). Returns a full :class:`SimResult` so p95/p99 and
+    the whole distribution are available.
+    """
+    profile = AppProfile(name=f"mg{k}", service=service, contention=NO_CONTENTION)
+    config = SimConfig(
+        qps=qps,
+        n_threads=k,
+        configuration="integrated",
+        warmup_requests=max(100, measure_requests // 10),
+        measure_requests=measure_requests,
+        seed=seed,
+    )
+    return simulate_load(profile, config)

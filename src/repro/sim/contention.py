@@ -1,0 +1,71 @@
+"""Multithreading contention models (the Sec. VII case study).
+
+When an application runs with more worker threads, two distinct
+effects inflate per-request service times:
+
+- **memory contention** — threads fight over shared caches and memory
+  bandwidth (moses's problem);
+- **synchronization overhead** — threads serialize on locks and shared
+  structures (silo's problem).
+
+The paper separates them by simulating an *idealized memory system*
+(zero-latency, infinite-bandwidth DRAM): if the anomaly disappears, it
+was memory contention. :class:`ContentionModel` reproduces that
+experiment: each effect is a multiplicative service-time dilation as a
+function of thread count, and ``ideal_memory=True`` switches the
+memory term off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ContentionModel", "NO_CONTENTION"]
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Service-time dilation vs. worker-thread count.
+
+    ``factor(k) = mem_factor(k) * sync_factor(k)`` with
+
+    - ``mem_factor(k)  = 1 + mem_alpha  * (k - 1) ** mem_exponent``
+    - ``sync_factor(k) = 1 + sync_alpha * (k - 1) ** sync_exponent``
+
+    A superlinear memory exponent models bandwidth saturation: moses
+    is fine at 2 threads but collapses at 4 (Fig. 4), which a linear
+    model cannot express.
+    """
+
+    mem_alpha: float = 0.0
+    mem_exponent: float = 1.0
+    sync_alpha: float = 0.0
+    sync_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mem_alpha < 0 or self.sync_alpha < 0:
+            raise ValueError("contention coefficients must be non-negative")
+        if self.mem_exponent <= 0 or self.sync_exponent <= 0:
+            raise ValueError("contention exponents must be positive")
+
+    def mem_factor(self, n_threads: int) -> float:
+        self._check(n_threads)
+        return 1.0 + self.mem_alpha * (n_threads - 1) ** self.mem_exponent
+
+    def sync_factor(self, n_threads: int) -> float:
+        self._check(n_threads)
+        return 1.0 + self.sync_alpha * (n_threads - 1) ** self.sync_exponent
+
+    def factor(self, n_threads: int, ideal_memory: bool = False) -> float:
+        """Total dilation; ``ideal_memory`` zeroes the memory term."""
+        mem = 1.0 if ideal_memory else self.mem_factor(n_threads)
+        return mem * self.sync_factor(n_threads)
+
+    @staticmethod
+    def _check(n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+
+
+#: No dilation at any thread count (ideal scaling).
+NO_CONTENTION = ContentionModel()

@@ -1,0 +1,127 @@
+"""Request-dispatch policies: why the harness uses one shared queue.
+
+TailBench's server keeps a single request queue shared among all
+worker threads (Fig. 1). The alternative — statically partitioning
+arrivals across per-worker queues — is common in real servers
+(per-connection handling, RSS hashing) and much worse for tails: a
+random dispatch can pile requests behind one busy worker while others
+idle. This module provides the per-worker-queue server so the two
+designs can be compared under identical load.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import List
+
+from ..core.collector import StatsCollector
+from ..core.request import Request
+from ..core.traffic import ArrivalSchedule, PoissonArrivals
+from .calibration import AppProfile
+from .engine import Engine
+from .latency_sim import SimConfig, SimResult, simulate_load
+from .network_model import network_model_for
+
+__all__ = ["simulate_random_dispatch", "compare_dispatch"]
+
+
+class _PartitionedServer:
+    """n workers, each with its own FIFO; arrivals dispatched randomly."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        service_model,
+        n_threads: int,
+        collector: StatsCollector,
+        rng: random.Random,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self._engine = engine
+        self._service_model = service_model
+        self._collector = collector
+        self._rng = rng
+        self._queues: List[collections.deque] = [
+            collections.deque() for _ in range(n_threads)
+        ]
+        self._busy = [False] * n_threads
+        self.busy_time = 0.0
+
+    def submit(self, generated_at: float) -> None:
+        request = Request(payload=None, generated_at=generated_at)
+        request.sent_at = generated_at
+        worker = self._rng.randrange(len(self._queues))
+        self._engine.at(generated_at, self._on_arrival, request, worker)
+
+    def _on_arrival(self, request: Request, worker: int) -> None:
+        request.enqueued_at = self._engine.now
+        if self._busy[worker]:
+            self._queues[worker].append(request)
+        else:
+            self._start(request, worker)
+
+    def _start(self, request: Request, worker: int) -> None:
+        self._busy[worker] = True
+        request.service_start_at = self._engine.now
+        service = self._service_model.sample(self._rng)
+        self.busy_time += service
+        self._engine.after(service, self._finish, request, worker)
+
+    def _finish(self, request: Request, worker: int) -> None:
+        request.service_end_at = self._engine.now
+        request.response_received_at = self._engine.now
+        self._collector.add(request.finish())
+        if self._queues[worker]:
+            self._start(self._queues[worker].popleft(), worker)
+        else:
+            self._busy[worker] = False
+
+
+def simulate_random_dispatch(profile: AppProfile, config: SimConfig) -> SimResult:
+    """Like :func:`simulate_load` but with per-worker random dispatch."""
+    service_model = profile.service_model(
+        n_threads=config.n_threads,
+        ideal_memory=config.ideal_memory,
+        simulated_system=config.simulated_system,
+        added_occupancy=network_model_for(
+            config.configuration
+        ).server_occupancy,
+    )
+    engine = Engine()
+    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    server = _PartitionedServer(
+        engine,
+        service_model,
+        config.n_threads,
+        collector,
+        random.Random(config.seed ^ 0xD15),
+    )
+    schedule = ArrivalSchedule.generate(
+        PoissonArrivals(config.qps), config.total_requests, seed=config.seed
+    )
+    for t in schedule:
+        server.submit(t)
+    engine.run()
+    elapsed = engine.now
+    utilization = (
+        server.busy_time / (elapsed * config.n_threads) if elapsed else 0.0
+    )
+    return SimResult(
+        profile_name=f"{profile.name}/random-dispatch",
+        config=config,
+        stats=collector.snapshot(),
+        offered_qps=config.qps,
+        utilization=utilization,
+        virtual_time=elapsed,
+    )
+
+
+def compare_dispatch(
+    profile: AppProfile, config: SimConfig
+) -> dict:
+    """Shared-queue vs random-dispatch p95/p99 at identical load."""
+    shared = simulate_load(profile, config)
+    partitioned = simulate_random_dispatch(profile, config)
+    return {"shared": shared, "random": partitioned}

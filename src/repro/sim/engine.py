@@ -1,0 +1,73 @@
+"""Discrete-event simulation engine.
+
+A minimal execution-driven core in the spirit of the user-level
+simulators the paper targets (zsim, Graphite): a virtual clock and an
+event heap. Components schedule callbacks; :meth:`Engine.run` executes
+them in timestamp order, advancing the shared
+:class:`~repro.core.clock.VirtualClock` — which is exactly the clock
+the harness components read, so harness logic is unchanged between
+live and simulated runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.clock import VirtualClock
+from .events import Event, EventQueue
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Runs events against a virtual clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self._queue = EventQueue()
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed
+
+    def at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._queue.push(max(time, self.now), fn, *args)
+
+    def after(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self._queue.push(self.now + delay, fn, *args)
+
+    def cancel(self, event: Event) -> None:
+        event.cancelled = True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> int:
+        """Process events until the queue drains (or ``until``).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            event = self._queue.pop()
+            self.clock.advance_to(event.time)
+            event.fn(*event.args)
+            executed += 1
+            self._executed += 1
+            if executed > max_events:
+                raise RuntimeError("event budget exhausted (runaway simulation?)")
+        return executed

@@ -1,0 +1,161 @@
+"""Top-level virtual-time load testing.
+
+:func:`simulate_load` is the simulator's counterpart of
+:func:`repro.core.harness.run_harness`: same methodology (open-loop
+Poisson arrivals, warmup discard, per-request timestamp chains), but
+executed in virtual time against a calibrated or measured service-time
+model. Deterministic given a seed, microsecond-exact, and fast — this
+is the configuration the paper runs under zsim (Sec. VI).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.collector import CollectedStats, StatsCollector
+from ..core.traffic import ArrivalSchedule, DeterministicArrivals, PoissonArrivals
+from ..stats import LatencySummary
+from .calibration import AppProfile, paper_profile
+from .engine import Engine
+from .network_model import network_model_for
+from .server_model import SimulatedServer
+
+__all__ = ["SimConfig", "SimResult", "simulate_load", "simulate_app"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of one virtual-time measurement run."""
+
+    qps: float = 1000.0
+    n_threads: int = 1
+    configuration: str = "integrated"
+    warmup_requests: int = 500
+    measure_requests: int = 5000
+    seed: int = 0
+    #: Model the zsim-simulated system (applies the profile's constant
+    #: performance error) rather than the real machine.
+    simulated_system: bool = False
+    #: Idealized memory (zero-latency/infinite-bandwidth DRAM): removes
+    #: memory-contention dilation, keeping synchronization overheads —
+    #: the Sec. VII experiment.
+    ideal_memory: bool = False
+    deterministic_arrivals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.warmup_requests < 0 or self.measure_requests < 1:
+            raise ValueError("invalid request counts")
+
+    @property
+    def total_requests(self) -> int:
+        return self.warmup_requests + self.measure_requests
+
+    def with_qps(self, qps: float) -> "SimConfig":
+        return SimConfig(
+            qps=qps,
+            n_threads=self.n_threads,
+            configuration=self.configuration,
+            warmup_requests=self.warmup_requests,
+            measure_requests=self.measure_requests,
+            seed=self.seed,
+            simulated_system=self.simulated_system,
+            ideal_memory=self.ideal_memory,
+            deterministic_arrivals=self.deterministic_arrivals,
+        )
+
+    def with_seed(self, seed: int) -> "SimConfig":
+        return SimConfig(
+            qps=self.qps,
+            n_threads=self.n_threads,
+            configuration=self.configuration,
+            warmup_requests=self.warmup_requests,
+            measure_requests=self.measure_requests,
+            seed=seed,
+            simulated_system=self.simulated_system,
+            ideal_memory=self.ideal_memory,
+            deterministic_arrivals=self.deterministic_arrivals,
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one virtual-time run (mirrors HarnessResult)."""
+
+    profile_name: str
+    config: SimConfig
+    stats: CollectedStats
+    offered_qps: float
+    utilization: float
+    virtual_time: float
+
+    @property
+    def sojourn(self) -> LatencySummary:
+        return self.stats.summary("sojourn")
+
+    @property
+    def service(self) -> LatencySummary:
+        return self.stats.summary("service")
+
+    @property
+    def queue(self) -> LatencySummary:
+        return self.stats.summary("queue")
+
+    @property
+    def saturated(self) -> bool:
+        """Offered load at or beyond the server's service capacity."""
+        return self.utilization >= 0.98
+
+    def describe(self) -> str:
+        return (
+            f"{self.profile_name} [{self.config.configuration}] "
+            f"qps={self.offered_qps:g} threads={self.config.n_threads} "
+            f"util={self.utilization:.2f}\n"
+            f"sojourn: {self.sojourn.describe()}"
+        )
+
+
+def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
+    """Run one open-loop load test in virtual time."""
+    network = network_model_for(config.configuration)
+    service_model = profile.service_model(
+        n_threads=config.n_threads,
+        ideal_memory=config.ideal_memory,
+        simulated_system=config.simulated_system,
+        added_occupancy=network.server_occupancy,
+    )
+    engine = Engine()
+    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    rng = random.Random(config.seed ^ 0x5EED)
+    server = SimulatedServer(
+        engine, service_model, network, config.n_threads, collector, rng
+    )
+    process = (
+        DeterministicArrivals(config.qps)
+        if config.deterministic_arrivals
+        else PoissonArrivals(config.qps)
+    )
+    schedule = ArrivalSchedule.generate(
+        process, config.total_requests, seed=config.seed
+    )
+    for generated_at in schedule:
+        server.submit(generated_at)
+    engine.run()
+    elapsed = engine.now
+    return SimResult(
+        profile_name=profile.name,
+        config=config,
+        stats=collector.snapshot(),
+        offered_qps=config.qps,
+        utilization=server.utilization(elapsed) if elapsed > 0 else 0.0,
+        virtual_time=elapsed,
+    )
+
+
+def simulate_app(name: str, config: SimConfig) -> SimResult:
+    """Simulate a paper application by name with its calibrated profile."""
+    return simulate_load(paper_profile(name), config)

@@ -1,0 +1,120 @@
+"""Virtual-time server model.
+
+Reproduces the harness's server structure — shared FIFO request queue
+drained by ``n`` worker threads — as discrete events: request arrival
+(after the inbound wire delay), service start when a worker frees up,
+service completion, response receipt (after the outbound wire delay).
+Timestamps land in the same :class:`~repro.core.request.RequestRecord`
+chain live runs produce, so all downstream statistics code is shared.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from ..core.collector import StatsCollector
+from ..core.request import Request
+from .engine import Engine
+from .network_model import NetworkModel
+from .service_models import ServiceTimeModel
+
+__all__ = ["SimulatedServer"]
+
+
+class SimulatedServer:
+    """n-worker FCFS server in virtual time.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine to schedule on.
+    service_model:
+        Per-request service-time source (already composed with
+        contention / simulator-speed / occupancy dilations).
+    network:
+        Wire-latency model of the active harness configuration.
+    n_threads:
+        Number of worker "threads" (parallel servers).
+    collector:
+        Destination for completed request records.
+    rng:
+        Random stream for service-time draws.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        service_model: ServiceTimeModel,
+        network: NetworkModel,
+        n_threads: int,
+        collector: StatsCollector,
+        rng: random.Random,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self._engine = engine
+        self._service_model = service_model
+        self._network = network
+        self._n_threads = n_threads
+        self._collector = collector
+        self._rng = rng
+        self._queue: collections.deque = collections.deque()
+        self._busy_workers = 0
+        self.peak_queue_depth = 0
+        self.completed = 0
+        self.busy_time = 0.0
+
+    # -- client side ------------------------------------------------------
+    def submit(self, generated_at: float) -> None:
+        """Schedule one request whose ideal arrival instant is given.
+
+        The open-loop guarantee holds by construction in virtual time:
+        submission instants come straight from the arrival schedule.
+        """
+        request = Request(payload=None, generated_at=generated_at)
+        request.sent_at = generated_at
+        self._engine.at(
+            generated_at + self._network.wire_latency_each_way,
+            self._on_arrival,
+            request,
+        )
+
+    # -- server events -------------------------------------------------------
+    def _on_arrival(self, request: Request) -> None:
+        request.enqueued_at = self._engine.now
+        if self._busy_workers < self._n_threads:
+            self._start_service(request)
+        else:
+            self._queue.append(request)
+            if len(self._queue) > self.peak_queue_depth:
+                self.peak_queue_depth = len(self._queue)
+
+    def _start_service(self, request: Request) -> None:
+        self._busy_workers += 1
+        request.service_start_at = self._engine.now
+        service_time = self._service_model.sample(self._rng)
+        self.busy_time += service_time
+        self._engine.after(service_time, self._on_completion, request)
+
+    def _on_completion(self, request: Request) -> None:
+        request.service_end_at = self._engine.now
+        self._busy_workers -= 1
+        self._engine.at(
+            self._engine.now + self._network.wire_latency_each_way,
+            self._on_response,
+            request,
+        )
+        if self._queue:
+            self._start_service(self._queue.popleft())
+
+    def _on_response(self, request: Request) -> None:
+        request.response_received_at = self._engine.now
+        self._collector.add(request.finish())
+        self.completed += 1
+
+    # -- derived metrics --------------------------------------------------------
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of workers busy over ``elapsed`` virtual seconds."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return self.busy_time / (elapsed * self._n_threads)

@@ -1,0 +1,58 @@
+"""Statistics substrate: HDR histograms, samplers, quantile CIs.
+
+These are the measurement primitives underneath the TailBench harness
+(Sec. IV-C of the paper): high-dynamic-range latency histograms,
+order-statistic percentile estimation with confidence intervals, the
+repeated-run convergence controller, and the random-variate samplers
+used for open-loop arrivals and service-time models.
+"""
+
+from .confidence import MetricEstimate, RunController
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    ScaledDistribution,
+    ShiftedDistribution,
+    Uniform,
+    ZipfianGenerator,
+)
+from .hdr_histogram import HdrHistogram
+from .percentiles import (
+    binomial_quantile_ci,
+    bootstrap_ci,
+    percentile,
+    quantile,
+    required_samples_for_quantile,
+)
+from .summary import LatencySummary, format_latency
+
+__all__ = [
+    "MetricEstimate",
+    "RunController",
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Exponential",
+    "Hyperexponential",
+    "LogNormal",
+    "MixtureDistribution",
+    "Pareto",
+    "ScaledDistribution",
+    "ShiftedDistribution",
+    "Uniform",
+    "ZipfianGenerator",
+    "HdrHistogram",
+    "binomial_quantile_ci",
+    "bootstrap_ci",
+    "percentile",
+    "quantile",
+    "required_samples_for_quantile",
+    "LatencySummary",
+    "format_latency",
+]

@@ -1,0 +1,135 @@
+"""Repeated-run confidence-interval stopping rule.
+
+TailBench counters per-run performance hysteresis by performing
+repeated randomized runs and stopping once the 95% confidence interval
+of every reported latency metric is within 1% of its point estimate
+(Sec. IV-C). :class:`RunController` implements exactly that loop: feed
+it one metric vector per run; it says whether more runs are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["MetricEstimate", "RunController"]
+
+# Two-sided Student-t critical values at 95% confidence, indexed by
+# degrees of freedom (1..30). Beyond 30 dof the normal value is used.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_Z_95 = 1.960
+
+
+def _t_critical(dof: int) -> float:
+    if dof < 1:
+        raise ValueError("need at least 2 runs for a confidence interval")
+    return _T_95.get(dof, _Z_95)
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """Point estimate and CI half-width for one metric across runs."""
+
+    name: str
+    mean: float
+    half_width: float
+    n_runs: int
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.mean == 0:
+            return 0.0 if self.half_width == 0 else math.inf
+        return self.half_width / abs(self.mean)
+
+    @property
+    def interval(self) -> tuple:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+
+class RunController:
+    """Decides when enough repeated runs have been performed.
+
+    Parameters
+    ----------
+    relative_precision:
+        Target CI half-width as a fraction of the mean (paper: 0.01).
+    min_runs / max_runs:
+        Bounds on the number of runs. ``max_runs`` guards against
+        pathological high-variance metrics never converging.
+    """
+
+    def __init__(
+        self,
+        relative_precision: float = 0.01,
+        min_runs: int = 3,
+        max_runs: int = 50,
+    ) -> None:
+        if relative_precision <= 0:
+            raise ValueError("relative_precision must be positive")
+        if min_runs < 2:
+            raise ValueError("min_runs must be >= 2 (CIs need variance)")
+        if max_runs < min_runs:
+            raise ValueError("max_runs must be >= min_runs")
+        self.relative_precision = relative_precision
+        self.min_runs = min_runs
+        self.max_runs = max_runs
+        self._observations: Dict[str, List[float]] = {}
+        self._n_runs = 0
+
+    @property
+    def n_runs(self) -> int:
+        return self._n_runs
+
+    def add_run(self, metrics: Dict[str, float]) -> None:
+        """Record the metric vector of one completed run."""
+        if not metrics:
+            raise ValueError("a run must report at least one metric")
+        if self._n_runs and set(metrics) != set(self._observations):
+            raise ValueError("every run must report the same metrics")
+        for name, value in metrics.items():
+            self._observations.setdefault(name, []).append(float(value))
+        self._n_runs += 1
+
+    def estimate(self, name: str) -> MetricEstimate:
+        values = self._observations.get(name)
+        if not values:
+            raise KeyError(f"no observations for metric {name!r}")
+        n = len(values)
+        mean = sum(values) / n
+        if n < 2:
+            return MetricEstimate(name, mean, math.inf, n)
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = _t_critical(n - 1) * math.sqrt(var / n)
+        return MetricEstimate(name, mean, half, n)
+
+    def estimates(self) -> Dict[str, MetricEstimate]:
+        return {name: self.estimate(name) for name in self._observations}
+
+    def converged(self) -> bool:
+        """True once every metric's CI is within the precision target."""
+        if self._n_runs < self.min_runs:
+            return False
+        return all(
+            est.relative_half_width <= self.relative_precision
+            for est in self.estimates().values()
+        )
+
+    def should_continue(self) -> bool:
+        """True if another run is needed (and allowed)."""
+        if self._n_runs >= self.max_runs:
+            return False
+        return not self.converged()
+
+    def worst_metric(self) -> Optional[MetricEstimate]:
+        """The metric farthest from convergence, or None before any runs."""
+        ests = self.estimates()
+        if not ests:
+            return None
+        return max(ests.values(), key=lambda e: e.relative_half_width)

@@ -1,0 +1,410 @@
+"""Random-variate samplers used by the harness and the simulator.
+
+The TailBench harness generates queries with exponentially distributed
+interarrival times (open-loop Poisson arrivals, Sec. IV-A) and drives
+xapian with Zipfian query popularity (Sec. III). The simulator needs a
+richer family of service-time distributions to reproduce the per-app
+service-time CDFs of Fig. 2: near-constant (masstree, img-dnn), broad
+(xapian, moses), and narrow-body/long-tail (specjbb, shore).
+
+All samplers take an explicit ``random.Random`` so that runs are
+reproducible and independent streams can be derived per component.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "LogNormal",
+    "Pareto",
+    "Hyperexponential",
+    "ShiftedDistribution",
+    "ScaledDistribution",
+    "MixtureDistribution",
+    "Empirical",
+    "ZipfianGenerator",
+]
+
+
+class Distribution:
+    """A non-negative random variate with known first two moments."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def second_moment(self) -> float:
+        return self.variance + self.mean ** 2
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``Var / mean^2``."""
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return self.variance / (mean * mean)
+
+
+class Deterministic(Distribution):
+    """Always returns ``value`` — a degenerate distribution."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value:g})"
+
+
+class Exponential(Distribution):
+    """Exponential distribution with the given ``rate`` (1/mean)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return cls(1.0 / mean)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate:g})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[lo, hi]``."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if lo < 0 or hi < lo:
+            raise ValueError("need 0 <= lo <= hi")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def variance(self) -> float:
+        return (self.hi - self.lo) ** 2 / 12.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.lo:g}, {self.hi:g})"
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterized by its own mean and sigma.
+
+    ``sigma`` is the shape parameter of the underlying normal; ``mean``
+    is the mean of the log-normal itself (mu is derived). Larger sigma
+    produces heavier right tails with the same mean, which is exactly
+    the knob needed to reproduce the narrow-body/long-tail service-time
+    shapes of specjbb and shore (Fig. 2).
+    """
+
+    def __init__(self, mean: float, sigma: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        self.mu = math.log(mean) - sigma * sigma / 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return (math.exp(self.sigma ** 2) - 1.0) * self._mean ** 2
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean:g}, sigma={self.sigma:g})"
+
+
+class Pareto(Distribution):
+    """Pareto (type I) distribution with scale ``xm`` and shape ``alpha``.
+
+    Heavy-tailed; requires ``alpha > 2`` for a finite variance.
+    """
+
+    def __init__(self, xm: float, alpha: float) -> None:
+        if xm <= 0:
+            raise ValueError("xm must be positive")
+        if alpha <= 2:
+            raise ValueError("alpha must exceed 2 for finite variance")
+        self.xm = float(xm)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.xm * (1.0 - rng.random()) ** (-1.0 / self.alpha)
+
+    @property
+    def mean(self) -> float:
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    @property
+    def variance(self) -> float:
+        a = self.alpha
+        return (self.xm ** 2 * a) / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def __repr__(self) -> str:
+        return f"Pareto(xm={self.xm:g}, alpha={self.alpha:g})"
+
+
+class Hyperexponential(Distribution):
+    """Mixture of exponentials — high-variance service times.
+
+    ``branches`` is a sequence of ``(probability, mean)`` pairs. The
+    probabilities must sum to 1.
+    """
+
+    def __init__(self, branches: Sequence[tuple]) -> None:
+        if not branches:
+            raise ValueError("need at least one branch")
+        total_p = sum(p for p, _ in branches)
+        if abs(total_p - 1.0) > 1e-9:
+            raise ValueError("branch probabilities must sum to 1")
+        for p, m in branches:
+            if p < 0 or m <= 0:
+                raise ValueError("probabilities must be >= 0 and means > 0")
+        self.branches = [(float(p), float(m)) for p, m in branches]
+        self._cum = []
+        acc = 0.0
+        for p, _ in self.branches:
+            acc += p
+            self._cum.append(acc)
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        i = bisect.bisect_left(self._cum, u)
+        i = min(i, len(self.branches) - 1)
+        return rng.expovariate(1.0 / self.branches[i][1])
+
+    @property
+    def mean(self) -> float:
+        return sum(p * m for p, m in self.branches)
+
+    @property
+    def variance(self) -> float:
+        second = sum(p * 2.0 * m * m for p, m in self.branches)
+        return second - self.mean ** 2
+
+    def __repr__(self) -> str:
+        return f"Hyperexponential({self.branches!r})"
+
+
+class ShiftedDistribution(Distribution):
+    """``base + shift`` — adds a constant floor to every sample.
+
+    Used to model a minimum per-request cost (e.g. fixed parsing work)
+    below which no request can complete.
+    """
+
+    def __init__(self, base: Distribution, shift: float) -> None:
+        if shift < 0:
+            raise ValueError("shift must be non-negative")
+        self.base = base
+        self.shift = float(shift)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base.sample(rng) + self.shift
+
+    @property
+    def mean(self) -> float:
+        return self.base.mean + self.shift
+
+    @property
+    def variance(self) -> float:
+        return self.base.variance
+
+    def __repr__(self) -> str:
+        return f"ShiftedDistribution({self.base!r}, shift={self.shift:g})"
+
+
+class ScaledDistribution(Distribution):
+    """``base * factor`` — multiplicative slowdown/speedup.
+
+    The simulator uses this to model zsim-style constant performance
+    error (Sec. VI-B) and contention-induced service-time dilation.
+    """
+
+    def __init__(self, base: Distribution, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.base = base
+        self.factor = float(factor)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base.sample(rng) * self.factor
+
+    @property
+    def mean(self) -> float:
+        return self.base.mean * self.factor
+
+    @property
+    def variance(self) -> float:
+        return self.base.variance * self.factor ** 2
+
+    def __repr__(self) -> str:
+        return f"ScaledDistribution({self.base!r}, factor={self.factor:g})"
+
+
+class MixtureDistribution(Distribution):
+    """Probabilistic mixture of arbitrary component distributions."""
+
+    def __init__(self, components: Sequence[tuple]) -> None:
+        if not components:
+            raise ValueError("need at least one component")
+        total_p = sum(p for p, _ in components)
+        if abs(total_p - 1.0) > 1e-9:
+            raise ValueError("component probabilities must sum to 1")
+        self.components = [(float(p), d) for p, d in components]
+        self._cum = []
+        acc = 0.0
+        for p, _ in self.components:
+            acc += p
+            self._cum.append(acc)
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        i = bisect.bisect_left(self._cum, u)
+        i = min(i, len(self.components) - 1)
+        return self.components[i][1].sample(rng)
+
+    @property
+    def mean(self) -> float:
+        return sum(p * d.mean for p, d in self.components)
+
+    @property
+    def variance(self) -> float:
+        second = sum(p * d.second_moment for p, d in self.components)
+        return second - self.mean ** 2
+
+    def __repr__(self) -> str:
+        return f"MixtureDistribution({self.components!r})"
+
+
+class Empirical(Distribution):
+    """Resamples uniformly from an observed set of values.
+
+    Built from live measurements of the Python mini-apps; lets the
+    simulator replay a measured service-time distribution exactly.
+    """
+
+    def __init__(self, values: Sequence[float]) -> None:
+        if not values:
+            raise ValueError("need at least one observation")
+        vals = [float(v) for v in values]
+        if any(v < 0 for v in vals):
+            raise ValueError("observations must be non-negative")
+        self.values: List[float] = sorted(vals)
+        n = len(self.values)
+        self._mean = sum(self.values) / n
+        self._var = sum((v - self._mean) ** 2 for v in self.values) / n
+
+    def sample(self, rng: random.Random) -> float:
+        return self.values[rng.randrange(len(self.values))]
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._var
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        idx = min(len(self.values) - 1, int(q * len(self.values)))
+        return self.values[idx]
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)}, mean={self._mean:g})"
+
+
+class ZipfianGenerator:
+    """Zipfian rank sampler over ``n`` items with exponent ``theta``.
+
+    Online-search query popularity is well modelled by a Zipfian
+    distribution (Sec. III, xapian). Rank 0 is the most popular item.
+    Uses the classic inverse-CDF-over-harmonic-weights method with a
+    precomputed cumulative table, so sampling is ``O(log n)``.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.n = int(n)
+        self.theta = float(theta)
+        weights = [1.0 / ((i + 1) ** theta) for i in range(self.n)]
+        total = sum(weights)
+        self._cum: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cum.append(acc)
+        self._cum[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Return a rank in ``[0, n)``; smaller ranks are more likely."""
+        u = rng.random()
+        return min(bisect.bisect_left(self._cum, u), self.n - 1)
+
+    def probability(self, rank: int) -> float:
+        if not 0 <= rank < self.n:
+            raise ValueError("rank out of range")
+        lo = self._cum[rank - 1] if rank > 0 else 0.0
+        return self._cum[rank] - lo

@@ -1,0 +1,277 @@
+"""High dynamic range (HDR) histogram.
+
+TailBench (Sec. IV-C) records request latencies in HDR histograms for
+long runs: values spanning many orders of magnitude (e.g. 1 us to
+1000 s) are captured with logarithmic space overheads while keeping
+each recorded value within a configurable relative error of the actual
+value. Following the paper's description, each decade ``[10^k, 10^(k+1))``
+is subdivided into a fixed number of linear buckets (100 buckets per
+decade gives <= 1% relative error), so the 1 us - 1000 s range needs
+only ``9 decades * 100 = 900`` buckets.
+
+Histograms are mergeable, support percentile queries, and iterate as
+``(bucket_lower, bucket_upper, count)`` triples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = ["HdrHistogram"]
+
+
+class HdrHistogram:
+    """Log-decade / linear-bucket high dynamic range histogram.
+
+    Parameters
+    ----------
+    lowest:
+        Smallest trackable value (exclusive lower bound of the range is
+        0; values below ``lowest`` are clamped into the first bucket).
+        Must be > 0.
+    highest:
+        Largest trackable value. Values above are clamped into the last
+        bucket.
+    buckets_per_decade:
+        Linear subdivisions of each power-of-ten decade. 100 gives a
+        worst-case relative error of 1% (bucket width is 1% of the
+        decade start... strictly, width / value <= 1/buckets at the low
+        end of the decade, i.e. ~1%).
+    """
+
+    def __init__(
+        self,
+        lowest: float = 1e-6,
+        highest: float = 1e3,
+        buckets_per_decade: int = 100,
+    ) -> None:
+        if lowest <= 0:
+            raise ValueError("lowest trackable value must be > 0")
+        if highest <= lowest:
+            raise ValueError("highest must exceed lowest")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self._lowest = float(lowest)
+        self._highest = float(highest)
+        self._bpd = int(buckets_per_decade)
+        self._log_lowest = math.log10(self._lowest)
+        n_decades = math.ceil(math.log10(self._highest / self._lowest) - 1e-12)
+        self._n_decades = max(1, n_decades)
+        self._counts: List[int] = [0] * (self._n_decades * self._bpd)
+        self._total = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` with multiplicity ``count``."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not math.isfinite(value):
+            raise ValueError("value must be finite")
+        if value < 0:
+            raise ValueError("latencies cannot be negative")
+        idx = self._index_of(value)
+        self._counts[idx] += count
+        self._total += count
+        self._sum += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _index_of(self, value: float) -> int:
+        if value < self._lowest:
+            return 0
+        if value >= self._highest:
+            return len(self._counts) - 1
+        # Decade index and linear position within the decade.
+        log = math.log10(value) - self._log_lowest
+        decade = int(log)
+        decade_lo = self._lowest * (10.0 ** decade)
+        frac = value / decade_lo  # in [1, 10)
+        if frac >= 10.0:  # floating point edge right at a decade boundary
+            decade += 1
+            decade_lo *= 10.0
+            frac = value / decade_lo
+        sub = int((frac - 1.0) / 9.0 * self._bpd)
+        sub = min(self._bpd - 1, max(0, sub))
+        idx = decade * self._bpd + sub
+        return min(len(self._counts) - 1, idx)
+
+    def _bucket_bounds(self, idx: int) -> Tuple[float, float]:
+        decade, sub = divmod(idx, self._bpd)
+        decade_lo = self._lowest * (10.0 ** decade)
+        width = decade_lo * 9.0 / self._bpd
+        lo = decade_lo + sub * width
+        return lo, lo + width
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        return self._total
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._counts)
+
+    @property
+    def min(self) -> float:
+        if self._total == 0:
+            raise ValueError("histogram is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._total == 0:
+            raise ValueError("histogram is empty")
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        if self._total == 0:
+            raise ValueError("histogram is empty")
+        return self._sum / self._total
+
+    def percentile(self, pct: float) -> float:
+        """Return the value at percentile ``pct`` (0 < pct <= 100).
+
+        The returned value is the midpoint of the bucket containing the
+        requested rank, clamped to the observed min/max so that exact
+        extremes are never over- or under-stated.
+        """
+        if not 0.0 < pct <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if self._total == 0:
+            raise ValueError("histogram is empty")
+        target = pct / 100.0 * self._total
+        running = 0
+        for idx, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            running += count
+            if running >= target - 1e-9:
+                lo, hi = self._bucket_bounds(idx)
+                mid = (lo + hi) / 2.0
+                return min(self._max, max(self._min, mid))
+        return self._max  # pragma: no cover - unreachable
+
+    def count_between(self, lo: float, hi: float) -> int:
+        """Count of recorded values in buckets overlapping ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        total = 0
+        for idx, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            blo, bhi = self._bucket_bounds(idx)
+            if bhi > lo and blo < hi:
+                total += count
+        return total
+
+    def buckets(self) -> Iterator[Tuple[float, float, int]]:
+        """Yield ``(lower, upper, count)`` for each non-empty bucket."""
+        for idx, count in enumerate(self._counts):
+            if count:
+                lo, hi = self._bucket_bounds(idx)
+                yield lo, hi, count
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Return the empirical CDF as ``(value, cumulative_prob)`` points."""
+        if self._total == 0:
+            return []
+        points = []
+        running = 0
+        for lo, hi, count in self.buckets():
+            running += count
+            points.append(((lo + hi) / 2.0, running / self._total))
+        return points
+
+    # ------------------------------------------------------------------
+    # Merge / copy
+    # ------------------------------------------------------------------
+    def compatible_with(self, other: "HdrHistogram") -> bool:
+        return (
+            self._lowest == other._lowest
+            and self._highest == other._highest
+            and self._bpd == other._bpd
+        )
+
+    def merge(self, other: "HdrHistogram") -> None:
+        """Fold ``other``'s counts into this histogram (in place)."""
+        if not self.compatible_with(other):
+            raise ValueError("cannot merge histograms with different layouts")
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self._total += other._total
+        self._sum += other._sum
+        if other._total:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
+    def copy(self) -> "HdrHistogram":
+        clone = HdrHistogram(self._lowest, self._highest, self._bpd)
+        clone.merge(self)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Serialization (for shipping statistics across the wire, as the
+    # networked configuration's stat collector does)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Compact, JSON-safe representation (sparse bucket encoding)."""
+        return {
+            "lowest": self._lowest,
+            "highest": self._highest,
+            "buckets_per_decade": self._bpd,
+            "counts": {
+                str(i): c for i, c in enumerate(self._counts) if c
+            },
+            "total": self._total,
+            "sum": self._sum,
+            "min": self._min if self._total else None,
+            "max": self._max if self._total else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HdrHistogram":
+        """Inverse of :meth:`to_dict`."""
+        hist = cls(
+            lowest=data["lowest"],
+            highest=data["highest"],
+            buckets_per_decade=data["buckets_per_decade"],
+        )
+        for index, count in data["counts"].items():
+            idx = int(index)
+            if not 0 <= idx < len(hist._counts):
+                raise ValueError(f"bucket index {idx} out of range")
+            if count < 0:
+                raise ValueError("bucket counts must be non-negative")
+            hist._counts[idx] = count
+        hist._total = data["total"]
+        hist._sum = data["sum"]
+        if hist._total:
+            hist._min = data["min"]
+            hist._max = data["max"]
+        if hist._total != sum(hist._counts):
+            raise ValueError("total does not match bucket counts")
+        return hist
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HdrHistogram(n={self._total}, range=[{self._lowest:g}, "
+            f"{self._highest:g}], buckets={len(self._counts)})"
+        )

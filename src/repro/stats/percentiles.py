@@ -1,0 +1,158 @@
+"""Quantile estimation and confidence intervals for quantiles.
+
+Tail latency is an order statistic, so its sampling error behaves very
+differently from a mean's. TailBench's methodology (Sec. IV-C) demands
+enough samples — and enough repeated runs — to pin each reported
+latency metric inside a 95% confidence interval of at most 1%. This
+module provides the building blocks: exact order-statistic quantiles,
+distribution-free binomial confidence intervals for a quantile, and
+bootstrap confidence intervals for arbitrary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = [
+    "quantile",
+    "percentile",
+    "binomial_quantile_ci",
+    "bootstrap_ci",
+    "required_samples_for_quantile",
+]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-quantile (0 <= q <= 1) with linear interpolation.
+
+    Uses the same convention as ``numpy.percentile`` (linear
+    interpolation between closest ranks) so results are directly
+    comparable with numpy-based analysis.
+    """
+    if not values:
+        raise ValueError("cannot take the quantile of no values")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = q * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    # Numerically stable form: exact when both ranks hold equal values.
+    return data[lo] + frac * (data[hi] - data[lo])
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Return the ``pct``-th percentile (0 <= pct <= 100)."""
+    return quantile(values, pct / 100.0)
+
+
+def _normal_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1); avoids a scipy dependency in the
+    core library.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def binomial_quantile_ci(
+    values: Sequence[float], q: float, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Distribution-free confidence interval for the ``q``-quantile.
+
+    Uses the normal approximation to the binomial to pick order
+    statistics bracketing the quantile: ranks ``n*q +/- z*sqrt(n*q*(1-q))``.
+    Valid for any underlying distribution, which matters because
+    latency distributions are heavy-tailed and decidedly non-normal.
+    """
+    if not values:
+        raise ValueError("cannot compute a CI of no values")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    data = sorted(values)
+    n = len(data)
+    z = _normal_ppf(0.5 + confidence / 2.0)
+    spread = z * math.sqrt(n * q * (1.0 - q))
+    lo_rank = int(math.floor(n * q - spread))
+    hi_rank = int(math.ceil(n * q + spread))
+    lo_rank = max(0, min(n - 1, lo_rank))
+    hi_rank = max(0, min(n - 1, hi_rank))
+    return data[lo_rank], data[hi_rank]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float],
+    confidence: float = 0.95,
+    n_resamples: int = 200,
+    rng: random.Random = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``."""
+    if not values:
+        raise ValueError("cannot bootstrap no values")
+    if n_resamples < 2:
+        raise ValueError("need at least 2 resamples")
+    rng = rng or random.Random(0)
+    data = list(values)
+    n = len(data)
+    stats: List[float] = []
+    for _ in range(n_resamples):
+        resample = [data[rng.randrange(n)] for _ in range(n)]
+        stats.append(statistic(resample))
+    alpha = 1.0 - confidence
+    return (quantile(stats, alpha / 2.0), quantile(stats, 1.0 - alpha / 2.0))
+
+
+def required_samples_for_quantile(
+    q: float, relative_precision: float = 0.1, confidence: float = 0.95
+) -> int:
+    """Rough sample-size rule for measuring the ``q``-quantile.
+
+    Returns the number of samples needed so the rank uncertainty of the
+    ``q``-quantile is within ``relative_precision`` of the tail mass
+    ``(1 - q)``. E.g. the 99th percentile with 10% rank precision needs
+    ~38k samples. This encodes the paper's "tail latency needs a large
+    number of samples" observation into a usable planning function.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    if relative_precision <= 0:
+        raise ValueError("relative_precision must be positive")
+    z = _normal_ppf(0.5 + confidence / 2.0)
+    tail = 1.0 - q
+    n = (z / relative_precision) ** 2 * q / tail
+    return int(math.ceil(n))

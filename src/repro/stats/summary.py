@@ -1,0 +1,92 @@
+"""Latency summary records.
+
+A :class:`LatencySummary` is the common currency between the harness,
+the simulator, and the experiment/benchmark code: one immutable record
+holding mean and percentile latencies plus run metadata, buildable from
+raw samples or an HDR histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from .hdr_histogram import HdrHistogram
+from .percentiles import percentile
+
+__all__ = ["LatencySummary", "format_latency"]
+
+_DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0, 99.9)
+
+
+def format_latency(seconds: float) -> str:
+    """Human-readable latency, matching the paper's units (us/ms/s)."""
+    if seconds < 0:
+        raise ValueError("latency cannot be negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one measurement run (latencies in seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    percentiles: Dict[float, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[float],
+        pcts: Sequence[float] = _DEFAULT_PERCENTILES,
+    ) -> "LatencySummary":
+        if not samples:
+            raise ValueError("cannot summarize zero samples")
+        data = sorted(samples)
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            minimum=data[0],
+            maximum=data[-1],
+            percentiles={p: percentile(data, p) for p in pcts},
+        )
+
+    @classmethod
+    def from_histogram(
+        cls,
+        hist: HdrHistogram,
+        pcts: Sequence[float] = _DEFAULT_PERCENTILES,
+    ) -> "LatencySummary":
+        if hist.total_count == 0:
+            raise ValueError("cannot summarize an empty histogram")
+        return cls(
+            count=hist.total_count,
+            mean=hist.mean,
+            minimum=hist.min,
+            maximum=hist.max,
+            percentiles={p: hist.percentile(p) for p in pcts},
+        )
+
+    @property
+    def p50(self) -> float:
+        return self.percentiles[50.0]
+
+    @property
+    def p95(self) -> float:
+        return self.percentiles[95.0]
+
+    @property
+    def p99(self) -> float:
+        return self.percentiles[99.0]
+
+    def describe(self) -> str:
+        parts = [f"n={self.count}", f"mean={format_latency(self.mean)}"]
+        for p in sorted(self.percentiles):
+            parts.append(f"p{p:g}={format_latency(self.percentiles[p])}")
+        return " ".join(parts)

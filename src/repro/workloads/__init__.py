@@ -1,0 +1,26 @@
+"""Workload generators: TPC-C, YCSB (mycsb-a), Zipfian search queries."""
+
+from .tpcc import (
+    STANDARD_MIX,
+    TpccScale,
+    TpccTransaction,
+    TpccWorkload,
+    make_last_name,
+    nurand,
+)
+from .ycsb import YcsbOperation, YcsbWorkload, make_key, make_value
+from .zipf import ZipfQuerySampler
+
+__all__ = [
+    "STANDARD_MIX",
+    "TpccScale",
+    "TpccTransaction",
+    "TpccWorkload",
+    "make_last_name",
+    "nurand",
+    "YcsbOperation",
+    "YcsbWorkload",
+    "make_key",
+    "make_value",
+    "ZipfQuerySampler",
+]

@@ -1,0 +1,229 @@
+"""TPC-C workload generation (shared by silo and shore).
+
+Implements the input-generation side of the TPC-C benchmark [TPC-C
+rev 5.11]: the non-uniform random (NURand) distribution, the standard
+transaction mix (45% New-Order, 43% Payment, 4% each of Order-Status,
+Delivery, Stock-Level), and per-transaction parameter generation. The
+database engines consume the emitted :class:`TpccTransaction`
+descriptors.
+
+A ``scale`` factor shrinks the per-warehouse cardinalities uniformly so
+tests and examples can run against small databases without changing
+the workload's statistical structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "TpccScale",
+    "TpccTransaction",
+    "TpccWorkload",
+    "nurand",
+    "make_last_name",
+    "STANDARD_MIX",
+]
+
+# Syllables used by TPC-C's customer last-name generator (clause 4.3.2.3).
+_NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+#: Standard TPC-C transaction mix (clause 5.2.3 minimums, normalized).
+STANDARD_MIX: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+
+def make_last_name(number: int) -> str:
+    """Customer last name from a number in [0, 999] (clause 4.3.2.3)."""
+    if not 0 <= number <= 999:
+        raise ValueError("last-name number must be in [0, 999]")
+    return (
+        _NAME_SYLLABLES[number // 100]
+        + _NAME_SYLLABLES[(number // 10) % 10]
+        + _NAME_SYLLABLES[number % 10]
+    )
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int = 123) -> int:
+    """TPC-C non-uniform random over [x, y] (clause 2.1.6)."""
+    if y < x:
+        raise ValueError("need x <= y")
+    return (
+        ((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1)
+    ) + x
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Cardinalities of one TPC-C warehouse, scalable for testing."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 3000
+    items: int = 100_000
+    initial_orders_per_district: int = 3000
+
+    def __post_init__(self) -> None:
+        for name in (
+            "warehouses",
+            "districts_per_warehouse",
+            "customers_per_district",
+            "items",
+            "initial_orders_per_district",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @classmethod
+    def small(cls, warehouses: int = 1) -> "TpccScale":
+        """A down-scaled database for fast tests and examples."""
+        return cls(
+            warehouses=warehouses,
+            districts_per_warehouse=4,
+            customers_per_district=60,
+            items=500,
+            initial_orders_per_district=60,
+        )
+
+
+@dataclass(frozen=True)
+class TpccTransaction:
+    """One transaction request: a type tag plus its input parameters."""
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+
+
+class TpccWorkload:
+    """Generates TPC-C transactions with the standard mix.
+
+    The same generator instance drives both silo and shore so their
+    offered workloads are statistically identical (only the engine
+    underneath differs), mirroring the paper's setup where both run
+    TPC-C.
+    """
+
+    def __init__(
+        self,
+        scale: TpccScale = TpccScale(),
+        seed: int = 0,
+        mix: Dict[str, float] = None,
+    ) -> None:
+        self.scale = scale
+        self._rng = random.Random(seed)
+        mix = dict(STANDARD_MIX if mix is None else mix)
+        total = sum(mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("transaction mix must sum to 1")
+        unknown = set(mix) - set(STANDARD_MIX)
+        if unknown:
+            raise ValueError(f"unknown transaction kinds: {sorted(unknown)}")
+        self._kinds: List[str] = sorted(mix)
+        self._weights: List[float] = [mix[k] for k in self._kinds]
+
+    # -- parameter generators (one per transaction type) ---------------
+    def _pick_warehouse(self) -> int:
+        return self._rng.randint(1, self.scale.warehouses)
+
+    def _pick_district(self) -> int:
+        return self._rng.randint(1, self.scale.districts_per_warehouse)
+
+    def _pick_customer(self) -> int:
+        c = self.scale.customers_per_district
+        return nurand(self._rng, 1023, 1, c) if c > 1023 else self._rng.randint(1, c)
+
+    def _pick_item(self) -> int:
+        n = self.scale.items
+        return nurand(self._rng, 8191, 1, n) if n > 8191 else self._rng.randint(1, n)
+
+    def new_order(self) -> TpccTransaction:
+        w_id = self._pick_warehouse()
+        n_lines = self._rng.randint(5, 15)
+        lines = []
+        for _ in range(n_lines):
+            # 1% of lines reference a remote warehouse when there is one.
+            remote = self.scale.warehouses > 1 and self._rng.random() < 0.01
+            supply_w = (
+                self._rng.choice(
+                    [w for w in range(1, self.scale.warehouses + 1) if w != w_id]
+                )
+                if remote
+                else w_id
+            )
+            lines.append(
+                {
+                    "item_id": self._pick_item(),
+                    "supply_w_id": supply_w,
+                    "quantity": self._rng.randint(1, 10),
+                }
+            )
+        return TpccTransaction(
+            "new_order",
+            {
+                "w_id": w_id,
+                "d_id": self._pick_district(),
+                "c_id": self._pick_customer(),
+                "lines": lines,
+            },
+        )
+
+    def payment(self) -> TpccTransaction:
+        w_id = self._pick_warehouse()
+        by_name = self._rng.random() < 0.60
+        params = {
+            "w_id": w_id,
+            "d_id": self._pick_district(),
+            "amount": round(self._rng.uniform(1.0, 5000.0), 2),
+        }
+        if by_name:
+            params["c_last"] = make_last_name(
+                nurand(self._rng, 255, 0, 999)
+                if self.scale.customers_per_district >= 1000
+                else self._rng.randint(0, 999)
+            )
+        else:
+            params["c_id"] = self._pick_customer()
+        return TpccTransaction("payment", params)
+
+    def order_status(self) -> TpccTransaction:
+        return TpccTransaction(
+            "order_status",
+            {
+                "w_id": self._pick_warehouse(),
+                "d_id": self._pick_district(),
+                "c_id": self._pick_customer(),
+            },
+        )
+
+    def delivery(self) -> TpccTransaction:
+        return TpccTransaction(
+            "delivery",
+            {
+                "w_id": self._pick_warehouse(),
+                "carrier_id": self._rng.randint(1, 10),
+            },
+        )
+
+    def stock_level(self) -> TpccTransaction:
+        return TpccTransaction(
+            "stock_level",
+            {
+                "w_id": self._pick_warehouse(),
+                "d_id": self._pick_district(),
+                "threshold": self._rng.randint(10, 20),
+            },
+        )
+
+    def next_transaction(self) -> TpccTransaction:
+        kind = self._rng.choices(self._kinds, weights=self._weights, k=1)[0]
+        return getattr(self, kind)()

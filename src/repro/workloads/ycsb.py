@@ -1,0 +1,97 @@
+"""YCSB-style key-value workload.
+
+TailBench drives masstree with "mycsb-a", a modified Yahoo Cloud
+Serving Benchmark workload with 50% GET and 50% PUT over a ~1 GB table
+(Sec. III). This module reproduces that driver: Zipfian key popularity
+over a fixed keyspace, deterministic synthetic values, and a GET/PUT
+operation mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..stats import ZipfianGenerator
+
+__all__ = ["YcsbOperation", "YcsbWorkload", "make_key", "make_value"]
+
+
+def make_key(index: int) -> str:
+    """Deterministic YCSB-style key (``user`` + hashed index)."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    digest = hashlib.md5(str(index).encode()).hexdigest()[:16]
+    return f"user{digest}"
+
+
+def make_value(index: int, size: int = 100) -> bytes:
+    """Deterministic pseudo-random value of ``size`` bytes."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    seed = hashlib.md5(f"value-{index}".encode()).digest()
+    reps = size // len(seed) + 1
+    return (seed * reps)[:size]
+
+
+@dataclass(frozen=True)
+class YcsbOperation:
+    """One key-value operation: ``op`` is 'get' or 'put'."""
+
+    op: str
+    key: str
+    value: bytes = b""
+
+
+class YcsbWorkload:
+    """mycsb-a: 50/50 GET/PUT with Zipfian key popularity.
+
+    Parameters
+    ----------
+    n_records:
+        Keyspace size (the table is pre-loaded with these records).
+    get_fraction:
+        Fraction of operations that are GETs (0.5 for mycsb-a).
+    value_size:
+        Bytes per value.
+    zipf_theta:
+        Zipfian skew of key popularity.
+    """
+
+    def __init__(
+        self,
+        n_records: int = 10_000,
+        get_fraction: float = 0.5,
+        value_size: int = 100,
+        zipf_theta: float = 0.99,
+        seed: int = 0,
+    ) -> None:
+        if n_records < 1:
+            raise ValueError("n_records must be >= 1")
+        if not 0.0 <= get_fraction <= 1.0:
+            raise ValueError("get_fraction must be in [0, 1]")
+        self.n_records = n_records
+        self.get_fraction = get_fraction
+        self.value_size = value_size
+        self._zipf = ZipfianGenerator(n_records, theta=zipf_theta)
+        self._rng = random.Random(seed)
+        self._put_counter = n_records  # source of fresh values
+
+    def initial_records(self) -> Dict[str, bytes]:
+        """The pre-load dataset: every key with its initial value."""
+        return {
+            make_key(i): make_value(i, self.value_size)
+            for i in range(self.n_records)
+        }
+
+    def next_operation(self) -> YcsbOperation:
+        rank = self._zipf.sample(self._rng)
+        key = make_key(rank)
+        if self._rng.random() < self.get_fraction:
+            return YcsbOperation("get", key)
+        self._put_counter += 1
+        return YcsbOperation(
+            "put", key, make_value(self._put_counter, self.value_size)
+        )

@@ -1,0 +1,67 @@
+"""Zipfian search-query generation for xapian.
+
+Online search query popularity follows a Zipfian distribution
+[Baeza-Yates 2005; Feitelson 2015], which TailBench uses to pick
+xapian's query terms (Sec. III). :class:`ZipfQuerySampler` draws query
+terms by Zipfian rank from a vocabulary ordered by corpus frequency,
+and composes multi-term queries with a configurable length
+distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..stats import ZipfianGenerator
+
+__all__ = ["ZipfQuerySampler"]
+
+
+class ZipfQuerySampler:
+    """Draws search queries with Zipfian term popularity.
+
+    Parameters
+    ----------
+    vocabulary:
+        Terms ordered most-frequent-first (rank 0 = most popular).
+    theta:
+        Zipfian skew exponent.
+    min_terms / max_terms:
+        Query length is uniform in ``[min_terms, max_terms]`` — real
+        search queries average two to three terms.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Sequence[str],
+        theta: float = 0.9,
+        min_terms: int = 1,
+        max_terms: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        if not 1 <= min_terms <= max_terms:
+            raise ValueError("need 1 <= min_terms <= max_terms")
+        self.vocabulary = list(vocabulary)
+        self.min_terms = min_terms
+        self.max_terms = max_terms
+        self._zipf = ZipfianGenerator(len(self.vocabulary), theta=theta)
+        self._rng = random.Random(seed)
+
+    def next_terms(self) -> List[str]:
+        n = self._rng.randint(self.min_terms, self.max_terms)
+        terms = []
+        seen = set()
+        while len(terms) < n:
+            term = self.vocabulary[self._zipf.sample(self._rng)]
+            if term not in seen:
+                seen.add(term)
+                terms.append(term)
+            elif len(seen) >= len(self.vocabulary):
+                break
+        return terms
+
+    def next_query(self) -> str:
+        return " ".join(self.next_terms())

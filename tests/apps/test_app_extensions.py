@@ -1,0 +1,133 @@
+"""Tests for app extensions: range scans, AND-queries, WER scoring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.masstree import Masstree, MasstreeApp
+from repro.apps.sphinx import edit_distance, word_error_rate
+from repro.apps.xapian import Document, InvertedIndex
+from repro.workloads import YcsbOperation, make_key
+
+
+class TestMasstreeRange:
+    def test_range_respects_bounds(self):
+        tree = Masstree()
+        for key in (b"a", b"b", b"c", b"d"):
+            tree.put(key, key.decode())
+        assert [k for k, _ in tree.range(b"b", b"d")] == [b"b", b"c"]
+
+    def test_range_across_layers(self):
+        tree = Masstree()
+        keys = [b"prefix--" + bytes([i]) for i in range(10)] + [b"prefix--"]
+        for key in keys:
+            tree.put(key, 1)
+        result = [k for k, _ in tree.range(b"prefix--", b"prefix--\x05")]
+        assert result == sorted(k for k in keys if k < b"prefix--\x05")
+
+    def test_empty_range(self):
+        tree = Masstree()
+        tree.put(b"x", 1)
+        assert list(tree.range(b"y", b"z")) == []
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            list(Masstree().range("a", "b"))
+
+    @given(st.sets(st.binary(min_size=0, max_size=12), max_size=60),
+           st.binary(max_size=12), st.binary(max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_sorted_filter(self, keys, lo, hi):
+        tree = Masstree()
+        for key in keys:
+            tree.put(key, True)
+        expected = sorted(k for k in keys if lo <= k < hi)
+        assert [k for k, _ in tree.range(lo, hi)] == expected
+
+    def test_scan_operation_via_app(self):
+        app = MasstreeApp(n_records=100)
+        app.setup()
+        result = app.process(
+            YcsbOperation("scan", make_key(0), (5).to_bytes(1, "big"))
+        )
+        assert len(result) == 5
+        keys = [k for k, _ in result]
+        assert keys == sorted(keys)
+        assert keys[0] == make_key(0).encode()
+
+
+class TestConjunctiveSearch:
+    @pytest.fixture()
+    def index(self):
+        idx = InvertedIndex()
+        idx.build([
+            Document(0, "a", "apple banana"),
+            Document(1, "b", "apple cherry"),
+            Document(2, "c", "banana cherry"),
+            Document(3, "d", "apple banana cherry"),
+        ])
+        return idx
+
+    def test_and_requires_all_terms(self, index):
+        results = index.search("apple banana", conjunctive=True)
+        assert {r.doc_id for r in results} == {0, 3}
+
+    def test_and_subset_of_or(self, index):
+        or_ids = {r.doc_id for r in index.search("apple cherry")}
+        and_ids = {r.doc_id for r in index.search("apple cherry", conjunctive=True)}
+        assert and_ids <= or_ids
+        assert and_ids == {1, 3}
+
+    def test_and_with_missing_term_empty(self, index):
+        assert index.search("apple zzz", conjunctive=True) == []
+
+    def test_and_scores_still_ranked(self, index):
+        results = index.search("apple banana cherry", conjunctive=True)
+        assert [r.doc_id for r in results] == [3]
+        assert results[0].score > 0
+
+
+class TestWer:
+    def test_identical_zero(self):
+        assert edit_distance(["a", "b"], ["a", "b"]) == 0
+        assert word_error_rate(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_substitution(self):
+        assert edit_distance(["a", "b", "c"], ["a", "x", "c"]) == 1
+
+    def test_insertion_and_deletion(self):
+        assert edit_distance(["a", "b"], ["a", "x", "b"]) == 1
+        assert edit_distance(["a", "x", "b"], ["a", "b"]) == 1
+
+    def test_empty_cases(self):
+        assert edit_distance([], ["a"]) == 1
+        assert edit_distance(["a", "b"], []) == 2
+        with pytest.raises(ValueError):
+            word_error_rate([], ["a"])
+
+    def test_wer_can_exceed_one(self):
+        assert word_error_rate(["a"], ["x", "y", "z"]) == 3.0
+
+    @given(st.lists(st.sampled_from("abc"), max_size=15),
+           st.lists(st.sampled_from("abc"), max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_property_metric_axioms(self, x, y):
+        d = edit_distance(x, y)
+        assert d == edit_distance(y, x)  # symmetry
+        assert (d == 0) == (x == y)  # identity
+        assert d <= max(len(x), len(y))  # upper bound
+
+    def test_recognizer_wer_is_low_on_clean_speech(self):
+        from repro.apps.sphinx import SphinxApp, UtteranceGenerator
+
+        app = SphinxApp(seed=0)
+        app.setup()
+        gen = UtteranceGenerator(app.model, noise=0.1, seed=11,
+                                 min_words=3, max_words=5)
+        total_wer = 0.0
+        n = 8
+        for _ in range(n):
+            utt = gen.next_utterance()
+            result = app.process(utt.frames)
+            total_wer += word_error_rate(utt.transcript, result.words)
+        assert total_wer / n < 0.5

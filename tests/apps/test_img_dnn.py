@@ -1,0 +1,150 @@
+"""Tests for the img-dnn image recognition application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.img_dnn import (
+    IMAGE_SIZE,
+    N_CLASSES,
+    AutoencoderClassifier,
+    ImgDnnApp,
+    SyntheticMnist,
+    sigmoid,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_sigmoid_range_and_midpoint(self):
+        x = np.array([-100.0, 0.0, 100.0])
+        y = sigmoid(x)
+        assert y[0] == pytest.approx(0.0, abs=1e-9)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0, abs=1e-9)
+
+    def test_sigmoid_no_overflow(self):
+        assert np.all(np.isfinite(sigmoid(np.array([-1e4, 1e4]))))
+
+    def test_softmax_normalizes(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs[1, 0] == pytest.approx(1 / 3)
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(x), softmax(x + 1000.0))
+
+
+class TestSyntheticMnist:
+    def test_sample_shape_and_range(self):
+        gen = SyntheticMnist(seed=0)
+        sample = gen.sample()
+        assert sample.pixels.shape == (IMAGE_SIZE * IMAGE_SIZE,)
+        assert np.all((sample.pixels >= 0) & (sample.pixels <= 1))
+        assert 0 <= sample.label < N_CLASSES
+
+    def test_requested_digit(self):
+        gen = SyntheticMnist(seed=1)
+        assert gen.sample(digit=7).label == 7
+
+    def test_digits_are_distinct(self):
+        gen = SyntheticMnist(shift=0, noise=0.0, seed=2)
+        imgs = {d: gen.sample(d).pixels for d in range(N_CLASSES)}
+        for a in range(N_CLASSES):
+            for b in range(a + 1, N_CLASSES):
+                assert np.abs(imgs[a] - imgs[b]).sum() > 1.0
+
+    def test_noise_varies_samples(self):
+        gen = SyntheticMnist(seed=3)
+        a, b = gen.sample(5).pixels, gen.sample(5).pixels
+        assert not np.array_equal(a, b)
+
+    def test_dataset_balanced(self):
+        gen = SyntheticMnist(seed=4)
+        x, y = gen.dataset(100)
+        assert x.shape == (100, IMAGE_SIZE * IMAGE_SIZE)
+        counts = np.bincount(y, minlength=N_CLASSES)
+        assert counts.min() == counts.max() == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticMnist(shift=-1)
+        with pytest.raises(ValueError):
+            SyntheticMnist(seed=0).sample(digit=10)
+        with pytest.raises(ValueError):
+            SyntheticMnist(seed=0).dataset(5)
+
+
+class TestAutoencoderClassifier:
+    def test_pretraining_reduces_reconstruction_error(self):
+        gen = SyntheticMnist(seed=5)
+        x, _ = gen.dataset(300)
+        model = AutoencoderClassifier(
+            layer_sizes=(IMAGE_SIZE * IMAGE_SIZE, 64, 32), seed=0
+        )
+        first = model.pretrain(x, epochs=1)
+        later = model.pretrain(x, epochs=4)
+        assert later < first
+
+    def test_training_reduces_loss(self):
+        gen = SyntheticMnist(seed=6)
+        x, y = gen.dataset(300)
+        model = AutoencoderClassifier(
+            layer_sizes=(IMAGE_SIZE * IMAGE_SIZE, 64, 32), seed=0
+        )
+        model.pretrain(x, epochs=2)
+        first = model.train_classifier(x, y, epochs=1)
+        later = model.train_classifier(x, y, epochs=5)
+        assert later < first
+
+    def test_encode_shape(self):
+        model = AutoencoderClassifier(layer_sizes=(256, 64, 32), seed=0)
+        codes = model.encode(np.random.default_rng(0).random((7, 256)))
+        assert codes.shape == (7, 32)
+
+    def test_predict_single_and_batch(self):
+        model = AutoencoderClassifier(layer_sizes=(256, 32, 16), seed=0)
+        rng = np.random.default_rng(1)
+        single = model.predict(rng.random(256))
+        batch = model.predict(rng.random((5, 256)))
+        assert isinstance(int(single), int)
+        assert batch.shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoencoderClassifier(layer_sizes=(256,))
+
+
+class TestImgDnnApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = ImgDnnApp(train_samples=600, epochs=14, seed=0)
+        app.setup()
+        return app
+
+    def test_learns_the_task(self, app):
+        assert app.train_accuracy > 0.8
+
+    def test_classifies_fresh_samples(self, app):
+        gen = SyntheticMnist(seed=99)
+        correct = 0
+        n = 50
+        for _ in range(n):
+            sample = gen.sample()
+            if app.process(sample.pixels) == sample.label:
+                correct += 1
+        assert correct / n > 0.6
+
+    def test_process_returns_int_label(self, app):
+        client = app.make_client(seed=0)
+        label = app.process(client.next_request())
+        assert isinstance(label, int)
+        assert 0 <= label < N_CLASSES
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            ImgDnnApp(train_samples=20).process(np.zeros(IMAGE_SIZE ** 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImgDnnApp(train_samples=3)

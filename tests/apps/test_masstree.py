@@ -1,0 +1,243 @@
+"""Tests for the masstree key-value store (B+tree + trie layering)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.masstree import BPlusTree, Masstree, MasstreeApp, key_slices
+from repro.workloads import YcsbOperation
+
+
+class TestBPlusTree:
+    def test_put_get(self):
+        tree = BPlusTree(order=4)
+        tree.put(5, "five")
+        tree.put(3, "three")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert tree.get(99) is None
+        assert tree.get(99, "default") == "default"
+
+    def test_overwrite(self):
+        tree = BPlusTree()
+        assert tree.put(1, "a") is True
+        assert tree.put(1, "b") is False
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.put(1, None)  # None values are storable
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_splits_maintain_order(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.put(i, i * 10)
+        assert len(tree) == 200
+        assert [k for k, _ in tree.items()] == list(range(200))
+        tree.check_invariants()
+
+    def test_reverse_and_random_insertion(self):
+        for order, keys in ((3, range(99, -1, -1)), (5, None)):
+            tree = BPlusTree(order=order)
+            key_list = list(keys) if keys else random.Random(0).sample(range(500), 300)
+            for k in key_list:
+                tree.put(k, k)
+            assert [k for k, _ in tree.items()] == sorted(key_list)
+            tree.check_invariants()
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.put(i, i)
+        assert tree.delete(25) is True
+        assert tree.delete(25) is False
+        assert 25 not in tree
+        assert len(tree) == 49
+        tree.check_invariants()
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):
+            tree.put(i, i)
+        assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18]
+        assert list(tree.range(99, 200)) == []
+        assert [k for k, _ in tree.range(-5, 3)] == [0, 2]
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        words = ["pear", "apple", "fig", "date", "cherry", "banana"]
+        for w in words:
+            tree.put(w, w.upper())
+        assert [k for k, _ in tree.items()] == sorted(words)
+        assert tree.get("fig") == "FIG"
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_dict(self, keys):
+        tree = BPlusTree(order=4)
+        reference = {}
+        for k in keys:
+            tree.put(k, k * 2)
+            reference[k] = k * 2
+        assert len(tree) == len(reference)
+        for k, v in reference.items():
+            assert tree.get(k) == v
+        assert list(tree.items()) == sorted(reference.items())
+        tree.check_invariants()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=200),
+        st.lists(st.integers(min_value=0, max_value=500), max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_delete_matches_dict(self, inserts, deletes):
+        tree = BPlusTree(order=5)
+        reference = {}
+        for k in inserts:
+            tree.put(k, k)
+            reference[k] = k
+        for k in deletes:
+            assert tree.delete(k) == (k in reference)
+            reference.pop(k, None)
+        assert list(tree.items()) == sorted(reference.items())
+
+
+class TestKeySlices:
+    def test_short_key_single_slice(self):
+        slices = key_slices(b"abc")
+        assert len(slices) == 1
+        assert slices[0][1] == 3  # true length tag
+
+    def test_long_key_multiple_slices(self):
+        slices = key_slices(b"0123456789abcdef" + b"xy")
+        assert len(slices) == 3
+        assert slices[0][1] == 8 and slices[2][1] == 2
+
+    def test_padding_does_not_collide(self):
+        assert key_slices(b"a") != key_slices(b"a\x00")
+
+    def test_empty_key(self):
+        assert len(key_slices(b"")) == 1
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            key_slices("not-bytes")
+
+
+class TestMasstree:
+    def test_put_get_delete(self):
+        tree = Masstree()
+        tree.put(b"hello", 1)
+        assert tree.get(b"hello") == 1
+        assert tree.delete(b"hello") is True
+        assert tree.get(b"hello") is None
+        assert len(tree) == 0
+
+    def test_prefix_keys_coexist(self):
+        # The masstree layering case: keys sharing 8-byte prefixes.
+        tree = Masstree()
+        tree.put(b"12345678", "exact")
+        tree.put(b"12345678extra", "longer")
+        tree.put(b"1234", "shorter")
+        assert tree.get(b"12345678") == "exact"
+        assert tree.get(b"12345678extra") == "longer"
+        assert tree.get(b"1234") == "shorter"
+        assert len(tree) == 3
+
+    def test_delete_with_shared_prefix(self):
+        tree = Masstree()
+        tree.put(b"aaaaaaaa", 1)
+        tree.put(b"aaaaaaaabbbbbbbb", 2)
+        assert tree.delete(b"aaaaaaaa") is True
+        assert tree.get(b"aaaaaaaa") is None
+        assert tree.get(b"aaaaaaaabbbbbbbb") == 2
+
+    def test_items_in_lexicographic_order(self):
+        tree = Masstree()
+        keys = [b"pear", b"apple", b"app", b"banana-split-very-long-key", b"fig"]
+        for i, k in enumerate(keys):
+            tree.put(k, i)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_overwrite_returns_false(self):
+        tree = Masstree()
+        assert tree.put(b"k", 1) is True
+        assert tree.put(b"k", 2) is False
+        assert tree.get(b"k") == 2
+
+    def test_missing_delete_returns_false(self):
+        tree = Masstree()
+        assert tree.delete(b"ghost") is False
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=0, max_size=24),
+            st.integers(),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_dict(self, reference):
+        tree = Masstree()
+        for k, v in reference.items():
+            tree.put(k, v)
+        assert len(tree) == len(reference)
+        for k, v in reference.items():
+            assert tree.get(k) == v
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=20), max_size=80),
+        st.lists(st.binary(min_size=0, max_size=20), max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_deletes(self, inserts, deletes):
+        tree = Masstree()
+        reference = {}
+        for k in inserts:
+            tree.put(k, len(k))
+            reference[k] = len(k)
+        for k in deletes:
+            assert tree.delete(k) == (k in reference)
+            reference.pop(k, None)
+        for k, v in reference.items():
+            assert tree.get(k) == v
+        assert len(tree) == len(reference)
+
+
+class TestMasstreeApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = MasstreeApp(n_records=300)
+        app.setup()
+        return app
+
+    def test_gets_return_preloaded_values(self, app):
+        from repro.workloads import make_key, make_value
+
+        result = app.process(YcsbOperation("get", make_key(0)))
+        assert result == make_value(0, 100)
+
+    def test_put_then_get(self, app):
+        from repro.workloads import make_key
+
+        key = make_key(1)
+        app.process(YcsbOperation("put", key, b"fresh"))
+        assert app.process(YcsbOperation("get", key)) == b"fresh"
+
+    def test_unknown_op_rejected(self, app):
+        with pytest.raises(ValueError):
+            app.process(YcsbOperation("increment", "k"))
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            MasstreeApp(n_records=10).process(YcsbOperation("get", "k"))

@@ -1,0 +1,183 @@
+"""Tests for the moses statistical machine translation application."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps.moses import (
+    BOS,
+    EOS,
+    MosesApp,
+    NGramLanguageModel,
+    ParallelCorpus,
+    PhraseTable,
+    StackDecoder,
+)
+
+
+class TestParallelCorpus:
+    def test_deterministic(self):
+        a = ParallelCorpus(vocab_size=50, n_sentences=20, seed=1)
+        b = ParallelCorpus(vocab_size=50, n_sentences=20, seed=1)
+        assert a.sentence_pairs() == b.sentence_pairs()
+
+    def test_pair_lengths_match(self):
+        corpus = ParallelCorpus(vocab_size=50, n_sentences=50, seed=2)
+        for pair in corpus.sentence_pairs():
+            assert len(pair.source) == len(pair.target)
+            assert len(pair.source) >= 1
+
+    def test_source_vocab(self):
+        corpus = ParallelCorpus(vocab_size=30, n_sentences=10, seed=0)
+        vocab = set(corpus.source_vocabulary)
+        for pair in corpus.sentence_pairs():
+            assert set(pair.source) <= vocab
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCorpus(vocab_size=5)
+
+
+class TestLanguageModel:
+    @pytest.fixture()
+    def lm(self):
+        lm = NGramLanguageModel(order=3)
+        lm.train([("a", "b", "c"), ("a", "b", "d"), ("a", "b", "c")])
+        return lm
+
+    def test_probabilities_sum_to_one(self, lm):
+        vocab = ["a", "b", "c", "d", BOS, EOS]
+        total = sum(lm.prob(w, ("a", "b")) for w in vocab)
+        assert total <= 1.0 + 1e-9
+
+    def test_seen_continuation_more_likely(self, lm):
+        assert lm.prob("c", ("a", "b")) > lm.prob("d", ("a", "b"))
+        assert lm.prob("c", ("a", "b")) > lm.prob("z", ("a", "b"))
+
+    def test_unseen_word_nonzero(self, lm):
+        assert lm.prob("zzz", ("a", "b")) > 0.0
+
+    def test_sentence_logprob_finite_and_ordered(self, lm):
+        likely = lm.sentence_logprob(("a", "b", "c"))
+        unlikely = lm.sentence_logprob(("d", "c", "a"))
+        assert math.isfinite(likely) and math.isfinite(unlikely)
+        assert likely > unlikely
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            NGramLanguageModel().prob("a", ())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NGramLanguageModel(order=0)
+        with pytest.raises(ValueError):
+            NGramLanguageModel(order=2, lambdas=(0.9,))
+        with pytest.raises(ValueError):
+            NGramLanguageModel(order=1, lambdas=(1.2,))
+
+
+class TestPhraseTable:
+    @pytest.fixture()
+    def table(self):
+        corpus = ParallelCorpus(vocab_size=60, n_sentences=400, seed=3)
+        table = PhraseTable(max_phrase_len=3)
+        table.build(corpus.sentence_pairs())
+        return table
+
+    def test_extracts_phrases(self, table):
+        assert len(table) > 0
+
+    def test_log_probs_normalized(self, table):
+        # Per source phrase, translation probs must not exceed 1.
+        checked = 0
+        for src in list(table._table)[:50]:
+            total = sum(math.exp(o.log_prob) for o in table.options(src))
+            assert total <= 1.0 + 1e-9
+            checked += 1
+        assert checked > 0
+
+    def test_options_ranked_by_probability(self, table):
+        for src in list(table._table)[:50]:
+            probs = [o.log_prob for o in table.options(src)]
+            assert probs == sorted(probs, reverse=True)
+
+    def test_unknown_word_passthrough(self, table):
+        spans = table.lookup_all(("qqqqq",))
+        assert (0, 1) in spans
+        assert spans[(0, 1)][0].target == ("qqqqq",)
+
+    def test_lookup_all_covers_every_position(self, table):
+        sentence = ("s0", "s1", "s2", "s3")
+        spans = table.lookup_all(sentence)
+        for i in range(len(sentence)):
+            assert any(start <= i < end for (start, end) in spans)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhraseTable(max_phrase_len=0)
+
+
+class TestStackDecoder:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = MosesApp(vocab_size=80, n_sentences=600, stack_size=10)
+        app.setup()
+        return app
+
+    def test_translates_known_words(self, app):
+        # s<i> should translate mostly to t<i> given the corpus design.
+        result = app.process(("s0", "s1"))
+        assert len(result.target) >= 2
+        assert result.score > float("-inf")
+
+    def test_full_coverage(self, app):
+        # Every source position must be translated exactly once.
+        source = ("s0", "s3", "s2", "s5", "s1")
+        result = app.process(source)
+        assert len(result.target) >= len(source) - 1  # phrases may merge
+
+    def test_translation_accuracy_on_common_words(self, app):
+        rng = random.Random(0)
+        correct = total = 0
+        for _ in range(30):
+            i = rng.randrange(10)  # common words are well-attested
+            result = app.process((f"s{i}",))
+            total += 1
+            if f"t{i}" in result.target:
+                correct += 1
+        assert correct / total > 0.6
+
+    def test_empty_sentence(self, app):
+        result = app.process(())
+        assert result.target == ()
+
+    def test_longer_sentences_expand_more_hypotheses(self, app):
+        short = app.process(("s0", "s1"))
+        long = app.process(tuple(f"s{i}" for i in range(10)))
+        assert long.n_hypotheses > short.n_hypotheses
+
+    def test_larger_stack_never_worse(self, app):
+        decoder = app.decoder
+        small = StackDecoder(
+            decoder.phrase_table, decoder.language_model, stack_size=1
+        )
+        big = StackDecoder(
+            decoder.phrase_table, decoder.language_model, stack_size=50
+        )
+        sentence = tuple(f"s{i}" for i in (4, 2, 9, 1, 7))
+        assert big.decode(sentence).score >= small.decode(sentence).score - 1e-9
+
+    def test_decoder_validation(self, app):
+        decoder = app.decoder
+        with pytest.raises(ValueError):
+            StackDecoder(decoder.phrase_table, decoder.language_model, stack_size=0)
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            MosesApp(vocab_size=20, n_sentences=20).process(("s0",))
+
+    def test_client_draws_source_sentences(self, app):
+        client = app.make_client(seed=0)
+        sentence = client.next_request()
+        assert all(w.startswith("s") for w in sentence)

@@ -1,0 +1,308 @@
+"""Tests for the shore engine: 2PL transactions, recovery, TPC-C."""
+
+import threading
+
+import pytest
+
+from repro.apps.shore import ShoreApp, ShoreEngine
+from repro.apps.silo import TransactionAborted
+from repro.workloads import TpccScale, TpccTransaction, TpccWorkload
+
+
+@pytest.fixture()
+def engine():
+    eng = ShoreEngine(buffer_capacity=16)
+    yield eng
+    eng.close()
+
+
+class TestShoreTransactions:
+    def test_insert_read(self, engine):
+        table = engine.create_table("t")
+        engine.run(lambda txn: txn.insert(table, 1, {"v": "one"}))
+        assert engine.run(lambda txn: txn.read(table, 1)) == {"v": "one"}
+
+    def test_update(self, engine):
+        table = engine.create_table("t")
+        engine.run(lambda txn: txn.insert(table, 1, "a"))
+        engine.run(lambda txn: txn.write(table, 1, "b"))
+        assert engine.run(lambda txn: txn.read(table, 1)) == "b"
+
+    def test_delete(self, engine):
+        table = engine.create_table("t")
+        engine.run(lambda txn: txn.insert(table, 1, "x"))
+        engine.run(lambda txn: txn.delete(table, 1))
+        assert engine.run(lambda txn: txn.read(table, 1)) is None
+
+    def test_read_your_writes(self, engine):
+        table = engine.create_table("t")
+
+        def body(txn):
+            txn.insert(table, 5, "mine")
+            return txn.read(table, 5)
+
+        assert engine.run(body) == "mine"
+
+    def test_abort_discards_buffered_effects(self, engine):
+        table = engine.create_table("t")
+        txn = engine.transaction()
+        txn.insert(table, 1, "ghost")
+        txn.abort()
+        assert engine.run(lambda t: t.read(table, 1)) is None
+
+    def test_scan_range_and_partition(self, engine):
+        table = engine.create_table("t", lambda key: key[0])
+        for d in (1, 2):
+            for o in (1, 2, 3):
+                engine.run(lambda t, d=d, o=o: t.insert(table, (d, o), o * d))
+        result = engine.run(lambda t: t.scan(table, 1, (1, 2), (1, 99)))
+        assert [k for k, _ in result] == [(1, 2), (1, 3)]
+
+    def test_scan_includes_own_inserts(self, engine):
+        table = engine.create_table("t", lambda key: 0)
+
+        def body(txn):
+            txn.insert(table, 7, "new")
+            return txn.scan(table, 0, 0, 100)
+
+        assert (7, "new") in engine.run(body)
+
+    def test_last_key(self, engine):
+        table = engine.create_table("t", lambda key: key[0])
+        for o in (4, 9, 2):
+            engine.run(lambda t, o=o: t.insert(table, (1, o), o))
+        assert table.last_key(1) == (1, 9)
+        assert table.last_key(1, below=(1, 9)) == (1, 4)
+
+    def test_record_relocation_on_growth(self, engine):
+        # Fill a page with several records, then grow one so it no
+        # longer fits in place: it must relocate to a fresh page and
+        # stay reachable through the index.
+        table = engine.create_table("t")
+        for i in range(4):
+            engine.run(lambda t, i=i: t.insert(table, i, "y" * 800))
+        engine.run(lambda t: t.write(table, 0, "z" * 2500))
+        assert engine.run(lambda t: t.read(table, 0)) == "z" * 2500
+        for i in range(1, 4):
+            assert engine.run(lambda t, i=i: t.read(table, i)) == "y" * 800
+
+    def test_write_conflicts_timeout_to_abort(self, engine):
+        engine.locks.timeout = 0.05
+        table = engine.create_table("t", lambda key: key)
+        engine.run(lambda t: t.insert(table, 1, 0))
+        holder = engine.transaction()
+        holder.write(table, 1, 99)  # holds exclusive partition lock
+        with pytest.raises(TransactionAborted):
+            contender = engine.transaction()
+            contender.write(table, 1, 100)
+        holder.abort()
+
+    def test_two_phase_holds_until_commit(self, engine):
+        engine.locks.timeout = 0.05
+        table = engine.create_table("t", lambda key: key)
+        engine.run(lambda t: t.insert(table, 1, 0))
+        txn = engine.transaction()
+        txn.read(table, 1)
+        # Reader still holds its shared lock; a writer must fail.
+        writer = engine.transaction()
+        with pytest.raises(TransactionAborted):
+            writer.write(table, 1, 5)
+        txn.commit()  # releases
+        engine.run(lambda t: t.write(table, 1, 5))
+        assert engine.run(lambda t: t.read(table, 1)) == 5
+
+    def test_concurrent_counter_increments(self, engine):
+        table = engine.create_table("counter", lambda key: key)
+        table.load("c", 0)
+        n_threads, n_incr = 4, 30
+
+        def worker():
+            for _ in range(n_incr):
+                def body(txn):
+                    txn.write(table, "c", txn.read(table, "c") + 1)
+                engine.run(body, max_retries=10_000)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert engine.run(lambda t: t.read(table, "c")) == n_threads * n_incr
+
+
+class TestDurability:
+    def test_committed_data_survives_via_redo(self, tmp_path):
+        db_path = str(tmp_path / "data.db")
+        log_path = str(tmp_path / "wal.log")
+        engine = ShoreEngine(db_path=db_path, log_path=log_path)
+        table = engine.create_table("t")
+        engine.run(lambda txn: txn.insert(table, 1, "durable"))
+        engine.run(lambda txn: txn.insert(table, 2, "also"))
+        engine.run(lambda txn: txn.write(table, 1, "updated"))
+        engine.run(lambda txn: txn.delete(table, 2))
+        # Simulate a crash: drop the engine WITHOUT flushing pages.
+        engine.log.force()
+        uncommitted = engine.transaction()
+        uncommitted.insert(table, 3, "never-committed")
+        # (no commit)
+
+        recovered = ShoreEngine(db_path=str(tmp_path / "fresh.db"),
+                                log_path=log_path)
+        rtable = recovered.create_table("t")
+        n = recovered.recover()
+        assert n >= 3
+        assert recovered.run(lambda txn: txn.read(rtable, 1)) == "updated"
+        assert recovered.run(lambda txn: txn.read(rtable, 2)) is None
+        assert recovered.run(lambda txn: txn.read(rtable, 3)) is None
+        recovered.close()
+
+    def test_commit_forces_log(self, tmp_path):
+        engine = ShoreEngine(log_path=str(tmp_path / "wal.log"))
+        table = engine.create_table("t")
+        before = engine.log.stats["forces"]
+        engine.run(lambda txn: txn.insert(table, 1, "x"))
+        assert engine.log.stats["forces"] == before + 1
+        engine.close()
+
+    def test_read_only_transaction_does_not_force(self, tmp_path):
+        engine = ShoreEngine(log_path=str(tmp_path / "wal.log"))
+        table = engine.create_table("t")
+        engine.run(lambda txn: txn.insert(table, 1, "x"))
+        before = engine.log.stats["forces"]
+        engine.run(lambda txn: txn.read(table, 1))
+        assert engine.log.stats["forces"] == before
+        engine.close()
+
+
+class TestShoreTpcc:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = ShoreApp(scale=TpccScale.small(), buffer_capacity=64)
+        app.setup()
+        yield app
+        app.teardown()
+
+    def test_runs_the_standard_mix(self, app):
+        workload = TpccWorkload(scale=TpccScale.small(), seed=5)
+        for _ in range(150):
+            result = app.process(workload.next_transaction())
+            assert isinstance(result, dict)
+        assert app.engine.stats["commits"] >= 150
+
+    def test_buffer_pool_misses_occur(self, app):
+        # The pool is smaller than the dataset by design: requests must
+        # take page misses (the long-tail mechanism).
+        assert app.engine.pool.stats["misses"] > 0
+
+    def test_new_order_and_status_agree(self, app):
+        order = app.process(
+            TpccTransaction(
+                "new_order",
+                {
+                    "w_id": 1, "d_id": 1, "c_id": 1,
+                    "lines": [{"item_id": 1, "supply_w_id": 1, "quantity": 2}],
+                },
+            )
+        )
+        status = app.process(
+            TpccTransaction("order_status", {"w_id": 1, "d_id": 1, "c_id": 1})
+        )
+        assert status["order_id"] == order["order_id"]
+
+    def test_concurrent_workers(self, app):
+        errors = []
+
+        def worker(seed):
+            workload = TpccWorkload(scale=TpccScale.small(), seed=seed)
+            try:
+                for _ in range(30):
+                    app.process(workload.next_transaction())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(180.0)
+        assert not errors
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            ShoreApp().process(TpccTransaction("delivery", {"w_id": 1, "carrier_id": 1}))
+
+
+class TestCheckpointRecovery:
+    def test_restart_from_checkpoint_without_replaying_everything(self, tmp_path):
+        db_path = str(tmp_path / "data.db")
+        log_path = str(tmp_path / "wal.log")
+        engine = ShoreEngine(db_path=db_path, log_path=log_path)
+        table = engine.create_table("t")
+        for i in range(20):
+            engine.run(lambda t, i=i: t.insert(table, i, f"v{i}"))
+        engine.checkpoint()
+        # Post-checkpoint activity: updates, an insert, a delete.
+        engine.run(lambda t: t.write(table, 3, "updated"))
+        engine.run(lambda t: t.insert(table, 99, "late"))
+        engine.run(lambda t: t.delete(table, 7))
+        engine.log.force()
+
+        # Restart against the SAME database file (checkpoint flushed it)
+        # plus the log tail.
+        restarted = ShoreEngine(db_path=db_path, log_path=log_path)
+        rtable = restarted.create_table("t")
+        replayed = restarted.recover()
+        # Only the 3 post-checkpoint transactions replay.
+        assert replayed == 3
+        assert restarted.run(lambda t: t.read(rtable, 3)) == "updated"
+        assert restarted.run(lambda t: t.read(rtable, 99)) == "late"
+        assert restarted.run(lambda t: t.read(rtable, 7)) is None
+        for i in (0, 5, 19):
+            if i != 7:
+                assert restarted.run(
+                    lambda t, i=i: t.read(rtable, i)
+                ) == f"v{i}"
+        assert len(rtable) == 20  # 20 inserted +1 late -1 deleted
+        restarted.close()
+        engine.close()
+
+    def test_rebuild_indexes_scans_pages(self, tmp_path):
+        db_path = str(tmp_path / "data.db")
+        engine = ShoreEngine(db_path=db_path, log_path=str(tmp_path / "w.log"))
+        a = engine.create_table("a")
+        b = engine.create_table("b", lambda key: key[0])
+        engine.run(lambda t: t.insert(a, 1, "x"))
+        engine.run(lambda t: t.insert(b, (1, 2), "y"))
+        engine.pool.flush_all()
+
+        restarted = ShoreEngine(db_path=db_path,
+                                log_path=str(tmp_path / "w2.log"))
+        ra = restarted.create_table("a")
+        rb = restarted.create_table("b", lambda key: key[0])
+        indexed = restarted.rebuild_indexes()
+        assert indexed == 2
+        assert restarted.run(lambda t: t.read(ra, 1)) == "x"
+        assert restarted.run(lambda t: t.read(rb, (1, 2))) == "y"
+        # Partition structures rebuilt too (scans work).
+        assert restarted.run(lambda t: t.scan(rb, 1, (1, 0), (1, 9))) == [
+            ((1, 2), "y")
+        ]
+        restarted.close()
+        engine.close()
+
+    def test_checkpoint_makes_unlogged_loads_durable(self, tmp_path):
+        # Initial population bypasses the WAL; a checkpoint makes it
+        # recoverable anyway (pages flushed + marker in log).
+        db_path = str(tmp_path / "data.db")
+        log_path = str(tmp_path / "wal.log")
+        engine = ShoreEngine(db_path=db_path, log_path=log_path)
+        table = engine.create_table("t")
+        table.load(1, "preloaded")
+        engine.checkpoint()
+
+        restarted = ShoreEngine(db_path=db_path, log_path=log_path)
+        rtable = restarted.create_table("t")
+        restarted.recover()
+        assert restarted.run(lambda t: t.read(rtable, 1)) == "preloaded"
+        restarted.close()
+        engine.close()

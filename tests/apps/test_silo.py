@@ -1,0 +1,288 @@
+"""Tests for the silo OCC engine and its TPC-C workload."""
+
+import threading
+
+import pytest
+
+from repro.apps.silo import (
+    Database,
+    SiloApp,
+    TransactionAborted,
+)
+from repro.workloads import TpccScale, TpccTransaction, TpccWorkload
+
+
+class TestOccBasics:
+    def test_insert_read_commit(self):
+        db = Database()
+        table = db.create_table("t")
+        txn = db.transaction()
+        txn.insert(table, 1, "one")
+        assert txn.read(table, 1) == "one"  # read-your-writes
+        txn.commit()
+        txn2 = db.transaction()
+        assert txn2.read(table, 1) == "one"
+
+    def test_uncommitted_writes_invisible(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, "v0"))
+        txn = db.transaction()
+        txn.write(table, 1, "v1")
+        other = db.transaction()
+        assert other.read(table, 1) == "v0"
+
+    def test_write_then_read_buffered(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, "v0"))
+        txn = db.transaction()
+        txn.write(table, 1, "v1")
+        assert txn.read(table, 1) == "v1"
+
+    def test_delete_commits(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, "x"))
+        db.run(lambda t: t.delete(table, 1))
+        assert db.run(lambda t: t.read(table, 1)) is None
+
+    def test_reinsert_after_delete_visible_to_scans(self):
+        # Regression (found by hypothesis): re-inserting over a delete
+        # tombstone must restore the key in the partition's sorted key
+        # list, or scans silently miss it.
+        db = Database()
+        table = db.create_table("t", lambda key: 0)
+        db.run(lambda t: t.insert(table, 0, "first"))
+        db.run(lambda t: t.delete(table, 0))
+        db.run(lambda t: t.insert(table, 0, "second"))
+        assert db.run(lambda t: t.read(table, 0)) == "second"
+        assert db.run(lambda t: t.scan(table, 0, 0, 100)) == [(0, "second")]
+
+    def test_read_set_validation_aborts_stale_reader(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, 0))
+        reader = db.transaction()
+        assert reader.read(table, 1) == 0
+        reader.write(table, 1, 100)  # will validate its read at commit
+        # A concurrent committer changes the record first.
+        db.run(lambda t: t.write(table, 1, 7))
+        with pytest.raises(TransactionAborted):
+            reader.commit()
+        # The failed transaction's write must not have applied.
+        assert db.run(lambda t: t.read(table, 1)) == 7
+
+    def test_blind_write_does_not_validate_reads_it_never_made(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, 0))
+        writer = db.transaction()
+        writer.write(table, 1, 42)  # blind write, no read
+        db.run(lambda t: t.write(table, 1, 7))
+        writer.commit()  # last-writer-wins is fine without a read dep
+        assert db.run(lambda t: t.read(table, 1)) == 42
+
+    def test_phantom_protection_on_scans(self):
+        db = Database()
+        table = db.create_table("t", lambda key: 0)
+        db.run(lambda t: t.insert(table, 1, "a"))
+        scanner = db.transaction()
+        assert len(scanner.scan(table, 0, 0, 100)) == 1
+        scanner.write(table, 1, "a2")
+        # Concurrent insert into the scanned partition => phantom.
+        db.run(lambda t: t.insert(table, 2, "b"))
+        with pytest.raises(TransactionAborted):
+            scanner.commit()
+
+    def test_scan_sees_own_inserts(self):
+        db = Database()
+        table = db.create_table("t", lambda key: 0)
+        txn = db.transaction()
+        txn.insert(table, 5, "mine")
+        results = txn.scan(table, 0, 0, 10)
+        assert (5, "mine") in results
+
+    def test_scan_respects_partitions(self):
+        db = Database()
+        table = db.create_table("t", lambda key: key[0])
+        db.run(lambda t: t.insert(table, (1, 1), "a"))
+        db.run(lambda t: t.insert(table, (2, 1), "b"))
+        txn = db.transaction()
+        assert len(txn.scan(table, 1, (1, 0), (1, 99))) == 1
+
+    def test_insert_duplicate_key_aborts(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, "x"))
+        txn = db.transaction()
+        txn.insert(table, 1, "dup")
+        with pytest.raises(KeyError):
+            txn.commit()
+
+    def test_tid_monotone_across_commits(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, 0))
+        tids = []
+        for i in range(5):
+            db.run(lambda t: t.write(table, 1, i))
+            tids.append(table.get_record(1).tid)
+        assert tids == sorted(tids)
+        assert len(set(tids)) == 5
+
+    def test_epoch_advances(self):
+        db = Database(epoch_commit_interval=10)
+        table = db.create_table("t")
+        start = db.epoch
+        for i in range(25):
+            db.run(lambda t, i=i: t.insert(table, i, i))
+        assert db.epoch >= start + 2
+
+    def test_run_retries_and_gives_up(self):
+        db = Database()
+
+        def always_aborts(txn):
+            raise TransactionAborted("no luck")
+
+        with pytest.raises(TransactionAborted):
+            db.run(always_aborts, max_retries=3)
+        assert db.stats["aborts"] == 3
+
+    def test_last_key(self):
+        db = Database()
+        table = db.create_table("t", lambda key: key[0])
+        for o in (3, 1, 7):
+            db.run(lambda t, o=o: t.insert(table, (1, o), o))
+        assert table.last_key(1) == (1, 7)
+        assert table.last_key(1, below=(1, 7)) == (1, 3)
+        assert table.last_key(2) is None
+
+
+class TestOccConcurrency:
+    def test_concurrent_counter_increments_are_serializable(self):
+        db = Database()
+        table = db.create_table("counter")
+        table.load("c", 0)
+        n_threads, n_incr = 4, 50
+
+        def worker():
+            for _ in range(n_incr):
+                def body(txn):
+                    value = txn.read(table, "c")
+                    txn.write(table, "c", value + 1)
+                db.run(body, max_retries=10_000)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        final = db.run(lambda t: t.read(table, "c"))
+        # OCC must never lose an increment: this is the fundamental
+        # serializability guarantee.
+        assert final == n_threads * n_incr
+
+    def test_disjoint_writes_do_not_conflict(self):
+        db = Database()
+        table = db.create_table("t")
+        for i in range(4):
+            table.load(i, 0)
+        errors = []
+
+        def worker(i):
+            try:
+                for _ in range(100):
+                    def body(txn, i=i):
+                        txn.write(table, i, txn.read(table, i) + 1)
+                    db.run(body)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors
+        assert [db.run(lambda t, i=i: t.read(table, i)) for i in range(4)] == [100] * 4
+
+
+class TestSiloTpcc:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = SiloApp(scale=TpccScale.small())
+        app.setup()
+        return app
+
+    def test_new_order_advances_district_counter(self, app):
+        workload = TpccWorkload(scale=TpccScale.small(), seed=1)
+        txn = workload.new_order()
+        result = app.process(txn)
+        assert result["order_id"] >= 1
+        assert result["total"] > 0
+
+    def test_payment_by_id_and_by_name(self, app):
+        by_id = TpccTransaction(
+            "payment", {"w_id": 1, "d_id": 1, "c_id": 1, "amount": 10.0}
+        )
+        result = app.process(by_id)
+        assert result["customer_found"]
+        from repro.workloads import make_last_name
+
+        by_name = TpccTransaction(
+            "payment",
+            {"w_id": 1, "d_id": 1, "c_last": make_last_name(0), "amount": 5.0},
+        )
+        result = app.process(by_name)
+        assert result["customer_found"]
+
+    def test_order_status_finds_last_order(self, app):
+        status = app.process(
+            TpccTransaction("order_status", {"w_id": 1, "d_id": 1, "c_id": 1})
+        )
+        assert status["order_id"] is not None
+        assert len(status["lines"]) >= 5
+
+    def test_delivery_drains_new_orders(self, app):
+        result = app.process(
+            TpccTransaction("delivery", {"w_id": 1, "carrier_id": 3})
+        )
+        # Fresh database has undelivered initial orders in every district.
+        assert len(result["delivered_orders"]) >= 1
+
+    def test_stock_level_counts(self, app):
+        result = app.process(
+            TpccTransaction(
+                "stock_level", {"w_id": 1, "d_id": 1, "threshold": 100}
+            )
+        )
+        assert result["low_stock"] >= 0
+
+    def test_mixed_workload_runs_clean(self, app):
+        workload = TpccWorkload(scale=TpccScale.small(), seed=9)
+        for _ in range(200):
+            app.process(workload.next_transaction())
+        assert app.database.stats["commits"] > 200
+
+    def test_concurrent_tpcc_no_errors(self, app):
+        errors = []
+
+        def worker(seed):
+            workload = TpccWorkload(scale=TpccScale.small(), seed=seed)
+            try:
+                for _ in range(60):
+                    app.process(workload.next_transaction())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert not errors
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            SiloApp().process(TpccTransaction("delivery", {"w_id": 1, "carrier_id": 1}))

@@ -1,0 +1,165 @@
+"""Tests for the specjbb wholesale-company middleware application."""
+
+import threading
+
+import pytest
+
+from repro.apps.specjbb import Company, JbbRequest, SpecJbbApp
+from repro.apps.specjbb import transactions as txn
+
+
+@pytest.fixture()
+def company():
+    return Company(
+        n_warehouses=2, n_districts=2, customers_per_district=10,
+        n_items=100, seed=0,
+    )
+
+
+class TestCompanyModel:
+    def test_population(self, company):
+        assert len(company.warehouses) == 2
+        wh = company.warehouse(1)
+        assert len(wh.customers) == 2
+        assert len(wh.customers[1]) == 10
+        assert len(wh.stock) == 100
+
+    def test_prices_positive(self, company):
+        assert all(p > 0 for p in company.item_prices.values())
+
+    def test_unknown_lookups(self, company):
+        with pytest.raises(KeyError):
+            company.warehouse(99)
+        with pytest.raises(KeyError):
+            company.price(9999)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Company(n_warehouses=0)
+
+
+class TestTransactions:
+    def test_new_order_charges_customer(self, company):
+        items = [{"item_id": 1, "quantity": 2}, {"item_id": 2, "quantity": 1}]
+        result = txn.new_order(company, 1, 1, 1, items)
+        expected = round(company.price(1) * 2 + company.price(2), 2)
+        assert result["total"] == pytest.approx(expected)
+        customer = company.warehouse(1).customers[1][1]
+        assert customer.balance == pytest.approx(expected)
+        assert customer.order_history == [result["order_id"]]
+
+    def test_new_order_ids_increment(self, company):
+        items = [{"item_id": 1, "quantity": 1}]
+        first = txn.new_order(company, 1, 1, 1, items)["order_id"]
+        second = txn.new_order(company, 1, 1, 2, items)["order_id"]
+        assert second == first + 1
+
+    def test_new_order_restocks_when_low(self, company):
+        wh = company.warehouse(1)
+        wh.stock[5] = 6
+        txn.new_order(company, 1, 1, 1, [{"item_id": 5, "quantity": 3}])
+        assert wh.stock[5] == 6 - 3 + 100
+
+    def test_new_order_requires_items(self, company):
+        with pytest.raises(ValueError):
+            txn.new_order(company, 1, 1, 1, [])
+
+    def test_payment_updates_balance_and_ytd(self, company):
+        result = txn.process_payment(company, 1, 1, 3, 50.0)
+        assert result["balance"] == pytest.approx(-50.0)
+        assert company.warehouse(1).ytd == pytest.approx(50.0)
+        customer = company.warehouse(1).customers[1][3]
+        assert customer.payment_count == 1
+
+    def test_payment_rejects_non_positive(self, company):
+        with pytest.raises(ValueError):
+            txn.process_payment(company, 1, 1, 1, 0.0)
+
+    def test_order_status_empty_history(self, company):
+        result = txn.order_status(company, 1, 1, 4)
+        assert result["order_id"] is None
+
+    def test_order_status_reflects_latest_order(self, company):
+        items = [{"item_id": 1, "quantity": 1}]
+        txn.new_order(company, 1, 1, 5, items)
+        latest = txn.new_order(company, 1, 1, 5, items)["order_id"]
+        status = txn.order_status(company, 1, 1, 5)
+        assert status["order_id"] == latest
+        assert status["delivered"] is False
+
+    def test_delivery_processes_fifo_batch(self, company):
+        items = [{"item_id": 1, "quantity": 1}]
+        ids = [txn.new_order(company, 1, 1, 1, items)["order_id"] for _ in range(3)]
+        result = txn.process_deliveries(company, 1, carrier_id=7, batch_size=2)
+        assert result["delivered"] == 2
+        orders = company.warehouse(1).orders
+        assert orders[ids[0]].delivered and orders[ids[1]].delivered
+        assert not orders[ids[2]].delivered
+        assert orders[ids[0]].carrier_id == 7
+
+    def test_delivery_settles_balance(self, company):
+        items = [{"item_id": 1, "quantity": 1}]
+        total = txn.new_order(company, 1, 2, 1, items)["total"]
+        customer = company.warehouse(1).customers[2][1]
+        assert customer.balance == pytest.approx(total)
+        txn.process_deliveries(company, 1, carrier_id=1, batch_size=100)
+        assert customer.balance == pytest.approx(0.0)
+
+    def test_stock_report_counts_low_items(self, company):
+        wh = company.warehouse(1)
+        low = sum(1 for q in wh.stock.values() if q < 80)
+        assert txn.stock_report(company, 1, 80)["low_stock_items"] == low
+
+    def test_customer_report_aggregates(self, company):
+        txn.process_payment(company, 2, 1, 1, 25.0)
+        report = txn.customer_report(company, 2, 1)
+        assert report["customers"] == 10
+        assert report["total_balance"] == pytest.approx(-25.0)
+
+
+class TestSpecJbbApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = SpecJbbApp(n_warehouses=2, n_districts=2,
+                         customers_per_district=20, n_items=200)
+        app.setup()
+        return app
+
+    def test_processes_full_mix(self, app):
+        client = app.make_client(seed=0)
+        kinds = set()
+        for _ in range(300):
+            request = client.next_request()
+            kinds.add(request.kind)
+            result = app.process(request)
+            assert isinstance(result, dict)
+        assert kinds == {
+            "new_order", "payment", "order_status",
+            "delivery", "stock_report", "customer_report",
+        }
+
+    def test_unknown_kind_rejected(self, app):
+        with pytest.raises(ValueError):
+            app.process(JbbRequest("mine_bitcoin", {}))
+
+    def test_thread_safe_under_concurrency(self, app):
+        errors = []
+
+        def worker(seed):
+            client = app.make_client(seed=seed)
+            try:
+                for _ in range(100):
+                    app.process(client.next_request())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not errors
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            SpecJbbApp().process(JbbRequest("payment", {}))

@@ -1,0 +1,164 @@
+"""Tests for the sphinx speech-recognition application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sphinx import (
+    STATES_PER_PHONE,
+    AcousticModel,
+    SphinxApp,
+    UtteranceGenerator,
+    ViterbiDecoder,
+    build_lexicon,
+)
+
+
+class TestLexicon:
+    def test_covers_letters_and_digits(self):
+        lexicon = build_lexicon()
+        assert len(lexicon) == 36
+        assert "a" in lexicon and "zero" in lexicon
+
+    def test_all_phones_valid(self):
+        build_lexicon()  # raises on invalid phones
+
+
+class TestAcousticModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AcousticModel(build_lexicon(), seed=0)
+
+    def test_network_dimensions(self, model):
+        net = model.network()
+        total_phones = sum(len(p) for p in build_lexicon().values())
+        assert net.n_states == total_phones * STATES_PER_PHONE
+        assert len(net.word_entry) == len(net.words) == 36
+
+    def test_word_spans_contiguous(self, model):
+        net = model.network()
+        for w, word in enumerate(net.words):
+            n_phones = len(build_lexicon()[word])
+            assert (
+                net.word_exit[w] - net.word_entry[w] + 1
+                == n_phones * STATES_PER_PHONE
+            )
+
+    def test_same_phone_shares_means_across_words(self, model):
+        net = model.network()
+        words = list(net.words)
+        # 'b' = [b, iy]; 'e' = [iy]: the iy states should be close.
+        b_idx, e_idx = words.index("b"), words.index("e")
+        b_iy_state = net.word_entry[b_idx] + STATES_PER_PHONE  # second phone
+        e_iy_state = net.word_entry[e_idx]
+        dist = np.linalg.norm(
+            net.means[b_iy_state].mean(axis=0) - net.means[e_iy_state].mean(axis=0)
+        )
+        assert dist < 2.0  # same phone cluster, only mixture jitter apart
+
+    def test_emission_logprobs_shape(self, model):
+        net = model.network()
+        frames = np.zeros((5, net.dim))
+        ll = model.emission_logprobs(frames)
+        assert ll.shape == (5, net.n_states)
+        assert np.all(np.isfinite(ll))
+
+    def test_emission_active_mask(self, model):
+        net = model.network()
+        frames = np.zeros((2, net.dim))
+        active = np.zeros(net.n_states, dtype=bool)
+        active[:6] = True
+        ll = model.emission_logprobs(frames, active)
+        assert np.all(np.isfinite(ll[:, :6]))
+        assert np.all(np.isneginf(ll[:, 6:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcousticModel({}, seed=0)
+        with pytest.raises(ValueError):
+            AcousticModel(build_lexicon(), self_loop_prob=1.5)
+
+
+class TestUtteranceGenerator:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AcousticModel(build_lexicon(), seed=0)
+
+    def test_transcript_lengths(self, model):
+        gen = UtteranceGenerator(model, min_words=2, max_words=5, seed=1)
+        for _ in range(20):
+            utt = gen.next_utterance()
+            assert 2 <= len(utt.transcript) <= 5
+            assert utt.frames.shape[1] == model.dim
+
+    def test_longer_transcripts_more_frames(self, model):
+        short_gen = UtteranceGenerator(model, min_words=1, max_words=1, seed=2)
+        long_gen = UtteranceGenerator(model, min_words=8, max_words=8, seed=2)
+        short_frames = np.mean(
+            [short_gen.next_utterance().frames.shape[0] for _ in range(10)]
+        )
+        long_frames = np.mean(
+            [long_gen.next_utterance().frames.shape[0] for _ in range(10)]
+        )
+        assert long_frames > short_frames * 3
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            UtteranceGenerator(model, min_words=0)
+        with pytest.raises(ValueError):
+            UtteranceGenerator(model, mean_dwell=0.5)
+
+
+class TestViterbiDecoder:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = SphinxApp(seed=0)
+        app.setup()
+        return app
+
+    def test_recognizes_clean_speech(self, app):
+        # With low noise, word accuracy should be high.
+        gen = UtteranceGenerator(app.model, noise=0.1, seed=3,
+                                 min_words=2, max_words=4)
+        correct = total = 0
+        for _ in range(10):
+            utt = gen.next_utterance()
+            result = app.process(utt.frames)
+            total += len(utt.transcript)
+            # position-insensitive word accuracy (transcript alignment
+            # is overkill for a smoke-level accuracy bound)
+            hits = len(set(result.words) & set(utt.transcript))
+            correct += min(hits, len(utt.transcript))
+        assert correct / total > 0.5
+
+    def test_decode_returns_score_and_work(self, app):
+        gen = UtteranceGenerator(app.model, seed=4)
+        utt = gen.next_utterance()
+        result = app.process(utt.frames)
+        assert result.active_states > 0
+        assert np.isfinite(result.score)
+        assert len(result.words) >= 1
+
+    def test_narrow_beam_less_work(self, app):
+        gen = UtteranceGenerator(app.model, seed=5)
+        utt = gen.next_utterance()
+        wide = ViterbiDecoder(app.model, beam=200.0).decode(utt.frames)
+        narrow = ViterbiDecoder(app.model, beam=10.0).decode(utt.frames)
+        assert narrow.active_states < wide.active_states
+
+    def test_empty_utterance(self, app):
+        decoder = ViterbiDecoder(app.model)
+        result = decoder.decode(np.zeros((0, app.model.dim)))
+        assert result.words == ()
+
+    def test_shape_validation(self, app):
+        decoder = ViterbiDecoder(app.model)
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros((5, 2)))
+
+    def test_beam_validation(self, app):
+        with pytest.raises(ValueError):
+            ViterbiDecoder(app.model, beam=0.0)
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            SphinxApp().process(np.zeros((1, 13)))

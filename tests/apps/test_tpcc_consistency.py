@@ -1,0 +1,169 @@
+"""TPC-C consistency conditions on both database engines.
+
+Adapted from TPC-C clause 3.3.2's consistency requirements: after an
+arbitrary mix of transactions, structural invariants must hold. The
+same checks run against silo (OCC) and shore (2PL + paged storage),
+since both execute the same transaction bodies.
+"""
+
+import pytest
+
+from repro.apps.shore import ShoreApp
+from repro.apps.silo import SiloApp
+from repro.apps.silo.tables import MAX_ID
+from repro.workloads import TpccScale, TpccWorkload
+
+SCALE = TpccScale.small()
+
+
+def run_mix(app, n=250, seed=11):
+    workload = TpccWorkload(scale=SCALE, seed=seed)
+    for _ in range(n):
+        app.process(workload.next_transaction())
+
+
+def engine_and_tables(app):
+    if isinstance(app, SiloApp):
+        return app.database, app._executor._t
+    return app.engine, app._executor._t
+
+
+def check_consistency(app):
+    """Run every consistency condition; raises AssertionError on violation."""
+    engine, tables = engine_and_tables(app)
+
+    def read(table, key):
+        return engine.run(lambda t: t.read(table, key))
+
+    def scan(table, partition, lo, hi):
+        return engine.run(lambda t: t.scan(table, partition, lo, hi))
+
+    for w in range(1, SCALE.warehouses + 1):
+        district_ytd_sum = 0.0
+        for d in range(1, SCALE.districts_per_warehouse + 1):
+            district = read(tables.district, (w, d))
+            district_ytd_sum += district["ytd"]
+            next_o_id = district["next_o_id"]
+
+            # C1: next order id is one beyond the largest existing
+            # order id in the district (orders and their index agree).
+            orders = scan(tables.orders, (w, d), (w, d, 0), (w, d, MAX_ID))
+            max_o = max(o_id for (_, _, o_id), _ in orders)
+            assert next_o_id == max_o + 1, (w, d)
+
+            # C1b: every NEW-ORDER entry refers to an existing,
+            # undelivered order.
+            pending = scan(
+                tables.new_orders, (w, d), (w, d, 0), (w, d, MAX_ID)
+            )
+            order_by_id = {o_id: v for (_, _, o_id), v in orders}
+            for (_, _, o_id), _ in pending:
+                assert o_id in order_by_id, (w, d, o_id)
+                assert order_by_id[o_id]["carrier_id"] is None, (w, d, o_id)
+
+            # C2: per order, order-line count matches ol_cnt, and
+            # delivered orders carry a carrier id.
+            pending_ids = {o_id for (_, _, o_id), _ in pending}
+            lines = scan(
+                tables.order_lines, (w, d), (w, d, 0, 0), (w, d, MAX_ID, MAX_ID)
+            )
+            line_counts = {}
+            for (_, _, o_id, _line_no), _v in lines:
+                line_counts[o_id] = line_counts.get(o_id, 0) + 1
+            for o_id, order in order_by_id.items():
+                assert line_counts.get(o_id, 0) == order["ol_cnt"], (w, d, o_id)
+                if o_id not in pending_ids:
+                    assert order["carrier_id"] is not None, (w, d, o_id)
+
+            # C3: the customer-order index covers exactly the orders.
+            indexed = scan(
+                tables.customer_order_index,
+                *((w, d, 1), (w, d, 1, 0), (w, d, 1, MAX_ID)),
+            )
+            for (_, _, _c, o_id), stored in indexed:
+                assert stored == o_id
+
+        # C4 (money): warehouse YTD equals the sum of its districts'.
+        warehouse = read(tables.warehouse, w)
+        assert warehouse["ytd"] == pytest.approx(district_ytd_sum)
+
+
+class TestSiloConsistency:
+    def test_invariants_hold_after_mixed_workload(self):
+        app = SiloApp(scale=SCALE)
+        app.setup()
+        check_consistency(app)  # initial state is consistent
+        run_mix(app)
+        check_consistency(app)
+
+    def test_invariants_hold_after_concurrent_workload(self):
+        import threading
+
+        app = SiloApp(scale=SCALE)
+        app.setup()
+        errors = []
+
+        def worker(seed):
+            try:
+                run_mix(app, n=80, seed=seed)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(180.0)
+        assert not errors
+        check_consistency(app)
+
+
+class TestShoreConsistency:
+    def test_invariants_hold_after_mixed_workload(self):
+        app = ShoreApp(scale=SCALE, buffer_capacity=64)
+        app.setup()
+        run_mix(app)
+        check_consistency(app)
+        app.teardown()
+
+    def test_invariants_survive_crash_recovery(self, tmp_path):
+        # Run a workload, crash without flushing, recover into a fresh
+        # engine, and re-check every consistency condition.
+        from repro.apps.shore import ShoreEngine
+        from repro.apps.silo.tables import TpccTables, populate
+        from repro.apps.silo.tpcc import TpccExecutor
+
+        log_path = str(tmp_path / "wal.log")
+        engine = ShoreEngine(
+            buffer_capacity=64,
+            db_path=str(tmp_path / "d.db"),
+            log_path=log_path,
+        )
+        tables = TpccTables.create(engine)
+        populate(tables, SCALE, seed=0)
+        executor = TpccExecutor(tables)
+        workload = TpccWorkload(scale=SCALE, seed=3)
+        # Initial population is unlogged: checkpoint makes it durable.
+        engine.checkpoint()
+        for _ in range(120):
+            txn = workload.next_transaction()
+            engine.run(lambda t, txn=txn: executor.execute(t, txn.kind, txn.params))
+        engine.log.force()  # crash: pages NOT flushed beyond checkpoint
+
+        recovered = ShoreEngine(
+            buffer_capacity=64,
+            db_path=str(tmp_path / "d.db"),
+            log_path=log_path,
+        )
+        rtables = TpccTables.create(recovered)
+        recovered.recover()
+
+        class _Shim:
+            def __init__(self):
+                self.engine = recovered
+                self._executor = TpccExecutor(rtables)
+
+        shim = _Shim()
+        check_consistency(shim)
+        recovered.close()
+        engine.close()

@@ -1,0 +1,161 @@
+"""Tests for the xapian search-engine application."""
+
+import pytest
+
+from repro.apps.xapian import (
+    Document,
+    InvertedIndex,
+    SyntheticCorpus,
+    XapianApp,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_strips_plural_suffixes(self):
+        assert tokenize("cats running") == ["cat", "runn"]
+
+    def test_keeps_short_words_unstripped(self):
+        assert tokenize("bus") == ["bus"]
+
+    def test_numbers_kept(self):
+        assert tokenize("tpc 99") == ["tpc", "99"]
+
+    def test_stopwords_can_be_kept(self):
+        assert "the" in tokenize("the cat", drop_stopwords=False)
+
+
+class TestInvertedIndex:
+    @pytest.fixture()
+    def index(self):
+        docs = [
+            Document(0, "apple pie", "apple pie with fresh apple slices"),
+            Document(1, "banana bread", "banana bread recipe banana banana"),
+            Document(2, "fruit salad", "apple banana cherry fruit salad"),
+        ]
+        idx = InvertedIndex()
+        idx.build(docs)
+        return idx
+
+    def test_statistics(self, index):
+        assert index.n_docs == 3
+        assert index.doc_frequency("apple") == 2
+        assert index.doc_frequency("banana") == 2
+        assert index.doc_frequency("cherry") == 1
+        assert index.doc_frequency("missing") == 0
+
+    def test_postings_sorted_with_tf(self, index):
+        postings = index.postings("apple")
+        assert [doc for doc, _ in postings] == [0, 2]
+        assert dict(postings)[0] == 2  # "apple" twice in doc 0
+
+    def test_search_ranks_by_relevance(self, index):
+        results = index.search("banana")
+        assert results[0].doc_id == 1  # highest tf
+        assert {r.doc_id for r in results} == {1, 2}
+
+    def test_multi_term_disjunction(self, index):
+        results = index.search("apple banana")
+        assert {r.doc_id for r in results} == {0, 1, 2}
+        # Doc 2 matches both terms; it should not rank below a doc
+        # that matches only one term with equal tf.
+        scores = {r.doc_id: r.score for r in results}
+        assert scores[2] > min(scores[0], scores[1]) or len(scores) == 3
+
+    def test_unknown_terms_empty(self, index):
+        assert index.search("zzz qqq") == []
+
+    def test_empty_query(self, index):
+        assert index.search("") == []
+        assert index.search("the and of") == []  # all stopwords
+
+    def test_top_k_limits(self, index):
+        assert len(index.search("apple banana", top_k=1)) == 1
+
+    def test_idf_decreases_with_frequency(self, index):
+        assert index.idf("cherry") > index.idf("apple")
+
+    def test_duplicate_doc_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_document(Document(0, "dup", "dup"))
+
+    def test_scores_positive_and_sorted(self, index):
+        results = index.search("apple banana cherry")
+        scores = [r.score for r in results]
+        assert all(s > 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvertedIndex(k1=-1.0)
+        with pytest.raises(ValueError):
+            InvertedIndex(b=1.5)
+
+
+class TestSyntheticCorpus:
+    def test_deterministic(self):
+        a = SyntheticCorpus(n_docs=20, vocab_size=100, seed=1).documents()
+        b = SyntheticCorpus(n_docs=20, vocab_size=100, seed=1).documents()
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_doc_count_and_vocab(self):
+        corpus = SyntheticCorpus(n_docs=30, vocab_size=200, seed=2)
+        docs = corpus.documents()
+        assert len(docs) == 30
+        assert len(corpus.vocabulary) == 200
+
+    def test_zipfian_term_usage(self):
+        corpus = SyntheticCorpus(n_docs=100, vocab_size=500, seed=3)
+        text = " ".join(d.text for d in corpus.documents())
+        words = text.split()
+        rank0 = words.count(corpus.vocabulary[0])
+        rank100 = words.count(corpus.vocabulary[100])
+        assert rank0 > rank100
+
+    def test_variable_lengths(self):
+        corpus = SyntheticCorpus(n_docs=100, vocab_size=100, seed=4)
+        lengths = {len(d.text.split()) for d in corpus.documents()}
+        assert len(lengths) > 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus(n_docs=0)
+
+
+class TestXapianApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = XapianApp(n_docs=200, vocab_size=500, mean_doc_len=60)
+        app.setup()
+        return app
+
+    def test_process_returns_ranked_results(self, app):
+        client = app.make_client(seed=0)
+        query = client.next_request()
+        results = app.process(query)
+        assert isinstance(results, list)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_popular_queries_have_hits(self, app):
+        # Zipfian clients query popular terms, which must be indexed.
+        client = app.make_client(seed=1)
+        hits = sum(1 for _ in range(50) if app.process(client.next_request()))
+        assert hits > 35
+
+    def test_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            XapianApp(n_docs=10).process("query")
+
+    def test_client_streams_differ_by_seed(self, app):
+        a = app.make_client(seed=1)
+        b = app.make_client(seed=2)
+        assert [a.next_request() for _ in range(5)] != [
+            b.next_request() for _ in range(5)
+        ]

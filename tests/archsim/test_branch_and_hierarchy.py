@@ -1,0 +1,188 @@
+"""Tests for the branch predictor, hierarchy, traces, and MPKI driver."""
+
+import pytest
+
+from repro.archsim import (
+    TRACE_PROFILES,
+    CacheHierarchy,
+    GsharePredictor,
+    TraceGenerator,
+    TraceProfile,
+    characterize_app,
+)
+from repro.archsim.trace import BRANCH, FETCH, MEM
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor()
+        for _ in range(200):
+            predictor.update(0x400, True)
+        before = predictor.mispredictions
+        for _ in range(100):
+            predictor.update(0x400, True)
+        assert predictor.mispredictions == before
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = GsharePredictor(history_bits=4)
+        outcome = True
+        for _ in range(400):
+            predictor.update(0x400, outcome)
+            outcome = not outcome
+        predictor.predictions = predictor.mispredictions = 0
+        for _ in range(200):
+            predictor.update(0x400, outcome)
+            outcome = not outcome
+        assert predictor.misprediction_rate < 0.1
+
+    def test_random_outcomes_mispredict_half(self):
+        import random
+
+        rng = random.Random(0)
+        predictor = GsharePredictor()
+        for _ in range(5000):
+            predictor.update(0x400, rng.random() < 0.5)
+        assert predictor.misprediction_rate == pytest.approx(0.5, abs=0.08)
+
+    def test_mpki(self):
+        predictor = GsharePredictor()
+        predictor.mispredictions = 12
+        assert predictor.mpki(3000) == pytest.approx(4.0)
+
+    def test_init_value(self):
+        taken_init = GsharePredictor(init_value=2)
+        assert taken_init.predict(0x400) is True
+        nt_init = GsharePredictor(init_value=1)
+        assert nt_init.predict(0x400) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(init_value=4)
+        with pytest.raises(ValueError):
+            GsharePredictor().mpki(0)
+
+
+class TestCacheHierarchy:
+    def test_levels_sized_per_table2(self):
+        h = CacheHierarchy()
+        assert h.l1i.size_bytes == 32 * 1024
+        assert h.l1d.size_bytes == 32 * 1024
+        assert h.l2.size_bytes == 256 * 1024
+        assert h.l3.size_bytes == 20 * 1024 * 1024
+        assert h.l3.ways == 20
+
+    def test_miss_propagates_down(self):
+        h = CacheHierarchy()
+        h.load_store(0x123456)
+        assert h.l1d.misses == 1
+        assert h.l2.misses == 1
+        assert h.l3.misses == 1
+        h.load_store(0x123456)
+        assert h.l1d.hits == 1
+        assert h.l2.misses == 1  # filtered by L1 hit
+
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy()
+        # Touch 64 KB of data (fits L2, exceeds L1D).
+        addrs = [i * 64 for i in range(1024)]
+        for addr in addrs:
+            h.load_store(addr)
+        h.l1d.reset_stats()
+        h.l2.reset_stats()
+        h.l3.reset_stats()
+        for addr in addrs:
+            h.load_store(addr)
+        assert h.l2.misses == 0  # everything L2-resident
+        assert h.l1d.misses > 0
+
+    def test_fetch_uses_l1i(self):
+        h = CacheHierarchy()
+        h.fetch(0x400000)
+        assert h.l1i.misses == 1
+        assert h.l1d.misses == 0
+        assert h.instructions == 1
+
+    def test_stats_require_instructions(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy().stats()
+
+    def test_stats_mpki(self):
+        h = CacheHierarchy()
+        for i in range(1000):
+            h.fetch(0x400000)  # 1 miss total
+        stats = h.stats()
+        assert stats.l1i_mpki == pytest.approx(1.0)
+        assert stats.as_dict()["L1I"] == pytest.approx(1.0)
+
+
+class TestTraceGenerator:
+    def test_event_mix_matches_profile(self):
+        profile = TRACE_PROFILES["xapian"]
+        gen = TraceGenerator(profile, seed=0)
+        counts = {FETCH: 0, MEM: 0, BRANCH: 0}
+        for kind, _ in gen.events(20000):
+            counts[kind] += 1
+        assert counts[FETCH] == 20000
+        assert counts[MEM] / 20000 == pytest.approx(profile.mem_fraction, abs=0.02)
+        assert counts[BRANCH] / 20000 == pytest.approx(
+            profile.branch_fraction, abs=0.02
+        )
+
+    def test_deterministic(self):
+        profile = TRACE_PROFILES["silo"]
+        a = list(TraceGenerator(profile, seed=3).events(500))
+        b = list(TraceGenerator(profile, seed=3).events(500))
+        assert a == b
+
+    def test_profiles_exist_for_all_apps(self):
+        assert set(TRACE_PROFILES) == {
+            "xapian", "masstree", "moses", "sphinx",
+            "img-dnn", "specjbb", "silo", "shore",
+        }
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            TraceProfile("bad", code_kb=0, jump_prob=0.1, mem_fraction=0.3)
+        with pytest.raises(ValueError):
+            TraceProfile(
+                "bad", code_kb=10, jump_prob=0.1, mem_fraction=0.3,
+                warm_weight=0.9, cold_weight=0.9,
+            )
+
+    def test_validation_of_length(self):
+        gen = TraceGenerator(TRACE_PROFILES["silo"], seed=0)
+        with pytest.raises(ValueError):
+            list(gen.events(0))
+
+
+class TestCharacterization:
+    def test_mpki_ordering_matches_table1(self):
+        # Spot-check the strongest cross-app contrasts of Table I with
+        # a short trace (full-precision runs live in the benchmarks).
+        shore = characterize_app("shore", n_instructions=60_000)
+        silo = characterize_app("silo", n_instructions=60_000)
+        imgdnn = characterize_app("img-dnn", n_instructions=60_000)
+        sphinx = characterize_app("sphinx", n_instructions=60_000)
+        # shore has the suite's worst L1I; sphinx nearly none.
+        assert shore.l1i > 5 * sphinx.l1i
+        # img-dnn has by far the worst L1D; silo the best.
+        assert imgdnn.l1d > 10 * silo.l1d
+        # img-dnn's branches are almost perfectly predictable.
+        assert imgdnn.branch < 1.0 < silo.branch
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            characterize_app("doom")
+
+    def test_row_conversion(self):
+        result = characterize_app("silo", n_instructions=20_000)
+        row = result.as_row()
+        assert set(row) == {
+            "L1I MPKI", "L1D MPKI", "L2 MPKI", "L3 MPKI", "Branch MPKI"
+        }
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError):
+            characterize_app("silo", n_instructions=1000, warmup_fraction=1.0)

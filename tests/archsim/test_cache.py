@@ -1,0 +1,154 @@
+"""Tests for the set-associative cache and replacement policies."""
+
+import pytest
+
+from repro.archsim import (
+    BrripPolicy,
+    DrripPolicy,
+    LruPolicy,
+    SetAssociativeCache,
+    SrripPolicy,
+)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = SetAssociativeCache(32 * 1024, ways=8, line_bytes=64)
+        assert cache.n_sets == 64
+
+    def test_fully_associative(self):
+        cache = SetAssociativeCache(8 * 64, ways=8, line_bytes=64)
+        assert cache.n_sets == 1
+
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, ways=8, line_bytes=64)  # not multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, ways=8)
+
+
+class TestBasicBehaviour:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4)
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4, line_bytes=64)
+        cache.access(0x1000)
+        assert cache.access(0x1030) is True  # same 64B line
+
+    def test_adjacent_lines_distinct(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4, line_bytes=64)
+        cache.access(0x1000)
+        assert cache.access(0x1040) is False
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = SetAssociativeCache(8 * 1024, ways=8, line_bytes=64)
+        addrs = [i * 64 for i in range(128)]  # exactly 8 KB
+        for addr in addrs:
+            cache.access(addr)
+        cache.reset_stats()
+        for addr in addrs:
+            assert cache.access(addr) is True
+        assert cache.miss_rate == 0.0
+
+    def test_working_set_beyond_capacity_misses(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4, line_bytes=64)
+        addrs = [i * 64 for i in range(256)]  # 16 KB >> 4 KB
+        for _ in range(3):
+            for addr in addrs:
+                cache.access(addr)
+        # Sequential sweep over 4x capacity with LRU: every access misses.
+        assert cache.miss_rate > 0.9
+
+    def test_contains_probe_no_side_effects(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4)
+        cache.access(0x2000)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(0x2000)
+        assert not cache.contains(0x9000)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_reset_stats(self):
+        cache = SetAssociativeCache(4 * 1024, ways=4)
+        cache.access(0x0)
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        # 2-way, single-set cache: A, B, touch A, insert C -> B evicted.
+        cache = SetAssociativeCache(2 * 64, ways=2, line_bytes=64)
+        a, b, c = 0x000, 0x040, 0x080
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # A is now MRU
+        cache.access(c)  # evicts B
+        assert cache.contains(a)
+        assert cache.contains(c)
+        assert not cache.contains(b)
+
+
+class TestRrip:
+    def test_srrip_hit_promotes(self):
+        policy = SrripPolicy(max_rrpv=3)
+        state = policy.new_set_state(4)
+        policy.on_fill(state, 0)
+        assert state.rrpv[0] == 2
+        policy.on_hit(state, 0)
+        assert state.rrpv[0] == 0
+
+    def test_srrip_victim_search_ages(self):
+        policy = SrripPolicy(max_rrpv=3)
+        state = policy.new_set_state(2)
+        policy.on_fill(state, 0)
+        policy.on_hit(state, 0)  # rrpv 0
+        policy.on_fill(state, 1)  # rrpv 2
+        assert policy.victim(state) == 1  # ages until someone hits max
+
+    def test_brrip_mostly_fills_distant(self):
+        policy = BrripPolicy(max_rrpv=3, long_probability=0.0)
+        state = policy.new_set_state(2)
+        policy.on_fill(state, 0)
+        assert state.rrpv[0] == 3
+
+    def test_srrip_scan_resistance(self):
+        # A hot working set + a big streaming scan: SRRIP keeps more of
+        # the hot set than LRU does.
+        def run(policy):
+            cache = SetAssociativeCache(
+                4 * 1024, ways=4, line_bytes=64, policy=policy
+            )
+            hot = [i * 64 for i in range(32)]
+            for _ in range(20):
+                for addr in hot:
+                    cache.access(addr)
+            scan = [0x100000 + i * 64 for i in range(512)]
+            for addr in scan:
+                cache.access(addr)
+            cache.reset_stats()
+            for addr in hot:
+                cache.access(addr)
+            return cache.hits
+
+        assert run(SrripPolicy()) >= run(LruPolicy())
+
+    def test_drrip_runs_and_duels(self):
+        policy = DrripPolicy()
+        cache = SetAssociativeCache(
+            64 * 1024, ways=4, line_bytes=64, policy=policy
+        )
+        for i in range(20000):
+            cache.access((i * 64) % (256 * 1024))
+        assert cache.accesses == 20000
+        assert 0 <= policy.psel <= (1 << 10) - 1
+
+    def test_drrip_correctness_as_cache(self):
+        cache = SetAssociativeCache(
+            2 * 1024, ways=4, line_bytes=64, policy=DrripPolicy()
+        )
+        cache.access(0x500)
+        assert cache.access(0x500) is True

@@ -1,0 +1,98 @@
+"""Tests for the CPI timing model."""
+
+import pytest
+
+from repro.archsim import (
+    AppMpki,
+    CpiEstimate,
+    TimingParameters,
+    cpi_from_mpki,
+    estimate_cpi,
+)
+
+
+def make_mpki(name="x", l1i=0.0, l1d=0.0, l2=0.0, l3=0.0, branch=0.0):
+    return AppMpki(
+        name=name, instructions=1000, l1i=l1i, l1d=l1d, l2=l2, l3=l3,
+        branch=branch,
+    )
+
+
+class TestCpiFromMpki:
+    def test_perfect_caches_give_base_cpi(self):
+        estimate = cpi_from_mpki(make_mpki())
+        assert estimate.cpi == pytest.approx(TimingParameters().base_cpi)
+        assert estimate.memory_boundness == 0.0
+        assert estimate.ideal_memory_speedup == pytest.approx(1.0)
+
+    def test_l2_hits_cost_l2_penalty(self):
+        params = TimingParameters()
+        # 10 L1D misses/ki, all hit L2 (l2 mpki = 0).
+        estimate = cpi_from_mpki(make_mpki(l1d=10.0), params)
+        expected = params.base_cpi + 10.0 * params.l2_hit_penalty / 1000.0
+        assert estimate.cpi == pytest.approx(expected)
+
+    def test_memory_misses_dominate(self):
+        params = TimingParameters()
+        estimate = cpi_from_mpki(make_mpki(l1d=10.0, l2=10.0, l3=10.0), params)
+        assert estimate.memory_component == pytest.approx(
+            10.0 * params.memory_penalty / 1000.0
+        )
+        assert estimate.memory_component > estimate.l2_component
+
+    def test_branch_component(self):
+        params = TimingParameters()
+        estimate = cpi_from_mpki(make_mpki(branch=5.0), params)
+        assert estimate.branch_component == pytest.approx(
+            5.0 * params.branch_penalty / 1000.0
+        )
+        # Branch cost is NOT removed by ideal memory.
+        assert estimate.ideal_memory_cpi == pytest.approx(
+            params.base_cpi + estimate.branch_component
+        )
+
+    def test_components_sum_to_cpi(self):
+        estimate = cpi_from_mpki(
+            make_mpki(l1i=2.0, l1d=20.0, l2=8.0, l3=3.0, branch=6.0)
+        )
+        total = (
+            estimate.base
+            + estimate.l2_component
+            + estimate.l3_component
+            + estimate.memory_component
+            + estimate.branch_component
+        )
+        assert estimate.cpi == pytest.approx(total)
+
+    def test_inclusive_hierarchy_clamps(self):
+        # l2 mpki larger than l1 misses (possible with instruction
+        # traffic counted differently) must not produce negative hits.
+        estimate = cpi_from_mpki(make_mpki(l1d=1.0, l2=5.0, l3=0.0))
+        assert estimate.l2_component == 0.0
+        assert estimate.cpi > 0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            TimingParameters(base_cpi=-1.0)
+
+
+class TestEstimateCpi:
+    def test_case_study_cross_check(self):
+        # Trace-grounded memory-boundness must agree with the Sec. VII
+        # conclusions: moses is strongly memory-bound, silo is not.
+        moses = estimate_cpi("moses", n_instructions=80_000)
+        silo = estimate_cpi("silo", n_instructions=80_000)
+        assert moses.memory_boundness > 0.7
+        assert silo.memory_boundness < 0.5
+        assert moses.ideal_memory_speedup > 2 * silo.ideal_memory_speedup
+
+    def test_cpi_ordering_tracks_memory_traffic(self):
+        imgdnn = estimate_cpi("img-dnn", n_instructions=80_000)
+        masstree = estimate_cpi("masstree", n_instructions=80_000)
+        assert imgdnn.cpi > masstree.cpi
+
+    def test_returns_estimate(self):
+        estimate = estimate_cpi("xapian", n_instructions=50_000)
+        assert isinstance(estimate, CpiEstimate)
+        assert estimate.name == "xapian"
+        assert estimate.cpi > 0

@@ -1,0 +1,76 @@
+"""Tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.core import VirtualClock, WallClock
+
+
+class TestWallClock:
+    def test_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_until_reaches_deadline(self):
+        clock = WallClock()
+        deadline = clock.now() + 0.005
+        clock.sleep_until(deadline)
+        assert clock.now() >= deadline
+
+    def test_sleep_until_precision(self):
+        # The spin tail should keep overshoot small even on noisy
+        # shared machines (generous bound for CI).
+        clock = WallClock()
+        overshoots = []
+        for _ in range(5):
+            deadline = clock.now() + 0.002
+            clock.sleep_until(deadline)
+            overshoots.append(clock.now() - deadline)
+        assert min(overshoots) < 2e-3
+
+    def test_sleep_past_deadline_returns_immediately(self):
+        clock = WallClock()
+        start = clock.now()
+        clock.sleep_until(start - 1.0)
+        assert clock.now() - start < 0.01
+
+    def test_sleep_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock().sleep(-0.1)
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_cannot_go_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_sleep_until_advances_without_waiting(self):
+        clock = VirtualClock()
+        wall_start = time.perf_counter()
+        clock.sleep_until(1000.0)
+        assert time.perf_counter() - wall_start < 0.5
+        assert clock.now() == 1000.0
+
+    def test_sleep_until_past_is_noop(self):
+        clock = VirtualClock(100.0)
+        clock.sleep_until(50.0)
+        assert clock.now() == 100.0

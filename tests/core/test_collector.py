@@ -1,0 +1,128 @@
+"""Tests for the statistics collector."""
+
+import pytest
+
+from repro.core import StatsCollector
+from repro.core.request import RequestRecord
+
+
+def make_record(i: int, service: float = 0.001) -> RequestRecord:
+    base = float(i)
+    return RequestRecord(
+        request_id=i,
+        generated_at=base,
+        sent_at=base,
+        enqueued_at=base + 0.0001,
+        service_start_at=base + 0.0002,
+        service_end_at=base + 0.0002 + service,
+        response_received_at=base + 0.0003 + service,
+    )
+
+
+class TestWarmup:
+    def test_warmup_discarded(self):
+        collector = StatsCollector(warmup_requests=10)
+        for i in range(25):
+            collector.add(make_record(i))
+        stats = collector.snapshot()
+        assert stats.count == 15
+        assert stats.dropped_warmup == 10
+
+    def test_no_warmup(self):
+        collector = StatsCollector()
+        collector.add(make_record(0))
+        assert collector.snapshot().count == 1
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            StatsCollector(warmup_requests=-1)
+        with pytest.raises(ValueError):
+            StatsCollector(exact_limit=0)
+
+
+class TestExactMode:
+    def test_records_retained(self):
+        collector = StatsCollector()
+        for i in range(5):
+            collector.add(make_record(i))
+        stats = collector.snapshot()
+        assert stats.exact
+        assert len(stats.records) == 5
+
+    def test_samples_by_metric(self):
+        collector = StatsCollector()
+        collector.add(make_record(0, service=0.002))
+        stats = collector.snapshot()
+        assert stats.samples("service") == [pytest.approx(0.002)]
+        assert stats.samples("queue") == [pytest.approx(0.0001)]
+        assert stats.samples("sojourn")[0] > 0.002
+
+    def test_unknown_metric_rejected(self):
+        collector = StatsCollector()
+        collector.add(make_record(0))
+        with pytest.raises(ValueError):
+            collector.snapshot().samples("bogus")
+
+    def test_summary(self):
+        collector = StatsCollector()
+        for i in range(100):
+            collector.add(make_record(i))
+        summary = collector.snapshot().summary("service")
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(0.001)
+
+    def test_histogram_derived_from_records(self):
+        collector = StatsCollector()
+        for i in range(50):
+            collector.add(make_record(i))
+        hist = collector.snapshot().histogram("service")
+        assert hist.total_count == 50
+
+
+class TestHdrFallback:
+    def test_switches_past_exact_limit(self):
+        collector = StatsCollector(exact_limit=100)
+        for i in range(150):
+            collector.add(make_record(i))
+        stats = collector.snapshot()
+        assert not stats.exact
+        assert stats.count == 150
+
+    def test_records_unavailable_in_hdr_mode(self):
+        collector = StatsCollector(exact_limit=10)
+        for i in range(20):
+            collector.add(make_record(i))
+        stats = collector.snapshot()
+        with pytest.raises(ValueError):
+            stats.records
+        with pytest.raises(ValueError):
+            stats.samples()
+
+    def test_summary_consistent_across_modes(self):
+        import random
+
+        rng = random.Random(0)
+        services = [rng.expovariate(1000.0) for _ in range(600)]
+        exact = StatsCollector(exact_limit=10_000)
+        hdr = StatsCollector(exact_limit=100)
+        for i, s in enumerate(services):
+            exact.add(make_record(i, service=s))
+            hdr.add(make_record(i, service=s))
+        se = exact.snapshot().summary("service")
+        sh = hdr.snapshot().summary("service")
+        assert sh.mean == pytest.approx(se.mean, rel=1e-9)
+        assert sh.p95 == pytest.approx(se.p95, rel=0.05)
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            StatsCollector().snapshot().summary()
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_is_immutable_view(self):
+        collector = StatsCollector()
+        collector.add(make_record(0))
+        stats = collector.snapshot()
+        collector.add(make_record(1))
+        assert stats.count == 1
+        assert collector.snapshot().count == 2

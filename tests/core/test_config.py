@@ -1,0 +1,67 @@
+"""Tests for harness and system configuration objects."""
+
+import pytest
+
+from repro.core import PAPER_SYSTEM, HarnessConfig, SystemConfig
+
+
+class TestHarnessConfig:
+    def test_defaults_valid(self):
+        config = HarnessConfig()
+        assert config.configuration == "integrated"
+        assert config.total_requests == config.warmup_requests + config.measure_requests
+
+    def test_rejects_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(configuration="multiverse")
+
+    def test_rejects_bad_qps(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(qps=0)
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(n_threads=0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(measure_requests=0)
+        with pytest.raises(ValueError):
+            HarnessConfig(warmup_requests=-1)
+
+    def test_with_seed_changes_only_seed(self):
+        config = HarnessConfig(qps=123.0, n_threads=2)
+        other = config.with_seed(99)
+        assert other.seed == 99
+        assert other.qps == 123.0
+        assert other.n_threads == 2
+
+    def test_with_qps_changes_only_qps(self):
+        config = HarnessConfig(seed=5)
+        other = config.with_qps(777.0)
+        assert other.qps == 777.0
+        assert other.seed == 5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HarnessConfig().qps = 1.0
+
+
+class TestSystemConfig:
+    def test_paper_system_matches_table2(self):
+        # Table II: 8 SandyBridge cores @ 2.4 GHz, 32KB 8-way L1s,
+        # 256KB 8-way L2, 20MB 20-way L3, 32GB RAM.
+        assert PAPER_SYSTEM.cores == 8
+        assert PAPER_SYSTEM.frequency_ghz == 2.4
+        assert PAPER_SYSTEM.l1d_kb == 32
+        assert PAPER_SYSTEM.l1d_ways == 8
+        assert PAPER_SYSTEM.l2_kb == 256
+        assert PAPER_SYSTEM.l3_mb == 20
+        assert PAPER_SYSTEM.l3_ways == 20
+        assert PAPER_SYSTEM.memory_gb == 32
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=0)
+        with pytest.raises(ValueError):
+            SystemConfig(l3_ways=0)

@@ -1,0 +1,94 @@
+"""Tests for end-to-end harness runs (live mode, fast apps only)."""
+
+import pytest
+
+from repro.core import HarnessConfig, run_harness
+
+
+class ConstantApp:
+    """Minimal Application: fixed tiny busy-work per request."""
+
+    def __init__(self, iterations=200):
+        self.iterations = iterations
+
+    def setup(self):
+        pass
+
+    def process(self, payload):
+        acc = 0
+        for i in range(self.iterations):
+            acc += i * i
+        return acc
+
+    def make_client(self, seed=0):
+        class _Client:
+            def next_request(self):
+                return None
+
+        return _Client()
+
+
+class TestRunHarness:
+    def test_measures_requested_count(self):
+        app = ConstantApp()
+        config = HarnessConfig(qps=2000, warmup_requests=20, measure_requests=100)
+        result = run_harness(app, config)
+        assert result.stats.count == 100
+        assert result.stats.dropped_warmup == 20
+
+    def test_summaries_ordered(self):
+        app = ConstantApp()
+        result = run_harness(
+            app, HarnessConfig(qps=1000, warmup_requests=10, measure_requests=150)
+        )
+        sojourn = result.sojourn
+        assert sojourn.p50 <= sojourn.p95 <= sojourn.p99
+        # sojourn >= service for every request (queueing is additive);
+        # compare means, which preserves the per-request inequality.
+        assert sojourn.mean >= result.service.mean
+
+    def test_low_load_sojourn_close_to_service(self):
+        app = ConstantApp()
+        result = run_harness(
+            app, HarnessConfig(qps=50, warmup_requests=5, measure_requests=60)
+        )
+        # At ~zero load, queueing is negligible.
+        assert result.queue.p50 < 1e-3
+
+    def test_overload_is_detected(self):
+        app = ConstantApp(iterations=40_000)  # ~ms-scale service times
+        result = run_harness(
+            app,
+            HarnessConfig(qps=100_000, warmup_requests=5, measure_requests=120),
+        )
+        assert result.saturated
+        # Queueing dominates service under overload.
+        assert result.queue.mean > result.service.mean
+
+    def test_achieved_qps_tracks_offered_at_low_load(self):
+        app = ConstantApp()
+        result = run_harness(
+            app, HarnessConfig(qps=500, warmup_requests=10, measure_requests=200)
+        )
+        assert result.achieved_qps == pytest.approx(500, rel=0.25)
+        assert not result.saturated
+
+    def test_errors_surface_in_result(self):
+        class BrokenApp(ConstantApp):
+            def process(self, payload):
+                raise ValueError("nope")
+
+        result = run_harness(
+            BrokenApp(), HarnessConfig(qps=500, warmup_requests=0, measure_requests=30)
+        )
+        assert len(result.server_errors) == 30
+        assert result.stats.count == 0
+
+    def test_describe_is_readable(self):
+        app = ConstantApp()
+        result = run_harness(
+            app, HarnessConfig(qps=500, warmup_requests=5, measure_requests=50)
+        )
+        text = result.describe()
+        assert "sojourn" in text
+        assert "qps" in text

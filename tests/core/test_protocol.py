@@ -1,0 +1,100 @@
+"""Tests for the length-prefixed wire protocol."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.transport.protocol import (
+    MAX_FRAME,
+    ConnectionClosed,
+    recv_message,
+    send_message,
+)
+
+
+def socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    peer, _ = server.accept()
+    server.close()
+    return client, peer
+
+
+class TestProtocol:
+    def test_roundtrip_simple(self):
+        a, b = socket_pair()
+        try:
+            send_message(a, {"hello": "world", "n": 42})
+            assert recv_message(b) == {"hello": "world", "n": 42}
+        finally:
+            a.close()
+            b.close()
+
+    def test_roundtrip_complex_payloads(self):
+        import numpy as np
+
+        a, b = socket_pair()
+        try:
+            payloads = [
+                b"\x00\x01binary",
+                ("tuple", [1, 2.5, None]),
+                np.arange(10.0),
+            ]
+            for payload in payloads:
+                send_message(a, payload)
+            assert recv_message(b) == payloads[0]
+            assert recv_message(b) == payloads[1]
+            assert (recv_message(b) == payloads[2]).all()
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_messages_preserve_order(self):
+        a, b = socket_pair()
+        try:
+            for i in range(200):
+                send_message(a, i)
+            assert [recv_message(b) for _ in range(200)] == list(range(200))
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_connection_raises(self):
+        a, b = socket_pair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_message(b)
+        b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket_pair()
+        try:
+            with pytest.raises(ValueError, match="too large"):
+                send_message(a, b"x" * (MAX_FRAME + 1))
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_reads_assembled(self):
+        # A large frame arrives in many TCP segments; recv must loop.
+        a, b = socket_pair()
+        try:
+            big = list(range(100_000))
+            done = threading.Event()
+            received = []
+
+            def reader():
+                received.append(recv_message(b))
+                done.set()
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            send_message(a, big)
+            assert done.wait(10.0)
+            assert received[0] == big
+        finally:
+            a.close()
+            b.close()

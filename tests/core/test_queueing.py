@@ -1,0 +1,131 @@
+"""Tests for the instrumented request queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import QueueClosed, Request, RequestQueue, VirtualClock, WallClock
+
+
+def make_request():
+    request = Request(payload=None, generated_at=0.0)
+    request.sent_at = 0.0
+    return request
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(VirtualClock())
+        first, second = make_request(), make_request()
+        queue.put(first)
+        queue.put(second)
+        assert queue.get() is first
+        assert queue.get() is second
+
+    def test_put_stamps_enqueued_at(self):
+        clock = VirtualClock(42.0)
+        queue = RequestQueue(clock)
+        request = make_request()
+        queue.put(request)
+        assert request.enqueued_at == 42.0
+
+    def test_len_and_peak_depth(self):
+        queue = RequestQueue(VirtualClock())
+        for _ in range(3):
+            queue.put(make_request())
+        assert len(queue) == 3
+        assert queue.peak_depth == 3
+        queue.get()
+        assert len(queue) == 2
+        assert queue.peak_depth == 3  # peak is sticky
+
+    def test_total_enqueued(self):
+        queue = RequestQueue(VirtualClock())
+        for _ in range(5):
+            queue.put(make_request())
+        assert queue.total_enqueued == 5
+
+    def test_get_blocks_until_put(self):
+        queue = RequestQueue(WallClock())
+        result = []
+
+        def consumer():
+            result.append(queue.get())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        assert not result
+        queue.put(make_request())
+        thread.join(1.0)
+        assert len(result) == 1
+
+    def test_get_timeout(self):
+        queue = RequestQueue(WallClock())
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.05)
+
+    def test_closed_queue_rejects_put(self):
+        queue = RequestQueue(VirtualClock())
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(make_request())
+
+    def test_close_drains_then_raises(self):
+        queue = RequestQueue(VirtualClock())
+        queue.put(make_request())
+        queue.close()
+        queue.get()  # existing item still retrievable
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+    def test_close_wakes_blocked_getters(self):
+        queue = RequestQueue(WallClock())
+        errors = []
+
+        def consumer():
+            try:
+                queue.get()
+            except QueueClosed:
+                errors.append("closed")
+
+        threads = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        queue.close()
+        for t in threads:
+            t.join(1.0)
+        assert errors == ["closed"] * 3
+
+    def test_concurrent_producers_consumers(self):
+        queue = RequestQueue(WallClock())
+        n_per_producer = 200
+        consumed = []
+        consumed_lock = threading.Lock()
+
+        def producer():
+            for _ in range(n_per_producer):
+                queue.put(make_request())
+
+        def consumer():
+            while True:
+                try:
+                    item = queue.get(timeout=1.0)
+                except (QueueClosed, TimeoutError):
+                    return
+                with consumed_lock:
+                    consumed.append(item)
+
+        producers = [threading.Thread(target=producer) for _ in range(4)]
+        consumers = [threading.Thread(target=consumer) for _ in range(4)]
+        for t in producers + consumers:
+            t.start()
+        for t in producers:
+            t.join(5.0)
+        queue.close()
+        for t in consumers:
+            t.join(5.0)
+        assert len(consumed) == 4 * n_per_producer
+        assert len({id(r) for r in consumed}) == len(consumed)

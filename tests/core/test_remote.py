@@ -1,0 +1,85 @@
+"""Tests for the multi-process networked harness."""
+
+import pytest
+
+from repro.core import HarnessConfig
+from repro.core.transport import AppServerProcess, run_harness_multiprocess
+from repro.core.transport.protocol import recv_message, send_message
+
+
+class TestAppServerProcess:
+    def test_start_connect_roundtrip_stop(self):
+        server = AppServerProcess("masstree", {"n_records": 200})
+        try:
+            port = server.start()
+            assert port > 0
+            conn = server.connect()
+            from repro.workloads import YcsbOperation, make_key
+
+            send_message(
+                conn,
+                {"id": 1, "payload": YcsbOperation("get", make_key(0))},
+            )
+            reply = recv_message(conn)
+            assert reply["id"] == 1
+            assert reply["error"] is None
+            assert reply["service_time"] >= 0.0
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_double_start_rejected(self):
+        server = AppServerProcess("masstree", {"n_records": 100})
+        try:
+            server.start()
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_connect_before_start_rejected(self):
+        server = AppServerProcess("masstree")
+        with pytest.raises(RuntimeError):
+            server.connect()
+
+
+class TestRunHarnessMultiprocess:
+    def test_full_measurement_run(self):
+        result = run_harness_multiprocess(
+            "masstree",
+            HarnessConfig(qps=200, warmup_requests=5, measure_requests=50),
+            app_kwargs={"n_records": 300},
+        )
+        assert result.stats.count == 50
+        assert not result.server_errors
+        # Chain reconstruction must produce valid components.
+        for record in result.stats.records:
+            assert record.sojourn_time > 0
+            assert record.service_time >= 0
+            assert record.queue_time >= 0
+            assert record.sojourn_time >= record.service_time
+
+    def test_process_boundary_adds_latency(self):
+        from repro import create_app, run_harness
+
+        app = create_app("masstree", n_records=300)
+        app.setup()
+        local = run_harness(
+            app, HarnessConfig(qps=200, warmup_requests=5, measure_requests=50)
+        )
+        remote = run_harness_multiprocess(
+            "masstree",
+            HarnessConfig(qps=200, warmup_requests=5, measure_requests=50),
+            app_kwargs={"n_records": 300},
+        )
+        # Crossing a process + TCP boundary cannot be cheaper than a
+        # same-process function call.
+        assert remote.sojourn.p50 > local.sojourn.p50
+
+    def test_validates_connections(self):
+        with pytest.raises(ValueError):
+            run_harness_multiprocess(
+                "masstree",
+                HarnessConfig(qps=10, measure_requests=1),
+                n_client_connections=0,
+            )

@@ -1,0 +1,56 @@
+"""Tests for request records and the timestamp chain."""
+
+import pytest
+
+from repro.core import Request
+
+
+def make_request(**overrides):
+    request = Request(payload="x", generated_at=1.0)
+    request.sent_at = overrides.get("sent_at", 1.001)
+    request.enqueued_at = overrides.get("enqueued_at", 1.002)
+    request.service_start_at = overrides.get("service_start_at", 1.010)
+    request.service_end_at = overrides.get("service_end_at", 1.030)
+    request.response_received_at = overrides.get("response_received_at", 1.031)
+    return request
+
+
+class TestTimestampChain:
+    def test_finish_produces_record(self):
+        record = make_request().finish()
+        assert record.service_time == pytest.approx(0.020)
+        assert record.queue_time == pytest.approx(0.008)
+        assert record.sojourn_time == pytest.approx(0.031)
+
+    def test_send_delay(self):
+        record = make_request().finish()
+        assert record.send_delay == pytest.approx(0.001)
+
+    def test_network_time(self):
+        record = make_request().finish()
+        assert record.network_time == pytest.approx(0.001 + 0.001)
+
+    def test_missing_stamp_rejected(self):
+        request = make_request()
+        request.enqueued_at = None
+        with pytest.raises(ValueError, match="enqueued_at"):
+            request.finish()
+
+    def test_out_of_order_stamps_rejected(self):
+        request = make_request(service_start_at=0.5)
+        with pytest.raises(ValueError):
+            request.finish()
+
+    def test_request_ids_unique(self):
+        a = Request(payload=None, generated_at=0.0)
+        b = Request(payload=None, generated_at=0.0)
+        assert a.request_id != b.request_id
+
+    def test_sojourn_measured_from_generated_not_sent(self):
+        # Coordinated-omission avoidance: a late send must not shrink
+        # the measured sojourn time.
+        late_send = make_request(sent_at=1.0019)
+        on_time = make_request(sent_at=1.001)
+        assert (
+            late_send.finish().sojourn_time == on_time.finish().sojourn_time
+        )

@@ -1,0 +1,98 @@
+"""Tests for the repeated-run campaign controller."""
+
+import pytest
+
+from repro.core import CampaignResult, HarnessConfig, run_campaign
+from repro.sim import SimConfig, paper_profile, simulate_load
+
+
+def sim_run_fn(app_name):
+    """Adapter: drive campaigns with the virtual-time simulator."""
+    profile = paper_profile(app_name)
+
+    def run(app, config: HarnessConfig):
+        result = simulate_load(
+            profile,
+            SimConfig(
+                qps=config.qps,
+                n_threads=config.n_threads,
+                configuration=config.configuration,
+                warmup_requests=config.warmup_requests,
+                measure_requests=config.measure_requests,
+                seed=config.seed,
+            ),
+        )
+        return result
+
+    return run
+
+
+class TestRunCampaign:
+    def test_runs_until_convergence(self):
+        config = HarnessConfig(
+            qps=1000, warmup_requests=100, measure_requests=4000
+        )
+        result = run_campaign(
+            None,
+            config,
+            relative_precision=0.05,
+            min_runs=3,
+            max_runs=15,
+            run_fn=sim_run_fn("masstree"),
+        )
+        assert isinstance(result, CampaignResult)
+        assert result.converged
+        assert 3 <= result.n_runs <= 15
+
+    def test_each_run_uses_fresh_seed(self):
+        config = HarnessConfig(qps=1000, warmup_requests=50, measure_requests=500)
+        result = run_campaign(
+            None,
+            config,
+            relative_precision=0.2,
+            min_runs=3,
+            max_runs=5,
+            run_fn=sim_run_fn("masstree"),
+        )
+        seeds = [r.config.seed for r in result.runs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_estimates_cover_requested_metrics(self):
+        config = HarnessConfig(qps=500, warmup_requests=50, measure_requests=1000)
+        result = run_campaign(
+            None,
+            config,
+            metrics=("mean", "p95"),
+            relative_precision=0.2,
+            min_runs=3,
+            max_runs=6,
+            run_fn=sim_run_fn("xapian"),
+        )
+        assert set(result.estimates) == {"mean", "p95"}
+        assert result.value("p95") > result.value("mean") > 0
+
+    def test_describe(self):
+        config = HarnessConfig(qps=500, warmup_requests=50, measure_requests=500)
+        result = run_campaign(
+            None,
+            config,
+            relative_precision=0.5,
+            min_runs=3,
+            max_runs=4,
+            run_fn=sim_run_fn("silo"),
+        )
+        assert "runs" in result.describe()
+
+    def test_hits_max_runs_without_convergence(self):
+        # Impossible precision forces the max_runs stop.
+        config = HarnessConfig(qps=2000, warmup_requests=10, measure_requests=200)
+        result = run_campaign(
+            None,
+            config,
+            relative_precision=1e-9,
+            min_runs=3,
+            max_runs=4,
+            run_fn=sim_run_fn("silo"),
+        )
+        assert result.n_runs == 4
+        assert not result.converged

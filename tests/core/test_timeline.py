@@ -1,0 +1,82 @@
+"""Tests for percentile-over-time and steady-state detection."""
+
+import pytest
+
+from repro.core import StatsCollector
+from repro.core.request import RequestRecord
+
+
+def make_record(i, t, service):
+    return RequestRecord(
+        request_id=i,
+        generated_at=t,
+        sent_at=t,
+        enqueued_at=t,
+        service_start_at=t,
+        service_end_at=t + service,
+        response_received_at=t + service,
+    )
+
+
+def fill(collector, services, dt=0.01):
+    for i, s in enumerate(services):
+        collector.add(make_record(i, i * dt, s))
+
+
+class TestTimeline:
+    def test_windows_cover_all_records(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 100)
+        points = collector.snapshot().timeline(n_windows=10)
+        assert sum(p.count for p in points) == 100
+        times = [p.time for p in points]
+        assert times == sorted(times)
+
+    def test_flat_workload_flat_timeline(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 200)
+        points = collector.snapshot().timeline(n_windows=8)
+        values = [p.value for p in points]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_drift_visible(self):
+        collector = StatsCollector()
+        # Service times double over the run.
+        fill(collector, [1e-3 * (1 + i / 100) for i in range(100)])
+        points = collector.snapshot().timeline(metric="service", n_windows=5)
+        assert points[-1].value > 1.5 * points[0].value
+
+    def test_validation(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 30)
+        stats = collector.snapshot()
+        with pytest.raises(ValueError):
+            stats.timeline(n_windows=1)
+        with pytest.raises(ValueError):
+            stats.timeline(pct=0.0)
+        with pytest.raises(ValueError):
+            stats.timeline(n_windows=100)  # more windows than records
+
+    def test_hdr_mode_rejected(self):
+        collector = StatsCollector(exact_limit=10)
+        fill(collector, [1e-3] * 50)
+        with pytest.raises(ValueError):
+            collector.snapshot().timeline()
+
+
+class TestSteadiness:
+    def test_steady_run_detected(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3, 1.1e-3] * 50)
+        assert collector.snapshot().is_steady(metric="service")
+
+    def test_drifting_run_flagged(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 50 + [5e-3] * 50)
+        assert not collector.snapshot().is_steady(metric="service")
+
+    def test_too_few_records(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 5)
+        with pytest.raises(ValueError):
+            collector.snapshot().is_steady()

@@ -1,0 +1,107 @@
+"""Tests for open-loop traffic shaping."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ArrivalSchedule,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TrafficShaper,
+    VirtualClock,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_rate(self):
+        process = PoissonArrivals(qps=1000.0)
+        rng = random.Random(0)
+        gaps = [process.next_gap(rng) for _ in range(20000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(1e-3, rel=0.05)
+
+    def test_poisson_gaps_are_variable(self):
+        process = PoissonArrivals(qps=100.0)
+        rng = random.Random(1)
+        gaps = {round(process.next_gap(rng), 9) for _ in range(50)}
+        assert len(gaps) > 40
+
+    def test_deterministic_gaps_fixed(self):
+        process = DeterministicArrivals(qps=200.0)
+        rng = random.Random(0)
+        assert process.next_gap(rng) == pytest.approx(0.005)
+        assert process.rate == 200.0
+
+    def test_rejects_non_positive_qps(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            DeterministicArrivals(-5.0)
+
+
+class TestArrivalSchedule:
+    def test_generate_length(self):
+        schedule = ArrivalSchedule.generate(PoissonArrivals(100), 500, seed=2)
+        assert len(schedule) == 500
+
+    def test_times_non_decreasing(self):
+        schedule = ArrivalSchedule.generate(PoissonArrivals(100), 200, seed=3)
+        times = list(schedule)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_same_seed_same_schedule(self):
+        a = ArrivalSchedule.generate(PoissonArrivals(100), 100, seed=7)
+        b = ArrivalSchedule.generate(PoissonArrivals(100), 100, seed=7)
+        assert list(a) == list(b)
+
+    def test_different_seed_different_schedule(self):
+        a = ArrivalSchedule.generate(PoissonArrivals(100), 100, seed=7)
+        b = ArrivalSchedule.generate(PoissonArrivals(100), 100, seed=8)
+        assert list(a) != list(b)
+
+    def test_observed_qps_close_to_nominal(self):
+        schedule = ArrivalSchedule.generate(PoissonArrivals(500), 5000, seed=0)
+        assert schedule.observed_qps == pytest.approx(500, rel=0.1)
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule([1.0, 0.5])
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.generate(PoissonArrivals(10), 0)
+
+
+class TestTrafficShaper:
+    def test_sends_every_request_with_ideal_times(self):
+        clock = VirtualClock()
+        schedule = ArrivalSchedule([0.0, 0.01, 0.02, 0.05])
+        shaper = TrafficShaper(clock, schedule)
+        sent = []
+        count = shaper.run(lambda t, p: sent.append((t, p)), ["a", "b", "c", "d"])
+        assert count == 4
+        assert [p for _, p in sent] == ["a", "b", "c", "d"]
+        # Ideal instants preserve schedule gaps exactly in virtual time.
+        gaps = [b[0] - a[0] for a, b in zip(sent, sent[1:])]
+        assert gaps == pytest.approx([0.01, 0.01, 0.03])
+
+    def test_payload_length_mismatch_rejected(self):
+        clock = VirtualClock()
+        shaper = TrafficShaper(clock, ArrivalSchedule([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            shaper.run(lambda t, p: None, ["only-one"])
+
+    def test_open_loop_no_waiting_on_responses(self):
+        # The shaper must pace by schedule only: a send_fn that never
+        # "responds" cannot stall the stream.
+        clock = VirtualClock()
+        schedule = ArrivalSchedule([0.0, 0.001, 0.002])
+        shaper = TrafficShaper(clock, schedule)
+        sent = []
+        shaper.run(lambda t, p: sent.append(t))
+        assert len(sent) == 3
+
+    def test_empty_schedule(self):
+        clock = VirtualClock()
+        shaper = TrafficShaper(clock, ArrivalSchedule([]))
+        assert shaper.run(lambda t, p: None) == 0

@@ -1,0 +1,162 @@
+"""Tests for the analysis package (SLO capacity, fan-out, decomposition)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    capacity_curve,
+    decompose,
+    fanout_quantile,
+    fanout_summary,
+    find_slo_capacity,
+    required_leaf_quantile,
+)
+from repro.sim import AppProfile, SimConfig, paper_profile, simulate_load
+from repro.stats import Exponential, quantile
+
+
+class TestSloCapacity:
+    @pytest.fixture(scope="class")
+    def mm1_profile(self):
+        return AppProfile(name="mm1", service=Exponential.from_mean(1e-3))
+
+    def test_matches_mm1_closed_form(self, mm1_profile):
+        # M/M/1 sojourn is exponential: p95 <= slo  <=>
+        # lambda <= mu - ln(20)/slo.
+        slo = 10e-3
+        capacity = find_slo_capacity(
+            mm1_profile, slo, percentile=95.0, measure_requests=20_000
+        )
+        analytic = 1000.0 - math.log(20.0) / slo
+        assert capacity.qps == pytest.approx(analytic, rel=0.12)
+
+    def test_result_meets_slo(self, mm1_profile):
+        capacity = find_slo_capacity(mm1_profile, 8e-3, measure_requests=8000)
+        assert capacity.latency_at_qps <= 8e-3
+        assert 0.0 <= capacity.headroom <= 1.0
+        assert 0.0 < capacity.utilization < 1.0
+
+    def test_tighter_slo_lower_capacity(self, mm1_profile):
+        loose = find_slo_capacity(mm1_profile, 20e-3, measure_requests=6000)
+        tight = find_slo_capacity(mm1_profile, 4e-3, measure_requests=6000)
+        assert tight.qps < loose.qps
+
+    def test_infeasible_slo_rejected(self, mm1_profile):
+        with pytest.raises(ValueError, match="infeasible"):
+            find_slo_capacity(mm1_profile, 1e-6, measure_requests=4000)
+
+    def test_capacity_curve_monotone(self, mm1_profile):
+        curve = capacity_curve(
+            mm1_profile, slos=(4e-3, 10e-3, 25e-3), measure_requests=5000
+        )
+        qps = [c.qps for c in curve]
+        assert qps == sorted(qps)
+
+    def test_more_threads_more_capacity(self):
+        profile = paper_profile("xapian")
+        one = find_slo_capacity(
+            profile, 10e-3, config=SimConfig(n_threads=1, measure_requests=5000)
+        )
+        four = find_slo_capacity(
+            profile, 10e-3, config=SimConfig(n_threads=4, measure_requests=5000)
+        )
+        assert four.qps > 2.5 * one.qps
+
+    def test_validation(self, mm1_profile):
+        with pytest.raises(ValueError):
+            find_slo_capacity(mm1_profile, 0.0)
+        with pytest.raises(ValueError):
+            find_slo_capacity(mm1_profile, 1e-3, percentile=100.0)
+        with pytest.raises(ValueError):
+            capacity_curve(mm1_profile, slos=())
+
+
+class TestFanout:
+    @pytest.fixture(scope="class")
+    def leaf_samples(self):
+        rng = random.Random(0)
+        return [rng.expovariate(1000.0) for _ in range(50_000)]
+
+    def test_matches_order_statistic_identity(self, leaf_samples):
+        # For exponential leaves, max of n has quantile
+        # -ln(1 - q^(1/n)) / rate.
+        for fanout in (1, 10, 100):
+            ours = fanout_quantile(leaf_samples, fanout, 0.5)
+            analytic = -math.log(1.0 - 0.5 ** (1.0 / fanout)) / 1000.0
+            assert ours == pytest.approx(analytic, rel=0.1), fanout
+
+    def test_monotone_in_fanout(self, leaf_samples):
+        values = [
+            fanout_quantile(leaf_samples, n, 0.95) for n in (1, 5, 25, 125)
+        ]
+        assert values == sorted(values)
+
+    def test_fanout_one_is_identity(self, leaf_samples):
+        assert fanout_quantile(leaf_samples, 1, 0.9) == pytest.approx(
+            quantile(leaf_samples, 0.9)
+        )
+
+    def test_summary_structure(self, leaf_samples):
+        summary = fanout_summary(leaf_samples, fanouts=(1, 10))
+        assert set(summary) == {1, 10}
+        assert summary[10][0.5] > summary[1][0.5]
+
+    def test_required_leaf_quantile(self):
+        # Controlling the e2e median at fan-out 100 needs ~p99.3 leaves.
+        assert required_leaf_quantile(100, 0.5) == pytest.approx(0.9931, abs=1e-3)
+        assert required_leaf_quantile(1, 0.95) == pytest.approx(0.95)
+
+    def test_validation(self, leaf_samples):
+        with pytest.raises(ValueError):
+            fanout_quantile(leaf_samples, 0, 0.5)
+        with pytest.raises(ValueError):
+            fanout_quantile(leaf_samples, 5, 1.0)
+        with pytest.raises(ValueError):
+            fanout_quantile([], 5, 0.5)
+        with pytest.raises(ValueError):
+            required_leaf_quantile(0, 0.5)
+
+
+class TestDecomposition:
+    def test_low_load_service_dominates(self):
+        profile = paper_profile("xapian")
+        result = simulate_load(
+            profile,
+            SimConfig(qps=0.1 / profile.service.mean, measure_requests=5000),
+        )
+        breakdown = decompose(result.stats, pct=95.0)
+        assert breakdown.dominant() == "service"
+        assert breakdown.service > breakdown.queue
+
+    def test_high_load_queue_dominates(self):
+        profile = paper_profile("xapian")
+        result = simulate_load(
+            profile,
+            SimConfig(qps=0.95 / profile.service.mean, measure_requests=5000),
+        )
+        breakdown = decompose(result.stats, pct=95.0)
+        assert breakdown.dominant() == "queue"
+        assert breakdown.queue > breakdown.service
+
+    def test_shares_sum_to_one(self):
+        profile = paper_profile("masstree")
+        result = simulate_load(
+            profile,
+            SimConfig(qps=0.5 / profile.service.mean, measure_requests=3000,
+                      configuration="networked"),
+        )
+        breakdown = decompose(result.stats)
+        total = (
+            breakdown.tail_dominated_by_queue
+            + breakdown.tail_dominated_by_service
+            + breakdown.tail_dominated_by_network
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        profile = paper_profile("silo")
+        result = simulate_load(profile, SimConfig(qps=1000, measure_requests=500))
+        with pytest.raises(ValueError):
+            decompose(result.stats, pct=0.0)

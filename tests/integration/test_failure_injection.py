@@ -1,0 +1,158 @@
+"""Failure injection: the system under partial failure.
+
+Latency-critical infrastructure must degrade cleanly: failing requests
+must not corrupt statistics, a torn log tail must not break recovery,
+worker errors must not kill the harness, and transactions interrupted
+by unexpected exceptions must release their locks.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import HarnessConfig, run_harness
+from repro.apps.shore import ShoreEngine
+from repro.apps.silo import Database, TransactionAborted
+
+
+class FlakyApp:
+    """Fails a configurable fraction of requests."""
+
+    def __init__(self, failure_rate=0.2, seed=0):
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+
+    def setup(self):
+        pass
+
+    def process(self, payload):
+        if self._rng.random() < self.failure_rate:
+            raise RuntimeError("injected failure")
+        return payload
+
+    def make_client(self, seed=0):
+        class _Client:
+            def next_request(self):
+                return "x"
+
+        return _Client()
+
+
+class TestHarnessUnderFailures:
+    def test_partial_failures_excluded_from_stats(self):
+        app = FlakyApp(failure_rate=0.3)
+        result = run_harness(
+            app, HarnessConfig(qps=500, warmup_requests=0, measure_requests=200)
+        )
+        errors = len(result.server_errors)
+        assert 20 < errors < 120  # ~30% of 200
+        # Failed requests never enter the latency statistics.
+        assert result.stats.count == 200 - errors
+        assert all("injected failure" in e for e in result.server_errors)
+
+    def test_total_failure_yields_empty_stats_not_crash(self):
+        app = FlakyApp(failure_rate=1.0)
+        result = run_harness(
+            app, HarnessConfig(qps=500, warmup_requests=0, measure_requests=50)
+        )
+        assert result.stats.count == 0
+        assert len(result.server_errors) == 50
+
+    def test_failures_across_worker_threads(self):
+        app = FlakyApp(failure_rate=0.5)
+        result = run_harness(
+            app,
+            HarnessConfig(
+                qps=800, n_threads=4, warmup_requests=0, measure_requests=200
+            ),
+        )
+        assert result.stats.count + len(result.server_errors) == 200
+
+
+class TestShoreTornLog:
+    def test_truncated_log_tail_ignored(self, tmp_path):
+        log_path = str(tmp_path / "wal.log")
+        engine = ShoreEngine(db_path=str(tmp_path / "d.db"), log_path=log_path)
+        table = engine.create_table("t")
+        engine.run(lambda t: t.insert(table, 1, "committed-1"))
+        engine.run(lambda t: t.insert(table, 2, "committed-2"))
+        engine.log.force()
+        size_after_commits = os.path.getsize(log_path)
+        # A third transaction's records reach the disk only partially
+        # (crash mid-write): append then tear the last 3 bytes off.
+        engine.run(lambda t: t.insert(table, 3, "torn"))
+        engine.log.force()
+        with open(log_path, "r+b") as f:
+            f.truncate(os.path.getsize(log_path) - 3)
+        assert os.path.getsize(log_path) > size_after_commits
+
+        recovered = ShoreEngine(
+            db_path=str(tmp_path / "fresh.db"), log_path=log_path
+        )
+        rtable = recovered.create_table("t")
+        recovered.recover()  # must not raise on the torn tail
+        assert recovered.run(lambda t: t.read(rtable, 1)) == "committed-1"
+        assert recovered.run(lambda t: t.read(rtable, 2)) == "committed-2"
+        recovered.close()
+        engine.close()
+
+    def test_empty_log_recovers_to_empty(self, tmp_path):
+        log_path = str(tmp_path / "wal.log")
+        open(log_path, "wb").close()
+        engine = ShoreEngine(log_path=log_path)
+        table = engine.create_table("t")
+        assert engine.recover() == 0
+        assert len(table) == 0
+        engine.close()
+
+
+class TestEngineExceptionSafety:
+    def test_silo_unexpected_exception_releases_nothing_held(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, 0))
+
+        class AppBug(Exception):
+            pass
+
+        def buggy(txn):
+            txn.read(table, 1)
+            raise AppBug("logic error, not an OCC abort")
+
+        with pytest.raises(AppBug):
+            db.run(buggy)
+        # The record must still be writable (no lock leaked).
+        db.run(lambda t: t.write(table, 1, 42))
+        assert db.run(lambda t: t.read(table, 1)) == 42
+
+    def test_shore_unexpected_exception_releases_locks(self, tmp_path):
+        engine = ShoreEngine(log_path=str(tmp_path / "wal.log"))
+        table = engine.create_table("t", lambda key: key)
+        engine.run(lambda t: t.insert(table, 1, 0))
+
+        class AppBug(Exception):
+            pass
+
+        txn = engine.transaction()
+        txn.write(table, 1, 99)  # takes the exclusive lock
+        txn.abort()  # simulates the driver's cleanup path
+        # Lock must be free for the next transaction.
+        engine.run(lambda t: t.write(table, 1, 7))
+        assert engine.run(lambda t: t.read(table, 1)) == 7
+        engine.close()
+
+    def test_silo_commit_failure_leaves_consistent_state(self):
+        db = Database()
+        table = db.create_table("t")
+        db.run(lambda t: t.insert(table, 1, "original"))
+        stale = db.transaction()
+        stale.read(table, 1)
+        stale.write(table, 1, "stale-write")
+        db.run(lambda t: t.write(table, 1, "fresh"))
+        with pytest.raises(TransactionAborted):
+            stale.commit()
+        assert db.run(lambda t: t.read(table, 1)) == "fresh"
+        # And the record accepts subsequent writes (locks released).
+        db.run(lambda t: t.write(table, 1, "after"))
+        assert db.run(lambda t: t.read(table, 1)) == "after"

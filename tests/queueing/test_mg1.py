@@ -1,0 +1,69 @@
+"""Tests for M/G/1 analysis (Pollaczek–Khinchine)."""
+
+import math
+
+import pytest
+
+from repro.queueing import mean_queue_length, mean_sojourn, mean_wait, utilization
+from repro.stats import Deterministic, Exponential, Hyperexponential
+
+
+class TestUtilization:
+    def test_rho(self):
+        assert utilization(500.0, Exponential.from_mean(1e-3)) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization(0.0, Deterministic(1.0))
+
+
+class TestMeanWait:
+    def test_mm1_closed_form(self):
+        # M/M/1: W_q = rho / (mu - lambda).
+        service = Exponential.from_mean(1e-3)
+        lam = 600.0
+        expected = 0.6 / (1000.0 - 600.0)
+        assert mean_wait(lam, service) == pytest.approx(expected)
+
+    def test_md1_is_half_of_mm1(self):
+        # Deterministic service halves P-K waiting vs exponential.
+        lam = 500.0
+        exp_wait = mean_wait(lam, Exponential.from_mean(1e-3))
+        det_wait = mean_wait(lam, Deterministic(1e-3))
+        assert det_wait == pytest.approx(exp_wait / 2.0)
+
+    def test_high_variance_waits_longer(self):
+        lam = 500.0
+        hyper = Hyperexponential([(0.9, 0.5e-3), (0.1, 5.5e-3)])
+        assert abs(hyper.mean - 1e-3) < 1e-6
+        assert mean_wait(lam, hyper) > mean_wait(lam, Exponential.from_mean(1e-3))
+
+    def test_saturation_infinite(self):
+        service = Deterministic(1e-3)
+        assert math.isinf(mean_wait(1000.0, service))
+        assert math.isinf(mean_wait(1500.0, service))
+
+    def test_wait_monotone_in_load(self):
+        service = Exponential.from_mean(1e-3)
+        waits = [mean_wait(l, service) for l in (100, 400, 700, 950)]
+        assert waits == sorted(waits)
+
+
+class TestDerived:
+    def test_sojourn_is_wait_plus_service(self):
+        service = Deterministic(2e-3)
+        lam = 300.0
+        assert mean_sojourn(lam, service) == pytest.approx(
+            mean_wait(lam, service) + 2e-3
+        )
+
+    def test_littles_law(self):
+        service = Exponential.from_mean(1e-3)
+        lam = 800.0
+        assert mean_queue_length(lam, service) == pytest.approx(
+            lam * mean_wait(lam, service)
+        )
+
+    def test_infinite_propagates(self):
+        assert math.isinf(mean_sojourn(2000.0, Deterministic(1e-3)))
+        assert math.isinf(mean_queue_length(2000.0, Deterministic(1e-3)))

@@ -1,0 +1,102 @@
+"""Tests for M/G/k analysis."""
+
+import math
+
+import pytest
+
+from repro.queueing import (
+    erlang_c,
+    mean_wait,
+    mgk_mean_sojourn,
+    mgk_mean_wait,
+    mgk_percentiles,
+    mmk_mean_wait,
+)
+from repro.stats import Deterministic, Exponential
+
+
+class TestErlangC:
+    def test_zero_load_never_waits(self):
+        assert erlang_c(4, 0.0) == pytest.approx(0.0)
+
+    def test_saturation_always_waits(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 3.0) == 1.0
+
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_value(self):
+        # Classic Erlang-C table: k=3, a=2 -> ~0.4444.
+        assert erlang_c(3, 2.0) == pytest.approx(4.0 / 9.0, rel=1e-6)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(8, 4.0) < erlang_c(5, 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, -1.0)
+
+
+class TestMmkWait:
+    def test_k1_matches_mm1(self):
+        lam, mean_s = 600.0, 1e-3
+        expected = 0.6 / (1000.0 - 600.0)
+        assert mmk_mean_wait(lam, mean_s, 1) == pytest.approx(expected)
+
+    def test_saturation_infinite(self):
+        assert math.isinf(mmk_mean_wait(4000.0, 1e-3, 4))
+
+    def test_pooling_benefit(self):
+        # 4 servers at equal per-server load wait far less than 1.
+        one = mmk_mean_wait(700.0, 1e-3, 1)
+        four = mmk_mean_wait(2800.0, 1e-3, 4)
+        assert four < one / 2
+
+
+class TestMgkWait:
+    def test_k1_deterministic_matches_pk(self):
+        service = Deterministic(1e-3)
+        lam = 700.0
+        assert mgk_mean_wait(lam, service, 1) == pytest.approx(
+            mean_wait(lam, service)
+        )
+
+    def test_k1_exponential_matches_pk(self):
+        service = Exponential.from_mean(1e-3)
+        lam = 500.0
+        assert mgk_mean_wait(lam, service, 1) == pytest.approx(
+            mean_wait(lam, service)
+        )
+
+    def test_scv_scaling(self):
+        det = Deterministic(1e-3)
+        exp = Exponential.from_mean(1e-3)
+        lam, k = 2800.0, 4
+        assert mgk_mean_wait(lam, det, k) == pytest.approx(
+            mgk_mean_wait(lam, exp, k) / 2.0
+        )
+
+    def test_sojourn_adds_service(self):
+        service = Exponential.from_mean(1e-3)
+        assert mgk_mean_sojourn(1000.0, service, 2) == pytest.approx(
+            mgk_mean_wait(1000.0, service, 2) + 1e-3
+        )
+
+
+class TestMgkPercentiles:
+    def test_simulation_matches_lee_longton_mean(self):
+        service = Exponential.from_mean(1e-3)
+        lam, k = 2400.0, 4
+        result = mgk_percentiles(service, qps=lam, k=k, measure_requests=60_000)
+        analytic = mgk_mean_sojourn(lam, service, k)
+        assert result.sojourn.mean == pytest.approx(analytic, rel=0.1)
+
+    def test_returns_full_percentiles(self):
+        result = mgk_percentiles(
+            Exponential.from_mean(1e-3), qps=500.0, k=1, measure_requests=5000
+        )
+        assert result.sojourn.p99 > result.sojourn.p95 > result.sojourn.p50

@@ -1,0 +1,72 @@
+"""Tests for closed-form M/M/k percentiles."""
+
+import math
+
+import pytest
+
+from repro.queueing import (
+    mgk_percentiles,
+    mm1_sojourn_percentile,
+    mmk_wait_ccdf,
+    mmk_wait_percentile,
+)
+from repro.stats import Exponential
+
+
+class TestWaitCcdf:
+    def test_at_zero_equals_erlang_c(self):
+        from repro.queueing import erlang_c
+
+        assert mmk_wait_ccdf(600.0, 1e-3, 1, 0.0) == pytest.approx(
+            erlang_c(1, 0.6)
+        )
+
+    def test_decreasing_in_t(self):
+        values = [mmk_wait_ccdf(600.0, 1e-3, 2, t) for t in (0, 1e-3, 5e-3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_saturated_rejected(self):
+        with pytest.raises(ValueError):
+            mmk_wait_ccdf(2000.0, 1e-3, 1, 0.0)
+
+
+class TestWaitPercentile:
+    def test_zero_when_most_arrivals_do_not_wait(self):
+        # At 10% load, P(wait) = 0.1 < 0.5 tail mass of the median.
+        assert mmk_wait_percentile(100.0, 1e-3, 1, 50.0) == 0.0
+
+    def test_inverse_of_ccdf(self):
+        lam, s, k, pct = 700.0, 1e-3, 1, 99.0
+        t = mmk_wait_percentile(lam, s, k, pct)
+        assert mmk_wait_ccdf(lam, s, k, t) == pytest.approx(0.01)
+
+    def test_matches_simulation(self):
+        lam, s, k = 2800.0, 1e-3, 4
+        analytic = mmk_wait_percentile(lam, s, k, 95.0)
+        sim = mgk_percentiles(
+            Exponential.from_mean(s), qps=lam, k=k, measure_requests=60_000
+        )
+        assert sim.queue.p95 == pytest.approx(analytic, rel=0.15)
+
+
+class TestMm1Sojourn:
+    def test_closed_form(self):
+        # mu=1000, lambda=500 => T ~ Exp(500); p95 = ln(20)/500.
+        assert mm1_sojourn_percentile(500.0, 1e-3, 95.0) == pytest.approx(
+            math.log(20.0) / 500.0
+        )
+
+    def test_matches_simulation(self):
+        lam, s = 600.0, 1e-3
+        sim = mgk_percentiles(
+            Exponential.from_mean(s), qps=lam, k=1, measure_requests=60_000
+        )
+        assert sim.sojourn.p99 == pytest.approx(
+            mm1_sojourn_percentile(lam, s, 99.0), rel=0.12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_sojourn_percentile(500.0, 1e-3, 0.0)
+        with pytest.raises(ValueError):
+            mm1_sojourn_percentile(1500.0, 1e-3, 95.0)

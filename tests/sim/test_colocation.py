@@ -1,0 +1,99 @@
+"""Tests for the colocation interference model."""
+
+import pytest
+
+from repro.sim import (
+    BatchColocation,
+    SimConfig,
+    max_safe_batch_share,
+    paper_profile,
+    simulate_colocated,
+)
+
+
+class TestBatchColocation:
+    def test_no_colocation_is_identity(self):
+        assert BatchColocation().dilation == 1.0
+
+    def test_cpu_share_dilates_hyperbolically(self):
+        assert BatchColocation(cpu_share=0.5).dilation == pytest.approx(2.0)
+        assert BatchColocation(cpu_share=0.75).dilation == pytest.approx(4.0)
+
+    def test_mem_pressure_compounds(self):
+        colocation = BatchColocation(cpu_share=0.5, mem_pressure=0.2)
+        assert colocation.dilation == pytest.approx(2.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchColocation(cpu_share=1.0)
+        with pytest.raises(ValueError):
+            BatchColocation(mem_pressure=-0.1)
+
+
+class TestSimulateColocated:
+    def test_batch_degrades_tail(self):
+        profile = paper_profile("xapian")
+        qps = 0.3 / profile.service.mean
+        config = SimConfig(qps=qps, measure_requests=4000)
+        alone = simulate_colocated(profile, config, BatchColocation())
+        shared = simulate_colocated(
+            profile, config, BatchColocation(cpu_share=0.5, mem_pressure=0.15)
+        )
+        # The paper's point: colocation degrades tails far more than
+        # the naive "half the CPU => 2x latency" intuition, because the
+        # dilated server sits much closer to saturation.
+        assert shared.sojourn.p95 > 3 * alone.sojourn.p95
+
+    def test_no_colocation_matches_plain_simulation(self):
+        from repro.sim import simulate_load
+
+        profile = paper_profile("masstree")
+        config = SimConfig(qps=2000, measure_requests=3000)
+        colocated = simulate_colocated(profile, config, BatchColocation())
+        plain = simulate_load(profile, config)
+        assert colocated.sojourn.p95 == pytest.approx(plain.sojourn.p95)
+
+
+class TestMaxSafeBatchShare:
+    def test_lower_load_fits_more_batch(self):
+        profile = paper_profile("xapian")
+        saturation = 1.0 / profile.service.mean
+        low = max_safe_batch_share(
+            profile, 0.2 * saturation, slo_seconds=10e-3, measure_requests=3000
+        )
+        high = max_safe_batch_share(
+            profile, 0.6 * saturation, slo_seconds=10e-3, measure_requests=3000
+        )
+        assert low > high
+
+    def test_infeasible_slo_gives_zero(self):
+        profile = paper_profile("xapian")
+        share = max_safe_batch_share(
+            profile,
+            0.9 / profile.service.mean,
+            slo_seconds=1e-4,  # below even the service p95
+            measure_requests=2000,
+        )
+        assert share == 0.0
+
+    def test_result_actually_meets_slo(self):
+        profile = paper_profile("masstree")
+        qps = 0.3 / profile.service.mean
+        slo = 2e-3
+        share = max_safe_batch_share(
+            profile, qps, slo_seconds=slo, measure_requests=4000
+        )
+        assert share > 0
+        result = simulate_colocated(
+            profile,
+            SimConfig(qps=qps, measure_requests=4000),
+            BatchColocation(cpu_share=share, mem_pressure=share * 0.3),
+        )
+        assert result.sojourn.p95 <= slo * 1.15  # small sampling slack
+
+    def test_validation(self):
+        profile = paper_profile("silo")
+        with pytest.raises(ValueError):
+            max_safe_batch_share(profile, 0.0, 1e-3)
+        with pytest.raises(ValueError):
+            max_safe_batch_share(profile, 100.0, 0.0)

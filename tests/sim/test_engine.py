@@ -1,0 +1,126 @@
+"""Tests for the discrete-event engine and event queue."""
+
+import pytest
+
+from repro.sim import Engine, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, order.append, "c")
+        queue.push(1.0, order.append, "a")
+        queue.push(2.0, order.append, "b")
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.fn(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        order = []
+        for label in ("first", "second", "third"):
+            queue.push(1.0, order.append, label)
+        while (event := queue.pop()) is not None:
+            event.fn(*event.args)
+        assert order == ["first", "second", "third"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, "x")
+        event.cancelled = True
+        assert queue.pop() is None
+        assert not fired
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(2.0, lambda: None)
+        drop.cancelled = True
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+
+class TestEngine:
+    def test_clock_advances_through_events(self):
+        engine = Engine()
+        times = []
+        engine.at(1.0, lambda: times.append(engine.now))
+        engine.at(2.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.0, 2.5]
+        assert engine.now == 2.5
+
+    def test_after_is_relative(self):
+        engine = Engine(start_time=10.0)
+        fired = []
+        engine.after(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [15.0]
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        log = []
+
+        def chain(n):
+            log.append((engine.now, n))
+            if n > 0:
+                engine.after(1.0, chain, n - 1)
+
+        engine.at(0.0, chain, 3)
+        engine.run()
+        assert log == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+    def test_run_until_stops_midway(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, fired.append, "early")
+        engine.at(10.0, fired.append, "late")
+        engine.run(until=5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        event = engine.at(1.0, fired.append, "x")
+        engine.cancel(event)
+        engine.run()
+        assert not fired
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        engine.at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.after(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.after(0.001, forever)
+
+        engine.at(0.0, forever)
+        with pytest.raises(RuntimeError):
+            engine.run(max_events=1000)
+
+    def test_executed_events_counted(self):
+        engine = Engine()
+        for i in range(5):
+            engine.at(float(i), lambda: None)
+        engine.run()
+        assert engine.executed_events == 5

@@ -1,0 +1,157 @@
+"""Tests for contention, network, and service-time models."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    NETWORK_MODELS,
+    NO_CONTENTION,
+    ContentionModel,
+    NetworkModel,
+    ServiceTimeModel,
+    network_model_for,
+    profile_application,
+)
+from repro.stats import Deterministic, Empirical, Exponential
+
+
+class TestContentionModel:
+    def test_no_contention_is_identity(self):
+        for k in (1, 2, 4, 8):
+            assert NO_CONTENTION.factor(k) == 1.0
+
+    def test_single_thread_never_dilated(self):
+        model = ContentionModel(mem_alpha=0.5, sync_alpha=0.5)
+        assert model.factor(1) == 1.0
+
+    def test_factors_compose(self):
+        model = ContentionModel(mem_alpha=0.1, sync_alpha=0.2)
+        assert model.factor(3) == pytest.approx(
+            model.mem_factor(3) * model.sync_factor(3)
+        )
+
+    def test_ideal_memory_removes_mem_term(self):
+        model = ContentionModel(mem_alpha=0.3, sync_alpha=0.1)
+        assert model.factor(4, ideal_memory=True) == pytest.approx(
+            model.sync_factor(4)
+        )
+
+    def test_superlinear_memory_exponent(self):
+        # moses's shape: negligible at 2 threads, severe at 4.
+        model = ContentionModel(mem_alpha=0.1, mem_exponent=2.0)
+        assert model.mem_factor(2) == pytest.approx(1.1)
+        assert model.mem_factor(4) == pytest.approx(1.9)
+
+    def test_monotone_in_threads(self):
+        model = ContentionModel(mem_alpha=0.1, sync_alpha=0.05)
+        factors = [model.factor(k) for k in (1, 2, 4, 8)]
+        assert factors == sorted(factors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionModel(mem_alpha=-0.1)
+        with pytest.raises(ValueError):
+            ContentionModel(mem_exponent=0.0)
+        with pytest.raises(ValueError):
+            NO_CONTENTION.factor(0)
+
+
+class TestNetworkModel:
+    def test_three_configurations_exist(self):
+        assert set(NETWORK_MODELS) == {"integrated", "loopback", "networked"}
+
+    def test_integrated_is_free(self):
+        model = network_model_for("integrated")
+        assert model.wire_latency_each_way == 0.0
+        assert model.server_occupancy == 0.0
+
+    def test_cost_ordering(self):
+        integrated = network_model_for("integrated")
+        loopback = network_model_for("loopback")
+        networked = network_model_for("networked")
+        assert (
+            integrated.round_trip_wire
+            < loopback.round_trip_wire
+            < networked.round_trip_wire
+        )
+        assert integrated.server_occupancy < loopback.server_occupancy
+
+    def test_paper_magnitudes(self):
+        # Sec. VI: tuned network RTT ~50 us; loopback ~20 us per end.
+        networked = network_model_for("networked")
+        assert 30e-6 <= networked.round_trip_wire <= 150e-6
+        loopback = network_model_for("loopback")
+        assert 10e-6 <= loopback.round_trip_wire <= 80e-6
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ValueError):
+            network_model_for("quantum")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel("bad", -1.0, 0.0)
+
+
+class TestServiceTimeModel:
+    def test_scale_and_added_compose(self):
+        model = ServiceTimeModel(Deterministic(1e-3), scale=2.0, added=1e-4)
+        rng = random.Random(0)
+        assert model.sample(rng) == pytest.approx(2.1e-3)
+        assert model.mean == pytest.approx(2.1e-3)
+
+    def test_variance_scales_quadratically(self):
+        base = Exponential.from_mean(1.0)
+        model = ServiceTimeModel(base, scale=3.0)
+        assert model.variance == pytest.approx(9.0 * base.variance)
+
+    def test_saturation_qps(self):
+        model = ServiceTimeModel(Deterministic(1e-3))
+        assert model.saturation_qps() == pytest.approx(1000.0)
+        assert model.saturation_qps(4) == pytest.approx(4000.0)
+
+    def test_with_dilation(self):
+        model = ServiceTimeModel(Deterministic(1e-3), scale=2.0, added=1e-5)
+        dilated = model.with_dilation(scale=1.5, added=2e-5)
+        assert dilated.scale == pytest.approx(3.0)
+        assert dilated.added == pytest.approx(3e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(Deterministic(1.0), scale=0.0)
+        with pytest.raises(ValueError):
+            ServiceTimeModel(Deterministic(1.0), added=-1.0)
+        with pytest.raises(ValueError):
+            ServiceTimeModel(Deterministic(1.0)).saturation_qps(0)
+
+
+class TestProfileApplication:
+    class BusyApp:
+        def process(self, payload):
+            return sum(i for i in range(payload))
+
+        def make_client(self, seed=0):
+            class _Client:
+                def next_request(self):
+                    return 300
+
+            return _Client()
+
+    def test_builds_empirical_distribution(self):
+        empirical = profile_application(self.BusyApp(), n_requests=50)
+        assert isinstance(empirical, Empirical)
+        assert len(empirical.values) == 50
+        assert empirical.mean > 0
+
+    def test_virtual_clock_supported(self):
+        from repro.core import VirtualClock
+
+        # With a virtual clock that nobody advances, all samples are 0.
+        empirical = profile_application(
+            self.BusyApp(), n_requests=5, clock=VirtualClock()
+        )
+        assert empirical.mean == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_application(self.BusyApp(), n_requests=0)

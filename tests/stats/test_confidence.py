@@ -1,0 +1,98 @@
+"""Tests for the repeated-run confidence-interval stopping rule."""
+
+import pytest
+
+from repro.stats import MetricEstimate, RunController
+
+
+class TestRunController:
+    def test_requires_min_runs(self):
+        ctl = RunController(min_runs=3)
+        ctl.add_run({"p95": 1.0})
+        ctl.add_run({"p95": 1.0})
+        assert not ctl.converged()
+        assert ctl.should_continue()
+
+    def test_converges_on_identical_runs(self):
+        ctl = RunController(min_runs=3)
+        for _ in range(3):
+            ctl.add_run({"p95": 2.0, "mean": 1.0})
+        assert ctl.converged()
+        assert not ctl.should_continue()
+
+    def test_does_not_converge_on_noisy_runs(self):
+        ctl = RunController(relative_precision=0.01, min_runs=3)
+        for value in (1.0, 2.0, 3.0):
+            ctl.add_run({"p95": value})
+        assert not ctl.converged()
+
+    def test_converges_on_tight_runs(self):
+        ctl = RunController(relative_precision=0.05, min_runs=3)
+        for value in (1.000, 1.001, 0.999, 1.0005, 0.9995):
+            ctl.add_run({"p95": value})
+        assert ctl.converged()
+
+    def test_max_runs_stops_even_without_convergence(self):
+        ctl = RunController(min_runs=2, max_runs=4)
+        values = iter((1.0, 10.0, 1.0, 10.0))
+        while ctl.should_continue():
+            ctl.add_run({"p95": next(values)})
+        assert ctl.n_runs == 4
+        assert not ctl.converged()
+
+    def test_all_metrics_must_converge(self):
+        ctl = RunController(relative_precision=0.05, min_runs=3)
+        for i, noisy in enumerate((1.0, 5.0, 1.0)):
+            ctl.add_run({"stable": 2.0, "noisy": noisy})
+        assert not ctl.converged()
+        worst = ctl.worst_metric()
+        assert worst.name == "noisy"
+
+    def test_metric_set_must_be_consistent(self):
+        ctl = RunController()
+        ctl.add_run({"a": 1.0})
+        with pytest.raises(ValueError):
+            ctl.add_run({"b": 1.0})
+
+    def test_empty_run_rejected(self):
+        ctl = RunController()
+        with pytest.raises(ValueError):
+            ctl.add_run({})
+
+    def test_estimate_interval(self):
+        ctl = RunController(min_runs=2)
+        ctl.add_run({"m": 10.0})
+        ctl.add_run({"m": 12.0})
+        est = ctl.estimate("m")
+        assert est.mean == pytest.approx(11.0)
+        lo, hi = est.interval
+        assert lo < 11.0 < hi
+
+    def test_estimate_unknown_metric_raises(self):
+        ctl = RunController()
+        with pytest.raises(KeyError):
+            ctl.estimate("nope")
+
+    def test_validates_constructor(self):
+        with pytest.raises(ValueError):
+            RunController(relative_precision=0.0)
+        with pytest.raises(ValueError):
+            RunController(min_runs=1)
+        with pytest.raises(ValueError):
+            RunController(min_runs=5, max_runs=3)
+
+
+class TestMetricEstimate:
+    def test_relative_half_width(self):
+        est = MetricEstimate("x", mean=10.0, half_width=0.5, n_runs=5)
+        assert est.relative_half_width == pytest.approx(0.05)
+
+    def test_zero_mean_zero_width(self):
+        est = MetricEstimate("x", mean=0.0, half_width=0.0, n_runs=5)
+        assert est.relative_half_width == 0.0
+
+    def test_zero_mean_nonzero_width_is_infinite(self):
+        import math
+
+        est = MetricEstimate("x", mean=0.0, half_width=1.0, n_runs=5)
+        assert math.isinf(est.relative_half_width)

@@ -1,0 +1,284 @@
+"""Tests for the random-variate samplers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    ScaledDistribution,
+    ShiftedDistribution,
+    Uniform,
+    ZipfianGenerator,
+)
+
+
+def _sample_mean(dist, n=20000, seed=1):
+    rng = random.Random(seed)
+    return sum(dist.sample(rng) for _ in range(n)) / n
+
+
+class TestDeterministic:
+    def test_always_same_value(self):
+        d = Deterministic(0.5)
+        rng = random.Random(0)
+        assert all(d.sample(rng) == 0.5 for _ in range(10))
+
+    def test_moments(self):
+        d = Deterministic(2.0)
+        assert d.mean == 2.0
+        assert d.variance == 0.0
+        assert d.scv == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestExponential:
+    def test_mean_matches(self):
+        d = Exponential(rate=1000.0)
+        assert d.mean == pytest.approx(1e-3)
+        assert _sample_mean(d) == pytest.approx(1e-3, rel=0.05)
+
+    def test_from_mean(self):
+        d = Exponential.from_mean(0.01)
+        assert d.rate == pytest.approx(100.0)
+
+    def test_scv_is_one(self):
+        assert Exponential(5.0).scv == pytest.approx(1.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Exponential.from_mean(-1.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        d = Uniform(1.0, 3.0)
+        assert d.mean == 2.0
+        assert d.variance == pytest.approx(4.0 / 12.0)
+
+    def test_samples_in_range(self):
+        d = Uniform(0.5, 0.6)
+        rng = random.Random(0)
+        assert all(0.5 <= d.sample(rng) <= 0.6 for _ in range(100))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+
+class TestLogNormal:
+    def test_mean_parameterization(self):
+        # LogNormal is parameterized by its OWN mean, not mu.
+        d = LogNormal(mean=1e-3, sigma=0.8)
+        assert d.mean == pytest.approx(1e-3)
+        assert _sample_mean(d, n=50000) == pytest.approx(1e-3, rel=0.08)
+
+    def test_variance_formula(self):
+        d = LogNormal(mean=2.0, sigma=0.5)
+        expected = (math.exp(0.25) - 1.0) * 4.0
+        assert d.variance == pytest.approx(expected)
+
+    def test_higher_sigma_heavier_tail(self):
+        light = LogNormal(mean=1.0, sigma=0.2)
+        heavy = LogNormal(mean=1.0, sigma=1.2)
+        assert heavy.variance > light.variance
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(mean=0.0, sigma=0.5)
+        with pytest.raises(ValueError):
+            LogNormal(mean=1.0, sigma=-0.1)
+
+
+class TestPareto:
+    def test_moments(self):
+        d = Pareto(xm=1.0, alpha=3.0)
+        assert d.mean == pytest.approx(1.5)
+        assert d.variance == pytest.approx(3.0 / (4.0 * 1.0))
+
+    def test_samples_above_xm(self):
+        d = Pareto(xm=2.0, alpha=2.5)
+        rng = random.Random(0)
+        assert all(d.sample(rng) >= 2.0 for _ in range(200))
+
+    def test_requires_finite_variance(self):
+        with pytest.raises(ValueError):
+            Pareto(xm=1.0, alpha=2.0)
+
+
+class TestHyperexponential:
+    def test_mean(self):
+        d = Hyperexponential([(0.5, 1.0), (0.5, 3.0)])
+        assert d.mean == pytest.approx(2.0)
+        assert _sample_mean(d) == pytest.approx(2.0, rel=0.05)
+
+    def test_scv_exceeds_one(self):
+        # The defining property of hyperexponentials.
+        d = Hyperexponential([(0.9, 0.1), (0.1, 5.0)])
+        assert d.scv > 1.0
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([(0.5, 1.0), (0.4, 2.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([])
+
+
+class TestCompositors:
+    def test_shifted_adds_floor(self):
+        base = Exponential.from_mean(1e-3)
+        d = ShiftedDistribution(base, 5e-4)
+        rng = random.Random(0)
+        assert all(d.sample(rng) >= 5e-4 for _ in range(100))
+        assert d.mean == pytest.approx(1.5e-3)
+        assert d.variance == pytest.approx(base.variance)
+
+    def test_scaled_multiplies(self):
+        base = Deterministic(2.0)
+        d = ScaledDistribution(base, 1.5)
+        rng = random.Random(0)
+        assert d.sample(rng) == 3.0
+        assert d.mean == 3.0
+
+    def test_scaled_variance(self):
+        base = Exponential.from_mean(1.0)
+        d = ScaledDistribution(base, 2.0)
+        assert d.variance == pytest.approx(4.0 * base.variance)
+
+    def test_mixture_mean(self):
+        d = MixtureDistribution(
+            [(0.5, Deterministic(1.0)), (0.5, Deterministic(3.0))]
+        )
+        assert d.mean == pytest.approx(2.0)
+        assert _sample_mean(d) == pytest.approx(2.0, rel=0.05)
+
+    def test_mixture_second_moment(self):
+        d = MixtureDistribution(
+            [(0.5, Deterministic(1.0)), (0.5, Deterministic(3.0))]
+        )
+        # E[X^2] = 0.5*1 + 0.5*9 = 5 => var = 5 - 4 = 1
+        assert d.variance == pytest.approx(1.0)
+
+    def test_mixture_validates_weights(self):
+        with pytest.raises(ValueError):
+            MixtureDistribution([(0.7, Deterministic(1.0))])
+
+    def test_shift_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ShiftedDistribution(Deterministic(1.0), -0.1)
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ScaledDistribution(Deterministic(1.0), 0.0)
+
+
+class TestEmpirical:
+    def test_resamples_only_observed_values(self):
+        d = Empirical([1.0, 2.0, 3.0])
+        rng = random.Random(0)
+        assert all(d.sample(rng) in (1.0, 2.0, 3.0) for _ in range(100))
+
+    def test_moments_match_observations(self):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert d.mean == pytest.approx(2.5)
+        assert d.variance == pytest.approx(1.25)
+
+    def test_quantile(self):
+        d = Empirical([4.0, 1.0, 3.0, 2.0])
+        assert d.quantile(0.0) == 1.0
+        assert d.quantile(1.0) == 4.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -2.0])
+
+
+class TestZipfian:
+    def test_rank_zero_most_likely(self):
+        z = ZipfianGenerator(100, theta=1.0)
+        assert z.probability(0) > z.probability(1) > z.probability(50)
+
+    def test_probabilities_sum_to_one(self):
+        z = ZipfianGenerator(50)
+        total = sum(z.probability(r) for r in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_sampling_frequency_matches_probability(self):
+        z = ZipfianGenerator(20, theta=0.9)
+        rng = random.Random(3)
+        counts = [0] * 20
+        n = 50000
+        for _ in range(n):
+            counts[z.sample(rng)] += 1
+        assert counts[0] / n == pytest.approx(z.probability(0), rel=0.1)
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_in_range(self, n):
+        z = ZipfianGenerator(n)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 0 <= z.sample(rng) < n
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=0.0)
+
+
+class TestMomentConsistency:
+    """Sampled moments must match analytic moments for every family."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential.from_mean(2.0),
+            LogNormal(mean=1.5, sigma=0.6),
+            Uniform(0.5, 2.5),
+            Pareto(xm=1.0, alpha=4.0),
+            Hyperexponential([(0.7, 1.0), (0.3, 4.0)]),
+            MixtureDistribution(
+                [(0.6, Exponential.from_mean(1.0)), (0.4, Deterministic(2.0))]
+            ),
+            ShiftedDistribution(Exponential.from_mean(1.0), 0.5),
+            ScaledDistribution(LogNormal(mean=1.0, sigma=0.4), 2.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_sampled_mean_matches_analytic(self, dist):
+        assert _sample_mean(dist, n=40000) == pytest.approx(dist.mean, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential.from_mean(2.0),
+            Uniform(0.5, 2.5),
+            Hyperexponential([(0.7, 1.0), (0.3, 4.0)]),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_sampled_variance_matches_analytic(self, dist):
+        rng = random.Random(11)
+        samples = [dist.sample(rng) for _ in range(60000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert var == pytest.approx(dist.variance, rel=0.15)

@@ -1,0 +1,76 @@
+"""Tests for HDR histogram serialization (cross-process stats)."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import HdrHistogram
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        hist = HdrHistogram()
+        rng = random.Random(0)
+        hist.record_many(rng.expovariate(1000.0) for _ in range(5000))
+        restored = HdrHistogram.from_dict(hist.to_dict())
+        assert restored.total_count == hist.total_count
+        assert restored.mean == pytest.approx(hist.mean)
+        assert restored.min == hist.min
+        assert restored.max == hist.max
+        for pct in (50, 95, 99, 99.9):
+            assert restored.percentile(pct) == hist.percentile(pct)
+
+    def test_json_safe(self):
+        hist = HdrHistogram()
+        hist.record_many([1e-4, 2e-3, 5e-1])
+        encoded = json.dumps(hist.to_dict())
+        restored = HdrHistogram.from_dict(json.loads(encoded))
+        assert restored.total_count == 3
+
+    def test_empty_roundtrip(self):
+        restored = HdrHistogram.from_dict(HdrHistogram().to_dict())
+        assert restored.total_count == 0
+
+    def test_sparse_encoding(self):
+        hist = HdrHistogram()
+        hist.record(1e-3)
+        data = hist.to_dict()
+        assert len(data["counts"]) == 1  # only non-empty buckets
+
+    def test_restored_is_mergeable(self):
+        a, b = HdrHistogram(), HdrHistogram()
+        a.record_many([1e-3] * 5)
+        b.record_many([1e-2] * 5)
+        restored = HdrHistogram.from_dict(a.to_dict())
+        restored.merge(b)
+        assert restored.total_count == 10
+
+    def test_tampered_payload_rejected(self):
+        hist = HdrHistogram()
+        hist.record(1e-3)
+        data = hist.to_dict()
+        data["total"] = 99
+        with pytest.raises(ValueError):
+            HdrHistogram.from_dict(data)
+        data = hist.to_dict()
+        data["counts"]["100000"] = 1
+        with pytest.raises(ValueError):
+            HdrHistogram.from_dict(data)
+        data = hist.to_dict()
+        key = next(iter(data["counts"]))
+        data["counts"][key] = -1
+        with pytest.raises(ValueError):
+            HdrHistogram.from_dict(data)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=999.0), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        hist = HdrHistogram()
+        hist.record_many(values)
+        restored = HdrHistogram.from_dict(hist.to_dict())
+        assert restored.total_count == hist.total_count
+        if values:
+            assert restored.percentile(95) == hist.percentile(95)

@@ -1,0 +1,157 @@
+"""Tests for quantile estimation and confidence intervals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    binomial_quantile_ci,
+    bootstrap_ci,
+    percentile,
+    quantile,
+    required_samples_for_quantile,
+)
+
+
+class TestQuantile:
+    def test_median_of_odd_list(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 1.0], 0.5) == 0.5
+        assert quantile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 9.0
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.9) == 7.0
+
+    def test_percentile_wrapper(self):
+        data = list(range(101))
+        assert percentile(data, 95) == pytest.approx(95.0)
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = random.Random(0)
+        data = [rng.random() for _ in range(137)]
+        for q in (0.1, 0.5, 0.95, 0.99):
+            assert quantile(data, q) == pytest.approx(
+                float(np.percentile(data, q * 100))
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_within_data_range(self, data, q):
+        result = quantile(data, q)
+        assert min(data) <= result <= max(data)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone_in_q(self, data):
+        qs = [0.1, 0.3, 0.5, 0.7, 0.9]
+        values = [quantile(data, q) for q in qs]
+        assert values == sorted(values)
+
+
+class TestBinomialCI:
+    def test_contains_true_quantile_usually(self):
+        # For exponential data, the CI should cover the true quantile
+        # in the vast majority of trials.
+        rng = random.Random(1)
+        true_p95 = -1.0  # of Exp(1): -ln(0.05)
+        import math
+
+        true_p95 = -math.log(0.05)
+        hits = 0
+        trials = 60
+        for _ in range(trials):
+            data = [rng.expovariate(1.0) for _ in range(400)]
+            lo, hi = binomial_quantile_ci(data, 0.95, confidence=0.95)
+            if lo <= true_p95 <= hi:
+                hits += 1
+        assert hits / trials >= 0.85
+
+    def test_interval_ordering(self):
+        rng = random.Random(2)
+        data = [rng.random() for _ in range(200)]
+        lo, hi = binomial_quantile_ci(data, 0.9)
+        assert lo <= hi
+
+    def test_narrower_with_more_samples(self):
+        rng = random.Random(3)
+        small = [rng.expovariate(1.0) for _ in range(100)]
+        large = [rng.expovariate(1.0) for _ in range(10000)]
+        lo_s, hi_s = binomial_quantile_ci(small, 0.9)
+        lo_l, hi_l = binomial_quantile_ci(large, 0.9)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_quantile_ci([], 0.5)
+        with pytest.raises(ValueError):
+            binomial_quantile_ci([1.0], 0.0)
+        with pytest.raises(ValueError):
+            binomial_quantile_ci([1.0], 0.5, confidence=1.5)
+
+
+class TestBootstrap:
+    def test_mean_ci_contains_sample_mean(self):
+        rng = random.Random(4)
+        data = [rng.gauss(10.0, 2.0) for _ in range(300)]
+        mean = sum(data) / len(data)
+        lo, hi = bootstrap_ci(data, lambda xs: sum(xs) / len(xs), rng=rng)
+        assert lo <= mean <= hi
+
+    def test_deterministic_with_seeded_rng(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        stat = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        a = bootstrap_ci(data, stat, rng=random.Random(9))
+        b = bootstrap_ci(data, stat, rng=random.Random(9))
+        assert a == b
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], lambda xs: 0.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], lambda xs: 0.0, n_resamples=1)
+
+
+class TestRequiredSamples:
+    def test_higher_percentile_needs_more_samples(self):
+        n95 = required_samples_for_quantile(0.95)
+        n99 = required_samples_for_quantile(0.99)
+        n999 = required_samples_for_quantile(0.999)
+        assert n95 < n99 < n999
+
+    def test_tighter_precision_needs_more_samples(self):
+        loose = required_samples_for_quantile(0.99, relative_precision=0.2)
+        tight = required_samples_for_quantile(0.99, relative_precision=0.05)
+        assert tight > loose
+
+    def test_magnitude_sanity(self):
+        # p99 at 10% rank precision: ~ (1.96/0.1)^2 * 99 ~ 38k samples.
+        n = required_samples_for_quantile(0.99, relative_precision=0.1)
+        assert 20_000 < n < 60_000
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            required_samples_for_quantile(1.0)
+        with pytest.raises(ValueError):
+            required_samples_for_quantile(0.9, relative_precision=0.0)

@@ -1,0 +1,69 @@
+"""Tests for LatencySummary and latency formatting."""
+
+import pytest
+
+from repro.stats import HdrHistogram, LatencySummary, format_latency
+
+
+class TestFormatLatency:
+    def test_microseconds(self):
+        assert format_latency(123e-6) == "123.0 us"
+
+    def test_milliseconds(self):
+        assert format_latency(2.5e-3) == "2.50 ms"
+
+    def test_seconds(self):
+        assert format_latency(3.2) == "3.20 s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_latency(-1.0)
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        samples = [float(i) for i in range(1, 101)]
+        s = LatencySummary.from_samples(samples)
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(95.05)
+
+    def test_from_histogram(self):
+        hist = HdrHistogram()
+        hist.record_many([1e-3] * 90 + [1e-2] * 10)
+        s = LatencySummary.from_histogram(hist)
+        assert s.count == 100
+        assert s.p50 == pytest.approx(1e-3, rel=0.05)
+        assert s.p99 == pytest.approx(1e-2, rel=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+        with pytest.raises(ValueError):
+            LatencySummary.from_histogram(HdrHistogram())
+
+    def test_describe_mentions_percentiles(self):
+        s = LatencySummary.from_samples([1e-3, 2e-3, 3e-3])
+        text = s.describe()
+        assert "p95" in text
+        assert "mean" in text
+
+    def test_custom_percentiles(self):
+        s = LatencySummary.from_samples(list(range(1, 101)), pcts=(10.0, 90.0))
+        assert set(s.percentiles) == {10.0, 90.0}
+
+    def test_histogram_and_samples_agree(self):
+        import random
+
+        rng = random.Random(5)
+        samples = [rng.expovariate(100.0) for _ in range(20000)]
+        hist = HdrHistogram()
+        hist.record_many(samples)
+        from_s = LatencySummary.from_samples(samples)
+        from_h = LatencySummary.from_histogram(hist)
+        assert from_h.mean == pytest.approx(from_s.mean, rel=1e-9)
+        assert from_h.p95 == pytest.approx(from_s.p95, rel=0.05)
+        assert from_h.p99 == pytest.approx(from_s.p99, rel=0.05)

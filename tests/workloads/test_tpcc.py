@@ -1,0 +1,144 @@
+"""Tests for TPC-C workload generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    STANDARD_MIX,
+    TpccScale,
+    TpccWorkload,
+    make_last_name,
+    nurand,
+)
+
+
+class TestLastName:
+    def test_known_values(self):
+        # Clause 4.3.2.3 examples: 0 -> BARBARBAR, 371 -> PRIPRICALLY... etc.
+        assert make_last_name(0) == "BARBARBAR"
+        assert make_last_name(999) == "EINGEINGEING"
+        assert make_last_name(123) == "OUGHTABLEPRI"
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            make_last_name(1000)
+        with pytest.raises(ValueError):
+            make_last_name(-1)
+
+    def test_exactly_1000_distinct_names(self):
+        assert len({make_last_name(i) for i in range(1000)}) == 1000
+
+
+class TestNurand:
+    def test_in_range(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            value = nurand(rng, 1023, 1, 3000)
+            assert 1 <= value <= 3000
+
+    def test_non_uniform(self):
+        # NURand must be visibly skewed relative to uniform.
+        rng = random.Random(1)
+        counts = Counter(nurand(rng, 255, 0, 999) for _ in range(50000))
+        top_decile = sum(c for v, c in counts.items() if v < 100)
+        assert top_decile != pytest.approx(5000, rel=0.05)
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            nurand(random.Random(0), 255, 10, 5)
+
+
+class TestScale:
+    def test_standard_cardinalities(self):
+        scale = TpccScale()
+        assert scale.districts_per_warehouse == 10
+        assert scale.customers_per_district == 3000
+        assert scale.items == 100_000
+
+    def test_small_scale_is_consistent(self):
+        scale = TpccScale.small(warehouses=3)
+        assert scale.warehouses == 3
+        assert scale.items < 100_000
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            TpccScale(warehouses=0)
+
+
+class TestTransactionMix:
+    def test_mix_frequencies(self):
+        workload = TpccWorkload(scale=TpccScale.small(), seed=0)
+        counts = Counter(
+            workload.next_transaction().kind for _ in range(20000)
+        )
+        for kind, expected in STANDARD_MIX.items():
+            assert counts[kind] / 20000 == pytest.approx(expected, abs=0.02)
+
+    def test_custom_mix(self):
+        workload = TpccWorkload(
+            scale=TpccScale.small(),
+            mix={"new_order": 1.0, "payment": 0.0, "order_status": 0.0,
+                 "delivery": 0.0, "stock_level": 0.0},
+        )
+        assert all(
+            workload.next_transaction().kind == "new_order" for _ in range(50)
+        )
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TpccWorkload(mix={"new_order": 0.5})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TpccWorkload(mix={"new_order": 0.5, "teleport": 0.5})
+
+    def test_deterministic_given_seed(self):
+        a = TpccWorkload(scale=TpccScale.small(), seed=42)
+        b = TpccWorkload(scale=TpccScale.small(), seed=42)
+        for _ in range(20):
+            ta, tb = a.next_transaction(), b.next_transaction()
+            assert ta == tb
+
+
+class TestParameterValidity:
+    @pytest.fixture()
+    def workload(self):
+        return TpccWorkload(scale=TpccScale.small(warehouses=2), seed=3)
+
+    def test_new_order_params(self, workload):
+        scale = workload.scale
+        for _ in range(200):
+            txn = workload.new_order()
+            p = txn.params
+            assert 1 <= p["w_id"] <= scale.warehouses
+            assert 1 <= p["d_id"] <= scale.districts_per_warehouse
+            assert 1 <= p["c_id"] <= scale.customers_per_district
+            assert 5 <= len(p["lines"]) <= 15
+            for line in p["lines"]:
+                assert 1 <= line["item_id"] <= scale.items
+                assert 1 <= line["quantity"] <= 10
+                assert 1 <= line["supply_w_id"] <= scale.warehouses
+
+    def test_payment_params(self, workload):
+        by_name = by_id = 0
+        for _ in range(300):
+            p = workload.payment().params
+            assert 1.0 <= p["amount"] <= 5000.0
+            if "c_last" in p:
+                by_name += 1
+            else:
+                by_id += 1
+        # Clause 2.5.1.2: ~60% select the customer by last name.
+        assert by_name / 300 == pytest.approx(0.6, abs=0.1)
+
+    def test_stock_level_threshold(self, workload):
+        for _ in range(50):
+            p = workload.stock_level().params
+            assert 10 <= p["threshold"] <= 20
+
+    def test_delivery_carrier(self, workload):
+        for _ in range(50):
+            p = workload.delivery().params
+            assert 1 <= p["carrier_id"] <= 10

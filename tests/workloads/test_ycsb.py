@@ -1,0 +1,70 @@
+"""Tests for the YCSB-style key-value workload."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import YcsbWorkload, make_key, make_value
+
+
+class TestKeysAndValues:
+    def test_keys_deterministic(self):
+        assert make_key(5) == make_key(5)
+        assert make_key(5) != make_key(6)
+
+    def test_key_format(self):
+        assert make_key(0).startswith("user")
+
+    def test_values_deterministic_and_sized(self):
+        assert make_value(3, size=64) == make_value(3, size=64)
+        assert len(make_value(3, size=64)) == 64
+        assert len(make_value(3, size=1000)) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_key(-1)
+        with pytest.raises(ValueError):
+            make_value(0, size=0)
+
+
+class TestWorkload:
+    def test_initial_records_cover_keyspace(self):
+        workload = YcsbWorkload(n_records=100)
+        records = workload.initial_records()
+        assert len(records) == 100
+        assert make_key(0) in records
+
+    def test_mycsb_a_mix(self):
+        # mycsb-a: 50% GETs / 50% PUTs (Sec. III).
+        workload = YcsbWorkload(n_records=1000, seed=1)
+        counts = Counter(workload.next_operation().op for _ in range(10000))
+        assert counts["get"] / 10000 == pytest.approx(0.5, abs=0.03)
+        assert counts["put"] / 10000 == pytest.approx(0.5, abs=0.03)
+
+    def test_get_fraction_configurable(self):
+        workload = YcsbWorkload(n_records=100, get_fraction=1.0)
+        assert all(workload.next_operation().op == "get" for _ in range(50))
+
+    def test_keys_are_zipfian_skewed(self):
+        workload = YcsbWorkload(n_records=1000, seed=2)
+        counts = Counter(workload.next_operation().key for _ in range(20000))
+        most_common = counts.most_common(10)
+        top10_share = sum(c for _, c in most_common) / 20000
+        assert top10_share > 0.15  # far above uniform's 1%
+
+    def test_operations_stay_in_keyspace(self):
+        workload = YcsbWorkload(n_records=50, seed=3)
+        valid = set(workload.initial_records())
+        for _ in range(500):
+            assert workload.next_operation().key in valid
+
+    def test_put_values_fresh(self):
+        workload = YcsbWorkload(n_records=10, get_fraction=0.0, seed=4)
+        values = [workload.next_operation().value for _ in range(20)]
+        assert len(set(values)) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload(n_records=0)
+        with pytest.raises(ValueError):
+            YcsbWorkload(get_fraction=1.5)

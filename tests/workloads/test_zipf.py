@@ -1,0 +1,52 @@
+"""Tests for Zipfian query sampling."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import ZipfQuerySampler
+
+
+class TestZipfQuerySampler:
+    def test_query_terms_from_vocabulary(self):
+        vocab = [f"term{i}" for i in range(100)]
+        sampler = ZipfQuerySampler(vocab, seed=0)
+        for _ in range(100):
+            for term in sampler.next_terms():
+                assert term in vocab
+
+    def test_query_length_range(self):
+        sampler = ZipfQuerySampler(["a", "b", "c", "d", "e"],
+                                   min_terms=2, max_terms=3, seed=1)
+        for _ in range(100):
+            assert 2 <= len(sampler.next_terms()) <= 3
+
+    def test_no_duplicate_terms_in_query(self):
+        sampler = ZipfQuerySampler([f"t{i}" for i in range(50)],
+                                   min_terms=4, max_terms=4, seed=2)
+        for _ in range(100):
+            terms = sampler.next_terms()
+            assert len(terms) == len(set(terms))
+
+    def test_popular_terms_dominate(self):
+        vocab = [f"t{i}" for i in range(200)]
+        sampler = ZipfQuerySampler(vocab, theta=1.0, seed=3)
+        counts = Counter()
+        for _ in range(5000):
+            counts.update(sampler.next_terms())
+        assert counts["t0"] > counts["t100"]
+
+    def test_next_query_joins_terms(self):
+        sampler = ZipfQuerySampler(["alpha", "beta"], seed=4)
+        query = sampler.next_query()
+        assert all(t in ("alpha", "beta") for t in query.split())
+
+    def test_tiny_vocabulary_terminates(self):
+        sampler = ZipfQuerySampler(["only"], min_terms=1, max_terms=4, seed=5)
+        assert sampler.next_terms() == ["only"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfQuerySampler([])
+        with pytest.raises(ValueError):
+            ZipfQuerySampler(["a"], min_terms=3, max_terms=2)
