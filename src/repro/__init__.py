@@ -17,6 +17,8 @@ latency-critical applications. This package provides:
 - :mod:`repro.archsim` — cache-hierarchy and branch-predictor models
   for the microarchitectural characterization.
 - :mod:`repro.workloads` — TPC-C, YCSB, and Zipfian query generators.
+- :mod:`repro.faults` — seeded fault injection (transport/queue/
+  worker/application) usable live or in the simulator.
 - :mod:`repro.experiments` — one driver per paper table/figure.
 
 Quickstart::
@@ -34,10 +36,12 @@ from .core import (
     PAPER_SYSTEM,
     HarnessConfig,
     HarnessResult,
+    ResilienceConfig,
     SystemConfig,
     run_campaign,
     run_harness,
 )
+from .faults import FaultPlan
 from .stats import HdrHistogram, LatencySummary
 
 __version__ = "1.0.0"
@@ -47,6 +51,8 @@ __all__ = [
     "create_app",
     "HarnessConfig",
     "HarnessResult",
+    "FaultPlan",
+    "ResilienceConfig",
     "PAPER_SYSTEM",
     "SystemConfig",
     "run_campaign",

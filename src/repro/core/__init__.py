@@ -8,11 +8,12 @@ convergence.
 """
 
 from .clock import Clock, VirtualClock, WallClock
-from .collector import CollectedStats, StatsCollector
-from .config import PAPER_SYSTEM, HarnessConfig, SystemConfig
+from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
+from .config import NO_RESILIENCE, PAPER_SYSTEM, HarnessConfig, SystemConfig
 from .harness import HarnessResult, run_harness
 from .queueing import QueueClosed, RequestQueue
 from .request import Request, RequestRecord
+from .resilience import ResilienceConfig, ResilientClient
 from .runner import CampaignResult, run_campaign
 from .server import Server
 from .traffic import (
@@ -37,9 +38,13 @@ __all__ = [
     "WallClock",
     "CollectedStats",
     "StatsCollector",
+    "OUTCOME_KEYS",
+    "NO_RESILIENCE",
     "PAPER_SYSTEM",
     "HarnessConfig",
     "SystemConfig",
+    "ResilienceConfig",
+    "ResilientClient",
     "HarnessResult",
     "run_harness",
     "QueueClosed",

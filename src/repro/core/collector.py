@@ -5,6 +5,17 @@ reports — queue time, service time, and sojourn time. For short runs
 it keeps every :class:`RequestRecord` (maximum accuracy, full
 distributions); beyond a configurable threshold it switches to HDR
 histograms (logarithmic space, <=1% value error), mirroring Sec. IV-C.
+
+Measurements must stay sound under partial failure, so the collector
+is *failure-aware* ("Tell-Tale Tail Latencies" shows how easily
+retry/timeout artifacts corrupt tails): alongside the success-only
+latency series it tallies outcome counts (offered, succeeded,
+timed-out, failed logical requests; attempt/retry/hedge/error/shed/
+late events) and keeps a separate *per-attempt* latency series over
+every attempt that produced a response. Success percentiles and
+per-attempt percentiles answer different questions — "what did users
+experience when the system worked?" vs "what did the wire see?" — and
+diverge as soon as faults are injected.
 """
 
 from __future__ import annotations
@@ -15,9 +26,29 @@ from typing import Dict, List, Optional, Sequence
 from ..stats import HdrHistogram, LatencySummary
 from .request import RequestRecord
 
-__all__ = ["StatsCollector", "CollectedStats", "TimelinePoint"]
+__all__ = ["StatsCollector", "CollectedStats", "TimelinePoint", "OUTCOME_KEYS"]
 
 _METRICS = ("sojourn", "service", "queue")
+
+#: Outcome tally keys. Logical-request outcomes: ``offered`` (logical
+#: requests submitted), ``succeeded`` (first success before deadline),
+#: ``timed_out`` (deadline passed unresolved), ``failed`` (failure
+#: response with no retry budget and no deadline pending). Attempt
+#: events: ``attempts`` (every send, incl. retries/hedges), ``retries``,
+#: ``hedges``, ``errors`` (error responses), ``shed`` (admission-control
+#: rejections received), ``late`` (responses after resolution).
+OUTCOME_KEYS = (
+    "offered",
+    "succeeded",
+    "timed_out",
+    "failed",
+    "attempts",
+    "retries",
+    "hedges",
+    "errors",
+    "shed",
+    "late",
+)
 
 
 class TimelinePoint:
@@ -42,10 +73,16 @@ class CollectedStats:
         records: Optional[List[RequestRecord]],
         histograms: Optional[Dict[str, HdrHistogram]],
         dropped_warmup: int,
+        attempt_samples: Optional[List[float]] = None,
+        attempt_histogram: Optional[HdrHistogram] = None,
+        outcomes: Optional[Dict[str, int]] = None,
     ) -> None:
         self._records = records
         self._histograms = histograms
         self.dropped_warmup = dropped_warmup
+        self._attempt_samples = attempt_samples
+        self._attempt_histogram = attempt_histogram
+        self._outcomes = dict(outcomes) if outcomes else {}
 
     @property
     def exact(self) -> bool:
@@ -88,6 +125,38 @@ class CollectedStats:
         if self._records is not None:
             return LatencySummary.from_samples(self.samples(metric))
         return LatencySummary.from_histogram(self._histograms[metric])
+
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        """Outcome tally (see :data:`OUTCOME_KEYS`); empty when unused."""
+        return dict(self._outcomes)
+
+    @property
+    def attempt_count(self) -> int:
+        """Number of per-attempt latency samples recorded."""
+        if self._attempt_samples is not None:
+            return len(self._attempt_samples)
+        if self._attempt_histogram is not None:
+            return self._attempt_histogram.total_count
+        return 0
+
+    def attempt_samples(self) -> List[float]:
+        if self._attempt_samples is None:
+            raise ValueError("per-attempt samples were not retained")
+        return list(self._attempt_samples)
+
+    def attempt_summary(self) -> LatencySummary:
+        """Latency summary over every attempt that got a response.
+
+        Includes retries, hedges, error replies, and shed replies —
+        the wire's view, as opposed to ``summary()``'s success-only,
+        logical-request view.
+        """
+        if self.attempt_count == 0:
+            raise ValueError("no attempt latencies were collected")
+        if self._attempt_samples is not None:
+            return LatencySummary.from_samples(self._attempt_samples)
+        return LatencySummary.from_histogram(self._attempt_histogram)
 
     def timeline(
         self, metric: str = "sojourn", n_windows: int = 10, pct: float = 95.0
@@ -184,6 +253,10 @@ class StatsCollector:
         self._records: Optional[List[RequestRecord]] = []
         self._histograms: Optional[Dict[str, HdrHistogram]] = None
         self._dropped = 0
+        self._attempt_samples: Optional[List[float]] = []
+        self._attempt_histogram: Optional[HdrHistogram] = None
+        self._outcomes: Dict[str, int] = dict.fromkeys(OUTCOME_KEYS, 0)
+        self._outcomes_used = False
 
     def add(self, record: RequestRecord) -> None:
         with self._lock:
@@ -209,6 +282,39 @@ class StatsCollector:
         self._histograms["service"].record(max(record.service_time, 0.0))
         self._histograms["queue"].record(max(record.queue_time, 0.0))
 
+    def note(self, kind: str, n: int = 1) -> None:
+        """Tally one outcome event (see :data:`OUTCOME_KEYS`)."""
+        if kind not in self._outcomes:
+            raise ValueError(
+                f"unknown outcome {kind!r}; expected one of {OUTCOME_KEYS}"
+            )
+        with self._lock:
+            self._outcomes[kind] += n
+            self._outcomes_used = True
+
+    def record_attempt(self, latency: float) -> None:
+        """Record one per-attempt latency (every attempt with a response)."""
+        with self._lock:
+            if self._attempt_samples is not None:
+                self._attempt_samples.append(latency)
+                if len(self._attempt_samples) > self._exact_limit:
+                    self._attempt_histogram = HdrHistogram()
+                    for value in self._attempt_samples:
+                        self._attempt_histogram.record(max(value, 0.0))
+                    self._attempt_samples = None
+            else:
+                self._attempt_histogram.record(max(latency, 0.0))
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Snapshot of the outcome tally (all zeros when unused)."""
+        with self._lock:
+            return dict(self._outcomes)
+
+    @property
+    def outcomes_used(self) -> bool:
+        with self._lock:
+            return self._outcomes_used
+
     @property
     def measured_count(self) -> int:
         with self._lock:
@@ -219,10 +325,31 @@ class StatsCollector:
     def snapshot(self) -> CollectedStats:
         """Freeze current contents into an immutable view."""
         with self._lock:
+            attempt_samples = (
+                list(self._attempt_samples)
+                if self._attempt_samples is not None
+                else None
+            )
+            attempt_histogram = (
+                self._attempt_histogram.copy()
+                if self._attempt_histogram is not None
+                else None
+            )
+            outcomes = dict(self._outcomes) if self._outcomes_used else None
             if self._records is not None:
-                return CollectedStats(list(self._records), None, self._dropped)
+                return CollectedStats(
+                    list(self._records),
+                    None,
+                    self._dropped,
+                    attempt_samples=attempt_samples,
+                    attempt_histogram=attempt_histogram,
+                    outcomes=outcomes,
+                )
             return CollectedStats(
                 None,
                 {m: h.copy() for m, h in self._histograms.items()},
                 self._dropped,
+                attempt_samples=attempt_samples,
+                attempt_histogram=attempt_histogram,
+                outcomes=outcomes,
             )

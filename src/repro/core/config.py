@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
-__all__ = ["HarnessConfig", "SystemConfig", "PAPER_SYSTEM"]
+from ..faults import FaultPlan
+from .resilience import ResilienceConfig
+
+__all__ = ["HarnessConfig", "SystemConfig", "PAPER_SYSTEM", "NO_RESILIENCE"]
 
 _CONFIG_NAMES = ("integrated", "loopback", "networked")
+
+#: Default client policy: no deadlines, retries, or hedging — the
+#: paper's original wait-forever harness behavior.
+NO_RESILIENCE = ResilienceConfig()
 
 
 @dataclass(frozen=True)
@@ -33,6 +42,16 @@ class HarnessConfig:
     deterministic_arrivals:
         Use fixed interarrival gaps instead of exponential (testing /
         calibration only; real measurements keep the Poisson default).
+    resilience:
+        Client-side recovery policy (deadlines, retries, hedging);
+        disabled by default.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` injected into the
+        transport / queue / worker / application layers.
+    queue_capacity:
+        Bound on the server request queue; arrivals beyond it are shed
+        (admission control). ``None`` keeps the paper's unbounded
+        queue.
     """
 
     configuration: str = "integrated"
@@ -43,6 +62,9 @@ class HarnessConfig:
     seed: int = 0
     one_way_delay: float = 25e-6
     deterministic_arrivals: bool = False
+    resilience: ResilienceConfig = NO_RESILIENCE
+    faults: Optional[FaultPlan] = None
+    queue_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -58,34 +80,23 @@ class HarnessConfig:
             raise ValueError("invalid request counts")
         if self.one_way_delay < 0:
             raise ValueError("one_way_delay must be non-negative")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None)")
 
     @property
     def total_requests(self) -> int:
         return self.warmup_requests + self.measure_requests
 
+    # dataclasses.replace keeps these honest as fields are added: a
+    # hand-copied field list would silently drop new ones.
     def with_seed(self, seed: int) -> "HarnessConfig":
-        return HarnessConfig(
-            configuration=self.configuration,
-            qps=self.qps,
-            n_threads=self.n_threads,
-            warmup_requests=self.warmup_requests,
-            measure_requests=self.measure_requests,
-            seed=seed,
-            one_way_delay=self.one_way_delay,
-            deterministic_arrivals=self.deterministic_arrivals,
-        )
+        return dataclasses.replace(self, seed=seed)
 
     def with_qps(self, qps: float) -> "HarnessConfig":
-        return HarnessConfig(
-            configuration=self.configuration,
-            qps=qps,
-            n_threads=self.n_threads,
-            warmup_requests=self.warmup_requests,
-            measure_requests=self.measure_requests,
-            seed=self.seed,
-            one_way_delay=self.one_way_delay,
-            deterministic_arrivals=self.deterministic_arrivals,
-        )
+        return dataclasses.replace(self, qps=qps)
+
+    def replace(self, **changes) -> "HarnessConfig":
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)

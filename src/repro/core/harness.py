@@ -4,17 +4,28 @@
 Fig. 1 — application client, traffic shaper, transport, request queue,
 worker pool, statistics collector — executes one warm measurement run,
 and returns a :class:`HarnessResult`.
+
+Runs may inject faults (``config.faults``) and recover from them
+(``config.resilience``): the resilient client bounds each logical
+request with a deadline, retries failures with jittered backoff, and
+optionally hedges — with retries scheduled off the shaper thread so
+the open-loop guarantee survives partial failure. The result then
+distinguishes *achieved* throughput (completions) from *goodput*
+(deadline-met completions) and reports success-only vs per-attempt
+latency percentiles.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
+from ..faults import FaultInjector
 from ..stats import LatencySummary
 from .clock import Clock, WallClock
 from .collector import CollectedStats, StatsCollector
 from .config import HarnessConfig
+from .resilience import ResilientClient
 from .traffic import (
     ArrivalSchedule,
     DeterministicArrivals,
@@ -36,6 +47,9 @@ class HarnessResult:
     achieved_qps: float
     wall_time: float
     server_errors: tuple
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    goodput_qps: float = 0.0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def sojourn(self) -> LatencySummary:
@@ -48,6 +62,28 @@ class HarnessResult:
     @property
     def queue(self) -> LatencySummary:
         return self.stats.summary("queue")
+
+    @property
+    def attempt_latency(self) -> LatencySummary:
+        """Per-attempt latency summary (every attempt with a response)."""
+        return self.stats.attempt_summary()
+
+    @property
+    def retry_amplification(self) -> float:
+        """Attempts sent per logical request offered (1.0 = no retries)."""
+        offered = self.outcomes.get("offered", 0)
+        attempts = self.outcomes.get("attempts", 0)
+        if offered == 0 or attempts == 0:
+            return 1.0
+        return attempts / offered
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of offered logical requests that met their deadline."""
+        offered = self.outcomes.get("offered", 0)
+        if offered == 0:
+            return 1.0
+        return self.outcomes.get("succeeded", 0) / offered
 
     @property
     def saturated(self) -> bool:
@@ -68,6 +104,16 @@ class HarnessResult:
             f"service: {self.service.describe()}",
             f"queue:   {self.queue.describe()}",
         ]
+        if self.outcomes:
+            o = self.outcomes
+            lines.append(
+                f"goodput_qps={self.goodput_qps:.1f} "
+                f"succeeded={o.get('succeeded', 0)} "
+                f"timed_out={o.get('timed_out', 0)} "
+                f"failed={o.get('failed', 0)} shed={o.get('shed', 0)} "
+                f"retries={o.get('retries', 0)} "
+                f"amplification={self.retry_amplification:.2f}"
+            )
         return "\n".join(lines)
 
 
@@ -86,6 +132,11 @@ def run_harness(
     """
     clock = clock or WallClock()
     collector = StatsCollector(warmup_requests=config.warmup_requests)
+    injector = (
+        FaultInjector(config.faults, seed=config.seed)
+        if config.faults is not None and not config.faults.is_noop
+        else None
+    )
     transport = make_transport(
         config.configuration, clock, one_way_delay=config.one_way_delay
     )
@@ -103,21 +154,56 @@ def run_harness(
     )
     shaper = TrafficShaper(clock, schedule)
 
-    transport.start(app, config.n_threads, collector)
+    transport.start(
+        app,
+        config.n_threads,
+        collector,
+        injector=injector,
+        queue_capacity=config.queue_capacity,
+    )
+    resilient: Optional[ResilientClient] = None
+    if config.resilience.enabled:
+        resilient = ResilientClient(
+            transport, clock, config.resilience, collector, seed=config.seed
+        )
+    if injector is not None:
+        injector.start_run(clock.now())
     started = clock.now()
     try:
-        shaper.run(transport.send, payloads)
-        transport.drain()
+        if resilient is not None:
+            shaper.run(resilient.send, payloads)
+            resilient.drain()
+        else:
+            shaper.run(transport.send, payloads)
+            transport.drain()
     finally:
         wall_time = clock.now() - started
+        if resilient is not None:
+            resilient.close()
         transport.stop()
 
+    stats = collector.snapshot()
+    outcomes = collector.outcome_counts()
+    if not collector.outcomes_used:
+        # No resilience layer ran: synthesize the logical tallies from
+        # what the transport saw, so downstream reporting is uniform.
+        outcomes["offered"] = config.total_requests
+        outcomes["attempts"] = config.total_requests
+        outcomes["succeeded"] = stats.count + stats.dropped_warmup
+        outcomes["errors"] = transport.stats.errored
+        outcomes["shed"] = transport.stats.shed
     achieved = config.total_requests / wall_time if wall_time > 0 else 0.0
+    goodput = (
+        outcomes.get("succeeded", 0) / wall_time if wall_time > 0 else 0.0
+    )
     return HarnessResult(
         config=config,
-        stats=collector.snapshot(),
+        stats=stats,
         offered_qps=config.qps,
         achieved_qps=achieved,
         wall_time=wall_time,
         server_errors=tuple(transport.server_errors),
+        outcomes=outcomes,
+        goodput_qps=goodput,
+        fault_counts=injector.counts() if injector is not None else {},
     )

@@ -4,12 +4,22 @@ The request queue sits between the transport and the application
 worker threads. It is the instrumentation point for the two halves of
 server-side latency: *queueing time* (enqueue -> dequeue-by-worker) and
 *service time* (worker start -> worker end), per Sec. IV of the paper.
+
+Two optional robustness features extend the paper's unbounded FIFO:
+
+- **bounded admission** — with a ``capacity``, :meth:`RequestQueue.put`
+  sheds arrivals that would exceed it instead of letting queueing delay
+  grow without bound (load shedding; the caller owes the client a shed
+  response so the request resolves instead of timing out).
+- **stall windows** — with a fault ``injector``, dequeue freezes during
+  the plan's queue-stall windows, modelling a wedged dispatch path.
 """
 
 from __future__ import annotations
 
 import collections
 import threading
+import time
 from typing import Optional
 
 from .clock import Clock
@@ -23,33 +33,57 @@ class QueueClosed(Exception):
 
 
 class RequestQueue:
-    """Unbounded FIFO of :class:`Request` with enqueue timestamping.
+    """FIFO of :class:`Request` with enqueue timestamping.
 
-    Latency-critical servers do not drop requests under study loads, so
-    the queue is unbounded; saturation shows up as unbounded queueing
-    delay, exactly as in the paper's latency-vs-load curves.
+    Unbounded by default: latency-critical servers do not drop requests
+    under study loads, so saturation shows up as unbounded queueing
+    delay, exactly as in the paper's latency-vs-load curves. Pass
+    ``capacity`` to enable admission control instead.
     """
 
-    def __init__(self, clock: Clock) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        capacity: Optional[int] = None,
+        injector=None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self._clock = clock
+        self._capacity = capacity
+        self._injector = injector
         self._items: collections.deque = collections.deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
         self._peak_depth = 0
         self._total_enqueued = 0
+        self._total_shed = 0
 
-    def put(self, request: Request) -> None:
-        """Enqueue, stamping ``enqueued_at``."""
+    def put(self, request: Request) -> bool:
+        """Enqueue, stamping ``enqueued_at``.
+
+        Returns True when accepted. With a bounded queue at capacity,
+        marks the request shed and returns False instead; the caller is
+        responsible for sending the shed response back to the client.
+        """
         request.enqueued_at = self._clock.now()
         with self._not_empty:
             if self._closed:
                 raise QueueClosed("queue is closed")
+            if (
+                self._capacity is not None
+                and len(self._items) >= self._capacity
+            ):
+                self._total_shed += 1
+                request.shed = True
+                return False
             self._items.append(request)
             self._total_enqueued += 1
             if len(self._items) > self._peak_depth:
                 self._peak_depth = len(self._items)
             self._not_empty.notify()
+            return True
 
     def get(self, timeout: Optional[float] = None) -> Request:
         """Dequeue the oldest request; blocks until one is available.
@@ -58,14 +92,30 @@ class RequestQueue:
         The caller (worker thread) stamps ``service_start_at`` itself,
         immediately before invoking the application, so queue time is
         charged all the way to the actual start of processing.
+
+        The timeout is a single budget for the whole call: the deadline
+        is computed once, and every wakeup (notify-then-steal races,
+        spurious wakeups, stall windows) waits only the remaining time.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
-            while not self._items:
-                if self._closed:
+            while True:
+                stall = 0.0
+                if self._injector is not None and not self._closed:
+                    stall = self._injector.queue_stall_remaining(
+                        self._clock.now()
+                    )
+                if self._items and stall <= 0.0:
+                    return self._items.popleft()
+                if self._closed and not self._items:
                     raise QueueClosed("queue is closed and drained")
-                if not self._not_empty.wait(timeout):
-                    raise TimeoutError("no request arrived in time")
-            return self._items.popleft()
+                wait = stall if stall > 0.0 else None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise TimeoutError("no request arrived in time")
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._not_empty.wait(wait)
 
     def close(self) -> None:
         """Stop accepting requests; wake all blocked getters."""
@@ -83,6 +133,10 @@ class RequestQueue:
             return len(self._items)
 
     @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
     def peak_depth(self) -> int:
         with self._lock:
             return self._peak_depth
@@ -91,3 +145,8 @@ class RequestQueue:
     def total_enqueued(self) -> int:
         with self._lock:
             return self._total_enqueued
+
+    @property
+    def total_shed(self) -> int:
+        with self._lock:
+            return self._total_shed

@@ -28,7 +28,16 @@ _request_ids = itertools.count()
 
 @dataclass
 class Request:
-    """One in-flight request plus its accumulating timestamps (seconds)."""
+    """One in-flight request plus its accumulating timestamps (seconds).
+
+    A request is one *attempt* of a logical request: retries and hedges
+    share a ``logical_id`` and carry increasing ``attempt`` numbers, so
+    the client can match responses back to the logical request they
+    answer. ``deadline`` is the absolute instant after which a response
+    no longer counts as a success; ``shed`` marks an admission-control
+    rejection; ``discard`` marks a fault-injected duplicate whose
+    response must be ignored.
+    """
 
     payload: Any
     generated_at: float
@@ -40,6 +49,11 @@ class Request:
     response_received_at: Optional[float] = None
     response: Any = None
     error: Optional[str] = None
+    logical_id: Optional[int] = None
+    attempt: int = 0
+    deadline: Optional[float] = None
+    shed: bool = False
+    discard: bool = False
 
     def finish(self) -> "RequestRecord":
         """Freeze into an immutable record; validates the chain."""

@@ -1,0 +1,398 @@
+"""Client-side resilience: deadlines, retries, hedging.
+
+Production clients of latency-critical services do not wait forever:
+they bound each request with a deadline, retry transient failures with
+exponential backoff and full jitter [AWS Architecture Blog 2015], and
+optionally *hedge* — send a duplicate once the request has outlived a
+high percentile of normal latency [Dean & Barroso, "The Tail at
+Scale", CACM 2013]. :class:`ResilientClient` adds all three to the
+live harness while preserving the open-loop guarantee: retries and
+hedges are scheduled on a background timer wheel as *new arrivals* and
+never block the traffic shaper, so injected faults cannot re-introduce
+coordinated omission through the recovery path.
+
+Latency accounting under failures follows the failure-aware rules the
+statistics collector implements (see ``collector.py``): success
+percentiles are measured over logical requests that met their
+deadline, from the ideal generation instant; per-attempt percentiles
+are measured over every attempt that produced a response.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .clock import Clock
+
+__all__ = [
+    "ResilienceConfig",
+    "ResilientClient",
+    "backoff_delay",
+    "effective_attempt_timeout",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Client-side recovery policy for one run.
+
+    Attributes
+    ----------
+    deadline:
+        Per-request deadline in seconds, measured from the ideal
+        (open-loop) generation instant. A logical request unresolved at
+        its deadline is counted as ``timed_out``; a response arriving
+        later is counted as ``late`` and excluded from success
+        statistics. ``None`` disables deadlines (and with them, any
+        recovery from dropped messages).
+    attempt_timeout:
+        How long to wait for one attempt before retrying. Defaults to
+        ``deadline / (max_retries + 1)`` when retries and a deadline
+        are both configured.
+    max_retries:
+        Retry budget per logical request (0 = never retry). Retries
+        also trigger on failure responses (application errors, shed
+        replies).
+    backoff_base / backoff_cap:
+        Exponential backoff with full jitter: the k-th retry waits
+        ``uniform(0, min(cap, base * 2**k))`` seconds.
+    hedge_after:
+        If set, send one duplicate (hedge) attempt when no response has
+        arrived this many seconds after the first send — typically an
+        estimate of healthy p95 sojourn. First response wins.
+    max_hedges:
+        Hedge budget per logical request.
+    """
+
+    deadline: Optional[float] = None
+    attempt_timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff_base: float = 0.002
+    backoff_cap: float = 0.1
+    hedge_after: Optional[float] = None
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff parameters must be positive")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be positive")
+        if self.max_hedges < 0:
+            raise ValueError("max_hedges must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any resilience mechanism is active."""
+        return (
+            self.deadline is not None
+            or self.max_retries > 0
+            or self.hedge_after is not None
+        )
+
+
+def backoff_delay(
+    config: ResilienceConfig, rng: random.Random, retry_index: int
+) -> float:
+    """Full-jitter exponential backoff for the ``retry_index``-th retry."""
+    cap = min(config.backoff_cap, config.backoff_base * (2.0 ** retry_index))
+    return rng.uniform(0.0, cap)
+
+
+def effective_attempt_timeout(config: ResilienceConfig) -> Optional[float]:
+    """The per-attempt timeout, defaulted from the deadline if unset."""
+    if config.attempt_timeout is not None:
+        return config.attempt_timeout
+    if config.deadline is not None and config.max_retries > 0:
+        return config.deadline / (config.max_retries + 1)
+    return None
+
+
+class _Scheduler:
+    """Minimal timer wheel: run callables at absolute clock instants.
+
+    One daemon thread sleeps until the earliest event; callbacks run
+    outside the internal lock so they may schedule further events.
+    Pending events are discarded on stop.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._loop, name="tb-resilience-timer", daemon=True
+        )
+        self._thread.start()
+
+    def at(self, when: float, fn: Callable, *args) -> None:
+        with self._wakeup:
+            if self._stopped:
+                return
+            heapq.heappush(self._heap, (when, next(self._seq), fn, args))
+            self._wakeup.notify()
+
+    def after(self, delay: float, fn: Callable, *args) -> None:
+        self.at(self._clock.now() + max(delay, 0.0), fn, *args)
+
+    def _loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._heap and not self._stopped:
+                    self._wakeup.wait()
+                if self._stopped:
+                    return
+                when, _, fn, args = self._heap[0]
+                now = self._clock.now()
+                if when > now:
+                    self._wakeup.wait(when - now)
+                    continue
+                heapq.heappop(self._heap)
+            fn(*args)
+
+    def stop(self) -> None:
+        with self._wakeup:
+            self._stopped = True
+            self._wakeup.notify_all()
+        self._thread.join(5.0)
+
+
+class _Call:
+    """State of one logical request across its attempts."""
+
+    __slots__ = (
+        "logical_id",
+        "payload",
+        "generated_at",
+        "deadline",
+        "attempt_seq",
+        "cur_attempt",
+        "retries",
+        "retry_pending",
+        "hedges",
+        "resolved",
+    )
+
+    def __init__(
+        self, logical_id: int, payload, generated_at: float,
+        deadline: Optional[float],
+    ) -> None:
+        self.logical_id = logical_id
+        self.payload = payload
+        self.generated_at = generated_at
+        self.deadline = deadline
+        self.attempt_seq = 0
+        self.cur_attempt = 0
+        self.retries = 0
+        self.retry_pending = False
+        self.hedges = 0
+        self.resolved = False
+
+
+class ResilientClient:
+    """Deadline/retry/hedge wrapper over a live transport.
+
+    Installs itself as the transport's completion hook and takes over
+    outcome accounting: successful attempts that beat the deadline feed
+    the latency statistics; timeouts, shed replies, errors, and late
+    responses are tallied separately, so percentiles stay sound under
+    injected faults. Use :meth:`send` in place of ``transport.send``
+    and :meth:`drain` in place of ``transport.drain``.
+
+    Live mode only — requires a real (wall) clock, since recovery
+    timers sleep on it.
+    """
+
+    def __init__(
+        self,
+        transport,
+        clock: Clock,
+        config: ResilienceConfig,
+        collector,
+        seed: int = 0,
+    ) -> None:
+        self._transport = transport
+        self._clock = clock
+        self._config = config
+        self._collector = collector
+        self._rng = random.Random(seed ^ 0x8E511)
+        self._attempt_timeout = effective_attempt_timeout(config)
+        self._lock = threading.Lock()
+        self._resolved_cv = threading.Condition(self._lock)
+        self._calls: Dict[int, _Call] = {}
+        self._ids = itertools.count()
+        self._unresolved = 0
+        self._scheduler = _Scheduler(clock)
+        transport.set_completion_hook(self._on_attempt_complete)
+
+    # -- client-facing API ---------------------------------------------
+    def send(self, generated_at: float, payload) -> None:
+        """Submit one logical request (traffic-shaper entry point)."""
+        config = self._config
+        logical_id = next(self._ids)
+        deadline = (
+            generated_at + config.deadline
+            if config.deadline is not None
+            else None
+        )
+        call = _Call(logical_id, payload, generated_at, deadline)
+        with self._lock:
+            self._calls[logical_id] = call
+            self._unresolved += 1
+        self._collector.note("offered")
+        self._send_attempt(call, kind="first")
+        if deadline is not None:
+            self._scheduler.at(deadline, self._on_deadline, call)
+        if config.hedge_after is not None and config.max_hedges > 0:
+            self._scheduler.after(config.hedge_after, self._maybe_hedge, call)
+
+    def drain(self, timeout: float = 300.0) -> None:
+        """Block until every logical request has resolved."""
+        with self._resolved_cv:
+            if not self._resolved_cv.wait_for(
+                lambda: self._unresolved == 0, timeout
+            ):
+                raise TimeoutError(
+                    f"{self._unresolved} logical requests still unresolved"
+                )
+
+    def close(self) -> None:
+        self._scheduler.stop()
+
+    # -- attempt lifecycle ---------------------------------------------
+    def _send_attempt(self, call: _Call, kind: str) -> None:
+        with self._lock:
+            if call.resolved:
+                return
+            call.attempt_seq += 1
+            attempt_no = call.attempt_seq
+            if kind != "hedge":
+                call.cur_attempt = attempt_no
+        self._collector.note("attempts")
+        if kind == "retry":
+            self._collector.note("retries")
+        elif kind == "hedge":
+            self._collector.note("hedges")
+        self._transport.send(
+            call.generated_at,
+            call.payload,
+            logical_id=call.logical_id,
+            attempt=attempt_no,
+            deadline=call.deadline,
+        )
+        if kind != "hedge" and self._attempt_timeout is not None:
+            self._scheduler.after(
+                self._attempt_timeout, self._on_attempt_timeout, call,
+                attempt_no,
+            )
+
+    def _on_attempt_complete(self, request) -> bool:
+        """Transport completion hook; returns True (always handled)."""
+        if request.discard:
+            return True  # injected duplicate: response intentionally ignored
+        now = request.response_received_at
+        if request.sent_at is not None:
+            self._collector.record_attempt(max(now - request.sent_at, 0.0))
+        with self._lock:
+            call = self._calls.get(request.logical_id)
+        if call is None or call.resolved:
+            self._collector.note("late")
+            return True
+        if request.shed:
+            self._collector.note("shed")
+            self._retry_or_fail(call, request.attempt, "failed")
+            return True
+        if request.error is not None:
+            self._collector.note("errors")
+            self._retry_or_fail(call, request.attempt, "failed")
+            return True
+        if call.deadline is not None and now > call.deadline:
+            # Response and deadline raced; the deadline wins so goodput
+            # counts only deadline-met completions.
+            self._resolve(call, "timed_out")
+            return True
+        if self._resolve(call, "succeeded"):
+            self._collector.add(request.finish())
+        return True
+
+    def _on_attempt_timeout(self, call: _Call, attempt_no: int) -> None:
+        with self._lock:
+            if call.resolved or attempt_no != call.cur_attempt:
+                return
+        self._retry_or_fail(call, attempt_no, "timed_out")
+
+    def _retry_or_fail(
+        self, call: _Call, attempt_no: int, exhausted_outcome: str
+    ) -> None:
+        config = self._config
+        with self._lock:
+            if call.resolved or attempt_no < call.cur_attempt:
+                return
+            if call.retry_pending:
+                return
+            if call.retries < config.max_retries:
+                call.retries += 1
+                call.retry_pending = True
+                delay = backoff_delay(config, self._rng, call.retries - 1)
+                schedule_retry = True
+                if (
+                    call.deadline is not None
+                    and self._clock.now() + delay >= call.deadline
+                ):
+                    # The retry could not respond before the deadline;
+                    # let the deadline event resolve the call instead.
+                    schedule_retry = False
+                    call.retry_pending = False
+            else:
+                schedule_retry = False
+                if call.deadline is None:
+                    self._resolve_locked(call, exhausted_outcome)
+                return
+        if schedule_retry:
+            self._scheduler.after(delay, self._send_retry, call)
+
+    def _send_retry(self, call: _Call) -> None:
+        with self._lock:
+            if call.resolved:
+                return
+            call.retry_pending = False
+        self._send_attempt(call, kind="retry")
+
+    def _maybe_hedge(self, call: _Call) -> None:
+        with self._lock:
+            if call.resolved or call.hedges >= self._config.max_hedges:
+                return
+            call.hedges += 1
+        self._send_attempt(call, kind="hedge")
+
+    def _on_deadline(self, call: _Call) -> None:
+        self._resolve(call, "timed_out")
+
+    # -- resolution ----------------------------------------------------
+    def _resolve(self, call: _Call, outcome: str) -> bool:
+        with self._lock:
+            return self._resolve_locked(call, outcome)
+
+    def _resolve_locked(self, call: _Call, outcome: str) -> bool:
+        if call.resolved:
+            return False
+        call.resolved = True
+        self._calls.pop(call.logical_id, None)
+        self._unresolved -= 1
+        if self._unresolved == 0:
+            self._resolved_cv.notify_all()
+        self._collector.note(outcome)
+        return True

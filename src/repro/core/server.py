@@ -11,9 +11,11 @@ workers is the "threads" axis of Figs. 4 and 7.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Callable, List
 
+from ..faults import InjectedFault
 from .clock import Clock
 from .queueing import QueueClosed, RequestQueue
 from .request import Request
@@ -37,6 +39,9 @@ class Server:
         Number of worker threads.
     respond:
         Callback invoked with each completed :class:`Request`.
+    injector:
+        Optional :class:`repro.faults.FaultInjector` driving worker
+        pauses, worker crashes, and injected application errors.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class Server:
         clock: Clock,
         n_threads: int = 1,
         respond: Callable[[Request], None] = None,
+        injector=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one worker thread")
@@ -53,6 +59,7 @@ class Server:
         self._queue = queue
         self._clock = clock
         self._respond = respond or (lambda req: None)
+        self._injector = injector
         self._threads: List[threading.Thread] = [
             threading.Thread(
                 target=self._worker_loop, name=f"tb-worker-{i}", daemon=True
@@ -75,13 +82,21 @@ class Server:
             t.start()
 
     def _worker_loop(self) -> None:
+        injector = self._injector
         while True:
             try:
                 request = self._queue.get()
             except QueueClosed:
                 return
             request.service_start_at = self._clock.now()
+            if injector is not None:
+                pause = injector.worker_pause()
+                if pause > 0.0:
+                    # GC/compaction-style stall inside the service window.
+                    self._clock.sleep(pause)
             try:
+                if injector is not None and injector.app_error():
+                    raise InjectedFault("injected application error")
                 request.response = self._app.process(request.payload)
             except Exception:  # noqa: BLE001 - report, don't kill the worker
                 request.error = traceback.format_exc()
@@ -89,12 +104,20 @@ class Server:
                     self._errors.append(request.error)
             request.service_end_at = self._clock.now()
             self._respond(request)
+            if injector is not None and injector.worker_crash():
+                return  # injected crash: the pool permanently loses a worker
 
     def shutdown(self, timeout: float = 30.0) -> None:
-        """Close the queue and join all workers."""
+        """Close the queue and join all workers.
+
+        ``timeout`` bounds the whole shutdown, not each join: a shared
+        deadline is computed once and each join waits only the
+        remaining budget.
+        """
         self._queue.close()
+        deadline = time.monotonic() + timeout
         for t in self._threads:
-            t.join(timeout)
+            t.join(max(0.0, deadline - time.monotonic()))
             if t.is_alive():
                 raise RuntimeError(f"worker {t.name} failed to stop")
 

@@ -12,16 +12,23 @@ three configurations of Fig. 1 are three transports:
   a modelled NIC/switch delay line, standing in for the multi-machine
   setup (we have one machine; the paper shows the network contributes
   an additive per-end overhead, which is what the delay line injects).
+
+The base class is also the transport-layer fault-injection point: with
+a :class:`repro.faults.FaultInjector` installed, each send may be
+dropped (the server never sees it), held for an extra in-flight delay,
+or duplicated (the copy loads the server; its response is discarded).
+A dropped message is *not* counted as outstanding — only a client-side
+deadline recovers it.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+from typing import Any, Callable, List, Optional
 
 from ..clock import Clock
 from ..collector import StatsCollector
-from ..queueing import RequestQueue
+from ..queueing import QueueClosed, RequestQueue
 from ..request import Request
 from ..server import Server
 
@@ -35,6 +42,8 @@ class TransportStats:
         self.sent = 0
         self.completed = 0
         self.errored = 0
+        self.dropped = 0
+        self.shed = 0
 
 
 class Transport:
@@ -51,24 +60,38 @@ class Transport:
         self._collector: Optional[StatsCollector] = None
         self._queue: Optional[RequestQueue] = None
         self._server: Optional[Server] = None
+        self._injector = None
+        self._completion_hook: Optional[Callable[[Request], bool]] = None
         self._outstanding = 0
         self._lock = threading.Lock()
         self._all_done = threading.Condition(self._lock)
         self._running = False
+        self._fault_timers: List[threading.Timer] = []
         self.stats = TransportStats()
 
     # -- lifecycle -----------------------------------------------------
-    def start(self, app, n_threads: int, collector: StatsCollector) -> None:
+    def start(
+        self,
+        app,
+        n_threads: int,
+        collector: StatsCollector,
+        injector=None,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
         if self._running:
             raise RuntimeError("transport already started")
         self._collector = collector
-        self._queue = RequestQueue(self._clock)
+        self._injector = injector
+        self._queue = RequestQueue(
+            self._clock, capacity=queue_capacity, injector=injector
+        )
         self._server = Server(
             app,
             self._queue,
             self._clock,
             n_threads=n_threads,
             respond=self._on_response,
+            injector=injector,
         )
         self._start_impl()
         self._server.start()
@@ -77,6 +100,10 @@ class Transport:
     def stop(self) -> None:
         if not self._running:
             return
+        with self._lock:
+            timers, self._fault_timers = self._fault_timers, []
+        for timer in timers:
+            timer.cancel()
         self._server.shutdown()
         self._stop_impl()
         self._running = False
@@ -87,20 +114,93 @@ class Transport:
     def _stop_impl(self) -> None:
         """Hook for I/O machinery teardown."""
 
+    def set_completion_hook(
+        self, hook: Callable[[Request], bool]
+    ) -> None:
+        """Install a completion interceptor (the resilience layer).
+
+        The hook runs on every completed attempt *before* default
+        recording; returning True means the hook took responsibility
+        for statistics and the default collector path is skipped.
+        """
+        self._completion_hook = hook
+
     # -- client side ---------------------------------------------------
-    def send(self, generated_at: float, payload: Any) -> None:
+    def send(
+        self,
+        generated_at: float,
+        payload: Any,
+        *,
+        logical_id: Optional[int] = None,
+        attempt: int = 0,
+        deadline: Optional[float] = None,
+    ) -> None:
         """Submit one request; ``generated_at`` is the ideal instant."""
         if not self._running:
             raise RuntimeError("transport not started")
         request = Request(payload=payload, generated_at=generated_at)
         request.sent_at = self._clock.now()
-        with self._lock:
+        request.logical_id = (
+            logical_id if logical_id is not None else request.request_id
+        )
+        request.attempt = attempt
+        request.deadline = deadline
+        action = (
+            self._injector.transport_action()
+            if self._injector is not None
+            else None
+        )
+        if action is not None and action.drop:
+            with self._lock:
+                self.stats.sent += 1
+                self.stats.dropped += 1
+            return
+        with self._all_done:
             self._outstanding += 1
             self.stats.sent += 1
-        self._submit(request)
+        extra_delay = action.extra_delay if action is not None else 0.0
+        if action is not None and action.duplicate:
+            dup = Request(payload=payload, generated_at=generated_at)
+            dup.sent_at = request.sent_at
+            dup.logical_id = request.logical_id
+            dup.attempt = attempt
+            dup.discard = True
+            with self._all_done:
+                self._outstanding += 1
+            self._submit_after(dup, extra_delay)
+        self._submit_after(request, extra_delay)
+
+    def _submit_after(self, request: Request, delay: float) -> None:
+        if delay <= 0.0:
+            self._submit_safe(request)
+            return
+        timer = threading.Timer(delay, self._submit_safe, [request])
+        timer.daemon = True
+        with self._lock:
+            self._fault_timers.append(timer)
+            if len(self._fault_timers) > 256:
+                self._fault_timers = [
+                    t for t in self._fault_timers if t.is_alive()
+                ]
+        timer.start()
+
+    def _submit_safe(self, request: Request) -> None:
+        try:
+            self._submit(request)
+        except (QueueClosed, OSError):
+            # Arrived after shutdown: the message is lost on the wire.
+            self._abandon(request)
 
     def _submit(self, request: Request) -> None:
         raise NotImplementedError
+
+    def _abandon(self, request: Request) -> None:
+        """Account an attempt that will never complete."""
+        with self._all_done:
+            self._outstanding -= 1
+            self.stats.dropped += 1
+            if self._outstanding == 0:
+                self._all_done.notify_all()
 
     def drain(self, timeout: float = 300.0) -> None:
         """Block until every sent request has completed."""
@@ -122,16 +222,30 @@ class Transport:
         """
         self._complete(request)
 
+    def _shed(self, request: Request) -> None:
+        """Shed-response path: admission control rejected the request."""
+        self._complete(request)
+
     def _complete(self, request: Request) -> None:
         """Stamp receipt, record, and account the completion."""
         request.response_received_at = self._clock.now()
-        if request.error is None:
+        handled = False
+        if self._completion_hook is not None:
+            handled = bool(self._completion_hook(request))
+        if (
+            not handled
+            and request.error is None
+            and not request.shed
+            and not request.discard
+        ):
             self._collector.add(request.finish())
         with self._all_done:
             self._outstanding -= 1
             self.stats.completed += 1
             if request.error is not None:
                 self.stats.errored += 1
+            if request.shed:
+                self.stats.shed += 1
             if self._outstanding == 0:
                 self._all_done.notify_all()
 

@@ -19,4 +19,5 @@ class IntegratedTransport(Transport):
     """Direct in-process hand-off between client and server."""
 
     def _submit(self, request: Request) -> None:
-        self._queue.put(request)
+        if not self._queue.put(request):
+            self._shed(request)

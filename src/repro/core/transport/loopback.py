@@ -99,7 +99,10 @@ class LoopbackTransport(Transport):
                 generated_at=0.0,
                 request_id=message["id"],
             )
-            self._queue.put(shadow)
+            if not self._queue.put(shadow):
+                # Admission control rejected it: answer with a shed
+                # response instead of silently eating the request.
+                self._on_response(shadow)
 
     # -- server -> client ----------------------------------------------
     def _on_response(self, request: Request) -> None:
@@ -110,6 +113,7 @@ class LoopbackTransport(Transport):
             "service_end_at": request.service_end_at,
             "response": request.response,
             "error": request.error,
+            "shed": request.shed,
         }
         with self._reply_lock:
             try:
@@ -132,4 +136,5 @@ class LoopbackTransport(Transport):
             request.service_end_at = message["service_end_at"]
             request.response = message["response"]
             request.error = message["error"]
+            request.shed = message.get("shed", False)
             self._complete(request)

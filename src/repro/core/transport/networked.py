@@ -62,7 +62,9 @@ class DelayLine:
             with self._wakeup:
                 while not self._heap and not self._stopped:
                     self._wakeup.wait()
-                if self._stopped and not self._heap:
+                if self._stopped:
+                    # Link is down: messages still in flight are lost,
+                    # never delivered after stop() returns.
                     return
                 release, _, item = self._heap[0]
                 now = self._clock.now()
@@ -75,8 +77,13 @@ class DelayLine:
     def stop(self) -> None:
         with self._wakeup:
             self._stopped = True
+            self._heap.clear()
             self._wakeup.notify_all()
         self._thread.join(5.0)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
 
 
 class NetworkedTransport(LoopbackTransport):

@@ -1,0 +1,24 @@
+"""Fault injection: seeded, composable partial-failure plans.
+
+TailBench's methodology measures tails against a healthy server; this
+package extends it to the regime real latency-critical systems live in
+— partial failure. A :class:`FaultPlan` names what breaks (transport
+drops/delays/duplicates, queue stalls, worker pauses/crashes,
+application errors); a :class:`FaultInjector` samples it
+deterministically from a seed. Both the live harness
+(:func:`repro.core.harness.run_harness`) and the virtual-time
+simulator (:func:`repro.sim.latency_sim.simulate_load`) accept the
+same plan, so fault experiments can be debugged deterministically in
+simulation and replayed for-real over threads and TCP.
+"""
+
+from .injector import FaultInjector, InjectedFault, TransportAction
+from .plan import FaultPlan, StallWindow
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "StallWindow",
+    "TransportAction",
+]

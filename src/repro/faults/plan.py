@@ -1,0 +1,165 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` describes *what* can go wrong during a run, one
+knob per injection point of the harness architecture (Fig. 1):
+
+- **transport** — message drop, extra in-flight delay, duplication;
+- **queue** — stall windows during which no worker dequeues;
+- **worker** — GC-style pauses and permanent crashes;
+- **application** — an injected exception rate.
+
+Plans are pure data: frozen, hashable, serializable, and composable
+via :meth:`FaultPlan.merged`. The *how* (seeded sampling, counters)
+lives in :class:`repro.faults.injector.FaultInjector`, so the same
+plan drives both the live harness (threads/TCP) and the discrete-event
+simulator deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FaultPlan", "StallWindow"]
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """One queue-stall interval, relative to run start (seconds).
+
+    While a stall window is open no worker dequeues a request — the
+    queue keeps accepting arrivals, modelling a wedged dispatch path
+    (lock convoy, kernel hiccup, stop-the-world collection on the
+    dispatcher).
+    """
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("stall start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("stall duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _normalize_stalls(stalls) -> Tuple[StallWindow, ...]:
+    out = []
+    for s in stalls:
+        if isinstance(s, StallWindow):
+            out.append(s)
+        else:
+            start, duration = s
+            out.append(StallWindow(float(start), float(duration)))
+    return tuple(sorted(out, key=lambda w: w.start))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and how often.
+
+    All ``*_rate`` fields are per-event probabilities in ``[0, 1]``:
+    ``drop_rate``/``delay_rate``/``duplicate_rate`` apply per message,
+    ``worker_pause_rate``/``worker_crash_rate``/``error_rate`` apply
+    per request served.
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability a request message is lost in the transport (the
+        server never sees it; only a client deadline recovers it).
+    delay_rate / delay:
+        Probability a message is held an extra ``delay`` seconds in
+        flight (congestion / retransmission stand-in).
+    duplicate_rate:
+        Probability a message is delivered twice. The duplicate loads
+        the server but its response is discarded client-side.
+    queue_stalls:
+        :class:`StallWindow` sequence (or ``(start, duration)`` pairs)
+        during which dequeue is frozen.
+    worker_pause_rate / worker_pause:
+        Probability a worker pauses ``worker_pause`` seconds before
+        serving a request (GC/compaction-style stall inside the
+        service window).
+    worker_crash_rate:
+        Probability a worker thread dies after completing a request,
+        permanently reducing capacity.
+    error_rate:
+        Probability the application layer raises on a request.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 0.0
+    duplicate_rate: float = 0.0
+    queue_stalls: Tuple[StallWindow, ...] = ()
+    worker_pause_rate: float = 0.0
+    worker_pause: float = 0.0
+    worker_crash_rate: float = 0.0
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_rate", "delay_rate", "duplicate_rate",
+            "worker_pause_rate", "worker_crash_rate", "error_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay < 0 or self.worker_pause < 0:
+            raise ValueError("delay durations must be non-negative")
+        if self.delay_rate > 0 and self.delay == 0:
+            raise ValueError("delay_rate set but delay is zero")
+        if self.worker_pause_rate > 0 and self.worker_pause == 0:
+            raise ValueError("worker_pause_rate set but worker_pause is zero")
+        object.__setattr__(
+            self, "queue_stalls", _normalize_stalls(self.queue_stalls)
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing."""
+        return (
+            self.drop_rate == 0.0
+            and self.delay_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.queue_stalls
+            and self.worker_pause_rate == 0.0
+            and self.worker_crash_rate == 0.0
+            and self.error_rate == 0.0
+        )
+
+    def replace(self, **changes) -> "FaultPlan":
+        return dataclasses.replace(self, **changes)
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose two plans into one.
+
+        Probabilities combine as independent events
+        (``1 - (1-a)(1-b)``), durations take the maximum, and stall
+        windows are concatenated.
+        """
+
+        def either(a: float, b: float) -> float:
+            return 1.0 - (1.0 - a) * (1.0 - b)
+
+        return FaultPlan(
+            drop_rate=either(self.drop_rate, other.drop_rate),
+            delay_rate=either(self.delay_rate, other.delay_rate),
+            delay=max(self.delay, other.delay),
+            duplicate_rate=either(self.duplicate_rate, other.duplicate_rate),
+            queue_stalls=self.queue_stalls + other.queue_stalls,
+            worker_pause_rate=either(
+                self.worker_pause_rate, other.worker_pause_rate
+            ),
+            worker_pause=max(self.worker_pause, other.worker_pause),
+            worker_crash_rate=either(
+                self.worker_crash_rate, other.worker_crash_rate
+            ),
+            error_rate=either(self.error_rate, other.error_rate),
+        )

@@ -6,15 +6,37 @@ Poisson arrivals, warmup discard, per-request timestamp chains), but
 executed in virtual time against a calibrated or measured service-time
 model. Deterministic given a seed, microsecond-exact, and fast — this
 is the configuration the paper runs under zsim (Sec. VI).
+
+Fault plans (``SimConfig.faults``) and resilience policies
+(``SimConfig.resilience``) replay in virtual time through
+:class:`_SimClient`, a single-threaded mirror of the live
+:class:`~repro.core.resilience.ResilientClient`: same state machine
+(deadlines, attempt timeouts, full-jitter backoff, hedging), same
+outcome taxonomy, but with recovery timers as simulator events instead
+of a timer thread. Because the event loop is single-threaded and every
+random draw comes from seeded streams, the same plan replayed with the
+same seed yields byte-identical results.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from ..core.collector import CollectedStats, StatsCollector
+from ..core.config import NO_RESILIENCE
+from ..core.request import Request
+from ..core.resilience import (
+    ResilienceConfig,
+    _Call,
+    backoff_delay,
+    effective_attempt_timeout,
+)
 from ..core.traffic import ArrivalSchedule, DeterministicArrivals, PoissonArrivals
+from ..faults import FaultInjector, FaultPlan
 from ..stats import LatencySummary
 from .calibration import AppProfile, paper_profile
 from .engine import Engine
@@ -42,6 +64,13 @@ class SimConfig:
     #: the Sec. VII experiment.
     ideal_memory: bool = False
     deterministic_arrivals: bool = False
+    #: Fault plan to replay in virtual time (None = healthy run).
+    faults: Optional[FaultPlan] = None
+    #: Client-side recovery policy (deadlines/retries/hedging).
+    resilience: ResilienceConfig = NO_RESILIENCE
+    #: Bound on the simulated server's request queue (None = unbounded);
+    #: arrivals beyond it are shed.
+    queue_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -50,36 +79,22 @@ class SimConfig:
             raise ValueError("n_threads must be >= 1")
         if self.warmup_requests < 0 or self.measure_requests < 1:
             raise ValueError("invalid request counts")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None)")
 
     @property
     def total_requests(self) -> int:
         return self.warmup_requests + self.measure_requests
 
     def with_qps(self, qps: float) -> "SimConfig":
-        return SimConfig(
-            qps=qps,
-            n_threads=self.n_threads,
-            configuration=self.configuration,
-            warmup_requests=self.warmup_requests,
-            measure_requests=self.measure_requests,
-            seed=self.seed,
-            simulated_system=self.simulated_system,
-            ideal_memory=self.ideal_memory,
-            deterministic_arrivals=self.deterministic_arrivals,
-        )
+        return dataclasses.replace(self, qps=qps)
 
     def with_seed(self, seed: int) -> "SimConfig":
-        return SimConfig(
-            qps=self.qps,
-            n_threads=self.n_threads,
-            configuration=self.configuration,
-            warmup_requests=self.warmup_requests,
-            measure_requests=self.measure_requests,
-            seed=seed,
-            simulated_system=self.simulated_system,
-            ideal_memory=self.ideal_memory,
-            deterministic_arrivals=self.deterministic_arrivals,
-        )
+        return dataclasses.replace(self, seed=seed)
+
+    def replace(self, **changes) -> "SimConfig":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,9 @@ class SimResult:
     offered_qps: float
     utilization: float
     virtual_time: float
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    goodput_qps: float = 0.0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def sojourn(self) -> LatencySummary:
@@ -106,17 +124,233 @@ class SimResult:
         return self.stats.summary("queue")
 
     @property
+    def attempt_latency(self) -> LatencySummary:
+        """Per-attempt latency summary (every attempt with a response)."""
+        return self.stats.attempt_summary()
+
+    @property
+    def retry_amplification(self) -> float:
+        """Attempts sent per logical request offered (1.0 = no retries)."""
+        offered = self.outcomes.get("offered", 0)
+        attempts = self.outcomes.get("attempts", 0)
+        if offered == 0 or attempts == 0:
+            return 1.0
+        return attempts / offered
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of offered logical requests that met their deadline."""
+        offered = self.outcomes.get("offered", 0)
+        if offered == 0:
+            return 1.0
+        return self.outcomes.get("succeeded", 0) / offered
+
+    @property
     def saturated(self) -> bool:
         """Offered load at or beyond the server's service capacity."""
         return self.utilization >= 0.98
 
     def describe(self) -> str:
-        return (
+        lines = [
             f"{self.profile_name} [{self.config.configuration}] "
             f"qps={self.offered_qps:g} threads={self.config.n_threads} "
-            f"util={self.utilization:.2f}\n"
-            f"sojourn: {self.sojourn.describe()}"
+            f"util={self.utilization:.2f}",
+            f"sojourn: {self.sojourn.describe()}",
+        ]
+        if self.outcomes:
+            o = self.outcomes
+            lines.append(
+                f"goodput_qps={self.goodput_qps:.1f} "
+                f"succeeded={o.get('succeeded', 0)} "
+                f"timed_out={o.get('timed_out', 0)} "
+                f"failed={o.get('failed', 0)} shed={o.get('shed', 0)} "
+                f"retries={o.get('retries', 0)} "
+                f"amplification={self.retry_amplification:.2f}"
+            )
+        return "\n".join(lines)
+
+
+class _SimClient:
+    """Virtual-time mirror of :class:`repro.core.resilience.ResilientClient`.
+
+    Runs the identical logical-request state machine — deadlines,
+    per-attempt timeouts, retries with full-jitter backoff, hedges,
+    first-response-wins resolution, late-response accounting — but
+    schedules every recovery timer on the simulation engine and applies
+    transport faults (drop / delay / duplicate) inline, since the
+    simulator has no wire to corrupt. Single-threaded by construction:
+    no locks, fully deterministic under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        server: SimulatedServer,
+        config: ResilienceConfig,
+        collector: StatsCollector,
+        injector: Optional[FaultInjector],
+        seed: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._server = server
+        self._config = config
+        self._collector = collector
+        self._injector = injector
+        self._rng = random.Random(seed ^ 0x8E511)
+        self._attempt_timeout = effective_attempt_timeout(config)
+        self._calls: Dict[int, _Call] = {}
+        self._ids = itertools.count()
+        server.set_response_callback(self._on_attempt_complete)
+
+    # -- logical request lifecycle -------------------------------------
+    def begin(self, generated_at: float) -> None:
+        """Start one logical request (runs at its arrival instant)."""
+        config = self._config
+        logical_id = next(self._ids)
+        deadline = (
+            generated_at + config.deadline
+            if config.deadline is not None
+            else None
         )
+        call = _Call(logical_id, None, generated_at, deadline)
+        self._calls[logical_id] = call
+        self._collector.note("offered")
+        self._send_attempt(call, kind="first")
+        if deadline is not None:
+            self._engine.at(deadline, self._on_deadline, call)
+        if config.hedge_after is not None and config.max_hedges > 0:
+            self._engine.after(config.hedge_after, self._maybe_hedge, call)
+
+    def finalize(self) -> None:
+        """Resolve logical requests left dangling by unrecovered drops.
+
+        Only reachable without a deadline: with one, the deadline event
+        always resolves the call inside the simulation.
+        """
+        for call in list(self._calls.values()):
+            self._resolve(call, "failed")
+
+    # -- attempts ------------------------------------------------------
+    def _send_attempt(self, call: _Call, kind: str) -> None:
+        if call.resolved:
+            return
+        call.attempt_seq += 1
+        attempt_no = call.attempt_seq
+        if kind != "hedge":
+            call.cur_attempt = attempt_no
+        self._collector.note("attempts")
+        if kind == "retry":
+            self._collector.note("retries")
+        elif kind == "hedge":
+            self._collector.note("hedges")
+
+        drop = duplicate = False
+        extra_delay = 0.0
+        if self._injector is not None:
+            action = self._injector.transport_action()
+            drop, duplicate, extra_delay = action
+        if not drop:
+            now = self._engine.now
+            request = Request(
+                payload=None,
+                generated_at=call.generated_at,
+                logical_id=call.logical_id,
+                attempt=attempt_no,
+                deadline=call.deadline,
+            )
+            request.sent_at = now
+            self._server.submit_request(request, extra_delay=extra_delay)
+            if duplicate:
+                dup = Request(
+                    payload=None,
+                    generated_at=call.generated_at,
+                    logical_id=call.logical_id,
+                    attempt=attempt_no,
+                    deadline=call.deadline,
+                    discard=True,
+                )
+                dup.sent_at = now
+                self._server.submit_request(dup, extra_delay=extra_delay)
+        if kind != "hedge" and self._attempt_timeout is not None:
+            self._engine.after(
+                self._attempt_timeout, self._on_attempt_timeout, call,
+                attempt_no,
+            )
+
+    def _on_attempt_complete(self, request: Request) -> None:
+        if request.discard:
+            return  # injected duplicate: response intentionally ignored
+        now = request.response_received_at
+        if request.sent_at is not None:
+            self._collector.record_attempt(max(now - request.sent_at, 0.0))
+        call = self._calls.get(request.logical_id)
+        if call is None or call.resolved:
+            self._collector.note("late")
+            return
+        if request.shed:
+            self._collector.note("shed")
+            self._retry_or_fail(call, request.attempt, "failed")
+            return
+        if request.error is not None:
+            self._collector.note("errors")
+            self._retry_or_fail(call, request.attempt, "failed")
+            return
+        if call.deadline is not None and now > call.deadline:
+            self._resolve(call, "timed_out")
+            return
+        if self._resolve(call, "succeeded"):
+            self._collector.add(request.finish())
+
+    def _on_attempt_timeout(self, call: _Call, attempt_no: int) -> None:
+        if call.resolved or attempt_no != call.cur_attempt:
+            return
+        self._retry_or_fail(call, attempt_no, "timed_out")
+
+    def _retry_or_fail(
+        self, call: _Call, attempt_no: int, exhausted_outcome: str
+    ) -> None:
+        config = self._config
+        if call.resolved or attempt_no < call.cur_attempt:
+            return
+        if call.retry_pending:
+            return
+        if call.retries < config.max_retries:
+            call.retries += 1
+            delay = backoff_delay(config, self._rng, call.retries - 1)
+            if (
+                call.deadline is not None
+                and self._engine.now + delay >= call.deadline
+            ):
+                # The retry could not respond before the deadline; let
+                # the deadline event resolve the call instead.
+                return
+            call.retry_pending = True
+            self._engine.after(delay, self._send_retry, call)
+        elif call.deadline is None:
+            self._resolve(call, exhausted_outcome)
+
+    def _send_retry(self, call: _Call) -> None:
+        if call.resolved:
+            return
+        call.retry_pending = False
+        self._send_attempt(call, kind="retry")
+
+    def _maybe_hedge(self, call: _Call) -> None:
+        if call.resolved or call.hedges >= self._config.max_hedges:
+            return
+        call.hedges += 1
+        self._send_attempt(call, kind="hedge")
+
+    def _on_deadline(self, call: _Call) -> None:
+        self._resolve(call, "timed_out")
+
+    def _resolve(self, call: _Call, outcome: str) -> bool:
+        if call.resolved:
+            return False
+        call.resolved = True
+        self._calls.pop(call.logical_id, None)
+        self._collector.note(outcome)
+        return True
 
 
 def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
@@ -131,9 +365,23 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     engine = Engine()
     collector = StatsCollector(warmup_requests=config.warmup_requests)
     rng = random.Random(config.seed ^ 0x5EED)
-    server = SimulatedServer(
-        engine, service_model, network, config.n_threads, collector, rng
+    injector = (
+        FaultInjector(config.faults, seed=config.seed)
+        if config.faults is not None and not config.faults.is_noop
+        else None
     )
+    server = SimulatedServer(
+        engine,
+        service_model,
+        network,
+        config.n_threads,
+        collector,
+        rng,
+        injector=injector,
+        queue_capacity=config.queue_capacity,
+    )
+    if injector is not None:
+        injector.start_run(0.0)
     process = (
         DeterministicArrivals(config.qps)
         if config.deterministic_arrivals
@@ -142,17 +390,39 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     schedule = ArrivalSchedule.generate(
         process, config.total_requests, seed=config.seed
     )
-    for generated_at in schedule:
-        server.submit(generated_at)
+    client: Optional[_SimClient] = None
+    if injector is not None or config.resilience.enabled:
+        client = _SimClient(
+            engine, server, config.resilience, collector, injector,
+            seed=config.seed,
+        )
+        for generated_at in schedule:
+            engine.at(generated_at, client.begin, generated_at)
+    else:
+        for generated_at in schedule:
+            server.submit(generated_at)
     engine.run()
+    if client is not None:
+        client.finalize()
     elapsed = engine.now
+    stats = collector.snapshot()
+    outcomes = collector.outcome_counts()
+    if not collector.outcomes_used:
+        outcomes["offered"] = config.total_requests
+        outcomes["attempts"] = config.total_requests
+        outcomes["succeeded"] = stats.count + stats.dropped_warmup
+        outcomes["shed"] = server.shed_count
+    goodput = outcomes.get("succeeded", 0) / elapsed if elapsed > 0 else 0.0
     return SimResult(
         profile_name=profile.name,
         config=config,
-        stats=collector.snapshot(),
+        stats=stats,
         offered_qps=config.qps,
         utilization=server.utilization(elapsed) if elapsed > 0 else 0.0,
         virtual_time=elapsed,
+        outcomes=outcomes,
+        goodput_qps=goodput,
+        fault_counts=injector.counts() if injector is not None else {},
     )
 
 

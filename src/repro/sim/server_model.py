@@ -6,12 +6,21 @@ drained by ``n`` worker threads — as discrete events: request arrival
 service completion, response receipt (after the outbound wire delay).
 Timestamps land in the same :class:`~repro.core.request.RequestRecord`
 chain live runs produce, so all downstream statistics code is shared.
+
+The model mirrors the live server's fault-injection points: with a
+:class:`repro.faults.FaultInjector`, queue stalls freeze dispatch,
+worker pauses inflate service time, worker crashes permanently reduce
+capacity, and the application layer errors at the plan's rate. With a
+``queue_capacity``, arrivals beyond the bound are shed and answered
+with a shed response (admission control).
 """
 
 from __future__ import annotations
 
 import collections
 import random
+from typing import Callable, Optional
+
 from ..core.collector import StatsCollector
 from ..core.request import Request
 from .engine import Engine
@@ -39,6 +48,16 @@ class SimulatedServer:
         Destination for completed request records.
     rng:
         Random stream for service-time draws.
+    injector:
+        Optional fault injector (queue stalls, worker pauses/crashes,
+        application errors).
+    queue_capacity:
+        Optional bound on waiting requests; arrivals beyond it are
+        shed.
+    on_response:
+        Optional hook receiving every response (including shed and
+        errored ones) in place of default collector recording — the
+        simulated resilient client installs itself here.
     """
 
     def __init__(
@@ -49,20 +68,37 @@ class SimulatedServer:
         n_threads: int,
         collector: StatsCollector,
         rng: random.Random,
+        injector=None,
+        queue_capacity: Optional[int] = None,
+        on_response: Optional[Callable[[Request], None]] = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None)")
         self._engine = engine
         self._service_model = service_model
         self._network = network
         self._n_threads = n_threads
         self._collector = collector
         self._rng = rng
+        self._injector = injector
+        self._capacity = queue_capacity
+        self._on_response_cb = on_response
         self._queue: collections.deque = collections.deque()
         self._busy_workers = 0
+        self._workers_alive = n_threads
+        self._stall_event_pending = False
         self.peak_queue_depth = 0
         self.completed = 0
+        self.shed_count = 0
+        self.crashed_workers = 0
         self.busy_time = 0.0
+
+    def set_response_callback(
+        self, callback: Callable[[Request], None]
+    ) -> None:
+        self._on_response_cb = callback
 
     # -- client side ------------------------------------------------------
     def submit(self, generated_at: float) -> None:
@@ -73,46 +109,109 @@ class SimulatedServer:
         """
         request = Request(payload=None, generated_at=generated_at)
         request.sent_at = generated_at
+        self.submit_request(request)
+
+    def submit_request(self, request: Request, extra_delay: float = 0.0) -> None:
+        """Schedule an already-built attempt (``sent_at`` stamped).
+
+        ``extra_delay`` models fault-injected in-flight latency on top
+        of the configuration's wire delay.
+        """
         self._engine.at(
-            generated_at + self._network.wire_latency_each_way,
+            request.sent_at
+            + self._network.wire_latency_each_way
+            + extra_delay,
             self._on_arrival,
             request,
         )
 
     # -- server events -------------------------------------------------------
+    def _stall_remaining(self) -> float:
+        if self._injector is None:
+            return 0.0
+        return self._injector.queue_stall_remaining(self._engine.now)
+
     def _on_arrival(self, request: Request) -> None:
         request.enqueued_at = self._engine.now
-        if self._busy_workers < self._n_threads:
+        stall = self._stall_remaining()
+        can_start = (
+            stall <= 0.0
+            and self._busy_workers < self._workers_alive
+            and not self._queue
+        )
+        if can_start:
             self._start_service(request)
-        else:
-            self._queue.append(request)
-            if len(self._queue) > self.peak_queue_depth:
-                self.peak_queue_depth = len(self._queue)
+            return
+        if self._capacity is not None and len(self._queue) >= self._capacity:
+            request.shed = True
+            self.shed_count += 1
+            self._schedule_response(request)
+            return
+        self._queue.append(request)
+        if len(self._queue) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self._queue)
+        if stall > 0.0:
+            self._schedule_stall_end(stall)
+
+    def _schedule_stall_end(self, stall: float) -> None:
+        if not self._stall_event_pending:
+            self._stall_event_pending = True
+            self._engine.after(stall, self._stall_over)
+
+    def _stall_over(self) -> None:
+        self._stall_event_pending = False
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and self._busy_workers < self._workers_alive:
+            stall = self._stall_remaining()
+            if stall > 0.0:
+                self._schedule_stall_end(stall)
+                return
+            self._start_service(self._queue.popleft())
 
     def _start_service(self, request: Request) -> None:
         self._busy_workers += 1
         request.service_start_at = self._engine.now
         service_time = self._service_model.sample(self._rng)
+        if self._injector is not None:
+            service_time += self._injector.worker_pause()
         self.busy_time += service_time
         self._engine.after(service_time, self._on_completion, request)
 
     def _on_completion(self, request: Request) -> None:
         request.service_end_at = self._engine.now
         self._busy_workers -= 1
+        if self._injector is not None:
+            if self._injector.app_error():
+                request.error = "injected application error"
+            if self._injector.worker_crash():
+                self._workers_alive = max(0, self._workers_alive - 1)
+                self.crashed_workers += 1
+        self._schedule_response(request)
+        self._dispatch()
+
+    def _schedule_response(self, request: Request) -> None:
         self._engine.at(
             self._engine.now + self._network.wire_latency_each_way,
             self._on_response,
             request,
         )
-        if self._queue:
-            self._start_service(self._queue.popleft())
 
     def _on_response(self, request: Request) -> None:
         request.response_received_at = self._engine.now
-        self._collector.add(request.finish())
         self.completed += 1
+        if self._on_response_cb is not None:
+            self._on_response_cb(request)
+            return
+        if request.error is None and not request.shed and not request.discard:
+            self._collector.add(request.finish())
 
     # -- derived metrics --------------------------------------------------------
+    @property
+    def workers_alive(self) -> int:
+        return self._workers_alive
+
     def utilization(self, elapsed: float) -> float:
         """Mean fraction of workers busy over ``elapsed`` virtual seconds."""
         if elapsed <= 0:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core import PAPER_SYSTEM, HarnessConfig, SystemConfig
+from repro.core import (
+    PAPER_SYSTEM,
+    HarnessConfig,
+    ResilienceConfig,
+    SystemConfig,
+)
+from repro.faults import FaultPlan
 
 
 class TestHarnessConfig:
@@ -45,6 +51,30 @@ class TestHarnessConfig:
     def test_frozen(self):
         with pytest.raises(Exception):
             HarnessConfig().qps = 1.0
+
+    def test_with_seed_preserves_robustness_fields(self):
+        # dataclasses.replace keeps every field, including the ones
+        # added after with_seed was first written.
+        plan = FaultPlan(drop_rate=0.1)
+        policy = ResilienceConfig(deadline=0.5, max_retries=2)
+        config = HarnessConfig(
+            faults=plan, resilience=policy, queue_capacity=32
+        )
+        for other in (config.with_seed(9), config.with_qps(50.0)):
+            assert other.faults == plan
+            assert other.resilience == policy
+            assert other.queue_capacity == 32
+
+    def test_replace(self):
+        config = HarnessConfig().replace(qps=9.0, n_threads=3)
+        assert config.qps == 9.0
+        assert config.n_threads == 3
+        with pytest.raises(ValueError):
+            HarnessConfig().replace(qps=-1.0)  # validation re-runs
+
+    def test_rejects_bad_queue_capacity(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(queue_capacity=0)
 
 
 class TestSystemConfig:

@@ -138,3 +138,26 @@ class TestDelayLine:
     def test_stop_is_idempotent_and_clean(self):
         line = DelayLine(WallClock(), 0.001, lambda item: None)
         line.stop()
+
+    def test_stop_with_items_in_flight(self):
+        # The link goes down while messages are in flight: stop() must
+        # return promptly (thread exits within its join timeout) and
+        # nothing may be delivered afterwards.
+        import time
+
+        delivered = []
+        line = DelayLine(WallClock(), 0.2, delivered.append)
+        for i in range(3):
+            line.push(i)
+        line.stop()
+        assert not line.alive
+        assert delivered == []
+        time.sleep(0.3)  # past every original release instant
+        assert delivered == []
+
+    def test_push_after_stop_is_dropped(self):
+        delivered = []
+        line = DelayLine(WallClock(), 0.0, delivered.append)
+        line.stop()
+        line.push("ghost")
+        assert delivered == []

@@ -8,12 +8,16 @@ by unexpected exceptions must release their locks.
 
 import os
 import random
+import time
 
 import pytest
 
 from repro import HarnessConfig, run_harness
 from repro.apps.shore import ShoreEngine
 from repro.apps.silo import Database, TransactionAborted
+from repro.core import ResilienceConfig
+from repro.faults import FaultPlan
+from repro.sim import SimConfig, simulate_app
 
 
 class FlakyApp:
@@ -68,6 +72,163 @@ class TestHarnessUnderFailures:
             ),
         )
         assert result.stats.count + len(result.server_errors) == 200
+
+
+class SleepyApp:
+    """Constant-service-time application (1 ms)."""
+
+    def __init__(self, service_time=0.001):
+        self.service_time = service_time
+
+    def setup(self):
+        pass
+
+    def process(self, payload):
+        time.sleep(self.service_time)
+        return payload
+
+    def make_client(self, seed=0):
+        class _Client:
+            def next_request(self):
+                return "x"
+
+        return _Client()
+
+
+class TestFaultInjectionLive:
+    """The ISSUE's live acceptance scenario: injected faults + recovery."""
+
+    def test_faulted_resilient_run_completes_with_sound_accounting(self):
+        plan = FaultPlan(
+            drop_rate=0.05,
+            error_rate=0.05,
+            worker_pause_rate=0.02,
+            worker_pause=0.02,
+            queue_stalls=[(0.15, 0.15)],
+        )
+        config = HarnessConfig(
+            qps=400,
+            n_threads=2,
+            warmup_requests=0,
+            measure_requests=300,
+            seed=11,
+            faults=plan,
+            resilience=ResilienceConfig(
+                deadline=0.1, max_retries=2, hedge_after=0.04
+            ),
+        )
+        result = run_harness(SleepyApp(), config)
+        o = result.outcomes
+        # Every logical request resolved exactly once — no hang, no leak.
+        assert o["offered"] == 300
+        assert o["succeeded"] + o["timed_out"] + o["failed"] == 300
+        assert o["succeeded"] > 0
+        assert o["timed_out"] > 0  # the stall window starves deadlines
+        # Recovery really fired, and it amplifies offered load.
+        assert o["attempts"] > o["offered"]
+        assert result.retry_amplification > 1.0
+        # Goodput counts only deadline-met completions.
+        assert result.goodput_qps < result.achieved_qps
+        # Success-only and per-attempt percentiles are distinct views.
+        assert result.stats.attempt_count > result.stats.count
+        assert result.attempt_latency.p99 != result.sojourn.p99
+        # Faults actually fired and were counted.
+        assert result.fault_counts["drops"] > 0
+        assert result.fault_counts["app_errors"] > 0
+
+    def test_bounded_queue_sheds_under_overload(self):
+        # 1 worker x 5 ms service = 200 qps capacity, offered 2000 qps,
+        # queue bounded at 4: most arrivals must be shed, and shed
+        # requests must stay out of the latency statistics.
+        config = HarnessConfig(
+            qps=2000,
+            n_threads=1,
+            warmup_requests=0,
+            measure_requests=200,
+            queue_capacity=4,
+            seed=3,
+        )
+        result = run_harness(SleepyApp(service_time=0.005), config)
+        o = result.outcomes
+        assert o["shed"] > 0
+        assert result.stats.count == 200 - o["shed"]
+
+    def test_drops_without_resilience_do_not_hang_drain(self):
+        plan = FaultPlan(drop_rate=0.3)
+        config = HarnessConfig(
+            qps=500, warmup_requests=0, measure_requests=100,
+            faults=plan, seed=5,
+        )
+        start = time.monotonic()
+        result = run_harness(SleepyApp(), config)
+        assert time.monotonic() - start < 30.0
+        dropped = result.fault_counts["drops"]
+        assert dropped > 0
+        assert result.stats.count == 100 - dropped
+
+
+class TestFaultInjectionSim:
+    """The same fault plans replayed in virtual time are deterministic."""
+
+    def _config(self, seed=7):
+        return SimConfig(
+            qps=2000,
+            n_threads=2,
+            warmup_requests=50,
+            measure_requests=1500,
+            seed=seed,
+            faults=FaultPlan(
+                drop_rate=0.05,
+                error_rate=0.03,
+                worker_pause_rate=0.01,
+                worker_pause=0.002,
+                queue_stalls=[(0.05, 0.02)],
+            ),
+            resilience=ResilienceConfig(
+                deadline=0.02, max_retries=2, hedge_after=0.005
+            ),
+            queue_capacity=64,
+        )
+
+    def test_same_seed_byte_identical(self):
+        a = simulate_app("masstree", self._config())
+        b = simulate_app("masstree", self._config())
+        assert a.outcomes == b.outcomes
+        assert a.fault_counts == b.fault_counts
+        assert a.virtual_time == b.virtual_time
+        assert a.stats.samples("sojourn") == b.stats.samples("sojourn")
+        assert a.stats.attempt_samples() == b.stats.attempt_samples()
+
+    def test_different_seed_differs(self):
+        a = simulate_app("masstree", self._config(seed=7))
+        b = simulate_app("masstree", self._config(seed=8))
+        assert a.stats.samples("sojourn") != b.stats.samples("sojourn")
+
+    def test_failure_aware_metrics_present(self):
+        result = simulate_app("masstree", self._config())
+        o = result.outcomes
+        assert o["offered"] == 1550
+        assert o["succeeded"] + o["timed_out"] + o["failed"] == 1550
+        assert o["attempts"] > o["offered"]
+        assert result.retry_amplification > 1.0
+        assert result.fault_counts["drops"] > 0
+        assert 0.0 < result.success_rate <= 1.0
+
+    def test_worker_crashes_reduce_throughput(self):
+        # Crash-prone workers must degrade the server, not the harness.
+        crashy = SimConfig(
+            qps=3000,
+            n_threads=4,
+            warmup_requests=0,
+            measure_requests=2000,
+            seed=2,
+            faults=FaultPlan(worker_crash_rate=0.01),
+            resilience=ResilienceConfig(deadline=0.05),
+        )
+        result = simulate_app("masstree", crashy)
+        assert result.fault_counts["crashes"] >= 1
+        # With capacity gone, late-run requests blow their deadlines.
+        assert result.outcomes["timed_out"] > 0
 
 
 class TestShoreTornLog:
