@@ -9,8 +9,6 @@ methodology is built the way it is.
 
 import random
 
-import pytest
-
 from repro.core import StatsCollector
 from repro.sim import (
     AppProfile,
@@ -167,7 +165,6 @@ def test_ablation_drrip_vs_lru_on_scans(benchmark, save_result):
         cache = SetAssociativeCache(
             256 * 1024, ways=16, line_bytes=64, policy=policy
         )
-        rng = random.Random(0)
         hot = [i * 64 for i in range(2048)]  # 128 KB hot set
         scan_ptr = 0x4000_0000
         for _ in range(30):

@@ -9,7 +9,6 @@ each app's constant speed factor (red annotations: 10-32%).
 import pytest
 
 from repro.experiments.fig5 import render_fig5, run_fig5
-from repro.sim import paper_profile
 
 MEASURE_REQUESTS = 4000
 

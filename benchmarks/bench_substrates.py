@@ -9,8 +9,6 @@ in the substrates themselves.
 
 import random
 
-import pytest
-
 from repro.apps import create_app
 from repro.stats import HdrHistogram
 from repro.workloads import TpccScale, TpccWorkload, YcsbWorkload

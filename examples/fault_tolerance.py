@@ -36,7 +36,6 @@ RECOVERY = ResilienceConfig(
 def report(title: str, result) -> None:
     print(f"--- {title}")
     print(result.describe())
-    o = result.outcomes
     print(
         f"goodput={result.goodput_qps:.0f}/{result.achieved_qps:.0f} qps  "
         f"success_rate={result.success_rate:.1%}  "

@@ -54,6 +54,17 @@ class Application:
         """Build a request generator with its own RNG stream."""
         raise NotImplementedError
 
+    def clone(self) -> "Application":
+        """Return a replica for one server instance of a topology.
+
+        The default shares ``self``: ``process`` is already required to
+        be thread-safe, so one object can back several replicas.
+        Applications with per-instance mutable state (write-heavy OLTP
+        tables, per-instance caches) override this to return an
+        independent, already-set-up copy.
+        """
+        return self
+
 
 _REGISTRY: Dict[str, Callable[..., Application]] = {}
 

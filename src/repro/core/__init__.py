@@ -7,6 +7,16 @@ repeated-run measurement methodology with confidence-interval
 convergence.
 """
 
+from .balancer import (
+    BALANCERS,
+    JoinShortestQueueBalancer,
+    LoadBalancer,
+    PowerOfTwoBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    balancer_names,
+    make_balancer,
+)
 from .clock import Clock, VirtualClock, WallClock
 from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
 from .config import NO_RESILIENCE, PAPER_SYSTEM, HarnessConfig, SystemConfig
@@ -33,6 +43,14 @@ from .transport import (
 )
 
 __all__ = [
+    "BALANCERS",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "RandomBalancer",
+    "PowerOfTwoBalancer",
+    "JoinShortestQueueBalancer",
+    "balancer_names",
+    "make_balancer",
     "Clock",
     "VirtualClock",
     "WallClock",

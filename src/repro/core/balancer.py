@@ -1,0 +1,185 @@
+"""Pluggable load-balancing policies for the multi-server topology.
+
+TailBench's harness (Fig. 1) models one client driving one server.
+Once the harness hosts *N* independent server instances, every request
+must be routed to one of them, and the routing policy itself becomes a
+first-class experimental variable: load imbalance is a tail-latency
+mechanism in its own right ["The Tail at Scale", Dean & Barroso 2013].
+
+Four classic policies are provided behind one interface:
+
+- **round_robin** — cycle through servers in order. Deterministic and
+  perfectly fair in counts, but blind to queue state: a slow replica
+  keeps receiving its share and grows a deep queue.
+- **random** — uniform random choice. Stateless; its binomial arrival
+  spread produces transient imbalance that shows up in the tails.
+- **power_of_two** — sample two distinct servers, send to the one with
+  the shorter queue [Mitzenmacher 2001]. Exponentially better maximum
+  load than random at the cost of two depth probes.
+- **jsq** — join-the-shortest-queue: send to the global minimum-depth
+  server. The strongest of the four on tails, but needs full state.
+
+Depth-aware policies consume a *depth vector*: one integer per server
+counting the requests currently at (or in flight to) that server. The
+live transport maintains per-instance outstanding counts; the
+simulator exposes ``queued + in service``. Policies never inspect
+servers directly, so live and simulated runs share this module
+verbatim — one of the invariants that keeps the two modes comparable.
+
+Every policy accepts an optional ``avoid`` server: the resilient
+client passes the first attempt's server when hedging, so a hedge
+lands on a *different* replica whenever more than one exists (hedging
+to the same stuck queue is pointless).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Optional, Sequence, Type
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "RandomBalancer",
+    "PowerOfTwoBalancer",
+    "JoinShortestQueueBalancer",
+    "BALANCERS",
+    "balancer_names",
+    "make_balancer",
+]
+
+
+class LoadBalancer:
+    """Routing policy: map a per-server depth vector to a server index.
+
+    Implementations must be thread-safe — the live harness calls
+    :meth:`pick` from the traffic-shaper thread and from the resilience
+    timer thread concurrently — and deterministic given their seed,
+    so simulated runs replay identically.
+    """
+
+    #: Registry/display name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        """Stateless policies ignore ``seed``; accepted for uniformity."""
+
+    def pick(self, depths: Sequence[int], avoid: Optional[int] = None) -> int:
+        """Choose a server index given current per-server depths.
+
+        ``avoid`` excludes one server from consideration when at least
+        one alternative exists (hedge-to-a-different-replica); with a
+        single server it is ignored.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _candidates(n: int, avoid: Optional[int]) -> Sequence[int]:
+        if n < 1:
+            raise ValueError("depth vector must not be empty")
+        if avoid is None or n == 1 or not 0 <= avoid < n:
+            return range(n)
+        return [i for i in range(n) if i != avoid]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle through servers in index order, ignoring queue state."""
+
+    name = "round_robin"
+
+    def __init__(self, seed: int = 0) -> None:  # seed accepted for parity
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def pick(self, depths: Sequence[int], avoid: Optional[int] = None) -> int:
+        n = len(depths)
+        if n < 1:
+            raise ValueError("depth vector must not be empty")
+        with self._lock:
+            choice = self._next % n
+            self._next += 1
+            if avoid is not None and n > 1 and choice == avoid:
+                choice = self._next % n
+                self._next += 1
+            return choice
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random choice, seeded for reproducibility."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def pick(self, depths: Sequence[int], avoid: Optional[int] = None) -> int:
+        candidates = self._candidates(len(depths), avoid)
+        with self._lock:
+            if isinstance(candidates, range):
+                return self._rng.randrange(len(depths))
+            return self._rng.choice(candidates)
+
+
+class PowerOfTwoBalancer(LoadBalancer):
+    """Sample two distinct servers; join the shorter of the two queues.
+
+    Ties go to the first-sampled server, so the policy never picks the
+    strictly longer of its two sampled queues.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def pick(self, depths: Sequence[int], avoid: Optional[int] = None) -> int:
+        candidates = list(self._candidates(len(depths), avoid))
+        if len(candidates) == 1:
+            return candidates[0]
+        with self._lock:
+            first, second = self._rng.sample(candidates, 2)
+        return first if depths[first] <= depths[second] else second
+
+
+class JoinShortestQueueBalancer(LoadBalancer):
+    """Global minimum-depth choice; ties break to the lowest index."""
+
+    name = "jsq"
+
+    def pick(self, depths: Sequence[int], avoid: Optional[int] = None) -> int:
+        candidates = self._candidates(len(depths), avoid)
+        return min(candidates, key=lambda i: (depths[i], i))
+
+
+BALANCERS: Dict[str, Type[LoadBalancer]] = {
+    policy.name: policy
+    for policy in (
+        RoundRobinBalancer,
+        RandomBalancer,
+        PowerOfTwoBalancer,
+        JoinShortestQueueBalancer,
+    )
+}
+
+
+def balancer_names() -> Sequence[str]:
+    """All registered policy names, sorted."""
+    return sorted(BALANCERS)
+
+
+def make_balancer(name: str, seed: int = 0) -> LoadBalancer:
+    """Build a policy by name (``round_robin`` / ``random`` /
+    ``power_of_two`` / ``jsq``), seeding any internal RNG."""
+    try:
+        policy = BALANCERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer {name!r}; known: {balancer_names()}"
+        ) from None
+    return policy(seed=seed)

@@ -76,6 +76,7 @@ class CollectedStats:
         attempt_samples: Optional[List[float]] = None,
         attempt_histogram: Optional[HdrHistogram] = None,
         outcomes: Optional[Dict[str, int]] = None,
+        server_histograms: Optional[Dict[int, Dict[str, HdrHistogram]]] = None,
     ) -> None:
         self._records = records
         self._histograms = histograms
@@ -83,6 +84,7 @@ class CollectedStats:
         self._attempt_samples = attempt_samples
         self._attempt_histogram = attempt_histogram
         self._outcomes = dict(outcomes) if outcomes else {}
+        self._server_histograms = server_histograms
 
     @property
     def exact(self) -> bool:
@@ -130,6 +132,64 @@ class CollectedStats:
     def outcomes(self) -> Dict[str, int]:
         """Outcome tally (see :data:`OUTCOME_KEYS`); empty when unused."""
         return dict(self._outcomes)
+
+    # -- per-server views (multi-server topologies) --------------------
+    @property
+    def server_ids(self) -> List[int]:
+        """Server instances that produced at least one measured record."""
+        if self._records is not None:
+            return sorted({r.server_id for r in self._records})
+        if self._server_histograms:
+            return sorted(self._server_histograms)
+        return []
+
+    def server_count(self, server_id: int) -> int:
+        """Measured completions served by one instance."""
+        if self._records is not None:
+            return sum(1 for r in self._records if r.server_id == server_id)
+        if self._server_histograms and server_id in self._server_histograms:
+            return self._server_histograms[server_id]["sojourn"].total_count
+        return 0
+
+    def server_samples(
+        self, server_id: int, metric: str = "sojourn"
+    ) -> List[float]:
+        """One instance's latency samples (exact mode only)."""
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected {_METRICS}")
+        if self._records is None:
+            raise ValueError("per-request records were not retained (HDR mode)")
+        attr = f"{metric}_time"
+        return [
+            getattr(r, attr) for r in self._records if r.server_id == server_id
+        ]
+
+    def server_summary(
+        self, server_id: int, metric: str = "sojourn"
+    ) -> LatencySummary:
+        """Latency summary over one instance's measured completions."""
+        if self._records is not None:
+            samples = self.server_samples(server_id, metric)
+            if not samples:
+                raise ValueError(f"no requests measured on server {server_id}")
+            return LatencySummary.from_samples(samples)
+        if not self._server_histograms or server_id not in self._server_histograms:
+            raise ValueError(f"no requests measured on server {server_id}")
+        return LatencySummary.from_histogram(
+            self._server_histograms[server_id][metric]
+        )
+
+    def per_server(self, metric: str = "sojourn") -> Dict[int, LatencySummary]:
+        """Per-instance latency summaries, keyed by server index.
+
+        The per-server series partition the aggregate: their counts sum
+        to :attr:`count` and their merged distribution is exactly the
+        distribution :meth:`summary` reports.
+        """
+        return {
+            server_id: self.server_summary(server_id, metric)
+            for server_id in self.server_ids
+        }
 
     @property
     def attempt_count(self) -> int:
@@ -252,6 +312,7 @@ class StatsCollector:
         self._seen = 0
         self._records: Optional[List[RequestRecord]] = []
         self._histograms: Optional[Dict[str, HdrHistogram]] = None
+        self._server_histograms: Optional[Dict[int, Dict[str, HdrHistogram]]] = None
         self._dropped = 0
         self._attempt_samples: Optional[List[float]] = []
         self._attempt_histogram: Optional[HdrHistogram] = None
@@ -273,14 +334,19 @@ class StatsCollector:
 
     def _switch_to_histograms_locked(self) -> None:
         self._histograms = {m: HdrHistogram() for m in _METRICS}
+        self._server_histograms = {}
         for rec in self._records:
             self._record_into_histograms_locked(rec)
         self._records = None
 
     def _record_into_histograms_locked(self, record: RequestRecord) -> None:
-        self._histograms["sojourn"].record(max(record.sojourn_time, 0.0))
-        self._histograms["service"].record(max(record.service_time, 0.0))
-        self._histograms["queue"].record(max(record.queue_time, 0.0))
+        per_server = self._server_histograms.setdefault(
+            record.server_id, {m: HdrHistogram() for m in _METRICS}
+        )
+        for metric in _METRICS:
+            value = max(getattr(record, f"{metric}_time"), 0.0)
+            self._histograms[metric].record(value)
+            per_server[metric].record(value)
 
     def note(self, kind: str, n: int = 1) -> None:
         """Tally one outcome event (see :data:`OUTCOME_KEYS`)."""
@@ -352,4 +418,8 @@ class StatsCollector:
                 attempt_samples=attempt_samples,
                 attempt_histogram=attempt_histogram,
                 outcomes=outcomes,
+                server_histograms={
+                    sid: {m: h.copy() for m, h in per_server.items()}
+                    for sid, per_server in self._server_histograms.items()
+                },
             )

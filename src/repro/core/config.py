@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..faults import FaultPlan
+from .balancer import BALANCERS
 from .resilience import ResilienceConfig
 
 __all__ = ["HarnessConfig", "SystemConfig", "PAPER_SYSTEM", "NO_RESILIENCE"]
@@ -51,7 +52,19 @@ class HarnessConfig:
     queue_capacity:
         Bound on the server request queue; arrivals beyond it are shed
         (admission control). ``None`` keeps the paper's unbounded
-        queue.
+        queue. With ``n_servers > 1`` the bound applies per instance.
+    n_servers:
+        Number of independent server instances behind the balancer,
+        each with its own request queue and worker pool. 1 reproduces
+        the paper's original single-server harness shape.
+    n_clients:
+        Number of concurrent client (traffic-shaper) threads. The
+        arrival schedule is split round-robin across clients, so the
+        union of arrivals is identical at any client count — only the
+        submission concurrency changes.
+    balancer:
+        Routing policy name (see :mod:`repro.core.balancer`):
+        ``round_robin`` / ``random`` / ``power_of_two`` / ``jsq``.
     """
 
     configuration: str = "integrated"
@@ -65,6 +78,9 @@ class HarnessConfig:
     resilience: ResilienceConfig = NO_RESILIENCE
     faults: Optional[FaultPlan] = None
     queue_capacity: Optional[int] = None
+    n_servers: int = 1
+    n_clients: int = 1
+    balancer: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -82,6 +98,15 @@ class HarnessConfig:
             raise ValueError("one_way_delay must be non-negative")
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1 (or None)")
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"balancer must be one of {sorted(BALANCERS)}, "
+                f"got {self.balancer!r}"
+            )
 
     @property
     def total_requests(self) -> int:

@@ -17,11 +17,13 @@ latency percentiles.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..faults import FaultInjector
 from ..stats import LatencySummary
+from .balancer import make_balancer
 from .clock import Clock, WallClock
 from .collector import CollectedStats, StatsCollector
 from .config import HarnessConfig
@@ -50,6 +52,12 @@ class HarnessResult:
     outcomes: Dict[str, int] = field(default_factory=dict)
     goodput_qps: float = 0.0
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Workers still serving per server instance at run end; injected
+    #: crashes decrement, so capacity loss is observable.
+    alive_workers: Tuple[int, ...] = ()
+    #: Requests routed to each server instance by the balancer
+    #: (lifetime assignments, including warmup and failed attempts).
+    routed_counts: Tuple[int, ...] = ()
 
     @property
     def sojourn(self) -> LatencySummary:
@@ -67,6 +75,10 @@ class HarnessResult:
     def attempt_latency(self) -> LatencySummary:
         """Per-attempt latency summary (every attempt with a response)."""
         return self.stats.attempt_summary()
+
+    def per_server(self, metric: str = "sojourn") -> Dict[int, LatencySummary]:
+        """Per-instance latency summaries (see CollectedStats.per_server)."""
+        return self.stats.per_server(metric)
 
     @property
     def retry_amplification(self) -> float:
@@ -104,6 +116,17 @@ class HarnessResult:
             f"service: {self.service.describe()}",
             f"queue:   {self.queue.describe()}",
         ]
+        if self.config.n_servers > 1:
+            lines.append(
+                f"topology: {self.config.n_servers} servers "
+                f"balancer={self.config.balancer} "
+                f"routed={list(self.routed_counts)} "
+                f"alive_workers={list(self.alive_workers)}"
+            )
+            for server_id, summary in sorted(self.per_server().items()):
+                lines.append(
+                    f"  server[{server_id}]: {summary.describe()}"
+                )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -160,6 +183,8 @@ def run_harness(
         collector,
         injector=injector,
         queue_capacity=config.queue_capacity,
+        n_servers=config.n_servers,
+        balancer=make_balancer(config.balancer, seed=config.seed),
     )
     resilient: Optional[ResilientClient] = None
     if config.resilience.enabled:
@@ -168,16 +193,20 @@ def run_harness(
         )
     if injector is not None:
         injector.start_run(clock.now())
+    send_fn = resilient.send if resilient is not None else transport.send
     started = clock.now()
     try:
+        _run_clients(clock, shaper, schedule, send_fn, payloads, config.n_clients)
         if resilient is not None:
-            shaper.run(resilient.send, payloads)
             resilient.drain()
         else:
-            shaper.run(transport.send, payloads)
             transport.drain()
     finally:
         wall_time = clock.now() - started
+        alive_workers = transport.alive_workers
+        routed_counts = tuple(
+            instance.routed for instance in transport.instances
+        )
         if resilient is not None:
             resilient.close()
         transport.stop()
@@ -192,7 +221,12 @@ def run_harness(
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
         outcomes["errors"] = transport.stats.errored
         outcomes["shed"] = transport.stats.shed
-    achieved = config.total_requests / wall_time if wall_time > 0 else 0.0
+    # Achieved throughput counts actual completions — responses the
+    # servers produced (succeeded + failed), excluding shed rejections
+    # — not offered requests: under saturation or shedding the offered
+    # count would over-report what the system actually sustained.
+    completions = max(transport.stats.completed - transport.stats.shed, 0)
+    achieved = completions / wall_time if wall_time > 0 else 0.0
     goodput = (
         outcomes.get("succeeded", 0) / wall_time if wall_time > 0 else 0.0
     )
@@ -206,4 +240,57 @@ def run_harness(
         outcomes=outcomes,
         goodput_qps=goodput,
         fault_counts=injector.counts() if injector is not None else {},
+        alive_workers=alive_workers,
+        routed_counts=routed_counts,
     )
+
+
+def _run_clients(
+    clock: Clock,
+    shaper: TrafficShaper,
+    schedule: ArrivalSchedule,
+    send_fn,
+    payloads: List,
+    n_clients: int,
+) -> None:
+    """Drive the arrival schedule from one or many client threads.
+
+    With multiple clients the schedule (and payload stream) is split
+    round-robin, each share driven by its own shaper thread against a
+    shared wall-clock anchor — the union of arrivals is the original
+    schedule regardless of client count, so topology experiments vary
+    submission concurrency without changing the offered process.
+    """
+    if n_clients == 1:
+        shaper.run(send_fn, payloads)
+        return
+    base = clock.now() - schedule.times[0]
+    errors: List[BaseException] = []
+
+    def client(share_times: List[float], share_payloads: List) -> None:
+        try:
+            TrafficShaper(clock, ArrivalSchedule(share_times)).run(
+                send_fn, share_payloads, base=base
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            errors.append(exc)
+
+    threads = []
+    for i in range(n_clients):
+        share_times = schedule.times[i::n_clients]
+        if not share_times:
+            continue
+        threads.append(
+            threading.Thread(
+                target=client,
+                args=(share_times, payloads[i::n_clients]),
+                name=f"tb-client-{i}",
+                daemon=True,
+            )
+        )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]

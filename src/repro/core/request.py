@@ -54,6 +54,10 @@ class Request:
     deadline: Optional[float] = None
     shed: bool = False
     discard: bool = False
+    #: Index of the server instance this attempt was routed to (set by
+    #: the balancer in multi-server topologies; 0 in the classic
+    #: single-server harness shape).
+    server_id: Optional[int] = None
 
     def finish(self) -> "RequestRecord":
         """Freeze into an immutable record; validates the chain."""
@@ -83,6 +87,7 @@ class Request:
             service_start_at=self.service_start_at,
             service_end_at=self.service_end_at,
             response_received_at=self.response_received_at,
+            server_id=self.server_id if self.server_id is not None else 0,
         )
 
 
@@ -97,6 +102,7 @@ class RequestRecord:
     service_start_at: float
     service_end_at: float
     response_received_at: float
+    server_id: int = 0
 
     @property
     def service_time(self) -> float:

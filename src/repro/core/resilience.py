@@ -184,6 +184,7 @@ class _Call:
         "retry_pending",
         "hedges",
         "resolved",
+        "last_server",
     )
 
     def __init__(
@@ -200,6 +201,9 @@ class _Call:
         self.retry_pending = False
         self.hedges = 0
         self.resolved = False
+        #: Server the most recent primary attempt was routed to; a
+        #: hedge asks the balancer to pick a *different* replica.
+        self.last_server: Optional[int] = None
 
 
 class ResilientClient:
@@ -286,13 +290,19 @@ class ResilientClient:
             self._collector.note("retries")
         elif kind == "hedge":
             self._collector.note("hedges")
-        self._transport.send(
+        server_id = self._transport.send(
             call.generated_at,
             call.payload,
             logical_id=call.logical_id,
             attempt=attempt_no,
             deadline=call.deadline,
+            # A hedge duplicates work still in flight; sending it to the
+            # replica already holding the slow attempt would be
+            # pointless, so steer the balancer away from it.
+            avoid_server=call.last_server if kind == "hedge" else None,
         )
+        if kind != "hedge":
+            call.last_server = server_id
         if kind != "hedge" and self._attempt_timeout is not None:
             self._scheduler.after(
                 self._attempt_timeout, self._on_attempt_timeout, call,

@@ -42,6 +42,9 @@ class Server:
     injector:
         Optional :class:`repro.faults.FaultInjector` driving worker
         pauses, worker crashes, and injected application errors.
+    server_id:
+        Index of this instance in a multi-server topology (0 in the
+        classic single-server shape); worker threads are named after it.
     """
 
     def __init__(
@@ -52,6 +55,7 @@ class Server:
         n_threads: int = 1,
         respond: Callable[[Request], None] = None,
         injector=None,
+        server_id: int = 0,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one worker thread")
@@ -60,19 +64,34 @@ class Server:
         self._clock = clock
         self._respond = respond or (lambda req: None)
         self._injector = injector
+        self.server_id = server_id
         self._threads: List[threading.Thread] = [
             threading.Thread(
-                target=self._worker_loop, name=f"tb-worker-{i}", daemon=True
+                target=self._worker_loop,
+                name=f"tb-s{server_id}-worker-{i}",
+                daemon=True,
             )
             for i in range(n_threads)
         ]
         self._started = False
         self._errors: List[str] = []
         self._errors_lock = threading.Lock()
+        self._alive = n_threads
+        self._alive_lock = threading.Lock()
 
     @property
     def n_threads(self) -> int:
         return len(self._threads)
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers still serving: ``n_threads`` minus injected crashes.
+
+        Capacity lost to crash faults is observable here instead of
+        silently degrading throughput.
+        """
+        with self._alive_lock:
+            return self._alive
 
     def start(self) -> None:
         if self._started:
@@ -105,7 +124,10 @@ class Server:
             request.service_end_at = self._clock.now()
             self._respond(request)
             if injector is not None and injector.worker_crash():
-                return  # injected crash: the pool permanently loses a worker
+                # Injected crash: the pool permanently loses a worker.
+                with self._alive_lock:
+                    self._alive -= 1
+                return
 
     def shutdown(self, timeout: float = 30.0) -> None:
         """Close the queue and join all workers.

@@ -221,19 +221,29 @@ class TrafficShaper:
         self._clock = clock
         self._schedule = schedule
 
-    def run(self, send_fn, payloads: Optional[List] = None) -> int:
+    def run(
+        self,
+        send_fn,
+        payloads: Optional[List] = None,
+        base: Optional[float] = None,
+    ) -> int:
         """Send every scheduled request via ``send_fn(ideal_time, payload)``.
 
         Returns the number of requests sent. ``payloads`` may be None
         (payload-less pings) or must match the schedule length.
+        ``base`` overrides the wall-clock anchor the schedule offsets
+        are added to; multiple concurrent shapers (one per client
+        thread) pass a shared anchor so their interleaved sub-schedules
+        reconstruct the original arrival process exactly.
         """
         times = self._schedule.times
         if payloads is not None and len(payloads) != len(times):
             raise ValueError("payloads must match schedule length")
         if not times:
             return 0
-        # Anchor the schedule at "now": schedule times are offsets.
-        base = self._clock.now() - times[0]
+        if base is None:
+            # Anchor the schedule at "now": schedule times are offsets.
+            base = self._clock.now() - times[0]
         for i, ideal in enumerate(times):
             deadline = base + ideal
             self._clock.sleep_until(deadline)

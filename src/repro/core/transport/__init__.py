@@ -1,12 +1,13 @@
 """The three harness configurations of Fig. 1 as pluggable transports."""
 
-from .base import Transport, TransportStats
+from .base import ServerInstance, Transport, TransportStats
 from .integrated import IntegratedTransport
 from .loopback import LoopbackTransport
 from .networked import DelayLine, NetworkedTransport
 from .remote import AppServerProcess, run_harness_multiprocess
 
 __all__ = [
+    "ServerInstance",
     "Transport",
     "TransportStats",
     "IntegratedTransport",

@@ -13,26 +13,37 @@ three configurations of Fig. 1 are three transports:
   setup (we have one machine; the paper shows the network contributes
   an additive per-end overhead, which is what the delay line injects).
 
+Every transport can host a *topology*: ``start(..., n_servers=N)``
+builds N independent :class:`ServerInstance` replicas — each its own
+:class:`RequestQueue` and worker pool over its own application replica
+— and :meth:`Transport.send` consults a pluggable
+:class:`~repro.core.balancer.LoadBalancer` to route each request to
+one of them. ``n_servers=1`` (the default) reproduces the paper's
+original client-to-single-server shape exactly.
+
 The base class is also the transport-layer fault-injection point: with
 a :class:`repro.faults.FaultInjector` installed, each send may be
 dropped (the server never sees it), held for an extra in-flight delay,
 or duplicated (the copy loads the server; its response is discarded).
 A dropped message is *not* counted as outstanding — only a client-side
-deadline recovers it.
+deadline recovers it. Transport faults model the shared wire and apply
+before routing; server-side faults can be scoped to a subset of
+replicas via ``FaultPlan.server_ids``.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
+from ..balancer import LoadBalancer, RoundRobinBalancer
 from ..clock import Clock
 from ..collector import StatsCollector
 from ..queueing import QueueClosed, RequestQueue
 from ..request import Request
 from ..server import Server
 
-__all__ = ["Transport", "TransportStats"]
+__all__ = ["ServerInstance", "Transport", "TransportStats"]
 
 
 class TransportStats:
@@ -46,20 +57,61 @@ class TransportStats:
         self.shed = 0
 
 
+class ServerInstance:
+    """One server replica behind the transport.
+
+    Bundles the replica's request queue, its worker-pool
+    :class:`~repro.core.server.Server`, and the transport-side
+    bookkeeping the balancer consumes: ``outstanding`` counts requests
+    routed to this instance whose responses have not yet come back
+    (in flight + queued + in service), the depth signal for
+    JSQ/power-of-two routing; ``routed`` counts lifetime assignments.
+    Both counters are guarded by the transport's completion lock.
+    """
+
+    __slots__ = ("server_id", "queue", "server", "outstanding", "routed")
+
+    def __init__(self, server_id: int, queue: RequestQueue, server: Server) -> None:
+        self.server_id = server_id
+        self.queue = queue
+        self.server = server
+        self.outstanding = 0
+        self.routed = 0
+
+
+def _replicate_app(app, index: int):
+    """Obtain an application replica for server instance ``index``.
+
+    Instance 0 always uses the caller's object. Later instances use
+    ``app.clone()`` when the application provides one; otherwise the
+    same object is shared across instances, which is sound because
+    :meth:`repro.apps.base.Application.process` is required to be
+    thread-safe already (the single-server harness calls it from
+    ``n_threads`` workers concurrently).
+    """
+    if index == 0:
+        return app
+    clone = getattr(app, "clone", None)
+    if callable(clone):
+        return clone()
+    return app
+
+
 class Transport:
-    """Abstract base: lifecycle + completion accounting.
+    """Abstract base: lifecycle, routing, and completion accounting.
 
     Subclasses implement :meth:`_submit` (client -> server path) and
     may override :meth:`_start_impl`/:meth:`_stop_impl` for their I/O
-    machinery. The base class tracks outstanding requests so
-    :meth:`drain` can wait for the last response of an open-loop run.
+    machinery. The base class routes each send to a server instance
+    via the balancer and tracks outstanding requests so :meth:`drain`
+    can wait for the last response of an open-loop run.
     """
 
     def __init__(self, clock: Clock) -> None:
         self._clock = clock
         self._collector: Optional[StatsCollector] = None
-        self._queue: Optional[RequestQueue] = None
-        self._server: Optional[Server] = None
+        self._instances: List[ServerInstance] = []
+        self._balancer: Optional[LoadBalancer] = None
         self._injector = None
         self._completion_hook: Optional[Callable[[Request], bool]] = None
         self._outstanding = 0
@@ -77,24 +129,37 @@ class Transport:
         collector: StatsCollector,
         injector=None,
         queue_capacity: Optional[int] = None,
+        n_servers: int = 1,
+        balancer: Optional[LoadBalancer] = None,
     ) -> None:
         if self._running:
             raise RuntimeError("transport already started")
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
         self._collector = collector
         self._injector = injector
-        self._queue = RequestQueue(
-            self._clock, capacity=queue_capacity, injector=injector
-        )
-        self._server = Server(
-            app,
-            self._queue,
-            self._clock,
-            n_threads=n_threads,
-            respond=self._on_response,
-            injector=injector,
-        )
+        self._balancer = balancer if balancer is not None else RoundRobinBalancer()
+        self._instances = []
+        for server_id in range(n_servers):
+            scoped = (
+                injector.for_server(server_id) if injector is not None else None
+            )
+            queue = RequestQueue(
+                self._clock, capacity=queue_capacity, injector=scoped
+            )
+            server = Server(
+                _replicate_app(app, server_id),
+                queue,
+                self._clock,
+                n_threads=n_threads,
+                respond=self._make_responder(server_id),
+                injector=scoped,
+                server_id=server_id,
+            )
+            self._instances.append(ServerInstance(server_id, queue, server))
         self._start_impl()
-        self._server.start()
+        for instance in self._instances:
+            instance.server.start()
         self._running = True
 
     def stop(self) -> None:
@@ -104,7 +169,8 @@ class Transport:
             timers, self._fault_timers = self._fault_timers, []
         for timer in timers:
             timer.cancel()
-        self._server.shutdown()
+        for instance in self._instances:
+            instance.server.shutdown()
         self._stop_impl()
         self._running = False
 
@@ -113,6 +179,16 @@ class Transport:
 
     def _stop_impl(self) -> None:
         """Hook for I/O machinery teardown."""
+
+    def _make_responder(self, server_id: int) -> Callable[[Request], None]:
+        """Bind a server's respond callback to its instance identity."""
+
+        def respond(request: Request) -> None:
+            if request.server_id is None:
+                request.server_id = server_id
+            self._on_response(request)
+
+        return respond
 
     def set_completion_hook(
         self, hook: Callable[[Request], bool]
@@ -125,6 +201,27 @@ class Transport:
         """
         self._completion_hook = hook
 
+    # -- topology ------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        return len(self._instances)
+
+    @property
+    def instances(self) -> Tuple[ServerInstance, ...]:
+        return tuple(self._instances)
+
+    def queue_depths(self) -> List[int]:
+        """Per-instance outstanding counts (the balancer's depth vector)."""
+        with self._lock:
+            return [instance.outstanding for instance in self._instances]
+
+    @property
+    def alive_workers(self) -> Tuple[int, ...]:
+        """Workers still serving, per instance (crash faults decrement)."""
+        return tuple(
+            instance.server.alive_workers for instance in self._instances
+        )
+
     # -- client side ---------------------------------------------------
     def send(
         self,
@@ -134,8 +231,14 @@ class Transport:
         logical_id: Optional[int] = None,
         attempt: int = 0,
         deadline: Optional[float] = None,
-    ) -> None:
-        """Submit one request; ``generated_at`` is the ideal instant."""
+        avoid_server: Optional[int] = None,
+    ) -> int:
+        """Submit one request; ``generated_at`` is the ideal instant.
+
+        Routes through the balancer and returns the chosen server
+        index, so callers (the resilient client) can steer a later
+        hedge to a different replica via ``avoid_server``.
+        """
         if not self._running:
             raise RuntimeError("transport not started")
         request = Request(payload=payload, generated_at=generated_at)
@@ -145,6 +248,18 @@ class Transport:
         )
         request.attempt = attempt
         request.deadline = deadline
+        if len(self._instances) == 1:
+            server_id = 0
+        else:
+            server_id = self._balancer.pick(
+                self.queue_depths(), avoid=avoid_server
+            )
+            if not 0 <= server_id < len(self._instances):
+                raise ValueError(
+                    f"balancer picked server {server_id} of "
+                    f"{len(self._instances)}"
+                )
+        request.server_id = server_id
         action = (
             self._injector.transport_action()
             if self._injector is not None
@@ -154,10 +269,13 @@ class Transport:
             with self._lock:
                 self.stats.sent += 1
                 self.stats.dropped += 1
-            return
+            return server_id
         with self._all_done:
             self._outstanding += 1
             self.stats.sent += 1
+            instance = self._instances[server_id]
+            instance.outstanding += 1
+            instance.routed += 1
         extra_delay = action.extra_delay if action is not None else 0.0
         if action is not None and action.duplicate:
             dup = Request(payload=payload, generated_at=generated_at)
@@ -165,10 +283,13 @@ class Transport:
             dup.logical_id = request.logical_id
             dup.attempt = attempt
             dup.discard = True
+            dup.server_id = server_id
             with self._all_done:
                 self._outstanding += 1
+                self._instances[server_id].outstanding += 1
             self._submit_after(dup, extra_delay)
         self._submit_after(request, extra_delay)
+        return server_id
 
     def _submit_after(self, request: Request, delay: float) -> None:
         if delay <= 0.0:
@@ -198,6 +319,7 @@ class Transport:
         """Account an attempt that will never complete."""
         with self._all_done:
             self._outstanding -= 1
+            self._settle_instance_locked(request)
             self.stats.dropped += 1
             if self._outstanding == 0:
                 self._all_done.notify_all()
@@ -226,6 +348,12 @@ class Transport:
         """Shed-response path: admission control rejected the request."""
         self._complete(request)
 
+    def _settle_instance_locked(self, request: Request) -> None:
+        """Release the routed instance's outstanding slot (lock held)."""
+        server_id = request.server_id
+        if server_id is not None and 0 <= server_id < len(self._instances):
+            self._instances[server_id].outstanding -= 1
+
     def _complete(self, request: Request) -> None:
         """Stamp receipt, record, and account the completion."""
         request.response_received_at = self._clock.now()
@@ -241,6 +369,7 @@ class Transport:
             self._collector.add(request.finish())
         with self._all_done:
             self._outstanding -= 1
+            self._settle_instance_locked(request)
             self.stats.completed += 1
             if request.error is not None:
                 self.stats.errored += 1
@@ -250,5 +379,8 @@ class Transport:
                 self._all_done.notify_all()
 
     @property
-    def server_errors(self):
-        return self._server.errors if self._server else []
+    def server_errors(self) -> List[str]:
+        errors: List[str] = []
+        for instance in self._instances:
+            errors.extend(instance.server.errors)
+        return errors

@@ -16,8 +16,9 @@ __all__ = ["IntegratedTransport"]
 
 
 class IntegratedTransport(Transport):
-    """Direct in-process hand-off between client and server."""
+    """Direct in-process hand-off between client and server(s)."""
 
     def _submit(self, request: Request) -> None:
-        if not self._queue.put(request):
+        instance = self._instances[request.server_id or 0]
+        if not instance.queue.put(request):
             self._shed(request)

@@ -6,6 +6,11 @@ network-stack overhead (syscalls, copies, TCP processing) is really
 paid — about 20 us per end on the paper's system (Sec. VI-B). Per the
 paper's tuning notes, TCP_NODELAY is set to disable Nagle coalescing.
 
+In a multi-server topology each :class:`ServerInstance` gets its own
+persistent connection pair — its own endpoint, as separate replicas
+would have — and the balancer's routing decision selects which
+connection a request travels over.
+
 Timestamps (``generated_at``, ``sent_at``) ride inside the message:
 both endpoints share one process and therefore one clock domain, so no
 cross-machine clock synchronization is needed.
@@ -15,7 +20,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict
+from typing import Dict, List
 
 from ..clock import Clock
 from ..request import Request
@@ -25,47 +30,73 @@ from .protocol import ConnectionClosed, recv_message, send_message
 __all__ = ["LoopbackTransport"]
 
 
+class _Endpoint:
+    """Sockets and locks for one server instance's connection pair."""
+
+    __slots__ = ("client_sock", "server_sock", "send_lock", "reply_lock")
+
+    def __init__(
+        self, client_sock: socket.socket, server_sock: socket.socket
+    ) -> None:
+        self.client_sock = client_sock
+        self.server_sock = server_sock
+        self.send_lock = threading.Lock()
+        self.reply_lock = threading.Lock()
+
+
 class LoopbackTransport(Transport):
-    """TCP/loopback transport with a single persistent connection pair."""
+    """TCP/loopback transport, one persistent connection pair per server."""
 
     def __init__(self, clock: Clock, host: str = "127.0.0.1") -> None:
         super().__init__(clock)
         self._host = host
         self._listener: socket.socket = None
-        self._client_sock: socket.socket = None
-        self._server_sock: socket.socket = None
+        self._endpoints: List[_Endpoint] = []
         self._pending: Dict[int, Request] = {}
         self._pending_lock = threading.Lock()
-        self._send_lock = threading.Lock()
-        self._reply_lock = threading.Lock()
         self._io_threads = []
 
     # -- lifecycle -----------------------------------------------------
     def _start_impl(self) -> None:
+        n_servers = len(self._instances)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self._host, 0))
-        self._listener.listen(1)
+        self._listener.listen(n_servers)
         port = self._listener.getsockname()[1]
 
-        self._client_sock = socket.create_connection((self._host, port))
-        self._server_sock, _ = self._listener.accept()
-        for sock in (self._client_sock, self._server_sock):
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-
-        self._io_threads = [
-            threading.Thread(
-                target=self._server_recv_loop, name="tb-srv-recv", daemon=True
-            ),
-            threading.Thread(
-                target=self._client_recv_loop, name="tb-cli-recv", daemon=True
-            ),
-        ]
+        self._endpoints = []
+        self._io_threads = []
+        for server_id in range(n_servers):
+            client_sock = socket.create_connection((self._host, port))
+            server_sock, _ = self._listener.accept()
+            for sock in (client_sock, server_sock):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._endpoints.append(_Endpoint(client_sock, server_sock))
+            self._io_threads.append(
+                threading.Thread(
+                    target=self._server_recv_loop,
+                    args=(server_id,),
+                    name=f"tb-srv{server_id}-recv",
+                    daemon=True,
+                )
+            )
+            self._io_threads.append(
+                threading.Thread(
+                    target=self._client_recv_loop,
+                    args=(server_id,),
+                    name=f"tb-cli{server_id}-recv",
+                    daemon=True,
+                )
+            )
         for t in self._io_threads:
             t.start()
 
     def _stop_impl(self) -> None:
-        for sock in (self._client_sock, self._server_sock, self._listener):
+        sockets = [self._listener]
+        for endpoint in self._endpoints:
+            sockets.extend((endpoint.client_sock, endpoint.server_sock))
+        for sock in sockets:
             if sock is not None:
                 try:
                     sock.shutdown(socket.SHUT_RDWR)
@@ -77,19 +108,22 @@ class LoopbackTransport(Transport):
 
     # -- client -> server ----------------------------------------------
     def _submit(self, request: Request) -> None:
+        endpoint = self._endpoints[request.server_id or 0]
         with self._pending_lock:
             self._pending[request.request_id] = request
         message = {
             "id": request.request_id,
             "payload": request.payload,
         }
-        with self._send_lock:
-            send_message(self._client_sock, message)
+        with endpoint.send_lock:
+            send_message(endpoint.client_sock, message)
 
-    def _server_recv_loop(self) -> None:
+    def _server_recv_loop(self, server_id: int) -> None:
+        endpoint = self._endpoints[server_id]
+        instance = self._instances[server_id]
         while True:
             try:
-                message = recv_message(self._server_sock)
+                message = recv_message(endpoint.server_sock)
             except (ConnectionClosed, OSError):
                 return
             # Rebuild a server-side Request shell; the client keeps the
@@ -99,13 +133,15 @@ class LoopbackTransport(Transport):
                 generated_at=0.0,
                 request_id=message["id"],
             )
-            if not self._queue.put(shadow):
+            shadow.server_id = server_id
+            if not instance.queue.put(shadow):
                 # Admission control rejected it: answer with a shed
                 # response instead of silently eating the request.
                 self._on_response(shadow)
 
     # -- server -> client ----------------------------------------------
     def _on_response(self, request: Request) -> None:
+        endpoint = self._endpoints[request.server_id or 0]
         message = {
             "id": request.request_id,
             "enqueued_at": request.enqueued_at,
@@ -114,17 +150,19 @@ class LoopbackTransport(Transport):
             "response": request.response,
             "error": request.error,
             "shed": request.shed,
+            "server_id": request.server_id,
         }
-        with self._reply_lock:
+        with endpoint.reply_lock:
             try:
-                send_message(self._server_sock, message)
+                send_message(endpoint.server_sock, message)
             except OSError:
                 pass  # shutdown race: client side already gone
 
-    def _client_recv_loop(self) -> None:
+    def _client_recv_loop(self, server_id: int) -> None:
+        endpoint = self._endpoints[server_id]
         while True:
             try:
-                message = recv_message(self._client_sock)
+                message = recv_message(endpoint.client_sock)
             except (ConnectionClosed, OSError):
                 return
             with self._pending_lock:

@@ -89,6 +89,12 @@ class DelayLine:
 class NetworkedTransport(LoopbackTransport):
     """Loopback TCP with an added one-way wire delay in each direction.
 
+    The delay lines model the shared wire: in a multi-server topology
+    every request passes through the same request/response lines and is
+    then routed to its instance's connection pair by the loopback layer
+    (the routing decision itself was made client-side, before the
+    wire).
+
     Parameters
     ----------
     one_way_delay:

@@ -276,7 +276,7 @@ def run_harness_multiprocess(
         config=config,
         stats=collector.snapshot(),
         offered_qps=config.qps,
-        achieved_qps=config.total_requests / wall_time if wall_time else 0.0,
+        achieved_qps=completed["count"] / wall_time if wall_time else 0.0,
         wall_time=wall_time,
         server_errors=tuple(
             ["(remote process)"] * completed["errors"]

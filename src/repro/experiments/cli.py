@@ -26,6 +26,7 @@ from .extensions import (
     run_ext_energy,
 )
 from .fig8 import render_fig8, run_fig8
+from .fig_topology import render_fig_topology, run_fig_topology
 from .table1 import render_table1, run_table1
 
 __all__ = ["main", "EXPERIMENTS", "EXTENSIONS"]
@@ -46,6 +47,9 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
 EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     "ext-colocation": (run_ext_colocation, render_ext_colocation),
     "ext-energy": (run_ext_energy, render_ext_energy),
+    # Multi-server topology: round-robin vs JSQ at 4 replicas, run both
+    # live and simulated (runs the live harness — minutes, not seconds).
+    "fig-topology": (run_fig_topology, render_fig_topology),
 }
 
 _FAST_KWARGS = {
@@ -59,6 +63,7 @@ _FAST_KWARGS = {
     "fig8": {"measure_requests": 5000},
     "ext-colocation": {"measure_requests": 2500},
     "ext-energy": {"measure_requests": 3000},
+    "fig-topology": {"measure_requests": 1200},
 }
 
 

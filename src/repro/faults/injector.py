@@ -26,6 +26,28 @@ from .plan import FaultPlan
 __all__ = ["FaultInjector", "InjectedFault", "TransportAction"]
 
 
+class _NullServerInjector:
+    """Server-side injector view for instances outside a plan's scope.
+
+    Implements the queue/worker/application decision surface only —
+    transport faults model the shared wire and are applied before
+    routing, so a scoped-out server never sees this object on that
+    path.
+    """
+
+    def queue_stall_remaining(self, now: float) -> float:
+        return 0.0
+
+    def worker_pause(self) -> float:
+        return 0.0
+
+    def worker_crash(self) -> bool:
+        return False
+
+    def app_error(self) -> bool:
+        return False
+
+
 class InjectedFault(Exception):
     """Raised by the application layer when the plan injects an error."""
 
@@ -83,6 +105,20 @@ class FaultInjector:
     def start_run(self, start_time: float) -> None:
         """Anchor stall windows to the run's start instant."""
         self._run_start = start_time
+
+    def for_server(self, server_id: int):
+        """Server-side view of this injector for one instance.
+
+        When the plan's ``server_ids`` covers the instance (or targets
+        all servers), the injector itself is returned — counts and
+        random streams stay shared. Otherwise a null view is returned
+        whose server-side decisions always say "no fault", without
+        consuming any random draws, so scoping a plan to one replica
+        never perturbs the others' decision streams.
+        """
+        if self.plan.applies_to(server_id):
+            return self
+        return _NullServerInjector()
 
     def counts(self) -> Dict[str, int]:
         """Snapshot of how many faults actually fired."""

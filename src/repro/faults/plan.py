@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = ["FaultPlan", "StallWindow"]
 
@@ -91,6 +91,13 @@ class FaultPlan:
         permanently reducing capacity.
     error_rate:
         Probability the application layer raises on a request.
+    server_ids:
+        Server instances the *server-side* faults (queue stalls,
+        worker pauses/crashes, application errors) apply to in a
+        multi-server topology. ``None`` (default) targets every
+        instance; a tuple of indices scopes the blast radius to those
+        replicas only — e.g. one degraded replica behind a balancer.
+        Transport faults model the shared wire and are never scoped.
     """
 
     drop_rate: float = 0.0
@@ -102,6 +109,7 @@ class FaultPlan:
     worker_pause: float = 0.0
     worker_crash_rate: float = 0.0
     error_rate: float = 0.0
+    server_ids: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -120,6 +128,17 @@ class FaultPlan:
         object.__setattr__(
             self, "queue_stalls", _normalize_stalls(self.queue_stalls)
         )
+        if self.server_ids is not None:
+            ids = tuple(sorted(set(int(i) for i in self.server_ids)))
+            if not ids:
+                raise ValueError("server_ids must be non-empty (or None)")
+            if ids[0] < 0:
+                raise ValueError("server_ids must be non-negative")
+            object.__setattr__(self, "server_ids", ids)
+
+    def applies_to(self, server_id: int) -> bool:
+        """Whether server-side faults target the given instance."""
+        return self.server_ids is None or server_id in self.server_ids
 
     @property
     def is_noop(self) -> bool:
@@ -148,7 +167,12 @@ class FaultPlan:
         def either(a: float, b: float) -> float:
             return 1.0 - (1.0 - a) * (1.0 - b)
 
+        if self.server_ids is None or other.server_ids is None:
+            merged_ids = None  # either side targets all servers
+        else:
+            merged_ids = tuple(sorted(set(self.server_ids) | set(other.server_ids)))
         return FaultPlan(
+            server_ids=merged_ids,
             drop_rate=either(self.drop_rate, other.drop_rate),
             delay_rate=either(self.delay_rate, other.delay_rate),
             delay=max(self.delay, other.delay),

@@ -11,7 +11,11 @@ explicitly.
 from .calibration import PAPER_PROFILES, AppProfile, paper_profile
 from .colocation import BatchColocation, max_safe_batch_share, simulate_colocated
 from .contention import NO_CONTENTION, ContentionModel
-from .dispatch import compare_dispatch, simulate_random_dispatch
+from .dispatch import (
+    compare_dispatch,
+    simulate_dispatch,
+    simulate_random_dispatch,
+)
 from .engine import Engine
 from .events import Event, EventQueue
 from .latency_sim import SimConfig, SimResult, simulate_app, simulate_load
@@ -29,6 +33,7 @@ __all__ = [
     "NO_CONTENTION",
     "ContentionModel",
     "compare_dispatch",
+    "simulate_dispatch",
     "simulate_random_dispatch",
     "Engine",
     "Event",

@@ -7,14 +7,21 @@ arrivals across per-worker queues — is common in real servers
 random dispatch can pile requests behind one busy worker while others
 idle. This module provides the per-worker-queue server so the two
 designs can be compared under identical load.
+
+The partitioned server's dispatch decision is pluggable: any policy
+from :mod:`repro.core.balancer` (round-robin, random, power-of-two,
+join-shortest-queue) can steer arrivals across the per-worker queues,
+quantifying how much smarter dispatch recovers of the shared queue's
+tail advantage.
 """
 
 from __future__ import annotations
 
 import collections
 import random
-from typing import List
+from typing import List, Optional, Sequence
 
+from ..core.balancer import LoadBalancer, make_balancer
 from ..core.collector import StatsCollector
 from ..core.request import Request
 from ..core.traffic import ArrivalSchedule, PoissonArrivals
@@ -23,11 +30,19 @@ from .engine import Engine
 from .latency_sim import SimConfig, SimResult, simulate_load
 from .network_model import network_model_for
 
-__all__ = ["simulate_random_dispatch", "compare_dispatch"]
+__all__ = ["simulate_dispatch", "simulate_random_dispatch", "compare_dispatch"]
 
 
 class _PartitionedServer:
-    """n workers, each with its own FIFO; arrivals dispatched randomly."""
+    """n workers, each with its own FIFO, under a dispatch policy.
+
+    ``balancer=None`` selects the legacy uniform-random dispatch: the
+    worker is drawn at submit time from the same stream that samples
+    service times, which keeps pre-existing random-dispatch runs
+    byte-identical. Depth-aware policies instead decide *at the arrival
+    instant*, when the per-worker depth vector reflects the simulated
+    present.
+    """
 
     def __init__(
         self,
@@ -36,6 +51,7 @@ class _PartitionedServer:
         n_threads: int,
         collector: StatsCollector,
         rng: random.Random,
+        balancer: Optional[LoadBalancer] = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -43,20 +59,36 @@ class _PartitionedServer:
         self._service_model = service_model
         self._collector = collector
         self._rng = rng
+        self._balancer = balancer
         self._queues: List[collections.deque] = [
             collections.deque() for _ in range(n_threads)
         ]
         self._busy = [False] * n_threads
         self.busy_time = 0.0
+        self.dispatched = [0] * n_threads
+
+    def depths(self) -> List[int]:
+        """Queued plus in-service requests per worker."""
+        return [
+            len(queue) + (1 if busy else 0)
+            for queue, busy in zip(self._queues, self._busy)
+        ]
 
     def submit(self, generated_at: float) -> None:
         request = Request(payload=None, generated_at=generated_at)
         request.sent_at = generated_at
-        worker = self._rng.randrange(len(self._queues))
-        self._engine.at(generated_at, self._on_arrival, request, worker)
+        if self._balancer is None:
+            worker = self._rng.randrange(len(self._queues))
+            self._engine.at(generated_at, self._on_arrival, request, worker)
+        else:
+            self._engine.at(generated_at, self._dispatch, request)
+
+    def _dispatch(self, request: Request) -> None:
+        self._on_arrival(request, self._balancer.pick(self.depths()))
 
     def _on_arrival(self, request: Request, worker: int) -> None:
         request.enqueued_at = self._engine.now
+        self.dispatched[worker] += 1
         if self._busy[worker]:
             self._queues[worker].append(request)
         else:
@@ -79,8 +111,15 @@ class _PartitionedServer:
             self._busy[worker] = False
 
 
-def simulate_random_dispatch(profile: AppProfile, config: SimConfig) -> SimResult:
-    """Like :func:`simulate_load` but with per-worker random dispatch."""
+def simulate_dispatch(
+    profile: AppProfile, config: SimConfig, policy: str = "random"
+) -> SimResult:
+    """Per-worker-queue server under the named dispatch policy.
+
+    ``policy`` is a :mod:`repro.core.balancer` name. ``"random"`` is
+    the legacy uniform dispatch and reproduces historical results for
+    a given seed exactly.
+    """
     service_model = profile.service_model(
         n_threads=config.n_threads,
         ideal_memory=config.ideal_memory,
@@ -91,12 +130,18 @@ def simulate_random_dispatch(profile: AppProfile, config: SimConfig) -> SimResul
     )
     engine = Engine()
     collector = StatsCollector(warmup_requests=config.warmup_requests)
+    balancer = (
+        None
+        if policy == "random"
+        else make_balancer(policy, seed=config.seed ^ 0xD15)
+    )
     server = _PartitionedServer(
         engine,
         service_model,
         config.n_threads,
         collector,
         random.Random(config.seed ^ 0xD15),
+        balancer=balancer,
     )
     schedule = ArrivalSchedule.generate(
         PoissonArrivals(config.qps), config.total_requests, seed=config.seed
@@ -109,19 +154,37 @@ def simulate_random_dispatch(profile: AppProfile, config: SimConfig) -> SimResul
         server.busy_time / (elapsed * config.n_threads) if elapsed else 0.0
     )
     return SimResult(
-        profile_name=f"{profile.name}/random-dispatch",
+        profile_name=f"{profile.name}/{policy}-dispatch",
         config=config,
         stats=collector.snapshot(),
         offered_qps=config.qps,
         utilization=utilization,
         virtual_time=elapsed,
+        routed_counts=tuple(server.dispatched),
     )
 
 
+def simulate_random_dispatch(profile: AppProfile, config: SimConfig) -> SimResult:
+    """Like :func:`simulate_load` but with per-worker random dispatch."""
+    return simulate_dispatch(profile, config, policy="random")
+
+
 def compare_dispatch(
-    profile: AppProfile, config: SimConfig
+    profile: AppProfile,
+    config: SimConfig,
+    extra_policies: Sequence[str] = (),
 ) -> dict:
-    """Shared-queue vs random-dispatch p95/p99 at identical load."""
+    """Shared-queue vs per-worker-queue p95/p99 at identical load.
+
+    Always compares the shared queue against random dispatch; any
+    additional balancer names in ``extra_policies`` (e.g. ``"jsq"``,
+    ``"power_of_two"``) are simulated on the partitioned server too.
+    """
     shared = simulate_load(profile, config)
-    partitioned = simulate_random_dispatch(profile, config)
-    return {"shared": shared, "random": partitioned}
+    results = {
+        "shared": shared,
+        "random": simulate_random_dispatch(profile, config),
+    }
+    for policy in extra_policies:
+        results[policy] = simulate_dispatch(profile, config, policy=policy)
+    return results

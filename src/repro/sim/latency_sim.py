@@ -24,8 +24,9 @@ import dataclasses
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.balancer import BALANCERS, LoadBalancer, make_balancer
 from ..core.collector import CollectedStats, StatsCollector
 from ..core.config import NO_RESILIENCE
 from ..core.request import Request
@@ -69,8 +70,21 @@ class SimConfig:
     #: Client-side recovery policy (deadlines/retries/hedging).
     resilience: ResilienceConfig = NO_RESILIENCE
     #: Bound on the simulated server's request queue (None = unbounded);
-    #: arrivals beyond it are shed.
+    #: arrivals beyond it are shed. With ``n_servers > 1`` the bound
+    #: applies per instance, as in the live harness.
     queue_capacity: Optional[int] = None
+    #: Independent server replicas behind the balancer, each with its
+    #: own queue, worker pool, and service-time stream. 1 reproduces
+    #: the original single-server simulator bit-for-bit.
+    n_servers: int = 1
+    #: Client count, accepted for API parity with the live harness. In
+    #: virtual time the round-robin schedule split re-merges into the
+    #: identical event sequence, so this never changes results — the
+    #: open-loop process is invariant under client count by design.
+    n_clients: int = 1
+    #: Routing policy (see :mod:`repro.core.balancer`):
+    #: ``round_robin`` / ``random`` / ``power_of_two`` / ``jsq``.
+    balancer: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -81,6 +95,15 @@ class SimConfig:
             raise ValueError("invalid request counts")
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1 (or None)")
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"balancer must be one of {sorted(BALANCERS)}, "
+                f"got {self.balancer!r}"
+            )
 
     @property
     def total_requests(self) -> int:
@@ -110,10 +133,18 @@ class SimResult:
     outcomes: Dict[str, int] = field(default_factory=dict)
     goodput_qps: float = 0.0
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Workers still alive per server instance at run end.
+    alive_workers: Tuple[int, ...] = ()
+    #: Requests routed to each server instance by the balancer.
+    routed_counts: Tuple[int, ...] = ()
 
     @property
     def sojourn(self) -> LatencySummary:
         return self.stats.summary("sojourn")
+
+    def per_server(self, metric: str = "sojourn") -> Dict[int, LatencySummary]:
+        """Per-instance latency summaries (see CollectedStats.per_server)."""
+        return self.stats.per_server(metric)
 
     @property
     def service(self) -> LatencySummary:
@@ -157,6 +188,13 @@ class SimResult:
             f"util={self.utilization:.2f}",
             f"sojourn: {self.sojourn.describe()}",
         ]
+        if self.config.n_servers > 1:
+            lines.append(
+                f"topology: {self.config.n_servers} servers "
+                f"balancer={self.config.balancer} "
+                f"routed={list(self.routed_counts)} "
+                f"alive_workers={list(self.alive_workers)}"
+            )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -168,6 +206,76 @@ class SimResult:
                 f"amplification={self.retry_amplification:.2f}"
             )
         return "\n".join(lines)
+
+
+class _Topology:
+    """Routes attempts across N simulated servers through a balancer.
+
+    Virtual-time mirror of the live transport's routing layer: tracks
+    per-server ``outstanding`` (routed minus responded — the depth
+    vector the balancer inspects, same signal as the live
+    ``Transport.queue_depths``) and lifetime ``routed`` counts, and
+    wraps each server's response callback so the slot is released when
+    the response event fires. With one server the balancer is never
+    consulted, so the single-server event/RNG streams are untouched.
+    """
+
+    def __init__(
+        self, servers: List[SimulatedServer], balancer: LoadBalancer
+    ) -> None:
+        self._servers = servers
+        self._balancer = balancer
+        self._outstanding = [0] * len(servers)
+        self.routed = [0] * len(servers)
+
+    @property
+    def servers(self) -> List[SimulatedServer]:
+        return list(self._servers)
+
+    def depths(self) -> List[int]:
+        return list(self._outstanding)
+
+    def submit_attempt(
+        self,
+        request: Request,
+        extra_delay: float = 0.0,
+        avoid: Optional[int] = None,
+    ) -> int:
+        """Route one attempt; returns the chosen server index.
+
+        A request arriving with ``server_id`` already stamped (an
+        injected duplicate shadowing its original) skips the balancer
+        and lands on that server, as on the live wire.
+        """
+        if request.server_id is None:
+            if len(self._servers) == 1:
+                request.server_id = 0
+            else:
+                request.server_id = self._balancer.pick(
+                    self.depths(), avoid=avoid
+                )
+        server_id = request.server_id
+        self._outstanding[server_id] += 1
+        self.routed[server_id] += 1
+        self._servers[server_id].submit_request(
+            request, extra_delay=extra_delay
+        )
+        return server_id
+
+    def set_response_callback(
+        self, callback: Callable[[Request], None]
+    ) -> None:
+        """Install the client-side sink behind per-server settling."""
+
+        def sink(request: Request) -> None:
+            server_id = request.server_id or 0
+            self._outstanding[server_id] = max(
+                self._outstanding[server_id] - 1, 0
+            )
+            callback(request)
+
+        for server in self._servers:
+            server.set_response_callback(sink)
 
 
 class _SimClient:
@@ -185,14 +293,14 @@ class _SimClient:
     def __init__(
         self,
         engine: Engine,
-        server: SimulatedServer,
+        topology: _Topology,
         config: ResilienceConfig,
         collector: StatsCollector,
         injector: Optional[FaultInjector],
         seed: int = 0,
     ) -> None:
         self._engine = engine
-        self._server = server
+        self._topology = topology
         self._config = config
         self._collector = collector
         self._injector = injector
@@ -200,7 +308,7 @@ class _SimClient:
         self._attempt_timeout = effective_attempt_timeout(config)
         self._calls: Dict[int, _Call] = {}
         self._ids = itertools.count()
-        server.set_response_callback(self._on_attempt_complete)
+        topology.set_response_callback(self._on_attempt_complete)
 
     # -- logical request lifecycle -------------------------------------
     def begin(self, generated_at: float) -> None:
@@ -259,7 +367,15 @@ class _SimClient:
                 deadline=call.deadline,
             )
             request.sent_at = now
-            self._server.submit_request(request, extra_delay=extra_delay)
+            # A hedge steers away from the replica serving the primary
+            # attempt, so replica-local trouble cannot slow both copies.
+            server_id = self._topology.submit_attempt(
+                request,
+                extra_delay=extra_delay,
+                avoid=call.last_server if kind == "hedge" else None,
+            )
+            if kind != "hedge":
+                call.last_server = server_id
             if duplicate:
                 dup = Request(
                     payload=None,
@@ -270,7 +386,8 @@ class _SimClient:
                     discard=True,
                 )
                 dup.sent_at = now
-                self._server.submit_request(dup, extra_delay=extra_delay)
+                dup.server_id = server_id
+                self._topology.submit_attempt(dup, extra_delay=extra_delay)
         if kind != "hedge" and self._attempt_timeout is not None:
             self._engine.after(
                 self._attempt_timeout, self._on_attempt_timeout, call,
@@ -364,21 +481,35 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     )
     engine = Engine()
     collector = StatsCollector(warmup_requests=config.warmup_requests)
-    rng = random.Random(config.seed ^ 0x5EED)
     injector = (
         FaultInjector(config.faults, seed=config.seed)
         if config.faults is not None and not config.faults.is_noop
         else None
     )
-    server = SimulatedServer(
-        engine,
-        service_model,
-        network,
-        config.n_threads,
-        collector,
-        rng,
-        injector=injector,
-        queue_capacity=config.queue_capacity,
+    servers: List[SimulatedServer] = []
+    for server_id in range(config.n_servers):
+        # Server 0 keeps the pre-topology stream seed so n_servers=1
+        # reproduces the original single-server simulator bit-for-bit;
+        # replicas draw from independently seeded streams.
+        rng = random.Random((config.seed ^ 0x5EED) + 1_000_003 * server_id)
+        scoped = (
+            injector.for_server(server_id) if injector is not None else None
+        )
+        servers.append(
+            SimulatedServer(
+                engine,
+                service_model,
+                network,
+                config.n_threads,
+                collector,
+                rng,
+                injector=scoped,
+                queue_capacity=config.queue_capacity,
+                server_id=server_id,
+            )
+        )
+    topology = _Topology(
+        servers, make_balancer(config.balancer, seed=config.seed)
     )
     if injector is not None:
         injector.start_run(0.0)
@@ -393,14 +524,39 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     client: Optional[_SimClient] = None
     if injector is not None or config.resilience.enabled:
         client = _SimClient(
-            engine, server, config.resilience, collector, injector,
+            engine, topology, config.resilience, collector, injector,
             seed=config.seed,
         )
         for generated_at in schedule:
             engine.at(generated_at, client.begin, generated_at)
-    else:
+    elif config.n_servers == 1:
+        # Original direct path: no routing events on the heap, so the
+        # single-server event stream is byte-identical to before.
         for generated_at in schedule:
-            server.submit(generated_at)
+            servers[0].submit(generated_at)
+        topology.routed[0] = len(schedule)
+    else:
+
+        def record(request: Request) -> None:
+            if (
+                request.error is None
+                and not request.shed
+                and not request.discard
+            ):
+                collector.add(request.finish())
+
+        topology.set_response_callback(record)
+
+        def begin(generated_at: float) -> None:
+            request = Request(payload=None, generated_at=generated_at)
+            request.sent_at = generated_at
+            topology.submit_attempt(request)
+
+        # The routing decision runs *at* the arrival instant, when the
+        # depth vector reflects the simulated present — not at schedule
+        # build time, when every queue is empty.
+        for generated_at in schedule:
+            engine.at(generated_at, begin, generated_at)
     engine.run()
     if client is not None:
         client.finalize()
@@ -411,18 +567,22 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         outcomes["offered"] = config.total_requests
         outcomes["attempts"] = config.total_requests
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
-        outcomes["shed"] = server.shed_count
+        outcomes["shed"] = sum(server.shed_count for server in servers)
     goodput = outcomes.get("succeeded", 0) / elapsed if elapsed > 0 else 0.0
+    total_busy = sum(server.busy_time for server in servers)
+    capacity = elapsed * config.n_threads * config.n_servers
     return SimResult(
         profile_name=profile.name,
         config=config,
         stats=stats,
         offered_qps=config.qps,
-        utilization=server.utilization(elapsed) if elapsed > 0 else 0.0,
+        utilization=total_busy / capacity if elapsed > 0 else 0.0,
         virtual_time=elapsed,
         outcomes=outcomes,
         goodput_qps=goodput,
         fault_counts=injector.counts() if injector is not None else {},
+        alive_workers=tuple(server.workers_alive for server in servers),
+        routed_counts=tuple(topology.routed),
     )
 
 

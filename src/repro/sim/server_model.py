@@ -58,6 +58,9 @@ class SimulatedServer:
         Optional hook receiving every response (including shed and
         errored ones) in place of default collector recording — the
         simulated resilient client installs itself here.
+    server_id:
+        Index of this instance in a multi-server topology; stamped on
+        every request it serves so per-server statistics work.
     """
 
     def __init__(
@@ -71,6 +74,7 @@ class SimulatedServer:
         injector=None,
         queue_capacity: Optional[int] = None,
         on_response: Optional[Callable[[Request], None]] = None,
+        server_id: int = 0,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -85,6 +89,7 @@ class SimulatedServer:
         self._injector = injector
         self._capacity = queue_capacity
         self._on_response_cb = on_response
+        self.server_id = server_id
         self._queue: collections.deque = collections.deque()
         self._busy_workers = 0
         self._workers_alive = n_threads
@@ -117,6 +122,8 @@ class SimulatedServer:
         ``extra_delay`` models fault-injected in-flight latency on top
         of the configuration's wire delay.
         """
+        if request.server_id is None:
+            request.server_id = self.server_id
         self._engine.at(
             request.sent_at
             + self._network.wire_latency_each_way
@@ -211,6 +218,11 @@ class SimulatedServer:
     @property
     def workers_alive(self) -> int:
         return self._workers_alive
+
+    @property
+    def depth(self) -> int:
+        """Queued plus in-service requests — the JSQ/P2C load signal."""
+        return len(self._queue) + self._busy_workers
 
     def utilization(self, elapsed: float) -> float:
         """Mean fraction of workers busy over ``elapsed`` virtual seconds."""

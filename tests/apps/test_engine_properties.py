@@ -6,12 +6,11 @@ within and across transactions — and shore must additionally recover
 exactly the committed state from its log.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.apps.shore import ShoreEngine
-from repro.apps.silo import Database, TransactionAborted
+from repro.apps.silo import Database
 
 # An operation: (kind, key, value) applied inside its own transaction.
 _ops = st.lists(

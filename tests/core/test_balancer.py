@@ -1,0 +1,160 @@
+"""Tests for the pluggable load-balancing policies."""
+
+import random
+
+import pytest
+
+from repro.core.balancer import (
+    BALANCERS,
+    JoinShortestQueueBalancer,
+    LoadBalancer,
+    PowerOfTwoBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    balancer_names,
+    make_balancer,
+)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(BALANCERS) == {"round_robin", "random", "power_of_two", "jsq"}
+        assert balancer_names() == sorted(BALANCERS)
+
+    def test_make_balancer_builds_each_policy(self):
+        for name, policy in BALANCERS.items():
+            built = make_balancer(name, seed=3)
+            assert isinstance(built, policy)
+            assert built.name == name
+
+    def test_make_balancer_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown balancer"):
+            make_balancer("least-loaded")
+
+    def test_base_pick_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            LoadBalancer().pick([0])
+
+
+class TestRoundRobin:
+    def test_deterministic_cycle(self):
+        balancer = RoundRobinBalancer()
+        depths = [0, 0, 0, 0]
+        picks = [balancer.pick(depths) for _ in range(10)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_ignores_depths(self):
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([99, 0, 0]) == 0
+        assert balancer.pick([99, 0, 0]) == 1
+
+    def test_avoid_skips_to_next(self):
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([0, 0, 0], avoid=0) == 1
+        # The skipped slot is consumed: the cycle continues from there.
+        assert balancer.pick([0, 0, 0]) == 2
+
+    def test_avoid_ignored_for_single_server(self):
+        balancer = RoundRobinBalancer()
+        assert balancer.pick([5], avoid=0) == 0
+
+    def test_empty_depths_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBalancer().pick([])
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        depths = [0] * 8
+        one = RandomBalancer(seed=7)
+        two = RandomBalancer(seed=7)
+        assert [one.pick(depths) for _ in range(50)] == [
+            two.pick(depths) for _ in range(50)
+        ]
+
+    def test_covers_all_servers(self):
+        balancer = RandomBalancer(seed=1)
+        picks = {balancer.pick([0, 0, 0, 0]) for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_avoid_never_picked(self):
+        balancer = RandomBalancer(seed=2)
+        assert all(
+            balancer.pick([0, 0, 0], avoid=1) != 1 for _ in range(100)
+        )
+
+
+class TestPowerOfTwo:
+    def test_never_picks_longer_of_sampled_pair(self):
+        """P2C must always join the shorter of its two sampled queues."""
+        balancer = PowerOfTwoBalancer(seed=0)
+
+        class _ScriptedRng:
+            """Stands in for the policy RNG: yields a scripted pair."""
+
+            def __init__(self):
+                self.pair = (0, 1)
+
+            def sample(self, candidates, k):
+                assert k == 2
+                assert self.pair[0] in candidates and self.pair[1] in candidates
+                return list(self.pair)
+
+        scripted = _ScriptedRng()
+        balancer._rng = scripted
+        depths = [4, 1, 9, 0]
+        for first in range(4):
+            for second in range(4):
+                if first == second:
+                    continue
+                scripted.pair = (first, second)
+                choice = balancer.pick(depths)
+                assert choice in (first, second)
+                assert depths[choice] <= min(depths[first], depths[second])
+
+    def test_tie_goes_to_first_sampled(self):
+        balancer = PowerOfTwoBalancer(seed=0)
+
+        class _ScriptedRng:
+            def sample(self, candidates, k):
+                return [2, 1]
+
+        balancer._rng = _ScriptedRng()
+        assert balancer.pick([0, 3, 3]) == 2
+
+    def test_statistically_beats_long_queue(self):
+        balancer = PowerOfTwoBalancer(seed=5)
+        depths = [50, 0, 0, 0]
+        picks = [balancer.pick(depths) for _ in range(300)]
+        # Server 0 only wins when never sampled against an empty queue,
+        # which cannot happen with two distinct samples here.
+        assert picks.count(0) == 0
+
+    def test_avoid_with_two_servers_forces_the_other(self):
+        balancer = PowerOfTwoBalancer(seed=0)
+        assert all(
+            balancer.pick([0, 0], avoid=0) == 1 for _ in range(20)
+        )
+
+
+class TestJoinShortestQueue:
+    def test_picks_global_minimum(self):
+        balancer = JoinShortestQueueBalancer()
+        assert balancer.pick([3, 1, 2]) == 1
+        assert balancer.pick([9, 9, 0, 9]) == 2
+
+    def test_forced_imbalance(self):
+        """Under persistent imbalance JSQ always drains the short queue."""
+        rng = random.Random(0)
+        balancer = JoinShortestQueueBalancer()
+        for _ in range(100):
+            depths = [rng.randrange(2, 30) for _ in range(6)]
+            short = rng.randrange(6)
+            depths[short] = 0
+            assert balancer.pick(depths) == short
+
+    def test_tie_breaks_to_lowest_index(self):
+        assert JoinShortestQueueBalancer().pick([2, 1, 1, 1]) == 1
+
+    def test_avoid_excludes_minimum(self):
+        assert JoinShortestQueueBalancer().pick([0, 1, 2], avoid=0) == 1

@@ -233,15 +233,17 @@ class FakeTransport:
         self.hook = hook
 
     def send(self, generated_at, payload, *, logical_id=None, attempt=0,
-             deadline=None):
+             deadline=None, avoid_server=None):
         request = Request(
             payload=payload, generated_at=generated_at,
             logical_id=logical_id, attempt=attempt, deadline=deadline,
         )
         request.sent_at = self._clock.now()
+        request.server_id = 0
         with self._cv:
             self.sent.append(request)
             self._cv.notify_all()
+        return 0
 
     def wait_for_sends(self, n, timeout=5.0):
         with self._cv:

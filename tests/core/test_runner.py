@@ -1,7 +1,5 @@
 """Tests for the repeated-run campaign controller."""
 
-import pytest
-
 from repro.core import CampaignResult, HarnessConfig, run_campaign
 from repro.sim import SimConfig, paper_profile, simulate_load
 

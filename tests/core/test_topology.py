@@ -1,0 +1,119 @@
+"""End-to-end tests of the multi-client / multi-server topology."""
+
+import pytest
+
+from repro.core import HarnessConfig, ResilienceConfig, run_harness
+from repro.faults import FaultPlan
+
+from .test_harness import ConstantApp
+
+
+def _run(**overrides):
+    params = dict(qps=2000, warmup_requests=10, measure_requests=120)
+    params.update(overrides)
+    return run_harness(ConstantApp(), HarnessConfig(**params))
+
+
+class TestMultiServer:
+    @pytest.mark.parametrize(
+        "configuration", ["integrated", "loopback", "networked"]
+    )
+    def test_four_servers_in_every_configuration(self, configuration):
+        result = _run(configuration=configuration, n_servers=4)
+        assert result.stats.count == 120
+        assert len(result.routed_counts) == 4
+        assert sum(result.routed_counts) == 130  # warmup + measured
+        assert result.alive_workers == (1, 1, 1, 1)
+
+    def test_round_robin_splits_exactly(self):
+        result = _run(n_servers=4, balancer="round_robin", measure_requests=110)
+        assert result.routed_counts == (30, 30, 30, 30)
+
+    @pytest.mark.parametrize("balancer", ["random", "power_of_two", "jsq"])
+    def test_depth_aware_policies_complete_all_requests(self, balancer):
+        result = _run(n_servers=4, balancer=balancer)
+        assert result.stats.count == 120
+        assert sum(result.routed_counts) == 130
+
+    def test_per_server_stats_partition_aggregate(self):
+        result = _run(n_servers=4)
+        counts = [
+            result.stats.server_count(server_id)
+            for server_id in result.stats.server_ids
+        ]
+        assert sum(counts) == result.stats.count
+        # The union of per-server sojourn samples is the aggregate.
+        merged = sorted(
+            sample
+            for server_id in result.stats.server_ids
+            for sample in result.stats.server_samples(server_id, "sojourn")
+        )
+        assert merged == sorted(result.stats.samples("sojourn"))
+        # And each per-server summary reflects only its own samples.
+        for server_id, summary in result.per_server().items():
+            assert summary.count == result.stats.server_count(server_id)
+
+    def test_single_server_keeps_original_shape(self):
+        result = _run(n_servers=1)
+        assert result.routed_counts == (130,)
+        assert result.alive_workers == (1,)
+        assert result.stats.server_ids == [0]
+        assert result.stats.count == 120
+
+    def test_multiple_clients_preserve_request_count(self):
+        result = _run(n_clients=3, n_servers=2)
+        assert result.stats.count == 120
+        assert sum(result.routed_counts) == 130
+
+    def test_describe_mentions_topology(self):
+        result = _run(n_servers=2)
+        text = result.describe()
+        assert "topology: 2 servers" in text
+        assert "balancer=round_robin" in text
+
+
+class TestTopologyFaults:
+    def test_crash_fault_decrements_alive_workers(self):
+        plan = FaultPlan(worker_crash_rate=1.0)
+        result = _run(
+            n_servers=2,
+            n_threads=2,
+            measure_requests=40,
+            resilience=ResilienceConfig(deadline=2.0),
+            faults=plan,
+        )
+        # Every completion crashes its worker until none remain.
+        assert sum(result.alive_workers) < 4
+
+    def test_faults_scoped_to_one_server(self):
+        plan = FaultPlan(worker_crash_rate=1.0, server_ids=(1,))
+        result = _run(
+            n_servers=2,
+            n_threads=2,
+            measure_requests=40,
+            resilience=ResilienceConfig(deadline=2.0),
+            faults=plan,
+        )
+        # Server 0 is outside the plan's scope: untouched capacity.
+        assert result.alive_workers[0] == 2
+        assert result.alive_workers[1] < 2
+
+    def test_hedging_works_across_replicas(self):
+        result = _run(
+            n_servers=2,
+            measure_requests=60,
+            resilience=ResilienceConfig(
+                deadline=2.0, hedge_after=0.001, max_hedges=1
+            ),
+        )
+        assert result.outcomes.get("succeeded", 0) == 70
+
+
+class TestConfigValidation:
+    def test_rejects_bad_topology(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            HarnessConfig(n_clients=0)
+        with pytest.raises(ValueError, match="balancer"):
+            HarnessConfig(balancer="sticky")

@@ -225,7 +225,11 @@ class TestExtensions:
     def test_extension_registry_disjoint_from_paper(self):
         from repro.experiments.cli import EXPERIMENTS, EXTENSIONS
 
-        assert set(EXTENSIONS) == {"ext-colocation", "ext-energy"}
+        assert set(EXTENSIONS) == {
+            "ext-colocation",
+            "ext-energy",
+            "fig-topology",
+        }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 
     def test_ext_colocation_runs(self):

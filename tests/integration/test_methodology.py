@@ -19,7 +19,7 @@ from repro.sim import (
 )
 from repro.core import StatsCollector
 from repro.sim.network_model import NETWORK_MODELS
-from repro.stats import Deterministic, Exponential, LatencySummary
+from repro.stats import Deterministic, Exponential
 
 
 def closed_loop_latencies(service_mean, n_requests, think_time=0.0):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import ArrivalSchedule, BurstyArrivals, PoissonArrivals
 from repro.sim import (
-    AppProfile,
     SimConfig,
     compare_dispatch,
     paper_profile,
@@ -68,12 +67,10 @@ class TestBurstyArrivals:
     def test_bursty_load_inflates_tails_at_equal_rate(self):
         # The methodology point: same offered QPS, far worse tails.
         service = Exponential.from_mean(1e-3)
-        profile = AppProfile(name="b", service=service)
         qps = 600.0
 
         def run(process):
             # Reuse the simulator's machinery with a custom schedule.
-            import repro.sim.latency_sim as ls
             from repro.core.collector import StatsCollector
             from repro.sim import Engine, SimulatedServer, ServiceTimeModel
             from repro.sim.network_model import NETWORK_MODELS

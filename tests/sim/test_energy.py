@@ -11,7 +11,7 @@ from repro.energy import (
     StaticFrequency,
     simulate_energy,
 )
-from repro.stats import Deterministic, Exponential
+from repro.stats import Exponential
 
 
 class TestPowerModel:

@@ -38,7 +38,7 @@ class TestEventQueue:
 
     def test_len_ignores_cancelled(self):
         queue = EventQueue()
-        keep = queue.push(1.0, lambda: None)
+        queue.push(1.0, lambda: None)
         drop = queue.push(2.0, lambda: None)
         drop.cancelled = True
         assert len(queue) == 1

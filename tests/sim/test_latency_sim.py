@@ -1,7 +1,5 @@
 """Tests for top-level virtual-time load testing."""
 
-import math
-
 import pytest
 
 from repro.queueing import mean_sojourn

@@ -77,7 +77,6 @@ class TestRecording:
 class TestAccuracy:
     def test_one_percent_relative_error(self):
         # The paper's claim: recorded value within 1% of actual.
-        hist = HdrHistogram()
         values = [1.234e-6, 5.67e-4, 3.21e-2, 9.99e2, 1.0, 42.0]
         for v in values:
             h = HdrHistogram()
