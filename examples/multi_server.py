@@ -9,10 +9,15 @@ sojourn plus the per-replica routing split. Two effects to look for:
 - at any replica count, depth-aware policies (power-of-two, JSQ) beat
   blind ones (round-robin, random), and the gap lives in the tail.
 
+The final section repeats one 4-replica run with tracing enabled,
+writes the request-lifecycle trace as JSON Lines, and recomputes the
+per-replica queue/service decomposition purely from the trace — the
+same numbers the collector reports, rebuilt from raw events.
+
 Run:  python examples/multi_server.py
 """
 
-from repro.core import balancer_names
+from repro.core import ObservabilityConfig, balancer_names
 from repro.sim import SimConfig, simulate_app
 from repro.stats import format_latency
 
@@ -48,6 +53,43 @@ def main() -> None:
                 f"routed={list(result.routed_counts)}"
             )
         print()
+
+    traced_run()
+
+
+def traced_run() -> None:
+    """One traced 4-replica run: export JSONL, decompose per replica."""
+    n_servers = 4
+    qps = LOAD_PER_REPLICA * CAPACITY_PER_REPLICA * n_servers
+    result = simulate_app(
+        "xapian",
+        SimConfig(
+            qps=qps,
+            n_threads=1,
+            n_servers=n_servers,
+            balancer="jsq",
+            warmup_requests=500,
+            measure_requests=8000,
+            seed=1,
+            observability=ObservabilityConfig(tracing=True),
+        ),
+    )
+    obs = result.obs
+    path = "multi_server_trace.jsonl"
+    lines = obs.export_trace_jsonl(path)
+    print(f"== traced run: {n_servers} replicas, jsq, {qps:.0f} qps ==")
+    print(f"wrote {lines} events to {path} (ring dropped {obs.dropped})")
+    print("per-replica decomposition recomputed from the trace:")
+    collector_view = result.per_server("queue")
+    for server_id, summary in obs.per_server().items():
+        print(
+            f"  server[{server_id}] n={int(summary['count'])} "
+            f"queue={format_latency(summary['queue'])} "
+            f"service={format_latency(summary['service'])} "
+            f"sojourn={format_latency(summary['sojourn'])} "
+            f"(collector mean queue="
+            f"{format_latency(collector_view[server_id].mean)})"
+        )
 
 
 if __name__ == "__main__":

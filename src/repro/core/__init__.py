@@ -19,7 +19,14 @@ from .balancer import (
 )
 from .clock import Clock, VirtualClock, WallClock
 from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
-from .config import NO_RESILIENCE, PAPER_SYSTEM, HarnessConfig, SystemConfig
+from .config import (
+    NO_OBSERVABILITY,
+    NO_RESILIENCE,
+    PAPER_SYSTEM,
+    HarnessConfig,
+    ObservabilityConfig,
+    SystemConfig,
+)
 from .harness import HarnessResult, run_harness
 from .queueing import QueueClosed, RequestQueue
 from .request import Request, RequestRecord
@@ -57,9 +64,11 @@ __all__ = [
     "CollectedStats",
     "StatsCollector",
     "OUTCOME_KEYS",
+    "NO_OBSERVABILITY",
     "NO_RESILIENCE",
     "PAPER_SYSTEM",
     "HarnessConfig",
+    "ObservabilityConfig",
     "SystemConfig",
     "ResilienceConfig",
     "ResilientClient",

@@ -52,17 +52,52 @@ OUTCOME_KEYS = (
 
 
 class TimelinePoint:
-    """One time window of a percentile-over-time series."""
+    """One point of a time series: a window percentile or a metric sample.
 
-    __slots__ = ("time", "count", "value")
+    ``metric`` names the series the point belongs to (a latency metric
+    such as ``sojourn``, or a registry metric full name such as
+    ``tb_queue_depth{server="0"}``) and ``pct`` the percentile it
+    represents (``None`` for instantaneous metric samples) — without
+    them, points from different series exported together are
+    indistinguishable.
+    """
 
-    def __init__(self, time: float, count: int, value: float) -> None:
+    __slots__ = ("time", "count", "value", "metric", "pct")
+
+    def __init__(
+        self,
+        time: float,
+        count: int,
+        value: float,
+        metric: str = "",
+        pct: Optional[float] = None,
+    ) -> None:
         self.time = time
         self.count = count
         self.value = value
+        self.metric = metric
+        self.pct = pct
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSONL-ready mapping (the series exporter's line format)."""
+        out: Dict[str, object] = {
+            "time": self.time,
+            "count": self.count,
+            "value": self.value,
+            "metric": self.metric,
+        }
+        if self.pct is not None:
+            out["pct"] = self.pct
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"TimelinePoint(t={self.time:.4f}, n={self.count}, v={self.value:.6f})"
+        label = self.metric or "?"
+        if self.pct is not None:
+            label += f"@p{self.pct:g}"
+        return (
+            f"TimelinePoint({label}, t={self.time:.4f}, "
+            f"n={self.count}, v={self.value:.6f})"
+        )
 
 
 class CollectedStats:
@@ -254,7 +289,10 @@ class CollectedStats:
                 continue
             mid = start + (i + 0.5) * span / n_windows
             points.append(
-                TimelinePoint(mid, len(bucket), _percentile(bucket, pct))
+                TimelinePoint(
+                    mid, len(bucket), _percentile(bucket, pct),
+                    metric=metric, pct=pct,
+                )
             )
         return points
 

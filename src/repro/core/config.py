@@ -10,13 +10,54 @@ from ..faults import FaultPlan
 from .balancer import BALANCERS
 from .resilience import ResilienceConfig
 
-__all__ = ["HarnessConfig", "SystemConfig", "PAPER_SYSTEM", "NO_RESILIENCE"]
+__all__ = [
+    "HarnessConfig",
+    "ObservabilityConfig",
+    "SystemConfig",
+    "PAPER_SYSTEM",
+    "NO_OBSERVABILITY",
+    "NO_RESILIENCE",
+]
 
 _CONFIG_NAMES = ("integrated", "loopback", "networked")
 
 #: Default client policy: no deadlines, retries, or hedging — the
 #: paper's original wait-forever harness behavior.
 NO_RESILIENCE = ResilienceConfig()
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing/metrics policy for one run (see :mod:`repro.obs`).
+
+    Attributes
+    ----------
+    tracing:
+        Master switch. Off (the default) constructs nothing: no
+        tracer, no registry, no sampler thread — the instrumented hot
+        paths see ``None`` hooks, keeping measurement overhead within
+        noise of the uninstrumented harness.
+    trace_capacity:
+        Ring-buffer bound in events. Overflow evicts the oldest events
+        and is reported (``obs.dropped``), never silent.
+    metrics_interval:
+        Sampling cadence (seconds — wall-clock live, virtual-time in
+        the simulator) for the metrics time series.
+    """
+
+    tracing: bool = False
+    trace_capacity: int = 262_144
+    metrics_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
+
+
+#: Default: observability entirely off (the hot paths stay bare).
+NO_OBSERVABILITY = ObservabilityConfig()
 
 
 @dataclass(frozen=True)
@@ -65,6 +106,9 @@ class HarnessConfig:
     balancer:
         Routing policy name (see :mod:`repro.core.balancer`):
         ``round_robin`` / ``random`` / ``power_of_two`` / ``jsq``.
+    observability:
+        Tracing/metrics policy (see :class:`ObservabilityConfig`);
+        fully disabled by default.
     """
 
     configuration: str = "integrated"
@@ -81,6 +125,7 @@ class HarnessConfig:
     n_servers: int = 1
     n_clients: int = 1
     balancer: str = "round_robin"
+    observability: ObservabilityConfig = NO_OBSERVABILITY
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:

@@ -59,6 +59,10 @@ class HarnessResult:
     #: (lifetime assignments, including warmup and failed attempts).
     routed_counts: Tuple[int, ...] = ()
 
+    #: Observability artifacts (trace events, metric series, snapshot);
+    #: None unless ``config.observability.tracing`` was enabled.
+    obs: Optional[object] = None
+
     @property
     def sojourn(self) -> LatencySummary:
         return self.stats.summary("sojourn")
@@ -186,10 +190,26 @@ def run_harness(
         n_servers=config.n_servers,
         balancer=make_balancer(config.balancer, seed=config.seed),
     )
+    tracer = registry = sampler = None
+    if config.observability.tracing:
+        # Imported lazily: the default (tracing-off) path never touches
+        # the obs package at all.
+        from ..obs import MetricsRegistry, MetricsSampler, Tracer
+
+        tracer = Tracer(capacity=config.observability.trace_capacity)
+        registry = MetricsRegistry()
+        transport.set_observability(tracer, registry)
+        if injector is not None:
+            injector.register_metrics(registry)
+        sampler = MetricsSampler(
+            registry, clock, interval=config.observability.metrics_interval
+        )
+        sampler.start()
     resilient: Optional[ResilientClient] = None
     if config.resilience.enabled:
         resilient = ResilientClient(
-            transport, clock, config.resilience, collector, seed=config.seed
+            transport, clock, config.resilience, collector, seed=config.seed,
+            tracer=tracer,
         )
     if injector is not None:
         injector.start_run(clock.now())
@@ -207,10 +227,23 @@ def run_harness(
         routed_counts = tuple(
             instance.routed for instance in transport.instances
         )
+        if sampler is not None:
+            sampler.stop()
         if resilient is not None:
             resilient.close()
         transport.stop()
 
+    obs = None
+    if tracer is not None:
+        from ..obs import ObsResult, prometheus_text
+
+        obs = ObsResult(
+            events=tracer.events(),
+            dropped=tracer.dropped,
+            series=sampler.series,
+            snapshot=registry.snapshot(),
+            prom=prometheus_text(registry),
+        )
     stats = collector.snapshot()
     outcomes = collector.outcome_counts()
     if not collector.outcomes_used:
@@ -242,6 +275,7 @@ def run_harness(
         fault_counts=injector.counts() if injector is not None else {},
         alive_workers=alive_workers,
         routed_counts=routed_counts,
+        obs=obs,
     )
 
 

@@ -59,8 +59,16 @@ class Request:
     #: single-server harness shape).
     server_id: Optional[int] = None
 
-    def finish(self) -> "RequestRecord":
-        """Freeze into an immutable record; validates the chain."""
+    def finish(self, partial: bool = False) -> "RequestRecord":
+        """Freeze into an immutable record; validates the chain.
+
+        By default every stamp must be present and monotone — a
+        measured completion with a hole in its chain is a harness bug.
+        With ``partial=True``, missing stamps are tolerated (only
+        monotonicity among the stamped ones is enforced): shed and
+        discarded attempts never reach service, yet their truncated
+        chains still need to be representable in traces.
+        """
         chain = [
             ("generated_at", self.generated_at),
             ("sent_at", self.sent_at),
@@ -72,6 +80,8 @@ class Request:
         prev_name, prev_val = chain[0]
         for name, val in chain[1:]:
             if val is None:
+                if partial:
+                    continue
                 raise ValueError(f"request {self.request_id}: {name} not stamped")
             if val < prev_val - 1e-9:
                 raise ValueError(
@@ -88,21 +98,46 @@ class Request:
             service_end_at=self.service_end_at,
             response_received_at=self.response_received_at,
             server_id=self.server_id if self.server_id is not None else 0,
+            logical_id=self.logical_id,
+            attempt=self.attempt,
+            shed=self.shed,
         )
 
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Immutable timing record of one completed request."""
+    """Immutable timing record of one completed (or rejected) request.
+
+    Records built by ``finish()`` (the strict path) always carry the
+    full chain; those built by ``finish(partial=True)`` may have
+    ``None`` holes — e.g. a shed attempt never reaches service — and
+    answer :attr:`complete` False. The derived-time properties assume
+    a complete chain; callers holding partial records (the tracing
+    layer) must check :attr:`complete` first.
+    """
 
     request_id: int
     generated_at: float
-    sent_at: float
-    enqueued_at: float
-    service_start_at: float
-    service_end_at: float
-    response_received_at: float
+    sent_at: Optional[float]
+    enqueued_at: Optional[float]
+    service_start_at: Optional[float]
+    service_end_at: Optional[float]
+    response_received_at: Optional[float]
     server_id: int = 0
+    logical_id: Optional[int] = None
+    attempt: int = 0
+    shed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when every stamp of the chain is present."""
+        return None not in (
+            self.sent_at,
+            self.enqueued_at,
+            self.service_start_at,
+            self.service_end_at,
+            self.response_received_at,
+        )
 
     @property
     def service_time(self) -> float:

@@ -227,11 +227,13 @@ class ResilientClient:
         config: ResilienceConfig,
         collector,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self._transport = transport
         self._clock = clock
         self._config = config
         self._collector = collector
+        self._tracer = tracer
         self._rng = random.Random(seed ^ 0x8E511)
         self._attempt_timeout = effective_attempt_timeout(config)
         self._lock = threading.Lock()
@@ -290,6 +292,11 @@ class ResilientClient:
             self._collector.note("retries")
         elif kind == "hedge":
             self._collector.note("hedges")
+        if self._tracer is not None and kind != "first":
+            self._tracer.emit(
+                kind, self._clock.now(), logical_id=call.logical_id,
+                attempt=attempt_no,
+            )
         server_id = self._transport.send(
             call.generated_at,
             call.payload,
@@ -320,6 +327,12 @@ class ResilientClient:
             call = self._calls.get(request.logical_id)
         if call is None or call.resolved:
             self._collector.note("late")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "late", now, logical_id=request.logical_id,
+                    request_id=request.request_id, attempt=request.attempt,
+                    server_id=request.server_id,
+                )
             return True
         if request.shed:
             self._collector.note("shed")

@@ -78,10 +78,24 @@ class Server:
         self._errors_lock = threading.Lock()
         self._alive = n_threads
         self._alive_lock = threading.Lock()
+        # Monitoring only: plain int updates (GIL-atomic enough for a
+        # sampled gauge), and a tracer installed only when observability
+        # is on — see Transport.set_observability.
+        self._busy = 0
+        self._tracer = None
 
     @property
     def n_threads(self) -> int:
         return len(self._threads)
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently inside the application service window."""
+        return self._busy
+
+    def set_tracer(self, tracer) -> None:
+        """Install a tracer for worker-layer fault events."""
+        self._tracer = tracer
 
     @property
     def alive_workers(self) -> int:
@@ -108,13 +122,30 @@ class Server:
             except QueueClosed:
                 return
             request.service_start_at = self._clock.now()
+            self._busy += 1
             if injector is not None:
                 pause = injector.worker_pause()
                 if pause > 0.0:
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "fault_pause", request.service_start_at,
+                            logical_id=request.logical_id,
+                            request_id=request.request_id,
+                            attempt=request.attempt,
+                            server_id=self.server_id, value=pause,
+                        )
                     # GC/compaction-style stall inside the service window.
                     self._clock.sleep(pause)
             try:
                 if injector is not None and injector.app_error():
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "fault_app_error", self._clock.now(),
+                            logical_id=request.logical_id,
+                            request_id=request.request_id,
+                            attempt=request.attempt,
+                            server_id=self.server_id,
+                        )
                     raise InjectedFault("injected application error")
                 request.response = self._app.process(request.payload)
             except Exception:  # noqa: BLE001 - report, don't kill the worker
@@ -122,11 +153,17 @@ class Server:
                 with self._errors_lock:
                     self._errors.append(request.error)
             request.service_end_at = self._clock.now()
+            self._busy -= 1
             self._respond(request)
             if injector is not None and injector.worker_crash():
                 # Injected crash: the pool permanently loses a worker.
                 with self._alive_lock:
                     self._alive -= 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_crash", self._clock.now(),
+                        server_id=self.server_id,
+                    )
                 return
 
     def shutdown(self, timeout: float = 30.0) -> None:

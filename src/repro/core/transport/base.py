@@ -120,6 +120,10 @@ class Transport:
         self._running = False
         self._fault_timers: List[threading.Timer] = []
         self.stats = TransportStats()
+        # Observability hooks: None unless the run enables tracing, so
+        # the hot-path cost of the default configuration is one test.
+        self._tracer = None
+        self._send_delay_hist = None
 
     # -- lifecycle -----------------------------------------------------
     def start(
@@ -189,6 +193,67 @@ class Transport:
             self._on_response(request)
 
         return respond
+
+    def set_observability(self, tracer, registry) -> None:
+        """Install the run's tracer and register transport metrics.
+
+        Must be called after :meth:`start` (gauges observe the built
+        instances). Counters the transport already keeps become
+        callback gauges — zero added cost on the send path; the only
+        hot-path instrument is the send-delay histogram, the
+        load-generator-health signal of "Tell-Tale Tail Latencies".
+        """
+        self._tracer = tracer
+        if registry is None:
+            return
+        self._send_delay_hist = registry.histogram(
+            "tb_send_delay_seconds",
+            help="Client-side lag between ideal arrival and actual send",
+        )
+        stats = self.stats
+        registry.gauge(
+            "tb_inflight",
+            help="Requests sent and not yet completed",
+            fn=lambda: self._outstanding,
+        )
+        for name, attr in (
+            ("tb_sent_total", "sent"),
+            ("tb_completed_total", "completed"),
+            ("tb_errored_total", "errored"),
+            ("tb_dropped_total", "dropped"),
+            ("tb_shed_total", "shed"),
+        ):
+            registry.gauge(
+                name,
+                help=f"Transport lifetime {attr} count",
+                fn=(lambda a=attr: getattr(stats, a)),
+            )
+        for instance in self._instances:
+            instance.server.set_tracer(tracer)
+            registry.gauge(
+                "tb_queue_depth",
+                help="Waiting requests in the replica's request queue",
+                fn=(lambda q=instance.queue: len(q)),
+                server=str(instance.server_id),
+            )
+            registry.gauge(
+                "tb_outstanding",
+                help="Routed, not-yet-answered requests per replica",
+                fn=(lambda i=instance: i.outstanding),
+                server=str(instance.server_id),
+            )
+            registry.gauge(
+                "tb_busy_workers",
+                help="Workers inside the application service window",
+                fn=(lambda s=instance.server: s.busy_workers),
+                server=str(instance.server_id),
+            )
+            registry.gauge(
+                "tb_alive_workers",
+                help="Workers not lost to injected crashes",
+                fn=(lambda s=instance.server: s.alive_workers),
+                server=str(instance.server_id),
+            )
 
     def set_completion_hook(
         self, hook: Callable[[Request], bool]
@@ -260,6 +325,8 @@ class Transport:
                     f"{len(self._instances)}"
                 )
         request.server_id = server_id
+        if self._send_delay_hist is not None:
+            self._send_delay_hist.observe(request.sent_at - generated_at)
         action = (
             self._injector.transport_action()
             if self._injector is not None
@@ -269,6 +336,10 @@ class Transport:
             with self._lock:
                 self.stats.sent += 1
                 self.stats.dropped += 1
+            if self._tracer is not None:
+                # The server never sees this attempt; its truncated
+                # chain (generated/sent) is all the trace can show.
+                self._tracer.record_request(request, outcome="fault_drop")
             return server_id
         with self._all_done:
             self._outstanding += 1
@@ -277,6 +348,13 @@ class Transport:
             instance.outstanding += 1
             instance.routed += 1
         extra_delay = action.extra_delay if action is not None else 0.0
+        if self._tracer is not None and extra_delay > 0.0:
+            self._tracer.emit(
+                "fault_delay", request.sent_at,
+                logical_id=request.logical_id,
+                request_id=request.request_id, attempt=attempt,
+                server_id=server_id, value=extra_delay,
+            )
         if action is not None and action.duplicate:
             dup = Request(payload=payload, generated_at=generated_at)
             dup.sent_at = request.sent_at
@@ -284,6 +362,13 @@ class Transport:
             dup.attempt = attempt
             dup.discard = True
             dup.server_id = server_id
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault_duplicate", dup.sent_at,
+                    logical_id=dup.logical_id,
+                    request_id=dup.request_id, attempt=attempt,
+                    server_id=server_id,
+                )
             with self._all_done:
                 self._outstanding += 1
                 self._instances[server_id].outstanding += 1
@@ -357,6 +442,16 @@ class Transport:
     def _complete(self, request: Request) -> None:
         """Stamp receipt, record, and account the completion."""
         request.response_received_at = self._clock.now()
+        if self._tracer is not None:
+            if request.shed:
+                outcome = "shed"
+            elif request.error is not None:
+                outcome = "error"
+            elif request.discard:
+                outcome = "discard"
+            else:
+                outcome = None
+            self._tracer.record_request(request, outcome=outcome)
         handled = False
         if self._completion_hook is not None:
             handled = bool(self._completion_hook(request))

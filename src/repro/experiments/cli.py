@@ -82,9 +82,17 @@ def run_experiment(name: str, fast: bool = False, seed: int = 0) -> str:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        # ``tailbench trace <app> ...`` has its own option surface;
+        # delegate before the experiment parser rejects it.
+        from .trace_cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tailbench",
-        description="Regenerate TailBench (IISWC 2016) tables and figures.",
+        description="Regenerate TailBench (IISWC 2016) tables and figures"
+        " (or trace one workload: tailbench trace <app> --help).",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,144 @@
+"""``tailbench trace <app>`` — run one traced workload, print a dashboard.
+
+Runs a short load test with tracing enabled and prints the summary
+dashboard: event counts, the queueing-vs-service latency decomposition
+per sojourn-percentile band, per-replica decompositions when
+``--servers > 1``, and the final metrics snapshot. Optionally exports
+the raw artifacts::
+
+    tailbench trace masstree --duration 2 --jsonl trace.jsonl
+    tailbench trace xapian --qps 2000 --servers 4 --balancer jsq
+    tailbench trace silo --live --duration 1
+
+By default the run executes in virtual time against the app's
+calibrated profile (fast and deterministic); ``--live`` drives the
+real harness instead, for any registered application.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.config import HarnessConfig, ObservabilityConfig
+
+__all__ = ["main", "run_trace"]
+
+
+def run_trace(args: argparse.Namespace):
+    """Execute the traced run; returns the result (``.obs`` populated)."""
+    observability = ObservabilityConfig(
+        tracing=True, trace_capacity=args.capacity
+    )
+    measure = max(int(args.qps * args.duration), 1)
+    warmup = min(args.warmup, measure // 5)
+    if args.live:
+        from ..apps import create_app
+        from ..core.harness import run_harness
+
+        app = create_app(args.app)
+        app.setup()
+        config = HarnessConfig(
+            qps=args.qps,
+            n_threads=args.threads,
+            configuration=args.config,
+            warmup_requests=warmup,
+            measure_requests=measure,
+            seed=args.seed,
+            n_servers=args.servers,
+            balancer=args.balancer,
+            observability=observability,
+        )
+        return run_harness(app, config)
+    from ..sim.calibration import PAPER_PROFILES
+    from ..sim.latency_sim import SimConfig, simulate_app
+
+    if args.app not in PAPER_PROFILES:
+        raise SystemExit(
+            f"no calibrated profile for {args.app!r} "
+            f"(have: {sorted(PAPER_PROFILES)}); use --live to drive "
+            "the real application instead"
+        )
+    config = SimConfig(
+        qps=args.qps,
+        n_threads=args.threads,
+        configuration=args.config,
+        warmup_requests=warmup,
+        measure_requests=measure,
+        seed=args.seed,
+        n_servers=args.servers,
+        balancer=args.balancer,
+        observability=observability,
+    )
+    return simulate_app(args.app, config)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tailbench trace",
+        description="Run one traced workload and print its dashboard.",
+    )
+    parser.add_argument("app", help="application name (e.g. masstree)")
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="run length in seconds (measured requests = qps * duration)",
+    )
+    parser.add_argument("--qps", type=float, default=1000.0)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--servers", type=int, default=1)
+    parser.add_argument("--balancer", default="round_robin")
+    parser.add_argument(
+        "--config", default="integrated",
+        choices=("integrated", "loopback", "networked"),
+        help="harness configuration (network model in sim mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--warmup", type=int, default=500,
+        help="warmup requests to discard (capped at 20%% of measured)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=262_144,
+        help="trace ring-buffer capacity in events",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="drive the real application through the live harness "
+        "instead of the virtual-time simulator",
+    )
+    parser.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="write the trace events as JSON Lines to PATH",
+    )
+    parser.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="write the sampled metric time series as JSON Lines",
+    )
+    parser.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="write a Prometheus text-format metrics snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_trace(args)
+    obs = result.obs
+    if obs is None:  # pragma: no cover - tracing is forced on above
+        raise SystemExit("run produced no observability artifacts")
+
+    mode = "live" if args.live else "sim"
+    print(obs.dashboard(title=f"{args.app} [{mode}] qps={args.qps:g} "
+                        f"servers={args.servers}"))
+    if args.jsonl:
+        lines = obs.export_trace_jsonl(args.jsonl)
+        print(f"\nwrote {lines} trace events to {args.jsonl}")
+    if args.series:
+        lines = obs.export_series_jsonl(args.series)
+        print(f"wrote {lines} series points to {args.series}")
+    if args.prom:
+        obs.export_prometheus(args.prom)
+        print(f"wrote metrics snapshot to {args.prom}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,20 @@ class FaultInjector:
         with self._lock:
             return dict(self._counts)
 
+    def register_metrics(self, registry) -> None:
+        """Expose fired-fault tallies as callback gauges.
+
+        One ``tb_faults_total{kind=...}`` gauge per fault class, read
+        lazily at sample time — the injection hot paths are untouched.
+        """
+        for kind in self._counts:
+            registry.gauge(
+                "tb_faults_total",
+                help="Injected faults fired, by kind",
+                fn=(lambda k=kind: self._counts[k]),
+                kind=kind,
+            )
+
     # -- transport layer -----------------------------------------------
     def transport_action(self) -> TransportAction:
         plan = self.plan

@@ -1,0 +1,123 @@
+"""Observability: request-lifecycle tracing, live metrics, exporters.
+
+The harness and the discrete-event simulator emit the *same* event
+schema through the same :class:`Tracer`, so live and simulated runs
+produce directly diffable traces. Everything here is off by default
+(``ObservabilityConfig(tracing=False)``); when off, the hot paths pay
+one ``is None`` test and nothing is allocated.
+
+Entry points:
+
+- ``HarnessConfig(observability=ObservabilityConfig(tracing=True))``
+  then ``result.obs`` — live runs.
+- ``SimConfig(observability=...)`` then ``result.obs`` — virtual time.
+- ``tailbench trace <app>`` — run a workload and print the dashboard.
+- ``python -m repro.obs.validate trace.jsonl`` — schema-check a trace.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..core.collector import TimelinePoint
+from .dashboard import (
+    BandBreakdown,
+    breakdown_by_band,
+    per_server_decomposition,
+    render_dashboard,
+)
+from .exporters import (
+    TRACE_SCHEMA,
+    export_series_jsonl,
+    export_trace_jsonl,
+    prometheus_text,
+    validate_trace_file,
+    validate_trace_line,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSampler,
+)
+from .trace import (
+    EVENT_KINDS,
+    LIFECYCLE_EVENTS,
+    TraceEvent,
+    Tracer,
+    decompose_attempts,
+    group_attempts,
+)
+
+__all__ = [
+    "BandBreakdown",
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "LIFECYCLE_EVENTS",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "ObsResult",
+    "TRACE_SCHEMA",
+    "TimelinePoint",
+    "TraceEvent",
+    "Tracer",
+    "breakdown_by_band",
+    "decompose_attempts",
+    "export_series_jsonl",
+    "export_trace_jsonl",
+    "group_attempts",
+    "per_server_decomposition",
+    "prometheus_text",
+    "render_dashboard",
+    "validate_trace_file",
+    "validate_trace_line",
+]
+
+
+@dataclass(frozen=True)
+class ObsResult:
+    """One run's observability artifacts, attached to the run result.
+
+    Immutable snapshot taken after the run drains: the retained trace
+    events (plus how many the ring evicted), the sampled metric time
+    series, and a final scalar snapshot of every registered metric.
+    """
+
+    events: Tuple[TraceEvent, ...] = ()
+    dropped: int = 0
+    series: Dict[str, List[TimelinePoint]] = field(default_factory=dict)
+    snapshot: Dict[str, float] = field(default_factory=dict)
+    #: Full Prometheus text-format exposition of the final registry
+    #: state (keeps histogram buckets, which the scalar snapshot
+    #: flattens away).
+    prom: str = ""
+
+    def export_prometheus(self, path: str) -> None:
+        """Write the Prometheus text-format snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.prom)
+
+    def export_trace_jsonl(self, sink: Union[str, TextIO]) -> int:
+        """Write the trace as JSON Lines; returns lines written."""
+        return export_trace_jsonl(self.events, sink)
+
+    def export_series_jsonl(self, sink: Union[str, TextIO]) -> int:
+        """Write the sampled metric series as JSON Lines."""
+        return export_series_jsonl(self.series, sink)
+
+    def decompose(self) -> List[Dict[str, object]]:
+        """Per-attempt latency decompositions rebuilt from the events."""
+        return decompose_attempts(self.events)
+
+    def per_server(self) -> Dict[int, Dict[str, float]]:
+        """Mean queue/service/network per replica, from the trace."""
+        return per_server_decomposition(self.events)
+
+    def dashboard(self, title: str = "trace") -> str:
+        """Render the terminal dashboard for this run."""
+        return render_dashboard(
+            self.events, snapshot=self.snapshot, dropped=self.dropped,
+            title=title,
+        )

@@ -1,0 +1,190 @@
+"""Trace analysis and terminal dashboard for ``tailbench trace``.
+
+Answers the methodology's core question — *where does the tail come
+from?* — directly from a trace: per percentile band of sojourn time,
+how much of the latency was client-side send lag, wire transit,
+queueing, and actual service (Sec. V's decomposition, recomputed from
+events rather than from the collector's aggregates, so the two can be
+cross-checked against each other).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stats import format_latency
+from .trace import TraceEvent, decompose_attempts
+
+__all__ = [
+    "BandBreakdown",
+    "breakdown_by_band",
+    "per_server_decomposition",
+    "render_dashboard",
+]
+
+#: Default sojourn-percentile bands: body, shoulder, tail, extreme tail.
+DEFAULT_BANDS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 50.0),
+    (50.0, 90.0),
+    (90.0, 99.0),
+    (99.0, 100.0),
+)
+
+_COMPONENTS = ("send_delay", "network", "queue", "service")
+
+
+class BandBreakdown:
+    """Mean latency components over one sojourn-percentile band."""
+
+    __slots__ = ("lo", "hi", "count", "sojourn", "components")
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        count: int,
+        sojourn: float,
+        components: Dict[str, float],
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.count = count
+        self.sojourn = sojourn
+        self.components = components
+
+
+def _complete_rows(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
+    return [
+        row
+        for row in decompose_attempts(events)
+        if "sojourn" in row and all(c in row for c in _COMPONENTS)
+    ]
+
+
+def breakdown_by_band(
+    events: Sequence[TraceEvent],
+    bands: Sequence[Tuple[float, float]] = DEFAULT_BANDS,
+) -> List[BandBreakdown]:
+    """Queueing-vs-service decomposition per sojourn-percentile band.
+
+    Attempts are ranked by reconstructed sojourn time; each band
+    ``(lo, hi)`` covers that percentile slice and reports the mean of
+    every latency component inside it. Partial attempts (shed/dropped)
+    have no sojourn and are excluded — they are visible in the trace
+    as ``shed``/``fault_drop`` events instead.
+    """
+    rows = _complete_rows(events)
+    rows.sort(key=lambda r: r["sojourn"])
+    out: List[BandBreakdown] = []
+    n = len(rows)
+    for lo, hi in bands:
+        start = int(n * lo / 100.0)
+        end = max(int(n * hi / 100.0), start)
+        band_rows = rows[start:end]
+        if not band_rows:
+            out.append(BandBreakdown(lo, hi, 0, 0.0, dict.fromkeys(_COMPONENTS, 0.0)))
+            continue
+        k = len(band_rows)
+        components = {
+            c: sum(r[c] for r in band_rows) / k for c in _COMPONENTS
+        }
+        sojourn = sum(r["sojourn"] for r in band_rows) / k
+        out.append(BandBreakdown(lo, hi, k, sojourn, components))
+    return out
+
+
+def per_server_decomposition(
+    events: Sequence[TraceEvent],
+) -> Dict[int, Dict[str, float]]:
+    """Mean queue/service/network per replica, recomputed from events.
+
+    This is the cross-check the acceptance criteria ask for: the same
+    numbers the :class:`~repro.core.collector.StatsCollector` reports
+    per server, rebuilt purely from the trace stream.
+    """
+    per_server: Dict[int, List[Dict[str, object]]] = {}
+    for row in _complete_rows(events):
+        server_id = row["server_id"]
+        if server_id is None:
+            server_id = 0
+        per_server.setdefault(server_id, []).append(row)
+    out: Dict[int, Dict[str, float]] = {}
+    for server_id, rows in sorted(per_server.items()):
+        k = len(rows)
+        summary = {c: sum(r[c] for r in rows) / k for c in _COMPONENTS}
+        summary["sojourn"] = sum(r["sojourn"] for r in rows) / k
+        summary["count"] = float(k)
+        out[server_id] = summary
+    return out
+
+
+def render_dashboard(
+    events: Sequence[TraceEvent],
+    snapshot: Optional[Dict[str, float]] = None,
+    dropped: int = 0,
+    title: str = "trace",
+) -> str:
+    """Render the summary dashboard ``tailbench trace`` prints."""
+    lines: List[str] = [f"== {title} =="]
+    rows = _complete_rows(events)
+    lines.append(
+        f"events={len(events)} attempts_reconstructed={len(rows)} "
+        f"ring_dropped={dropped}"
+    )
+
+    if rows:
+        lines.append("")
+        lines.append("latency decomposition by sojourn percentile band:")
+        header = (
+            f"  {'band':>10s} {'n':>6s} {'sojourn':>9s} {'send':>9s} "
+            f"{'network':>9s} {'queue':>9s} {'service':>9s} {'queue%':>7s}"
+        )
+        lines.append(header)
+        for band in breakdown_by_band(events):
+            if band.count == 0:
+                continue
+            c = band.components
+            queue_frac = (
+                100.0 * c["queue"] / band.sojourn if band.sojourn > 0 else 0.0
+            )
+            label = f"p{band.lo:g}-p{band.hi:g}"
+            lines.append(
+                f"  {label:>10s} {band.count:>6d} "
+                f"{format_latency(band.sojourn):>9s} "
+                f"{format_latency(c['send_delay']):>9s} "
+                f"{format_latency(c['network']):>9s} "
+                f"{format_latency(c['queue']):>9s} "
+                f"{format_latency(c['service']):>9s} {queue_frac:>6.1f}%"
+            )
+        per_server = per_server_decomposition(events)
+        if len(per_server) > 1:
+            lines.append("")
+            lines.append("per-replica decomposition:")
+            for server_id, summary in per_server.items():
+                lines.append(
+                    f"  server[{server_id}] n={int(summary['count'])} "
+                    f"queue={format_latency(summary['queue'])} "
+                    f"service={format_latency(summary['service'])} "
+                    f"network={format_latency(summary['network'])} "
+                    f"sojourn={format_latency(summary['sojourn'])}"
+                )
+
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.kind in ("retry", "hedge", "shed", "error", "late") or (
+            event.kind.startswith("fault_")
+        ):
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+    if counts:
+        lines.append("")
+        lines.append(
+            "events: "
+            + " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+
+    if snapshot:
+        lines.append("")
+        lines.append("metrics snapshot:")
+        for name in sorted(snapshot):
+            lines.append(f"  {name} = {snapshot[name]:g}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Trace and metrics exporters: JSONL, Prometheus text format.
+
+Three consumers, three formats:
+
+- :func:`export_trace_jsonl` — one JSON object per line per
+  :class:`~repro.obs.trace.TraceEvent`; the schema is fixed
+  (:data:`TRACE_SCHEMA`) and machine-checkable with
+  :func:`validate_trace_line`, so live and simulated traces are
+  directly diffable and CI can keep the format honest.
+- :func:`export_series_jsonl` — sampled metric time series, one JSON
+  object per :class:`~repro.core.collector.TimelinePoint` (via its
+  ``as_dict``).
+- :func:`prometheus_text` — a text-format snapshot of a
+  :class:`~repro.obs.metrics.MetricsRegistry`, scrape-compatible with
+  the Prometheus exposition format (``# TYPE`` lines, cumulative
+  ``_bucket{le=...}`` histogram series).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, TextIO, Union
+
+from ..core.collector import TimelinePoint
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import EVENT_KINDS, TraceEvent
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "export_trace_jsonl",
+    "export_series_jsonl",
+    "validate_trace_line",
+    "validate_trace_file",
+    "prometheus_text",
+]
+
+#: Field name -> (required, allowed types) for one trace JSONL line.
+TRACE_SCHEMA: Dict[str, tuple] = {
+    "ts": (True, (int, float)),
+    "event": (True, (str,)),
+    "logical_id": (False, (int,)),
+    "request_id": (False, (int,)),
+    "attempt": (False, (int,)),
+    "server_id": (False, (int,)),
+    "value": (False, (int, float)),
+}
+
+
+def _open_sink(sink: Union[str, TextIO]):
+    if isinstance(sink, str):
+        return open(sink, "w", encoding="utf-8"), True
+    return sink, False
+
+
+def export_trace_jsonl(
+    events: Iterable[TraceEvent], sink: Union[str, TextIO]
+) -> int:
+    """Write events as JSON Lines; returns the number of lines written."""
+    fh, owned = _open_sink(sink)
+    try:
+        n = 0
+        for event in events:
+            fh.write(json.dumps(event.as_dict(), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+        return n
+    finally:
+        if owned:
+            fh.close()
+
+
+def export_series_jsonl(
+    series: Dict[str, List[TimelinePoint]], sink: Union[str, TextIO]
+) -> int:
+    """Write metric time series as JSON Lines (one point per line)."""
+    fh, owned = _open_sink(sink)
+    try:
+        n = 0
+        for name in sorted(series):
+            for point in series[name]:
+                fh.write(json.dumps(point.as_dict(), separators=(",", ":")))
+                fh.write("\n")
+                n += 1
+        return n
+    finally:
+        if owned:
+            fh.close()
+
+
+def validate_trace_line(obj: object) -> Dict[str, object]:
+    """Check one decoded JSONL object against :data:`TRACE_SCHEMA`.
+
+    Returns the object on success; raises ``ValueError`` naming the
+    offending field otherwise.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace line must be an object, got {type(obj).__name__}")
+    for field, (required, types) in TRACE_SCHEMA.items():
+        if field not in obj:
+            if required:
+                raise ValueError(f"missing required field {field!r}")
+            continue
+        value = obj[field]
+        # bool is an int subclass; never a legal trace value.
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ValueError(
+                f"field {field!r} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    unknown = set(obj) - set(TRACE_SCHEMA)
+    if unknown:
+        raise ValueError(f"unknown fields {sorted(unknown)}")
+    if obj["event"] not in EVENT_KINDS:
+        raise ValueError(f"unknown event kind {obj['event']!r}")
+    return obj
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate every line of a trace JSONL file; returns line count."""
+    n = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                validate_trace_line(json.loads(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            n += 1
+    return n
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot in the Prometheus exposition format."""
+    lines: List[str] = []
+    seen_types: set = set()
+    for metric in sorted(registry.metrics(), key=lambda m: m.full_name):
+        if metric.name not in seen_types:
+            seen_types.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.full_name} {metric.value:g}")
+        elif isinstance(metric, Histogram):
+            base_labels = dict(metric.labels)
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                labels = {**base_labels, "le": f"{bound:g}"}
+                inner = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                )
+                lines.append(f"{metric.name}_bucket{{{inner}}} {cumulative}")
+            labels = {**base_labels, "le": "+Inf"}
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            lines.append(f"{metric.name}_bucket{{{inner}}} {metric.count}")
+            suffix = ""
+            if base_labels:
+                suffix = "{" + ",".join(
+                    f'{k}="{v}"' for k, v in sorted(base_labels.items())
+                ) + "}"
+            lines.append(f"{metric.name}_sum{suffix} {metric.sum:g}")
+            lines.append(f"{metric.name}_count{suffix} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

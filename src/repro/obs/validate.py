@@ -1,0 +1,41 @@
+"""Schema-check a trace JSONL file: ``python -m repro.obs.validate f.jsonl``.
+
+Exit status 0 when every line conforms to
+:data:`~repro.obs.exporters.TRACE_SCHEMA`, 1 otherwise — the CI hook
+that keeps the exporter format from rotting.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .exporters import validate_trace_file
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.jsonl ...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            n = validate_trace_file(path)
+        except (OSError, ValueError) as exc:
+            print(f"INVALID {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if n == 0:
+            print(f"INVALID {path}: empty trace", file=sys.stderr)
+            status = 1
+            continue
+        print(f"ok {path}: {n} events conform to the trace schema")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

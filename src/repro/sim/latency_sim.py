@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.balancer import BALANCERS, LoadBalancer, make_balancer
 from ..core.collector import CollectedStats, StatsCollector
-from ..core.config import NO_RESILIENCE
+from ..core.config import NO_OBSERVABILITY, NO_RESILIENCE, ObservabilityConfig
 from ..core.request import Request
 from ..core.resilience import (
     ResilienceConfig,
@@ -85,6 +85,10 @@ class SimConfig:
     #: Routing policy (see :mod:`repro.core.balancer`):
     #: ``round_robin`` / ``random`` / ``power_of_two`` / ``jsq``.
     balancer: str = "round_robin"
+    #: Tracing/metrics policy (see :mod:`repro.obs`). Off by default;
+    #: when on, the simulator emits the same event schema as the live
+    #: harness and samples metrics as a recurring virtual-time event.
+    observability: ObservabilityConfig = NO_OBSERVABILITY
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -137,6 +141,9 @@ class SimResult:
     alive_workers: Tuple[int, ...] = ()
     #: Requests routed to each server instance by the balancer.
     routed_counts: Tuple[int, ...] = ()
+    #: Observability artifacts (trace events, metric series, snapshot);
+    #: None unless ``config.observability.tracing`` was enabled.
+    obs: Optional[object] = None
 
     @property
     def sojourn(self) -> LatencySummary:
@@ -298,12 +305,14 @@ class _SimClient:
         collector: StatsCollector,
         injector: Optional[FaultInjector],
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self._engine = engine
         self._topology = topology
         self._config = config
         self._collector = collector
         self._injector = injector
+        self._tracer = tracer
         self._rng = random.Random(seed ^ 0x8E511)
         self._attempt_timeout = effective_attempt_timeout(config)
         self._calls: Dict[int, _Call] = {}
@@ -351,12 +360,28 @@ class _SimClient:
             self._collector.note("retries")
         elif kind == "hedge":
             self._collector.note("hedges")
+        tracer = self._tracer
+        if tracer is not None and kind != "first":
+            tracer.emit(
+                kind, self._engine.now, logical_id=call.logical_id,
+                attempt=attempt_no,
+            )
 
         drop = duplicate = False
         extra_delay = 0.0
         if self._injector is not None:
             action = self._injector.transport_action()
             drop, duplicate, extra_delay = action
+        if drop and tracer is not None:
+            # Mirror the live transport's dropped-attempt trail: the
+            # truncated chain plus an explicit fault marker.
+            now = self._engine.now
+            tracer.emit("generated", call.generated_at,
+                        logical_id=call.logical_id, attempt=attempt_no)
+            tracer.emit("sent", now, logical_id=call.logical_id,
+                        attempt=attempt_no)
+            tracer.emit("fault_drop", now, logical_id=call.logical_id,
+                        attempt=attempt_no)
         if not drop:
             now = self._engine.now
             request = Request(
@@ -369,6 +394,12 @@ class _SimClient:
             request.sent_at = now
             # A hedge steers away from the replica serving the primary
             # attempt, so replica-local trouble cannot slow both copies.
+            if extra_delay > 0.0 and tracer is not None:
+                tracer.emit(
+                    "fault_delay", now, logical_id=call.logical_id,
+                    request_id=request.request_id, attempt=attempt_no,
+                    value=extra_delay,
+                )
             server_id = self._topology.submit_attempt(
                 request,
                 extra_delay=extra_delay,
@@ -387,6 +418,12 @@ class _SimClient:
                 )
                 dup.sent_at = now
                 dup.server_id = server_id
+                if tracer is not None:
+                    tracer.emit(
+                        "fault_duplicate", now, logical_id=call.logical_id,
+                        request_id=dup.request_id, attempt=attempt_no,
+                        server_id=server_id,
+                    )
                 self._topology.submit_attempt(dup, extra_delay=extra_delay)
         if kind != "hedge" and self._attempt_timeout is not None:
             self._engine.after(
@@ -403,6 +440,12 @@ class _SimClient:
         call = self._calls.get(request.logical_id)
         if call is None or call.resolved:
             self._collector.note("late")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "late", now, logical_id=request.logical_id,
+                    request_id=request.request_id, attempt=request.attempt,
+                    server_id=request.server_id,
+                )
             return
         if request.shed:
             self._collector.note("shed")
@@ -486,6 +529,14 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         if config.faults is not None and not config.faults.is_noop
         else None
     )
+    tracer = registry = sampler = None
+    if config.observability.tracing:
+        # Lazy import: the default (tracing-off) simulator path never
+        # touches the obs package.
+        from ..obs import MetricsRegistry, MetricsSampler, Tracer
+
+        tracer = Tracer(capacity=config.observability.trace_capacity)
+        registry = MetricsRegistry()
     servers: List[SimulatedServer] = []
     for server_id in range(config.n_servers):
         # Server 0 keeps the pre-topology stream seed so n_servers=1
@@ -506,6 +557,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
                 injector=scoped,
                 queue_capacity=config.queue_capacity,
                 server_id=server_id,
+                tracer=tracer,
             )
         )
     topology = _Topology(
@@ -513,6 +565,8 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     )
     if injector is not None:
         injector.start_run(0.0)
+        if registry is not None:
+            injector.register_metrics(registry)
     process = (
         DeterministicArrivals(config.qps)
         if config.deterministic_arrivals
@@ -521,11 +575,62 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     schedule = ArrivalSchedule.generate(
         process, config.total_requests, seed=config.seed
     )
+    if registry is not None:
+        # Same gauge families the live transport registers, read lazily
+        # from existing counters — sampling is a recurring virtual-time
+        # event, not a thread, bounded by the arrival horizon so the
+        # event heap still drains.
+        for server in servers:
+            labels = {"server": str(server.server_id)}
+            registry.gauge(
+                "tb_queue_depth", help="Requests waiting in the queue",
+                fn=(lambda s=server: s.queue_len), **labels,
+            )
+            registry.gauge(
+                "tb_busy_workers", help="Workers currently serving",
+                fn=(lambda s=server: s.busy_workers), **labels,
+            )
+            registry.gauge(
+                "tb_alive_workers", help="Workers still alive",
+                fn=(lambda s=server: s.workers_alive), **labels,
+            )
+            registry.gauge(
+                "tb_completed_total", help="Responses produced",
+                fn=(lambda s=server: s.completed), **labels,
+            )
+            registry.gauge(
+                "tb_shed_total", help="Requests shed by admission control",
+                fn=(lambda s=server: s.shed_count), **labels,
+            )
+            registry.gauge(
+                "tb_outstanding", help="Attempts routed and not yet answered",
+                fn=(
+                    lambda t=topology, i=server.server_id: t.depths()[i]
+                ),
+                **labels,
+            )
+        registry.gauge(
+            "tb_inflight", help="Attempts in flight across all servers",
+            fn=(lambda t=topology: sum(t.depths())),
+        )
+        sampler = MetricsSampler(
+            registry, engine.clock,
+            interval=config.observability.metrics_interval,
+        )
+        horizon = schedule.times[-1]
+        interval = config.observability.metrics_interval
+
+        def tick() -> None:
+            sampler.sample()
+            if engine.now + interval <= horizon:
+                engine.after(interval, tick)
+
+        engine.at(0.0, tick)
     client: Optional[_SimClient] = None
     if injector is not None or config.resilience.enabled:
         client = _SimClient(
             engine, topology, config.resilience, collector, injector,
-            seed=config.seed,
+            seed=config.seed, tracer=tracer,
         )
         for generated_at in schedule:
             engine.at(generated_at, client.begin, generated_at)
@@ -561,6 +666,18 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     if client is not None:
         client.finalize()
     elapsed = engine.now
+    obs = None
+    if tracer is not None:
+        from ..obs import ObsResult, prometheus_text
+
+        sampler.sample()  # final sample at the run's last instant
+        obs = ObsResult(
+            events=tracer.events(),
+            dropped=tracer.dropped,
+            series=sampler.series,
+            snapshot=registry.snapshot(),
+            prom=prometheus_text(registry),
+        )
     stats = collector.snapshot()
     outcomes = collector.outcome_counts()
     if not collector.outcomes_used:
@@ -583,6 +700,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         fault_counts=injector.counts() if injector is not None else {},
         alive_workers=tuple(server.workers_alive for server in servers),
         routed_counts=tuple(topology.routed),
+        obs=obs,
     )
 
 

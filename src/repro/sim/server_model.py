@@ -61,6 +61,11 @@ class SimulatedServer:
     server_id:
         Index of this instance in a multi-server topology; stamped on
         every request it serves so per-server statistics work.
+    tracer:
+        Optional :class:`repro.obs.Tracer`. The simulated server emits
+        the *same* event schema as the live harness — lifecycle spans
+        on every response, ``fault_*`` markers as faults fire — so
+        live and virtual-time traces diff directly.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class SimulatedServer:
         queue_capacity: Optional[int] = None,
         on_response: Optional[Callable[[Request], None]] = None,
         server_id: int = 0,
+        tracer=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -90,6 +96,7 @@ class SimulatedServer:
         self._capacity = queue_capacity
         self._on_response_cb = on_response
         self.server_id = server_id
+        self._tracer = tracer
         self._queue: collections.deque = collections.deque()
         self._busy_workers = 0
         self._workers_alive = n_threads
@@ -182,7 +189,16 @@ class SimulatedServer:
         request.service_start_at = self._engine.now
         service_time = self._service_model.sample(self._rng)
         if self._injector is not None:
-            service_time += self._injector.worker_pause()
+            pause = self._injector.worker_pause()
+            if pause > 0.0 and self._tracer is not None:
+                self._tracer.emit(
+                    "fault_pause", request.service_start_at,
+                    logical_id=request.logical_id,
+                    request_id=request.request_id,
+                    attempt=request.attempt,
+                    server_id=self.server_id, value=pause,
+                )
+            service_time += pause
         self.busy_time += service_time
         self._engine.after(service_time, self._on_completion, request)
 
@@ -192,9 +208,22 @@ class SimulatedServer:
         if self._injector is not None:
             if self._injector.app_error():
                 request.error = "injected application error"
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_app_error", request.service_end_at,
+                        logical_id=request.logical_id,
+                        request_id=request.request_id,
+                        attempt=request.attempt,
+                        server_id=self.server_id,
+                    )
             if self._injector.worker_crash():
                 self._workers_alive = max(0, self._workers_alive - 1)
                 self.crashed_workers += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_crash", request.service_end_at,
+                        server_id=self.server_id,
+                    )
         self._schedule_response(request)
         self._dispatch()
 
@@ -208,6 +237,16 @@ class SimulatedServer:
     def _on_response(self, request: Request) -> None:
         request.response_received_at = self._engine.now
         self.completed += 1
+        if self._tracer is not None:
+            if request.shed:
+                outcome = "shed"
+            elif request.error is not None:
+                outcome = "error"
+            elif request.discard:
+                outcome = "discard"
+            else:
+                outcome = None
+            self._tracer.record_request(request, outcome=outcome)
         if self._on_response_cb is not None:
             self._on_response_cb(request)
             return
@@ -218,6 +257,15 @@ class SimulatedServer:
     @property
     def workers_alive(self) -> int:
         return self._workers_alive
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy_workers
+
+    @property
+    def queue_len(self) -> int:
+        """Requests waiting (excluding in-service) — the gauge signal."""
+        return len(self._queue)
 
     @property
     def depth(self) -> int:

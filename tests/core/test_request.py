@@ -54,3 +54,42 @@ class TestTimestampChain:
         assert (
             late_send.finish().sojourn_time == on_time.finish().sojourn_time
         )
+
+
+class TestPartialFinish:
+    def test_partial_tolerates_missing_stamps(self):
+        # A shed attempt never reaches a worker: the chain stops at
+        # enqueued. finish(partial=True) must still produce a record.
+        request = Request(payload="x", generated_at=1.0)
+        request.sent_at = 1.001
+        request.enqueued_at = 1.002
+        request.response_received_at = 1.003
+        request.shed = True
+        record = request.finish(partial=True)
+        assert record.service_start_at is None
+        assert record.shed is True
+        assert not record.complete
+
+    def test_partial_still_rejects_out_of_order_stamps(self):
+        request = make_request(service_start_at=0.5)
+        with pytest.raises(ValueError):
+            request.finish(partial=True)
+
+    def test_strict_finish_unchanged(self):
+        request = make_request()
+        request.enqueued_at = None
+        with pytest.raises(ValueError, match="enqueued_at"):
+            request.finish()
+
+    def test_complete_chain_is_complete(self):
+        record = make_request().finish()
+        assert record.complete
+
+    def test_identity_fields_carried(self):
+        request = Request(
+            payload="x", generated_at=1.0, logical_id=7, attempt=2
+        )
+        request.sent_at = 1.001
+        record = request.finish(partial=True)
+        assert record.logical_id == 7
+        assert record.attempt == 2

@@ -64,6 +64,33 @@ class TestTimeline:
             collector.snapshot().timeline()
 
 
+class TestTimelinePoint:
+    def test_points_carry_metric_and_pct(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 100)
+        points = collector.snapshot().timeline(
+            metric="service", n_windows=5, pct=99.0
+        )
+        assert all(p.metric == "service" for p in points)
+        assert all(p.pct == 99.0 for p in points)
+
+    def test_as_dict_is_jsonl_ready(self):
+        collector = StatsCollector()
+        fill(collector, [1e-3] * 40)
+        point = collector.snapshot().timeline(n_windows=4)[0]
+        d = point.as_dict()
+        assert d["metric"] == "sojourn"
+        assert d["pct"] == 95.0
+        assert set(d) == {"time", "count", "value", "metric", "pct"}
+
+    def test_as_dict_omits_absent_pct(self):
+        from repro.core.collector import TimelinePoint
+
+        point = TimelinePoint(1.0, 3, 0.5, metric="tb_queue_depth")
+        assert "pct" not in point.as_dict()
+        assert point.as_dict()["metric"] == "tb_queue_depth"
+
+
 class TestSteadiness:
     def test_steady_run_detected(self):
         collector = StatsCollector()

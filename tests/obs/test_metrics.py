@@ -1,0 +1,144 @@
+"""Tests for the metrics registry, sampler, and exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSampler,
+    Tracer,
+    export_series_jsonl,
+    export_trace_jsonl,
+    prometheus_text,
+    validate_trace_file,
+    validate_trace_line,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("tb_sent_total")
+        b = registry.counter("tb_sent_total")
+        assert a is b
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("tb_queue_depth", server="0")
+        b = registry.gauge("tb_queue_depth", server="1")
+        assert a is not b
+        assert a.full_name == 'tb_queue_depth{server="0"}'
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("tb_x")
+        with pytest.raises(ValueError):
+            registry.gauge("tb_x")
+
+    def test_callback_gauge_reads_lazily(self):
+        registry = MetricsRegistry()
+        state = {"depth": 0}
+        registry.gauge("tb_queue_depth", fn=lambda: state["depth"])
+        state["depth"] = 7
+        assert registry.snapshot()["tb_queue_depth"] == 7.0
+
+    def test_histogram_quantile_and_mean(self):
+        hist = Histogram("tb_lat")
+        for value in (1e-4, 1e-4, 1e-3, 1e-2):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.value == pytest.approx((2e-4 + 1e-3 + 1e-2) / 4)
+        assert hist.quantile(0.5) <= hist.quantile(0.99)
+        assert hist.quantile(0.25) == pytest.approx(1e-4)
+
+    def test_histogram_overflow_bucket(self):
+        hist = Histogram("tb_lat", buckets=(0.1, 1.0))
+        hist.observe(50.0)
+        assert hist.counts[-1] == 1
+        assert hist.quantile(1.0) == 1.0  # clamped to the last bound
+
+
+class TestSampler:
+    def test_samples_build_per_metric_series(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tb_inflight")
+        clock = VirtualClock()
+        sampler = MetricsSampler(registry, clock, interval=0.01)
+        for i in range(3):
+            gauge.set(i)
+            sampler.sample(now=float(i))
+        series = sampler.series["tb_inflight"]
+        assert [p.value for p in series] == [0.0, 1.0, 2.0]
+        assert [p.time for p in series] == [0.0, 1.0, 2.0]
+        assert all(p.metric == "tb_inflight" for p in series)
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(MetricsRegistry(), VirtualClock(), interval=0.0)
+
+
+class TestExporters:
+    def test_trace_jsonl_round_trip_validates(self):
+        tracer = Tracer()
+        tracer.emit("generated", 0.5, logical_id=1, request_id=2,
+                    attempt=0, server_id=3)
+        tracer.emit("fault_delay", 0.6, value=0.05)
+        sink = io.StringIO()
+        assert export_trace_jsonl(tracer.events(), sink) == 2
+        for line in sink.getvalue().splitlines():
+            validate_trace_line(json.loads(line))
+
+    def test_validate_rejects_bad_lines(self):
+        with pytest.raises(ValueError, match="missing required"):
+            validate_trace_line({"ts": 1.0})
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_trace_line({"ts": 1.0, "event": "nonsense"})
+        with pytest.raises(ValueError, match="unknown fields"):
+            validate_trace_line({"ts": 1.0, "event": "sent", "extra": 1})
+        with pytest.raises(ValueError, match="type"):
+            validate_trace_line({"ts": 1.0, "event": "sent",
+                                 "server_id": True})
+
+    def test_validate_trace_file_reports_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"ts":1.0,"event":"sent"}\n{"ts":2.0,"event":"bogus"}\n'
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            validate_trace_file(str(path))
+
+    def test_series_jsonl_carries_metric_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("tb_inflight").set(4)
+        sampler = MetricsSampler(registry, VirtualClock(), interval=0.01)
+        sampler.sample(now=1.0)
+        sink = io.StringIO()
+        assert export_series_jsonl(sampler.series, sink) == 1
+        (line,) = sink.getvalue().splitlines()
+        obj = json.loads(line)
+        assert obj["metric"] == "tb_inflight"
+        assert obj["value"] == 4.0
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("tb_sent_total", help="Requests sent").inc(3)
+        registry.gauge("tb_queue_depth", server="0").set(2)
+        hist = registry.histogram("tb_send_delay_seconds",
+                                  buckets=(0.001, 0.01))
+        hist.observe(0.0005)
+        hist.observe(0.5)
+        text = prometheus_text(registry)
+        assert "# TYPE tb_sent_total counter" in text
+        assert "tb_sent_total 3" in text
+        assert 'tb_queue_depth{server="0"} 2' in text
+        # Cumulative buckets plus the +Inf bucket and _sum/_count.
+        assert 'tb_send_delay_seconds_bucket{le="0.001"} 1' in text
+        assert 'tb_send_delay_seconds_bucket{le="+Inf"} 2' in text
+        assert "tb_send_delay_seconds_count 2" in text
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

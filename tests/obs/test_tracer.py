@@ -1,0 +1,135 @@
+"""Tests for the request-lifecycle tracer (unit level)."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.obs import EVENT_KINDS, Tracer, decompose_attempts, group_attempts
+from repro.obs.trace import LIFECYCLE_EVENTS, _LIFECYCLE_ORDER
+
+
+def stamped_request(base=1.0, **identity):
+    request = Request(payload=None, generated_at=base, **identity)
+    request.sent_at = base + 0.001
+    request.enqueued_at = base + 0.002
+    request.service_start_at = base + 0.004
+    request.service_end_at = base + 0.010
+    request.response_received_at = base + 0.011
+    return request
+
+
+class TestEmission:
+    def test_record_request_emits_full_chain_in_order(self):
+        tracer = Tracer()
+        tracer.record_request(stamped_request())
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == [name for name, _ in LIFECYCLE_EVENTS]
+
+    def test_span_ordering_monotonic_per_attempt(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record_request(stamped_request(base=float(i)))
+        for group in group_attempts(tracer.events()).values():
+            ts = [e.ts for e in group]
+            assert ts == sorted(ts)
+            order = [_LIFECYCLE_ORDER[e.kind] for e in group]
+            assert order == sorted(order)
+
+    def test_partial_chain_emits_present_edges_only(self):
+        request = Request(payload=None, generated_at=1.0)
+        request.sent_at = 1.001
+        request.enqueued_at = 1.002
+        request.response_received_at = 1.003
+        request.shed = True
+        tracer = Tracer()
+        tracer.record_request(request, outcome="shed")
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == ["generated", "sent", "enqueued", "received", "shed"]
+
+    def test_outcome_event_stamped_at_last_known_instant(self):
+        tracer = Tracer()
+        tracer.record_request(stamped_request(), outcome="error")
+        last = tracer.events()[-1]
+        assert last.kind == "error"
+        assert last.ts == pytest.approx(1.011)
+
+    def test_all_emitted_kinds_are_legal(self):
+        assert "generated" in EVENT_KINDS
+        assert "fault_drop" in EVENT_KINDS
+        with_tracer = Tracer()
+        with_tracer.emit("retry", 0.5, logical_id=1, attempt=2)
+        event = with_tracer.events()[0]
+        assert event.kind in EVENT_KINDS
+        assert event.as_dict() == {
+            "ts": 0.5, "event": "retry", "logical_id": 1, "attempt": 2,
+        }
+
+
+class TestSharedLogicalId:
+    def test_retry_and_hedge_attempts_share_logical_id(self):
+        tracer = Tracer()
+        for attempt in (1, 2, 3):  # first, retry, hedge of one request
+            tracer.record_request(
+                stamped_request(
+                    base=float(attempt), logical_id=42, attempt=attempt
+                )
+            )
+        tracer.emit("retry", 2.0, logical_id=42, attempt=2)
+        tracer.emit("hedge", 3.0, logical_id=42, attempt=3)
+        ids = {e.logical_id for e in tracer.events()}
+        assert ids == {42}
+        groups = group_attempts(tracer.events())
+        assert len(groups) == 3  # one group per attempt
+        assert {key[1] for key in groups} == {42}
+
+    def test_attempts_without_logical_id_group_by_request_id(self):
+        tracer = Tracer()
+        a, b = stamped_request(base=1.0), stamped_request(base=2.0)
+        tracer.record_request(a)
+        tracer.record_request(b)
+        assert len(group_attempts(tracer.events())) == 2
+
+
+class TestRingBuffer:
+    def test_drops_oldest_and_reports_count(self):
+        tracer = Tracer(capacity=10)
+        for i in range(25):
+            tracer.emit("generated", float(i), request_id=i)
+        assert len(tracer.events()) == 10
+        assert tracer.emitted == 25
+        assert tracer.dropped == 15
+        # The survivors are the NEWEST events, oldest evicted first.
+        assert [e.ts for e in tracer.events()] == [float(i) for i in range(15, 25)]
+
+    def test_no_silent_truncation_below_capacity(self):
+        tracer = Tracer(capacity=100)
+        for i in range(40):
+            tracer.emit("sent", float(i))
+        assert tracer.dropped == 0
+        assert tracer.emitted == 40
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDecomposition:
+    def test_components_recomputed_from_events(self):
+        tracer = Tracer()
+        tracer.record_request(stamped_request())
+        (row,) = decompose_attempts(tracer.events())
+        assert row["send_delay"] == pytest.approx(0.001)
+        assert row["network"] == pytest.approx(0.002)
+        assert row["queue"] == pytest.approx(0.002)
+        assert row["service"] == pytest.approx(0.006)
+        assert row["sojourn"] == pytest.approx(0.011)
+
+    def test_partial_chain_yields_partial_row(self):
+        request = Request(payload=None, generated_at=1.0)
+        request.sent_at = 1.001
+        request.enqueued_at = 1.002
+        tracer = Tracer()
+        tracer.record_request(request)
+        (row,) = decompose_attempts(tracer.events())
+        assert "service" not in row
+        assert "sojourn" not in row
+        assert row["send_delay"] == pytest.approx(0.001)
