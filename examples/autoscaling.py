@@ -1,0 +1,155 @@
+"""SLO-driven control plane: admission, priority classes, autoscaling.
+
+Walks the three controllers of ``repro.control`` on the simulated
+topology (so everything is deterministic and instant):
+
+1. **Load step, static vs controlled** — the fig-control scenario:
+   offered load steps from 0.5x to 1.5x of one replica's capacity. The
+   static single-replica server lets queueing delay grow without bound;
+   the controlled run holds the 50 ms p99 SLO by scaling out and, when
+   scaling is not enough, shedding at the admission gate. The per-tick
+   (limit, replicas) trajectory printed at the end is the controller
+   audit trail.
+2. **Admission alone** — autoscaling disabled, sustained 3x overload:
+   CoDel + AIMD turn "every request is hopelessly late" into "most
+   requests meet the SLO, the rest are shed immediately" (goodput over
+   deadline-blown throughput).
+3. **Priority classes** — strict two-class scheduling under the same
+   overload: the latency-critical class keeps its tail while the batch
+   class absorbs the queueing.
+
+Run:  python examples/autoscaling.py
+"""
+
+from repro.control import (
+    AdmissionConfig,
+    AutoscalerConfig,
+    ControlPlaneConfig,
+    PriorityConfig,
+    RequestClassSpec,
+)
+from repro.sim import SimConfig, simulate_load
+from repro.sim.calibration import AppProfile
+from repro.stats import LogNormal, format_latency
+
+SERVICE = LogNormal(mean=1e-3, sigma=0.5)
+PROFILE = AppProfile(name="synthetic-sleep", service=SERVICE)
+CAPACITY = 1.0 / SERVICE.mean  # one 1-thread replica's service rate
+SLO_P99 = 0.05
+
+
+def describe(tag, result):
+    counts = result.control_counts
+    shed = result.outcomes.get("shed", 0)
+    print(
+        f"  {tag:11s} p99={format_latency(result.sojourn.p99)} "
+        f"served={result.stats.count} shed={shed} "
+        f"replicas={counts.get('active_servers', 1)} "
+        f"goodput={result.goodput_qps:.0f}/s"
+    )
+
+
+def load_step() -> None:
+    print("== load step 0.5x -> 1.5x capacity (SLO p99 <= 50ms) ==")
+    profile_steps = ((1.0, 0.5 * CAPACITY), (2.0, 1.5 * CAPACITY))
+    control = ControlPlaneConfig(
+        enabled=True,
+        tick_interval=0.02,
+        admission=AdmissionConfig(
+            target_p99=SLO_P99,
+            codel_target=SLO_P99 / 2.5,
+            codel_interval=0.05,
+            initial_limit=32,
+            min_limit=8,
+            additive_increase=2,
+            multiplicative_decrease=0.5,
+        ),
+        autoscaler=AutoscalerConfig(
+            min_servers=1,
+            max_servers=3,
+            scale_up_depth=4.0,
+            scale_down_util=0.2,
+            hysteresis_ticks=2,
+            cooldown=0.2,
+        ),
+    )
+    static = simulate_load(
+        PROFILE,
+        SimConfig(
+            configuration="integrated", n_threads=1, n_servers=1,
+            seed=0, load_profile=profile_steps,
+        ),
+    )
+    controlled = simulate_load(
+        PROFILE,
+        SimConfig(
+            configuration="integrated", n_threads=1, n_servers=1,
+            seed=0, load_profile=profile_steps, control=control,
+        ),
+    )
+    describe("static", static)
+    describe("controlled", controlled)
+    print("  per-replica goodput (controlled):")
+    for server_id, qps in sorted(controlled.per_server_qps().items()):
+        print(f"    server[{server_id}] {qps:.0f}/s over its active window")
+
+
+def admission_alone() -> None:
+    print("\n== admission control alone, sustained 3x overload ==")
+    control = ControlPlaneConfig(
+        enabled=True,
+        tick_interval=0.02,
+        admission=AdmissionConfig(
+            target_p99=SLO_P99, initial_limit=64, min_limit=4,
+            multiplicative_decrease=0.5,
+        ),
+    )
+    base = dict(
+        configuration="integrated", qps=3.0 * CAPACITY, n_threads=1,
+        warmup_requests=0, measure_requests=5000, seed=0,
+    )
+    unmanaged = simulate_load(PROFILE, SimConfig(**base))
+    managed = simulate_load(PROFILE, SimConfig(**base, control=control))
+    describe("unmanaged", unmanaged)
+    describe("managed", managed)
+    counts = managed.control_counts
+    print(
+        f"  gate decisions: admitted={counts['admitted']} "
+        f"codel={counts['codel_dropped']} limit={counts['limit_dropped']} "
+        f"(final AIMD limit {counts['final_limit']})"
+    )
+
+
+def priority_classes() -> None:
+    print("\n== strict priority classes, 1.3x overload ==")
+    control = ControlPlaneConfig(
+        enabled=True,
+        tick_interval=0.02,
+        priority=PriorityConfig(
+            classes=(
+                RequestClassSpec("interactive", priority=1, fraction=0.8),
+                RequestClassSpec("batch", priority=0, fraction=0.2),
+            ),
+            mode="strict",
+        ),
+    )
+    result = simulate_load(
+        PROFILE,
+        SimConfig(
+            configuration="integrated", qps=1.3 * CAPACITY, n_threads=1,
+            warmup_requests=0, measure_requests=4000, seed=0,
+            control=control,
+        ),
+    )
+    for name, summary in sorted(result.stats.per_class().items()):
+        print(
+            f"  class {name:12s} n={summary.count} "
+            f"p50={format_latency(summary.p50)} "
+            f"p99={format_latency(summary.p99)}"
+        )
+
+
+if __name__ == "__main__":
+    load_step()
+    admission_alone()
+    priority_classes()

@@ -1,0 +1,39 @@
+"""repro.control — SLO-driven control plane.
+
+Closed-loop admission control (CoDel + AIMD), priority scheduling,
+and replica autoscaling behind one :class:`Controller` interface,
+running identically in the live harness and the discrete-event
+simulator. See DESIGN.md §8.
+"""
+
+from .config import (
+    NO_CONTROL,
+    AdmissionConfig,
+    AutoscalerConfig,
+    ControlPlaneConfig,
+    PriorityConfig,
+    RequestClassSpec,
+)
+from .controllers import AdmissionController, AutoscaleController, Controller
+from .gate import AdmissionGate
+from .loop import ControlLoop
+from .plane import ControlPlane, ControlTarget, LiveControlTarget
+from .priority import ClassAssigner
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionGate",
+    "AutoscaleController",
+    "AutoscalerConfig",
+    "ClassAssigner",
+    "ControlLoop",
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "ControlTarget",
+    "Controller",
+    "LiveControlTarget",
+    "NO_CONTROL",
+    "PriorityConfig",
+    "RequestClassSpec",
+]

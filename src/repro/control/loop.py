@@ -1,0 +1,52 @@
+"""Wall-clock control ticker for live harness runs.
+
+Mirrors the :class:`repro.obs.metrics.MetricsSampler` shape: a daemon
+thread that calls :meth:`ControlPlane.tick` at the configured cadence
+until stopped. The simulator does not use this class — it schedules
+recurring virtual-time tick events on its engine instead, so the same
+controller code runs under both clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .plane import ControlPlane
+
+__all__ = ["ControlLoop"]
+
+
+class ControlLoop:
+    """Background thread ticking a bound control plane."""
+
+    def __init__(self, plane: ControlPlane, clock=None) -> None:
+        self._plane = plane
+        self._interval = plane.config.tick_interval
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        import time
+
+        return time.monotonic()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._plane.tick(self._now())
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("control loop already started")
+        self._thread = threading.Thread(
+            target=self._run, name="control-loop", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

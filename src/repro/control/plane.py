@@ -1,0 +1,253 @@
+"""The control plane: controllers bound to one serving stack.
+
+:class:`ControlPlane` is the façade both execution modes share. It
+owns the per-server :class:`~repro.control.gate.AdmissionGate`
+objects, the request classifier, the windowed sojourn reservoir the
+AIMD limiter reads, and the controller set; the harness binds it to a
+:class:`LiveControlTarget` (wrapping the transport) and the simulator
+to its virtual-time topology adapter. Controllers only ever see the
+:class:`ControlTarget` interface, so live and simulated control
+decisions run the identical code.
+
+Signal flow per tick::
+
+    queue snapshots ---\\
+    busy/alive gauges ---> Controller.tick(now) --> gate limits,
+    windowed p99 ------/                            drop states,
+                                                    scale up/down
+
+Every actuation emits a trace point event (``limit_update``,
+``scale_up``, ``scale_down``; the gate emits ``admit`` /
+``drop_codel`` / ``drop_limit`` per decision) through the
+:mod:`repro.obs` tracer when one is installed, so controlled runs are
+fully auditable from the trace alone.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.queueing import FifoBuffer, PriorityBuffer, QueueSnapshot
+from ..stats import percentile
+from .config import ControlPlaneConfig
+from .controllers import AdmissionController, AutoscaleController, Controller
+from .gate import AdmissionGate
+from .priority import ClassAssigner
+
+__all__ = ["ControlTarget", "ControlPlane", "LiveControlTarget"]
+
+
+class ControlTarget:
+    """What a serving stack must expose to be controlled.
+
+    Implemented by :class:`LiveControlTarget` over the live transport
+    and by the simulator's topology adapter — controllers are written
+    against this interface only.
+    """
+
+    def active_servers(self) -> List[int]:
+        """Ids of replicas currently accepting new work."""
+        raise NotImplementedError
+
+    def queue_snapshot(self, server_id: int, now: float) -> QueueSnapshot:
+        """One replica's queue state (see :class:`QueueSnapshot`)."""
+        raise NotImplementedError
+
+    def server_load(self, server_id: int) -> Tuple[int, int, int]:
+        """``(queue_depth, busy_workers, worker_count)`` for one replica."""
+        raise NotImplementedError
+
+    def gate(self, server_id: int) -> Optional[AdmissionGate]:
+        """The replica's admission gate (None when admission is off)."""
+        raise NotImplementedError
+
+    def scale_up(self) -> Optional[int]:
+        """Add a replica; returns its id (None when impossible)."""
+        raise NotImplementedError
+
+    def scale_down(self) -> Optional[int]:
+        """Drain one replica; returns its id (None when impossible)."""
+        raise NotImplementedError
+
+
+class ControlPlane:
+    """Controllers + gates + classifier for one run."""
+
+    def __init__(
+        self,
+        config: ControlPlaneConfig,
+        seed: int = 0,
+        tracer=None,
+    ) -> None:
+        if not config.enabled:
+            raise ValueError("ControlPlane requires an enabled config")
+        self.config = config
+        self._tracer = tracer
+        self._gates: Dict[int, AdmissionGate] = {}
+        self._gates_lock = threading.Lock()
+        self._assigner = (
+            ClassAssigner(config.priority, seed=seed ^ config.seed_salt)
+            if config.priority is not None
+            else None
+        )
+        self._window: List[float] = []
+        self._window_lock = threading.Lock()
+        self._target: Optional[ControlTarget] = None
+        self._controllers: List[Controller] = []
+        self._admission: Optional[AdmissionController] = None
+        self._autoscaler: Optional[AutoscaleController] = None
+        self.ticks = 0
+        #: Per-tick trajectory: (now, aimd_limit_or_None, active_replicas).
+        self.history: List[Tuple[float, Optional[int], int]] = []
+
+    # -- wiring --------------------------------------------------------
+    def bind(self, target: ControlTarget) -> None:
+        """Attach the plane to a serving stack and build controllers."""
+        self._target = target
+        self._controllers = []
+        if self.config.admission is not None:
+            self._admission = AdmissionController(
+                self.config.admission, target, self
+            )
+            self._controllers.append(self._admission)
+        if self.config.autoscaler is not None:
+            self._autoscaler = AutoscaleController(
+                self.config.autoscaler, target, tracer=self._tracer
+            )
+            self._controllers.append(self._autoscaler)
+
+    def register_metrics(self, registry) -> None:
+        """Expose control state as gauges next to the PR 3 metrics."""
+        if registry is None:
+            return
+        registry.gauge(
+            "tb_control_limit",
+            help="Current AIMD admission limit (per-server depth bound)",
+            fn=(lambda: self._admission.limit if self._admission else 0),
+        )
+        registry.gauge(
+            "tb_active_servers",
+            help="Replicas currently accepting new work",
+            fn=(
+                lambda: len(self._target.active_servers())
+                if self._target is not None
+                else 0
+            ),
+        )
+        registry.gauge(
+            "tb_control_ticks",
+            help="Control loop ticks executed",
+            fn=(lambda: self.ticks),
+        )
+
+    def gate_for(self, server_id: int) -> Optional[AdmissionGate]:
+        """Get-or-create the admission gate of one server instance."""
+        if self.config.admission is None:
+            return None
+        with self._gates_lock:
+            gate = self._gates.get(server_id)
+            if gate is None:
+                gate = AdmissionGate(
+                    self.config.admission, server_id=server_id,
+                    tracer=self._tracer,
+                )
+                self._gates[server_id] = gate
+                if self._admission is not None:
+                    gate.set_limit(self._admission.limit, 0.0)
+            return gate
+
+    def make_buffer(self):
+        """Queue discipline for a (new) server instance's request queue."""
+        priority = self.config.priority
+        if priority is None:
+            return FifoBuffer()
+        return PriorityBuffer(
+            mode=priority.mode,
+            weights=priority.weights() if priority.mode == "weighted" else None,
+        )
+
+    def classify(self, request) -> None:
+        """Stamp the request's class/priority (no-op without classes)."""
+        if self._assigner is not None:
+            self._assigner.classify(request)
+
+    # -- signals -------------------------------------------------------
+    def observe_sojourn(self, value: float) -> None:
+        """Feed one completed request's sojourn into the AIMD window."""
+        with self._window_lock:
+            self._window.append(value)
+
+    def window_p99(self) -> Optional[float]:
+        """Drain the completion window; p99 of it (None when empty)."""
+        with self._window_lock:
+            window, self._window = self._window, []
+        if not window:
+            return None
+        return percentile(window, 99.0)
+
+    # -- the control tick ----------------------------------------------
+    def tick(self, now: float) -> None:
+        """Run every controller once; called at the fixed cadence."""
+        if self._target is None:
+            raise RuntimeError("control plane not bound to a target")
+        self.ticks += 1
+        for controller in self._controllers:
+            controller.tick(now)
+        self.history.append(
+            (
+                now,
+                self._admission.limit if self._admission else None,
+                len(self._target.active_servers()),
+            )
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Aggregate control-plane tallies for run results."""
+        out: Dict[str, int] = {"ticks": self.ticks}
+        with self._gates_lock:
+            gates = list(self._gates.values())
+        if gates:
+            for key in ("admitted", "codel_dropped", "limit_dropped"):
+                out[key] = sum(gate.counts()[key] for gate in gates)
+        if self._admission is not None:
+            out["final_limit"] = self._admission.limit
+        if self._autoscaler is not None:
+            out["scale_ups"] = self._autoscaler.scale_ups
+            out["scale_downs"] = self._autoscaler.scale_downs
+        if self._target is not None:
+            out["active_servers"] = len(self._target.active_servers())
+        return out
+
+
+class LiveControlTarget(ControlTarget):
+    """Bind the control plane to the live transport.
+
+    Thin adapter: every signal read goes straight to the transport's
+    instances (the same objects the :mod:`repro.obs` gauges observe),
+    and scaling actions call the transport's runtime-membership API.
+    """
+
+    def __init__(self, transport, plane: ControlPlane) -> None:
+        self._transport = transport
+        self._plane = plane
+
+    def active_servers(self) -> List[int]:
+        return self._transport.active_server_ids()
+
+    def queue_snapshot(self, server_id: int, now: float) -> QueueSnapshot:
+        return self._transport.instances[server_id].queue.snapshot(now)
+
+    def server_load(self, server_id: int) -> Tuple[int, int, int]:
+        instance = self._transport.instances[server_id]
+        server = instance.server
+        return (len(instance.queue), server.busy_workers, server.alive_workers)
+
+    def gate(self, server_id: int) -> Optional[AdmissionGate]:
+        return self._plane.gate_for(server_id)
+
+    def scale_up(self) -> Optional[int]:
+        return self._transport.add_server()
+
+    def scale_down(self) -> Optional[int]:
+        return self._transport.drain_server()

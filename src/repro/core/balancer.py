@@ -47,6 +47,7 @@ __all__ = [
     "BALANCERS",
     "balancer_names",
     "make_balancer",
+    "pick_active",
 ]
 
 
@@ -183,3 +184,43 @@ def make_balancer(name: str, seed: int = 0) -> LoadBalancer:
             f"unknown balancer {name!r}; known: {balancer_names()}"
         ) from None
     return policy(seed=seed)
+
+
+def pick_active(
+    balancer: LoadBalancer,
+    depths: Sequence[int],
+    active_ids: Sequence[int],
+    avoid: Optional[int] = None,
+) -> int:
+    """Route over the *active* replica subset; return a real server id.
+
+    With runtime membership (autoscaling), the instance list is
+    append-only and draining replicas stay in place — so the balancer
+    must never see them as candidates. This helper presents the policy
+    with a dense depth vector of only the active replicas and maps its
+    positional pick back to the true server id. When every replica is
+    active (``active_ids == range(len(depths))``) the mapping is the
+    identity and the policy behaves exactly as before — static
+    topologies pay nothing for this indirection.
+
+    ``avoid`` is a server id (not a position); it is translated into
+    the dense space, and dropped when the avoided replica is not active
+    (routing away from a drained replica is automatic).
+    """
+    if not active_ids:
+        raise ValueError("no active servers to route to")
+    if len(active_ids) == 1:
+        return active_ids[0]
+    dense_depths = [depths[server_id] for server_id in active_ids]
+    dense_avoid: Optional[int] = None
+    if avoid is not None:
+        try:
+            dense_avoid = list(active_ids).index(avoid)
+        except ValueError:
+            dense_avoid = None
+    position = balancer.pick(dense_depths, avoid=dense_avoid)
+    if not 0 <= position < len(active_ids):
+        raise ValueError(
+            f"balancer picked position {position} of {len(active_ids)}"
+        )
+    return active_ids[position]

@@ -219,11 +219,54 @@ class CollectedStats:
 
         The per-server series partition the aggregate: their counts sum
         to :attr:`count` and their merged distribution is exactly the
-        distribution :meth:`summary` reports.
+        distribution :meth:`summary` reports. Summaries cover only what
+        each instance actually measured, so replicas that join late or
+        drain early contribute exactly their own completions — a
+        short-lived replica never dilutes (or inflates) another's
+        distribution.
         """
         return {
             server_id: self.server_summary(server_id, metric)
             for server_id in self.server_ids
+        }
+
+    # -- per-class views (priority scheduling) -------------------------
+    @property
+    def request_classes(self) -> List[str]:
+        """Request classes with at least one measured record (exact mode)."""
+        if self._records is None:
+            return []
+        return sorted(
+            {r.request_class for r in self._records if r.request_class}
+        )
+
+    def class_summary(
+        self, request_class: str, metric: str = "sojourn"
+    ) -> LatencySummary:
+        """Latency summary over one request class (exact mode only)."""
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected {_METRICS}")
+        if self._records is None:
+            raise ValueError("per-request records were not retained (HDR mode)")
+        attr = f"{metric}_time"
+        samples = [
+            getattr(r, attr)
+            for r in self._records
+            if r.request_class == request_class
+        ]
+        if not samples:
+            raise ValueError(f"no requests measured in class {request_class!r}")
+        return LatencySummary.from_samples(samples)
+
+    def per_class(self, metric: str = "sojourn") -> Dict[str, LatencySummary]:
+        """Per-request-class latency summaries, keyed by class name.
+
+        Empty when no classifier ran (all records unclassified) or in
+        HDR mode; the priority-scheduling experiments use exact mode.
+        """
+        return {
+            name: self.class_summary(name, metric)
+            for name in self.request_classes
         }
 
     @property

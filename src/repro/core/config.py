@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
+from ..control.config import NO_CONTROL, ControlPlaneConfig
 from ..faults import FaultPlan
 from .balancer import BALANCERS
 from .resilience import ResilienceConfig
@@ -15,6 +16,7 @@ __all__ = [
     "ObservabilityConfig",
     "SystemConfig",
     "PAPER_SYSTEM",
+    "NO_CONTROL",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
 ]
@@ -109,6 +111,19 @@ class HarnessConfig:
     observability:
         Tracing/metrics policy (see :class:`ObservabilityConfig`);
         fully disabled by default.
+    control:
+        SLO-driven control plane (see
+        :class:`repro.control.ControlPlaneConfig`): admission control,
+        priority scheduling, replica autoscaling. Fully disabled by
+        default; ``n_servers`` is then the fixed replica count, while
+        an enabled autoscaler treats it as the *initial* count.
+    load_profile:
+        Optional piecewise load schedule as ``((duration_seconds,
+        qps), ...)`` segments replacing the constant-``qps`` arrival
+        schedule — e.g. a load step for control-plane experiments.
+        ``measure_requests``/``warmup_requests`` are ignored when set;
+        the profile's duration determines the offered request count,
+        and every completion is measured.
     """
 
     configuration: str = "integrated"
@@ -126,6 +141,8 @@ class HarnessConfig:
     n_clients: int = 1
     balancer: str = "round_robin"
     observability: ObservabilityConfig = NO_OBSERVABILITY
+    control: ControlPlaneConfig = NO_CONTROL
+    load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -152,6 +169,28 @@ class HarnessConfig:
                 f"balancer must be one of {sorted(BALANCERS)}, "
                 f"got {self.balancer!r}"
             )
+        if self.load_profile is not None:
+            if not self.load_profile:
+                raise ValueError("load_profile must have >= 1 segment")
+            for segment in self.load_profile:
+                if len(segment) != 2:
+                    raise ValueError(
+                        "load_profile segments are (duration, qps) pairs"
+                    )
+                duration, qps = segment
+                if duration <= 0 or qps <= 0:
+                    raise ValueError(
+                        "load_profile durations and qps must be positive"
+                    )
+        if self.control.enabled and self.control.autoscaler is not None:
+            scaler = self.control.autoscaler
+            if not (
+                scaler.min_servers <= self.n_servers <= scaler.max_servers
+            ):
+                raise ValueError(
+                    "n_servers must lie within the autoscaler's "
+                    "[min_servers, max_servers] band"
+                )
 
     @property
     def total_requests(self) -> int:

@@ -63,6 +63,24 @@ class HarnessResult:
     #: None unless ``config.observability.tracing`` was enabled.
     obs: Optional[object] = None
 
+    #: Control-plane tallies (ticks, admitted, per-cause drops, final
+    #: AIMD limit, scale actions); empty unless control was enabled.
+    control_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-instance ``(server_id, completions, active_seconds)``. The
+    #: active window runs from the instance joining the replica set (or
+    #: run start, for the initial set) until it drained (or run end) —
+    #: so per-server rates stay honest under autoscaling membership
+    #: churn instead of dividing a late replica's completions by the
+    #: whole run.
+    server_activity: Tuple[Tuple[int, int, float], ...] = ()
+
+    def per_server_qps(self) -> Dict[int, float]:
+        """Completions per second of *active window*, per instance."""
+        return {
+            server_id: (completed / active if active > 0 else 0.0)
+            for server_id, completed, active in self.server_activity
+        }
+
     @property
     def sojourn(self) -> LatencySummary:
         return self.stats.summary("sojourn")
@@ -131,6 +149,17 @@ class HarnessResult:
                 lines.append(
                     f"  server[{server_id}]: {summary.describe()}"
                 )
+        if self.control_counts:
+            c = self.control_counts
+            lines.append(
+                f"control: ticks={c.get('ticks', 0)} "
+                f"admitted={c.get('admitted', 0)} "
+                f"codel_dropped={c.get('codel_dropped', 0)} "
+                f"limit_dropped={c.get('limit_dropped', 0)} "
+                f"scale_ups={c.get('scale_ups', 0)} "
+                f"scale_downs={c.get('scale_downs', 0)} "
+                f"active_servers={c.get('active_servers', 0)}"
+            )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -158,7 +187,11 @@ def run_harness(
     warmup prefix, and measures the rest.
     """
     clock = clock or WallClock()
-    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    # A load profile measures everything (the transient response to the
+    # load change *is* the experiment); steady-state runs keep the
+    # warmup-discard methodology.
+    warmup = 0 if config.load_profile is not None else config.warmup_requests
+    collector = StatsCollector(warmup_requests=warmup)
     injector = (
         FaultInjector(config.faults, seed=config.seed)
         if config.faults is not None and not config.faults.is_noop
@@ -168,18 +201,49 @@ def run_harness(
         config.configuration, clock, one_way_delay=config.one_way_delay
     )
 
-    client = app.make_client(seed=config.seed)
-    payloads: List = [client.next_request() for _ in range(config.total_requests)]
-
-    process = (
-        DeterministicArrivals(config.qps)
-        if config.deterministic_arrivals
-        else PoissonArrivals(config.qps)
-    )
-    schedule = ArrivalSchedule.generate(
-        process, config.total_requests, seed=config.seed
-    )
+    if config.load_profile is not None:
+        schedule = ArrivalSchedule.piecewise(
+            config.load_profile,
+            seed=config.seed,
+            deterministic=config.deterministic_arrivals,
+        )
+        profile_time = sum(d for d, _ in config.load_profile)
+        offered_qps = len(schedule) / profile_time
+    else:
+        process = (
+            DeterministicArrivals(config.qps)
+            if config.deterministic_arrivals
+            else PoissonArrivals(config.qps)
+        )
+        schedule = ArrivalSchedule.generate(
+            process, config.total_requests, seed=config.seed
+        )
+        offered_qps = config.qps
+    n_offered = len(schedule)
     shaper = TrafficShaper(clock, schedule)
+
+    client = app.make_client(seed=config.seed)
+    payloads: List = [client.next_request() for _ in range(n_offered)]
+
+    # Observability objects are created before transport start so the
+    # control plane's admission gates (built with the queues) can hold
+    # the tracer; gauge registration still happens after start, once
+    # the instances exist.
+    tracer = registry = sampler = None
+    if config.observability.tracing:
+        # Imported lazily: the default (tracing-off) path never touches
+        # the obs package at all.
+        from ..obs import MetricsRegistry, MetricsSampler, Tracer
+
+        tracer = Tracer(capacity=config.observability.trace_capacity)
+        registry = MetricsRegistry()
+    plane = loop = None
+    if config.control.enabled:
+        # Same lazy-import policy as observability: disabled runs never
+        # touch the control package.
+        from ..control import ControlLoop, ControlPlane, LiveControlTarget
+
+        plane = ControlPlane(config.control, seed=config.seed, tracer=tracer)
 
     transport.start(
         app,
@@ -189,15 +253,9 @@ def run_harness(
         queue_capacity=config.queue_capacity,
         n_servers=config.n_servers,
         balancer=make_balancer(config.balancer, seed=config.seed),
+        control=plane,
     )
-    tracer = registry = sampler = None
-    if config.observability.tracing:
-        # Imported lazily: the default (tracing-off) path never touches
-        # the obs package at all.
-        from ..obs import MetricsRegistry, MetricsSampler, Tracer
-
-        tracer = Tracer(capacity=config.observability.trace_capacity)
-        registry = MetricsRegistry()
+    if registry is not None:
         transport.set_observability(tracer, registry)
         if injector is not None:
             injector.register_metrics(registry)
@@ -205,6 +263,11 @@ def run_harness(
             registry, clock, interval=config.observability.metrics_interval
         )
         sampler.start()
+    if plane is not None:
+        plane.bind(LiveControlTarget(transport, plane))
+        plane.register_metrics(registry)
+        loop = ControlLoop(plane, clock)
+        loop.start()
     resilient: Optional[ResilientClient] = None
     if config.resilience.enabled:
         resilient = ResilientClient(
@@ -222,11 +285,30 @@ def run_harness(
         else:
             transport.drain()
     finally:
-        wall_time = clock.now() - started
+        run_end = clock.now()
+        wall_time = run_end - started
         alive_workers = transport.alive_workers
         routed_counts = tuple(
             instance.routed for instance in transport.instances
         )
+        server_activity = tuple(
+            (
+                instance.server_id,
+                instance.completed,
+                max(
+                    (
+                        instance.drained_at
+                        if instance.drained_at is not None
+                        else run_end
+                    )
+                    - max(instance.started_at, started),
+                    0.0,
+                ),
+            )
+            for instance in transport.instances
+        )
+        if loop is not None:
+            loop.stop()
         if sampler is not None:
             sampler.stop()
         if resilient is not None:
@@ -249,8 +331,8 @@ def run_harness(
     if not collector.outcomes_used:
         # No resilience layer ran: synthesize the logical tallies from
         # what the transport saw, so downstream reporting is uniform.
-        outcomes["offered"] = config.total_requests
-        outcomes["attempts"] = config.total_requests
+        outcomes["offered"] = n_offered
+        outcomes["attempts"] = n_offered
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
         outcomes["errors"] = transport.stats.errored
         outcomes["shed"] = transport.stats.shed
@@ -266,7 +348,7 @@ def run_harness(
     return HarnessResult(
         config=config,
         stats=stats,
-        offered_qps=config.qps,
+        offered_qps=offered_qps,
         achieved_qps=achieved,
         wall_time=wall_time,
         server_errors=tuple(transport.server_errors),
@@ -276,6 +358,8 @@ def run_harness(
         alive_workers=alive_workers,
         routed_counts=routed_counts,
         obs=obs,
+        control_counts=plane.counts() if plane is not None else {},
+        server_activity=server_activity,
     )
 
 

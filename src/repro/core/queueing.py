@@ -5,7 +5,7 @@ worker threads. It is the instrumentation point for the two halves of
 server-side latency: *queueing time* (enqueue -> dequeue-by-worker) and
 *service time* (worker start -> worker end), per Sec. IV of the paper.
 
-Two optional robustness features extend the paper's unbounded FIFO:
+Optional robustness/control features extend the paper's unbounded FIFO:
 
 - **bounded admission** — with a ``capacity``, :meth:`RequestQueue.put`
   sheds arrivals that would exceed it instead of letting queueing delay
@@ -13,6 +13,16 @@ Two optional robustness features extend the paper's unbounded FIFO:
   response so the request resolves instead of timing out).
 - **stall windows** — with a fault ``injector``, dequeue freezes during
   the plan's queue-stall windows, modelling a wedged dispatch path.
+- **admission gate** — with a ``gate`` (see
+  :class:`repro.control.AdmissionGate`), each arrival is first offered
+  to the control plane, which may shed it under a CoDel drop state or
+  an adaptive concurrency limit. The gate replaces the *static*
+  ``capacity`` bound as the shedding mechanism of managed servers.
+- **queue discipline** — the pending set is a pluggable *buffer*:
+  :class:`FifoBuffer` (the default, the paper's FIFO) or
+  :class:`PriorityBuffer` (strict or weighted per-class scheduling),
+  shared verbatim with the simulator so both modes dequeue in the
+  identical order.
 """
 
 from __future__ import annotations
@@ -20,25 +30,156 @@ from __future__ import annotations
 import collections
 import threading
 import time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from .clock import Clock
 from .request import Request
 
-__all__ = ["RequestQueue", "QueueClosed"]
+__all__ = [
+    "RequestQueue",
+    "PriorityRequestQueue",
+    "QueueClosed",
+    "QueueSnapshot",
+    "FifoBuffer",
+    "PriorityBuffer",
+]
 
 
 class QueueClosed(Exception):
     """Raised when getting from a closed, drained queue."""
 
 
-class RequestQueue:
-    """FIFO of :class:`Request` with enqueue timestamping.
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """Uniform point-in-time view of one queue's state.
 
-    Unbounded by default: latency-critical servers do not drop requests
-    under study loads, so saturation shows up as unbounded queueing
-    delay, exactly as in the paper's latency-vs-load curves. Pass
-    ``capacity`` to enable admission control instead.
+    Controllers and dashboards consume this one API instead of three
+    ad-hoc fields scattered over live and simulated queues:
+    ``head_sojourn`` is the CoDel signal (how long the oldest waiting
+    request has queued; 0 when empty), ``depth``/``peak_depth`` the
+    autoscaling signals, and the ``total_*`` counters the shed/admit
+    accounting. Both :meth:`RequestQueue.snapshot` and the simulator's
+    :meth:`~repro.sim.server_model.SimulatedServer.queue_snapshot`
+    produce it.
+    """
+
+    depth: int
+    peak_depth: int
+    total_enqueued: int
+    total_shed: int
+    head_sojourn: float
+
+
+class FifoBuffer:
+    """FIFO pending-request buffer — the paper's queue discipline."""
+
+    def __init__(self) -> None:
+        self._items: collections.deque = collections.deque()
+
+    def push(self, request: Request) -> None:
+        self._items.append(request)
+
+    def pop(self) -> Request:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def head_enqueued_at(self) -> Optional[float]:
+        """Enqueue instant of the oldest waiting request (None if empty)."""
+        if not self._items:
+            return None
+        return self._items[0].enqueued_at
+
+
+class PriorityBuffer:
+    """Per-class priority discipline: strict or weighted, FIFO within.
+
+    Requests carry an integer ``priority`` (higher = more urgent, see
+    :class:`repro.core.request.Request`). Two modes:
+
+    - ``strict`` — always serve the highest non-empty priority class;
+      a latency-critical class never waits behind batch work, which
+      may starve under sustained overload (that is the point: the
+      batch class absorbs the queueing, the paper's colocation story
+      inside one server).
+    - ``weighted`` — smooth weighted round-robin across non-empty
+      classes (ties break to the higher priority), so every class
+      makes progress in proportion to its configured weight.
+
+    Both modes are deterministic — no RNG — so the simulator replays
+    identically, and the identical buffer object drives the live
+    :class:`PriorityRequestQueue` and the simulated server.
+    """
+
+    def __init__(
+        self,
+        mode: str = "strict",
+        weights: Optional[Dict[int, float]] = None,
+    ) -> None:
+        if mode not in ("strict", "weighted"):
+            raise ValueError("mode must be 'strict' or 'weighted'")
+        if mode == "weighted" and not weights:
+            raise ValueError("weighted mode needs a {priority: weight} map")
+        if weights and any(w <= 0 for w in weights.values()):
+            raise ValueError("weights must be positive")
+        self._mode = mode
+        self._weights = dict(weights or {})
+        self._classes: Dict[int, collections.deque] = {}
+        self._credit: Dict[int, float] = {}
+        self._size = 0
+
+    def push(self, request: Request) -> None:
+        self._classes.setdefault(
+            request.priority, collections.deque()
+        ).append(request)
+        self._size += 1
+
+    def _pick_class(self) -> int:
+        ready = [p for p, items in self._classes.items() if items]
+        if self._mode == "strict":
+            return max(ready)
+        # Smooth weighted round-robin [nginx upstream balancing]: each
+        # ready class earns its weight, the richest class serves and
+        # pays back the total — deterministic and starvation-free.
+        total = 0.0
+        for p in ready:
+            weight = self._weights.get(p, 1.0)
+            self._credit[p] = self._credit.get(p, 0.0) + weight
+            total += weight
+        winner = max(ready, key=lambda p: (self._credit[p], p))
+        self._credit[winner] -= total
+        return winner
+
+    def pop(self) -> Request:
+        if self._size == 0:
+            raise IndexError("pop from empty PriorityBuffer")
+        winner = self._pick_class()
+        self._size -= 1
+        return self._classes[winner].popleft()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def head_enqueued_at(self) -> Optional[float]:
+        """Oldest enqueue instant across every class (None if empty)."""
+        heads = [
+            items[0].enqueued_at
+            for items in self._classes.values()
+            if items and items[0].enqueued_at is not None
+        ]
+        return min(heads) if heads else None
+
+
+class RequestQueue:
+    """Queue of :class:`Request` with enqueue timestamping.
+
+    Unbounded FIFO by default: latency-critical servers do not drop
+    requests under study loads, so saturation shows up as unbounded
+    queueing delay, exactly as in the paper's latency-vs-load curves.
+    Pass ``capacity`` for a static bound, ``gate`` for control-plane
+    admission, or ``buffer`` for a non-FIFO discipline.
     """
 
     def __init__(
@@ -46,13 +187,16 @@ class RequestQueue:
         clock: Clock,
         capacity: Optional[int] = None,
         injector=None,
+        gate=None,
+        buffer=None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self._clock = clock
         self._capacity = capacity
         self._injector = injector
-        self._items: collections.deque = collections.deque()
+        self._gate = gate
+        self._buffer = buffer if buffer is not None else FifoBuffer()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
@@ -63,30 +207,37 @@ class RequestQueue:
     def put(self, request: Request) -> bool:
         """Enqueue, stamping ``enqueued_at``.
 
-        Returns True when accepted. With a bounded queue at capacity,
-        marks the request shed and returns False instead; the caller is
-        responsible for sending the shed response back to the client.
+        Returns True when accepted. A request rejected by the admission
+        gate or a bounded queue at capacity is marked shed and False is
+        returned instead; the caller is responsible for sending the
+        shed response back to the client.
         """
         request.enqueued_at = self._clock.now()
         with self._not_empty:
             if self._closed:
                 raise QueueClosed("queue is closed")
-            if (
-                self._capacity is not None
-                and len(self._items) >= self._capacity
+            if self._gate is not None and not self._gate.admit(
+                request.enqueued_at, len(self._buffer), request
             ):
                 self._total_shed += 1
                 request.shed = True
                 return False
-            self._items.append(request)
+            if (
+                self._capacity is not None
+                and len(self._buffer) >= self._capacity
+            ):
+                self._total_shed += 1
+                request.shed = True
+                return False
+            self._buffer.push(request)
             self._total_enqueued += 1
-            if len(self._items) > self._peak_depth:
-                self._peak_depth = len(self._items)
+            if len(self._buffer) > self._peak_depth:
+                self._peak_depth = len(self._buffer)
             self._not_empty.notify()
             return True
 
     def get(self, timeout: Optional[float] = None) -> Request:
-        """Dequeue the oldest request; blocks until one is available.
+        """Dequeue the next request per the buffer's discipline.
 
         Raises :class:`QueueClosed` once the queue is closed and empty.
         The caller (worker thread) stamps ``service_start_at`` itself,
@@ -105,9 +256,9 @@ class RequestQueue:
                     stall = self._injector.queue_stall_remaining(
                         self._clock.now()
                     )
-                if self._items and stall <= 0.0:
-                    return self._items.popleft()
-                if self._closed and not self._items:
+                if len(self._buffer) and stall <= 0.0:
+                    return self._buffer.pop()
+                if self._closed and not len(self._buffer):
                     raise QueueClosed("queue is closed and drained")
                 wait = stall if stall > 0.0 else None
                 if deadline is not None:
@@ -130,11 +281,15 @@ class RequestQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items)
+            return len(self._buffer)
 
     @property
     def capacity(self) -> Optional[int]:
         return self._capacity
+
+    @property
+    def gate(self):
+        return self._gate
 
     @property
     def peak_depth(self) -> int:
@@ -150,3 +305,60 @@ class RequestQueue:
     def total_shed(self) -> int:
         with self._lock:
             return self._total_shed
+
+    def sojourn_seconds(self, now: Optional[float] = None) -> float:
+        """How long the oldest waiting request has queued (0 if empty).
+
+        This is the control plane's CoDel signal: persistent head-of-
+        line sojourn above target means the queue holds standing load
+        no amount of buffering will clear.
+        """
+        if now is None:
+            now = self._clock.now()
+        with self._lock:
+            head = self._buffer.head_enqueued_at()
+        if head is None:
+            return 0.0
+        return max(0.0, now - head)
+
+    def snapshot(self, now: Optional[float] = None) -> QueueSnapshot:
+        """One consistent :class:`QueueSnapshot` of the queue's state."""
+        if now is None:
+            now = self._clock.now()
+        with self._lock:
+            head = self._buffer.head_enqueued_at()
+            return QueueSnapshot(
+                depth=len(self._buffer),
+                peak_depth=self._peak_depth,
+                total_enqueued=self._total_enqueued,
+                total_shed=self._total_shed,
+                head_sojourn=max(0.0, now - head) if head is not None else 0.0,
+            )
+
+
+class PriorityRequestQueue(RequestQueue):
+    """Request queue with per-class priority scheduling.
+
+    A thin :class:`RequestQueue` wired to a :class:`PriorityBuffer`:
+    the thread-safety, gating, and instrumentation machinery is
+    inherited unchanged, only the dequeue order differs. ``mode`` is
+    ``strict`` (latency-critical class always first) or ``weighted``
+    (smooth weighted round-robin by the ``weights`` map).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        capacity: Optional[int] = None,
+        injector=None,
+        gate=None,
+        mode: str = "strict",
+        weights: Optional[Dict[int, float]] = None,
+    ) -> None:
+        super().__init__(
+            clock,
+            capacity=capacity,
+            injector=injector,
+            gate=gate,
+            buffer=PriorityBuffer(mode=mode, weights=weights),
+        )

@@ -58,6 +58,14 @@ class Request:
     #: the balancer in multi-server topologies; 0 in the classic
     #: single-server harness shape).
     server_id: Optional[int] = None
+    #: Scheduling priority (higher = more urgent). 0 for unclassified
+    #: traffic; set by the control plane's request classifier when
+    #: priority scheduling is enabled.
+    priority: int = 0
+    #: Name of the request class the classifier assigned (None for
+    #: unclassified traffic); carried onto the record so per-class
+    #: latency can be reported.
+    request_class: Optional[str] = None
 
     def finish(self, partial: bool = False) -> "RequestRecord":
         """Freeze into an immutable record; validates the chain.
@@ -101,6 +109,7 @@ class Request:
             logical_id=self.logical_id,
             attempt=self.attempt,
             shed=self.shed,
+            request_class=self.request_class,
         )
 
 
@@ -127,6 +136,7 @@ class RequestRecord:
     logical_id: Optional[int] = None
     attempt: int = 0
     shed: bool = False
+    request_class: Optional[str] = None
 
     @property
     def complete(self) -> bool:

@@ -188,6 +188,43 @@ class ArrivalSchedule:
             times.append(t)
         return cls(times)
 
+    @classmethod
+    def piecewise(
+        cls,
+        segments,
+        seed: int = 0,
+        start: float = 0.0,
+        deterministic: bool = False,
+    ) -> "ArrivalSchedule":
+        """Generate a load-profile schedule from (duration, qps) segments.
+
+        Each segment draws arrivals at its own rate for its duration;
+        segments are concatenated on the time axis. The whole schedule
+        comes from one seeded RNG, so a profile is exactly reproducible
+        and two runs of the same profile are paired. Used for the
+        load-step experiments that exercise the control plane (a
+        steady-state rate cannot show a controller reacting).
+        """
+        if not segments:
+            raise ValueError("need at least one (duration, qps) segment")
+        rng = random.Random(seed)
+        times: List[float] = []
+        t = start
+        for duration, qps in segments:
+            if duration <= 0 or qps <= 0:
+                raise ValueError("segment durations and qps must be positive")
+            segment_end = t + duration
+            while True:
+                gap = (1.0 / qps) if deterministic else rng.expovariate(qps)
+                if t + gap >= segment_end:
+                    break
+                t += gap
+                times.append(t)
+            t = segment_end
+        if not times:
+            raise ValueError("load profile produced no arrivals")
+        return cls(times)
+
     def __len__(self) -> int:
         return len(self.times)
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..balancer import LoadBalancer, RoundRobinBalancer
+from ..balancer import LoadBalancer, RoundRobinBalancer, pick_active
 from ..clock import Clock
 from ..collector import StatsCollector
 from ..queueing import QueueClosed, RequestQueue
@@ -67,9 +67,27 @@ class ServerInstance:
     (in flight + queued + in service), the depth signal for
     JSQ/power-of-two routing; ``routed`` counts lifetime assignments.
     Both counters are guarded by the transport's completion lock.
+
+    Runtime membership (autoscaling) makes the instance list
+    append-only: a removed replica is *drained* in place — flagged so
+    the balancer never routes to it again — rather than deleted, which
+    keeps every historical server id addressable. ``started_at`` /
+    ``drained_at`` bound the replica's active window (per-server rate
+    accounting divides by this window, not the whole run), and
+    ``completed`` counts responses this replica actually produced.
     """
 
-    __slots__ = ("server_id", "queue", "server", "outstanding", "routed")
+    __slots__ = (
+        "server_id",
+        "queue",
+        "server",
+        "outstanding",
+        "routed",
+        "completed",
+        "draining",
+        "started_at",
+        "drained_at",
+    )
 
     def __init__(self, server_id: int, queue: RequestQueue, server: Server) -> None:
         self.server_id = server_id
@@ -77,6 +95,10 @@ class ServerInstance:
         self.server = server
         self.outstanding = 0
         self.routed = 0
+        self.completed = 0
+        self.draining = False
+        self.started_at = 0.0
+        self.drained_at: Optional[float] = None
 
 
 def _replicate_app(app, index: int):
@@ -123,7 +145,14 @@ class Transport:
         # Observability hooks: None unless the run enables tracing, so
         # the hot-path cost of the default configuration is one test.
         self._tracer = None
+        self._registry = None
         self._send_delay_hist = None
+        # Control-plane hook: None unless the run enables repro.control.
+        self._control = None
+        # Start parameters retained for runtime scale-up replicas.
+        self._app = None
+        self._n_threads = 0
+        self._queue_capacity: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
     def start(
@@ -135,6 +164,7 @@ class Transport:
         queue_capacity: Optional[int] = None,
         n_servers: int = 1,
         balancer: Optional[LoadBalancer] = None,
+        control=None,
     ) -> None:
         if self._running:
             raise RuntimeError("transport already started")
@@ -143,28 +173,51 @@ class Transport:
         self._collector = collector
         self._injector = injector
         self._balancer = balancer if balancer is not None else RoundRobinBalancer()
+        self._control = control
+        self._app = app
+        self._n_threads = n_threads
+        self._queue_capacity = queue_capacity
         self._instances = []
         for server_id in range(n_servers):
-            scoped = (
-                injector.for_server(server_id) if injector is not None else None
-            )
-            queue = RequestQueue(
-                self._clock, capacity=queue_capacity, injector=scoped
-            )
-            server = Server(
-                _replicate_app(app, server_id),
-                queue,
-                self._clock,
-                n_threads=n_threads,
-                respond=self._make_responder(server_id),
-                injector=scoped,
-                server_id=server_id,
-            )
-            self._instances.append(ServerInstance(server_id, queue, server))
+            self._instances.append(self._build_instance(server_id))
         self._start_impl()
         for instance in self._instances:
             instance.server.start()
         self._running = True
+
+    def _build_instance(self, server_id: int) -> ServerInstance:
+        """Construct one replica (queue + worker pool), not yet started.
+
+        With a control plane installed, the replica's queue gets that
+        plane's queue discipline (FIFO or priority) and its per-server
+        admission gate; without one, both hooks are ``None`` and the
+        queue is byte-for-byte the pre-control-plane configuration.
+        """
+        scoped = (
+            self._injector.for_server(server_id)
+            if self._injector is not None
+            else None
+        )
+        control = self._control
+        queue = RequestQueue(
+            self._clock,
+            capacity=self._queue_capacity,
+            injector=scoped,
+            gate=control.gate_for(server_id) if control is not None else None,
+            buffer=control.make_buffer() if control is not None else None,
+        )
+        server = Server(
+            _replicate_app(self._app, server_id),
+            queue,
+            self._clock,
+            n_threads=self._n_threads,
+            respond=self._make_responder(server_id),
+            injector=scoped,
+            server_id=server_id,
+        )
+        instance = ServerInstance(server_id, queue, server)
+        instance.started_at = self._clock.now()
+        return instance
 
     def stop(self) -> None:
         if not self._running:
@@ -204,6 +257,7 @@ class Transport:
         load-generator-health signal of "Tell-Tale Tail Latencies".
         """
         self._tracer = tracer
+        self._registry = registry
         if registry is None:
             return
         self._send_delay_hist = registry.histogram(
@@ -229,31 +283,39 @@ class Transport:
                 fn=(lambda a=attr: getattr(stats, a)),
             )
         for instance in self._instances:
-            instance.server.set_tracer(tracer)
-            registry.gauge(
-                "tb_queue_depth",
-                help="Waiting requests in the replica's request queue",
-                fn=(lambda q=instance.queue: len(q)),
-                server=str(instance.server_id),
-            )
-            registry.gauge(
-                "tb_outstanding",
-                help="Routed, not-yet-answered requests per replica",
-                fn=(lambda i=instance: i.outstanding),
-                server=str(instance.server_id),
-            )
-            registry.gauge(
-                "tb_busy_workers",
-                help="Workers inside the application service window",
-                fn=(lambda s=instance.server: s.busy_workers),
-                server=str(instance.server_id),
-            )
-            registry.gauge(
-                "tb_alive_workers",
-                help="Workers not lost to injected crashes",
-                fn=(lambda s=instance.server: s.alive_workers),
-                server=str(instance.server_id),
-            )
+            self._register_instance_observability(instance)
+
+    def _register_instance_observability(self, instance: ServerInstance) -> None:
+        """Wire one replica into the tracer/registry (start or scale-up)."""
+        if self._tracer is not None:
+            instance.server.set_tracer(self._tracer)
+        registry = self._registry
+        if registry is None:
+            return
+        registry.gauge(
+            "tb_queue_depth",
+            help="Waiting requests in the replica's request queue",
+            fn=(lambda q=instance.queue: len(q)),
+            server=str(instance.server_id),
+        )
+        registry.gauge(
+            "tb_outstanding",
+            help="Routed, not-yet-answered requests per replica",
+            fn=(lambda i=instance: i.outstanding),
+            server=str(instance.server_id),
+        )
+        registry.gauge(
+            "tb_busy_workers",
+            help="Workers inside the application service window",
+            fn=(lambda s=instance.server: s.busy_workers),
+            server=str(instance.server_id),
+        )
+        registry.gauge(
+            "tb_alive_workers",
+            help="Workers not lost to injected crashes",
+            fn=(lambda s=instance.server: s.alive_workers),
+            server=str(instance.server_id),
+        )
 
     def set_completion_hook(
         self, hook: Callable[[Request], bool]
@@ -279,6 +341,56 @@ class Transport:
         """Per-instance outstanding counts (the balancer's depth vector)."""
         with self._lock:
             return [instance.outstanding for instance in self._instances]
+
+    def active_server_ids(self) -> List[int]:
+        """Ids of replicas accepting new work (non-draining)."""
+        with self._lock:
+            return [
+                instance.server_id
+                for instance in self._instances
+                if not instance.draining
+            ]
+
+    def add_server(self) -> Optional[int]:
+        """Grow the replica set by one at runtime (autoscale up).
+
+        The new replica joins with a fresh queue, worker pool, and (if
+        a control plane is installed) its own admission gate, and
+        becomes routable the moment it is appended. Returns the new
+        server id, or None when the transport is not running.
+        """
+        if not self._running:
+            return None
+        with self._lock:
+            server_id = len(self._instances)
+        instance = self._build_instance(server_id)
+        instance.server.start()
+        self._register_instance_observability(instance)
+        with self._lock:
+            self._instances.append(instance)
+        return server_id
+
+    def drain_server(self) -> Optional[int]:
+        """Shrink the replica set by one at runtime (autoscale down).
+
+        The youngest active replica stops receiving new work
+        immediately; requests already queued or in flight on it still
+        complete (the instance object stays in place so responses and
+        accounting resolve normally). Returns the drained server id, or
+        None when only one active replica remains.
+        """
+        with self._lock:
+            active = [
+                instance
+                for instance in self._instances
+                if not instance.draining
+            ]
+            if len(active) <= 1:
+                return None
+            instance = active[-1]
+            instance.draining = True
+            instance.drained_at = self._clock.now()
+            return instance.server_id
 
     @property
     def alive_workers(self) -> Tuple[int, ...]:
@@ -313,17 +425,23 @@ class Transport:
         )
         request.attempt = attempt
         request.deadline = deadline
+        if self._control is not None:
+            self._control.classify(request)
         if len(self._instances) == 1:
             server_id = 0
         else:
-            server_id = self._balancer.pick(
-                self.queue_depths(), avoid=avoid_server
+            with self._lock:
+                depths = [
+                    instance.outstanding for instance in self._instances
+                ]
+                active_ids = [
+                    instance.server_id
+                    for instance in self._instances
+                    if not instance.draining
+                ]
+            server_id = pick_active(
+                self._balancer, depths, active_ids, avoid=avoid_server
             )
-            if not 0 <= server_id < len(self._instances):
-                raise ValueError(
-                    f"balancer picked server {server_id} of "
-                    f"{len(self._instances)}"
-                )
         request.server_id = server_id
         if self._send_delay_hist is not None:
             self._send_delay_hist.observe(request.sent_at - generated_at)
@@ -455,17 +573,27 @@ class Transport:
         handled = False
         if self._completion_hook is not None:
             handled = bool(self._completion_hook(request))
-        if (
-            not handled
-            and request.error is None
-            and not request.shed
-            and not request.discard
-        ):
+        good = (
+            request.error is None and not request.shed and not request.discard
+        )
+        if not handled and good:
             self._collector.add(request.finish())
+        if self._control is not None and good:
+            # Feed the AIMD window with end-to-end sojourn — the same
+            # latency definition the run's p99 SLO is stated against.
+            self._control.observe_sojourn(
+                request.response_received_at - request.generated_at
+            )
         with self._all_done:
             self._outstanding -= 1
             self._settle_instance_locked(request)
             self.stats.completed += 1
+            if good:
+                server_id = request.server_id
+                if server_id is not None and 0 <= server_id < len(
+                    self._instances
+                ):
+                    self._instances[server_id].completed += 1
             if request.error is not None:
                 self.stats.errored += 1
             if request.shed:

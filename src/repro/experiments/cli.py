@@ -26,6 +26,7 @@ from .extensions import (
     run_ext_energy,
 )
 from .fig8 import render_fig8, run_fig8
+from .fig_control import render_fig_control, run_fig_control
 from .fig_topology import render_fig_topology, run_fig_topology
 from .table1 import render_table1, run_table1
 
@@ -50,6 +51,9 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # Multi-server topology: round-robin vs JSQ at 4 replicas, run both
     # live and simulated (runs the live harness — minutes, not seconds).
     "fig-topology": (run_fig_topology, render_fig_topology),
+    # Control plane: static vs SLO-controlled server under a 0.5x->1.5x
+    # load step, live and simulated (runs the live harness — seconds).
+    "fig-control": (run_fig_control, render_fig_control),
 }
 
 _FAST_KWARGS = {
@@ -64,6 +68,7 @@ _FAST_KWARGS = {
     "ext-colocation": {"measure_requests": 2500},
     "ext-energy": {"measure_requests": 3000},
     "fig-topology": {"measure_requests": 1200},
+    "fig-control": {"step_seconds": 0.75},
 }
 
 

@@ -48,7 +48,10 @@ LIFECYCLE_EVENTS: Tuple[Tuple[str, str], ...] = (
     ("received", "response_received_at"),
 )
 
-#: Point events: outcomes and recovery/fault markers.
+#: Point events: outcomes, recovery/fault markers, and control-plane
+#: decisions (``admit``/``drop_*`` per arrival at the admission gate,
+#: ``limit_update`` on AIMD limit changes, ``scale_*`` on membership
+#: actions — see :mod:`repro.control`).
 POINT_EVENTS: Tuple[str, ...] = (
     "retry",
     "hedge",
@@ -62,6 +65,12 @@ POINT_EVENTS: Tuple[str, ...] = (
     "fault_pause",
     "fault_crash",
     "fault_app_error",
+    "admit",
+    "drop_codel",
+    "drop_limit",
+    "limit_update",
+    "scale_up",
+    "scale_down",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

@@ -26,9 +26,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.balancer import BALANCERS, LoadBalancer, make_balancer
+from ..core.balancer import BALANCERS, LoadBalancer, make_balancer, pick_active
 from ..core.collector import CollectedStats, StatsCollector
-from ..core.config import NO_OBSERVABILITY, NO_RESILIENCE, ObservabilityConfig
+from ..core.config import (
+    NO_CONTROL,
+    NO_OBSERVABILITY,
+    NO_RESILIENCE,
+    ControlPlaneConfig,
+    ObservabilityConfig,
+)
 from ..core.request import Request
 from ..core.resilience import (
     ResilienceConfig,
@@ -89,6 +95,14 @@ class SimConfig:
     #: when on, the simulator emits the same event schema as the live
     #: harness and samples metrics as a recurring virtual-time event.
     observability: ObservabilityConfig = NO_OBSERVABILITY
+    #: SLO-driven control plane (see :mod:`repro.control`). Off by
+    #: default; control ticks become recurring virtual-time events, so
+    #: controlled runs stay deterministic under a fixed seed.
+    control: ControlPlaneConfig = NO_CONTROL
+    #: Optional piecewise ``((duration, qps), ...)`` load schedule
+    #: replacing the constant-rate arrival process (warmup discard is
+    #: skipped; the transient is the measurement).
+    load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -108,6 +122,28 @@ class SimConfig:
                 f"balancer must be one of {sorted(BALANCERS)}, "
                 f"got {self.balancer!r}"
             )
+        if self.load_profile is not None:
+            if not self.load_profile:
+                raise ValueError("load_profile must have >= 1 segment")
+            for segment in self.load_profile:
+                if len(segment) != 2:
+                    raise ValueError(
+                        "load_profile segments are (duration, qps) pairs"
+                    )
+                duration, qps = segment
+                if duration <= 0 or qps <= 0:
+                    raise ValueError(
+                        "load_profile durations and qps must be positive"
+                    )
+        if self.control.enabled and self.control.autoscaler is not None:
+            scaler = self.control.autoscaler
+            if not (
+                scaler.min_servers <= self.n_servers <= scaler.max_servers
+            ):
+                raise ValueError(
+                    "n_servers must lie within the autoscaler's "
+                    "[min_servers, max_servers] band"
+                )
 
     @property
     def total_requests(self) -> int:
@@ -144,6 +180,19 @@ class SimResult:
     #: Observability artifacts (trace events, metric series, snapshot);
     #: None unless ``config.observability.tracing`` was enabled.
     obs: Optional[object] = None
+    #: Control-plane tallies (mirrors HarnessResult.control_counts).
+    control_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-instance ``(server_id, completions, active_seconds)`` — the
+    #: active window runs from join to drain, so per-server rates stay
+    #: honest under autoscaling membership churn.
+    server_activity: Tuple[Tuple[int, int, float], ...] = ()
+
+    def per_server_qps(self) -> Dict[int, float]:
+        """Completions per second of *active window*, per instance."""
+        return {
+            server_id: (completed / active if active > 0 else 0.0)
+            for server_id, completed, active in self.server_activity
+        }
 
     @property
     def sojourn(self) -> LatencySummary:
@@ -202,6 +251,17 @@ class SimResult:
                 f"routed={list(self.routed_counts)} "
                 f"alive_workers={list(self.alive_workers)}"
             )
+        if self.control_counts:
+            c = self.control_counts
+            lines.append(
+                f"control: ticks={c.get('ticks', 0)} "
+                f"admitted={c.get('admitted', 0)} "
+                f"codel_dropped={c.get('codel_dropped', 0)} "
+                f"limit_dropped={c.get('limit_dropped', 0)} "
+                f"scale_ups={c.get('scale_ups', 0)} "
+                f"scale_downs={c.get('scale_downs', 0)} "
+                f"active_servers={c.get('active_servers', 0)}"
+            )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -225,22 +285,80 @@ class _Topology:
     wraps each server's response callback so the slot is released when
     the response event fires. With one server the balancer is never
     consulted, so the single-server event/RNG streams are untouched.
+
+    With a control plane the topology also owns runtime membership,
+    mirroring the live transport: the server list is append-only
+    (``add_server`` via ``server_factory``), removed replicas drain in
+    place, and routing only ever targets the active subset (see
+    :func:`repro.core.balancer.pick_active`).
     """
 
     def __init__(
-        self, servers: List[SimulatedServer], balancer: LoadBalancer
+        self,
+        servers: List[SimulatedServer],
+        balancer: LoadBalancer,
+        engine: Optional[Engine] = None,
+        server_factory: Optional[Callable[[int], SimulatedServer]] = None,
+        plane=None,
     ) -> None:
         self._servers = servers
         self._balancer = balancer
+        self._engine = engine
+        self._factory = server_factory
+        self._plane = plane
+        self._sink: Optional[Callable[[Request], None]] = None
         self._outstanding = [0] * len(servers)
         self.routed = [0] * len(servers)
+        #: Hook run on every runtime-added server (gauge registration).
+        self.on_server_added: Optional[Callable[[SimulatedServer], None]] = None
 
     @property
     def servers(self) -> List[SimulatedServer]:
         return list(self._servers)
 
+    def server(self, server_id: int) -> SimulatedServer:
+        return self._servers[server_id]
+
     def depths(self) -> List[int]:
         return list(self._outstanding)
+
+    def active_ids(self) -> List[int]:
+        return [
+            server.server_id
+            for server in self._servers
+            if not server.draining
+        ]
+
+    def add_server(self) -> Optional[int]:
+        """Grow the replica set by one at runtime (autoscale up)."""
+        if self._factory is None:
+            return None
+        server_id = len(self._servers)
+        server = self._factory(server_id)
+        self._servers.append(server)
+        self._outstanding.append(0)
+        self.routed.append(0)
+        if self._sink is not None:
+            server.set_response_callback(self._sink)
+        if self.on_server_added is not None:
+            self.on_server_added(server)
+        return server_id
+
+    def drain_server(self) -> Optional[int]:
+        """Stop routing to the youngest active replica (autoscale down).
+
+        Work already queued on it still completes — the server object
+        stays in place, exactly like the live transport's drain.
+        """
+        active = [s for s in self._servers if not s.draining]
+        if len(active) <= 1:
+            return None
+        server = active[-1]
+        server.draining = True
+        server.drained_at = (
+            self._engine.now if self._engine is not None else None
+        )
+        return server.server_id
 
     def submit_attempt(
         self,
@@ -255,11 +373,16 @@ class _Topology:
         and lands on that server, as on the live wire.
         """
         if request.server_id is None:
+            if self._plane is not None:
+                self._plane.classify(request)
             if len(self._servers) == 1:
                 request.server_id = 0
             else:
-                request.server_id = self._balancer.pick(
-                    self.depths(), avoid=avoid
+                request.server_id = pick_active(
+                    self._balancer,
+                    self.depths(),
+                    self.active_ids(),
+                    avoid=avoid,
                 )
         server_id = request.server_id
         self._outstanding[server_id] += 1
@@ -279,10 +402,56 @@ class _Topology:
             self._outstanding[server_id] = max(
                 self._outstanding[server_id] - 1, 0
             )
+            if (
+                self._plane is not None
+                and request.error is None
+                and not request.shed
+                and not request.discard
+            ):
+                # Same AIMD signal the live transport feeds: end-to-end
+                # sojourn of every successful completion.
+                self._plane.observe_sojourn(
+                    request.response_received_at - request.generated_at
+                )
             callback(request)
 
+        self._sink = sink
         for server in self._servers:
             server.set_response_callback(sink)
+
+
+class _SimControlTarget:
+    """Bind the control plane to the simulated topology.
+
+    Duck-typed :class:`repro.control.ControlTarget` (kept import-free
+    so the control package loads only on controlled runs): controllers
+    read virtual-time queue snapshots and load gauges and actuate
+    runtime membership on the topology — the identical controller code
+    that drives the live transport.
+    """
+
+    def __init__(self, topology: _Topology, plane) -> None:
+        self._topology = topology
+        self._plane = plane
+
+    def active_servers(self) -> List[int]:
+        return self._topology.active_ids()
+
+    def queue_snapshot(self, server_id: int, now: float):
+        return self._topology.server(server_id).queue_snapshot(now)
+
+    def server_load(self, server_id: int) -> Tuple[int, int, int]:
+        server = self._topology.server(server_id)
+        return (server.queue_len, server.busy_workers, server.workers_alive)
+
+    def gate(self, server_id: int):
+        return self._plane.gate_for(server_id)
+
+    def scale_up(self) -> Optional[int]:
+        return self._topology.add_server()
+
+    def scale_down(self) -> Optional[int]:
+        return self._topology.drain_server()
 
 
 class _SimClient:
@@ -523,7 +692,10 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         added_occupancy=network.server_occupancy,
     )
     engine = Engine()
-    collector = StatsCollector(warmup_requests=config.warmup_requests)
+    # A load profile measures everything (the transient response is the
+    # experiment); steady-state runs keep the warmup-discard methodology.
+    warmup = 0 if config.load_profile is not None else config.warmup_requests
+    collector = StatsCollector(warmup_requests=warmup)
     injector = (
         FaultInjector(config.faults, seed=config.seed)
         if config.faults is not None and not config.faults.is_noop
@@ -537,50 +709,80 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
 
         tracer = Tracer(capacity=config.observability.trace_capacity)
         registry = MetricsRegistry()
-    servers: List[SimulatedServer] = []
-    for server_id in range(config.n_servers):
+    plane = None
+    if config.control.enabled:
+        # Same lazy-import policy: uncontrolled runs never touch the
+        # control package.
+        from ..control import ControlPlane
+
+        plane = ControlPlane(config.control, seed=config.seed, tracer=tracer)
+
+    def make_server(server_id: int) -> SimulatedServer:
         # Server 0 keeps the pre-topology stream seed so n_servers=1
         # reproduces the original single-server simulator bit-for-bit;
-        # replicas draw from independently seeded streams.
+        # replicas (including runtime scale-ups) draw from
+        # independently seeded streams, so controlled runs stay
+        # deterministic no matter when a replica joins.
         rng = random.Random((config.seed ^ 0x5EED) + 1_000_003 * server_id)
         scoped = (
             injector.for_server(server_id) if injector is not None else None
         )
-        servers.append(
-            SimulatedServer(
-                engine,
-                service_model,
-                network,
-                config.n_threads,
-                collector,
-                rng,
-                injector=scoped,
-                queue_capacity=config.queue_capacity,
-                server_id=server_id,
-                tracer=tracer,
-            )
+        server = SimulatedServer(
+            engine,
+            service_model,
+            network,
+            config.n_threads,
+            collector,
+            rng,
+            injector=scoped,
+            queue_capacity=config.queue_capacity,
+            server_id=server_id,
+            tracer=tracer,
+            gate=plane.gate_for(server_id) if plane is not None else None,
+            buffer=plane.make_buffer() if plane is not None else None,
         )
+        server.started_at = engine.now
+        return server
+
+    servers: List[SimulatedServer] = [
+        make_server(server_id) for server_id in range(config.n_servers)
+    ]
     topology = _Topology(
-        servers, make_balancer(config.balancer, seed=config.seed)
+        servers,
+        make_balancer(config.balancer, seed=config.seed),
+        engine=engine,
+        server_factory=make_server if plane is not None else None,
+        plane=plane,
     )
     if injector is not None:
         injector.start_run(0.0)
         if registry is not None:
             injector.register_metrics(registry)
-    process = (
-        DeterministicArrivals(config.qps)
-        if config.deterministic_arrivals
-        else PoissonArrivals(config.qps)
-    )
-    schedule = ArrivalSchedule.generate(
-        process, config.total_requests, seed=config.seed
-    )
+    if config.load_profile is not None:
+        schedule = ArrivalSchedule.piecewise(
+            config.load_profile,
+            seed=config.seed,
+            deterministic=config.deterministic_arrivals,
+        )
+        profile_time = sum(d for d, _ in config.load_profile)
+        offered_qps = len(schedule) / profile_time
+    else:
+        process = (
+            DeterministicArrivals(config.qps)
+            if config.deterministic_arrivals
+            else PoissonArrivals(config.qps)
+        )
+        schedule = ArrivalSchedule.generate(
+            process, config.total_requests, seed=config.seed
+        )
+        offered_qps = config.qps
+    n_offered = len(schedule)
     if registry is not None:
         # Same gauge families the live transport registers, read lazily
         # from existing counters — sampling is a recurring virtual-time
         # event, not a thread, bounded by the arrival horizon so the
         # event heap still drains.
-        for server in servers:
+        def register_server_gauges(server: SimulatedServer) -> None:
             labels = {"server": str(server.server_id)}
             registry.gauge(
                 "tb_queue_depth", help="Requests waiting in the queue",
@@ -609,6 +811,10 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
                 ),
                 **labels,
             )
+
+        for server in servers:
+            register_server_gauges(server)
+        topology.on_server_added = register_server_gauges
         registry.gauge(
             "tb_inflight", help="Attempts in flight across all servers",
             fn=(lambda t=topology: sum(t.depths())),
@@ -626,6 +832,20 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
                 engine.after(interval, tick)
 
         engine.at(0.0, tick)
+    if plane is not None:
+        plane.bind(_SimControlTarget(topology, plane))
+        plane.register_metrics(registry)
+        control_horizon = schedule.times[-1]
+        tick_interval = config.control.tick_interval
+
+        def control_tick() -> None:
+            plane.tick(engine.now)
+            if engine.now + tick_interval <= control_horizon:
+                engine.after(tick_interval, control_tick)
+
+        # First tick one interval in — at t=0 there is nothing to
+        # observe; bounded by the arrival horizon so the heap drains.
+        engine.at(tick_interval, control_tick)
     client: Optional[_SimClient] = None
     if injector is not None or config.resilience.enabled:
         client = _SimClient(
@@ -634,7 +854,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         )
         for generated_at in schedule:
             engine.at(generated_at, client.begin, generated_at)
-    elif config.n_servers == 1:
+    elif config.n_servers == 1 and plane is None:
         # Original direct path: no routing events on the heap, so the
         # single-server event stream is byte-identical to before.
         for generated_at in schedule:
@@ -681,19 +901,41 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     stats = collector.snapshot()
     outcomes = collector.outcome_counts()
     if not collector.outcomes_used:
-        outcomes["offered"] = config.total_requests
-        outcomes["attempts"] = config.total_requests
+        outcomes["offered"] = n_offered
+        outcomes["attempts"] = n_offered
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
         outcomes["shed"] = sum(server.shed_count for server in servers)
     goodput = outcomes.get("succeeded", 0) / elapsed if elapsed > 0 else 0.0
     total_busy = sum(server.busy_time for server in servers)
-    capacity = elapsed * config.n_threads * config.n_servers
+    # Capacity integrates each replica's *active window* — for a static
+    # topology every window equals the whole run and this reduces to
+    # elapsed * n_threads * n_servers; under autoscaling it charges a
+    # late-joining or early-drained replica only for its tenure.
+    server_activity = tuple(
+        (
+            server.server_id,
+            server.good_completed,
+            max(
+                (
+                    server.drained_at
+                    if server.drained_at is not None
+                    else elapsed
+                )
+                - server.started_at,
+                0.0,
+            ),
+        )
+        for server in servers
+    )
+    capacity = sum(
+        active * config.n_threads for _, _, active in server_activity
+    )
     return SimResult(
         profile_name=profile.name,
         config=config,
         stats=stats,
-        offered_qps=config.qps,
-        utilization=total_busy / capacity if elapsed > 0 else 0.0,
+        offered_qps=offered_qps,
+        utilization=total_busy / capacity if capacity > 0 else 0.0,
         virtual_time=elapsed,
         outcomes=outcomes,
         goodput_qps=goodput,
@@ -701,6 +943,8 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         alive_workers=tuple(server.workers_alive for server in servers),
         routed_counts=tuple(topology.routed),
         obs=obs,
+        control_counts=plane.counts() if plane is not None else {},
+        server_activity=server_activity,
     )
 
 

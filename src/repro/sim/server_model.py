@@ -17,11 +17,11 @@ with a shed response (admission control).
 
 from __future__ import annotations
 
-import collections
 import random
 from typing import Callable, Optional
 
 from ..core.collector import StatsCollector
+from ..core.queueing import FifoBuffer, QueueSnapshot
 from ..core.request import Request
 from .engine import Engine
 from .network_model import NetworkModel
@@ -66,6 +66,13 @@ class SimulatedServer:
         the *same* event schema as the live harness — lifecycle spans
         on every response, ``fault_*`` markers as faults fire — so
         live and virtual-time traces diff directly.
+    gate:
+        Optional :class:`repro.control.AdmissionGate` consulted on
+        every arrival — the *same* gate object type (and therefore the
+        same CoDel/AIMD decision code) the live request queue uses.
+    buffer:
+        Optional queue-discipline buffer (see
+        :class:`repro.core.queueing.PriorityBuffer`); FIFO when None.
     """
 
     def __init__(
@@ -81,6 +88,8 @@ class SimulatedServer:
         on_response: Optional[Callable[[Request], None]] = None,
         server_id: int = 0,
         tracer=None,
+        gate=None,
+        buffer=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -97,15 +106,24 @@ class SimulatedServer:
         self._on_response_cb = on_response
         self.server_id = server_id
         self._tracer = tracer
-        self._queue: collections.deque = collections.deque()
+        self._gate = gate
+        self._queue = buffer if buffer is not None else FifoBuffer()
         self._busy_workers = 0
         self._workers_alive = n_threads
         self._stall_event_pending = False
         self.peak_queue_depth = 0
         self.completed = 0
+        self.good_completed = 0
         self.shed_count = 0
         self.crashed_workers = 0
         self.busy_time = 0.0
+        self.total_enqueued = 0
+        # Runtime-membership bookkeeping (mirrors the live
+        # ServerInstance fields): the topology sets these when replicas
+        # join or drain, and per-server rate accounting reads them.
+        self.draining = False
+        self.started_at = 0.0
+        self.drained_at: Optional[float] = None
 
     def set_response_callback(
         self, callback: Callable[[Request], None]
@@ -147,13 +165,24 @@ class SimulatedServer:
 
     def _on_arrival(self, request: Request) -> None:
         request.enqueued_at = self._engine.now
+        # The admission gate sees every arrival — including ones a free
+        # worker could start immediately — exactly as the live queue's
+        # put path does, so admit/drop tallies match across modes.
+        if self._gate is not None and not self._gate.admit(
+            request.enqueued_at, len(self._queue), request
+        ):
+            request.shed = True
+            self.shed_count += 1
+            self._schedule_response(request)
+            return
         stall = self._stall_remaining()
         can_start = (
             stall <= 0.0
             and self._busy_workers < self._workers_alive
-            and not self._queue
+            and not len(self._queue)
         )
         if can_start:
+            self.total_enqueued += 1
             self._start_service(request)
             return
         if self._capacity is not None and len(self._queue) >= self._capacity:
@@ -161,7 +190,8 @@ class SimulatedServer:
             self.shed_count += 1
             self._schedule_response(request)
             return
-        self._queue.append(request)
+        self._queue.push(request)
+        self.total_enqueued += 1
         if len(self._queue) > self.peak_queue_depth:
             self.peak_queue_depth = len(self._queue)
         if stall > 0.0:
@@ -177,12 +207,12 @@ class SimulatedServer:
         self._dispatch()
 
     def _dispatch(self) -> None:
-        while self._queue and self._busy_workers < self._workers_alive:
+        while len(self._queue) and self._busy_workers < self._workers_alive:
             stall = self._stall_remaining()
             if stall > 0.0:
                 self._schedule_stall_end(stall)
                 return
-            self._start_service(self._queue.popleft())
+            self._start_service(self._queue.pop())
 
     def _start_service(self, request: Request) -> None:
         self._busy_workers += 1
@@ -237,6 +267,8 @@ class SimulatedServer:
     def _on_response(self, request: Request) -> None:
         request.response_received_at = self._engine.now
         self.completed += 1
+        if request.error is None and not request.shed and not request.discard:
+            self.good_completed += 1
         if self._tracer is not None:
             if request.shed:
                 outcome = "shed"
@@ -272,8 +304,25 @@ class SimulatedServer:
         """Queued plus in-service requests — the JSQ/P2C load signal."""
         return len(self._queue) + self._busy_workers
 
+    @property
+    def n_threads(self) -> int:
+        return self._n_threads
+
     def utilization(self, elapsed: float) -> float:
         """Mean fraction of workers busy over ``elapsed`` virtual seconds."""
         if elapsed <= 0:
             raise ValueError("elapsed must be positive")
         return self.busy_time / (elapsed * self._n_threads)
+
+    def queue_snapshot(self, now: Optional[float] = None) -> QueueSnapshot:
+        """The same :class:`QueueSnapshot` view the live queue exposes."""
+        if now is None:
+            now = self._engine.now
+        head = self._queue.head_enqueued_at()
+        return QueueSnapshot(
+            depth=len(self._queue),
+            peak_depth=self.peak_queue_depth,
+            total_enqueued=self.total_enqueued,
+            total_shed=self.shed_count,
+            head_sojourn=max(0.0, now - head) if head is not None else 0.0,
+        )

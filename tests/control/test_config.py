@@ -1,0 +1,131 @@
+"""Validation rules of the control-plane configuration objects."""
+
+import pytest
+
+from repro.control import (
+    NO_CONTROL,
+    AdmissionConfig,
+    AutoscalerConfig,
+    ControlPlaneConfig,
+    PriorityConfig,
+    RequestClassSpec,
+)
+
+
+class TestAdmissionConfig:
+    def test_defaults_valid(self):
+        config = AdmissionConfig()
+        assert config.min_limit <= config.initial_limit <= config.max_limit
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_p99": 0.0},
+            {"codel_target": -0.01},
+            {"codel_interval": 0.0},
+            {"min_limit": 0},
+            {"max_limit": 2, "min_limit": 4},
+            {"initial_limit": 10_000},
+            {"additive_increase": 0},
+            {"multiplicative_decrease": 1.0},
+            {"multiplicative_decrease": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+
+class TestPriorityConfig:
+    def test_weights_map(self):
+        config = PriorityConfig(
+            classes=(
+                RequestClassSpec("interactive", priority=1, weight=3.0,
+                                 fraction=0.7),
+                RequestClassSpec("batch", priority=0, weight=1.0,
+                                 fraction=0.3),
+            ),
+            mode="weighted",
+        )
+        assert config.weights() == {1: 3.0, 0: 1.0}
+
+    def test_rejects_empty_classes(self):
+        with pytest.raises(ValueError):
+            PriorityConfig(classes=())
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PriorityConfig(
+                classes=(RequestClassSpec("only"),), mode="fifo"
+            )
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            PriorityConfig(
+                classes=(
+                    RequestClassSpec("a", fraction=0.5),
+                    RequestClassSpec("a", fraction=0.5),
+                )
+            )
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            PriorityConfig(
+                classes=(
+                    RequestClassSpec("a", fraction=0.5),
+                    RequestClassSpec("b", fraction=0.3),
+                )
+            )
+
+    def test_rejects_bad_spec_fields(self):
+        with pytest.raises(ValueError):
+            RequestClassSpec("")
+        with pytest.raises(ValueError):
+            RequestClassSpec("a", weight=0.0)
+        with pytest.raises(ValueError):
+            RequestClassSpec("a", fraction=0.0)
+
+
+class TestAutoscalerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_servers": 0},
+            {"max_servers": 1, "min_servers": 2},
+            {"scale_up_depth": 0.0},
+            {"scale_down_util": 1.0},
+            {"hysteresis_ticks": 0},
+            {"cooldown": -1.0},
+            {"util_smoothing": 0.0},
+            {"util_smoothing": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**kwargs)
+
+
+class TestControlPlaneConfig:
+    def test_disabled_default_is_no_control(self):
+        assert NO_CONTROL.enabled is False
+        assert NO_CONTROL.admission is None
+        assert NO_CONTROL.priority is None
+        assert NO_CONTROL.autoscaler is None
+
+    def test_enabled_requires_a_controller(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(enabled=True)
+
+    def test_enabled_with_any_controller_is_valid(self):
+        config = ControlPlaneConfig(
+            enabled=True, admission=AdmissionConfig()
+        )
+        assert config.admission is not None
+
+    def test_rejects_bad_tick_interval(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(
+                enabled=True,
+                tick_interval=0.0,
+                admission=AdmissionConfig(),
+            )

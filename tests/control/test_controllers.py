@@ -1,0 +1,233 @@
+"""Controller state machines against a scripted fake target."""
+
+from repro.control import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionGate,
+    AutoscaleController,
+    AutoscalerConfig,
+)
+from repro.core.queueing import QueueSnapshot
+
+
+def snapshot(depth=0, head_sojourn=0.0):
+    return QueueSnapshot(
+        depth=depth, peak_depth=depth, total_enqueued=0, total_shed=0,
+        head_sojourn=head_sojourn,
+    )
+
+
+class FakeTarget:
+    """Scripted ControlTarget: tests poke the signals directly."""
+
+    def __init__(self, config, n_servers=1):
+        self._gates = {
+            i: AdmissionGate(config, server_id=i) for i in range(n_servers)
+        }
+        self.head_sojourn = {i: 0.0 for i in range(n_servers)}
+        self.load = {i: (0, 0, 1) for i in range(n_servers)}
+        self.scale_up_calls = 0
+        self.scale_down_calls = 0
+
+    def active_servers(self):
+        return sorted(self._gates)
+
+    def queue_snapshot(self, server_id, now):
+        return snapshot(head_sojourn=self.head_sojourn[server_id])
+
+    def server_load(self, server_id):
+        return self.load[server_id]
+
+    def gate(self, server_id):
+        return self._gates[server_id]
+
+    def scale_up(self):
+        self.scale_up_calls += 1
+        server_id = len(self._gates)
+        self._gates[server_id] = AdmissionGate(
+            AdmissionConfig(), server_id=server_id
+        )
+        self.head_sojourn[server_id] = 0.0
+        self.load[server_id] = (0, 0, 1)
+        return server_id
+
+    def scale_down(self):
+        self.scale_down_calls += 1
+        server_id = max(self._gates)
+        del self._gates[server_id]
+        self.head_sojourn.pop(server_id)
+        self.load.pop(server_id)
+        return server_id
+
+
+class FakeSignals:
+    def __init__(self):
+        self.next_p99 = None
+
+    def window_p99(self):
+        return self.next_p99
+
+
+class TestAdmissionControllerCodel:
+    def make(self, **kwargs):
+        defaults = dict(codel_target=0.02, codel_interval=0.1)
+        defaults.update(kwargs)
+        config = AdmissionConfig(**defaults)
+        target = FakeTarget(config)
+        signals = FakeSignals()
+        return AdmissionController(config, target, signals), target
+
+    def test_enters_drop_state_after_sustained_bad_sojourn(self):
+        controller, target = self.make()
+        target.head_sojourn[0] = 0.05  # above target
+        controller.tick(0.0)  # first bad observation: not yet
+        assert not target.gate(0).dropping
+        controller.tick(0.1)  # bad for a full interval: enter
+        assert target.gate(0).dropping
+
+    def test_brief_spike_does_not_enter_drop_state(self):
+        controller, target = self.make()
+        target.head_sojourn[0] = 0.05
+        controller.tick(0.0)
+        target.head_sojourn[0] = 0.0  # recovered before the interval
+        controller.tick(0.05)
+        target.head_sojourn[0] = 0.05  # the streak restarts
+        controller.tick(0.1)
+        assert not target.gate(0).dropping
+
+    def test_recovery_releases_drop_state(self):
+        controller, target = self.make()
+        target.head_sojourn[0] = 0.05
+        controller.tick(0.0)
+        controller.tick(0.1)
+        assert target.gate(0).dropping
+        target.head_sojourn[0] = 0.01  # back under target
+        controller.tick(0.2)
+        assert not target.gate(0).dropping
+
+
+class TestAdmissionControllerAimd:
+    def make(self, **kwargs):
+        defaults = dict(
+            target_p99=0.05, initial_limit=100, min_limit=1,
+            additive_increase=1, multiplicative_decrease=0.5,
+        )
+        defaults.update(kwargs)
+        config = AdmissionConfig(**defaults)
+        target = FakeTarget(config)
+        signals = FakeSignals()
+        return AdmissionController(config, target, signals), target, signals
+
+    def test_multiplicative_decrease_above_target(self):
+        controller, target, signals = self.make()
+        signals.next_p99 = 0.2
+        controller.tick(0.0)
+        assert controller.limit == 50
+        assert target.gate(0).limit == 50
+
+    def test_additive_increase_at_or_under_target(self):
+        controller, target, signals = self.make()
+        signals.next_p99 = 0.01
+        controller.tick(0.0)
+        assert controller.limit == 101
+
+    def test_empty_window_leaves_limit_alone(self):
+        controller, target, signals = self.make()
+        signals.next_p99 = None
+        controller.tick(0.0)
+        assert controller.limit == 100
+
+    def test_limit_never_below_min(self):
+        controller, target, signals = self.make(min_limit=8)
+        signals.next_p99 = 1.0
+        for i in range(20):
+            controller.tick(float(i))
+        assert controller.limit == 8
+
+    def test_limit_installed_on_every_active_gate(self):
+        config = AdmissionConfig(initial_limit=100, multiplicative_decrease=0.5)
+        target = FakeTarget(config, n_servers=3)
+        signals = FakeSignals()
+        controller = AdmissionController(config, target, signals)
+        signals.next_p99 = 1.0
+        controller.tick(0.0)
+        assert all(target.gate(i).limit == 50 for i in range(3))
+
+
+class TestAutoscaleController:
+    def make(self, **kwargs):
+        defaults = dict(
+            min_servers=1, max_servers=4, scale_up_depth=4.0,
+            scale_down_util=0.2, hysteresis_ticks=2, cooldown=1.0,
+            util_smoothing=1.0,  # raw samples unless a test opts in
+        )
+        defaults.update(kwargs)
+        config = AutoscalerConfig(**defaults)
+        target = FakeTarget(AdmissionConfig())
+        return AutoscaleController(config, target), target
+
+    def test_scale_up_needs_hysteresis_streak(self):
+        controller, target = self.make()
+        target.load[0] = (10, 1, 1)
+        controller.tick(0.0)
+        assert target.scale_up_calls == 0  # one breach is not enough
+        controller.tick(0.1)
+        assert target.scale_up_calls == 1
+        assert controller.scale_ups == 1
+
+    def test_broken_streak_resets(self):
+        controller, target = self.make()
+        target.load[0] = (10, 1, 1)
+        controller.tick(0.0)
+        target.load[0] = (0, 1, 1)  # healthy tick in between
+        controller.tick(0.1)
+        target.load[0] = (10, 1, 1)
+        controller.tick(0.2)
+        assert target.scale_up_calls == 0
+
+    def test_cooldown_blocks_back_to_back_actions(self):
+        controller, target = self.make()
+        target.load[0] = (10, 1, 1)
+        controller.tick(0.0)
+        controller.tick(0.1)  # scales up at t=0.1
+        target.load = {i: (10, 1, 1) for i in target.load}
+        controller.tick(0.2)
+        controller.tick(0.3)  # streak satisfied but inside cooldown
+        assert target.scale_up_calls == 1
+        controller.tick(1.2)
+        controller.tick(1.3)  # cooldown expired
+        assert target.scale_up_calls == 2
+
+    def test_scale_down_on_sustained_idleness(self):
+        controller, target = self.make()
+        target.scale_up()
+        target.load = {i: (0, 0, 1) for i in target.load}
+        controller.tick(0.0)
+        controller.tick(0.1)
+        assert target.scale_down_calls == 1
+
+    def test_never_scales_below_min(self):
+        controller, target = self.make()
+        target.load[0] = (0, 0, 1)
+        for i in range(10):
+            controller.tick(float(i) * 2)  # spaced beyond cooldown
+        assert target.scale_down_calls == 0
+
+    def test_never_scales_above_max(self):
+        controller, target = self.make(max_servers=2)
+        target.load[0] = (10, 1, 1)
+        for i in range(10):
+            target.load = {j: (10, 1, 1) for j in target.load}
+            controller.tick(float(i) * 2)
+        assert len(target.active_servers()) == 2
+
+    def test_smoothing_ignores_instantaneous_idle_samples(self):
+        # At moderate load the 0/1 busy sample is often 0; with EWMA
+        # smoothing a short run of idle samples must not scale down.
+        controller, target = self.make(util_smoothing=0.2)
+        target.scale_up()
+        busy = [(1, 1, 1), (1, 1, 1), (0, 0, 1), (0, 0, 1), (1, 1, 1)]
+        for i, load in enumerate(busy * 4):
+            target.load = {j: load for j in target.load}
+            controller.tick(float(i) * 2)
+        assert target.scale_down_calls == 0

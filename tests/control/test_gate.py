@@ -1,0 +1,105 @@
+"""Admission-gate decision semantics: AIMD limit + CoDel drop state."""
+
+import math
+
+from repro.control import AdmissionConfig, AdmissionGate
+from repro.obs import Tracer
+
+
+def make_gate(tracer=None, **kwargs):
+    defaults = dict(initial_limit=4, min_limit=1, max_limit=64)
+    defaults.update(kwargs)
+    return AdmissionGate(
+        AdmissionConfig(**defaults), server_id=0, tracer=tracer
+    )
+
+
+class TestLimitDrops:
+    def test_admits_below_limit(self):
+        gate = make_gate()
+        assert gate.admit(now=0.0, depth=3)
+        assert gate.counts() == {
+            "admitted": 1, "codel_dropped": 0, "limit_dropped": 0,
+        }
+
+    def test_sheds_at_limit(self):
+        gate = make_gate()
+        assert not gate.admit(now=0.0, depth=4)
+        assert gate.counts()["limit_dropped"] == 1
+
+    def test_set_limit_clamps_to_band(self):
+        gate = make_gate(min_limit=2, max_limit=8, initial_limit=4)
+        gate.set_limit(100, now=0.0)
+        assert gate.limit == 8
+        gate.set_limit(0, now=0.0)
+        assert gate.limit == 2
+
+    def test_limit_update_traced_only_on_change(self):
+        tracer = Tracer()
+        gate = make_gate(tracer=tracer)
+        gate.set_limit(10, now=1.0)
+        gate.set_limit(10, now=2.0)  # no-op: same limit
+        updates = [e for e in tracer.events() if e.kind == "limit_update"]
+        assert len(updates) == 1
+        assert updates[0].value == 10.0
+
+
+class TestCodelDropState:
+    def test_entering_arms_immediate_drop(self):
+        gate = make_gate()
+        gate.set_dropping(True, now=5.0)
+        assert not gate.admit(now=5.0, depth=0)
+        assert gate.counts()["codel_dropped"] == 1
+
+    def test_drop_spacing_shrinks_with_sqrt_count(self):
+        interval = 0.1
+        gate = make_gate(codel_interval=interval)
+        gate.set_dropping(True, now=0.0)
+        drops = []
+        now = 0.0
+        # Offer a dense arrival stream; record the drop instants.
+        for _ in range(2000):
+            if not gate.admit(now, depth=0):
+                drops.append(now)
+            now += 0.001
+        assert len(drops) >= 4
+        gaps = [b - a for a, b in zip(drops, drops[1:])]
+        # The n-th drop schedules the next interval/sqrt(n) later, so
+        # gaps follow the CoDel curve (up to the 1ms arrival grid).
+        for n, gap in enumerate(gaps[:5], start=1):
+            expected = interval / math.sqrt(n)
+            assert abs(gap - expected) <= 0.002
+
+    def test_leaving_drop_state_stops_shedding(self):
+        gate = make_gate()
+        gate.set_dropping(True, now=0.0)
+        assert not gate.admit(now=0.0, depth=0)
+        gate.set_dropping(False, now=0.1)
+        assert gate.admit(now=0.2, depth=0)
+
+    def test_reentry_rearms_immediate_drop(self):
+        gate = make_gate(codel_interval=10.0)
+        gate.set_dropping(True, now=0.0)
+        assert not gate.admit(now=0.0, depth=0)  # drop_next pushed far out
+        gate.set_dropping(False, now=1.0)
+        gate.set_dropping(True, now=2.0)
+        assert not gate.admit(now=2.0, depth=0)  # immediate again
+
+    def test_limit_takes_precedence_over_codel(self):
+        gate = make_gate()
+        gate.set_dropping(True, now=0.0)
+        assert not gate.admit(now=0.0, depth=10)
+        assert gate.counts()["limit_dropped"] == 1
+        assert gate.counts()["codel_dropped"] == 0
+
+
+class TestTraceEvents:
+    def test_every_decision_emits_one_event(self):
+        tracer = Tracer()
+        gate = make_gate(tracer=tracer)
+        gate.admit(now=0.0, depth=0)
+        gate.admit(now=0.0, depth=4)
+        gate.set_dropping(True, now=0.0)
+        gate.admit(now=0.1, depth=0)
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == ["admit", "drop_limit", "drop_codel"]

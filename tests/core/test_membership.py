@@ -1,0 +1,125 @@
+"""Runtime replica membership: draining replicas never receive work.
+
+Satellite of the control-plane PR: with autoscaling, the instance list
+is append-only and removed replicas drain in place — so every balancer
+policy must route around them, live (this module) and simulated
+(``tests/sim/test_membership_sim.py``).
+"""
+
+import pytest
+
+from repro.core import StatsCollector, WallClock
+from repro.core.balancer import balancer_names, make_balancer, pick_active
+from repro.core.transport import make_transport
+
+from .test_harness import ConstantApp
+
+ALL_POLICIES = balancer_names()
+
+
+class TestPickActive:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_identity_when_all_active(self, policy):
+        balancer = make_balancer(policy, seed=3)
+        depths = [5, 0, 3, 1]
+        picks = {
+            pick_active(balancer, depths, [0, 1, 2, 3]) for _ in range(50)
+        }
+        assert picks <= {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_never_picks_inactive(self, policy):
+        balancer = make_balancer(policy, seed=3)
+        depths = [0, 0, 0, 0]  # the drained replica looks most tempting
+        active = [0, 2]
+        for _ in range(200):
+            assert pick_active(balancer, depths, active) in active
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_single_active_short_circuits(self, policy):
+        balancer = make_balancer(policy, seed=3)
+        assert pick_active(balancer, [9, 9, 9], [1]) == 1
+
+    def test_avoid_is_a_server_id(self):
+        balancer = make_balancer("jsq")
+        # Active {0, 2}; avoiding server 2 must leave only server 0,
+        # even though 2's dense position is 1.
+        for _ in range(20):
+            assert pick_active(balancer, [5, 0, 0], [0, 2], avoid=2) == 0
+
+    def test_avoiding_inactive_server_is_a_noop(self):
+        balancer = make_balancer("jsq")
+        assert pick_active(balancer, [5, 0, 0], [0, 2], avoid=1) == 2
+
+    def test_empty_active_set_raises(self):
+        with pytest.raises(ValueError):
+            pick_active(make_balancer("round_robin"), [1, 2], [])
+
+
+class TestLiveTransportMembership:
+    def _start(self, policy, n_servers=3):
+        clock = WallClock()
+        transport = make_transport("integrated", clock)
+        transport.start(
+            ConstantApp(iterations=20),
+            n_threads=1,
+            collector=StatsCollector(),
+            n_servers=n_servers,
+            balancer=make_balancer(policy, seed=1),
+        )
+        return clock, transport
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_no_sends_to_drained_replica(self, policy):
+        clock, transport = self._start(policy)
+        try:
+            drained = transport.drain_server()
+            assert drained == 2  # youngest active
+            assert transport.active_server_ids() == [0, 1]
+            routed = [
+                transport.send(clock.now(), payload=None) for _ in range(60)
+            ]
+            transport.drain(timeout=30.0)
+            assert drained not in routed
+        finally:
+            transport.stop()
+
+    def test_added_replica_becomes_routable(self):
+        clock, transport = self._start("round_robin", n_servers=2)
+        try:
+            new_id = transport.add_server()
+            assert new_id == 2
+            assert transport.active_server_ids() == [0, 1, 2]
+            routed = [
+                transport.send(clock.now(), payload=None) for _ in range(30)
+            ]
+            transport.drain(timeout=30.0)
+            assert set(routed) == {0, 1, 2}
+        finally:
+            transport.stop()
+
+    def test_drain_keeps_last_replica(self):
+        clock, transport = self._start("round_robin", n_servers=2)
+        try:
+            assert transport.drain_server() == 1
+            assert transport.drain_server() is None  # never below one
+            assert transport.active_server_ids() == [0]
+        finally:
+            transport.stop()
+
+    def test_drained_replica_still_answers_queued_work(self):
+        clock, transport = self._start("round_robin", n_servers=2)
+        try:
+            completed = []
+            transport.set_completion_hook(
+                lambda request: (completed.append(request.server_id), True)[1]
+            )
+            # Land work on replica 1, then drain it before it finishes.
+            for _ in range(10):
+                transport.send(clock.now(), payload=None)
+            transport.drain_server()
+            transport.drain(timeout=30.0)
+            assert len(completed) == 10
+            assert 1 in completed  # its queued work completed anyway
+        finally:
+            transport.stop()

@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.core import QueueClosed, Request, RequestQueue, VirtualClock, WallClock
+from repro.core.queueing import FifoBuffer, QueueSnapshot
 
 
 def make_request():
@@ -98,6 +99,75 @@ class TestRequestQueue:
         for t in threads:
             t.join(1.0)
         assert errors == ["closed"] * 3
+
+    def test_sojourn_seconds_tracks_head_age(self):
+        clock = VirtualClock(10.0)
+        queue = RequestQueue(clock)
+        assert queue.sojourn_seconds() == 0.0  # empty
+        queue.put(make_request())
+        clock.advance(0.25)
+        queue.put(make_request())  # younger request: head age unchanged
+        assert queue.sojourn_seconds() == pytest.approx(0.25)
+        queue.get()
+        assert queue.sojourn_seconds() == pytest.approx(0.0)
+
+    def test_snapshot_is_consistent_view(self):
+        clock = VirtualClock(5.0)
+        queue = RequestQueue(clock, capacity=2)
+        queue.put(make_request())
+        clock.advance(0.1)
+        queue.put(make_request())
+        assert queue.put(make_request()) is False  # shed at capacity
+        snap = queue.snapshot()
+        assert isinstance(snap, QueueSnapshot)
+        assert snap.depth == 2
+        assert snap.peak_depth == 2
+        assert snap.total_enqueued == 2
+        assert snap.total_shed == 1
+        assert snap.head_sojourn == pytest.approx(0.1)
+
+    def test_shed_request_is_marked(self):
+        queue = RequestQueue(VirtualClock(), capacity=1)
+        queue.put(make_request())
+        rejected = make_request()
+        assert queue.put(rejected) is False
+        assert rejected.shed
+        assert queue.total_shed == 1
+
+    def test_snapshot_of_sim_server_has_same_shape(self):
+        """Live queue and simulated server expose the same snapshot."""
+        import random
+
+        from repro.core.collector import StatsCollector
+        from repro.sim.engine import Engine
+        from repro.sim.network_model import network_model_for
+        from repro.sim.server_model import SimulatedServer
+        from repro.sim.service_models import ServiceTimeModel
+        from repro.stats import Deterministic
+
+        engine = Engine()
+        server = SimulatedServer(
+            engine,
+            ServiceTimeModel(Deterministic(0.05)),
+            network_model_for("integrated"),
+            n_threads=1,
+            collector=StatsCollector(),
+            rng=random.Random(0),
+        )
+        for i in range(3):
+            server.submit(generated_at=i * 0.001)
+        engine.run(until=0.01)  # one in service, two queued
+        snap = server.queue_snapshot()
+        assert isinstance(snap, QueueSnapshot)
+        assert snap.depth == 2
+        assert snap.total_enqueued == 3
+        assert snap.head_sojourn > 0.0
+
+    def test_custom_buffer_is_used(self):
+        buffer = FifoBuffer()
+        queue = RequestQueue(VirtualClock(), buffer=buffer)
+        queue.put(make_request())
+        assert len(buffer) == 1
 
     def test_concurrent_producers_consumers(self):
         queue = RequestQueue(WallClock())

@@ -229,6 +229,7 @@ class TestExtensions:
             "ext-colocation",
             "ext-energy",
             "fig-topology",
+            "fig-control",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

@@ -1,0 +1,107 @@
+"""Runtime replica membership in virtual time.
+
+Sim counterpart of ``tests/core/test_membership.py``: the topology's
+routing layer must never target a draining replica, under every
+balancer policy, and added replicas must join the routable set.
+"""
+
+import random
+
+import pytest
+
+from repro.core.balancer import balancer_names, make_balancer
+from repro.core.collector import StatsCollector
+from repro.core.request import Request
+from repro.sim.engine import Engine
+from repro.sim.latency_sim import _Topology
+from repro.sim.network_model import network_model_for
+from repro.sim.server_model import SimulatedServer
+from repro.sim.service_models import ServiceTimeModel
+from repro.stats import Deterministic
+
+ALL_POLICIES = balancer_names()
+
+
+def make_topology(policy, n_servers=3, service_time=0.01):
+    engine = Engine()
+    collector = StatsCollector()
+    model = ServiceTimeModel(Deterministic(service_time))
+    network = network_model_for("integrated")
+
+    def build(server_id):
+        return SimulatedServer(
+            engine,
+            model,
+            network,
+            n_threads=1,
+            collector=collector,
+            rng=random.Random(1000 + server_id),
+            server_id=server_id,
+        )
+
+    topology = _Topology(
+        [build(i) for i in range(n_servers)],
+        make_balancer(policy, seed=5),
+        engine=engine,
+        server_factory=build,
+    )
+    return engine, topology
+
+
+def submit(topology, at):
+    request = Request(payload=None, generated_at=at)
+    request.sent_at = at
+    return topology.submit_attempt(request)
+
+
+class TestSimMembership:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_no_routing_to_drained_replica(self, policy):
+        engine, topology = make_topology(policy)
+        drained = topology.drain_server()
+        assert drained == 2  # youngest active
+        assert topology.active_ids() == [0, 1]
+        routed = [submit(topology, at=i * 0.001) for i in range(60)]
+        engine.run()
+        assert drained not in routed
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_added_replica_becomes_routable(self, policy):
+        engine, topology = make_topology(policy, n_servers=2)
+        new_id = topology.add_server()
+        assert new_id == 2
+        assert topology.active_ids() == [0, 1, 2]
+        # Saturating load: every depth-aware policy must spill onto the
+        # new replica; round-robin reaches it by rotation.
+        routed = [submit(topology, at=i * 0.001) for i in range(90)]
+        engine.run()
+        assert 2 in routed
+
+    def test_drain_keeps_last_replica(self):
+        engine, topology = make_topology("round_robin", n_servers=2)
+        assert topology.drain_server() == 1
+        assert topology.drain_server() is None
+        assert topology.active_ids() == [0]
+
+    def test_drained_replica_finishes_queued_work(self):
+        engine, topology = make_topology("round_robin", n_servers=2)
+        completed = []
+        topology.set_response_callback(
+            lambda request: completed.append(request.server_id)
+        )
+        for i in range(10):
+            submit(topology, at=i * 0.001)
+        drained = topology.drain_server()
+        assert drained is not None
+        engine.run()
+        assert len(completed) == 10
+        assert drained in completed
+
+    def test_drain_stamps_membership_window(self):
+        engine, topology = make_topology("round_robin", n_servers=2)
+        submit(topology, at=0.0)
+        engine.run()
+        drained = topology.drain_server()
+        server = topology.server(drained)
+        assert server.draining
+        assert server.drained_at == engine.now
