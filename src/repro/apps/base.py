@@ -15,7 +15,7 @@ experiment drivers can iterate over the whole suite.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Sequence
 
 __all__ = ["Application", "Client", "register_app", "create_app", "app_names"]
 
@@ -49,6 +49,22 @@ class Application:
         control; read-mostly apps use immutable shared state).
         """
         raise NotImplementedError
+
+    def handle_batch(self, payloads: Sequence[Any]) -> List[Any]:
+        """Service a batch of requests; returns one response per payload.
+
+        Called by the batched worker loop (see :mod:`repro.batching`)
+        with every payload of one formed batch. The default simply
+        loops over :meth:`process` — functionally identical to
+        unbatched serving, so every application is batchable out of the
+        box. Applications with vectorizable work override this to
+        amortize per-request cost across the batch (img-dnn stacks the
+        inputs into one matrix pass; masstree and xapian group
+        duplicate lookups). Must preserve order and length: response
+        ``i`` answers payload ``i``. The same thread-safety contract as
+        :meth:`process` applies.
+        """
+        return [self.process(payload) for payload in payloads]
 
     def make_client(self, seed: int = 0) -> Client:
         """Build a request generator with its own RNG stream."""

@@ -64,5 +64,23 @@ class XapianApp(Application):
     def process(self, payload: str) -> List[SearchResult]:
         return self.index.search(payload, top_k=self._top_k)
 
+    def handle_batch(self, payloads) -> list:
+        """Grouped search: score each *distinct* query once per batch.
+
+        Query terms are Zipfian, so identical queries recur within a
+        batch under load; the postings traversal and BM25 scoring run
+        once per distinct query and duplicates share the result (each
+        response is an independent list, so callers may mutate theirs).
+        The index is immutable after setup, which is what makes the
+        sharing safe.
+        """
+        memo = {}
+        responses = []
+        for query in payloads:
+            if query not in memo:
+                memo[query] = self.index.search(query, top_k=self._top_k)
+            responses.append(list(memo[query]))
+        return responses
+
     def make_client(self, seed: int = 0) -> XapianClient:
         return XapianClient(self._corpus.vocabulary, seed=seed)

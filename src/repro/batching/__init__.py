@@ -1,0 +1,22 @@
+"""Dynamic request batching.
+
+The batcher sits between the request queue and the worker pool: a
+worker no longer dequeues one request at a time but asks the shared
+:class:`BatchPolicy` to *form a batch* — up to ``max_batch_size``
+requests, released early once the oldest member has waited
+``max_batch_delay`` (the size-or-deadline trigger of modern inference
+servers). The identical policy object drives both the live
+:class:`repro.core.server.Server` worker loop and the discrete-event
+simulator's :class:`repro.sim.server_model.SimulatedServer`, so
+batch membership — and therefore per-seed results — match across
+modes.
+
+Everything is off by default: a :class:`BatchingConfig` with
+``enabled=False`` constructs nothing and the worker loop is the
+pre-batching single-request loop, bit-identical per seed.
+"""
+
+from .config import NO_BATCHING, BatchingConfig
+from .policy import BatchPolicy
+
+__all__ = ["BatchingConfig", "NO_BATCHING", "BatchPolicy"]

@@ -20,6 +20,7 @@ from .balancer import (
 from .clock import Clock, VirtualClock, WallClock
 from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
 from .config import (
+    NO_BATCHING,
     NO_OBSERVABILITY,
     NO_RESILIENCE,
     PAPER_SYSTEM,
@@ -64,6 +65,7 @@ __all__ = [
     "CollectedStats",
     "StatsCollector",
     "OUTCOME_KEYS",
+    "NO_BATCHING",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
     "PAPER_SYSTEM",

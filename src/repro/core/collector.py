@@ -112,6 +112,7 @@ class CollectedStats:
         attempt_histogram: Optional[HdrHistogram] = None,
         outcomes: Optional[Dict[str, int]] = None,
         server_histograms: Optional[Dict[int, Dict[str, HdrHistogram]]] = None,
+        batch_members: Optional[Dict[int, int]] = None,
     ) -> None:
         self._records = records
         self._histograms = histograms
@@ -120,6 +121,7 @@ class CollectedStats:
         self._attempt_histogram = attempt_histogram
         self._outcomes = dict(outcomes) if outcomes else {}
         self._server_histograms = server_histograms
+        self._batch_members = dict(batch_members) if batch_members else {}
 
     @property
     def exact(self) -> bool:
@@ -269,6 +271,36 @@ class CollectedStats:
             for name in self.request_classes
         }
 
+    # -- batching views ------------------------------------------------
+    @property
+    def batch_occupancy(self) -> Dict[int, int]:
+        """Member-weighted batch-occupancy histogram.
+
+        ``{size: n}`` — ``n`` measured requests were served in a batch
+        of ``size`` co-scheduled requests. Member-weighted (rather than
+        per-batch) counting is exact even when a batch straddles the
+        warmup cutoff; the number of whole batches of size ``k`` is
+        ``n_k / k``. ``{1: count}`` for unbatched runs; empty when no
+        requests were measured.
+        """
+        return dict(self._batch_members)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Request-weighted mean batch occupancy (1.0 when unbatched).
+
+        The average number of co-scheduled requests a measured request
+        shared its service window with; together with
+        :attr:`~repro.core.request.RequestRecord.service_share` this is
+        the collector's per-request cost attribution: a batch's service
+        window, divided evenly over its members.
+        """
+        members = sum(self._batch_members.values())
+        if members == 0:
+            return 1.0
+        weighted = sum(k * n for k, n in self._batch_members.items())
+        return weighted / members
+
     @property
     def attempt_count(self) -> int:
         """Number of per-attempt latency samples recorded."""
@@ -399,6 +431,7 @@ class StatsCollector:
         self._attempt_histogram: Optional[HdrHistogram] = None
         self._outcomes: Dict[str, int] = dict.fromkeys(OUTCOME_KEYS, 0)
         self._outcomes_used = False
+        self._batch_members: Dict[int, int] = {}
 
     def add(self, record: RequestRecord) -> None:
         with self._lock:
@@ -406,6 +439,8 @@ class StatsCollector:
             if self._seen <= self._warmup:
                 self._dropped += 1
                 return
+            size = record.batch_size
+            self._batch_members[size] = self._batch_members.get(size, 0) + 1
             if self._records is not None:
                 self._records.append(record)
                 if len(self._records) > self._exact_limit:
@@ -491,6 +526,7 @@ class StatsCollector:
                     attempt_samples=attempt_samples,
                     attempt_histogram=attempt_histogram,
                     outcomes=outcomes,
+                    batch_members=dict(self._batch_members),
                 )
             return CollectedStats(
                 None,
@@ -503,4 +539,5 @@ class StatsCollector:
                     sid: {m: h.copy() for m, h in per_server.items()}
                     for sid, per_server in self._server_histograms.items()
                 },
+                batch_members=dict(self._batch_members),
             )

@@ -6,6 +6,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..batching.config import NO_BATCHING, BatchingConfig
 from ..control.config import NO_CONTROL, ControlPlaneConfig
 from ..faults import FaultPlan
 from .balancer import BALANCERS
@@ -16,6 +17,7 @@ __all__ = [
     "ObservabilityConfig",
     "SystemConfig",
     "PAPER_SYSTEM",
+    "NO_BATCHING",
     "NO_CONTROL",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
@@ -117,6 +119,12 @@ class HarnessConfig:
         priority scheduling, replica autoscaling. Fully disabled by
         default; ``n_servers`` is then the fixed replica count, while
         an enabled autoscaler treats it as the *initial* count.
+    batching:
+        Dynamic request batching (see
+        :class:`repro.batching.BatchingConfig`): workers dequeue
+        size-or-deadline batches and service them with one application
+        call. Fully disabled by default — the worker loop is then the
+        original single-request loop, bit-identical per seed.
     load_profile:
         Optional piecewise load schedule as ``((duration_seconds,
         qps), ...)`` segments replacing the constant-``qps`` arrival
@@ -142,6 +150,7 @@ class HarnessConfig:
     balancer: str = "round_robin"
     observability: ObservabilityConfig = NO_OBSERVABILITY
     control: ControlPlaneConfig = NO_CONTROL
+    batching: BatchingConfig = NO_BATCHING
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def __post_init__(self) -> None:

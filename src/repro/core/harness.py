@@ -244,6 +244,13 @@ def run_harness(
         from ..control import ControlLoop, ControlPlane, LiveControlTarget
 
         plane = ControlPlane(config.control, seed=config.seed, tracer=tracer)
+    batching = None
+    if config.batching.enabled:
+        # Lazy import, same policy as observability/control: disabled
+        # runs never touch the batching package.
+        from ..batching import BatchPolicy
+
+        batching = BatchPolicy.from_config(config.batching)
 
     transport.start(
         app,
@@ -254,6 +261,7 @@ def run_harness(
         n_servers=config.n_servers,
         balancer=make_balancer(config.balancer, seed=config.seed),
         control=plane,
+        batching=batching,
     )
     if registry is not None:
         transport.set_observability(tracer, registry)

@@ -31,7 +31,7 @@ import collections
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .clock import Clock
 from .request import Request
@@ -82,6 +82,13 @@ class FifoBuffer:
 
     def pop(self) -> Request:
         return self._items.popleft()
+
+    def pop_batch(self, limit: int) -> List[Request]:
+        """Pop up to ``limit`` requests in FIFO order (at least one)."""
+        if not self._items:
+            raise IndexError("pop_batch from empty FifoBuffer")
+        n = min(limit, len(self._items))
+        return [self._items.popleft() for _ in range(n)]
 
     def __len__(self) -> int:
         return len(self._items)
@@ -158,6 +165,25 @@ class PriorityBuffer:
         winner = self._pick_class()
         self._size -= 1
         return self._classes[winner].popleft()
+
+    def pop_batch(self, limit: int) -> List[Request]:
+        """Pop up to ``limit`` requests from a *single* class.
+
+        One scheduling decision (:meth:`_pick_class`) selects the class
+        for the whole batch, then up to ``limit`` of its requests are
+        drawn in FIFO order — batches never span priority classes, so a
+        latency-critical request is never co-scheduled behind batch
+        work inside one service window. In weighted mode the batch
+        costs its class one credit cycle regardless of size, i.e. the
+        discipline arbitrates *batches*, not requests.
+        """
+        if self._size == 0:
+            raise IndexError("pop_batch from empty PriorityBuffer")
+        winner = self._pick_class()
+        items = self._classes[winner]
+        n = min(limit, len(items))
+        self._size -= n
+        return [items.popleft() for _ in range(n)]
 
     def __len__(self) -> int:
         return self._size
@@ -265,6 +291,52 @@ class RequestQueue:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0.0:
                         raise TimeoutError("no request arrived in time")
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._not_empty.wait(wait)
+
+    def get_batch(
+        self, policy, timeout: Optional[float] = None
+    ) -> List[Request]:
+        """Dequeue the next *batch* per the batching ``policy``.
+
+        Blocks until the policy reports the buffer releasable — a full
+        batch is waiting, or the head request has waited out the batch
+        delay — then pops the batch via ``policy.form``. On close, any
+        residue is flushed immediately (no point waiting out the delay
+        for traffic that will never arrive); :class:`QueueClosed` is
+        raised once closed *and* empty, exactly like :meth:`get`.
+
+        The release decision is evaluated under the queue lock against
+        the same buffer state the simulator sees, so live and simulated
+        batch membership match per seed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                stall = 0.0
+                if self._injector is not None and not self._closed:
+                    stall = self._injector.queue_stall_remaining(
+                        self._clock.now()
+                    )
+                hold = None  # seconds until the head's delay expires
+                if len(self._buffer) and stall <= 0.0:
+                    if self._closed:
+                        return policy.form(self._buffer)
+                    now = self._clock.now()
+                    ready = policy.ready_at(self._buffer, now)
+                    if ready is not None and ready <= now:
+                        return policy.form(self._buffer)
+                    if ready is not None:
+                        hold = ready - now
+                if self._closed and not len(self._buffer):
+                    raise QueueClosed("queue is closed and drained")
+                wait = stall if stall > 0.0 else None
+                if hold is not None:
+                    wait = hold if wait is None else min(wait, hold)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise TimeoutError("no batch formed in time")
                     wait = remaining if wait is None else min(wait, remaining)
                 self._not_empty.wait(wait)
 

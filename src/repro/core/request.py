@@ -66,6 +66,10 @@ class Request:
     #: unclassified traffic); carried onto the record so per-class
     #: latency can be reported.
     request_class: Optional[str] = None
+    #: Number of requests co-scheduled in this request's service batch
+    #: (1 when batching is off or the batch degenerated to a single
+    #: member). Set by the batched worker loop at service start.
+    batch_size: int = 1
 
     def finish(self, partial: bool = False) -> "RequestRecord":
         """Freeze into an immutable record; validates the chain.
@@ -110,6 +114,7 @@ class Request:
             attempt=self.attempt,
             shed=self.shed,
             request_class=self.request_class,
+            batch_size=self.batch_size,
         )
 
 
@@ -137,6 +142,7 @@ class RequestRecord:
     attempt: int = 0
     shed: bool = False
     request_class: Optional[str] = None
+    batch_size: int = 1
 
     @property
     def complete(self) -> bool:
@@ -153,6 +159,18 @@ class RequestRecord:
     def service_time(self) -> float:
         """Pure application processing time."""
         return self.service_end_at - self.service_start_at
+
+    @property
+    def service_share(self) -> float:
+        """Per-request cost attribution of a batched service window.
+
+        The whole batch shares one service window; dividing by the
+        batch occupancy charges each member its amortized cost, so
+        aggregate server busy-time reconstructed from records is not
+        inflated ``batch_size``-fold. Equal to :attr:`service_time`
+        for unbatched requests.
+        """
+        return self.service_time / self.batch_size
 
     @property
     def queue_time(self) -> float:

@@ -109,13 +109,31 @@ def backoff_delay(
     return rng.uniform(0.0, cap)
 
 
-def effective_attempt_timeout(config: ResilienceConfig) -> Optional[float]:
-    """The per-attempt timeout, defaulted from the deadline if unset."""
+def effective_attempt_timeout(
+    config: ResilienceConfig,
+    now: Optional[float] = None,
+    deadline: Optional[float] = None,
+) -> Optional[float]:
+    """The per-attempt timeout, defaulted from the deadline if unset.
+
+    When ``now`` and the request's absolute ``deadline`` are both
+    given, the timeout is additionally clamped to the remaining
+    deadline budget. Backoff sleeps between attempts consume wall time
+    that the fixed per-attempt window knows nothing about, so without
+    the clamp a late attempt keeps its full window even when the
+    deadline lands inside it — its timer then fires after the request
+    has already resolved as timed out, pure dead time (and in the
+    simulator, virtual time extending past the last deadline).
+    """
     if config.attempt_timeout is not None:
-        return config.attempt_timeout
-    if config.deadline is not None and config.max_retries > 0:
-        return config.deadline / (config.max_retries + 1)
-    return None
+        base = config.attempt_timeout
+    elif config.deadline is not None and config.max_retries > 0:
+        base = config.deadline / (config.max_retries + 1)
+    else:
+        return None
+    if now is not None and deadline is not None:
+        base = min(base, max(deadline - now, 0.0))
+    return base
 
 
 class _Scheduler:
@@ -311,10 +329,13 @@ class ResilientClient:
         if kind != "hedge":
             call.last_server = server_id
         if kind != "hedge" and self._attempt_timeout is not None:
-            self._scheduler.after(
-                self._attempt_timeout, self._on_attempt_timeout, call,
-                attempt_no,
+            timeout = effective_attempt_timeout(
+                self._config, now=self._clock.now(), deadline=call.deadline
             )
+            if timeout is not None and timeout > 0.0:
+                self._scheduler.after(
+                    timeout, self._on_attempt_timeout, call, attempt_no
+                )
 
     def _on_attempt_complete(self, request) -> bool:
         """Transport completion hook; returns True (always handled)."""

@@ -10,6 +10,7 @@ workers is the "threads" axis of Figs. 4 and 7.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 import traceback
@@ -45,6 +46,13 @@ class Server:
     server_id:
         Index of this instance in a multi-server topology (0 in the
         classic single-server shape); worker threads are named after it.
+    batching:
+        Optional :class:`repro.batching.BatchPolicy`. When set, workers
+        run the batched loop: they dequeue size-or-deadline batches via
+        :meth:`RequestQueue.get_batch` and service each batch with one
+        application call (``handle_batch`` when the app provides it,
+        else a per-request ``process`` loop). When ``None`` (default)
+        the original single-request loop runs, untouched.
     """
 
     def __init__(
@@ -56,6 +64,7 @@ class Server:
         respond: Callable[[Request], None] = None,
         injector=None,
         server_id: int = 0,
+        batching=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one worker thread")
@@ -65,9 +74,12 @@ class Server:
         self._respond = respond or (lambda req: None)
         self._injector = injector
         self.server_id = server_id
+        self._batching = batching
+        self._batch_seq = itertools.count()
+        loop = self._worker_loop if batching is None else self._batch_worker_loop
         self._threads: List[threading.Thread] = [
             threading.Thread(
-                target=self._worker_loop,
+                target=loop,
                 name=f"tb-s{server_id}-worker-{i}",
                 daemon=True,
             )
@@ -156,6 +168,120 @@ class Server:
             self._busy -= 1
             self._respond(request)
             if injector is not None and injector.worker_crash():
+                # Injected crash: the pool permanently loses a worker.
+                with self._alive_lock:
+                    self._alive -= 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_crash", self._clock.now(),
+                        server_id=self.server_id,
+                    )
+                return
+
+    def _batch_worker_loop(self) -> None:
+        """Batched variant of :meth:`_worker_loop`.
+
+        Dequeues size-or-deadline batches (one priority class each, see
+        :meth:`~repro.core.queueing.RequestQueue.get_batch`) and
+        services every member with a single application call —
+        ``handle_batch`` when the app implements it, else a plain
+        ``process`` loop. All members share one ``service_start_at`` /
+        ``service_end_at`` window; per-request cost attribution divides
+        the window by the recorded ``batch_size``.
+        """
+        injector = self._injector
+        handle_batch = getattr(self._app, "handle_batch", None)
+        while True:
+            try:
+                batch = self._queue.get_batch(self._batching)
+            except QueueClosed:
+                return
+            seq = next(self._batch_seq)
+            size = len(batch)
+            start = self._clock.now()
+            for request in batch:
+                request.service_start_at = start
+                request.batch_size = size
+            if self._tracer is not None:
+                for request in batch:
+                    self._tracer.emit(
+                        "batch_form", start,
+                        logical_id=request.logical_id,
+                        request_id=request.request_id,
+                        attempt=request.attempt,
+                        server_id=self.server_id, value=float(seq),
+                    )
+                self._tracer.emit(
+                    "batch_start", start,
+                    server_id=self.server_id, value=float(seq),
+                )
+            self._busy += 1
+            if injector is not None:
+                pause = injector.worker_pause()
+                if pause > 0.0:
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "fault_pause", start,
+                            server_id=self.server_id, value=pause,
+                        )
+                    # One stall covers the whole batch: the pause models
+                    # a worker-level freeze, not per-request slowness.
+                    self._clock.sleep(pause)
+            # Injected application errors keep per-request semantics:
+            # a failed member consumes no service and gets an error
+            # response; the rest of the batch is processed normally.
+            failed = (
+                [injector.app_error() for _ in batch]
+                if injector is not None
+                else [False] * size
+            )
+            served = [r for r, bad in zip(batch, failed) if not bad]
+            try:
+                if handle_batch is not None:
+                    responses = handle_batch([r.payload for r in served])
+                else:
+                    responses = [self._app.process(r.payload) for r in served]
+                if len(responses) != len(served):
+                    raise RuntimeError(
+                        f"handle_batch returned {len(responses)} responses "
+                        f"for {len(served)} payloads"
+                    )
+                for request, response in zip(served, responses):
+                    request.response = response
+            except Exception:  # noqa: BLE001 - report, don't kill the worker
+                err = traceback.format_exc()
+                for request in served:
+                    request.error = err
+                with self._errors_lock:
+                    self._errors.append(err)
+            for request, bad in zip(batch, failed):
+                if not bad:
+                    continue
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_app_error", self._clock.now(),
+                        logical_id=request.logical_id,
+                        request_id=request.request_id,
+                        attempt=request.attempt,
+                        server_id=self.server_id,
+                    )
+                request.error = "InjectedFault: injected application error"
+                with self._errors_lock:
+                    self._errors.append(request.error)
+            end = self._clock.now()
+            for request in batch:
+                request.service_end_at = end
+            self._busy -= 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "batch_end", end,
+                    server_id=self.server_id, value=float(seq),
+                )
+            for request in batch:
+                self._respond(request)
+            if injector is not None and any(
+                injector.worker_crash() for _ in batch
+            ):
                 # Injected crash: the pool permanently loses a worker.
                 with self._alive_lock:
                     self._alive -= 1

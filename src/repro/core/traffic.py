@@ -30,6 +30,15 @@ class ArrivalProcess:
     def next_gap(self, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Restore any mutable draw state to its initial value.
+
+        Called at the start of every schedule generation so that one
+        process instance produces identical schedules for identical
+        seeds regardless of what was generated from it before.
+        Memoryless processes have nothing to restore.
+        """
+
     @property
     def rate(self) -> float:
         """Mean arrival rate in requests/second."""
@@ -127,6 +136,14 @@ class BurstyArrivals(ArrivalProcess):
         self._in_burst = False
         self._regime_left = 0.0
 
+    def reset(self) -> None:
+        # The regime state mutates as gaps are drawn; without this
+        # reset a second schedule generated from the same instance
+        # would start mid-regime and diverge from a fresh instance
+        # even at the same seed.
+        self._in_burst = False
+        self._regime_left = 0.0
+
     def next_gap(self, rng: random.Random) -> float:
         gap = 0.0
         while True:
@@ -180,6 +197,7 @@ class ArrivalSchedule:
     ) -> "ArrivalSchedule":
         if n_requests < 1:
             raise ValueError("need at least one request")
+        process.reset()
         rng = random.Random(seed)
         times = []
         t = start
@@ -238,9 +256,15 @@ class ArrivalSchedule:
         return self.times[-1] - self.times[0]
 
     @property
-    def observed_qps(self) -> float:
+    def observed_qps(self) -> Optional[float]:
+        """Empirical rate over the schedule span, or None if undefined.
+
+        A single arrival (or several at the same instant) spans zero
+        time, so no rate can be observed; callers get None rather than
+        an exception for these degenerate-but-valid schedules.
+        """
         if len(self.times) < 2 or self.duration == 0:
-            raise ValueError("need >= 2 distinct arrival times")
+            return None
         return (len(self.times) - 1) / self.duration
 
 

@@ -149,6 +149,9 @@ class Transport:
         self._send_delay_hist = None
         # Control-plane hook: None unless the run enables repro.control.
         self._control = None
+        # Batching hook: None unless the run enables repro.batching. A
+        # single stateless BatchPolicy is shared by every replica.
+        self._batching = None
         # Start parameters retained for runtime scale-up replicas.
         self._app = None
         self._n_threads = 0
@@ -165,6 +168,7 @@ class Transport:
         n_servers: int = 1,
         balancer: Optional[LoadBalancer] = None,
         control=None,
+        batching=None,
     ) -> None:
         if self._running:
             raise RuntimeError("transport already started")
@@ -174,6 +178,7 @@ class Transport:
         self._injector = injector
         self._balancer = balancer if balancer is not None else RoundRobinBalancer()
         self._control = control
+        self._batching = batching
         self._app = app
         self._n_threads = n_threads
         self._queue_capacity = queue_capacity
@@ -214,6 +219,7 @@ class Transport:
             respond=self._make_responder(server_id),
             injector=scoped,
             server_id=server_id,
+            batching=self._batching,
         )
         instance = ServerInstance(server_id, queue, server)
         instance.started_at = self._clock.now()

@@ -26,6 +26,7 @@ from .extensions import (
     run_ext_energy,
 )
 from .fig8 import render_fig8, run_fig8
+from .fig_batching import render_fig_batching, run_fig_batching
 from .fig_control import render_fig_control, run_fig_control
 from .fig_topology import render_fig_topology, run_fig_topology
 from .table1 import render_table1, run_table1
@@ -54,6 +55,9 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # Control plane: static vs SLO-controlled server under a 0.5x->1.5x
     # load step, live and simulated (runs the live harness — seconds).
     "fig-control": (run_fig_control, render_fig_control),
+    # Dynamic batching: max_batch_size sweep at fixed overload, the
+    # throughput-vs-p99 frontier, live and simulated (seconds).
+    "fig-batching": (run_fig_batching, render_fig_batching),
 }
 
 _FAST_KWARGS = {
@@ -69,6 +73,7 @@ _FAST_KWARGS = {
     "ext-energy": {"measure_requests": 3000},
     "fig-topology": {"measure_requests": 1200},
     "fig-control": {"step_seconds": 0.75},
+    "fig-batching": {"measure_requests": 1200},
 }
 
 

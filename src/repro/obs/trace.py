@@ -48,10 +48,14 @@ LIFECYCLE_EVENTS: Tuple[Tuple[str, str], ...] = (
     ("received", "response_received_at"),
 )
 
-#: Point events: outcomes, recovery/fault markers, and control-plane
+#: Point events: outcomes, recovery/fault markers, control-plane
 #: decisions (``admit``/``drop_*`` per arrival at the admission gate,
 #: ``limit_update`` on AIMD limit changes, ``scale_*`` on membership
-#: actions — see :mod:`repro.control`).
+#: actions — see :mod:`repro.control`), and batching markers
+#: (``batch_form`` once per member with its ``request_id``,
+#: ``batch_start``/``batch_end`` once per batch; all three carry the
+#: per-server batch sequence number in ``value``, which is what links
+#: a batch to its members — see :mod:`repro.batching`).
 POINT_EVENTS: Tuple[str, ...] = (
     "retry",
     "hedge",
@@ -71,6 +75,9 @@ POINT_EVENTS: Tuple[str, ...] = (
     "limit_update",
     "scale_up",
     "scale_down",
+    "batch_form",
+    "batch_start",
+    "batch_end",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

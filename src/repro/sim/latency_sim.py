@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.balancer import BALANCERS, LoadBalancer, make_balancer, pick_active
+from ..batching.config import NO_BATCHING, BatchingConfig
 from ..core.collector import CollectedStats, StatsCollector
 from ..core.config import (
     NO_CONTROL,
@@ -99,6 +100,12 @@ class SimConfig:
     #: default; control ticks become recurring virtual-time events, so
     #: controlled runs stay deterministic under a fixed seed.
     control: ControlPlaneConfig = NO_CONTROL
+    #: Dynamic request batching (see :mod:`repro.batching`). Off by
+    #: default; when enabled the simulated servers form the identical
+    #: size-or-deadline batches the live worker loop forms, and a
+    #: batch's service window is one full-price draw plus
+    #: ``sim_marginal_cost`` of each additional member's draw.
+    batching: BatchingConfig = NO_BATCHING
     #: Optional piecewise ``((duration, qps), ...)`` load schedule
     #: replacing the constant-rate arrival process (warmup discard is
     #: skipped; the transient is the measurement).
@@ -595,10 +602,17 @@ class _SimClient:
                     )
                 self._topology.submit_attempt(dup, extra_delay=extra_delay)
         if kind != "hedge" and self._attempt_timeout is not None:
-            self._engine.after(
-                self._attempt_timeout, self._on_attempt_timeout, call,
-                attempt_no,
+            # Clamp to the remaining deadline budget (mirrors the live
+            # client): backoff sleeps erode the budget, and an attempt
+            # timer running past the deadline would only extend virtual
+            # time after the request has already timed out.
+            timeout = effective_attempt_timeout(
+                self._config, now=self._engine.now, deadline=call.deadline
             )
+            if timeout is not None and timeout > 0.0:
+                self._engine.after(
+                    timeout, self._on_attempt_timeout, call, attempt_no
+                )
 
     def _on_attempt_complete(self, request: Request) -> None:
         if request.discard:
@@ -716,6 +730,13 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         from ..control import ControlPlane
 
         plane = ControlPlane(config.control, seed=config.seed, tracer=tracer)
+    batch_policy = None
+    if config.batching.enabled:
+        # Same lazy-import policy: unbatched runs never touch the
+        # batching package (beyond the config dataclass itself).
+        from ..batching import BatchPolicy
+
+        batch_policy = BatchPolicy.from_config(config.batching)
 
     def make_server(server_id: int) -> SimulatedServer:
         # Server 0 keeps the pre-topology stream seed so n_servers=1
@@ -740,6 +761,8 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             tracer=tracer,
             gate=plane.gate_for(server_id) if plane is not None else None,
             buffer=plane.make_buffer() if plane is not None else None,
+            batching=batch_policy,
+            batch_marginal_cost=config.batching.sim_marginal_cost,
         )
         server.started_at = engine.now
         return server

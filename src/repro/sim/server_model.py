@@ -17,8 +17,9 @@ with a shed response (admission control).
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ..core.collector import StatsCollector
 from ..core.queueing import FifoBuffer, QueueSnapshot
@@ -73,6 +74,19 @@ class SimulatedServer:
     buffer:
         Optional queue-discipline buffer (see
         :class:`repro.core.queueing.PriorityBuffer`); FIFO when None.
+    batching:
+        Optional :class:`repro.batching.BatchPolicy` — the *same*
+        policy class the live worker loop uses, applied to the same
+        buffer state, so batch membership matches across modes. When
+        set, dispatch forms size-or-deadline batches instead of
+        starting requests one at a time.
+    batch_marginal_cost:
+        Service-time model for batched dispatch: a batch of per-member
+        draws ``s_0..s_{k-1}`` occupies its worker for ``s_0 +
+        batch_marginal_cost * (s_1 + ... + s_{k-1})`` — one draw per
+        member keeps the service RNG stream aligned with unbatched
+        runs, and the marginal fraction models the amortization a
+        vectorized ``handle_batch`` achieves live (1.0 = no benefit).
     """
 
     def __init__(
@@ -90,6 +104,8 @@ class SimulatedServer:
         tracer=None,
         gate=None,
         buffer=None,
+        batching=None,
+        batch_marginal_cost: float = 0.35,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -108,6 +124,12 @@ class SimulatedServer:
         self._tracer = tracer
         self._gate = gate
         self._queue = buffer if buffer is not None else FifoBuffer()
+        self._batching = batching
+        self._batch_marginal = batch_marginal_cost
+        self._batch_seq = itertools.count()
+        # Earliest pending batch-deadline event (None when none is
+        # scheduled): lets dispatch avoid stacking redundant wakeups.
+        self._batch_deadline_at: Optional[float] = None
         self._busy_workers = 0
         self._workers_alive = n_threads
         self._stall_event_pending = False
@@ -175,6 +197,25 @@ class SimulatedServer:
             self.shed_count += 1
             self._schedule_response(request)
             return
+        if self._batching is not None:
+            # Batched dispatch: every arrival queues (even with a free
+            # worker — it must wait for its batch to form), mirroring
+            # the live put -> get_batch path, including its capacity
+            # semantics (the bound applies to the waiting buffer).
+            if (
+                self._capacity is not None
+                and len(self._queue) >= self._capacity
+            ):
+                request.shed = True
+                self.shed_count += 1
+                self._schedule_response(request)
+                return
+            self._queue.push(request)
+            self.total_enqueued += 1
+            if len(self._queue) > self.peak_queue_depth:
+                self.peak_queue_depth = len(self._queue)
+            self._batch_dispatch()
+            return
         stall = self._stall_remaining()
         can_start = (
             stall <= 0.0
@@ -204,7 +245,10 @@ class SimulatedServer:
 
     def _stall_over(self) -> None:
         self._stall_event_pending = False
-        self._dispatch()
+        if self._batching is not None:
+            self._batch_dispatch()
+        else:
+            self._dispatch()
 
     def _dispatch(self) -> None:
         while len(self._queue) and self._busy_workers < self._workers_alive:
@@ -213,6 +257,113 @@ class SimulatedServer:
                 self._schedule_stall_end(stall)
                 return
             self._start_service(self._queue.pop())
+
+    def _batch_dispatch(self) -> None:
+        """Form and start every batch that is releasable right now.
+
+        Evaluates the shared :class:`~repro.batching.BatchPolicy`
+        against the buffer; when the head's delay has not yet expired
+        (and the buffer holds less than a full batch) a single wakeup
+        event is scheduled for the release instant. Wakeups can go
+        stale — a completion may have dispatched the batch first — in
+        which case they simply re-evaluate and find nothing to do.
+        """
+        while len(self._queue) and self._busy_workers < self._workers_alive:
+            stall = self._stall_remaining()
+            if stall > 0.0:
+                self._schedule_stall_end(stall)
+                return
+            now = self._engine.now
+            ready = self._batching.ready_at(self._queue, now)
+            if ready is None:
+                return
+            if ready > now:
+                self._schedule_batch_deadline(ready)
+                return
+            self._start_batch(self._batching.form(self._queue))
+
+    def _schedule_batch_deadline(self, when: float) -> None:
+        # The head only gets *younger* as batches pop, so an already-
+        # scheduled earlier (or equal) wakeup covers this one.
+        if self._batch_deadline_at is not None and self._batch_deadline_at <= when:
+            return
+        self._batch_deadline_at = when
+        self._engine.at(when, self._on_batch_deadline, when)
+
+    def _on_batch_deadline(self, when: float) -> None:
+        if self._batch_deadline_at == when:
+            self._batch_deadline_at = None
+        self._batch_dispatch()
+
+    def _start_batch(self, batch: List[Request]) -> None:
+        self._busy_workers += 1
+        now = self._engine.now
+        seq = next(self._batch_seq)
+        size = len(batch)
+        # One service draw per member keeps the RNG stream identical to
+        # an unbatched run; the marginal-cost sum is the batch's single
+        # service window.
+        draws = [self._service_model.sample(self._rng) for _ in batch]
+        service_time = draws[0] + self._batch_marginal * sum(draws[1:])
+        for request in batch:
+            request.service_start_at = now
+            request.batch_size = size
+        if self._tracer is not None:
+            for request in batch:
+                self._tracer.emit(
+                    "batch_form", now,
+                    logical_id=request.logical_id,
+                    request_id=request.request_id,
+                    attempt=request.attempt,
+                    server_id=self.server_id, value=float(seq),
+                )
+            self._tracer.emit(
+                "batch_start", now, server_id=self.server_id,
+                value=float(seq),
+            )
+        if self._injector is not None:
+            pause = self._injector.worker_pause()
+            if pause > 0.0:
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_pause", now,
+                        server_id=self.server_id, value=pause,
+                    )
+                service_time += pause
+        self.busy_time += service_time
+        self._engine.after(service_time, self._on_batch_completion, seq, batch)
+
+    def _on_batch_completion(self, seq: int, batch: List[Request]) -> None:
+        now = self._engine.now
+        self._busy_workers -= 1
+        if self._injector is not None:
+            for request in batch:
+                if self._injector.app_error():
+                    request.error = "injected application error"
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "fault_app_error", now,
+                            logical_id=request.logical_id,
+                            request_id=request.request_id,
+                            attempt=request.attempt,
+                            server_id=self.server_id,
+                        )
+            if any(self._injector.worker_crash() for _ in batch):
+                self._workers_alive = max(0, self._workers_alive - 1)
+                self.crashed_workers += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "fault_crash", now, server_id=self.server_id,
+                    )
+        for request in batch:
+            request.service_end_at = now
+        if self._tracer is not None:
+            self._tracer.emit(
+                "batch_end", now, server_id=self.server_id, value=float(seq),
+            )
+        for request in batch:
+            self._schedule_response(request)
+        self._batch_dispatch()
 
     def _start_service(self, request: Request) -> None:
         self._busy_workers += 1

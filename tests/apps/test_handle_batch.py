@@ -1,0 +1,122 @@
+"""Batched service paths must match the per-request paths exactly."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Application
+from repro.apps.img_dnn import ImgDnnApp
+from repro.apps.masstree import MasstreeApp
+from repro.apps.xapian import XapianApp
+from repro.workloads.ycsb import YcsbOperation
+
+
+class TestDefaultHandleBatch:
+    def test_falls_back_to_process_loop(self):
+        class Doubler(Application):
+            name = "doubler"
+
+            def setup(self):
+                pass
+
+            def process(self, payload):
+                return payload * 2
+
+            def make_client(self, seed=0):
+                raise NotImplementedError
+
+        app = Doubler()
+        assert app.handle_batch([1, 2, 3]) == [2, 4, 6]
+        assert app.handle_batch([]) == []
+
+
+@pytest.fixture(scope="module")
+def img_dnn():
+    app = ImgDnnApp(train_samples=200, epochs=3, seed=0)
+    app.setup()
+    return app
+
+
+class TestImgDnnBatch:
+    def test_matches_per_request_predictions(self, img_dnn):
+        client = img_dnn.make_client(seed=1)
+        payloads = [client.next_request() for _ in range(16)]
+        singles = [img_dnn.process(p) for p in payloads]
+        batched = img_dnn.handle_batch(payloads)
+        assert batched == singles
+        assert all(isinstance(label, int) for label in batched)
+
+    def test_singleton_and_empty_batches(self, img_dnn):
+        payload = img_dnn.make_client(seed=2).next_request()
+        assert img_dnn.handle_batch([payload]) == [img_dnn.process(payload)]
+        assert img_dnn.handle_batch([]) == []
+
+
+class TestMasstreeBatch:
+    def make_apps(self):
+        a = MasstreeApp(n_records=300, seed=0)
+        b = MasstreeApp(n_records=300, seed=0)
+        a.setup()
+        b.setup()
+        return a, b
+
+    def test_matches_sequential_semantics(self):
+        batched_app, loop_app = self.make_apps()
+        client = batched_app.make_client(seed=3)
+        ops = [client.next_request() for _ in range(64)]
+        batched = batched_app.handle_batch(ops)
+        singles = [loop_app.process(op) for op in ops]
+        assert batched == singles
+
+    def test_put_then_get_within_one_batch(self):
+        batched_app, loop_app = self.make_apps()
+        key = "user0000000000000042"
+        ops = [
+            YcsbOperation("get", key),
+            YcsbOperation("put", key, b"fresh-value"),
+            YcsbOperation("get", key),  # must see the in-batch write
+        ]
+        batched = batched_app.handle_batch(list(ops))
+        singles = [loop_app.process(op) for op in ops]
+        assert batched == singles
+        assert batched[2] == b"fresh-value"
+
+
+class TestXapianBatch:
+    @pytest.fixture(scope="class")
+    def xapian(self):
+        app = XapianApp(n_docs=200, vocab_size=500, mean_doc_len=60, seed=0)
+        app.setup()
+        return app
+
+    def test_matches_per_request_search(self, xapian):
+        client = xapian.make_client(seed=4)
+        queries = [client.next_request() for _ in range(20)]
+        batched = xapian.handle_batch(queries)
+        singles = [xapian.process(q) for q in queries]
+        assert batched == singles
+
+    def test_duplicate_queries_get_independent_results(self, xapian):
+        client = xapian.make_client(seed=5)
+        query = client.next_request()
+        first, second = xapian.handle_batch([query, query])
+        assert first == second
+        assert first is not second  # memo shares work, not the list
+
+
+class TestBatchIsVectorized:
+    def test_img_dnn_uses_one_stacked_forward_pass(self, img_dnn):
+        calls = []
+        original = img_dnn.model.predict
+
+        def spy(x):
+            calls.append(np.asarray(x).shape)
+            return original(x)
+
+        img_dnn.model.predict = spy
+        try:
+            client = img_dnn.make_client(seed=6)
+            img_dnn.handle_batch([client.next_request() for _ in range(8)])
+        finally:
+            img_dnn.model.predict = original
+        assert len(calls) == 1
+        assert calls[0][0] == 8

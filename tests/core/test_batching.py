@@ -1,0 +1,308 @@
+"""Tests for dynamic request batching: policy, buffers, queue, server."""
+
+import threading
+import time
+
+import pytest
+
+from repro.batching import NO_BATCHING, BatchPolicy, BatchingConfig
+from repro.core import Request, RequestQueue, Server, VirtualClock, WallClock
+from repro.core.collector import StatsCollector
+from repro.core.queueing import FifoBuffer, PriorityBuffer
+from repro.core.request import RequestRecord
+
+
+def make_request(enqueued_at=None, priority=0):
+    request = Request(payload=None, generated_at=0.0, priority=priority)
+    request.sent_at = 0.0
+    if enqueued_at is not None:
+        request.enqueued_at = enqueued_at
+    return request
+
+
+class TestBatchingConfig:
+    def test_disabled_by_default(self):
+        assert not BatchingConfig().enabled
+        assert not NO_BATCHING.enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch_delay=-0.001)
+        with pytest.raises(ValueError):
+            BatchingConfig(sim_marginal_cost=1.5)
+        with pytest.raises(ValueError):
+            BatchingConfig(sim_marginal_cost=-0.1)
+
+    def test_replace(self):
+        config = BatchingConfig(enabled=True, max_batch_size=4)
+        bigger = config.replace(max_batch_size=16)
+        assert bigger.max_batch_size == 16
+        assert bigger.enabled
+        assert config.max_batch_size == 4  # original untouched
+
+
+class TestBatchPolicy:
+    def policy(self, size=4, delay=0.01):
+        return BatchPolicy.from_config(
+            BatchingConfig(
+                enabled=True, max_batch_size=size, max_batch_delay=delay
+            )
+        )
+
+    def test_empty_buffer_not_ready(self):
+        assert self.policy().ready_at(FifoBuffer(), now=5.0) is None
+
+    def test_full_batch_ready_immediately(self):
+        buffer = FifoBuffer()
+        for _ in range(4):
+            buffer.push(make_request(enqueued_at=1.0))
+        assert self.policy(size=4).ready_at(buffer, now=1.0) == 1.0
+
+    def test_partial_batch_ready_at_head_deadline(self):
+        buffer = FifoBuffer()
+        buffer.push(make_request(enqueued_at=2.0))
+        buffer.push(make_request(enqueued_at=2.5))
+        # Release instant is the *oldest* member's enqueue plus delay.
+        assert self.policy(delay=0.01).ready_at(buffer, now=2.5) == 2.01
+
+    def test_form_caps_at_max_batch_size(self):
+        buffer = FifoBuffer()
+        for _ in range(7):
+            buffer.push(make_request(enqueued_at=0.0))
+        batch = self.policy(size=4).form(buffer)
+        assert len(batch) == 4
+        assert len(buffer) == 3
+
+
+class TestFifoPopBatch:
+    def test_preserves_fifo_order(self):
+        buffer = FifoBuffer()
+        requests = [make_request() for _ in range(5)]
+        for request in requests:
+            buffer.push(request)
+        assert buffer.pop_batch(3) == requests[:3]
+        assert buffer.pop_batch(10) == requests[3:]
+
+    def test_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoBuffer().pop_batch(4)
+
+
+class TestPriorityPopBatch:
+    def test_never_spans_classes_strict(self):
+        buffer = PriorityBuffer(mode="strict")
+        low = [make_request(priority=0) for _ in range(3)]
+        high = [make_request(priority=1) for _ in range(2)]
+        for request in low + high:
+            buffer.push(request)
+        # Only two high-priority requests exist: the batch stops there
+        # rather than backfilling from the low class.
+        batch = buffer.pop_batch(4)
+        assert batch == high
+        assert buffer.pop_batch(4) == low
+        assert len(buffer) == 0
+
+    def test_weighted_arbitrates_batches_not_requests(self):
+        buffer = PriorityBuffer(mode="weighted", weights={0: 1.0, 1: 1.0})
+        for _ in range(8):
+            buffer.push(make_request(priority=0))
+            buffer.push(make_request(priority=1))
+        batches = [buffer.pop_batch(4) for _ in range(4)]
+        # Equal weights alternate classes batch-by-batch, and no batch
+        # ever mixes classes.
+        classes = [
+            {request.priority for request in batch} for batch in batches
+        ]
+        assert all(len(c) == 1 for c in classes)
+        assert sorted(next(iter(c)) for c in classes) == [0, 0, 1, 1]
+
+    def test_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityBuffer().pop_batch(4)
+
+
+class TestGetBatch:
+    def policy(self, size=4, delay=0.01):
+        return BatchPolicy.from_config(
+            BatchingConfig(
+                enabled=True, max_batch_size=size, max_batch_delay=delay
+            )
+        )
+
+    def test_full_batch_released_without_delay(self):
+        queue = RequestQueue(VirtualClock())
+        requests = [make_request() for _ in range(4)]
+        for request in requests:
+            queue.put(request)
+        assert queue.get_batch(self.policy(size=4, delay=10.0)) == requests
+
+    def test_partial_batch_waits_out_the_delay(self):
+        queue = RequestQueue(WallClock())
+        queue.put(make_request())
+        queue.put(make_request())
+        start = time.monotonic()
+        batch = queue.get_batch(self.policy(size=8, delay=0.05))
+        assert time.monotonic() - start >= 0.045
+        assert len(batch) == 2
+
+    def test_arrival_completing_batch_releases_early(self):
+        queue = RequestQueue(WallClock())
+        for _ in range(3):
+            queue.put(make_request())
+        result = []
+
+        def consumer():
+            result.append(queue.get_batch(self.policy(size=4, delay=5.0)))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        assert not result  # still holding for the 4th member
+        queue.put(make_request())
+        thread.join(1.0)
+        assert len(result) == 1 and len(result[0]) == 4
+
+    def test_close_flushes_residue_immediately(self):
+        queue = RequestQueue(WallClock())
+        queue.put(make_request())
+        queue.close()
+        start = time.monotonic()
+        batch = queue.get_batch(self.policy(size=8, delay=10.0))
+        assert time.monotonic() - start < 1.0
+        assert len(batch) == 1
+
+    def test_timeout(self):
+        queue = RequestQueue(WallClock())
+        with pytest.raises(TimeoutError):
+            queue.get_batch(self.policy(), timeout=0.05)
+
+
+class BatchEchoApp:
+    """Echoes payloads and records every batch it was handed."""
+
+    def __init__(self):
+        self.batches = []
+        self._lock = threading.Lock()
+
+    def process(self, payload):
+        return ("single", payload)
+
+    def handle_batch(self, payloads):
+        with self._lock:
+            self.batches.append(list(payloads))
+        return [("batched", p) for p in payloads]
+
+
+class ProcessOnlyApp:
+    def process(self, payload):
+        return ("single", payload)
+
+
+class ShortBatchApp:
+    def process(self, payload):
+        return payload
+
+    def handle_batch(self, payloads):
+        return payloads[:-1]  # violates the length contract
+
+
+class TestServerBatching:
+    def run_server(self, app, n=8, size=4, delay=0.002):
+        clock = WallClock()
+        queue = RequestQueue(clock)
+        done = []
+        policy = BatchPolicy.from_config(
+            BatchingConfig(
+                enabled=True, max_batch_size=size, max_batch_delay=delay
+            )
+        )
+        server = Server(app, queue, clock, respond=done.append, batching=policy)
+        server.start()
+        requests = []
+        for i in range(n):
+            request = Request(payload=i, generated_at=0.0)
+            request.sent_at = 0.0
+            queue.put(request)
+            requests.append(request)
+        deadline = time.time() + 5.0
+        while len(done) < n and time.time() < deadline:
+            time.sleep(0.001)
+        server.shutdown()
+        return server, requests, done
+
+    def test_handle_batch_serves_all_members(self):
+        app = BatchEchoApp()
+        _, requests, done = self.run_server(app)
+        assert len(done) == 8
+        for request in requests:
+            assert request.response == ("batched", request.payload)
+            assert 1 <= request.batch_size <= 4
+            assert request.service_start_at is not None
+            assert request.service_end_at >= request.service_start_at
+        assert all(len(batch) <= 4 for batch in app.batches)
+
+    def test_falls_back_to_process_loop(self):
+        _, requests, done = self.run_server(ProcessOnlyApp())
+        assert len(done) == 8
+        assert all(r.response == ("single", r.payload) for r in requests)
+
+    def test_members_of_one_batch_share_service_window(self):
+        app = BatchEchoApp()
+        _, requests, _ = self.run_server(app, n=4, size=4, delay=1.0)
+        starts = {r.service_start_at for r in requests}
+        ends = {r.service_end_at for r in requests}
+        if len(app.batches) == 1:  # all four formed one batch
+            assert len(starts) == 1 and len(ends) == 1
+
+    def test_length_contract_violation_is_captured(self):
+        server, requests, done = self.run_server(ShortBatchApp(), n=4)
+        assert len(done) == 4
+        assert server.errors
+        assert any("handle_batch returned" in e for e in server.errors)
+        assert all(r.error is not None for r in requests)
+
+
+class TestCollectorOccupancy:
+    def make_record(self, i, batch_size=1):
+        base = float(i)
+        return RequestRecord(
+            request_id=i,
+            generated_at=base,
+            sent_at=base,
+            enqueued_at=base + 0.0001,
+            service_start_at=base + 0.0002,
+            service_end_at=base + 0.0002 + 0.004,
+            response_received_at=base + 0.0003 + 0.004,
+            batch_size=batch_size,
+        )
+
+    def test_occupancy_histogram_is_member_weighted(self):
+        collector = StatsCollector()
+        for i in range(4):
+            collector.add(self.make_record(i, batch_size=4))
+        collector.add(self.make_record(4, batch_size=1))
+        stats = collector.snapshot()
+        assert stats.batch_occupancy == {4: 4, 1: 1}
+        # Member-weighted: the mean occupancy a *request* experienced,
+        # so the four members of the 4-batch each count once.
+        assert stats.mean_batch_size == pytest.approx((4 * 4 + 1) / 5)
+
+    def test_unbatched_run_reports_mean_one(self):
+        collector = StatsCollector()
+        collector.add(self.make_record(0))
+        stats = collector.snapshot()
+        assert stats.batch_occupancy == {1: 1}
+        assert stats.mean_batch_size == 1.0
+
+    def test_empty_collector(self):
+        stats = StatsCollector().snapshot()
+        assert stats.batch_occupancy == {}
+        assert stats.mean_batch_size == 1.0
+
+    def test_service_share_divides_by_occupancy(self):
+        record = self.make_record(0, batch_size=4)
+        assert record.service_share == pytest.approx(record.service_time / 4)
+        solo = self.make_record(1)
+        assert solo.service_share == pytest.approx(solo.service_time)

@@ -219,6 +219,33 @@ class TestResilienceConfig:
         assert effective_attempt_timeout(explicit) == 0.05
         assert effective_attempt_timeout(ResilienceConfig()) is None
 
+    def test_attempt_timeout_clamped_to_deadline_budget(self):
+        # Regression: backoff sleeps consume the deadline budget, so a
+        # fixed per-attempt window granted late in the request's life
+        # used to run past the deadline (a timer waiting on an outcome
+        # the deadline had already decided).
+        config = ResilienceConfig(deadline=0.3, max_retries=2)
+        # Fresh request: the full window fits the budget.
+        assert effective_attempt_timeout(
+            config, now=0.0, deadline=0.3
+        ) == pytest.approx(0.1)
+        # Late attempt: only the remaining budget is granted.
+        assert effective_attempt_timeout(
+            config, now=0.25, deadline=0.3
+        ) == pytest.approx(0.05)
+        # At/past the deadline: zero, never negative.
+        assert effective_attempt_timeout(config, now=0.3, deadline=0.3) == 0.0
+        assert effective_attempt_timeout(config, now=0.4, deadline=0.3) == 0.0
+
+    def test_clamp_requires_both_now_and_deadline(self):
+        config = ResilienceConfig(deadline=0.3, max_retries=2)
+        # now without a deadline (deadline-less request): unclamped.
+        assert effective_attempt_timeout(config, now=5.0) == pytest.approx(0.1)
+        explicit = ResilienceConfig(attempt_timeout=0.05)
+        assert effective_attempt_timeout(
+            explicit, now=1.0, deadline=1.02
+        ) == pytest.approx(0.02)
+
 
 class FakeTransport:
     """Hand-cranked transport: the test decides when attempts complete."""

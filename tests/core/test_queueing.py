@@ -6,11 +6,16 @@ import time
 import pytest
 
 from repro.core import QueueClosed, Request, RequestQueue, VirtualClock, WallClock
-from repro.core.queueing import FifoBuffer, QueueSnapshot
+from repro.core.queueing import (
+    FifoBuffer,
+    PriorityBuffer,
+    PriorityRequestQueue,
+    QueueSnapshot,
+)
 
 
-def make_request():
-    request = Request(payload=None, generated_at=0.0)
+def make_request(priority=0):
+    request = Request(payload=None, generated_at=0.0, priority=priority)
     request.sent_at = 0.0
     return request
 
@@ -168,6 +173,75 @@ class TestRequestQueue:
         queue = RequestQueue(VirtualClock(), buffer=buffer)
         queue.put(make_request())
         assert len(buffer) == 1
+
+    def test_mixed_class_head_is_oldest_across_all_classes(self):
+        # CoDel's signal is the oldest *waiting* request, regardless of
+        # which class the discipline would actually serve next: a
+        # starved low-priority head must still drive the sojourn.
+        buffer = PriorityBuffer(mode="strict")
+        old_low = make_request(priority=0)
+        old_low.enqueued_at = 1.0
+        young_high = make_request(priority=5)
+        young_high.enqueued_at = 2.0
+        buffer.push(old_low)
+        buffer.push(young_high)
+        assert buffer.head_enqueued_at() == 1.0
+        # Strict service order disagrees with head age on purpose.
+        assert buffer.pop() is young_high
+        assert buffer.head_enqueued_at() == 1.0
+        buffer.pop()
+        assert buffer.head_enqueued_at() is None
+
+    def test_priority_queue_snapshot_mixed_class_head_sojourn(self):
+        clock = VirtualClock(10.0)
+        queue = PriorityRequestQueue(clock, mode="strict")
+        queue.put(make_request(priority=0))  # enqueued at 10.0
+        clock.advance(0.3)
+        queue.put(make_request(priority=9))  # enqueued at 10.3
+        clock.advance(0.1)
+        snap = queue.snapshot()
+        assert snap.depth == 2
+        # The low-priority request is older: 10.4 - 10.0 = 0.4, not the
+        # 0.1 the high class' head would report.
+        assert snap.head_sojourn == pytest.approx(0.4)
+        assert queue.get().priority == 9  # service still strict
+        assert queue.snapshot().head_sojourn == pytest.approx(0.4)
+
+    def test_sim_server_snapshot_mixed_class_head_sojourn(self):
+        """The simulated server's snapshot obeys the same oldest-across-
+        classes rule when wired to a PriorityBuffer."""
+        import random
+
+        from repro.core.collector import StatsCollector
+        from repro.sim.engine import Engine
+        from repro.sim.network_model import network_model_for
+        from repro.sim.server_model import SimulatedServer
+        from repro.sim.service_models import ServiceTimeModel
+        from repro.stats import Deterministic
+
+        engine = Engine()
+        server = SimulatedServer(
+            engine,
+            ServiceTimeModel(Deterministic(0.05)),
+            network_model_for("integrated"),
+            n_threads=1,
+            collector=StatsCollector(),
+            rng=random.Random(0),
+            buffer=PriorityBuffer(mode="strict"),
+        )
+
+        def submit(at, priority):
+            request = Request(payload=None, generated_at=at, priority=priority)
+            request.sent_at = at
+            server.submit_request(request)
+
+        submit(0.000, 0)  # taken by the single worker immediately
+        submit(0.002, 0)  # waits: class 0, the oldest
+        submit(0.004, 7)  # waits: class 7, younger but higher priority
+        engine.run(until=0.01)
+        snap = server.queue_snapshot()
+        assert snap.depth == 2
+        assert snap.head_sojourn == pytest.approx(0.01 - 0.002)
 
     def test_concurrent_producers_consumers(self):
         queue = RequestQueue(WallClock())

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import (
     ArrivalSchedule,
+    BurstyArrivals,
     DeterministicArrivals,
     PoissonArrivals,
     TrafficShaper,
@@ -70,6 +71,47 @@ class TestArrivalSchedule:
     def test_rejects_zero_requests(self):
         with pytest.raises(ValueError):
             ArrivalSchedule.generate(PoissonArrivals(10), 0)
+
+    def test_observed_qps_none_for_single_arrival(self):
+        assert ArrivalSchedule([1.0]).observed_qps is None
+
+    def test_observed_qps_none_for_zero_span(self):
+        # Several arrivals at one instant span no time: no rate exists.
+        assert ArrivalSchedule([2.0, 2.0, 2.0]).observed_qps is None
+
+    def test_observed_qps_defined_for_two_arrivals(self):
+        assert ArrivalSchedule([0.0, 0.5]).observed_qps == pytest.approx(2.0)
+
+
+class TestBurstyRegimeReset:
+    def test_reused_process_reproduces_schedule(self):
+        # Regression: the MMPP regime state (_in_burst/_regime_left)
+        # mutates while drawing gaps; without a reset a second
+        # generation from the same instance started mid-regime and
+        # diverged from a fresh instance at the same seed.
+        process = BurstyArrivals(qps=1000.0)
+        first = ArrivalSchedule.generate(process, 500, seed=3)
+        second = ArrivalSchedule.generate(process, 500, seed=3)
+        assert list(first) == list(second)
+
+    def test_reused_process_matches_fresh_instance(self):
+        used = BurstyArrivals(qps=1000.0)
+        ArrivalSchedule.generate(used, 137, seed=9)  # dirty the state
+        fresh = BurstyArrivals(qps=1000.0)
+        a = ArrivalSchedule.generate(used, 200, seed=4)
+        b = ArrivalSchedule.generate(fresh, 200, seed=4)
+        assert list(a) == list(b)
+
+    def test_reset_restores_initial_state(self):
+        import random
+
+        process = BurstyArrivals(qps=1000.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            process.next_gap(rng)
+        process.reset()
+        assert process._in_burst is False
+        assert process._regime_left == 0.0
 
 
 class TestTrafficShaper:

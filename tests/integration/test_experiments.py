@@ -230,6 +230,7 @@ class TestExtensions:
             "ext-energy",
             "fig-topology",
             "fig-control",
+            "fig-batching",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

@@ -1,0 +1,125 @@
+"""Tests for dynamic batching in the virtual-time simulator."""
+
+import pytest
+
+from repro.batching import BatchingConfig
+from repro.sim import AppProfile, SimConfig, simulate_load
+from repro.stats import Exponential, LogNormal
+
+
+def profile():
+    return AppProfile(name="batch-sim", service=LogNormal(mean=1e-3, sigma=0.5))
+
+
+def config(seed=0, **batch_kwargs):
+    batching = (
+        BatchingConfig(enabled=True, **batch_kwargs)
+        if batch_kwargs
+        else BatchingConfig()
+    )
+    return SimConfig(
+        qps=1400,  # past single-worker capacity: batching has work to do
+        n_threads=1,
+        warmup_requests=100,
+        measure_requests=3000,
+        seed=seed,
+        batching=batching,
+    )
+
+
+class TestSimBatching:
+    def test_deterministic_given_seed(self):
+        kwargs = dict(max_batch_size=8, max_batch_delay=0.004,
+                      sim_marginal_cost=0.3)
+        a = simulate_load(profile(), config(**kwargs))
+        b = simulate_load(profile(), config(**kwargs))
+        assert a.stats.samples("sojourn") == b.stats.samples("sojourn")
+        assert a.stats.batch_occupancy == b.stats.batch_occupancy
+        assert a.virtual_time == b.virtual_time
+
+    def test_occupancy_bounded_by_max_batch_size(self):
+        result = simulate_load(
+            profile(),
+            config(max_batch_size=8, max_batch_delay=0.004,
+                   sim_marginal_cost=0.3),
+        )
+        occupancy = result.stats.batch_occupancy
+        assert occupancy
+        assert max(occupancy) <= 8
+        assert sum(occupancy.values()) == result.stats.count
+
+    def test_batching_amortizes_overload(self):
+        # At 1.4x single-worker capacity the unbatched queue diverges;
+        # with marginal cost 0.3 an 8-batch costs ~3.1 draws for 8
+        # requests, pulling the server well under saturation.
+        unbatched = simulate_load(profile(), config())
+        batched = simulate_load(
+            profile(),
+            config(max_batch_size=8, max_batch_delay=0.004,
+                   sim_marginal_cost=0.3),
+        )
+        assert batched.stats.mean_batch_size > 2.0
+        assert batched.sojourn.p99 < unbatched.sojourn.p99 / 5
+        assert batched.utilization < unbatched.utilization
+
+    def test_batch_size_one_reproduces_unbatched_run(self):
+        # A 1-batch with zero delay is the unbatched discipline: same
+        # RNG draw order, same dispatch instants — bit-identical
+        # results, which is the "structurally zero disabled cost"
+        # property one level up from off.
+        service = Exponential.from_mean(1e-3)
+        prof = AppProfile(name="eq", service=service)
+        base = SimConfig(
+            qps=800, warmup_requests=100, measure_requests=3000, seed=5
+        )
+        plain = simulate_load(prof, base)
+        degenerate = simulate_load(
+            prof,
+            SimConfig(
+                qps=800, warmup_requests=100, measure_requests=3000, seed=5,
+                batching=BatchingConfig(
+                    enabled=True, max_batch_size=1, max_batch_delay=0.0
+                ),
+            ),
+        )
+        assert plain.stats.samples("sojourn") == degenerate.stats.samples(
+            "sojourn"
+        )
+        assert plain.virtual_time == degenerate.virtual_time
+
+    def test_marginal_cost_one_is_serial_service(self):
+        # With marginal cost 1.0 a batch costs the sum of its members'
+        # draws — no amortization, so batching cannot beat saturation.
+        result = simulate_load(
+            profile(),
+            config(max_batch_size=8, max_batch_delay=0.004,
+                   sim_marginal_cost=1.0),
+        )
+        assert result.utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_trace_events_emitted(self):
+        from repro.core.config import ObservabilityConfig
+
+        result = simulate_load(
+            profile(),
+            SimConfig(
+                qps=1400, n_threads=1, warmup_requests=0,
+                measure_requests=500, seed=1,
+                batching=BatchingConfig(
+                    enabled=True, max_batch_size=8, max_batch_delay=0.004
+                ),
+                observability=ObservabilityConfig(tracing=True),
+            ),
+        )
+        events = result.obs.events
+        kinds = {e.kind for e in events}
+        assert {"batch_form", "batch_start", "batch_end"} <= kinds
+        forms = [e for e in events if e.kind == "batch_form"]
+        starts = [e for e in events if e.kind == "batch_start"]
+        ends = [e for e in events if e.kind == "batch_end"]
+        # One form event per member, each naming its request and batch.
+        assert len(forms) == 500
+        assert all(e.request_id is not None for e in forms)
+        assert len(starts) == len(ends)
+        # Every member's batch sequence number matches a started batch.
+        assert {e.value for e in forms} == {e.value for e in starts}

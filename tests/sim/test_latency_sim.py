@@ -172,3 +172,27 @@ class TestPaperProfiles:
     def test_long_tail_apps_have_high_scv(self):
         assert PAPER_PROFILES["silo"].service.scv > 1.0
         assert PAPER_PROFILES["shore"].service.scv > 0.3
+
+
+class TestAttemptTimeoutClamp:
+    def test_attempt_timers_never_outlive_the_deadline(self):
+        # Regression: every attempt is dropped, so attempt timeouts and
+        # backoff alone drive the run. Unclamped, the final retry's
+        # timer (scheduled after backoff sleeps ate the budget) fired
+        # past the deadline and stretched virtual time beyond the last
+        # request's resolution; clamped, the simulation ends exactly at
+        # the last arrival + deadline.
+        from repro.core.resilience import ResilienceConfig
+        from repro.faults import FaultPlan
+
+        profile = AppProfile(name="clamp", service=Deterministic(1e-3))
+        config = SimConfig(
+            qps=1000, warmup_requests=0, measure_requests=50, seed=3,
+            deterministic_arrivals=True,
+            faults=FaultPlan(drop_rate=1.0),
+            resilience=ResilienceConfig(deadline=0.05, max_retries=3),
+        )
+        result = simulate_load(profile, config)
+        assert result.outcomes["timed_out"] == 50
+        last_arrival = 50 / 1000.0
+        assert result.virtual_time <= last_arrival + 0.05 + 1e-9
