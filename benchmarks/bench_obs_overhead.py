@@ -60,7 +60,7 @@ def _runs(observability, seeds, app):
     return results
 
 
-def test_obs_overhead(benchmark, save_result):
+def test_obs_overhead(benchmark, save_result, save_baseline):
     """Median p50/p99 delta, tracing enabled vs disabled."""
     app = ConstantApp()
     seeds = list(range(REPEATS))
@@ -94,3 +94,8 @@ def test_obs_overhead(benchmark, save_result):
     # tracing pays a few us per request; bound the stable p50 metric
     # with headroom for noisy CI containers.
     assert deltas["p50"] < 15.0
+    save_baseline("obs_overhead", {
+        "p50_delta_pct": deltas["p50"],
+        "p99_delta_pct": deltas["p99"],
+        "events_per_run": len(on[0].obs.events),
+    })

@@ -14,7 +14,7 @@ from repro.stats import HdrHistogram
 from repro.workloads import TpccScale, TpccWorkload, YcsbWorkload
 
 
-def test_hdr_record_throughput(benchmark):
+def test_hdr_record_throughput(benchmark, save_baseline):
     hist = HdrHistogram()
     rng = random.Random(0)
     values = [rng.expovariate(1000.0) for _ in range(10_000)]
@@ -24,9 +24,13 @@ def test_hdr_record_throughput(benchmark):
             hist.record(v)
 
     benchmark(record_all)
+    save_baseline("substrate_hdr", {
+        "mean_s": benchmark.stats.stats.mean,
+        "records_per_call": len(values),
+    })
 
 
-def test_event_engine_throughput(benchmark):
+def test_event_engine_throughput(benchmark, save_baseline):
     from repro.sim import Engine
 
     def run_events():
@@ -36,6 +40,10 @@ def test_event_engine_throughput(benchmark):
         engine.run()
 
     benchmark(run_events)
+    save_baseline("substrate_engine", {
+        "mean_s": benchmark.stats.stats.mean,
+        "events_per_call": 5000,
+    })
 
 
 def test_simulated_load_throughput(benchmark):
@@ -48,7 +56,7 @@ def test_simulated_load_throughput(benchmark):
     )
 
 
-def test_btree_put_get(benchmark):
+def test_btree_put_get(benchmark, save_baseline):
     from repro.apps.masstree import BPlusTree
 
     keys = random.Random(1).sample(range(100_000), 5000)
@@ -61,6 +69,10 @@ def test_btree_put_get(benchmark):
             tree.get(k)
 
     benchmark(workload)
+    save_baseline("substrate_btree", {
+        "mean_s": benchmark.stats.stats.mean,
+        "keys_per_call": len(keys),
+    })
 
 
 def test_masstree_ycsb_ops(benchmark):

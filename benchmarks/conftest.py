@@ -2,12 +2,16 @@
 
 Every table/figure benchmark writes its rendered output under
 ``benchmarks/results/`` so regenerated artifacts are inspectable after
-a ``pytest benchmarks/ --benchmark-only`` run.
+a ``pytest benchmarks/ --benchmark-only`` run, plus a machine-stamped
+``BENCH_<name>.json`` metric baseline (see
+:mod:`repro.experiments.baseline`) that CI validates.
 """
 
 import pathlib
 
 import pytest
+
+from repro.experiments.baseline import write_baseline
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -24,5 +28,15 @@ def save_result(results_dir):
 
     def _save(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture()
+def save_baseline(results_dir):
+    """Write one benchmark's headline metrics to results/BENCH_<name>.json."""
+
+    def _save(name: str, metrics: dict) -> None:
+        write_baseline(results_dir, name, metrics)
 
     return _save

@@ -1,0 +1,126 @@
+"""Metastable failure: a retry storm that outlives its trigger.
+
+Walks the canonical spiral in the discrete-event simulator (seconds of
+wall clock, bit-identical per seed):
+
+1. one of three replicas turns ~75x slower for a timed window
+   (`retry_storm` chaos scenario);
+2. an undefended client (deadline + aggressive retries) times out on
+   every attempt routed there and retries onto the survivors; the
+   amplified attempt rate exceeds *their* capacity, their queues cross
+   the attempt timeout too, and goodput collapses — and stays
+   collapsed after the fault clears, because the retry load is now
+   the overload;
+3. the defended arm (same retry policy + `HealthConfig`: outlier
+   ejection, circuit breakers, a global retry budget) routes around
+   the slow replica and recovers within seconds.
+
+Run:  python examples/metastable_failure.py
+"""
+
+from repro.core import ResilienceConfig
+from repro.faults import retry_storm
+from repro.health import HealthConfig
+from repro.sim import AppProfile, SimConfig, simulate_load
+from repro.stats import LogNormal
+
+SERVICE = LogNormal(mean=10e-3, sigma=0.3)   # 10 ms mean service time
+N_SERVERS = 3
+WARM, FAULT, POST = 1.0, 2.0, 5.0            # phase timeline (seconds)
+HORIZON = WARM + FAULT + POST
+QPS = 0.58 * N_SERVERS / SERVICE.mean        # 58% of healthy capacity
+
+#: The slow replica stalls 300 ms per request — far beyond the 50 ms
+#: attempt timeout, so every attempt routed there times out.
+SCENARIO = retry_storm(
+    server_id=N_SERVERS - 1, start=WARM, duration=FAULT, pause=0.3
+)
+
+#: The spiral's fuel: tight attempt timeout + 3 retries = up to 4x
+#: attempt amplification per request.
+RETRIES = ResilienceConfig(
+    deadline=0.5, attempt_timeout=0.05, max_retries=3,
+    backoff_base=0.005, backoff_cap=0.02,
+)
+
+#: The cure: ejection + breakers + a retry budget capping sustained
+#: amplification at ~1.1x. One flag; everything else is defaults.
+DEFENSE = HealthConfig(enabled=True, probe_interval=50)
+
+
+def goodput(result, start: float, end: float) -> float:
+    """Deadline-met completions per second inside [start, end)."""
+    records = result.stats.records
+    t0 = min(r.generated_at for r in records)
+    n = sum(
+        1
+        for r in records
+        if r.response_received_at is not None
+        and start <= r.response_received_at - t0 < end
+    )
+    return n / (end - start)
+
+
+def run(arm: str, health) -> None:
+    config = SimConfig(
+        configuration="integrated",
+        n_threads=1,
+        n_servers=N_SERVERS,
+        balancer="round_robin",
+        seed=0,
+        load_profile=((HORIZON, QPS),),
+        resilience=RETRIES,
+        scenario=SCENARIO,
+    )
+    if health is not None:
+        config = config.replace(health=health)
+    result = simulate_load(
+        AppProfile(name="metastable-demo", service=SERVICE), config
+    )
+
+    fault_end = WARM + FAULT
+    print(f"--- {arm}")
+    print(
+        f"goodput: pre-fault {goodput(result, 0.5 * WARM, WARM):4.0f}/s | "
+        f"during fault {goodput(result, WARM, fault_end):4.0f}/s | "
+        "after fault cleared:",
+        " ".join(
+            f"{goodput(result, fault_end + k, fault_end + k + 1):4.0f}"
+            for k in range(int(POST))
+        ),
+        "/s per second",
+    )
+    print(
+        f"retry amplification {result.retry_amplification:.2f}x  "
+        f"timed out {result.outcomes.get('timed_out', 0)}"
+    )
+    if result.health_counts:
+        h = result.health_counts
+        print(
+            f"defenses: ejections={h.get('ejections', 0)} "
+            f"probes={h.get('probes', 0)} "
+            f"breaker_opens={h.get('breaker_opens', 0)} "
+            f"retries_denied={h.get('retries_denied', 0)}"
+        )
+    print()
+
+
+def main() -> None:
+    print(
+        f"retry storm: replica {N_SERVERS - 1} of {N_SERVERS} stalls "
+        f"0.3s/request during t=[{WARM:g},{WARM + FAULT:g})s, "
+        f"{QPS:.0f} qps offered for {HORIZON:g}s\n"
+    )
+    run("undefended (deadline + retries only)", None)
+    run("defended (ejection + breaker + retry budget)", DEFENSE)
+    print(
+        "The undefended arm's collapse outlives the fault: retries, not\n"
+        "the slow replica, are now the overload. The defended arm ejects\n"
+        "the replica, the budget caps amplification, and goodput returns\n"
+        "to pre-fault within seconds. Re-run with a different seed= for\n"
+        "a statistically different — but per-seed bit-identical — replay."
+    )
+
+
+if __name__ == "__main__":
+    main()

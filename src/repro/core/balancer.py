@@ -206,9 +206,16 @@ def pick_active(
     ``avoid`` is a server id (not a position); it is translated into
     the dense space, and dropped when the avoided replica is not active
     (routing away from a drained replica is automatic).
+
+    Degrades gracefully: when upstream filtering (avoid + draining +
+    health ejection) leaves zero candidates, the full replica set is
+    used instead — under a storm, routing *somewhere* beats raising on
+    the send path.
     """
     if not active_ids:
-        raise ValueError("no active servers to route to")
+        active_ids = list(range(len(depths)))
+        if not active_ids:
+            raise ValueError("no servers exist to route to")
     if len(active_ids) == 1:
         return active_ids[0]
     dense_depths = [depths[server_id] for server_id in active_ids]

@@ -8,7 +8,8 @@ from typing import Optional, Tuple
 
 from ..batching.config import NO_BATCHING, BatchingConfig
 from ..control.config import NO_CONTROL, ControlPlaneConfig
-from ..faults import FaultPlan
+from ..faults import FaultPlan, Scenario
+from ..health.config import NO_HEALTH, HealthConfig
 from .balancer import BALANCERS
 from .resilience import ResilienceConfig
 
@@ -19,6 +20,7 @@ __all__ = [
     "PAPER_SYSTEM",
     "NO_BATCHING",
     "NO_CONTROL",
+    "NO_HEALTH",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
 ]
@@ -132,6 +134,18 @@ class HarnessConfig:
         ``measure_requests``/``warmup_requests`` are ignored when set;
         the profile's duration determines the offered request count,
         and every completion is measured.
+    health:
+        Failure-aware serving policy (see
+        :class:`repro.health.HealthConfig`): per-replica health
+        tracking, outlier ejection, circuit breakers, and the global
+        retry budget. Fully disabled by default — the transport and
+        client then hold no health hooks at all, keeping runs
+        bit-identical with pre-health builds.
+    scenario:
+        Optional chaos :class:`repro.faults.Scenario` — a timed
+        sequence of fault-plan phases played back by a scheduler
+        thread (live) or engine events (simulator). Composes over
+        ``faults`` as the steady-state base plan.
     """
 
     configuration: str = "integrated"
@@ -152,6 +166,8 @@ class HarnessConfig:
     control: ControlPlaneConfig = NO_CONTROL
     batching: BatchingConfig = NO_BATCHING
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
+    health: HealthConfig = NO_HEALTH
+    scenario: Optional[Scenario] = None
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:

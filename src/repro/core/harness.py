@@ -21,7 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..faults import FaultInjector
+from ..faults import FaultInjector, ScenarioDriver, ScenarioInjector
 from ..stats import LatencySummary
 from .balancer import make_balancer
 from .clock import Clock, WallClock
@@ -66,6 +66,10 @@ class HarnessResult:
     #: Control-plane tallies (ticks, admitted, per-cause drops, final
     #: AIMD limit, scale actions); empty unless control was enabled.
     control_counts: Dict[str, int] = field(default_factory=dict)
+    #: Health-layer tallies (ejections, readmissions, probes, breaker
+    #: transitions, retry-budget spends/denials); empty unless
+    #: ``config.health.enabled``.
+    health_counts: Dict[str, int] = field(default_factory=dict)
     #: Per-instance ``(server_id, completions, active_seconds)``. The
     #: active window runs from the instance joining the replica set (or
     #: run start, for the initial set) until it drained (or run end) —
@@ -160,6 +164,15 @@ class HarnessResult:
                 f"scale_downs={c.get('scale_downs', 0)} "
                 f"active_servers={c.get('active_servers', 0)}"
             )
+        if self.health_counts:
+            h = self.health_counts
+            lines.append(
+                f"health: ejections={h.get('ejections', 0)} "
+                f"readmissions={h.get('readmissions', 0)} "
+                f"probes={h.get('probes', 0)} "
+                f"breaker_opens={h.get('breaker_opens', 0)} "
+                f"retries_denied={h.get('retries_denied', 0)}"
+            )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -192,11 +205,16 @@ def run_harness(
     # warmup-discard methodology.
     warmup = 0 if config.load_profile is not None else config.warmup_requests
     collector = StatsCollector(warmup_requests=warmup)
-    injector = (
-        FaultInjector(config.faults, seed=config.seed)
-        if config.faults is not None and not config.faults.is_noop
-        else None
-    )
+    if config.scenario is not None:
+        injector = ScenarioInjector(
+            config.scenario, seed=config.seed, base=config.faults
+        )
+    else:
+        injector = (
+            FaultInjector(config.faults, seed=config.seed)
+            if config.faults is not None and not config.faults.is_noop
+            else None
+        )
     transport = make_transport(
         config.configuration, clock, one_way_delay=config.one_way_delay
     )
@@ -251,6 +269,13 @@ def run_harness(
         from ..batching import BatchPolicy
 
         batching = BatchPolicy.from_config(config.batching)
+    health = None
+    if config.health.enabled:
+        # Lazy import, same policy as the other optional subsystems:
+        # disabled runs never touch the health package.
+        from ..health import HealthManager
+
+        health = HealthManager(config.health, tracer=tracer)
 
     transport.start(
         app,
@@ -263,10 +288,14 @@ def run_harness(
         control=plane,
         batching=batching,
     )
+    if health is not None:
+        transport.set_health(health)
     if registry is not None:
         transport.set_observability(tracer, registry)
         if injector is not None:
             injector.register_metrics(registry)
+        if health is not None:
+            health.register_metrics(registry)
         sampler = MetricsSampler(
             registry, clock, interval=config.observability.metrics_interval
         )
@@ -280,12 +309,17 @@ def run_harness(
     if config.resilience.enabled:
         resilient = ResilientClient(
             transport, clock, config.resilience, collector, seed=config.seed,
-            tracer=tracer,
+            tracer=tracer, health=health,
         )
     if injector is not None:
         injector.start_run(clock.now())
+    driver: Optional[ScenarioDriver] = None
+    if isinstance(injector, ScenarioInjector):
+        driver = ScenarioDriver(injector, clock)
     send_fn = resilient.send if resilient is not None else transport.send
     started = clock.now()
+    if driver is not None:
+        driver.start(started)
     try:
         _run_clients(clock, shaper, schedule, send_fn, payloads, config.n_clients)
         if resilient is not None:
@@ -315,6 +349,8 @@ def run_harness(
             )
             for instance in transport.instances
         )
+        if driver is not None:
+            driver.stop()
         if loop is not None:
             loop.stop()
         if sampler is not None:
@@ -367,6 +403,7 @@ def run_harness(
         routed_counts=routed_counts,
         obs=obs,
         control_counts=plane.counts() if plane is not None else {},
+        health_counts=health.counts() if health is not None else {},
         server_activity=server_activity,
     )
 

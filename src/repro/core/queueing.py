@@ -340,11 +340,24 @@ class RequestQueue:
                     wait = remaining if wait is None else min(wait, remaining)
                 self._not_empty.wait(wait)
 
-    def close(self) -> None:
-        """Stop accepting requests; wake all blocked getters."""
+    def close(self, discard_pending: bool = False) -> int:
+        """Stop accepting requests; wake all blocked getters.
+
+        ``discard_pending`` also drops whatever is still buffered, so
+        workers exit without serving it. A retry storm can leave a
+        backlog of already-abandoned attempts many times deeper than a
+        second of capacity; serving it at shutdown would stall the
+        join for no one's benefit. Returns the number discarded.
+        """
         with self._not_empty:
             self._closed = True
+            dropped = 0
+            if discard_pending:
+                while len(self._buffer):
+                    self._buffer.pop()
+                    dropped += 1
             self._not_empty.notify_all()
+            return dropped
 
     @property
     def closed(self) -> bool:

@@ -136,12 +136,27 @@ def effective_attempt_timeout(
     return base
 
 
+class _TimerHandle:
+    """One scheduled callback; ``cancel`` makes firing a no-op."""
+
+    __slots__ = ("fn", "args", "cancelled")
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+
 class _Scheduler:
     """Minimal timer wheel: run callables at absolute clock instants.
 
     One daemon thread sleeps until the earliest event; callbacks run
     outside the internal lock so they may schedule further events.
-    Pending events are discarded on stop.
+    :meth:`at`/:meth:`after` return a :class:`_TimerHandle` that
+    :meth:`cancel` turns into a no-op — a resolved call's outstanding
+    deadline/hedge/timeout entries are cancelled instead of burning
+    timer-wheel wakeups on dead calls at high QPS. Pending events are
+    discarded on stop.
     """
 
     def __init__(self, clock: Clock) -> None:
@@ -156,30 +171,49 @@ class _Scheduler:
         )
         self._thread.start()
 
-    def at(self, when: float, fn: Callable, *args) -> None:
+    def at(self, when: float, fn: Callable, *args) -> _TimerHandle:
+        handle = _TimerHandle(fn, args)
         with self._wakeup:
             if self._stopped:
-                return
-            heapq.heappush(self._heap, (when, next(self._seq), fn, args))
+                handle.cancelled = True
+                return handle
+            heapq.heappush(self._heap, (when, next(self._seq), handle))
             self._wakeup.notify()
+        return handle
 
-    def after(self, delay: float, fn: Callable, *args) -> None:
-        self.at(self._clock.now() + max(delay, 0.0), fn, *args)
+    def after(self, delay: float, fn: Callable, *args) -> _TimerHandle:
+        return self.at(self._clock.now() + max(delay, 0.0), fn, *args)
+
+    @staticmethod
+    def cancel(handle: _TimerHandle) -> None:
+        handle.cancelled = True
+
+    def pending(self) -> int:
+        """Live (uncancelled) entries still on the heap (test hook)."""
+        with self._lock:
+            return sum(1 for _, _, h in self._heap if not h.cancelled)
 
     def _loop(self) -> None:
         while True:
             with self._wakeup:
-                while not self._heap and not self._stopped:
-                    self._wakeup.wait()
+                # Prune cancelled leaders so they neither schedule a
+                # wakeup nor count as work.
+                while self._heap and self._heap[0][2].cancelled:
+                    heapq.heappop(self._heap)
                 if self._stopped:
                     return
-                when, _, fn, args = self._heap[0]
+                if not self._heap:
+                    self._wakeup.wait()
+                    continue
+                when, _, handle = self._heap[0]
                 now = self._clock.now()
                 if when > now:
                     self._wakeup.wait(when - now)
                     continue
                 heapq.heappop(self._heap)
-            fn(*args)
+                if handle.cancelled:
+                    continue
+            handle.fn(*handle.args)
 
     def stop(self) -> None:
         with self._wakeup:
@@ -203,6 +237,7 @@ class _Call:
         "hedges",
         "resolved",
         "last_server",
+        "timers",
     )
 
     def __init__(
@@ -222,6 +257,9 @@ class _Call:
         #: Server the most recent primary attempt was routed to; a
         #: hedge asks the balancer to pick a *different* replica.
         self.last_server: Optional[int] = None
+        #: Outstanding timer handles (live client only); cancelled on
+        #: resolution so dead calls stop costing timer-wheel work.
+        self.timers: list = []
 
 
 class ResilientClient:
@@ -246,12 +284,17 @@ class ResilientClient:
         collector,
         seed: int = 0,
         tracer=None,
+        health=None,
     ) -> None:
         self._transport = transport
         self._clock = clock
         self._config = config
         self._collector = collector
         self._tracer = tracer
+        #: Optional repro.health.HealthManager: feeds the retry budget
+        #: and reports attempt timeouts (the one failure signal the
+        #: transport completion path never sees).
+        self._health = health
         self._rng = random.Random(seed ^ 0x8E511)
         self._attempt_timeout = effective_attempt_timeout(config)
         self._lock = threading.Lock()
@@ -277,11 +320,19 @@ class ResilientClient:
             self._calls[logical_id] = call
             self._unresolved += 1
         self._collector.note("offered")
+        if self._health is not None:
+            self._health.on_first_attempt()
         self._send_attempt(call, kind="first")
         if deadline is not None:
-            self._scheduler.at(deadline, self._on_deadline, call)
+            call.timers.append(
+                self._scheduler.at(deadline, self._on_deadline, call)
+            )
         if config.hedge_after is not None and config.max_hedges > 0:
-            self._scheduler.after(config.hedge_after, self._maybe_hedge, call)
+            call.timers.append(
+                self._scheduler.after(
+                    config.hedge_after, self._maybe_hedge, call
+                )
+            )
 
     def drain(self, timeout: float = 300.0) -> None:
         """Block until every logical request has resolved."""
@@ -333,8 +384,10 @@ class ResilientClient:
                 self._config, now=self._clock.now(), deadline=call.deadline
             )
             if timeout is not None and timeout > 0.0:
-                self._scheduler.after(
-                    timeout, self._on_attempt_timeout, call, attempt_no
+                call.timers.append(
+                    self._scheduler.after(
+                        timeout, self._on_attempt_timeout, call, attempt_no
+                    )
                 )
 
     def _on_attempt_complete(self, request) -> bool:
@@ -376,6 +429,13 @@ class ResilientClient:
         with self._lock:
             if call.resolved or attempt_no != call.cur_attempt:
                 return
+            server_id = call.last_server
+        if self._health is not None and server_id is not None:
+            # The transport completion hook never sees a timed-out
+            # attempt; report the failure against the routed replica.
+            self._health.record_attempt(
+                server_id, None, False, self._clock.now()
+            )
         self._retry_or_fail(call, attempt_no, "timed_out")
 
     def _retry_or_fail(
@@ -400,13 +460,27 @@ class ResilientClient:
                     # let the deadline event resolve the call instead.
                     schedule_retry = False
                     call.retry_pending = False
+                elif self._health is not None and not (
+                    self._health.try_spend_retry(self._clock.now())
+                ):
+                    # Retry budget exhausted: give the slot back so a
+                    # later failure may retry once tokens refill, and
+                    # fail now when no deadline will resolve the call.
+                    schedule_retry = False
+                    call.retry_pending = False
+                    call.retries -= 1
+                    if call.deadline is None:
+                        self._resolve_locked(call, exhausted_outcome)
+                        return
             else:
                 schedule_retry = False
                 if call.deadline is None:
                     self._resolve_locked(call, exhausted_outcome)
                 return
         if schedule_retry:
-            self._scheduler.after(delay, self._send_retry, call)
+            call.timers.append(
+                self._scheduler.after(delay, self._send_retry, call)
+            )
 
     def _send_retry(self, call: _Call) -> None:
         with self._lock:
@@ -434,6 +508,11 @@ class ResilientClient:
         if call.resolved:
             return False
         call.resolved = True
+        # Disarm the call's outstanding deadline/hedge/timeout/retry
+        # entries so the timer wheel stops paying for a dead call.
+        for handle in call.timers:
+            self._scheduler.cancel(handle)
+        del call.timers[:]
         self._calls.pop(call.logical_id, None)
         self._unresolved -= 1
         if self._unresolved == 0:

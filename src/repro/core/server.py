@@ -292,14 +292,18 @@ class Server:
                     )
                 return
 
-    def shutdown(self, timeout: float = 30.0) -> None:
+    def shutdown(
+        self, timeout: float = 30.0, discard_pending: bool = False
+    ) -> None:
         """Close the queue and join all workers.
 
         ``timeout`` bounds the whole shutdown, not each join: a shared
         deadline is computed once and each join waits only the
-        remaining budget.
+        remaining budget. ``discard_pending`` drops requests still
+        queued instead of serving them — the end-of-run path, where
+        every waiter has already been resolved or timed out.
         """
-        self._queue.close()
+        self._queue.close(discard_pending=discard_pending)
         deadline = time.monotonic() + timeout
         for t in self._threads:
             t.join(max(0.0, deadline - time.monotonic()))

@@ -149,6 +149,10 @@ class Transport:
         self._send_delay_hist = None
         # Control-plane hook: None unless the run enables repro.control.
         self._control = None
+        # Health hook: None unless the run enables repro.health. With a
+        # manager installed, routing consults it (ejection/breakers)
+        # and every completion feeds it.
+        self._health = None
         # Batching hook: None unless the run enables repro.batching. A
         # single stateless BatchPolicy is shared by every replica.
         self._batching = None
@@ -233,7 +237,10 @@ class Transport:
         for timer in timers:
             timer.cancel()
         for instance in self._instances:
-            instance.server.shutdown()
+            # Anything still queued belongs to requests nobody is
+            # waiting on (drain() already returned or timed out);
+            # serving it would only delay the worker join.
+            instance.server.shutdown(discard_pending=True)
         self._stop_impl()
         self._running = False
 
@@ -322,6 +329,17 @@ class Transport:
             fn=(lambda s=instance.server: s.alive_workers),
             server=str(instance.server_id),
         )
+
+    def set_health(self, health) -> None:
+        """Install the run's :class:`repro.health.HealthManager`.
+
+        Routing then filters candidates through
+        :meth:`HealthManager.route` (ejected replicas skipped, probes
+        and breaker trials forced) and :meth:`_complete` feeds every
+        attempt outcome back. ``None`` (the default) leaves both paths
+        at their single ``is None`` test.
+        """
+        self._health = health
 
     def set_completion_hook(
         self, hook: Callable[[Request], bool]
@@ -445,9 +463,23 @@ class Transport:
                     for instance in self._instances
                     if not instance.draining
                 ]
-            server_id = pick_active(
-                self._balancer, depths, active_ids, avoid=avoid_server
-            )
+            if self._health is not None:
+                candidates, forced = self._health.route(
+                    active_ids, request.sent_at
+                )
+                if forced:
+                    # Probation probe or breaker trial: the health
+                    # layer names the replica; the balancer sits out.
+                    server_id = candidates[0]
+                else:
+                    server_id = pick_active(
+                        self._balancer, depths, candidates,
+                        avoid=avoid_server,
+                    )
+            else:
+                server_id = pick_active(
+                    self._balancer, depths, active_ids, avoid=avoid_server
+                )
         request.server_id = server_id
         if self._send_delay_hist is not None:
             self._send_delay_hist.observe(request.sent_at - generated_at)
@@ -576,6 +608,20 @@ class Transport:
             else:
                 outcome = None
             self._tracer.record_request(request, outcome=outcome)
+        if self._health is not None and not request.discard:
+            health_server = request.server_id
+            if health_server is not None:
+                health_ok = request.error is None and not request.shed
+                self._health.record_attempt(
+                    health_server,
+                    (
+                        request.response_received_at - request.sent_at
+                        if health_ok and request.sent_at is not None
+                        else None
+                    ),
+                    health_ok,
+                    request.response_received_at,
+                )
         handled = False
         if self._completion_hook is not None:
             handled = bool(self._completion_hook(request))

@@ -1,0 +1,176 @@
+"""Benchmark baselines: machine-stamped metric snapshots.
+
+Every benchmark under ``benchmarks/`` writes a ``BENCH_<name>.json``
+next to its rendered table: a small JSON document holding the
+benchmark's headline metrics plus a **run-metadata fingerprint**
+(Python version/implementation, platform, CPU count). Committed
+baselines let a later run — possibly on different hardware — compare
+against recorded numbers *knowing* what produced them, instead of
+diffing bare numbers across unknown machines.
+
+The module doubles as the CI validator::
+
+    python -m repro.experiments.baseline benchmarks/results
+
+which checks every ``BENCH_*.json`` in the directory against the
+schema (exit 1 on the first malformed file).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "run_fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "validate_baseline",
+    "validate_directory",
+    "main",
+]
+
+Scalar = Union[int, float, str, bool]
+
+#: Top-level keys every baseline document must carry.
+_REQUIRED_KEYS = ("name", "fingerprint", "metrics")
+#: Fingerprint keys stamped by :func:`run_fingerprint`.
+_FINGERPRINT_KEYS = (
+    "python", "implementation", "platform", "machine", "cpu_count"
+)
+
+
+def run_fingerprint() -> Dict[str, Scalar]:
+    """Metadata identifying what produced a benchmark result."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def baseline_path(
+    directory: Union[str, pathlib.Path], name: str
+) -> pathlib.Path:
+    return pathlib.Path(directory) / f"BENCH_{name}.json"
+
+
+def write_baseline(
+    directory: Union[str, pathlib.Path],
+    name: str,
+    metrics: Dict[str, Scalar],
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``metrics`` must be a flat mapping of JSON scalars — the point is a
+    diffable, greppable snapshot, not a dump of experiment internals.
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"invalid baseline name {name!r}")
+    if not metrics:
+        raise ValueError("baseline needs at least one metric")
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            raise TypeError(f"metric keys must be str, got {key!r}")
+        if not isinstance(value, (int, float, str, bool)):
+            raise TypeError(
+                f"metric {key!r} must be a JSON scalar, got {type(value)}"
+            )
+        if isinstance(value, float) and value != value:
+            raise ValueError(f"metric {key!r} is NaN")
+    document = {
+        "name": name,
+        "fingerprint": run_fingerprint(),
+        "metrics": dict(sorted(metrics.items())),
+    }
+    path = baseline_path(directory, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Dict:
+    """Read and validate one baseline document."""
+    path = pathlib.Path(path)
+    document = json.loads(path.read_text())
+    validate_baseline(document, source=str(path))
+    return document
+
+
+def validate_baseline(document: Dict, source: str = "<memory>") -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid baseline."""
+    if not isinstance(document, dict):
+        raise ValueError(f"{source}: baseline must be a JSON object")
+    for key in _REQUIRED_KEYS:
+        if key not in document:
+            raise ValueError(f"{source}: missing required key {key!r}")
+    if not isinstance(document["name"], str) or not document["name"]:
+        raise ValueError(f"{source}: 'name' must be a non-empty string")
+    fingerprint = document["fingerprint"]
+    if not isinstance(fingerprint, dict):
+        raise ValueError(f"{source}: 'fingerprint' must be an object")
+    for key in _FINGERPRINT_KEYS:
+        if key not in fingerprint:
+            raise ValueError(f"{source}: fingerprint missing {key!r}")
+    metrics = document["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{source}: 'metrics' must be a non-empty object")
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float, str, bool)):
+            raise ValueError(
+                f"{source}: metric {key!r} is not a JSON scalar"
+            )
+
+
+def validate_directory(
+    directory: Union[str, pathlib.Path], require: int = 0
+) -> List[str]:
+    """Validate every ``BENCH_*.json`` under ``directory``.
+
+    Returns the validated baseline names; raises on the first invalid
+    file, or when fewer than ``require`` baselines are present.
+    """
+    directory = pathlib.Path(directory)
+    names = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        names.append(load_baseline(path)["name"])
+    if len(names) < require:
+        raise ValueError(
+            f"{directory}: expected >= {require} baselines, found "
+            f"{len(names)}"
+        )
+    return names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.baseline",
+        description="Validate BENCH_*.json benchmark baselines.",
+    )
+    parser.add_argument("directory", help="directory holding BENCH_*.json")
+    parser.add_argument(
+        "--require", type=int, default=0, metavar="N",
+        help="fail unless at least N baselines are present",
+    )
+    args = parser.parse_args(argv)
+    try:
+        names = validate_directory(args.directory, require=args.require)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"baseline validation failed: {exc}", file=sys.stderr)
+        return 1
+    for name in names:
+        print(f"ok: {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

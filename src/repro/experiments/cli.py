@@ -28,6 +28,7 @@ from .extensions import (
 from .fig8 import render_fig8, run_fig8
 from .fig_batching import render_fig_batching, run_fig_batching
 from .fig_control import render_fig_control, run_fig_control
+from .fig_resilience import render_fig_resilience, run_fig_resilience
 from .fig_topology import render_fig_topology, run_fig_topology
 from .table1 import render_table1, run_table1
 
@@ -58,6 +59,10 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # Dynamic batching: max_batch_size sweep at fixed overload, the
     # throughput-vs-p99 frontier, live and simulated (seconds).
     "fig-batching": (run_fig_batching, render_fig_batching),
+    # Failure-aware serving: retry-storm chaos scenario, undefended
+    # metastable collapse vs health-layer recovery, live and simulated
+    # (live arms run ~30s each at full scale).
+    "fig-resilience": (run_fig_resilience, render_fig_resilience),
 }
 
 _FAST_KWARGS = {
@@ -74,6 +79,7 @@ _FAST_KWARGS = {
     "fig-topology": {"measure_requests": 1200},
     "fig-control": {"step_seconds": 0.75},
     "fig-batching": {"measure_requests": 1200},
+    "fig-resilience": {"time_scale": 0.2, "modes": ("sim",)},
 }
 
 

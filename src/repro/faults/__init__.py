@@ -9,16 +9,41 @@ deterministically from a seed. Both the live harness
 (:func:`repro.core.harness.run_harness`) and the virtual-time
 simulator (:func:`repro.sim.latency_sim.simulate_load`) accept the
 same plan, so fault experiments can be debugged deterministically in
-simulation and replayed for-real over threads and TCP.
+simulation and replayed for-real over threads and TCP. A
+:class:`Scenario` sequences timed plan phases (chaos windows — see
+:mod:`repro.faults.scenario`) played back by a scheduler thread live
+and by engine events in the simulator.
 """
 
 from .injector import FaultInjector, InjectedFault, TransportAction
 from .plan import FaultPlan, StallWindow
+from .scenario import (
+    SCENARIOS,
+    FaultPhase,
+    Scenario,
+    ScenarioDriver,
+    ScenarioInjector,
+    crash_recover,
+    error_burst,
+    retry_storm,
+    scenario_names,
+    slow_replica,
+)
 
 __all__ = [
     "FaultInjector",
+    "FaultPhase",
     "FaultPlan",
     "InjectedFault",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioDriver",
+    "ScenarioInjector",
     "StallWindow",
     "TransportAction",
+    "crash_recover",
+    "error_burst",
+    "retry_storm",
+    "scenario_names",
+    "slow_replica",
 ]

@@ -1,0 +1,35 @@
+"""Failure-aware serving: replica health, ejection, breakers, budgets.
+
+TailBench measures tails against healthy replicas; this package adds
+the serving-side defenses production systems rely on when replicas are
+*not* healthy — and that the ``fig-resilience`` experiment shows are
+what separates a transient fault from a metastable failure:
+
+- per-replica health tracking (EWMA latency + failure rate) fed from
+  the completion path (:class:`HealthManager.record_attempt`);
+- outlier ejection with probation-based readmission, consulted at
+  routing time (:meth:`HealthManager.route`);
+- per-replica circuit breakers (:class:`CircuitBreaker`);
+- a global token-bucket retry budget (:class:`RetryBudget`) bounding
+  retry amplification.
+
+Everything hangs off one :class:`HealthConfig` attached to
+``HarnessConfig``/``SimConfig``; the default (:data:`NO_HEALTH`) is
+fully disabled and constructs nothing, keeping disabled runs
+bit-identical per seed. The same manager runs live (wall clock,
+transport hook) and in the simulator (virtual clock, engine events).
+"""
+
+from .breaker import CircuitBreaker, RetryBudget
+from .config import NO_HEALTH, HealthConfig
+from .tracker import HealthManager, HealthView, ReplicaHealthView
+
+__all__ = [
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthManager",
+    "HealthView",
+    "NO_HEALTH",
+    "ReplicaHealthView",
+    "RetryBudget",
+]

@@ -1,0 +1,135 @@
+"""Circuit breaker and retry budget: the client-side storm dampers.
+
+Both primitives are deliberately RNG-free and clocked only by the
+timestamps their callers pass in, so the discrete-event simulator and
+the live harness drive the identical state machines — the simulator
+just feeds virtual instants. Neither takes a lock of its own: the
+:class:`~repro.health.tracker.HealthManager` serializes access.
+
+**CircuitBreaker** [Nygard, "Release It!"] guards one replica:
+
+- ``closed`` — requests flow; consecutive failures are counted.
+- ``open`` — tripped after ``breaker_failures`` consecutive failures;
+  the replica is skipped at routing time until ``breaker_reset_after``
+  seconds elapse.
+- ``half_open`` — one trial request is let through; success closes the
+  breaker, failure re-opens it (and restarts the reset clock).
+
+**RetryBudget** is the global token bucket that makes retry storms
+structurally impossible [Finagle's ``RetryBudget``; SRE workbook]:
+each *first* attempt deposits ``ratio`` tokens, each retry withdraws
+one, so sustained retry load can never exceed ``ratio`` times the
+offered rate no matter how many individual requests are failing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "RetryBudget"]
+
+
+class CircuitBreaker:
+    """Per-replica closed/open/half-open breaker on consecutive failures."""
+
+    __slots__ = ("failures", "reset_after", "state", "consecutive",
+                 "opened_at", "trial_inflight")
+
+    def __init__(self, failures: int, reset_after: float) -> None:
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        if reset_after <= 0:
+            raise ValueError("reset_after must be positive")
+        self.failures = failures
+        self.reset_after = reset_after
+        self.state = "closed"
+        self.consecutive = 0
+        self.opened_at = 0.0
+        #: A half-open breaker admits exactly one trial at a time.
+        self.trial_inflight = False
+
+    def allows(self, now: float) -> bool:
+        """Whether a request may be routed to this replica at ``now``.
+
+        Transitions ``open`` -> ``half_open`` once the reset window has
+        elapsed; in ``half_open`` only the single trial slot is granted
+        (the caller must send the request when this returns True).
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at < self.reset_after:
+                return False
+            self.state = "half_open"
+            self.trial_inflight = False
+        if self.trial_inflight:
+            return False
+        self.trial_inflight = True
+        return True
+
+    @property
+    def half_opened(self) -> bool:
+        """True when the last :meth:`allows` call granted the trial slot."""
+        return self.state == "half_open" and self.trial_inflight
+
+    def record(self, ok: bool, now: float) -> str:
+        """Feed one attempt outcome; returns the transition made.
+
+        Transitions: ``"open"`` (tripped), ``"close"`` (trial
+        succeeded), ``"reopen"`` (trial failed), or ``""`` (none).
+        """
+        if self.state == "half_open":
+            self.trial_inflight = False
+            if ok:
+                self.state = "closed"
+                self.consecutive = 0
+                return "close"
+            self.state = "open"
+            self.opened_at = now
+            return "reopen"
+        if ok:
+            self.consecutive = 0
+            return ""
+        self.consecutive += 1
+        if self.state == "closed" and self.consecutive >= self.failures:
+            self.state = "open"
+            self.opened_at = now
+            return "open"
+        return ""
+
+
+class RetryBudget:
+    """Global token bucket bounding retry amplification.
+
+    Tokens are deposited by first attempts (``ratio`` each) and
+    withdrawn by retries (1.0 each); the bucket starts at ``reserve``
+    and is clamped to ``[0, cap]``. With ``ratio=0.1`` the sustained
+    retry rate can never exceed 10% of the first-attempt rate.
+    """
+
+    __slots__ = ("ratio", "cap", "tokens", "deposited", "spent", "denied")
+
+    def __init__(self, ratio: float, reserve: float, cap: float) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        if reserve < 0 or cap < reserve:
+            raise ValueError("need 0 <= reserve <= cap")
+        self.ratio = ratio
+        self.cap = cap
+        self.tokens = reserve
+        self.deposited = 0
+        self.spent = 0
+        self.denied = 0
+
+    def deposit(self) -> None:
+        """Credit one first attempt."""
+        self.deposited += 1
+        if self.tokens < self.cap:
+            self.tokens = min(self.tokens + self.ratio, self.cap)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False when the budget is exhausted."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False

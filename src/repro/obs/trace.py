@@ -55,7 +55,10 @@ LIFECYCLE_EVENTS: Tuple[Tuple[str, str], ...] = (
 #: (``batch_form`` once per member with its ``request_id``,
 #: ``batch_start``/``batch_end`` once per batch; all three carry the
 #: per-server batch sequence number in ``value``, which is what links
-#: a batch to its members — see :mod:`repro.batching`).
+#: a batch to its members — see :mod:`repro.batching`), and health
+#: markers (``eject``/``readmit``/``probe`` per replica,
+#: ``breaker_*`` state transitions, ``budget_exhausted`` when the
+#: retry budget denies a retry — see :mod:`repro.health`).
 POINT_EVENTS: Tuple[str, ...] = (
     "retry",
     "hedge",
@@ -78,6 +81,13 @@ POINT_EVENTS: Tuple[str, ...] = (
     "batch_form",
     "batch_start",
     "batch_end",
+    "eject",
+    "readmit",
+    "probe",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_close",
+    "budget_exhausted",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

@@ -44,7 +44,8 @@ from ..core.resilience import (
     effective_attempt_timeout,
 )
 from ..core.traffic import ArrivalSchedule, DeterministicArrivals, PoissonArrivals
-from ..faults import FaultInjector, FaultPlan
+from ..faults import FaultInjector, FaultPlan, Scenario, ScenarioInjector
+from ..health.config import NO_HEALTH, HealthConfig
 from ..stats import LatencySummary
 from .calibration import AppProfile, paper_profile
 from .engine import Engine
@@ -110,6 +111,15 @@ class SimConfig:
     #: replacing the constant-rate arrival process (warmup discard is
     #: skipped; the transient is the measurement).
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Failure-aware serving (see :mod:`repro.health`): replica health
+    #: tracking, outlier ejection, circuit breakers, retry budget. Off
+    #: by default — disabled runs build no health objects and replay
+    #: bit-identically to pre-health builds.
+    health: HealthConfig = NO_HEALTH
+    #: Optional chaos :class:`repro.faults.Scenario`; phase boundaries
+    #: become engine events, so scenario replay is deterministic per
+    #: seed. Composes over ``faults`` as the steady-state base plan.
+    scenario: Optional[Scenario] = None
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -189,6 +199,8 @@ class SimResult:
     obs: Optional[object] = None
     #: Control-plane tallies (mirrors HarnessResult.control_counts).
     control_counts: Dict[str, int] = field(default_factory=dict)
+    #: Health-layer tallies (mirrors HarnessResult.health_counts).
+    health_counts: Dict[str, int] = field(default_factory=dict)
     #: Per-instance ``(server_id, completions, active_seconds)`` — the
     #: active window runs from join to drain, so per-server rates stay
     #: honest under autoscaling membership churn.
@@ -269,6 +281,15 @@ class SimResult:
                 f"scale_downs={c.get('scale_downs', 0)} "
                 f"active_servers={c.get('active_servers', 0)}"
             )
+        if self.health_counts:
+            h = self.health_counts
+            lines.append(
+                f"health: ejections={h.get('ejections', 0)} "
+                f"readmissions={h.get('readmissions', 0)} "
+                f"probes={h.get('probes', 0)} "
+                f"breaker_opens={h.get('breaker_opens', 0)} "
+                f"retries_denied={h.get('retries_denied', 0)}"
+            )
         if self.outcomes:
             o = self.outcomes
             lines.append(
@@ -307,12 +328,14 @@ class _Topology:
         engine: Optional[Engine] = None,
         server_factory: Optional[Callable[[int], SimulatedServer]] = None,
         plane=None,
+        health=None,
     ) -> None:
         self._servers = servers
         self._balancer = balancer
         self._engine = engine
         self._factory = server_factory
         self._plane = plane
+        self._health = health
         self._sink: Optional[Callable[[Request], None]] = None
         self._outstanding = [0] * len(servers)
         self.routed = [0] * len(servers)
@@ -384,6 +407,23 @@ class _Topology:
                 self._plane.classify(request)
             if len(self._servers) == 1:
                 request.server_id = 0
+            elif self._health is not None:
+                now = (
+                    request.sent_at
+                    if request.sent_at is not None
+                    else request.generated_at
+                )
+                candidates, forced = self._health.route(
+                    self.active_ids(), now
+                )
+                if forced:
+                    # Probation probe / breaker trial: route directly.
+                    request.server_id = candidates[0]
+                else:
+                    request.server_id = pick_active(
+                        self._balancer, self.depths(), candidates,
+                        avoid=avoid,
+                    )
             else:
                 request.server_id = pick_active(
                     self._balancer,
@@ -419,6 +459,25 @@ class _Topology:
                 # sojourn of every successful completion.
                 self._plane.observe_sojourn(
                     request.response_received_at - request.generated_at
+                )
+            if (
+                self._health is not None
+                and not request.discard
+                and request.server_id is not None
+            ):
+                # Same feed the live transport completion path gives
+                # the health layer: every non-discarded response, ok or
+                # not, attributed to the replica that served it.
+                ok = request.error is None and not request.shed
+                self._health.record_attempt(
+                    request.server_id,
+                    (
+                        request.response_received_at - request.sent_at
+                        if ok and request.sent_at is not None
+                        else None
+                    ),
+                    ok,
+                    request.response_received_at,
                 )
             callback(request)
 
@@ -482,6 +541,7 @@ class _SimClient:
         injector: Optional[FaultInjector],
         seed: int = 0,
         tracer=None,
+        health=None,
     ) -> None:
         self._engine = engine
         self._topology = topology
@@ -489,6 +549,7 @@ class _SimClient:
         self._collector = collector
         self._injector = injector
         self._tracer = tracer
+        self._health = health
         self._rng = random.Random(seed ^ 0x8E511)
         self._attempt_timeout = effective_attempt_timeout(config)
         self._calls: Dict[int, _Call] = {}
@@ -508,6 +569,8 @@ class _SimClient:
         call = _Call(logical_id, None, generated_at, deadline)
         self._calls[logical_id] = call
         self._collector.note("offered")
+        if self._health is not None:
+            self._health.on_first_attempt()
         self._send_attempt(call, kind="first")
         if deadline is not None:
             self._engine.at(deadline, self._on_deadline, call)
@@ -647,6 +710,13 @@ class _SimClient:
     def _on_attempt_timeout(self, call: _Call, attempt_no: int) -> None:
         if call.resolved or attempt_no != call.cur_attempt:
             return
+        if self._health is not None and call.last_server is not None:
+            # The topology sink never sees a timed-out attempt at its
+            # timeout instant; report the failure against the replica
+            # (mirrors the live client's timeout feed).
+            self._health.record_attempt(
+                call.last_server, None, False, self._engine.now
+            )
         self._retry_or_fail(call, attempt_no, "timed_out")
 
     def _retry_or_fail(
@@ -666,6 +736,16 @@ class _SimClient:
             ):
                 # The retry could not respond before the deadline; let
                 # the deadline event resolve the call instead.
+                return
+            if self._health is not None and not (
+                self._health.try_spend_retry(self._engine.now)
+            ):
+                # Retry budget exhausted: give the slot back so a later
+                # failure may retry once tokens refill, and fail now
+                # when no deadline will resolve the call.
+                call.retries -= 1
+                if call.deadline is None:
+                    self._resolve(call, exhausted_outcome)
                 return
             call.retry_pending = True
             self._engine.after(delay, self._send_retry, call)
@@ -710,11 +790,16 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     # experiment); steady-state runs keep the warmup-discard methodology.
     warmup = 0 if config.load_profile is not None else config.warmup_requests
     collector = StatsCollector(warmup_requests=warmup)
-    injector = (
-        FaultInjector(config.faults, seed=config.seed)
-        if config.faults is not None and not config.faults.is_noop
-        else None
-    )
+    if config.scenario is not None:
+        injector: Optional[FaultInjector] = ScenarioInjector(
+            config.scenario, seed=config.seed, base=config.faults
+        )
+    else:
+        injector = (
+            FaultInjector(config.faults, seed=config.seed)
+            if config.faults is not None and not config.faults.is_noop
+            else None
+        )
     tracer = registry = sampler = None
     if config.observability.tracing:
         # Lazy import: the default (tracing-off) simulator path never
@@ -737,6 +822,13 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         from ..batching import BatchPolicy
 
         batch_policy = BatchPolicy.from_config(config.batching)
+    health = None
+    if config.health.enabled:
+        # Same lazy-import policy: health-off runs never touch the
+        # health package (beyond the config dataclass itself).
+        from ..health import HealthManager
+
+        health = HealthManager(config.health, tracer=tracer)
 
     def make_server(server_id: int) -> SimulatedServer:
         # Server 0 keeps the pre-topology stream seed so n_servers=1
@@ -776,11 +868,20 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         engine=engine,
         server_factory=make_server if plane is not None else None,
         plane=plane,
+        health=health,
     )
     if injector is not None:
         injector.start_run(0.0)
         if registry is not None:
             injector.register_metrics(registry)
+    if isinstance(injector, ScenarioInjector):
+        # Phase boundaries become ordinary engine events — single
+        # threaded playback, bit-identical per seed (the live harness
+        # uses a driver thread at the same offsets).
+        for offset in injector.scenario.boundaries():
+            engine.at(offset, injector.advance_to, offset)
+    if health is not None and registry is not None:
+        health.register_metrics(registry)
     if config.load_profile is not None:
         schedule = ArrivalSchedule.piecewise(
             config.load_profile,
@@ -870,10 +971,10 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         # observe; bounded by the arrival horizon so the heap drains.
         engine.at(tick_interval, control_tick)
     client: Optional[_SimClient] = None
-    if injector is not None or config.resilience.enabled:
+    if injector is not None or config.resilience.enabled or health is not None:
         client = _SimClient(
             engine, topology, config.resilience, collector, injector,
-            seed=config.seed, tracer=tracer,
+            seed=config.seed, tracer=tracer, health=health,
         )
         for generated_at in schedule:
             engine.at(generated_at, client.begin, generated_at)
@@ -967,6 +1068,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         routed_counts=tuple(topology.routed),
         obs=obs,
         control_counts=plane.counts() if plane is not None else {},
+        health_counts=health.counts() if health is not None else {},
         server_activity=server_activity,
     )
 

@@ -419,3 +419,92 @@ class TestResilientClient:
         counts = collector.outcome_counts()
         assert counts["retries"] == 1
         assert counts["succeeded"] == 1
+
+
+class TestTimerHygiene:
+    def test_resolution_cancels_outstanding_timers(self):
+        # A resolved call's deadline/hedge/timeout entries must be
+        # disarmed — at high QPS dead-call wakeups would dominate the
+        # timer wheel. pending() counts live heap entries.
+        clock, transport, collector, client = _client(
+            ResilienceConfig(
+                deadline=30.0, attempt_timeout=20.0,
+                hedge_after=25.0, max_hedges=1,
+            )
+        )
+        try:
+            for i in range(5):
+                client.send(clock.now(), f"p{i}")
+            assert client._scheduler.pending() >= 5
+            for request in list(transport.sent):
+                transport.complete(request)
+            client.drain(timeout=5.0)
+            assert client._scheduler.pending() == 0
+        finally:
+            client.close()
+
+    def test_unresolved_calls_keep_their_timers(self):
+        clock, transport, collector, client = _client(
+            ResilienceConfig(deadline=30.0)
+        )
+        try:
+            client.send(clock.now(), "p")
+            assert client._scheduler.pending() == 1  # the deadline
+        finally:
+            client.close()
+
+
+class TestRetryBudgetGate:
+    def _health(self, reserve):
+        from repro.health import HealthConfig, HealthManager
+
+        return HealthManager(HealthConfig(
+            enabled=True, ejection=False, breaker=False,
+            retry_budget_ratio=0.1, retry_budget_reserve=reserve,
+        ))
+
+    def test_exhausted_budget_fails_instead_of_retrying(self):
+        clock = WallClock()
+        transport = FakeTransport(clock)
+        collector = StatsCollector()
+        health = self._health(reserve=0.0)
+        client = ResilientClient(
+            transport, clock,
+            ResilienceConfig(max_retries=3, backoff_base=0.001,
+                             backoff_cap=0.002),
+            collector, seed=1, health=health,
+        )
+        try:
+            client.send(clock.now(), "p")
+            transport.complete(transport.sent[0], error="boom")
+            client.drain(timeout=5.0)  # no deadline: denial resolves it
+        finally:
+            client.close()
+        counts = collector.outcome_counts()
+        assert counts["failed"] == 1
+        assert counts.get("retries", 0) == 0
+        assert health.counts()["retries_denied"] == 1
+
+    def test_funded_budget_allows_the_retry(self):
+        clock = WallClock()
+        transport = FakeTransport(clock)
+        collector = StatsCollector()
+        health = self._health(reserve=5.0)
+        client = ResilientClient(
+            transport, clock,
+            ResilienceConfig(max_retries=3, backoff_base=0.001,
+                             backoff_cap=0.002),
+            collector, seed=1, health=health,
+        )
+        try:
+            client.send(clock.now(), "p")
+            transport.complete(transport.sent[0], error="boom")
+            transport.wait_for_sends(2)
+            transport.complete(transport.sent[1])
+            client.drain(timeout=5.0)
+        finally:
+            client.close()
+        counts = collector.outcome_counts()
+        assert counts["succeeded"] == 1
+        assert counts["retries"] == 1
+        assert health.counts()["retries_budgeted"] == 1

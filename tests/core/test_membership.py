@@ -51,9 +51,22 @@ class TestPickActive:
         balancer = make_balancer("jsq")
         assert pick_active(balancer, [5, 0, 0], [0, 2], avoid=1) == 2
 
-    def test_empty_active_set_raises(self):
+    def test_empty_active_set_falls_back_to_full_set(self):
+        # Over-filtering (avoid + draining + health ejection) must not
+        # raise on the send path: the full set becomes the candidates.
+        choice = pick_active(make_balancer("round_robin"), [1, 2], [])
+        assert choice in (0, 1)
+
+    def test_no_servers_at_all_raises(self):
         with pytest.raises(ValueError):
-            pick_active(make_balancer("round_robin"), [1, 2], [])
+            pick_active(make_balancer("round_robin"), [], [])
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_empty_active_fallback_for_every_policy(self, policy):
+        balancer = make_balancer(policy, seed=5)
+        depths = [3, 1, 2]
+        for _ in range(50):
+            assert pick_active(balancer, depths, []) in (0, 1, 2)
 
 
 class TestLiveTransportMembership:

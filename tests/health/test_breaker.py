@@ -1,0 +1,108 @@
+"""Unit tests for the client-side storm dampers.
+
+CircuitBreaker and RetryBudget are RNG-free and caller-clocked, so
+these tests drive the exact state machines the live harness and the
+simulator share.
+"""
+
+import pytest
+
+from repro.health.breaker import CircuitBreaker, RetryBudget
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(failures=3, reset_after=1.0)
+        assert breaker.state == "closed"
+        assert breaker.allows(0.0)
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failures=3, reset_after=1.0)
+        assert breaker.record(False, 0.1) == ""
+        assert breaker.record(False, 0.2) == ""
+        assert breaker.record(False, 0.3) == "open"
+        assert breaker.state == "open"
+        assert not breaker.allows(0.4)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failures=2, reset_after=1.0)
+        breaker.record(False, 0.1)
+        breaker.record(True, 0.2)  # streak broken
+        breaker.record(False, 0.3)
+        assert breaker.state == "closed"
+
+    def test_half_open_grants_exactly_one_trial(self):
+        breaker = CircuitBreaker(failures=1, reset_after=1.0)
+        breaker.record(False, 0.0)
+        assert breaker.state == "open"
+        assert not breaker.allows(0.5)  # reset window still running
+        assert breaker.allows(1.5)  # -> half_open, trial granted
+        assert breaker.state == "half_open"
+        assert not breaker.allows(1.6)  # trial slot already taken
+
+    def test_trial_success_closes(self):
+        breaker = CircuitBreaker(failures=1, reset_after=1.0)
+        breaker.record(False, 0.0)
+        assert breaker.allows(1.5)
+        assert breaker.record(True, 1.6) == "close"
+        assert breaker.state == "closed"
+        assert breaker.allows(1.7)
+
+    def test_trial_failure_reopens_and_restarts_the_clock(self):
+        breaker = CircuitBreaker(failures=1, reset_after=1.0)
+        breaker.record(False, 0.0)
+        assert breaker.allows(1.5)
+        assert breaker.record(False, 1.6) == "reopen"
+        assert breaker.state == "open"
+        assert not breaker.allows(2.0)  # 1.6 + 1.0 not yet elapsed
+        assert breaker.allows(2.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failures=0, reset_after=1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failures=1, reset_after=0.0)
+
+
+class TestRetryBudget:
+    def test_reserve_funds_initial_retries(self):
+        budget = RetryBudget(ratio=0.1, reserve=2.0, cap=10.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.denied == 1
+
+    def test_deposits_accrue_at_ratio(self):
+        # ratio 0.25 sums exactly in binary floating point; 0.1 would
+        # leave 10 deposits at 0.999... and the spend below flaky.
+        budget = RetryBudget(ratio=0.25, reserve=0.0, cap=10.0)
+        for _ in range(4):
+            budget.deposit()
+        assert budget.tokens == pytest.approx(1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_cap_bounds_banked_retries(self):
+        budget = RetryBudget(ratio=1.0, reserve=0.0, cap=3.0)
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == pytest.approx(3.0)
+
+    def test_sustained_amplification_is_bounded_by_ratio(self):
+        # 1000 first attempts, a client that wants to retry every one:
+        # the budget lets at most reserve + ratio * offered through.
+        budget = RetryBudget(ratio=0.1, reserve=10.0, cap=100.0)
+        granted = 0
+        for _ in range(1000):
+            budget.deposit()
+            if budget.try_spend():
+                granted += 1
+        assert granted <= 10 + 0.1 * 1000
+        assert budget.spent == granted
+        assert budget.denied == 1000 - granted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=0.0, reserve=0.0, cap=1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=0.1, reserve=5.0, cap=1.0)

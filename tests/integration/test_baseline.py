@@ -1,0 +1,98 @@
+"""Benchmark-baseline artifacts: write, load, validate, CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.baseline import (
+    baseline_path,
+    load_baseline,
+    main,
+    run_fingerprint,
+    validate_baseline,
+    validate_directory,
+    write_baseline,
+)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = write_baseline(tmp_path, "fig9", {"p99_s": 0.012, "apps": 3})
+        assert path == baseline_path(tmp_path, "fig9")
+        assert path.name == "BENCH_fig9.json"
+        document = load_baseline(path)
+        assert document["name"] == "fig9"
+        assert document["metrics"] == {"apps": 3, "p99_s": 0.012}
+
+    def test_fingerprint_stamped(self, tmp_path):
+        path = write_baseline(tmp_path, "x", {"m": 1})
+        fingerprint = load_baseline(path)["fingerprint"]
+        assert fingerprint == run_fingerprint()
+        assert fingerprint["python"]
+        assert fingerprint["platform"]
+
+    def test_metrics_sorted_and_stable(self, tmp_path):
+        path = write_baseline(tmp_path, "x", {"b": 2, "a": 1})
+        raw = path.read_text()
+        assert raw.index('"a"') < raw.index('"b"')
+        assert raw == write_baseline(tmp_path, "x", {"a": 1, "b": 2}).read_text()
+
+    @pytest.mark.parametrize(
+        "name, metrics",
+        [
+            ("", {"m": 1}),
+            ("a/b", {"m": 1}),
+            ("ok", {}),
+            ("ok", {"m": float("nan")}),
+            ("ok", {"m": [1, 2]}),
+        ],
+    )
+    def test_rejects_bad_input(self, tmp_path, name, metrics):
+        with pytest.raises((ValueError, TypeError)):
+            write_baseline(tmp_path, name, metrics)
+
+
+class TestValidate:
+    def test_accepts_written_document(self, tmp_path):
+        path = write_baseline(tmp_path, "x", {"m": 1})
+        validate_baseline(load_baseline(path), source=str(path))
+
+    @pytest.mark.parametrize("drop", ["name", "fingerprint", "metrics"])
+    def test_rejects_missing_key(self, tmp_path, drop):
+        path = write_baseline(tmp_path, "x", {"m": 1})
+        document = load_baseline(path)
+        del document[drop]
+        with pytest.raises(ValueError, match=drop):
+            validate_baseline(document, source=str(path))
+
+    def test_rejects_incomplete_fingerprint(self, tmp_path):
+        path = write_baseline(tmp_path, "x", {"m": 1})
+        document = load_baseline(path)
+        del document["fingerprint"]["python"]
+        with pytest.raises(ValueError, match="python"):
+            validate_baseline(document, source=str(path))
+
+    def test_directory_counts_and_requires(self, tmp_path):
+        write_baseline(tmp_path, "a", {"m": 1})
+        write_baseline(tmp_path, "b", {"m": 2})
+        assert validate_directory(tmp_path) == ["a", "b"]
+        assert validate_directory(tmp_path, require=2) == ["a", "b"]
+        with pytest.raises(ValueError, match="expected >= 3"):
+            validate_directory(tmp_path, require=3)
+
+    def test_directory_flags_corrupt_file(self, tmp_path):
+        write_baseline(tmp_path, "a", {"m": 1})
+        (tmp_path / "BENCH_broken.json").write_text(json.dumps({"name": "b"}))
+        with pytest.raises(ValueError, match="BENCH_broken"):
+            validate_directory(tmp_path)
+
+
+class TestCli:
+    def test_ok(self, tmp_path, capsys):
+        write_baseline(tmp_path, "a", {"m": 1})
+        assert main([str(tmp_path), "--require", "1"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--require", "1"]) == 1
+        assert "expected >= 1" in capsys.readouterr().err

@@ -231,6 +231,7 @@ class TestExtensions:
             "fig-topology",
             "fig-control",
             "fig-batching",
+            "fig-resilience",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 
