@@ -7,18 +7,26 @@ a ``pytest benchmarks/ --benchmark-only`` run, plus a machine-stamped
 :mod:`repro.experiments.baseline`) that CI validates.
 """
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments.baseline import write_baseline
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: Where rendered outputs and BENCH_*.json baselines land. CI's
+#: regression gate points this somewhere fresh (REPRO_RESULTS_DIR) and
+#: compares the rerun against the committed benchmarks/results/.
+RESULTS_DIR = pathlib.Path(
+    os.environ.get(
+        "REPRO_RESULTS_DIR", pathlib.Path(__file__).parent / "results"
+    )
+)
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
 
 
@@ -34,9 +42,18 @@ def save_result(results_dir):
 
 @pytest.fixture()
 def save_baseline(results_dir):
-    """Write one benchmark's headline metrics to results/BENCH_<name>.json."""
+    """Write one benchmark's headline metrics to results/BENCH_<name>.json.
 
-    def _save(name: str, metrics: dict) -> None:
-        write_baseline(results_dir, name, metrics)
+    Accepts the optional ``execution``/``audit`` pass-throughs of
+    :func:`repro.experiments.baseline.write_baseline`, so benchmarks
+    can stamp the execution substrate and the run's
+    coordinated-omission audit into the baseline document.
+    """
+
+    def _save(name: str, metrics: dict, execution: str = "threaded",
+              audit: dict = None) -> None:
+        write_baseline(
+            results_dir, name, metrics, execution=execution, audit=audit
+        )
 
     return _save

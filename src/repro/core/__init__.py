@@ -24,6 +24,8 @@ from .config import (
     NO_OBSERVABILITY,
     NO_RESILIENCE,
     PAPER_SYSTEM,
+    THREADED,
+    ExecutionConfig,
     HarnessConfig,
     ObservabilityConfig,
     SystemConfig,
@@ -33,6 +35,7 @@ from .queueing import QueueClosed, RequestQueue
 from .request import Request, RequestRecord
 from .resilience import ResilienceConfig, ResilientClient
 from .runner import CampaignResult, run_campaign
+from .runtime import ReplicaRuntime
 from .server import Server
 from .traffic import (
     ArrivalProcess,
@@ -46,6 +49,7 @@ from .transport import (
     IntegratedTransport,
     LoopbackTransport,
     NetworkedTransport,
+    ProcessTransport,
     Transport,
     make_transport,
 )
@@ -69,6 +73,8 @@ __all__ = [
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
     "PAPER_SYSTEM",
+    "THREADED",
+    "ExecutionConfig",
     "HarnessConfig",
     "ObservabilityConfig",
     "SystemConfig",
@@ -82,6 +88,7 @@ __all__ = [
     "RequestRecord",
     "CampaignResult",
     "run_campaign",
+    "ReplicaRuntime",
     "Server",
     "ArrivalProcess",
     "ArrivalSchedule",
@@ -92,6 +99,7 @@ __all__ = [
     "IntegratedTransport",
     "LoopbackTransport",
     "NetworkedTransport",
+    "ProcessTransport",
     "Transport",
     "make_transport",
 ]

@@ -113,6 +113,7 @@ class CollectedStats:
         outcomes: Optional[Dict[str, int]] = None,
         server_histograms: Optional[Dict[int, Dict[str, HdrHistogram]]] = None,
         batch_members: Optional[Dict[int, int]] = None,
+        send_lag_hist: Optional[HdrHistogram] = None,
     ) -> None:
         self._records = records
         self._histograms = histograms
@@ -122,6 +123,7 @@ class CollectedStats:
         self._outcomes = dict(outcomes) if outcomes else {}
         self._server_histograms = server_histograms
         self._batch_members = dict(batch_members) if batch_members else {}
+        self._send_lag_hist = send_lag_hist
 
     @property
     def exact(self) -> bool:
@@ -169,6 +171,33 @@ class CollectedStats:
     def outcomes(self) -> Dict[str, int]:
         """Outcome tally (see :data:`OUTCOME_KEYS`); empty when unused."""
         return dict(self._outcomes)
+
+    # -- coordinated-omission audit ------------------------------------
+    def send_lag_summary(self) -> Optional[LatencySummary]:
+        """Intended-vs-actual send-time divergence of the load generator.
+
+        Summarizes ``sent_at - generated_at`` over every measured
+        completion: how far behind its ideal open-loop instant each
+        request actually left the client. Persistent growth means the
+        *generator* could not sustain the offered rate — latencies are
+        then understated in exactly the way coordinated omission hides
+        [Tene 2013] — so every run reports this audit alongside its
+        latency numbers. None when nothing was measured.
+        """
+        if self._send_lag_hist is None or self._send_lag_hist.total_count == 0:
+            return None
+        return LatencySummary.from_histogram(self._send_lag_hist)
+
+    def send_audit(self) -> Dict[str, float]:
+        """The audit as a flat mapping (benchmark-fingerprint form)."""
+        summary = self.send_lag_summary()
+        if summary is None:
+            return {}
+        return {
+            "send_lag_mean_s": summary.mean,
+            "send_lag_p99_s": summary.percentiles.get(99.0, summary.maximum),
+            "send_lag_max_s": summary.maximum,
+        }
 
     # -- per-server views (multi-server topologies) --------------------
     @property
@@ -432,6 +461,7 @@ class StatsCollector:
         self._outcomes: Dict[str, int] = dict.fromkeys(OUTCOME_KEYS, 0)
         self._outcomes_used = False
         self._batch_members: Dict[int, int] = {}
+        self._send_lag_hist = HdrHistogram()
 
     def add(self, record: RequestRecord) -> None:
         with self._lock:
@@ -441,6 +471,10 @@ class StatsCollector:
                 return
             size = record.batch_size
             self._batch_members[size] = self._batch_members.get(size, 0) + 1
+            if record.sent_at is not None:
+                # Coordinated-omission audit: how late the generator
+                # actually sent, relative to the ideal instant.
+                self._send_lag_hist.record(max(record.send_delay, 0.0))
             if self._records is not None:
                 self._records.append(record)
                 if len(self._records) > self._exact_limit:
@@ -518,6 +552,7 @@ class StatsCollector:
                 else None
             )
             outcomes = dict(self._outcomes) if self._outcomes_used else None
+            send_lag_hist = self._send_lag_hist.copy()
             if self._records is not None:
                 return CollectedStats(
                     list(self._records),
@@ -527,6 +562,7 @@ class StatsCollector:
                     attempt_histogram=attempt_histogram,
                     outcomes=outcomes,
                     batch_members=dict(self._batch_members),
+                    send_lag_hist=send_lag_hist,
                 )
             return CollectedStats(
                 None,
@@ -540,4 +576,5 @@ class StatsCollector:
                     for sid, per_server in self._server_histograms.items()
                 },
                 batch_members=dict(self._batch_members),
+                send_lag_hist=send_lag_hist,
             )

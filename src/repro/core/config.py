@@ -14,6 +14,7 @@ from .balancer import BALANCERS
 from .resilience import ResilienceConfig
 
 __all__ = [
+    "ExecutionConfig",
     "HarnessConfig",
     "ObservabilityConfig",
     "SystemConfig",
@@ -23,6 +24,7 @@ __all__ = [
     "NO_HEALTH",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
+    "THREADED",
 ]
 
 _CONFIG_NAMES = ("integrated", "loopback", "networked")
@@ -64,6 +66,66 @@ class ObservabilityConfig:
 
 #: Default: observability entirely off (the hot paths stay bare).
 NO_OBSERVABILITY = ObservabilityConfig()
+
+_EXECUTION_MODES = ("threaded", "process")
+_START_METHODS = ("fork", "spawn")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Where replica worker pools execute (see DESIGN.md §12).
+
+    Attributes
+    ----------
+    mode:
+        ``"threaded"`` (default) runs every replica's worker pool as
+        threads in the harness process — deterministic, bit-identical
+        with all prior builds, but aggregate throughput is GIL-capped.
+        ``"process"`` runs each replica in its own OS process behind
+        :class:`repro.core.transport.ProcessTransport`: requests and
+        batched completion records travel over pipes, and aggregate
+        throughput scales with cores.
+    start_method:
+        ``multiprocessing`` start method for replica processes.
+        ``"fork"`` (default) inherits the already-set-up application
+        object for free; ``"spawn"`` requires the application and
+        fault plan to be picklable.
+    ipc_flush_interval:
+        Child-side cadence (seconds) for flushing a status heartbeat
+        (queue depth, busy/alive workers, fault counts) to the parent
+        when no completions are flowing — the autoscaler's signal
+        freshness bound. Completion records themselves are flushed
+        immediately, coalesced into one framed message per batch.
+    drain_timeout:
+        Seconds a replica process is given to drain and exit after a
+        shutdown message (scale-down join, end-of-run stop) before it
+        is forcibly terminated.
+    """
+
+    mode: str = "threaded"
+    start_method: str = "fork"
+    ipc_flush_interval: float = 0.05
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _EXECUTION_MODES:
+            raise ValueError(
+                f"execution mode must be one of {_EXECUTION_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.start_method not in _START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {_START_METHODS}, "
+                f"got {self.start_method!r}"
+            )
+        if self.ipc_flush_interval <= 0:
+            raise ValueError("ipc_flush_interval must be positive")
+        if self.drain_timeout <= 0:
+            raise ValueError("drain_timeout must be positive")
+
+
+#: Default execution substrate: the paper's single-process harness.
+THREADED = ExecutionConfig()
 
 
 @dataclass(frozen=True)
@@ -146,6 +208,15 @@ class HarnessConfig:
         sequence of fault-plan phases played back by a scheduler
         thread (live) or engine events (simulator). Composes over
         ``faults`` as the steady-state base plan.
+    execution:
+        Execution substrate (see :class:`ExecutionConfig`):
+        ``threaded`` (default, bit-identical with prior builds) or
+        ``process`` (one OS process per replica — multi-core scaling).
+        Process mode requires the ``integrated`` configuration and
+        supports autoscaling, batching, health, resilience, static
+        fault plans, and observability; admission control, priority
+        scheduling, and chaos scenarios need shared-memory access to
+        the replicas' queues and stay threaded-only.
     """
 
     configuration: str = "integrated"
@@ -168,6 +239,7 @@ class HarnessConfig:
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
     health: HealthConfig = NO_HEALTH
     scenario: Optional[Scenario] = None
+    execution: ExecutionConfig = THREADED
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -215,6 +287,28 @@ class HarnessConfig:
                 raise ValueError(
                     "n_servers must lie within the autoscaler's "
                     "[min_servers, max_servers] band"
+                )
+        if self.execution.mode == "process":
+            if self.configuration != "integrated":
+                raise ValueError(
+                    "process execution requires the 'integrated' "
+                    "configuration: the replica pipe is the transport "
+                    f"(got {self.configuration!r})"
+                )
+            if self.control.enabled and (
+                self.control.admission is not None
+                or self.control.priority is not None
+            ):
+                raise ValueError(
+                    "admission control and priority scheduling need "
+                    "shared-memory access to replica queues; process "
+                    "execution supports the autoscaler only"
+                )
+            if self.scenario is not None:
+                raise ValueError(
+                    "chaos scenarios mutate fault plans at run time and "
+                    "cannot reach replica processes; process execution "
+                    "supports static fault plans only"
                 )
 
     @property

@@ -142,6 +142,13 @@ class HarnessResult:
             f"service: {self.service.describe()}",
             f"queue:   {self.queue.describe()}",
         ]
+        audit = self.stats.send_lag_summary()
+        if audit is not None:
+            p99 = audit.percentiles.get(99.0, audit.maximum)
+            lines.append(
+                "send-lag audit (coordinated omission): "
+                f"p99={p99 * 1e3:.3f} ms max={audit.maximum * 1e3:.3f} ms"
+            )
         if self.config.n_servers > 1:
             lines.append(
                 f"topology: {self.config.n_servers} servers "
@@ -216,7 +223,10 @@ def run_harness(
             else None
         )
     transport = make_transport(
-        config.configuration, clock, one_way_delay=config.one_way_delay
+        config.configuration,
+        clock,
+        one_way_delay=config.one_way_delay,
+        execution=config.execution,
     )
 
     if config.load_profile is not None:
@@ -389,6 +399,14 @@ def run_harness(
     goodput = (
         outcomes.get("succeeded", 0) / wall_time if wall_time > 0 else 0.0
     )
+    fault_counts = dict(injector.counts()) if injector is not None else {}
+    child_counts = getattr(transport, "child_fault_counts", None)
+    if callable(child_counts):
+        # Process-mode replicas inject worker/app faults in their own
+        # processes; merge what the children reported with the parent
+        # injector's transport-level counts.
+        for key, value in child_counts().items():
+            fault_counts[key] = fault_counts.get(key, 0) + value
     return HarnessResult(
         config=config,
         stats=stats,
@@ -398,7 +416,7 @@ def run_harness(
         server_errors=tuple(transport.server_errors),
         outcomes=outcomes,
         goodput_qps=goodput,
-        fault_counts=injector.counts() if injector is not None else {},
+        fault_counts=fault_counts,
         alive_workers=alive_workers,
         routed_counts=routed_counts,
         obs=obs,

@@ -1,0 +1,113 @@
+"""The per-replica execution unit: queue + worker pool + application.
+
+:class:`ReplicaRuntime` is the seam between *what a replica is* and
+*where it runs*. One replica = one request queue, one worker-pool
+:class:`~repro.core.server.Server`, and one application object. The
+threaded transports build a runtime per replica inside the harness
+process (:meth:`repro.core.transport.Transport._build_instance`);
+:class:`~repro.core.transport.ProcessTransport` builds the identical
+runtime inside a child OS process — same queue semantics, same worker
+loops, same fault hooks, different interpreter.
+
+Keeping the bundle in one class means execution modes cannot drift:
+there is exactly one way to assemble a replica, and the only thing a
+mode chooses is which process it happens in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .clock import Clock
+from .queueing import RequestQueue
+from .request import Request
+from .server import Server
+
+__all__ = ["ReplicaRuntime"]
+
+
+class ReplicaRuntime:
+    """One replica's serving machinery, independent of where it runs.
+
+    Parameters mirror the union of :class:`RequestQueue` and
+    :class:`Server` construction: the runtime owns both and wires them
+    together. ``respond`` receives every completed (or shed) request —
+    in threaded mode that is the transport's completion path; in
+    process mode it is the IPC record streamer.
+    """
+
+    def __init__(
+        self,
+        app,
+        clock: Clock,
+        n_threads: int,
+        respond: Callable[[Request], None],
+        injector=None,
+        server_id: int = 0,
+        batching=None,
+        queue_capacity: Optional[int] = None,
+        gate=None,
+        buffer=None,
+    ) -> None:
+        self.app = app
+        self.server_id = server_id
+        self.queue = RequestQueue(
+            clock,
+            capacity=queue_capacity,
+            injector=injector,
+            gate=gate,
+            buffer=buffer,
+        )
+        self.server = Server(
+            app,
+            self.queue,
+            clock,
+            n_threads=n_threads,
+            respond=respond,
+            injector=injector,
+            server_id=server_id,
+            batching=batching,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self.server.start()
+
+    def shutdown(
+        self, timeout: float = 30.0, discard_pending: bool = False
+    ) -> None:
+        self.server.shutdown(timeout=timeout, discard_pending=discard_pending)
+
+    # -- serving -------------------------------------------------------
+    def submit(self, request: Request) -> bool:
+        """Offer one request to the replica's queue.
+
+        Returns False when the request was shed (bounded queue or
+        admission gate); the request is then already marked ``shed``
+        and the caller owes the client a shed response.
+        """
+        return self.queue.put(request)
+
+    # -- introspection (the signals transports and controllers read) ---
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def busy_workers(self) -> int:
+        return self.server.busy_workers
+
+    @property
+    def alive_workers(self) -> int:
+        return self.server.alive_workers
+
+    @property
+    def n_threads(self) -> int:
+        return self.server.n_threads
+
+    @property
+    def errors(self):
+        return self.server.errors
+
+    def set_tracer(self, tracer) -> None:
+        self.server.set_tracer(tracer)

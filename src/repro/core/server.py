@@ -304,6 +304,8 @@ class Server:
         every waiter has already been resolved or timed out.
         """
         self._queue.close(discard_pending=discard_pending)
+        if not self._started:
+            return
         deadline = time.monotonic() + timeout
         for t in self._threads:
             t.join(max(0.0, deadline - time.monotonic()))

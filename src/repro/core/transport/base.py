@@ -41,7 +41,7 @@ from ..clock import Clock
 from ..collector import StatsCollector
 from ..queueing import QueueClosed, RequestQueue
 from ..request import Request
-from ..server import Server
+from ..runtime import ReplicaRuntime
 
 __all__ = ["ServerInstance", "Transport", "TransportStats"]
 
@@ -81,6 +81,7 @@ class ServerInstance:
         "server_id",
         "queue",
         "server",
+        "runtime",
         "outstanding",
         "routed",
         "completed",
@@ -89,10 +90,20 @@ class ServerInstance:
         "drained_at",
     )
 
-    def __init__(self, server_id: int, queue: RequestQueue, server: Server) -> None:
+    def __init__(
+        self,
+        server_id: int,
+        queue: RequestQueue,
+        server,
+        runtime=None,
+    ) -> None:
         self.server_id = server_id
         self.queue = queue
         self.server = server
+        #: The :class:`~repro.core.runtime.ReplicaRuntime` backing the
+        #: replica when it executes in this process; a process-mode
+        #: replica's runtime lives in the child, so this is None there.
+        self.runtime = runtime
         self.outstanding = 0
         self.routed = 0
         self.completed = 0
@@ -208,24 +219,21 @@ class Transport:
             else None
         )
         control = self._control
-        queue = RequestQueue(
-            self._clock,
-            capacity=self._queue_capacity,
-            injector=scoped,
-            gate=control.gate_for(server_id) if control is not None else None,
-            buffer=control.make_buffer() if control is not None else None,
-        )
-        server = Server(
+        runtime = ReplicaRuntime(
             _replicate_app(self._app, server_id),
-            queue,
             self._clock,
             n_threads=self._n_threads,
             respond=self._make_responder(server_id),
             injector=scoped,
             server_id=server_id,
             batching=self._batching,
+            queue_capacity=self._queue_capacity,
+            gate=control.gate_for(server_id) if control is not None else None,
+            buffer=control.make_buffer() if control is not None else None,
         )
-        instance = ServerInstance(server_id, queue, server)
+        instance = ServerInstance(
+            server_id, runtime.queue, runtime.server, runtime=runtime
+        )
         instance.started_at = self._clock.now()
         return instance
 
@@ -636,22 +644,37 @@ class Transport:
             self._control.observe_sojourn(
                 request.response_received_at - request.generated_at
             )
+        drained_instance = None
         with self._all_done:
             self._outstanding -= 1
             self._settle_instance_locked(request)
             self.stats.completed += 1
-            if good:
-                server_id = request.server_id
-                if server_id is not None and 0 <= server_id < len(
-                    self._instances
-                ):
-                    self._instances[server_id].completed += 1
+            server_id = request.server_id
+            if server_id is not None and 0 <= server_id < len(
+                self._instances
+            ):
+                instance = self._instances[server_id]
+                if good:
+                    instance.completed += 1
+                if instance.draining and instance.outstanding <= 0:
+                    drained_instance = instance
             if request.error is not None:
                 self.stats.errored += 1
             if request.shed:
                 self.stats.shed += 1
             if self._outstanding == 0:
                 self._all_done.notify_all()
+        if drained_instance is not None:
+            self._instance_drained(drained_instance)
+
+    def _instance_drained(self, instance: ServerInstance) -> None:
+        """Hook: a draining replica's last outstanding request resolved.
+
+        Threaded replicas stay in place (their workers cost nothing
+        idle); :class:`~repro.core.transport.ProcessTransport` overrides
+        this to shut the child process down and join it within the
+        drain deadline.
+        """
 
     @property
     def server_errors(self) -> List[str]:

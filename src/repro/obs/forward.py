@@ -1,0 +1,96 @@
+"""Cross-process trace-event forwarding.
+
+A process-mode replica (:mod:`repro.core.transport.process`) runs its
+worker pool in a child interpreter, but the run's single
+:class:`~repro.obs.trace.Tracer` ring lives in the harness process.
+The child therefore emits into a :class:`TraceRelay` — an object with
+the tracer's ``emit`` signature that only buffers tuples — and the
+replica's IPC streamer drains the relay into the same framed message
+that carries completion records, so tracing adds zero extra pipe
+traffic. On the parent side :func:`replay_events` rebases each event's
+timestamp from the child's clock to the parent's (using the offset
+measured at the replica's ready handshake) and appends it to the real
+tracer.
+
+Events forwarded this way interleave with parent-side events in ring
+order, not in global timestamp order — consumers that need temporal
+order (the exporters already do) sort by ``ts``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["TraceRelay", "replay_events"]
+
+#: Wire form of one relayed event:
+#: ``(kind, ts, logical_id, request_id, attempt, value)``. The server
+#: id is implicit — each replica's stream belongs to one server — and
+#: re-attached by :func:`replay_events`.
+EventTuple = Tuple[str, float, Optional[int], Optional[int], Optional[int],
+                   Optional[float]]
+
+
+class TraceRelay:
+    """Child-side stand-in for a :class:`~repro.obs.trace.Tracer`.
+
+    Implements only ``emit`` — the single entry point the worker pool
+    uses — and accumulates events until the IPC streamer drains them.
+    Thread-safe: every worker thread of the replica emits into it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[EventTuple] = []
+
+    def emit(
+        self,
+        kind: str,
+        ts: float,
+        logical_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        attempt: Optional[int] = None,
+        server_id: Optional[int] = None,
+        value: Optional[float] = None,
+    ) -> None:
+        event = (kind, ts, logical_id, request_id, attempt, value)
+        with self._lock:
+            self._events.append(event)
+
+    def drain(self) -> List[EventTuple]:
+        """Take (and clear) everything emitted since the last drain."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def replay_events(
+    tracer,
+    events,
+    clock_offset: float,
+    server_id: int,
+) -> None:
+    """Append relayed child events to the parent tracer.
+
+    ``clock_offset`` is ``parent_now - child_now`` measured at the
+    replica's ready handshake; adding it maps child timestamps onto
+    the parent clock (on Linux both are CLOCK_MONOTONIC so the offset
+    is ~0, but the handshake makes no such platform assumption).
+    """
+    if tracer is None:
+        return
+    for kind, ts, logical_id, request_id, attempt, value in events:
+        tracer.emit(
+            kind,
+            ts + clock_offset,
+            logical_id=logical_id,
+            request_id=request_id,
+            attempt=attempt,
+            server_id=server_id,
+            value=value,
+        )

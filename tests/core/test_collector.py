@@ -126,3 +126,46 @@ class TestSnapshotIsolation:
         collector.add(make_record(1))
         assert stats.count == 1
         assert collector.snapshot().count == 2
+
+
+class TestSendLagAudit:
+    """Coordinated-omission audit: the shaper's send-lag distribution."""
+
+    def _lagged(self, i: int, lag: float) -> RequestRecord:
+        base = float(i)
+        return RequestRecord(
+            request_id=i,
+            generated_at=base,
+            sent_at=base + lag,
+            enqueued_at=base + lag + 0.0001,
+            service_start_at=base + lag + 0.0002,
+            service_end_at=base + lag + 0.0012,
+            response_received_at=base + lag + 0.0013,
+        )
+
+    def test_audit_summarizes_send_lag(self):
+        collector = StatsCollector()
+        for i in range(100):
+            collector.add(self._lagged(i, lag=0.001 if i < 99 else 0.050))
+        stats = collector.snapshot()
+        summary = stats.send_lag_summary()
+        assert summary is not None
+        assert summary.maximum == pytest.approx(0.050, rel=0.01)
+        assert summary.mean == pytest.approx(0.0015, rel=0.1)
+        audit = stats.send_audit()
+        assert audit["send_lag_max_s"] == pytest.approx(0.050, rel=0.01)
+        assert audit["send_lag_p99_s"] <= audit["send_lag_max_s"]
+
+    def test_audit_excludes_warmup(self):
+        collector = StatsCollector(warmup_requests=50)
+        for i in range(50):
+            collector.add(self._lagged(i, lag=1.0))  # warmup: huge lag
+        for i in range(50, 100):
+            collector.add(self._lagged(i, lag=0.001))
+        summary = collector.snapshot().send_lag_summary()
+        assert summary.maximum < 0.01
+
+    def test_audit_empty_when_no_records(self):
+        stats = StatsCollector().snapshot()
+        assert stats.send_lag_summary() is None
+        assert stats.send_audit() == {}
