@@ -12,6 +12,10 @@ Quantifies what the tracing/metrics layer costs:
   times, ~10% in an adversarial ~30 us microbenchmark. p99 deltas
   are dominated by scheduler noise at this scale, so the assertion
   bounds the (stable) p50.
+- streaming SLO engine **on top of tracing**: windowed HdrHistogram
+  sketches, burn-rate accounting, and exemplar capture add two more
+  hook calls per request (one at send, one at completion). The third
+  arm measures that *incremental* cost against the tracing arm.
 
 Run:  pytest benchmarks/bench_obs_overhead.py --benchmark-only
 The rendered table lands in benchmarks/results/obs_overhead.txt; the
@@ -61,11 +65,19 @@ def _runs(observability, seeds, app):
 
 
 def test_obs_overhead(benchmark, save_result, save_baseline):
-    """Median p50/p99 delta, tracing enabled vs disabled."""
+    """Median p50/p99 deltas: tracing vs off, SLO engine vs tracing."""
+    from repro.core.config import SloConfig
+
     app = ConstantApp()
     seeds = list(range(REPEATS))
     off = _runs(ObservabilityConfig(), seeds, app)
     on = _runs(ObservabilityConfig(tracing=True), seeds, app)
+    slo = ObservabilityConfig(
+        tracing=True,
+        slo=SloConfig(enabled=True, target=0.01, objective=0.99,
+                      window=0.25),
+    )
+    live = _runs(slo, seeds, app)
 
     def med(results, pct):
         return statistics.median(getattr(r.sojourn, pct) for r in results)
@@ -75,15 +87,22 @@ def test_obs_overhead(benchmark, save_result, save_baseline):
         f"medians of {REPEATS} runs):"
     ]
     deltas = {}
-    for pct in ("p50", "p99"):
-        base, traced = med(off, pct), med(on, pct)
-        delta = 100.0 * (traced - base) / base if base else 0.0
-        deltas[pct] = delta
-        lines.append(
-            f"  {pct}: off={base * 1e6:.1f}us on={traced * 1e6:.1f}us "
-            f"delta={delta:+.2f}%"
-        )
+    for label, base_results, arm_results in (
+        ("tracing", off, on),
+        ("slo", on, live),
+    ):
+        for pct in ("p50", "p99"):
+            base, armed = med(base_results, pct), med(arm_results, pct)
+            delta = 100.0 * (armed - base) / base if base else 0.0
+            deltas[f"{label}_{pct}"] = delta
+            lines.append(
+                f"  {label} {pct}: base={base * 1e6:.1f}us "
+                f"on={armed * 1e6:.1f}us delta={delta:+.2f}%"
+            )
     lines.append(f"  events per run: {len(on[0].obs.events)}")
+    lines.append(
+        f"  slo windows per run: {len(live[0].obs.live.windows)}"
+    )
     report = "\n".join(lines)
     print(report)
     save_result("obs_overhead", report)
@@ -92,10 +111,15 @@ def test_obs_overhead(benchmark, save_result, save_baseline):
     # The issue's <2% bar applies to the DISABLED path, which is
     # structurally free (see tests/obs/test_overhead.py). Enabled
     # tracing pays a few us per request; bound the stable p50 metric
-    # with headroom for noisy CI containers.
-    assert deltas["p50"] < 15.0
+    # with headroom for noisy CI containers. The SLO engine's target
+    # is <=5% incremental p50 over tracing (two sketch updates per
+    # request), with the same noise headroom.
+    assert deltas["tracing_p50"] < 15.0
+    assert deltas["slo_p50"] < 12.0
     save_baseline("obs_overhead", {
-        "p50_delta_pct": deltas["p50"],
-        "p99_delta_pct": deltas["p99"],
+        "p50_delta_pct": deltas["tracing_p50"],
+        "p99_delta_pct": deltas["tracing_p99"],
+        "slo_p50_delta_pct": deltas["slo_p50"],
+        "slo_p99_delta_pct": deltas["slo_p99"],
         "events_per_run": len(on[0].obs.events),
     })

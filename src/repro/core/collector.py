@@ -167,6 +167,24 @@ class CollectedStats:
             return LatencySummary.from_samples(self.samples(metric))
         return LatencySummary.from_histogram(self._histograms[metric])
 
+    def slo_attainment(self, target: float) -> float:
+        """Fraction of collected completions with sojourn <= ``target``.
+
+        The post-hoc cross-check for the streaming layer's
+        completion-side accounting (:mod:`repro.obs.live` counts
+        send-anchored budget units, which additionally charge work
+        that never completed). 1.0 when nothing was collected.
+        """
+        if target <= 0.0:
+            raise ValueError("target must be positive")
+        if self.count == 0:
+            return 1.0
+        if self._records is not None:
+            met = sum(1 for r in self._records if r.sojourn_time <= target)
+            return met / len(self._records)
+        hist = self._histograms["sojourn"]
+        return hist.count_between(0.0, target) / hist.total_count
+
     @property
     def outcomes(self) -> Dict[str, int]:
         """Outcome tally (see :data:`OUTCOME_KEYS`); empty when unused."""

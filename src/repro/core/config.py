@@ -17,6 +17,7 @@ __all__ = [
     "ExecutionConfig",
     "HarnessConfig",
     "ObservabilityConfig",
+    "SloConfig",
     "SystemConfig",
     "PAPER_SYSTEM",
     "NO_BATCHING",
@@ -24,6 +25,7 @@ __all__ = [
     "NO_HEALTH",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
+    "NO_SLO",
     "THREADED",
 ]
 
@@ -32,6 +34,101 @@ _CONFIG_NAMES = ("integrated", "loopback", "networked")
 #: Default client policy: no deadlines, retries, or hedging — the
 #: paper's original wait-forever harness behavior.
 NO_RESILIENCE = ResilienceConfig()
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Declared SLO for the live burn-rate monitor (:mod:`repro.obs.live`).
+
+    The SLO is a latency/goodput objective: a request is *good* when it
+    completes without error/shed and its sojourn (measured from the
+    ideal open-loop arrival instant, the coordinated-omission-safe
+    definition) is at most ``target``. Per fixed-width window the
+    monitor counts good completions against attempts *sent*, so stuck
+    work burns budget while it queues — a replica that stops answering
+    cannot hide by never producing a bad completion.
+
+    Burn rate over a trailing horizon = (bad fraction) / (1 -
+    ``objective``). The monitor fires when the burn rate exceeds its
+    threshold over *both* a fast horizon (``fast_windows`` windows,
+    threshold ``fast_burn``) and a slow one (``slow_windows``,
+    ``slow_burn``) — the multi-window multi-burn-rate SRE idiom: slow
+    confirms magnitude, fast confirms it is still happening. Hysteresis:
+    a firing alert clears only when both burn rates fall below
+    ``clear_factor`` times their thresholds, so a signal sitting at the
+    threshold cannot flap.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch. Off (the default) constructs nothing; the
+        completion hot paths keep their single ``is None`` test.
+    target:
+        Latency target in seconds (sojourn at or under it is good).
+    objective:
+        Required good fraction in (0, 1); ``1 - objective`` is the
+        error budget the burn rate is stated against.
+    window:
+        Sketch/burn bucket width in seconds (wall-clock live,
+        virtual-time in the simulator).
+    fast_windows / slow_windows:
+        Trailing horizons in windows for the two burn rates.
+    fast_burn / slow_burn:
+        Burn-rate thresholds for the fast and slow horizons.
+    clear_factor:
+        Hysteresis factor in (0, 1]: clear when both burn rates drop
+        below ``factor * threshold``.
+    exemplars_per_window:
+        Slowest completions retained per window with their full
+        timestamp chains (0 disables exemplar capture).
+    """
+
+    enabled: bool = False
+    target: float = 0.1
+    objective: float = 0.99
+    window: float = 1.0
+    fast_windows: int = 3
+    slow_windows: int = 12
+    fast_burn: float = 6.0
+    slow_burn: float = 3.0
+    clear_factor: float = 0.5
+    exemplars_per_window: int = 5
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError("target must be positive")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must lie in (0, 1)")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.fast_windows < 1:
+            raise ValueError("fast_windows must be >= 1")
+        if self.slow_windows < self.fast_windows:
+            raise ValueError("slow_windows must be >= fast_windows")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn-rate thresholds must be positive")
+        if not 0.0 < self.clear_factor <= 1.0:
+            raise ValueError("clear_factor must lie in (0, 1]")
+        if self.exemplars_per_window < 0:
+            raise ValueError("exemplars_per_window must be >= 0")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    @property
+    def fast_horizon(self) -> float:
+        """Fast alerting horizon in seconds."""
+        return self.fast_windows * self.window
+
+    @property
+    def slow_horizon(self) -> float:
+        """Slow alerting horizon in seconds."""
+        return self.slow_windows * self.window
+
+
+#: Default: no SLO declared, no live monitor constructed.
+NO_SLO = SloConfig()
 
 
 @dataclass(frozen=True)
@@ -51,17 +148,29 @@ class ObservabilityConfig:
     metrics_interval:
         Sampling cadence (seconds — wall-clock live, virtual-time in
         the simulator) for the metrics time series.
+    slo:
+        Declared SLO for the streaming live-observability engine
+        (windowed sketches, burn-rate alerting, exemplar capture —
+        see :class:`SloConfig` and :mod:`repro.obs.live`). Requires
+        ``tracing`` (alert trace events and exemplar chains live in
+        the trace stream). Off by default.
     """
 
     tracing: bool = False
     trace_capacity: int = 262_144
     metrics_interval: float = 0.05
+    slo: SloConfig = NO_SLO
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
+        if self.slo.enabled and not self.tracing:
+            raise ValueError(
+                "SLO monitoring needs the trace stream: set tracing=True "
+                "alongside slo=SloConfig(enabled=True, ...)"
+            )
 
 
 #: Default: observability entirely off (the hot paths stay bare).

@@ -265,6 +265,16 @@ def run_harness(
 
         tracer = Tracer(capacity=config.observability.trace_capacity)
         registry = MetricsRegistry()
+    live = None
+    if config.observability.slo.enabled:
+        # Lazy import, same policy as the tracer: runs without the
+        # streaming SLO layer never touch repro.obs.live. (Config
+        # validation guarantees tracing is on here.)
+        from ..obs.live import LiveObs
+
+        live = LiveObs(
+            config.observability.slo, tracer=tracer, seed=config.seed
+        )
     plane = loop = None
     if config.control.enabled:
         # Same lazy-import policy as observability: disabled runs never
@@ -306,6 +316,9 @@ def run_harness(
             injector.register_metrics(registry)
         if health is not None:
             health.register_metrics(registry)
+        if live is not None:
+            transport.set_live(live)
+            live.register_metrics(registry)
         sampler = MetricsSampler(
             registry, clock, interval=config.observability.metrics_interval
         )
@@ -328,6 +341,10 @@ def run_harness(
         driver = ScenarioDriver(injector, clock)
     send_fn = resilient.send if resilient is not None else transport.send
     started = clock.now()
+    if live is not None:
+        # Window boundaries anchor at run start (the simulator anchors
+        # at virtual 0.0), so alert timing is window-aligned.
+        live.set_origin(started)
     if driver is not None:
         driver.start(started)
     try:
@@ -379,6 +396,7 @@ def run_harness(
             series=sampler.series,
             snapshot=registry.snapshot(),
             prom=prometheus_text(registry),
+            live=live.finish(run_end) if live is not None else None,
         )
     stats = collector.snapshot()
     outcomes = collector.outcome_counts()

@@ -164,6 +164,10 @@ class Transport:
         # manager installed, routing consults it (ejection/breakers)
         # and every completion feeds it.
         self._health = None
+        # Streaming SLO hook: None unless the run enables
+        # ObservabilityConfig.slo. Fed on every send (budget anchor)
+        # and every completion (latency sketch).
+        self._live = None
         # Batching hook: None unless the run enables repro.batching. A
         # single stateless BatchPolicy is shared by every replica.
         self._batching = None
@@ -349,6 +353,19 @@ class Transport:
         """
         self._health = health
 
+    def set_live(self, live) -> None:
+        """Install the run's :class:`repro.obs.live.LiveObs`.
+
+        :meth:`send` then counts every dispatched attempt into the
+        open SLO window and :meth:`_complete` streams every completion
+        into the windowed sketches — the same two points the health
+        layer taps, so threaded and process transports are covered
+        identically (process replicas funnel into this
+        :meth:`_complete`). ``None`` (the default) leaves both paths
+        at a single ``is None`` test.
+        """
+        self._live = live
+
     def set_completion_hook(
         self, hook: Callable[[Request], bool]
     ) -> None:
@@ -491,6 +508,11 @@ class Transport:
         request.server_id = server_id
         if self._send_delay_hist is not None:
             self._send_delay_hist.observe(request.sent_at - generated_at)
+        if self._live is not None:
+            # Send-anchored SLO accounting: the attempt burns budget
+            # in the window it was dispatched, whether or not it ever
+            # completes (a stalled replica must not hide its backlog).
+            self._live.observe_sent(request.sent_at)
         action = (
             self._injector.transport_action()
             if self._injector is not None
@@ -630,6 +652,8 @@ class Transport:
                     health_ok,
                     request.response_received_at,
                 )
+        if self._live is not None and not request.discard:
+            self._live.observe(request)
         handled = False
         if self._completion_hook is not None:
             handled = bool(self._completion_hook(request))

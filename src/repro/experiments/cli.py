@@ -28,6 +28,7 @@ from .extensions import (
 from .fig8 import render_fig8, run_fig8
 from .fig_batching import render_fig_batching, run_fig_batching
 from .fig_control import render_fig_control, run_fig_control
+from .fig_live import render_fig_live, run_fig_live
 from .fig_resilience import render_fig_resilience, run_fig_resilience
 from .fig_topology import render_fig_topology, run_fig_topology
 from .table1 import render_table1, run_table1
@@ -63,6 +64,10 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # metastable collapse vs health-layer recovery, live and simulated
     # (live arms run ~30s each at full scale).
     "fig-resilience": (run_fig_resilience, render_fig_resilience),
+    # Live SLO engine: slow-replica burn caught by multi-window
+    # burn-rate alerting and explained by tail attribution, live and
+    # simulated (live arm runs ~16s at full scale).
+    "fig-live": (run_fig_live, render_fig_live),
 }
 
 _FAST_KWARGS = {
@@ -80,6 +85,7 @@ _FAST_KWARGS = {
     "fig-control": {"step_seconds": 0.75},
     "fig-batching": {"measure_requests": 1200},
     "fig-resilience": {"time_scale": 0.2, "modes": ("sim",)},
+    "fig-live": {"time_scale": 0.25, "modes": ("sim",)},
 }
 
 
@@ -105,10 +111,16 @@ def main(argv=None) -> int:
         from .trace_cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "tail":
+        # ``tailbench tail <app> ...`` — tail attribution, same idea.
+        from .tail_cli import main as tail_main
+
+        return tail_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tailbench",
         description="Regenerate TailBench (IISWC 2016) tables and figures"
-        " (or trace one workload: tailbench trace <app> --help).",
+        " (or inspect one workload: tailbench trace <app> --help, "
+        "tailbench tail <app> --help).",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,153 @@
+"""``tailbench tail <app>`` — why is the p99 high, in one table.
+
+Runs a short traced workload with the streaming SLO engine armed and
+prints the tail-attribution report: per-request critical paths are
+rebuilt from the trace, the slowest ``100 - pct`` percent are compared
+against the body, and the excess tail time is ranked by
+component x replica, alongside the windowed SLO summary (burn-rate
+alerts, per-window quantiles, slowest-request exemplars)::
+
+    tailbench tail masstree --duration 2
+    tailbench tail xapian --qps 2000 --servers 4 --pct 99.9
+    tailbench tail silo --live --duration 1
+
+A previously exported trace attributes without re-running anything
+(no SLO summary in that case — the burn-rate engine is streaming,
+not replayable)::
+
+    tailbench tail --from-jsonl trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.config import HarnessConfig, ObservabilityConfig, SloConfig
+
+__all__ = ["main", "run_tail"]
+
+
+def run_tail(args: argparse.Namespace):
+    """Execute the SLO-instrumented run; returns the result."""
+    slo = SloConfig(
+        enabled=True,
+        target=args.target,
+        objective=args.objective,
+        window=args.window,
+        exemplars_per_window=args.exemplars,
+    )
+    observability = ObservabilityConfig(tracing=True, slo=slo)
+    measure = max(int(args.qps * args.duration), 1)
+    common = dict(
+        qps=args.qps,
+        n_threads=args.threads,
+        configuration=args.config,
+        warmup_requests=0,  # windows anchor at t=0; keep them honest
+        measure_requests=measure,
+        seed=args.seed,
+        n_servers=args.servers,
+        balancer=args.balancer,
+        observability=observability,
+    )
+    if args.live:
+        from ..apps import create_app
+        from ..core.harness import run_harness
+
+        app = create_app(args.app)
+        app.setup()
+        return run_harness(app, HarnessConfig(**common))
+    from ..sim.calibration import PAPER_PROFILES
+    from ..sim.latency_sim import SimConfig, simulate_app
+
+    if args.app not in PAPER_PROFILES:
+        raise SystemExit(
+            f"no calibrated profile for {args.app!r} "
+            f"(have: {sorted(PAPER_PROFILES)}); use --live to drive "
+            "the real application instead"
+        )
+    return simulate_app(args.app, SimConfig(**common))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tailbench tail",
+        description="Attribute a workload's latency tail to its causes.",
+    )
+    parser.add_argument(
+        "app", nargs="?", default=None,
+        help="application name (e.g. masstree); omit with --from-jsonl",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="run length in seconds (measured requests = qps * duration)",
+    )
+    parser.add_argument("--qps", type=float, default=1000.0)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--servers", type=int, default=1)
+    parser.add_argument("--balancer", default="round_robin")
+    parser.add_argument(
+        "--config", default="integrated",
+        choices=("integrated", "loopback", "networked"),
+        help="harness configuration (network model in sim mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pct", type=float, default=99.0,
+        help="tail percentile to attribute (requests at or beyond it)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=8,
+        help="ranked causes to print",
+    )
+    parser.add_argument(
+        "--target", type=float, default=0.1,
+        help="SLO latency target in seconds",
+    )
+    parser.add_argument(
+        "--objective", type=float, default=0.99,
+        help="fraction of requests that must meet the target",
+    )
+    parser.add_argument(
+        "--window", type=float, default=0.25,
+        help="SLO accounting window in seconds",
+    )
+    parser.add_argument(
+        "--exemplars", type=int, default=3,
+        help="slowest-request exemplars retained per window",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="drive the real application through the live harness "
+        "instead of the virtual-time simulator",
+    )
+    parser.add_argument(
+        "--from-jsonl", metavar="PATH", default=None,
+        help="attribute a previously exported JSONL trace instead of "
+        "running a workload",
+    )
+    args = parser.parse_args(argv)
+
+    if args.from_jsonl is not None:
+        from ..obs.attribution import tail_report
+        from ..obs.exporters import load_trace_jsonl
+
+        events = load_trace_jsonl(args.from_jsonl)
+        print(tail_report(events, pct=args.pct, top=args.top).render())
+        return 0
+    if args.app is None:
+        parser.error("app is required unless --from-jsonl is given")
+
+    result = run_tail(args)
+    obs = result.obs
+    if obs is None:  # pragma: no cover - tracing is forced on above
+        raise SystemExit("run produced no observability artifacts")
+    print(obs.tail_report(pct=args.pct, top=args.top).render())
+    if obs.live is not None:
+        print()
+        print(obs.live.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ the raw artifacts::
 
 By default the run executes in virtual time against the app's
 calibrated profile (fast and deterministic); ``--live`` drives the
-real harness instead, for any registered application.
+real harness instead, for any registered application. A previously
+exported trace renders without re-running anything::
+
+    tailbench trace --from-jsonl trace.jsonl
 """
 
 from __future__ import annotations
@@ -78,7 +81,10 @@ def main(argv=None) -> int:
         prog="tailbench trace",
         description="Run one traced workload and print its dashboard.",
     )
-    parser.add_argument("app", help="application name (e.g. masstree)")
+    parser.add_argument(
+        "app", nargs="?", default=None,
+        help="application name (e.g. masstree); omit with --from-jsonl",
+    )
     parser.add_argument(
         "--duration", type=float, default=2.0,
         help="run length in seconds (measured requests = qps * duration)",
@@ -102,6 +108,11 @@ def main(argv=None) -> int:
         help="trace ring-buffer capacity in events",
     )
     parser.add_argument(
+        "--from-jsonl", metavar="PATH", default=None,
+        help="render the dashboard from a previously exported JSONL "
+        "trace instead of running a workload",
+    )
+    parser.add_argument(
         "--live", action="store_true",
         help="drive the real application through the live harness "
         "instead of the virtual-time simulator",
@@ -119,6 +130,16 @@ def main(argv=None) -> int:
         help="write a Prometheus text-format metrics snapshot",
     )
     args = parser.parse_args(argv)
+
+    if args.from_jsonl is not None:
+        from ..obs.dashboard import render_dashboard
+        from ..obs.exporters import load_trace_jsonl
+
+        events = load_trace_jsonl(args.from_jsonl)
+        print(render_dashboard(events, title=args.from_jsonl))
+        return 0
+    if args.app is None:
+        parser.error("app is required unless --from-jsonl is given")
 
     result = run_trace(args)
     obs = result.obs

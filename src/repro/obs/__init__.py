@@ -12,13 +12,27 @@ Entry points:
   then ``result.obs`` — live runs.
 - ``SimConfig(observability=...)`` then ``result.obs`` — virtual time.
 - ``tailbench trace <app>`` — run a workload and print the dashboard.
+- ``tailbench tail <app>`` — run it and print the tail attribution.
 - ``python -m repro.obs.validate trace.jsonl`` — schema-check a trace.
+
+The streaming layer (:mod:`repro.obs.live`: windowed sketches, SLO
+burn-rate alerting, exemplar capture) turns on separately via
+``ObservabilityConfig(tracing=True, slo=SloConfig(enabled=True, ...))``
+and surfaces as ``result.obs.live``.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, TextIO, Tuple, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from ..core.collector import TimelinePoint
+from .attribution import (
+    COMPONENTS,
+    CriticalPath,
+    RankedCause,
+    TailReport,
+    critical_paths,
+    tail_report,
+)
 from .dashboard import (
     BandBreakdown,
     breakdown_by_band,
@@ -29,13 +43,24 @@ from .exporters import (
     TRACE_SCHEMA,
     export_series_jsonl,
     export_trace_jsonl,
+    load_trace_jsonl,
     prometheus_text,
     validate_trace_file,
     validate_trace_line,
 )
+from .live import (
+    AlertEvent,
+    AlertLog,
+    BurnRateMonitor,
+    Exemplar,
+    LiveObs,
+    LiveReport,
+    WindowSnapshot,
+)
 from .metrics import (
     Counter,
     Gauge,
+    HdrSketch,
     Histogram,
     MetricsRegistry,
     MetricsSampler,
@@ -50,27 +75,42 @@ from .trace import (
 )
 
 __all__ = [
+    "AlertEvent",
+    "AlertLog",
     "BandBreakdown",
+    "BurnRateMonitor",
+    "COMPONENTS",
     "Counter",
+    "CriticalPath",
     "EVENT_KINDS",
+    "Exemplar",
     "Gauge",
+    "HdrSketch",
     "Histogram",
     "LIFECYCLE_EVENTS",
+    "LiveObs",
+    "LiveReport",
     "MetricsRegistry",
     "MetricsSampler",
     "ObsResult",
+    "RankedCause",
     "TRACE_SCHEMA",
+    "TailReport",
     "TimelinePoint",
     "TraceEvent",
     "Tracer",
+    "WindowSnapshot",
     "breakdown_by_band",
+    "critical_paths",
     "decompose_attempts",
     "export_series_jsonl",
     "export_trace_jsonl",
     "group_attempts",
+    "load_trace_jsonl",
     "per_server_decomposition",
     "prometheus_text",
     "render_dashboard",
+    "tail_report",
     "validate_trace_file",
     "validate_trace_line",
 ]
@@ -93,6 +133,10 @@ class ObsResult:
     #: state (keeps histogram buckets, which the scalar snapshot
     #: flattens away).
     prom: str = ""
+    #: Frozen report of the streaming SLO layer (windowed quantiles,
+    #: burn-rate alert log, exemplars) — ``None`` unless the run set
+    #: ``SloConfig(enabled=True)``.
+    live: Optional[LiveReport] = None
 
     def export_prometheus(self, path: str) -> None:
         """Write the Prometheus text-format snapshot to ``path``."""
@@ -121,3 +165,17 @@ class ObsResult:
             self.events, snapshot=self.snapshot, dropped=self.dropped,
             title=title,
         )
+
+    def critical_paths(self) -> List[CriticalPath]:
+        """Per-logical-request critical paths rebuilt from the events."""
+        return critical_paths(self.events)
+
+    def tail_report(
+        self,
+        pct: float = 99.0,
+        phases: Optional[Sequence[Tuple[str, float, float]]] = None,
+        top: int = 8,
+    ) -> TailReport:
+        """Ranked "why is p99 high" attribution (see
+        :func:`repro.obs.attribution.tail_report`)."""
+        return tail_report(self.events, pct=pct, phases=phases, top=top)

@@ -1,0 +1,403 @@
+"""Tail root-cause attribution: per-request critical paths and the
+ranked "why is p99 high" report.
+
+:func:`~repro.obs.trace.decompose_attempts` answers *where one attempt
+spent its time*. This module answers the operator's question: over the
+whole trace, which component, on which replica, in which phase of the
+run, is responsible for the tail?
+
+Two layers:
+
+- :func:`critical_paths` rebuilds each *logical* request's winning
+  path from raw trace events and splits its end-to-end sojourn into
+  six components that sum exactly to it:
+
+  ========================  ==========================================
+  ``send_lag``              first dispatch minus generation — the
+                            coordinated-omission backlog at the client
+  ``retry_overhead``        winning attempt's dispatch minus the first
+                            attempt's — time burned in failed attempts,
+                            backoff, and hedge delays
+  ``network``               wire transit, both directions
+  ``queue``                 head-of-line wait at the replica (batched
+                            runs: from the *batch's* last arrival)
+  ``batch_wait``            extra wait for the batch to accumulate —
+                            own enqueue to the last member's enqueue
+  ``service``               application time
+  ========================  ==========================================
+
+- :func:`tail_report` ranks (component, replica, phase) cells by
+  *excess* time: how much longer tail requests spent in that cell than
+  body requests did, times how many tail requests sat there. The top
+  of that ranking is the answer ``tailbench tail`` prints. Denial
+  events (ejections, breaker opens, exhausted retry budgets, load-shed
+  drops) are tallied alongside, since they cost goodput rather than
+  latency and would otherwise hide from a time-based ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .trace import TraceEvent, group_attempts
+
+__all__ = [
+    "COMPONENTS",
+    "DENIAL_KINDS",
+    "CriticalPath",
+    "RankedCause",
+    "TailReport",
+    "critical_paths",
+    "tail_report",
+]
+
+#: Critical-path components, in chain order; they sum to the sojourn.
+COMPONENTS: Tuple[str, ...] = (
+    "send_lag",
+    "retry_overhead",
+    "network",
+    "queue",
+    "batch_wait",
+    "service",
+)
+
+#: Point events that deny work instead of delaying it.
+DENIAL_KINDS: Tuple[str, ...] = (
+    "shed",
+    "eject",
+    "breaker_open",
+    "budget_exhausted",
+    "drop_codel",
+    "drop_limit",
+)
+
+#: Point events that disqualify an attempt from being the winner.
+_LOSER_KINDS = frozenset(("late", "shed", "error", "discard"))
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One logical request's winning path, decomposed."""
+
+    logical_id: Optional[int]
+    request_id: Optional[int]
+    attempt: int
+    server_id: int
+    generated_at: float
+    sojourn: float
+    components: Dict[str, float]
+    n_attempts: int = 1
+    batched: bool = False
+
+
+@dataclass(frozen=True)
+class RankedCause:
+    """One (component, replica, phase) cell of the tail ranking."""
+
+    component: str
+    server_id: int
+    phase: str
+    count: int            # tail requests hitting this cell
+    tail_mean: float      # mean component time among those
+    body_mean: float      # same component's mean among body requests
+    excess: float         # max(tail_mean - body_mean, 0) * count
+    total: float          # tail_mean * count
+    share: float          # excess / sum of all excesses
+
+
+@dataclass(frozen=True)
+class TailReport:
+    """Ranked tail attribution over one trace."""
+
+    pct: float
+    threshold: float              # sojourn at the pct-ile boundary
+    n_paths: int
+    n_tail: int
+    causes: Tuple[RankedCause, ...]
+    denials: Dict[Tuple[str, int], int]   # (kind, server_id) -> count
+
+    def top(self) -> Optional[RankedCause]:
+        return self.causes[0] if self.causes else None
+
+    def render(self) -> str:
+        lines = [
+            f"tail attribution (p{self.pct:g}): {self.n_tail} of "
+            f"{self.n_paths} requests above "
+            f"{self.threshold * 1e3:.2f} ms",
+        ]
+        if not self.causes:
+            lines.append("  (no complete critical paths in trace)")
+            return "\n".join(lines)
+        header = (
+            f"  {'rank':>4s} {'component':>14s} {'server':>6s} "
+            f"{'phase':>10s} {'n':>6s} {'tail-mean':>10s} "
+            f"{'body-mean':>10s} {'excess':>9s} {'share':>6s}"
+        )
+        lines.append(header)
+        for i, cause in enumerate(self.causes, start=1):
+            lines.append(
+                f"  {i:>4d} {cause.component:>14s} {cause.server_id:>6d} "
+                f"{cause.phase:>10s} {cause.count:>6d} "
+                f"{cause.tail_mean * 1e3:>8.2f}ms "
+                f"{cause.body_mean * 1e3:>8.2f}ms "
+                f"{cause.excess * 1e3:>7.1f}ms {cause.share:>5.1%}"
+            )
+        if self.denials:
+            parts = [
+                f"{kind}[s{sid}]={n}"
+                for (kind, sid), n in sorted(self.denials.items())
+            ]
+            lines.append("  denials: " + " ".join(parts))
+        return "\n".join(lines)
+
+
+def _logical_key(attempt_key: Tuple[str, int, int]) -> Tuple[str, int]:
+    kind, ident, _attempt = attempt_key
+    return (kind, ident)
+
+
+def critical_paths(events: Iterable[TraceEvent]) -> List[CriticalPath]:
+    """Rebuild each logical request's winning path from raw events.
+
+    The *winner* is the attempt whose ``received`` edge resolved the
+    logical request: the earliest complete arrival not marked
+    ``late``/``shed``/``error``/``discard``. Logical requests with no
+    winner (every attempt failed, or the chain is truncated) yield no
+    path — they surface in :class:`TailReport` denial tallies instead.
+    """
+    events = list(events)
+    groups = group_attempts(events)
+
+    # Attempts disqualified by outcome markers, and the batch each
+    # attempt served in: batch_form carries the per-server batch
+    # sequence in `value`, which links members together.
+    losers = set()
+    batch_of: Dict[Tuple[str, int, int], Tuple[int, float]] = {}
+    batch_members: Dict[Tuple[int, float], List[Tuple[str, int, int]]] = {}
+    for event in events:
+        if event.kind in _LOSER_KINDS:
+            key = _attempt_key_of(event)
+            if key is not None:
+                losers.add(key)
+        elif event.kind == "batch_form" and event.value is not None:
+            key = _attempt_key_of(event)
+            if key is not None and event.server_id is not None:
+                batch_key = (event.server_id, event.value)
+                batch_of[key] = batch_key
+                batch_members.setdefault(batch_key, []).append(key)
+
+    # Stamp map per attempt, grouped per logical request.
+    stamps: Dict[Tuple[str, int, int], Dict[str, float]] = {
+        key: {e.kind: e.ts for e in group} for key, group in groups.items()
+    }
+    logical: Dict[Tuple[str, int], List[Tuple[str, int, int]]] = {}
+    for key in groups:
+        logical.setdefault(_logical_key(key), []).append(key)
+
+    out: List[CriticalPath] = []
+    for lkey, attempt_keys in sorted(logical.items()):
+        candidates = []
+        first_sent: Optional[float] = None
+        g0: Optional[float] = None
+        for key in attempt_keys:
+            s = stamps[key]
+            if "generated" in s:
+                g0 = s["generated"] if g0 is None else min(g0, s["generated"])
+            if "sent" in s:
+                first_sent = (
+                    s["sent"] if first_sent is None
+                    else min(first_sent, s["sent"])
+                )
+            if key in losers:
+                continue
+            if all(
+                k in s
+                for k in ("sent", "enqueued", "service_start",
+                          "service_end", "received")
+            ):
+                candidates.append((s["received"], key))
+        if not candidates or g0 is None or first_sent is None:
+            continue
+        _recv, winner = min(candidates)
+        s = stamps[winner]
+        sent, enq = s["sent"], s["enqueued"]
+        start, end, recv = s["service_start"], s["service_end"], s["received"]
+
+        send_lag = max(first_sent - g0, 0.0)
+        retry_overhead = max(sent - first_sent, 0.0)
+        network = max(enq - sent, 0.0) + max(recv - end, 0.0)
+        batch_key = batch_of.get(winner)
+        batch_wait = 0.0
+        queue_from = enq
+        batched = False
+        if batch_key is not None:
+            member_enqueues = [
+                stamps[m]["enqueued"]
+                for m in batch_members.get(batch_key, ())
+                if "enqueued" in stamps[m]
+            ]
+            if len(member_enqueues) > 1:
+                batched = True
+                last_arrival = max(member_enqueues)
+                # The span enq -> service_start splits at the batch's
+                # last arrival: before it the request is waiting for
+                # the batch to fill (batch_wait); after it the formed
+                # batch is waiting for a worker (queue).
+                batch_wait = max(min(last_arrival, start) - enq, 0.0)
+                queue_from = min(max(last_arrival, enq), start)
+        queue = max(start - queue_from, 0.0)
+        service = max(end - start, 0.0)
+        components = {
+            "send_lag": send_lag,
+            "retry_overhead": retry_overhead,
+            "network": network,
+            "queue": queue,
+            "batch_wait": batch_wait,
+            "service": service,
+        }
+        sojourn = recv - g0
+        # Guarantee the invariant the report relies on: components sum
+        # exactly to the sojourn. Clamping above can shave float dust;
+        # fold any residue into the largest component.
+        residue = sojourn - sum(components.values())
+        if components and abs(residue) > 0.0:
+            top = max(components, key=lambda c: components[c])
+            components[top] += residue
+        ids = dict(zip(("kind", "ident"), lkey))
+        out.append(
+            CriticalPath(
+                logical_id=ids["ident"] if ids["kind"] == "l" else None,
+                request_id=ids["ident"] if ids["kind"] == "r" else None,
+                attempt=winner[2],
+                server_id=next(
+                    (e.server_id for e in groups[winner]
+                     if e.server_id is not None), 0
+                ),
+                generated_at=g0,
+                sojourn=sojourn,
+                components=components,
+                n_attempts=len(attempt_keys),
+                batched=batched,
+            )
+        )
+    return out
+
+
+def _attempt_key_of(event: TraceEvent) -> Optional[Tuple[str, int, int]]:
+    if event.logical_id is not None:
+        return ("l", event.logical_id, event.attempt or 0)
+    if event.request_id is not None:
+        return ("r", event.request_id, event.attempt or 0)
+    return None
+
+
+def _phase_of(
+    ts: float, phases: Optional[Sequence[Tuple[str, float, float]]]
+) -> str:
+    if phases:
+        for name, start, end in phases:
+            if start <= ts < end:
+                return name
+    return "run"
+
+
+def tail_report(
+    events: Iterable[TraceEvent],
+    pct: float = 99.0,
+    phases: Optional[Sequence[Tuple[str, float, float]]] = None,
+    top: int = 8,
+) -> TailReport:
+    """Rank (component, replica, phase) cells by tail excess time.
+
+    ``phases`` optionally names time spans of the run as
+    ``(name, start, end)`` triples (requests classify by generation
+    instant; anything uncovered falls into ``"run"``), so a fault
+    window can be attributed separately from steady state.
+    """
+    if not 0.0 < pct < 100.0:
+        raise ValueError("pct must be in (0, 100)")
+    events = list(events)
+    paths = critical_paths(events)
+    denials: Dict[Tuple[str, int], int] = {}
+    for event in events:
+        if event.kind in DENIAL_KINDS:
+            sid = event.server_id if event.server_id is not None else -1
+            denials[(event.kind, sid)] = denials.get((event.kind, sid), 0) + 1
+    if not paths:
+        return TailReport(pct, 0.0, 0, 0, (), denials)
+
+    ranked = sorted(paths, key=lambda p: p.sojourn)
+    cut = min(int(len(ranked) * pct / 100.0), len(ranked) - 1)
+    threshold = ranked[cut].sojourn
+    tail = [p for p in ranked if p.sojourn >= threshold]
+    body = [p for p in ranked if p.sojourn < threshold]
+
+    # Baselines: per (component, server, phase) among body requests,
+    # falling back to the component's overall body mean when the tail
+    # cell has no body counterpart (e.g. a replica only ever hit in
+    # the fault phase).
+    body_cells: Dict[Tuple[str, int, str], List[float]] = {}
+    body_overall: Dict[str, List[float]] = {}
+    for p in body:
+        phase = _phase_of(p.generated_at, phases)
+        for comp in COMPONENTS:
+            val = p.components[comp]
+            body_cells.setdefault((comp, p.server_id, phase), []).append(val)
+            body_overall.setdefault(comp, []).append(val)
+
+    tail_cells: Dict[Tuple[str, int, str], List[float]] = {}
+    for p in tail:
+        phase = _phase_of(p.generated_at, phases)
+        for comp in COMPONENTS:
+            tail_cells.setdefault((comp, p.server_id, phase), []).append(
+                p.components[comp]
+            )
+
+    causes: List[RankedCause] = []
+    for (comp, sid, phase), values in tail_cells.items():
+        count = len(values)
+        tail_mean = sum(values) / count
+        baseline = body_cells.get((comp, sid, phase))
+        if not baseline:
+            baseline = body_overall.get(comp)
+        body_mean = sum(baseline) / len(baseline) if baseline else 0.0
+        excess = max(tail_mean - body_mean, 0.0) * count
+        causes.append(
+            RankedCause(
+                component=comp,
+                server_id=sid,
+                phase=phase,
+                count=count,
+                tail_mean=tail_mean,
+                body_mean=body_mean,
+                excess=excess,
+                total=tail_mean * count,
+                share=0.0,  # filled below
+            )
+        )
+    causes.sort(key=lambda c: (-c.excess, -c.total, c.component,
+                               c.server_id, c.phase))
+    # Cells with no excess over the body baseline explain nothing;
+    # keep them out of the ranking (they would pad `top` with noise).
+    if any(c.excess > 0.0 for c in causes):
+        causes = [c for c in causes if c.excess > 0.0]
+    total_excess = sum(c.excess for c in causes)
+    if total_excess > 0.0:
+        causes = [
+            RankedCause(
+                component=c.component, server_id=c.server_id, phase=c.phase,
+                count=c.count, tail_mean=c.tail_mean, body_mean=c.body_mean,
+                excess=c.excess, total=c.total,
+                share=c.excess / total_excess,
+            )
+            for c in causes
+        ]
+    return TailReport(
+        pct=pct,
+        threshold=threshold,
+        n_paths=len(paths),
+        n_tail=len(tail),
+        causes=tuple(causes[:top]),
+        denials=denials,
+    )

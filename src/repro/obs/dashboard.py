@@ -2,10 +2,19 @@
 
 Answers the methodology's core question — *where does the tail come
 from?* — directly from a trace: per percentile band of sojourn time,
-how much of the latency was client-side send lag, wire transit,
-queueing, and actual service (Sec. V's decomposition, recomputed from
-events rather than from the collector's aggregates, so the two can be
-cross-checked against each other).
+how much of the latency was client-side send lag, retry/hedge
+overhead, wire transit, queueing, batch-formation wait, and actual
+service (Sec. V's decomposition, recomputed from events rather than
+from the collector's aggregates, so the two can be cross-checked
+against each other).
+
+Rows come from :func:`~repro.obs.attribution.critical_paths`, so
+retried/hedged logical requests contribute their *winning* path (with
+the failed attempts' cost visible as ``retry_overhead``) and batched
+runs split replica wait into head-of-line ``queue`` vs ``batch_wait``.
+The two batching/resilience columns only render when the trace
+actually contains such work, keeping the classic four-column view for
+plain runs.
 """
 
 from __future__ import annotations
@@ -13,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..stats import format_latency
-from .trace import TraceEvent, decompose_attempts
+from .attribution import COMPONENTS, critical_paths
+from .trace import TraceEvent
 
 __all__ = [
     "BandBreakdown",
@@ -30,7 +40,12 @@ DEFAULT_BANDS: Tuple[Tuple[float, float], ...] = (
     (99.0, 100.0),
 )
 
-_COMPONENTS = ("send_delay", "network", "queue", "service")
+_COMPONENTS = COMPONENTS  # send_lag, retry_overhead, network, queue,
+#                           batch_wait, service — see obs.attribution.
+
+#: Components that only appear in the rendered table when nonzero
+#: somewhere in the trace (batching/resilience may be off).
+_OPTIONAL_COMPONENTS = ("retry_overhead", "batch_wait")
 
 
 class BandBreakdown:
@@ -54,11 +69,13 @@ class BandBreakdown:
 
 
 def _complete_rows(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
-    return [
-        row
-        for row in decompose_attempts(events)
-        if "sojourn" in row and all(c in row for c in _COMPONENTS)
-    ]
+    rows: List[Dict[str, object]] = []
+    for path in critical_paths(events):
+        row: Dict[str, object] = dict(path.components)
+        row["sojourn"] = path.sojourn
+        row["server_id"] = path.server_id
+        rows.append(row)
+    return rows
 
 
 def breakdown_by_band(
@@ -67,11 +84,11 @@ def breakdown_by_band(
 ) -> List[BandBreakdown]:
     """Queueing-vs-service decomposition per sojourn-percentile band.
 
-    Attempts are ranked by reconstructed sojourn time; each band
+    Logical requests are ranked by critical-path sojourn; each band
     ``(lo, hi)`` covers that percentile slice and reports the mean of
-    every latency component inside it. Partial attempts (shed/dropped)
-    have no sojourn and are excluded — they are visible in the trace
-    as ``shed``/``fault_drop`` events instead.
+    every latency component inside it. Requests with no winning path
+    (shed/dropped/failed) have no sojourn and are excluded — they are
+    visible in the trace as ``shed``/``fault_drop`` events instead.
     """
     rows = _complete_rows(events)
     rows.sort(key=lambda r: r["sojourn"])
@@ -133,14 +150,26 @@ def render_dashboard(
     )
 
     if rows:
+        breakdowns = breakdown_by_band(events)
+        # Batching/resilience columns render only when that machinery
+        # actually contributed time somewhere in the trace.
+        shown = ["send_lag", "network", "queue", "service"]
+        for extra in _OPTIONAL_COMPONENTS:
+            if any(b.components.get(extra, 0.0) > 0.0 for b in breakdowns):
+                shown.append(extra)
+        headers = {
+            "send_lag": "send", "retry_overhead": "retry",
+            "network": "network", "queue": "queue",
+            "batch_wait": "batch", "service": "service",
+        }
         lines.append("")
         lines.append("latency decomposition by sojourn percentile band:")
-        header = (
-            f"  {'band':>10s} {'n':>6s} {'sojourn':>9s} {'send':>9s} "
-            f"{'network':>9s} {'queue':>9s} {'service':>9s} {'queue%':>7s}"
-        )
+        header = f"  {'band':>10s} {'n':>6s} {'sojourn':>9s}"
+        for comp in shown:
+            header += f" {headers[comp]:>9s}"
+        header += f" {'queue%':>7s}"
         lines.append(header)
-        for band in breakdown_by_band(events):
+        for band in breakdowns:
             if band.count == 0:
                 continue
             c = band.components
@@ -148,14 +177,14 @@ def render_dashboard(
                 100.0 * c["queue"] / band.sojourn if band.sojourn > 0 else 0.0
             )
             label = f"p{band.lo:g}-p{band.hi:g}"
-            lines.append(
+            line = (
                 f"  {label:>10s} {band.count:>6d} "
-                f"{format_latency(band.sojourn):>9s} "
-                f"{format_latency(c['send_delay']):>9s} "
-                f"{format_latency(c['network']):>9s} "
-                f"{format_latency(c['queue']):>9s} "
-                f"{format_latency(c['service']):>9s} {queue_frac:>6.1f}%"
+                f"{format_latency(band.sojourn):>9s}"
             )
+            for comp in shown:
+                line += f" {format_latency(c[comp]):>9s}"
+            line += f" {queue_frac:>6.1f}%"
+            lines.append(line)
         per_server = per_server_decomposition(events)
         if len(per_server) > 1:
             lines.append("")
@@ -171,7 +200,8 @@ def render_dashboard(
 
     counts: Dict[str, int] = {}
     for event in events:
-        if event.kind in ("retry", "hedge", "shed", "error", "late") or (
+        if event.kind in ("retry", "hedge", "shed", "error", "late",
+                          "slo_burn", "slo_clear") or (
             event.kind.startswith("fault_")
         ):
             counts[event.kind] = counts.get(event.kind, 0) + 1

@@ -22,13 +22,14 @@ import json
 from typing import Dict, Iterable, List, TextIO, Union
 
 from ..core.collector import TimelinePoint
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, HdrSketch, Histogram, MetricsRegistry
 from .trace import EVENT_KINDS, TraceEvent
 
 __all__ = [
     "TRACE_SCHEMA",
     "export_trace_jsonl",
     "export_series_jsonl",
+    "load_trace_jsonl",
     "validate_trace_line",
     "validate_trace_file",
     "prometheus_text",
@@ -131,6 +132,39 @@ def validate_trace_file(path: str) -> int:
     return n
 
 
+def load_trace_jsonl(path: str) -> List[TraceEvent]:
+    """Read a trace JSONL file back into :class:`TraceEvent` records.
+
+    The inverse of :func:`export_trace_jsonl` — every line is
+    schema-validated (:func:`validate_trace_line`), so a process-mode
+    run's exported trace round-trips into the same analysis pipeline
+    (``tailbench trace --from-jsonl``, :mod:`repro.obs.attribution`)
+    that in-memory tracers feed.
+    """
+    events: List[TraceEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = validate_trace_line(json.loads(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            events.append(
+                TraceEvent(
+                    ts=float(obj["ts"]),
+                    kind=obj["event"],
+                    logical_id=obj.get("logical_id"),
+                    request_id=obj.get("request_id"),
+                    attempt=obj.get("attempt"),
+                    server_id=obj.get("server_id"),
+                    value=obj.get("value"),
+                )
+            )
+    return events
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render a registry snapshot in the Prometheus exposition format."""
     lines: List[str] = []
@@ -143,6 +177,30 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             lines.append(f"{metric.full_name} {metric.value:g}")
+        elif isinstance(metric, HdrSketch):
+            # HDR sketches have log-spaced bucket edges; render the
+            # populated ones cumulatively (upper edge as `le`) so
+            # quantiles are recoverable by any Prometheus-style
+            # consumer, not just summary scalars.
+            base_labels = dict(metric.labels)
+            cumulative = 0
+            for _lo, hi, count in metric.hist.buckets():
+                cumulative += count
+                labels = {**base_labels, "le": f"{hi:g}"}
+                inner = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                )
+                lines.append(f"{metric.name}_bucket{{{inner}}} {cumulative}")
+            labels = {**base_labels, "le": "+Inf"}
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            lines.append(f"{metric.name}_bucket{{{inner}}} {metric.count}")
+            suffix = ""
+            if base_labels:
+                suffix = "{" + ",".join(
+                    f'{k}="{v}"' for k, v in sorted(base_labels.items())
+                ) + "}"
+            lines.append(f"{metric.name}_sum{suffix} {metric.sum:g}")
+            lines.append(f"{metric.name}_count{suffix} {metric.count}")
         elif isinstance(metric, Histogram):
             base_labels = dict(metric.labels)
             cumulative = 0

@@ -74,16 +74,25 @@ def replay_events(
     events,
     clock_offset: float,
     server_id: int,
-) -> None:
+) -> int:
     """Append relayed child events to the parent tracer.
 
     ``clock_offset`` is ``parent_now - child_now`` measured at the
     replica's ready handshake; adding it maps child timestamps onto
     the parent clock (on Linux both are CLOCK_MONOTONIC so the offset
     is ~0, but the handshake makes no such platform assumption).
+
+    Events pass through kind-agnostically — the SLO markers the live
+    layer emits (``slo_burn``/``slo_clear``) never originate in a
+    child (the burn-rate monitor runs parent-side, fed by the same
+    completion path process replicas funnel into), but any future
+    child-side kind relays without changes here.
+
+    Returns the number of events replayed (0 when tracing is off).
     """
     if tracer is None:
-        return
+        return 0
+    n = 0
     for kind, ts, logical_id, request_id, attempt, value in events:
         tracer.emit(
             kind,
@@ -94,3 +103,5 @@ def replay_events(
             server_id=server_id,
             value=value,
         )
+        n += 1
+    return n

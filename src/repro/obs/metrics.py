@@ -31,6 +31,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HdrSketch",
     "MetricsRegistry",
     "MetricsSampler",
     "DEFAULT_BUCKETS",
@@ -176,6 +177,56 @@ class Histogram:
         return _full_name(self.name, self.labels)
 
 
+class HdrSketch:
+    """High-dynamic-range latency sketch backed by ``HdrHistogram``.
+
+    Unlike :class:`Histogram`, bucket edges are log-spaced at a fixed
+    relative precision rather than hand-picked, so p99/p99.9 are
+    recoverable downstream without choosing buckets in advance. The
+    Prometheus exporter renders the populated buckets cumulatively
+    (see :func:`~repro.obs.exporters.prometheus_text`).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "hist")
+
+    def __init__(self, name: str, help: str = "", **labels: str) -> None:
+        from ..stats import HdrHistogram
+
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.hist = HdrHistogram()
+
+    def observe(self, value: float) -> None:
+        self.hist.record(value)
+
+    def quantile(self, q: float) -> float:
+        """q-quantile (q in [0, 1]) at the sketch's bucket precision."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.hist.total_count == 0:
+            return 0.0
+        return self.hist.percentile(q * 100.0)
+
+    @property
+    def count(self) -> int:
+        return self.hist.total_count
+
+    @property
+    def sum(self) -> float:
+        return self.hist.mean * self.hist.total_count
+
+    @property
+    def value(self) -> float:
+        """Mean observation (the sampler's scalar view of a sketch)."""
+        return self.hist.mean if self.hist.total_count else 0.0
+
+    @property
+    def full_name(self) -> str:
+        return _full_name(self.name, self.labels)
+
+
 class MetricsRegistry:
     """Named collection of metrics for one run.
 
@@ -228,6 +279,9 @@ class MetricsRegistry:
         return self._get_or_create(
             Histogram, name, help, labels, buckets=buckets
         )
+
+    def hdr(self, name: str, help: str = "", **labels: str) -> HdrSketch:
+        return self._get_or_create(HdrSketch, name, help, labels)
 
     def metrics(self) -> List[object]:
         with self._lock:

@@ -58,7 +58,10 @@ LIFECYCLE_EVENTS: Tuple[Tuple[str, str], ...] = (
 #: a batch to its members — see :mod:`repro.batching`), and health
 #: markers (``eject``/``readmit``/``probe`` per replica,
 #: ``breaker_*`` state transitions, ``budget_exhausted`` when the
-#: retry budget denies a retry — see :mod:`repro.health`).
+#: retry budget denies a retry — see :mod:`repro.health`), and SLO
+#: markers (``slo_burn``/``slo_clear`` on burn-rate alert transitions,
+#: carrying the fast-window burn rate in ``value`` — see
+#: :mod:`repro.obs.live`).
 POINT_EVENTS: Tuple[str, ...] = (
     "retry",
     "hedge",
@@ -88,6 +91,8 @@ POINT_EVENTS: Tuple[str, ...] = (
     "breaker_half_open",
     "breaker_close",
     "budget_exhausted",
+    "slo_burn",
+    "slo_clear",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

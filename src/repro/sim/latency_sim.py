@@ -808,6 +808,18 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
 
         tracer = Tracer(capacity=config.observability.trace_capacity)
         registry = MetricsRegistry()
+    live = None
+    if config.observability.slo.enabled:
+        # Lazy import, same policy as the tracer: runs without the
+        # streaming SLO layer never touch repro.obs.live. Windows
+        # anchor at virtual t=0 — the simulator's run start — so
+        # boundaries are deterministic and fault onsets alignable.
+        from ..obs.live import LiveObs
+
+        live = LiveObs(
+            config.observability.slo, tracer=tracer, seed=config.seed
+        )
+        live.set_origin(0.0)
     plane = None
     if config.control.enabled:
         # Same lazy-import policy: uncontrolled runs never touch the
@@ -855,6 +867,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             buffer=plane.make_buffer() if plane is not None else None,
             batching=batch_policy,
             batch_marginal_cost=config.batching.sim_marginal_cost,
+            live=live,
         )
         server.started_at = engine.now
         return server
@@ -882,6 +895,8 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             engine.at(offset, injector.advance_to, offset)
     if health is not None and registry is not None:
         health.register_metrics(registry)
+    if live is not None and registry is not None:
+        live.register_metrics(registry)
     if config.load_profile is not None:
         schedule = ArrivalSchedule.piecewise(
             config.load_profile,
@@ -1021,6 +1036,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             series=sampler.series,
             snapshot=registry.snapshot(),
             prom=prometheus_text(registry),
+            live=live.finish(elapsed) if live is not None else None,
         )
     stats = collector.snapshot()
     outcomes = collector.outcome_counts()

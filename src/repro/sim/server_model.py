@@ -106,6 +106,7 @@ class SimulatedServer:
         buffer=None,
         batching=None,
         batch_marginal_cost: float = 0.35,
+        live=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -122,6 +123,10 @@ class SimulatedServer:
         self._on_response_cb = on_response
         self.server_id = server_id
         self._tracer = tracer
+        # Streaming SLO hook (repro.obs.live.LiveObs) — fed at the
+        # same two points the live transport taps: every submission
+        # and every response. None (the default) costs one test.
+        self._live = live
         self._gate = gate
         self._queue = buffer if buffer is not None else FifoBuffer()
         self._batching = batching
@@ -171,6 +176,11 @@ class SimulatedServer:
         """
         if request.server_id is None:
             request.server_id = self.server_id
+        if self._live is not None and not request.discard:
+            # Send-anchored SLO accounting, mirroring the live
+            # transport: the attempt burns budget in the window it was
+            # dispatched, whether or not it ever completes.
+            self._live.observe_sent(request.sent_at)
         self._engine.at(
             request.sent_at
             + self._network.wire_latency_each_way
@@ -430,6 +440,8 @@ class SimulatedServer:
             else:
                 outcome = None
             self._tracer.record_request(request, outcome=outcome)
+        if self._live is not None and not request.discard:
+            self._live.observe(request)
         if self._on_response_cb is not None:
             self._on_response_cb(request)
             return

@@ -232,6 +232,7 @@ class TestExtensions:
             "fig-control",
             "fig-batching",
             "fig-resilience",
+            "fig-live",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

@@ -1,0 +1,200 @@
+"""Critical-path decomposition and the ranked tail report."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.obs.attribution import (
+    COMPONENTS,
+    critical_paths,
+    tail_report,
+)
+from repro.obs.trace import Tracer
+
+
+def _request(
+    gen,
+    *,
+    sent=None,
+    enqueued=None,
+    start=None,
+    end=None,
+    received=None,
+    **kw,
+):
+    return Request(
+        payload=None,
+        generated_at=gen,
+        sent_at=sent,
+        enqueued_at=enqueued,
+        service_start_at=start,
+        service_end_at=end,
+        response_received_at=received,
+        **kw,
+    )
+
+
+def _trace(*requests, outcomes=None, extra=None):
+    tracer = Tracer(capacity=4096)
+    outcomes = outcomes or {}
+    for request in requests:
+        tracer.record_request(
+            request, outcome=outcomes.get(request.request_id)
+        )
+    for kind, ts, kwargs in extra or ():
+        tracer.emit(kind, ts, **kwargs)
+    return tracer.events()
+
+
+class TestCriticalPaths:
+    def test_components_sum_to_sojourn_exactly(self):
+        request = _request(
+            0.0, sent=0.01, enqueued=0.02, start=0.05, end=0.08,
+            received=0.09, server_id=1,
+        )
+        (path,) = critical_paths(_trace(request))
+        assert path.server_id == 1
+        assert set(path.components) == set(COMPONENTS)
+        assert sum(path.components.values()) == path.sojourn
+        assert path.sojourn == pytest.approx(0.09)
+        assert path.components["send_lag"] == pytest.approx(0.01)
+        # Network is both directions: send->enqueue + end->receive.
+        assert path.components["network"] == pytest.approx(0.02)
+        assert path.components["queue"] == pytest.approx(0.03)
+        assert path.components["batch_wait"] == 0.0
+        assert path.components["service"] == pytest.approx(0.03)
+        assert path.n_attempts == 1
+        assert not path.batched
+
+    def test_retry_overhead_is_winner_send_minus_first_send(self):
+        first = _request(
+            0.0, sent=0.01, enqueued=0.02, start=0.03, end=0.20,
+            received=0.21, logical_id=5, attempt=0, server_id=0,
+        )
+        winner = _request(
+            0.0, sent=0.10, enqueued=0.11, start=0.12, end=0.14,
+            received=0.15, logical_id=5, attempt=1, server_id=1,
+        )
+        events = _trace(
+            first, winner, outcomes={first.request_id: "late"}
+        )
+        (path,) = critical_paths(events)
+        assert path.attempt == 1
+        assert path.server_id == 1
+        assert path.n_attempts == 2
+        assert path.components["send_lag"] == pytest.approx(0.01)
+        assert path.components["retry_overhead"] == pytest.approx(0.09)
+        assert path.sojourn == pytest.approx(0.15)
+        assert sum(path.components.values()) == path.sojourn
+
+    def test_hedge_winner_is_earliest_received(self):
+        slow = _request(
+            0.0, sent=0.01, enqueued=0.02, start=0.03, end=0.30,
+            received=0.31, logical_id=9, attempt=0, server_id=0,
+        )
+        fast = _request(
+            0.0, sent=0.02, enqueued=0.03, start=0.04, end=0.06,
+            received=0.07, logical_id=9, attempt=1, server_id=1,
+        )
+        (path,) = critical_paths(_trace(slow, fast))
+        assert path.attempt == 1
+        assert path.sojourn == pytest.approx(0.07)
+
+    def test_batch_wait_split(self):
+        early = _request(
+            0.0, sent=0.1, enqueued=1.0, start=2.0, end=2.1,
+            received=2.15, server_id=0,
+        )
+        late = _request(
+            0.4, sent=0.5, enqueued=1.5, start=2.0, end=2.1,
+            received=2.15, server_id=0,
+        )
+        batch = [
+            ("batch_form", 2.0,
+             dict(request_id=early.request_id, server_id=0, value=3.0)),
+            ("batch_form", 2.0,
+             dict(request_id=late.request_id, server_id=0, value=3.0)),
+        ]
+        paths = {
+            p.request_id: p
+            for p in critical_paths(_trace(early, late, extra=batch))
+        }
+        early_path = paths[early.request_id]
+        late_path = paths[late.request_id]
+        assert early_path.batched and late_path.batched
+        # The early member waits for the late one (batch_wait), then
+        # both wait from the last arrival to service start (queue).
+        assert early_path.components["batch_wait"] == pytest.approx(0.5)
+        assert early_path.components["queue"] == pytest.approx(0.5)
+        assert late_path.components["batch_wait"] == 0.0
+        assert late_path.components["queue"] == pytest.approx(0.5)
+        for path in (early_path, late_path):
+            assert sum(path.components.values()) == path.sojourn
+
+    def test_incomplete_attempts_skipped(self):
+        shed = _request(0.0, sent=0.01, shed=True)
+        done = _request(
+            0.1, sent=0.11, enqueued=0.12, start=0.13, end=0.15,
+            received=0.16,
+        )
+        events = _trace(shed, done, outcomes={shed.request_id: "shed"})
+        paths = critical_paths(events)
+        assert len(paths) == 1
+        assert paths[0].request_id == done.request_id
+
+
+class TestTailReport:
+    def _events(self):
+        # 99 quick requests on server 0, one queue-bound straggler on
+        # server 1.
+        requests = []
+        for i in range(99):
+            gen = 0.01 * i
+            requests.append(_request(
+                gen, sent=gen, enqueued=gen + 0.001,
+                start=gen + 0.002, end=gen + 0.010,
+                received=gen + 0.011, server_id=0,
+            ))
+        requests.append(_request(
+            5.0, sent=5.0, enqueued=5.001, start=5.401, end=5.409,
+            received=5.410, server_id=1,
+        ))
+        return _trace(*requests)
+
+    def test_ranking_blames_the_straggler_queue(self):
+        report = tail_report(self._events(), pct=99.0)
+        assert report.n_paths == 100
+        assert report.n_tail >= 1
+        top = report.top()
+        assert (top.component, top.server_id) == ("queue", 1)
+        assert top.share == max(c.share for c in report.causes)
+        assert report.render()  # renders without error
+
+    def test_shares_sum_to_one(self):
+        report = tail_report(self._events(), pct=99.0)
+        assert sum(c.share for c in report.causes) == pytest.approx(1.0)
+
+    def test_phase_classification(self):
+        phases = (("warm", 0.0, 1.0), ("steady", 1.0, 10.0))
+        report = tail_report(self._events(), pct=99.0, phases=phases)
+        assert report.top().phase == "steady"
+
+    def test_denials_tallied(self):
+        shed = _request(0.0, sent=0.01, shed=True, server_id=0)
+        done = _request(
+            0.1, sent=0.11, enqueued=0.12, start=0.13, end=0.15,
+            received=0.16, server_id=0,
+        )
+        events = _trace(
+            shed, done,
+            outcomes={shed.request_id: "shed"},
+            extra=[("breaker_open", 0.5, dict(server_id=1))],
+        )
+        report = tail_report(events, pct=50.0)
+        assert report.denials.get(("shed", 0)) == 1
+        assert report.denials.get(("breaker_open", 1)) == 1
+
+    def test_empty_trace(self):
+        report = tail_report([], pct=99.0)
+        assert report.n_paths == 0
+        assert report.causes == ()
+        assert report.render()
