@@ -1,4 +1,5 @@
-"""The eight TailBench applications (Table I of the paper).
+"""The eight TailBench applications (Table I of the paper), plus the
+vsearch extension — sharded IVF vector search, the suite's ninth app.
 
 Every application implements :class:`~repro.apps.base.Application` and
 registers a factory here, so experiment drivers can instantiate the
@@ -12,7 +13,14 @@ Factories accept keyword overrides for dataset sizes etc.; defaults are
 sized for interactive use on a laptop.
 """
 
-from .base import Application, Client, app_names, create_app, register_app
+from .base import (
+    Application,
+    Client,
+    ShardedApp,
+    app_names,
+    create_app,
+    register_app,
+)
 from .img_dnn import ImgDnnApp
 from .masstree import MasstreeApp
 from .moses import MosesApp
@@ -20,6 +28,7 @@ from .shore import ShoreApp
 from .silo import SiloApp
 from .specjbb import SpecJbbApp
 from .sphinx import SphinxApp
+from .vsearch import VsearchApp
 from .xapian import XapianApp
 
 register_app("xapian", XapianApp)
@@ -30,10 +39,12 @@ register_app("img-dnn", ImgDnnApp)
 register_app("specjbb", SpecJbbApp)
 register_app("silo", SiloApp)
 register_app("shore", ShoreApp)
+register_app("vsearch", VsearchApp)
 
 __all__ = [
     "Application",
     "Client",
+    "ShardedApp",
     "app_names",
     "create_app",
     "register_app",
@@ -45,4 +56,5 @@ __all__ = [
     "SpecJbbApp",
     "SiloApp",
     "ShoreApp",
+    "VsearchApp",
 ]

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Sequence
 
-__all__ = ["Application", "Client", "register_app", "create_app", "app_names"]
+__all__ = [
+    "Application",
+    "Client",
+    "ShardedApp",
+    "register_app",
+    "create_app",
+    "app_names",
+]
 
 
 class Client:
@@ -80,6 +87,72 @@ class Application:
         independent, already-set-up copy.
         """
         return self
+
+    def replica(self, server_id: int) -> "Application":
+        """Return the application backing server ``server_id``.
+
+        Replica 0 is ``self``; the rest are :meth:`clone`\\ s. Sharded
+        applications override this so each server instance holds a
+        *different* partition of the data rather than a copy.
+        """
+        return self if server_id == 0 else self.clone()
+
+
+class ShardedApp(Application):
+    """One logical application partitioned across K shard apps.
+
+    Each shard owns a disjoint slice of the dataset; a logical query
+    must visit every shard and merge their partial responses. Under
+    the harness this composes with :class:`repro.core.FanoutConfig`:
+    server instance ``i`` is backed by ``shards[i]`` (via
+    :meth:`replica`), one logical request scatters to all K, and the
+    gather point calls :meth:`merge_responses`.
+
+    :meth:`process` runs the scatter-gather inline (sequentially, in
+    one thread) — the reference path used by correctness tests and by
+    unsharded serving of a sharded app.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Application],
+        merge: Callable[[Sequence[Any]], Any],
+        client_factory: Callable[[int], Client] = None,
+        name: str = None,
+        domain: str = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = list(shards)
+        self._merge = merge
+        self._client_factory = client_factory
+        self.name = name if name is not None else self.shards[0].name
+        self.domain = (
+            domain if domain is not None else self.shards[0].domain
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def setup(self) -> None:
+        for shard in self.shards:
+            shard.setup()
+
+    def replica(self, server_id: int) -> Application:
+        return self.shards[server_id]
+
+    def process(self, payload: Any) -> Any:
+        return self._merge([s.process(payload) for s in self.shards])
+
+    def merge_responses(self, responses: Sequence[Any]) -> Any:
+        """Combine per-shard partial responses into the logical one."""
+        return self._merge(responses)
+
+    def make_client(self, seed: int = 0) -> Client:
+        if self._client_factory is not None:
+            return self._client_factory(seed)
+        return self.shards[0].make_client(seed)
 
 
 _REGISTRY: Dict[str, Callable[..., Application]] = {}

@@ -1,0 +1,14 @@
+"""vsearch: sharded IVF vector search (the suite's ninth app)."""
+
+from .app import VsearchApp, VsearchClient
+from .corpus import EmbeddingCorpus
+from .ivf import IVFIndex, brute_force_topk, merge_topk
+
+__all__ = [
+    "VsearchApp",
+    "VsearchClient",
+    "EmbeddingCorpus",
+    "IVFIndex",
+    "brute_force_topk",
+    "merge_topk",
+]

@@ -1,0 +1,214 @@
+"""vsearch: the sharded vector-search (ANN retrieval) application.
+
+The suite's ninth application and its first *sharded* one: the
+latency-critical workload behind RAG and semantic search, which the
+2016 suite predates. Requests are query ids into a shared query pool
+(Zipfian popularity — hot queries recur, composing with a caching
+tier); responses are top-k ``(doc_id, distance)`` hits from a
+from-scratch IVF index (:mod:`.ivf`). Service time scales with
+``nprobe`` × probed-list length, so latency is data-dependent.
+
+``VsearchApp.sharded(K)`` partitions the corpus round-robin across K
+shard apps behind a :class:`~repro.apps.base.ShardedApp`: one logical
+query scatters to every shard and the gather point merges per-shard
+top-k. Because distance math is per-row and ties break by id
+(see :mod:`.ivf`), the merged result equals the unsharded global
+top-k exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...workloads.zipf import ZipfRankSampler
+from ..base import Application, Client, ShardedApp
+from .corpus import EmbeddingCorpus
+from .ivf import Hit, IVFIndex, brute_force_topk, merge_topk
+
+__all__ = ["VsearchApp", "VsearchClient"]
+
+
+class VsearchClient(Client):
+    """Draws query ids with Zipfian popularity (rank 0 = hottest)."""
+
+    def __init__(self, n_queries: int, theta: float = 0.9,
+                 seed: int = 0) -> None:
+        self._ranks = ZipfRankSampler(n_queries, theta=theta, seed=seed)
+
+    def next_request(self) -> int:
+        return self._ranks.next_rank()
+
+
+class _VsearchShard(Application):
+    """One index shard: an IVF index over a corpus partition.
+
+    Shares the parent's query pool (payloads are query ids) and
+    returns its *local* top-k — the gather point's merge input.
+    Read-only after setup, so safely shared across worker threads.
+    """
+
+    name = "vsearch-shard"
+    domain = "Vector Search / RAG"
+
+    def __init__(self, queries, vectors, ids, n_lists: int,
+                 nprobe: int, top_k: int, seed: int) -> None:
+        self._queries = queries
+        self._vectors = vectors
+        self._ids = ids
+        self._n_lists = n_lists
+        self._nprobe = nprobe
+        self._top_k = top_k
+        self._seed = seed
+        self._index: IVFIndex = None
+
+    def setup(self) -> None:
+        index = IVFIndex(n_lists=self._n_lists, seed=self._seed)
+        index.build(self._vectors, self._ids)
+        self._index = index
+
+    def process(self, payload: int) -> List[Hit]:
+        return self._index.search(
+            self._queries[payload], k=self._top_k, nprobe=self._nprobe
+        )
+
+    def handle_batch(self, payloads) -> list:
+        # Zipfian query ids recur within a batch: probe each distinct
+        # query once; duplicates share the (copied) hit list.
+        memo = {}
+        responses = []
+        for qid in payloads:
+            if qid not in memo:
+                memo[qid] = self.process(qid)
+            responses.append(list(memo[qid]))
+        return responses
+
+
+class VsearchApp(Application):
+    """IVF vector search over a synthetic embedding corpus.
+
+    ``nprobe`` is the recall-vs-latency knob: more probed lists means
+    more distance computations per query and higher recall@k against
+    the brute-force ground truth.
+    """
+
+    name = "vsearch"
+    domain = "Vector Search / RAG"
+
+    def __init__(
+        self,
+        n_vectors: int = 4096,
+        dim: int = 32,
+        n_clusters: int = 32,
+        n_lists: int = 32,
+        nprobe: int = 4,
+        top_k: int = 10,
+        n_queries: int = 256,
+        theta: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        self._corpus = EmbeddingCorpus(
+            n_vectors=n_vectors,
+            dim=dim,
+            n_clusters=n_clusters,
+            n_queries=n_queries,
+            seed=seed,
+        )
+        self.n_lists = n_lists
+        self.nprobe = nprobe
+        self.top_k = top_k
+        self.theta = theta
+        self.seed = seed
+        self._index: IVFIndex = None
+
+    @property
+    def corpus(self) -> EmbeddingCorpus:
+        return self._corpus
+
+    @property
+    def index(self) -> IVFIndex:
+        if self._index is None:
+            raise RuntimeError("call setup() first")
+        return self._index
+
+    def setup(self) -> None:
+        index = IVFIndex(n_lists=self.n_lists, seed=self.seed)
+        index.build(self._corpus.vectors, self._corpus.ids)
+        self._index = index
+
+    def process(self, payload: int) -> List[Hit]:
+        return self.index.search(
+            self._corpus.queries[payload], k=self.top_k, nprobe=self.nprobe
+        )
+
+    def handle_batch(self, payloads) -> list:
+        memo = {}
+        responses = []
+        for qid in payloads:
+            if qid not in memo:
+                memo[qid] = self.process(qid)
+            responses.append(list(memo[qid]))
+        return responses
+
+    def make_client(self, seed: int = 0) -> VsearchClient:
+        return VsearchClient(
+            self._corpus.n_queries, theta=self.theta, seed=seed
+        )
+
+    def exact_topk(self, query_id: int) -> List[Hit]:
+        """Brute-force ground truth for one pool query."""
+        return brute_force_topk(
+            self._corpus.vectors,
+            self._corpus.ids,
+            self._corpus.queries[query_id],
+            self.top_k,
+        )
+
+    def recall_at_k(self, nprobe: int = None, sample: int = None) -> float:
+        """Mean recall@top_k of IVF search vs brute force."""
+        nprobe = self.nprobe if nprobe is None else nprobe
+        n = self._corpus.n_queries if sample is None else min(
+            sample, self._corpus.n_queries
+        )
+        total = 0.0
+        for qid in range(n):
+            truth = {doc for doc, _ in self.exact_topk(qid)}
+            got = {
+                doc
+                for doc, _ in self.index.search(
+                    self._corpus.queries[qid], k=self.top_k, nprobe=nprobe
+                )
+            }
+            total += len(truth & got) / max(1, len(truth))
+        return total / n
+
+    def sharded(self, n_shards: int) -> ShardedApp:
+        """Partition the corpus round-robin into K index shards.
+
+        Per-shard work is total/K: to model *scale-out* (dataset grows
+        with the fleet, per-shard work constant), build the app with
+        ``n_vectors = K * per_shard_size`` before sharding.
+        """
+        top_k = self.top_k
+        shards = [
+            _VsearchShard(
+                self._corpus.queries,
+                vectors,
+                ids,
+                n_lists=self.n_lists,
+                nprobe=self.nprobe,
+                top_k=top_k,
+                # Distinct k-means seeds so shard list shapes are
+                # independent, not mirror images.
+                seed=self.seed + 7919 * (shard + 1),
+            )
+            for shard, (vectors, ids) in enumerate(
+                self._corpus.partition(n_shards)
+            )
+        ]
+        return ShardedApp(
+            shards,
+            merge=lambda partials: merge_topk(partials, top_k),
+            client_factory=self.make_client,
+            name="vsearch",
+            domain=self.domain,
+        )

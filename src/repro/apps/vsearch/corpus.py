@@ -1,0 +1,89 @@
+"""Synthetic embedding corpus for the vector-search workload.
+
+Real embedding spaces are clustered: documents about one topic land
+near each other, and queries land near some topic's center. We model
+that directly — a Gaussian mixture with ``n_clusters`` topic centers,
+document vectors scattered around a center, and query vectors drawn
+the same way (so nearest neighbors are meaningful and IVF recall
+behaves like it does on real embeddings: most of a query's true
+neighbors live in a handful of coarse lists).
+
+Cluster sizes are deliberately uneven (popularity decays with cluster
+rank) so IVF posting lists have different lengths and service time is
+data-dependent, like a real ANN index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EmbeddingCorpus"]
+
+
+class EmbeddingCorpus:
+    """Seeded synthetic embeddings: documents plus a query pool.
+
+    Attributes
+    ----------
+    vectors:
+        ``(n_vectors, dim)`` float32 document embeddings.
+    ids:
+        ``(n_vectors,)`` int64 global document ids (``0..n-1``).
+    queries:
+        ``(n_queries, dim)`` float32 query embeddings. Query ``q`` is
+        drawn near cluster ``q % n_clusters``, so the Zipfian query-id
+        skew of the client translates into topic skew.
+    """
+
+    def __init__(
+        self,
+        n_vectors: int = 4096,
+        dim: int = 32,
+        n_clusters: int = 32,
+        n_queries: int = 256,
+        noise: float = 0.25,
+        query_noise: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        if n_vectors < n_clusters:
+            raise ValueError("need at least one vector per cluster")
+        if n_queries < 1:
+            raise ValueError("need at least one query")
+        self.n_vectors = n_vectors
+        self.dim = dim
+        self.n_clusters = n_clusters
+        self.n_queries = n_queries
+        self.seed = seed
+
+        rng = np.random.default_rng(seed)
+        centers = rng.standard_normal((n_clusters, dim))
+        # Uneven topic popularity: cluster k gets weight 1/(k+1).
+        weights = 1.0 / (1.0 + np.arange(n_clusters))
+        weights /= weights.sum()
+        assignments = rng.choice(n_clusters, size=n_vectors, p=weights)
+        self.vectors = (
+            centers[assignments]
+            + noise * rng.standard_normal((n_vectors, dim))
+        ).astype(np.float32)
+        self.ids = np.arange(n_vectors, dtype=np.int64)
+
+        query_clusters = np.arange(n_queries) % n_clusters
+        self.queries = (
+            centers[query_clusters]
+            + query_noise * rng.standard_normal((n_queries, dim))
+        ).astype(np.float32)
+
+    def partition(self, n_shards: int):
+        """Round-robin split into ``n_shards`` disjoint (vectors, ids).
+
+        Round-robin (doc ``i`` to shard ``i % K``) gives every shard
+        the same topic mixture, so per-shard posting-list shapes — and
+        therefore per-shard service times — stay statistically alike.
+        """
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        parts = []
+        for shard in range(n_shards):
+            mask = self.ids % n_shards == shard
+            parts.append((self.vectors[mask], self.ids[mask]))
+        return parts

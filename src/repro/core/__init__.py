@@ -21,15 +21,18 @@ from .clock import Clock, VirtualClock, WallClock
 from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
 from .config import (
     NO_BATCHING,
+    NO_FANOUT,
     NO_OBSERVABILITY,
     NO_RESILIENCE,
     PAPER_SYSTEM,
     THREADED,
     ExecutionConfig,
+    FanoutConfig,
     HarnessConfig,
     ObservabilityConfig,
     SystemConfig,
 )
+from .fanout import FanoutClient, FanoutGatherer, FanoutStats
 from .harness import HarnessResult, run_harness
 from .queueing import QueueClosed, RequestQueue
 from .request import Request, RequestRecord
@@ -70,14 +73,19 @@ __all__ = [
     "StatsCollector",
     "OUTCOME_KEYS",
     "NO_BATCHING",
+    "NO_FANOUT",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
     "PAPER_SYSTEM",
     "THREADED",
     "ExecutionConfig",
+    "FanoutConfig",
     "HarnessConfig",
     "ObservabilityConfig",
     "SystemConfig",
+    "FanoutClient",
+    "FanoutGatherer",
+    "FanoutStats",
     "ResilienceConfig",
     "ResilientClient",
     "HarnessResult",

@@ -15,6 +15,7 @@ from .resilience import ResilienceConfig
 
 __all__ = [
     "ExecutionConfig",
+    "FanoutConfig",
     "HarnessConfig",
     "ObservabilityConfig",
     "SloConfig",
@@ -22,6 +23,7 @@ __all__ = [
     "PAPER_SYSTEM",
     "NO_BATCHING",
     "NO_CONTROL",
+    "NO_FANOUT",
     "NO_HEALTH",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
@@ -238,6 +240,45 @@ THREADED = ExecutionConfig()
 
 
 @dataclass(frozen=True)
+class FanoutConfig:
+    """Scatter-gather request shape for sharded applications.
+
+    With fan-out enabled, one *logical* request scatters into
+    ``shards`` sub-requests — one pinned to every server instance,
+    bypassing the balancer — and completes when the last shard
+    responds (the gather point merges the per-shard partial
+    responses). Measured latency is the logical request's sojourn:
+    the max over its shards, which is what makes the tail grow with
+    ``shards`` (tail at scale, Dean & Barroso 2013; see
+    :mod:`repro.analysis.fanout` for the order-statistic prediction).
+
+    Attributes
+    ----------
+    enabled:
+        Off by default: requests route through the balancer unchanged.
+        Note an *enabled* fan-out of 1 still runs the scatter/gather
+        machinery (one sub-request per logical request) — it is the
+        degenerate case the bit-identity tests pin against unsharded
+        runs.
+    shards:
+        Fan-out width K. Must equal ``n_servers``: every shard holds a
+        disjoint data partition, so a logical request must visit all
+        of them.
+    """
+
+    enabled: bool = False
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+
+#: Default request shape: no fan-out, requests route via the balancer.
+NO_FANOUT = FanoutConfig()
+
+
+@dataclass(frozen=True)
 class HarnessConfig:
     """One load-testing run's parameters.
 
@@ -326,6 +367,18 @@ class HarnessConfig:
         fault plans, and observability; admission control, priority
         scheduling, and chaos scenarios need shared-memory access to
         the replicas' queues and stay threaded-only.
+    fanout:
+        Scatter-gather request shape (see :class:`FanoutConfig`) for
+        sharded applications: each logical request visits every server
+        instance and completes at the gather point. Disabled by
+        default — requests then route through the balancer unchanged.
+        Requires ``n_servers == fanout.shards`` and an application
+        exposing ``merge_responses`` (see
+        :class:`repro.apps.ShardedApp`); composes with batching and
+        observability, but not with resilience/control/health/faults
+        (a retried, dropped, or rerouted sub-request would break the
+        all-shards-answer gather contract) nor process execution
+        (replica processes do not ship response payloads back).
     """
 
     configuration: str = "integrated"
@@ -349,6 +402,7 @@ class HarnessConfig:
     health: HealthConfig = NO_HEALTH
     scenario: Optional[Scenario] = None
     execution: ExecutionConfig = THREADED
+    fanout: FanoutConfig = NO_FANOUT
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -418,6 +472,40 @@ class HarnessConfig:
                     "chaos scenarios mutate fault plans at run time and "
                     "cannot reach replica processes; process execution "
                     "supports static fault plans only"
+                )
+        if self.fanout.enabled:
+            if self.n_servers != self.fanout.shards:
+                raise ValueError(
+                    "fan-out requires n_servers == fanout.shards: each "
+                    "shard holds a disjoint partition, so a logical "
+                    "request must visit every server "
+                    f"(n_servers={self.n_servers}, "
+                    f"shards={self.fanout.shards})"
+                )
+            if self.resilience.enabled:
+                raise ValueError(
+                    "fan-out sub-requests are pinned to their shard; "
+                    "retries/hedges would reroute them, so resilience "
+                    "cannot be combined with fan-out"
+                )
+            if self.control.enabled or self.health.enabled:
+                raise ValueError(
+                    "control-plane and health policies drop or reroute "
+                    "individual requests, which would break the "
+                    "all-shards-answer gather contract; disable them "
+                    "under fan-out"
+                )
+            if self.faults is not None or self.scenario is not None:
+                raise ValueError(
+                    "fault injection can drop sub-requests, leaving "
+                    "gathers forever incomplete; fan-out does not "
+                    "compose with faults/scenarios"
+                )
+            if self.execution.mode == "process":
+                raise ValueError(
+                    "replica processes do not ship response payloads "
+                    "back to the parent, so the gather point cannot "
+                    "merge; fan-out is threaded-only"
                 )
 
     @property

@@ -1,0 +1,240 @@
+"""Scatter-gather fan-out: one logical request, K pinned sub-requests.
+
+The request shape of sharded services (Dean & Barroso, "The Tail at
+Scale", CACM 2013): a logical query cannot be answered by any single
+replica because each one holds a disjoint partition of the data, so
+the client *scatters* a sub-request to every shard and *gathers* the
+partial responses — the logical request completes when the slowest
+shard does. End-to-end latency is therefore a max over K leaf
+latencies, which is why the end-to-end tail climbs with K even while
+every individual shard's tail stays flat
+(:func:`repro.analysis.fanout.fanout_quantile` is the order-statistic
+prediction this module's measurements are validated against).
+
+Layering: :class:`FanoutGatherer` is the completion-side gather point
+shared verbatim by the live harness and the discrete-event simulator
+— same bookkeeping, same critical-shard attribution, same trace
+events. :class:`FanoutClient` is the live send side (scatters via
+``Transport.send(server_id=...)`` pinning); the simulator builds its
+own pre-scheduled sub-requests (see :mod:`repro.sim.latency_sim`) and
+feeds completions into the same gatherer, which is what keeps a K=1
+fan-out run bit-identical to an unsharded run per seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..stats import LatencySummary, quantile
+from .request import Request
+
+__all__ = ["FanoutClient", "FanoutGatherer", "FanoutStats"]
+
+
+class FanoutStats:
+    """Per-shard leaf latencies and critical-shard attribution.
+
+    Leaf samples are *post-warmup* sub-request sojourns (one per shard
+    per measured gather), the raw material for the tail-at-scale
+    prediction: pooled across shards they estimate the leaf latency
+    distribution whose ``q**(1/K)`` quantile should match the measured
+    end-to-end ``q`` quantile when leaves are roughly iid.
+    """
+
+    def __init__(self, shards: int) -> None:
+        self.shards = shards
+        #: Post-warmup leaf sojourns, per shard.
+        self.shard_samples: List[List[float]] = [[] for _ in range(shards)]
+        #: How often each shard was the gather's slowest (measured only).
+        self.critical_counts: List[int] = [0] * shards
+        #: Successful gathers (all shards responded, merge ran).
+        self.completed = 0
+        #: Gathers spoiled by a shed/errored sub-request.
+        self.failed = 0
+
+    def leaf_samples(self) -> List[float]:
+        """All post-warmup leaf sojourns, pooled across shards."""
+        return [s for samples in self.shard_samples for s in samples]
+
+    def shard_summary(self, shard: int) -> LatencySummary:
+        return LatencySummary.from_samples(self.shard_samples[shard])
+
+    def shard_p99(self, shard: int) -> float:
+        return quantile(self.shard_samples[shard], 0.99)
+
+    def predicted_quantile(self, q: float = 0.99) -> float:
+        """Order-statistic prediction of the end-to-end ``q`` quantile."""
+        from ..analysis.fanout import fanout_quantile
+
+        return fanout_quantile(self.leaf_samples(), self.shards, q)
+
+
+class _Gather:
+    """In-flight state of one logical request's K sub-requests."""
+
+    __slots__ = ("gather_id", "remaining", "slots", "failed")
+
+    def __init__(self, gather_id: int, shards: int) -> None:
+        self.gather_id = gather_id
+        self.remaining = shards
+        self.slots: List[Optional[Request]] = [None] * shards
+        self.failed = False
+
+
+class FanoutGatherer:
+    """The gather point: collects K shard responses per logical request.
+
+    ``on_complete`` is installed as the transport's completion hook
+    (live) or wired into the topology's response callback (sim). When
+    a gather's last sub-request lands, the *critical* (slowest) shard's
+    request supplies the logical latency record — its lifecycle chain
+    IS the logical request's critical path — and the per-shard partial
+    responses are merged. One ``fanout_gather`` trace event per
+    logical request carries the critical shard in ``server_id``.
+
+    Thread-safe: the live transport completes requests from many
+    worker threads concurrently.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        collector,
+        merge: Optional[Callable[[Sequence[Any]], Any]] = None,
+        warmup: int = 0,
+        tracer=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.stats = FanoutStats(shards)
+        self._collector = collector
+        self._merge = merge
+        self._warmup = warmup
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Tuple[_Gather, int]] = {}
+        self._next_gather = 0
+        self._next_logical = 0
+
+    def open_gather(self) -> Tuple[int, List[Tuple[int, int]]]:
+        """Allocate one gather; returns (gather_id, [(logical_id, shard)]).
+
+        The caller must then dispatch exactly one sub-request per
+        returned ``(logical_id, shard)`` pair.
+        """
+        with self._lock:
+            gather = _Gather(self._next_gather, self.shards)
+            self._next_gather += 1
+            pairs = []
+            for shard in range(self.shards):
+                logical_id = self._next_logical
+                self._next_logical += 1
+                self._pending[logical_id] = (gather, shard)
+                pairs.append((logical_id, shard))
+            return gather.gather_id, pairs
+
+    @property
+    def outstanding(self) -> int:
+        """Sub-requests dispatched but not yet completed."""
+        with self._lock:
+            return len(self._pending)
+
+    def on_complete(self, request: Request) -> bool:
+        """Completion hook: returns True when the request was ours."""
+        with self._lock:
+            entry = self._pending.pop(request.logical_id, None)
+            if entry is None:
+                return False
+            gather, shard = entry
+            gather.slots[shard] = request
+            if request.shed or request.discard or request.error is not None:
+                gather.failed = True
+            gather.remaining -= 1
+            if gather.remaining == 0:
+                self._finalize(gather)
+        return True
+
+    def _finalize(self, gather: _Gather) -> None:
+        # Called under the lock: gather completion order here defines
+        # the warmup cutoff, and must match the collector's own
+        # completion-ordered discard exactly.
+        if gather.failed:
+            self.stats.failed += 1
+            return
+        critical = gather.slots[0]
+        for request in gather.slots[1:]:
+            if request.response_received_at > critical.response_received_at:
+                critical = request
+        if self._merge is not None:
+            critical.response = self._merge(
+                [request.response for request in gather.slots]
+            )
+        measured = self.stats.completed >= self._warmup
+        self.stats.completed += 1
+        self._collector.add(critical.finish())
+        if measured:
+            self.stats.critical_counts[critical.server_id] += 1
+            for shard, request in enumerate(gather.slots):
+                self.stats.shard_samples[shard].append(
+                    request.response_received_at - request.generated_at
+                )
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fanout_gather",
+                critical.response_received_at,
+                logical_id=critical.logical_id,
+                request_id=critical.request_id,
+                server_id=critical.server_id,
+                value=float(gather.gather_id),
+            )
+
+
+class FanoutClient:
+    """Live send side: scatters each logical request to every shard.
+
+    Stands where the resilient client would (the harness's
+    ``send_fn``): one call dispatches K pinned sub-requests through
+    the transport, each with its own ``logical_id`` so per-attempt
+    accounting and attribution treat shards independently. The
+    transport's ordinary outstanding accounting covers the
+    sub-requests, so ``transport.drain()`` already waits for every
+    gather to finish.
+    """
+
+    def __init__(
+        self,
+        transport,
+        clock,
+        gatherer: FanoutGatherer,
+        tracer=None,
+    ) -> None:
+        self._transport = transport
+        self._clock = clock
+        self._gatherer = gatherer
+        self._tracer = tracer
+        transport.set_completion_hook(gatherer.on_complete)
+
+    @property
+    def stats(self) -> FanoutStats:
+        return self._gatherer.stats
+
+    def send(self, generated_at: float, payload: Any) -> int:
+        gather_id, pairs = self._gatherer.open_gather()
+        for logical_id, shard in pairs:
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fanout_send",
+                    self._clock.now(),
+                    logical_id=logical_id,
+                    server_id=shard,
+                    value=float(gather_id),
+                )
+            self._transport.send(
+                generated_at,
+                payload,
+                logical_id=logical_id,
+                server_id=shard,
+            )
+        return 0

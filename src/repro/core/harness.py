@@ -70,6 +70,10 @@ class HarnessResult:
     #: transitions, retry-budget spends/denials); empty unless
     #: ``config.health.enabled``.
     health_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard leaf latencies and critical-shard attribution
+    #: (:class:`repro.core.fanout.FanoutStats`); None unless
+    #: ``config.fanout.enabled``.
+    fanout: Optional[object] = None
     #: Per-instance ``(server_id, completions, active_seconds)``. The
     #: active window runs from the instance joining the replica set (or
     #: run start, for the initial set) until it drained (or run end) —
@@ -334,12 +338,40 @@ def run_harness(
             transport, clock, config.resilience, collector, seed=config.seed,
             tracer=tracer, health=health,
         )
+    fanout_client = None
+    if config.fanout.enabled:
+        # Lazy import, same policy as the other optional subsystems.
+        from .fanout import FanoutClient, FanoutGatherer
+
+        merge = getattr(app, "merge_responses", None)
+        if not callable(merge):
+            raise TypeError(
+                "fan-out needs a sharded application exposing "
+                "merge_responses(partials) — see repro.apps.ShardedApp"
+            )
+        fanout_client = FanoutClient(
+            transport,
+            clock,
+            FanoutGatherer(
+                config.fanout.shards,
+                collector,
+                merge=merge,
+                warmup=warmup,
+                tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     if injector is not None:
         injector.start_run(clock.now())
     driver: Optional[ScenarioDriver] = None
     if isinstance(injector, ScenarioInjector):
         driver = ScenarioDriver(injector, clock)
-    send_fn = resilient.send if resilient is not None else transport.send
+    if resilient is not None:
+        send_fn = resilient.send
+    elif fanout_client is not None:
+        send_fn = fanout_client.send
+    else:
+        send_fn = transport.send
     started = clock.now()
     if live is not None:
         # Window boundaries anchor at run start (the simulator anchors
@@ -403,8 +435,13 @@ def run_harness(
     if not collector.outcomes_used:
         # No resilience layer ran: synthesize the logical tallies from
         # what the transport saw, so downstream reporting is uniform.
+        # Under fan-out each logical request costs `shards` attempts —
+        # the scatter amplification shows up exactly where retry
+        # amplification would.
         outcomes["offered"] = n_offered
-        outcomes["attempts"] = n_offered
+        outcomes["attempts"] = n_offered * (
+            config.fanout.shards if config.fanout.enabled else 1
+        )
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
         outcomes["errors"] = transport.stats.errored
         outcomes["shed"] = transport.stats.shed
@@ -412,7 +449,14 @@ def run_harness(
     # servers produced (succeeded + failed), excluding shed rejections
     # — not offered requests: under saturation or shedding the offered
     # count would over-report what the system actually sustained.
-    completions = max(transport.stats.completed - transport.stats.shed, 0)
+    # Under fan-out the transport counts sub-requests, so logical
+    # completions are the gathers that merged.
+    if fanout_client is not None:
+        completions = fanout_client.stats.completed
+    else:
+        completions = max(
+            transport.stats.completed - transport.stats.shed, 0
+        )
     achieved = completions / wall_time if wall_time > 0 else 0.0
     goodput = (
         outcomes.get("succeeded", 0) / wall_time if wall_time > 0 else 0.0
@@ -440,6 +484,7 @@ def run_harness(
         obs=obs,
         control_counts=plane.counts() if plane is not None else {},
         health_counts=health.counts() if health is not None else {},
+        fanout=fanout_client.stats if fanout_client is not None else None,
         server_activity=server_activity,
     )
 

@@ -115,13 +115,19 @@ class ServerInstance:
 def _replicate_app(app, index: int):
     """Obtain an application replica for server instance ``index``.
 
-    Instance 0 always uses the caller's object. Later instances use
-    ``app.clone()`` when the application provides one; otherwise the
-    same object is shared across instances, which is sound because
+    Applications that provide ``replica(index)`` (sharded apps — see
+    :class:`repro.apps.base.ShardedApp`) name the backing object per
+    instance themselves. Otherwise instance 0 always uses the
+    caller's object, and later instances use ``app.clone()`` when the
+    application provides one; failing that the same object is shared
+    across instances, which is sound because
     :meth:`repro.apps.base.Application.process` is required to be
     thread-safe already (the single-server harness calls it from
     ``n_threads`` workers concurrently).
     """
+    replica = getattr(app, "replica", None)
+    if callable(replica):
+        return replica(index)
     if index == 0:
         return app
     clone = getattr(app, "clone", None)
@@ -458,12 +464,16 @@ class Transport:
         attempt: int = 0,
         deadline: Optional[float] = None,
         avoid_server: Optional[int] = None,
+        server_id: Optional[int] = None,
     ) -> int:
         """Submit one request; ``generated_at`` is the ideal instant.
 
         Routes through the balancer and returns the chosen server
         index, so callers (the resilient client) can steer a later
-        hedge to a different replica via ``avoid_server``.
+        hedge to a different replica via ``avoid_server``. A caller
+        that already knows the destination — fan-out sub-requests are
+        pinned to their data shard — passes ``server_id`` and the
+        balancer sits out entirely.
         """
         if not self._running:
             raise RuntimeError("transport not started")
@@ -476,7 +486,11 @@ class Transport:
         request.deadline = deadline
         if self._control is not None:
             self._control.classify(request)
-        if len(self._instances) == 1:
+        if server_id is not None:
+            # Pinned sub-request (fan-out): destination fixed by the
+            # data partition, not the balancer.
+            pass
+        elif len(self._instances) == 1:
             server_id = 0
         else:
             with self._lock:

@@ -28,6 +28,7 @@ from .extensions import (
 from .fig8 import render_fig8, run_fig8
 from .fig_batching import render_fig_batching, run_fig_batching
 from .fig_control import render_fig_control, run_fig_control
+from .fig_fanout import render_fig_fanout, run_fig_fanout
 from .fig_live import render_fig_live, run_fig_live
 from .fig_resilience import render_fig_resilience, run_fig_resilience
 from .fig_topology import render_fig_topology, run_fig_topology
@@ -64,6 +65,10 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # metastable collapse vs health-layer recovery, live and simulated
     # (live arms run ~30s each at full scale).
     "fig-resilience": (run_fig_resilience, render_fig_resilience),
+    # Sharded vector search: scatter-gather fan-out at K in {1,2,4,8},
+    # measured e2e p99 vs the order-statistic prediction, live and
+    # simulated (live arms build IVF indexes — a minute or two).
+    "fig-fanout": (run_fig_fanout, render_fig_fanout),
     # Live SLO engine: slow-replica burn caught by multi-window
     # burn-rate alerting and explained by tail attribution, live and
     # simulated (live arm runs ~16s at full scale).
@@ -84,6 +89,7 @@ _FAST_KWARGS = {
     "fig-topology": {"measure_requests": 1200},
     "fig-control": {"step_seconds": 0.75},
     "fig-batching": {"measure_requests": 1200},
+    "fig-fanout": {"measure_requests": 1500, "modes": ("sim",)},
     "fig-resilience": {"time_scale": 0.2, "modes": ("sim",)},
     "fig-live": {"time_scale": 0.25, "modes": ("sim",)},
 }

@@ -57,13 +57,14 @@ def run_tail(args: argparse.Namespace):
         app = create_app(args.app)
         app.setup()
         return run_harness(app, HarnessConfig(**common))
-    from ..sim.calibration import PAPER_PROFILES
+    from ..sim.calibration import EXTENSION_PROFILES, PAPER_PROFILES
     from ..sim.latency_sim import SimConfig, simulate_app
 
-    if args.app not in PAPER_PROFILES:
+    known = {**PAPER_PROFILES, **EXTENSION_PROFILES}
+    if args.app not in known:
         raise SystemExit(
             f"no calibrated profile for {args.app!r} "
-            f"(have: {sorted(PAPER_PROFILES)}); use --live to drive "
+            f"(have: {sorted(known)}); use --live to drive "
             "the real application instead"
         )
     return simulate_app(args.app, SimConfig(**common))

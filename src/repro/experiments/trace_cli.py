@@ -53,13 +53,14 @@ def run_trace(args: argparse.Namespace):
             observability=observability,
         )
         return run_harness(app, config)
-    from ..sim.calibration import PAPER_PROFILES
+    from ..sim.calibration import EXTENSION_PROFILES, PAPER_PROFILES
     from ..sim.latency_sim import SimConfig, simulate_app
 
-    if args.app not in PAPER_PROFILES:
+    known = {**PAPER_PROFILES, **EXTENSION_PROFILES}
+    if args.app not in known:
         raise SystemExit(
             f"no calibrated profile for {args.app!r} "
-            f"(have: {sorted(PAPER_PROFILES)}); use --live to drive "
+            f"(have: {sorted(known)}); use --live to drive "
             "the real application instead"
         )
     config = SimConfig(

@@ -28,9 +28,11 @@ from ..core.collector import TimelinePoint
 from .attribution import (
     COMPONENTS,
     CriticalPath,
+    FanoutReport,
     RankedCause,
     TailReport,
     critical_paths,
+    fanout_report,
     tail_report,
 )
 from .dashboard import (
@@ -90,6 +92,7 @@ __all__ = [
     "LIFECYCLE_EVENTS",
     "LiveObs",
     "LiveReport",
+    "FanoutReport",
     "MetricsRegistry",
     "MetricsSampler",
     "ObsResult",
@@ -104,6 +107,7 @@ __all__ = [
     "critical_paths",
     "decompose_attempts",
     "export_series_jsonl",
+    "fanout_report",
     "export_trace_jsonl",
     "group_attempts",
     "load_trace_jsonl",
@@ -179,3 +183,8 @@ class ObsResult:
         """Ranked "why is p99 high" attribution (see
         :func:`repro.obs.attribution.tail_report`)."""
         return tail_report(self.events, pct=pct, phases=phases, top=top)
+
+    def fanout_report(self) -> FanoutReport:
+        """Per-shard critical-path tally for scatter-gather runs (see
+        :func:`repro.obs.attribution.fanout_report`)."""
+        return fanout_report(self.events)

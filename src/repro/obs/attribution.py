@@ -46,9 +46,11 @@ __all__ = [
     "COMPONENTS",
     "DENIAL_KINDS",
     "CriticalPath",
+    "FanoutReport",
     "RankedCause",
     "TailReport",
     "critical_paths",
+    "fanout_report",
     "tail_report",
 ]
 
@@ -400,4 +402,73 @@ def tail_report(
         n_tail=len(tail),
         causes=tuple(causes[:top]),
         denials=denials,
+    )
+
+
+@dataclass(frozen=True)
+class FanoutReport:
+    """Per-shard scatter-gather attribution over one trace.
+
+    Built from the ``fanout_send``/``fanout_gather`` events a fan-out
+    run emits (see :mod:`repro.core.fanout`): each gather's critical —
+    slowest — shard is the one that set the logical request's latency,
+    so a shard whose ``critical_share`` is persistently above ``1/K``
+    is the fleet's tail bottleneck even if its own p99 looks healthy.
+    """
+
+    gathers: int
+    shards: int
+    critical_counts: Dict[int, int]     # server_id -> times critical
+
+    def critical_share(self, server_id: int) -> float:
+        if self.gathers == 0:
+            return 0.0
+        return self.critical_counts.get(server_id, 0) / self.gathers
+
+    def render(self) -> str:
+        lines = [
+            f"fan-out attribution: {self.gathers} gathers x "
+            f"{self.shards} shards",
+        ]
+        if self.gathers == 0:
+            lines.append("  (no fanout_gather events in trace)")
+            return "\n".join(lines)
+        expected = 1.0 / self.shards if self.shards else 0.0
+        for server_id in sorted(self.critical_counts):
+            share = self.critical_share(server_id)
+            flag = "  <-- tail bottleneck" if share > 1.5 * expected else ""
+            lines.append(
+                f"  shard {server_id}: critical in "
+                f"{self.critical_counts[server_id]} "
+                f"({share:.1%}, even share {expected:.1%}){flag}"
+            )
+        return "\n".join(lines)
+
+
+def fanout_report(events: Iterable[TraceEvent]) -> FanoutReport:
+    """Tally which shard was the gather's slowest, per logical request.
+
+    ``fanout_send`` events establish the fan-out width (distinct
+    shards per gather id, carried in ``value``); each
+    ``fanout_gather`` names its gather's critical shard in
+    ``server_id``.
+    """
+    shards_seen: Dict[float, set] = {}
+    critical: Dict[int, int] = {}
+    gathers = 0
+    for event in events:
+        if event.kind == "fanout_send":
+            if event.value is not None and event.server_id is not None:
+                shards_seen.setdefault(event.value, set()).add(
+                    event.server_id
+                )
+        elif event.kind == "fanout_gather":
+            gathers += 1
+            if event.server_id is not None:
+                critical[event.server_id] = (
+                    critical.get(event.server_id, 0) + 1
+                )
+    width = max((len(s) for s in shards_seen.values()), default=0)
+    return FanoutReport(
+        gathers=gathers, shards=width, critical_counts=critical
     )

@@ -61,7 +61,13 @@ LIFECYCLE_EVENTS: Tuple[Tuple[str, str], ...] = (
 #: retry budget denies a retry — see :mod:`repro.health`), and SLO
 #: markers (``slo_burn``/``slo_clear`` on burn-rate alert transitions,
 #: carrying the fast-window burn rate in ``value`` — see
-#: :mod:`repro.obs.live`).
+#: :mod:`repro.obs.live`), and scatter-gather markers
+#: (``fanout_send`` once per shard sub-request at scatter time,
+#: ``fanout_gather`` once per logical request when the last shard
+#: responds, stamped with the critical — slowest — shard's
+#: ``server_id``; both carry the gather sequence number in ``value``,
+#: which is what links a gather to its sends — see
+#: :mod:`repro.core.fanout`).
 POINT_EVENTS: Tuple[str, ...] = (
     "retry",
     "hedge",
@@ -93,6 +99,8 @@ POINT_EVENTS: Tuple[str, ...] = (
     "budget_exhausted",
     "slo_burn",
     "slo_clear",
+    "fanout_send",
+    "fanout_gather",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

@@ -8,7 +8,12 @@ network-configuration and multithread-contention effects modelled
 explicitly.
 """
 
-from .calibration import PAPER_PROFILES, AppProfile, paper_profile
+from .calibration import (
+    EXTENSION_PROFILES,
+    PAPER_PROFILES,
+    AppProfile,
+    paper_profile,
+)
 from .colocation import BatchColocation, max_safe_batch_share, simulate_colocated
 from .contention import NO_CONTENTION, ContentionModel
 from .dispatch import (
@@ -24,6 +29,7 @@ from .server_model import SimulatedServer
 from .service_models import ServiceTimeModel, profile_application
 
 __all__ = [
+    "EXTENSION_PROFILES",
     "PAPER_PROFILES",
     "AppProfile",
     "paper_profile",

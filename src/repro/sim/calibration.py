@@ -28,7 +28,12 @@ from ..stats import Distribution, LogNormal, MixtureDistribution
 from .contention import ContentionModel, NO_CONTENTION
 from .service_models import ServiceTimeModel
 
-__all__ = ["AppProfile", "PAPER_PROFILES", "paper_profile"]
+__all__ = [
+    "AppProfile",
+    "EXTENSION_PROFILES",
+    "PAPER_PROFILES",
+    "paper_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -140,12 +145,41 @@ PAPER_PROFILES: Dict[str, AppProfile] = {
 }
 
 
+#: Profiles for suite extensions (apps beyond the paper's eight).
+#: These are calibrated to our mini-apps' measured behaviour rather
+#: than to published figures, and live in a separate dict so that
+#: ``PAPER_PROFILES`` keeps its "exactly the paper's applications"
+#: contract.
+EXTENSION_PROFILES: Dict[str, AppProfile] = {
+    "vsearch": AppProfile(
+        name="vsearch",
+        # IVF probe cost scales with nprobe x probed-list length; the
+        # Zipf-skewed query mix over uneven cluster sizes yields a
+        # moderately broad lognormal body (measured on the default
+        # VsearchApp(n_vectors=4096, nprobe=4) configuration).
+        service=LogNormal(mean=300e-6, sigma=0.45),
+        contention=ContentionModel(mem_alpha=0.03),
+        notes="Sharded IVF vector search (extension): service time "
+        "proportional to probed posting-list mass; leaf distribution "
+        "used by fig-fanout's simulated scatter-gather arm.",
+    ),
+}
+
+
 def paper_profile(name: str) -> AppProfile:
-    """Look up the calibrated profile for a paper application."""
+    """Look up the calibrated profile for an application.
+
+    Paper applications resolve from :data:`PAPER_PROFILES`; suite
+    extensions (currently ``vsearch``) from :data:`EXTENSION_PROFILES`.
+    """
     try:
         return PAPER_PROFILES[name]
     except KeyError:
+        pass
+    try:
+        return EXTENSION_PROFILES[name]
+    except KeyError:
         raise KeyError(
             f"no calibrated profile for {name!r}; known: "
-            f"{sorted(PAPER_PROFILES)}"
+            f"{sorted({**PAPER_PROFILES, **EXTENSION_PROFILES})}"
         ) from None

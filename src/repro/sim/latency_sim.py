@@ -31,9 +31,11 @@ from ..batching.config import NO_BATCHING, BatchingConfig
 from ..core.collector import CollectedStats, StatsCollector
 from ..core.config import (
     NO_CONTROL,
+    NO_FANOUT,
     NO_OBSERVABILITY,
     NO_RESILIENCE,
     ControlPlaneConfig,
+    FanoutConfig,
     ObservabilityConfig,
 )
 from ..core.request import Request
@@ -120,6 +122,13 @@ class SimConfig:
     #: become engine events, so scenario replay is deterministic per
     #: seed. Composes over ``faults`` as the steady-state base plan.
     scenario: Optional[Scenario] = None
+    #: Scatter-gather request shape (see
+    #: :class:`repro.core.FanoutConfig`): each arrival scatters one
+    #: pinned sub-request to every server and the end-to-end latency
+    #: is the slowest shard's. Off by default; a K=1 fan-out replays
+    #: bit-identically to the unsharded simulator per seed (the
+    #: sub-request schedule, RNG streams, and event order coincide).
+    fanout: FanoutConfig = NO_FANOUT
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -161,6 +170,34 @@ class SimConfig:
                     "n_servers must lie within the autoscaler's "
                     "[min_servers, max_servers] band"
                 )
+        if self.fanout.enabled:
+            # Same composition rules as the live harness: pinned
+            # sub-requests must all be answered for a gather to
+            # complete, so layers that retry, reroute, or drop
+            # individual requests are excluded.
+            if self.n_servers != self.fanout.shards:
+                raise ValueError(
+                    "fan-out requires n_servers == fanout.shards "
+                    f"(n_servers={self.n_servers}, "
+                    f"shards={self.fanout.shards})"
+                )
+            if self.resilience.enabled:
+                raise ValueError(
+                    "resilience retries/hedges reroute pinned "
+                    "sub-requests; disable it under fan-out"
+                )
+            if self.control.enabled or self.health.enabled:
+                raise ValueError(
+                    "control-plane and health policies drop or reroute "
+                    "requests, breaking the gather contract; disable "
+                    "them under fan-out"
+                )
+            if self.faults is not None or self.scenario is not None:
+                raise ValueError(
+                    "fault injection can drop sub-requests, leaving "
+                    "gathers forever incomplete; fan-out does not "
+                    "compose with faults/scenarios"
+                )
 
     @property
     def total_requests(self) -> int:
@@ -201,6 +238,10 @@ class SimResult:
     control_counts: Dict[str, int] = field(default_factory=dict)
     #: Health-layer tallies (mirrors HarnessResult.health_counts).
     health_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard leaf latencies and critical-shard attribution
+    #: (:class:`repro.core.fanout.FanoutStats`); None unless
+    #: ``config.fanout.enabled``.
+    fanout: Optional[object] = None
     #: Per-instance ``(server_id, completions, active_seconds)`` — the
     #: active window runs from join to drain, so per-server rates stay
     #: honest under autoscaling membership churn.
@@ -986,6 +1027,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         # observe; bounded by the arrival horizon so the heap drains.
         engine.at(tick_interval, control_tick)
     client: Optional[_SimClient] = None
+    fanout_gatherer = None
     if injector is not None or config.resilience.enabled or health is not None:
         client = _SimClient(
             engine, topology, config.resilience, collector, injector,
@@ -993,6 +1035,37 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         )
         for generated_at in schedule:
             engine.at(generated_at, client.begin, generated_at)
+    elif config.fanout.enabled:
+        # Scatter-gather: every arrival pre-scheduled at build time
+        # like the direct path — one pinned sub-request per shard, no
+        # balancer draws, no routing events on the heap. At K=1 the
+        # sub-request schedule, request construction order, and
+        # per-server RNG streams coincide with the direct path's, so
+        # an enabled fan-out of 1 replays the unsharded simulator
+        # bit-for-bit; the gather callback merely renames the
+        # completion path (the critical shard of a 1-wide gather is
+        # the request itself).
+        from ..core.fanout import FanoutGatherer
+
+        fanout_gatherer = FanoutGatherer(
+            config.fanout.shards, collector, merge=None,
+            warmup=warmup, tracer=tracer,
+        )
+        topology.set_response_callback(fanout_gatherer.on_complete)
+        for generated_at in schedule:
+            gather_id, pairs = fanout_gatherer.open_gather()
+            for logical_id, shard in pairs:
+                if tracer is not None:
+                    tracer.emit(
+                        "fanout_send", generated_at,
+                        logical_id=logical_id, server_id=shard,
+                        value=float(gather_id),
+                    )
+                request = Request(payload=None, generated_at=generated_at)
+                request.logical_id = logical_id
+                request.sent_at = generated_at
+                request.server_id = shard
+                topology.submit_attempt(request)
     elif config.n_servers == 1 and plane is None:
         # Original direct path: no routing events on the heap, so the
         # single-server event stream is byte-identical to before.
@@ -1042,7 +1115,12 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
     outcomes = collector.outcome_counts()
     if not collector.outcomes_used:
         outcomes["offered"] = n_offered
-        outcomes["attempts"] = n_offered
+        # Under fan-out each logical arrival costs `shards` attempts
+        # (the scatter amplification); at K=1 this reduces to the
+        # unsharded tally, keeping the fingerprint bit-identical.
+        outcomes["attempts"] = n_offered * (
+            config.fanout.shards if config.fanout.enabled else 1
+        )
         outcomes["succeeded"] = stats.count + stats.dropped_warmup
         outcomes["shed"] = sum(server.shed_count for server in servers)
     goodput = outcomes.get("succeeded", 0) / elapsed if elapsed > 0 else 0.0
@@ -1085,6 +1163,9 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         obs=obs,
         control_counts=plane.counts() if plane is not None else {},
         health_counts=health.counts() if health is not None else {},
+        fanout=(
+            fanout_gatherer.stats if fanout_gatherer is not None else None
+        ),
         server_activity=server_activity,
     )
 

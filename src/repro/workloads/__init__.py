@@ -9,7 +9,7 @@ from .tpcc import (
     nurand,
 )
 from .ycsb import YcsbOperation, YcsbWorkload, make_key, make_value
-from .zipf import ZipfQuerySampler
+from .zipf import ZipfQuerySampler, ZipfRankSampler
 
 __all__ = [
     "STANDARD_MIX",
@@ -23,4 +23,5 @@ __all__ = [
     "make_key",
     "make_value",
     "ZipfQuerySampler",
+    "ZipfRankSampler",
 ]

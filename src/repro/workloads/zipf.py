@@ -1,21 +1,50 @@
-"""Zipfian search-query generation for xapian.
+"""Zipfian query-popularity sampling shared by the search workloads.
 
 Online search query popularity follows a Zipfian distribution
 [Baeza-Yates 2005; Feitelson 2015], which TailBench uses to pick
-xapian's query terms (Sec. III). :class:`ZipfQuerySampler` draws query
-terms by Zipfian rank from a vocabulary ordered by corpus frequency,
-and composes multi-term queries with a configurable length
-distribution.
+xapian's query terms (Sec. III). :class:`ZipfRankSampler` is the one
+seeded rank-draw primitive; :class:`ZipfQuerySampler` builds xapian's
+multi-term text queries on top of it, and the vector-search client
+(:mod:`repro.apps.vsearch`) draws query ids from it directly.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..stats import ZipfianGenerator
 
-__all__ = ["ZipfQuerySampler"]
+__all__ = ["ZipfRankSampler", "ZipfQuerySampler"]
+
+
+class ZipfRankSampler:
+    """One seeded stream of Zipfian ranks over ``n`` items.
+
+    Rank 0 is the most popular item. The sampler owns its RNG so two
+    samplers with the same ``(n, theta, seed)`` produce identical
+    streams; composite samplers that need extra draws (e.g. query
+    length) share :attr:`rng` to keep the whole stream reproducible
+    from one seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = 0.9,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one item to rank")
+        self.n = n
+        self.theta = theta
+        self._zipf = ZipfianGenerator(n, theta=theta)
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    def next_rank(self) -> int:
+        """Draw the next rank in ``[0, n)``."""
+        return self._zipf.sample(self.rng)
 
 
 class ZipfQuerySampler:
@@ -47,15 +76,18 @@ class ZipfQuerySampler:
         self.vocabulary = list(vocabulary)
         self.min_terms = min_terms
         self.max_terms = max_terms
-        self._zipf = ZipfianGenerator(len(self.vocabulary), theta=theta)
-        self._rng = random.Random(seed)
+        self._ranks = ZipfRankSampler(
+            len(self.vocabulary), theta=theta, seed=seed
+        )
+        # Length draws interleave with rank draws on the one shared RNG.
+        self._rng = self._ranks.rng
 
     def next_terms(self) -> List[str]:
         n = self._rng.randint(self.min_terms, self.max_terms)
         terms = []
         seen = set()
         while len(terms) < n:
-            term = self.vocabulary[self._zipf.sample(self._rng)]
+            term = self.vocabulary[self._ranks.next_rank()]
             if term not in seen:
                 seen.add(term)
                 terms.append(term)

@@ -7,10 +7,10 @@ from repro.apps.base import _REGISTRY
 
 
 class TestRegistry:
-    def test_all_eight_paper_apps_registered(self):
+    def test_all_paper_apps_plus_vsearch_registered(self):
         assert app_names() == [
             "img-dnn", "masstree", "moses", "shore",
-            "silo", "specjbb", "sphinx", "xapian",
+            "silo", "specjbb", "sphinx", "vsearch", "xapian",
         ]
 
     def test_create_app_passes_kwargs(self):

@@ -1,0 +1,209 @@
+"""Tests for the sharded vector-search application (vsearch)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.apps.base import ShardedApp
+from repro.apps.vsearch import (
+    EmbeddingCorpus,
+    IVFIndex,
+    VsearchApp,
+    brute_force_topk,
+    merge_topk,
+)
+
+
+class TestEmbeddingCorpus:
+    def test_deterministic_per_seed(self):
+        a = EmbeddingCorpus(n_vectors=256, seed=7)
+        b = EmbeddingCorpus(n_vectors=256, seed=7)
+        c = EmbeddingCorpus(n_vectors=256, seed=8)
+        assert np.array_equal(a.vectors, b.vectors)
+        assert np.array_equal(a.queries, b.queries)
+        assert not np.array_equal(a.vectors, c.vectors)
+
+    def test_shapes_and_dtypes(self):
+        corpus = EmbeddingCorpus(n_vectors=128, dim=16, n_queries=32)
+        assert corpus.vectors.shape == (128, 16)
+        assert corpus.queries.shape == (32, 16)
+        assert corpus.vectors.dtype == np.float32
+        assert corpus.ids.dtype == np.int64
+        assert np.array_equal(corpus.ids, np.arange(128))
+
+    def test_partition_is_disjoint_and_complete(self):
+        corpus = EmbeddingCorpus(n_vectors=130)
+        parts = corpus.partition(4)
+        assert len(parts) == 4
+        all_ids = np.concatenate([ids for _, ids in parts])
+        assert sorted(all_ids.tolist()) == list(range(130))
+        # Round-robin: shard sizes differ by at most one.
+        sizes = [len(ids) for _, ids in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_rows_match_global_rows(self):
+        corpus = EmbeddingCorpus(n_vectors=64)
+        for vectors, ids in corpus.partition(3):
+            assert np.array_equal(vectors, corpus.vectors[ids])
+
+
+class TestIVFIndex:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return EmbeddingCorpus(n_vectors=1024, n_queries=64, seed=1)
+
+    @pytest.fixture(scope="class")
+    def index(self, corpus):
+        index = IVFIndex(n_lists=16, seed=1)
+        index.build(corpus.vectors, corpus.ids)
+        return index
+
+    def test_posting_lists_cover_corpus(self, index):
+        assert sum(index.list_sizes) == 1024
+
+    def test_full_probe_equals_brute_force(self, corpus, index):
+        for qid in range(16):
+            query = corpus.queries[qid]
+            got = index.search(query, k=10, nprobe=16)
+            truth = brute_force_topk(corpus.vectors, corpus.ids, query, 10)
+            assert got == truth
+
+    def test_recall_improves_with_nprobe(self, corpus, index):
+        def recall(nprobe):
+            total = 0.0
+            for qid in range(32):
+                query = corpus.queries[qid]
+                truth = {d for d, _ in brute_force_topk(
+                    corpus.vectors, corpus.ids, query, 10)}
+                got = {d for d, _ in index.search(query, k=10, nprobe=nprobe)}
+                total += len(truth & got) / len(truth)
+            return total / 32
+
+        r1, r4, r16 = recall(1), recall(4), recall(16)
+        assert r1 <= r4 + 1e-9 <= r16 + 2e-9
+        assert r4 > 0.7
+        assert r16 == pytest.approx(1.0)
+
+    def test_probed_size_grows_with_nprobe(self, corpus, index):
+        query = corpus.queries[0]
+        sizes = [index.probed_size(query, n) for n in (1, 4, 16)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 1024
+
+    def test_search_requires_build(self):
+        with pytest.raises(RuntimeError):
+            IVFIndex().search(np.zeros(8, dtype=np.float32))
+
+    def test_build_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            IVFIndex().build(np.zeros((0, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            IVFIndex(n_lists=0)
+
+
+class TestMergeTopk:
+    def test_merge_is_global_topk(self):
+        rng = np.random.default_rng(3)
+        dists = rng.random(100)
+        ids = np.arange(100, dtype=np.int64)
+        hits = [(int(i), float(d)) for i, d in zip(ids, dists)]
+        # Split into 4 "shards", each contributing its local top-5.
+        shards = [
+            sorted(hits[s::4], key=lambda h: (h[1], h[0]))[:5]
+            for s in range(4)
+        ]
+        merged = merge_topk(shards, 5)
+        assert merged == sorted(hits, key=lambda h: (h[1], h[0]))[:5]
+
+    def test_ties_break_by_id(self):
+        merged = merge_topk([[(9, 1.0)], [(2, 1.0)], [(5, 1.0)]], 2)
+        assert merged == [(2, 1.0), (5, 1.0)]
+
+
+class TestVsearchApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = VsearchApp(n_vectors=1024, n_queries=64, seed=0)
+        app.setup()
+        return app
+
+    def test_registered(self):
+        app = create_app("vsearch", n_vectors=128)
+        assert isinstance(app, VsearchApp)
+        assert app.name == "vsearch"
+        assert app.domain
+
+    def test_process_returns_topk(self, app):
+        hits = app.process(0)
+        assert len(hits) == 10
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+
+    def test_recall_at_k_monotone(self, app):
+        r_low = app.recall_at_k(nprobe=1, sample=24)
+        r_high = app.recall_at_k(nprobe=32, sample=24)
+        assert r_low <= r_high + 1e-9
+        assert r_high == pytest.approx(1.0)
+
+    def test_client_is_deterministic_and_zipfian(self, app):
+        a_client = app.make_client(seed=5)
+        a = [a_client.next_request() for _ in range(200)]
+        b_client = app.make_client(seed=5)
+        b = [b_client.next_request() for _ in range(200)]
+        assert a == b
+        assert all(0 <= qid < 64 for qid in a)
+        # Zipf skew: rank 0 is the most frequent draw.
+        assert a.count(0) >= max(a.count(q) for q in set(a) if q != 0)
+
+    def test_handle_batch_matches_process(self, app):
+        batch = app.handle_batch([3, 1, 3])
+        assert batch[0] == app.process(3)
+        assert batch[1] == app.process(1)
+        assert batch[2] == batch[0]
+        assert batch[2] is not batch[0]  # duplicates get their own list
+
+
+class TestShardedVsearch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return VsearchApp(n_vectors=1024, n_queries=48, seed=2)
+
+    def test_sharded_merge_equals_global_topk_exactly(self, app):
+        # Full probe on every shard => each shard's local top-k is
+        # exact, and the determinism contract (per-row distances, ties
+        # by id) makes the merge equal the global brute force, exactly.
+        sharded = VsearchApp(
+            n_vectors=1024, n_queries=48, n_lists=8, nprobe=8, seed=2
+        ).sharded(4)
+        sharded.setup()
+        for qid in range(48):
+            assert sharded.process(qid) == app.exact_topk(qid)
+
+    def test_sharded_app_shape(self, app):
+        sharded = app.sharded(3)
+        assert isinstance(sharded, ShardedApp)
+        assert sharded.n_shards == 3
+        assert sharded.name == "vsearch"
+        sharded.setup()
+        for shard in range(3):
+            assert sharded.replica(shard) is sharded.shards[shard]
+
+    def test_shard_sizes_balanced(self, app):
+        sharded = app.sharded(4)
+        sharded.setup()
+        sizes = [sum(s._index.list_sizes) for s in sharded.shards]
+        assert sum(sizes) == 1024
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_merge_responses_used_by_gather(self, app):
+        sharded = app.sharded(2)
+        sharded.setup()
+        partials = [shard.process(0) for shard in sharded.shards]
+        assert sharded.merge_responses(partials) == sharded.process(0)
+
+    def test_sharded_client_matches_unsharded(self, app):
+        plain = app.make_client(seed=1)
+        a = [plain.next_request() for _ in range(50)]
+        sharded = app.sharded(2)
+        client = sharded.make_client(seed=1)
+        assert [client.next_request() for _ in range(50)] == a

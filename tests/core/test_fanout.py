@@ -1,0 +1,219 @@
+"""Tests for scatter-gather fan-out: config, gatherer, live harness."""
+
+import pytest
+
+from repro.apps.vsearch import VsearchApp
+from repro.core import (
+    ExecutionConfig,
+    FanoutConfig,
+    FanoutGatherer,
+    HarnessConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    run_harness,
+)
+from repro.core.config import NO_FANOUT
+from repro.core.request import Request
+from repro.stats import quantile
+
+
+class _StubCollector:
+    def __init__(self):
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+
+
+def _finished_request(logical_id, server_id, t0, latency, response=None):
+    req = Request(payload=None, generated_at=t0)
+    req.logical_id = logical_id
+    req.server_id = server_id
+    req.sent_at = t0
+    req.enqueued_at = t0
+    req.service_start_at = t0
+    req.service_end_at = t0 + latency
+    req.response_received_at = t0 + latency
+    req.response = response
+    return req
+
+
+class TestFanoutConfig:
+    def test_defaults_off(self):
+        assert NO_FANOUT.enabled is False
+        assert HarnessConfig().fanout is NO_FANOUT
+
+    def test_shards_validated(self):
+        with pytest.raises(ValueError):
+            FanoutConfig(shards=0)
+
+    def test_requires_matching_servers(self):
+        with pytest.raises(ValueError, match="n_servers == fanout.shards"):
+            HarnessConfig(
+                n_servers=2, fanout=FanoutConfig(enabled=True, shards=4)
+            )
+
+    def test_rejects_resilience(self):
+        with pytest.raises(ValueError, match="resilience"):
+            HarnessConfig(
+                n_servers=2,
+                fanout=FanoutConfig(enabled=True, shards=2),
+                resilience=ResilienceConfig(max_retries=1),
+            )
+
+    def test_rejects_process_execution(self):
+        with pytest.raises(ValueError, match="process"):
+            HarnessConfig(
+                n_servers=2,
+                fanout=FanoutConfig(enabled=True, shards=2),
+                execution=ExecutionConfig(mode="process"),
+            )
+
+    def test_disabled_composes_freely(self):
+        config = HarnessConfig(
+            n_servers=3, fanout=FanoutConfig(enabled=False, shards=2)
+        )
+        assert config.fanout.shards == 2
+
+
+class TestFanoutGatherer:
+    def test_open_gather_allocates_distinct_logical_ids(self):
+        gatherer = FanoutGatherer(4, _StubCollector())
+        _, pairs_a = gatherer.open_gather()
+        _, pairs_b = gatherer.open_gather()
+        ids = [lid for lid, _ in pairs_a + pairs_b]
+        assert len(set(ids)) == 8
+        assert [s for _, s in pairs_a] == [0, 1, 2, 3]
+        assert gatherer.outstanding == 8
+
+    def test_unknown_request_is_not_ours(self):
+        gatherer = FanoutGatherer(2, _StubCollector())
+        stray = _finished_request(logical_id=999, server_id=0,
+                                  t0=0.0, latency=1e-3)
+        assert gatherer.on_complete(stray) is False
+
+    def test_completes_on_last_arrival_with_critical_shard(self):
+        collector = _StubCollector()
+        gatherer = FanoutGatherer(3, collector)
+        _, pairs = gatherer.open_gather()
+        latencies = {0: 1e-3, 1: 5e-3, 2: 2e-3}
+        for lid, shard in pairs:
+            req = _finished_request(lid, shard, 0.0, latencies[shard])
+            assert gatherer.on_complete(req) is True
+        assert len(collector.records) == 1
+        # Shard 1 was slowest: its record is the logical record.
+        assert collector.records[0].sojourn_time == pytest.approx(5e-3)
+        assert gatherer.stats.completed == 1
+        assert gatherer.stats.critical_counts == [0, 1, 0]
+        assert gatherer.stats.leaf_samples() == pytest.approx(
+            [1e-3, 5e-3, 2e-3]
+        )
+        assert gatherer.outstanding == 0
+
+    def test_merge_combines_partial_responses(self):
+        collector = _StubCollector()
+        gatherer = FanoutGatherer(2, collector, merge=lambda rs: sum(rs))
+        _, pairs = gatherer.open_gather()
+        requests = []
+        for i, (lid, shard) in enumerate(pairs):
+            req = _finished_request(lid, shard, 0.0, 1e-3 * (shard + 1),
+                                    response=10 + i)
+            requests.append(req)
+            gatherer.on_complete(req)
+        # The critical (slowest: shard 1) request carries the merge.
+        assert requests[1].response == 21
+        assert len(collector.records) == 1
+
+    def test_failed_subrequest_spoils_gather(self):
+        collector = _StubCollector()
+        gatherer = FanoutGatherer(2, collector)
+        _, pairs = gatherer.open_gather()
+        ok = _finished_request(pairs[0][0], 0, 0.0, 1e-3)
+        bad = _finished_request(pairs[1][0], 1, 0.0, 2e-3)
+        bad.error = "boom"
+        gatherer.on_complete(ok)
+        gatherer.on_complete(bad)
+        assert gatherer.stats.failed == 1
+        assert gatherer.stats.completed == 0
+        assert collector.records == []
+
+    def test_warmup_gathers_not_measured(self):
+        collector = _StubCollector()
+        gatherer = FanoutGatherer(1, collector, warmup=2)
+        for i in range(5):
+            _, pairs = gatherer.open_gather()
+            gatherer.on_complete(
+                _finished_request(pairs[0][0], 0, float(i), 1e-3)
+            )
+        # All five reach the collector (it applies its own warmup
+        # discard) but only the post-warmup three are leaf samples.
+        assert len(collector.records) == 5
+        assert len(gatherer.stats.leaf_samples()) == 3
+
+    def test_predicted_quantile_math(self):
+        gatherer = FanoutGatherer(2, _StubCollector())
+        gatherer.stats.shard_samples[0] = [float(i) for i in range(100)]
+        gatherer.stats.shard_samples[1] = [float(i) for i in range(100)]
+        expected = quantile(
+            gatherer.stats.leaf_samples(), 0.99 ** 0.5
+        )
+        assert gatherer.stats.predicted_quantile(0.99) == expected
+
+
+class TestLiveFanout:
+    @pytest.fixture(scope="class")
+    def result(self):
+        app = VsearchApp(
+            n_vectors=512, n_queries=32, n_lists=8, nprobe=2, seed=0
+        ).sharded(2)
+        app.setup()
+        return run_harness(
+            app,
+            HarnessConfig(
+                configuration="integrated",
+                qps=400.0,
+                n_threads=1,
+                n_servers=2,
+                warmup_requests=20,
+                measure_requests=150,
+                seed=0,
+                fanout=FanoutConfig(enabled=True, shards=2),
+                observability=ObservabilityConfig(tracing=True),
+            ),
+        )
+
+    def test_every_gather_completes(self, result):
+        assert result.fanout is not None
+        assert result.fanout.completed == 170
+        assert result.fanout.failed == 0
+        assert result.stats.count == 150
+
+    def test_scatter_amplification_in_outcomes(self, result):
+        assert result.outcomes["offered"] == 170
+        assert result.outcomes["attempts"] == 340
+        assert result.retry_amplification == pytest.approx(2.0)
+
+    def test_leaf_samples_per_shard(self, result):
+        for shard in (0, 1):
+            assert len(result.fanout.shard_samples[shard]) == 150
+
+    def test_e2e_at_least_leaf_p99(self, result):
+        leaves = result.fanout.leaf_samples()
+        e2e_p99 = quantile(result.stats.samples(), 0.99)
+        per_shard = [result.fanout.shard_p99(s) for s in (0, 1)]
+        assert e2e_p99 >= max(per_shard) - 1e-9
+        assert len(leaves) == 300
+
+    def test_pinned_routing_covers_both_shards(self, result):
+        assert len(result.routed_counts) == 2
+        assert result.routed_counts[0] == result.routed_counts[1] == 170
+
+    def test_trace_events_emitted(self, result):
+        kinds = [e.kind for e in result.obs.events]
+        assert kinds.count("fanout_send") == 340
+        assert kinds.count("fanout_gather") == 170
+        gathers = [e for e in result.obs.events if e.kind == "fanout_gather"]
+        assert {e.server_id for e in gathers} <= {0, 1}
+
+    def test_critical_counts_sum_to_measured(self, result):
+        assert sum(result.fanout.critical_counts) == 150

@@ -119,6 +119,63 @@ class TestFanout:
             required_leaf_quantile(0, 0.5)
 
 
+class TestFanoutVsBruteForce:
+    """Property tests: the closed form vs brute-force max-of-N resampling.
+
+    ``fanout_quantile`` rests on ``P(max <= t) = F(t)**n`` — valid for
+    *iid* leaves. The brute-force oracle constructs exactly that
+    setting: draw n leaves independently from the empirical sample,
+    take the max, repeat, and read the quantile off the resampled
+    maxima. As the resample count grows the two must converge, for any
+    leaf distribution shape.
+    """
+
+    DISTRIBUTIONS = {
+        "exponential": lambda rng: rng.expovariate(1000.0),
+        "lognormal": lambda rng: rng.lognormvariate(-7.0, 0.8),
+        "bimodal": lambda rng: (
+            rng.expovariate(5000.0)
+            if rng.random() < 0.9
+            else 5e-3 + rng.expovariate(500.0)
+        ),
+        "uniform": lambda rng: rng.uniform(1e-4, 2e-3),
+    }
+
+    def _brute_force(self, rng, leaves, fanout, q, trials=20_000):
+        maxima = [
+            max(rng.choice(leaves) for _ in range(fanout))
+            for _ in range(trials)
+        ]
+        return quantile(maxima, q)
+
+    @pytest.mark.parametrize("shape", sorted(DISTRIBUTIONS))
+    @pytest.mark.parametrize("fanout", [2, 4, 8])
+    def test_matches_resampled_maxima(self, shape, fanout):
+        rng = random.Random(f"{shape}-{fanout}")  # str seeding is stable
+        draw = self.DISTRIBUTIONS[shape]
+        leaves = [draw(rng) for _ in range(30_000)]
+        for q in (0.9, 0.99):
+            closed = fanout_quantile(leaves, fanout, q)
+            brute = self._brute_force(rng, leaves, fanout, q)
+            assert closed == pytest.approx(brute, rel=0.12), (shape, fanout, q)
+
+    def test_consistent_with_required_leaf_quantile(self):
+        rng = random.Random(11)
+        leaves = [rng.expovariate(1000.0) for _ in range(20_000)]
+        for fanout in (3, 7, 50):
+            assert fanout_quantile(leaves, fanout, 0.95) == pytest.approx(
+                quantile(leaves, required_leaf_quantile(fanout, 0.95))
+            )
+
+    def test_iid_assumption_documented(self):
+        # The module must spell out the independence caveat that the
+        # sharded live path deliberately violates (shared arrivals).
+        import repro.analysis.fanout as mod
+
+        assert "iid assumption" in mod.__doc__
+        assert "correlated" in mod.__doc__
+
+
 class TestDecomposition:
     def test_low_load_service_dominates(self):
         profile = paper_profile("xapian")

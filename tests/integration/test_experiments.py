@@ -233,6 +233,7 @@ class TestExtensions:
             "fig-batching",
             "fig-resilience",
             "fig-live",
+            "fig-fanout",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

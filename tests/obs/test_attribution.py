@@ -198,3 +198,62 @@ class TestTailReport:
         assert report.n_paths == 0
         assert report.causes == ()
         assert report.render()
+
+
+class TestFanoutReport:
+    def _events(self):
+        from repro.obs.trace import TraceEvent
+
+        events = []
+        # Two gathers of width 3; shard 2 critical twice.
+        for gid in (0.0, 1.0):
+            for shard in range(3):
+                events.append(TraceEvent(
+                    kind="fanout_send", ts=gid, server_id=shard, value=gid,
+                ))
+            events.append(TraceEvent(
+                kind="fanout_gather", ts=gid + 0.01, server_id=2, value=gid,
+            ))
+        return events
+
+    def test_tallies_critical_shards(self):
+        from repro.obs.attribution import fanout_report
+
+        report = fanout_report(self._events())
+        assert report.gathers == 2
+        assert report.shards == 3
+        assert report.critical_counts == {2: 2}
+        assert report.critical_share(2) == pytest.approx(1.0)
+        assert report.critical_share(0) == 0.0
+        assert "tail bottleneck" in report.render()
+
+    def test_empty_trace(self):
+        from repro.obs.attribution import fanout_report
+
+        report = fanout_report([])
+        assert report.gathers == 0
+        assert report.render()
+
+    def test_from_simulated_fanout_run(self):
+        from repro.core import FanoutConfig
+        from repro.core.config import ObservabilityConfig
+        from repro.obs.attribution import fanout_report
+        from repro.sim import SimConfig, simulate_app
+
+        result = simulate_app(
+            "vsearch",
+            SimConfig(
+                qps=500.0,
+                configuration="integrated",
+                n_servers=2,
+                warmup_requests=20,
+                measure_requests=300,
+                seed=1,
+                fanout=FanoutConfig(enabled=True, shards=2),
+                observability=ObservabilityConfig(tracing=True),
+            ),
+        )
+        report = result.obs.fanout_report()
+        assert report.shards == 2
+        assert report.gathers == 320
+        assert sum(report.critical_counts.values()) == 320

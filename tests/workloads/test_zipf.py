@@ -50,3 +50,38 @@ class TestZipfQuerySampler:
             ZipfQuerySampler([])
         with pytest.raises(ValueError):
             ZipfQuerySampler(["a"], min_terms=3, max_terms=2)
+
+
+class TestZipfRankSampler:
+    def test_deterministic_per_seed(self):
+        from repro.workloads import ZipfRankSampler
+
+        a = ZipfRankSampler(100, seed=7)
+        b = ZipfRankSampler(100, seed=7)
+        c = ZipfRankSampler(100, seed=8)
+        draws_a = [a.next_rank() for _ in range(300)]
+        draws_b = [b.next_rank() for _ in range(300)]
+        draws_c = [c.next_rank() for _ in range(300)]
+        assert draws_a == draws_b
+        assert draws_a != draws_c
+
+    def test_ranks_in_range_and_skewed(self):
+        from repro.workloads import ZipfRankSampler
+
+        sampler = ZipfRankSampler(50, theta=1.0, seed=0)
+        draws = [sampler.next_rank() for _ in range(5000)]
+        assert all(0 <= r < 50 for r in draws)
+        counts = Counter(draws)
+        # Rank 0 is the hottest under Zipfian popularity.
+        assert counts[0] == max(counts.values())
+        assert counts[0] > counts.get(40, 0)
+
+    def test_shared_rng_with_query_sampler(self):
+        # ZipfQuerySampler composes ZipfRankSampler on one shared RNG:
+        # rank draws and length draws interleave deterministically.
+        vocab = [f"t{i}" for i in range(30)]
+        a = ZipfQuerySampler(vocab, seed=9)
+        b = ZipfQuerySampler(vocab, seed=9)
+        assert [a.next_query() for _ in range(50)] == [
+            b.next_query() for _ in range(50)
+        ]
