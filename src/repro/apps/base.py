@@ -15,7 +15,7 @@ experiment drivers can iterate over the whole suite.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 __all__ = [
     "Application",
@@ -76,6 +76,20 @@ class Application:
     def make_client(self, seed: int = 0) -> Client:
         """Build a request generator with its own RNG stream."""
         raise NotImplementedError
+
+    def cache_key(self, payload: Any) -> Optional[Hashable]:
+        """Key under which this request's response may be cached.
+
+        ``None`` (the default) marks the request *uncacheable* — the
+        right answer for any app whose responses are not a pure
+        function of the payload (writes, session state, time-varying
+        reads). Read-only apps with repeat-heavy request mixes opt in
+        by returning a hashable, deterministic function of the payload:
+        xapian keys on the query string, vsearch on the query id. The
+        caching tier (:mod:`repro.cache`) only ever short-circuits
+        requests whose app returned a key.
+        """
+        return None
 
     def clone(self) -> "Application":
         """Return a replica for one server instance of a topology.

@@ -140,6 +140,11 @@ class VsearchApp(Application):
             self._corpus.queries[payload], k=self.top_k, nprobe=self.nprobe
         )
 
+    def cache_key(self, payload: int) -> int:
+        """The query id: queries and index are frozen at setup, and the
+        Zipfian id stream re-asks popular queries constantly."""
+        return payload
+
     def handle_batch(self, payloads) -> list:
         memo = {}
         responses = []

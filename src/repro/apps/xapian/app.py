@@ -64,6 +64,12 @@ class XapianApp(Application):
     def process(self, payload: str) -> List[SearchResult]:
         return self.index.search(payload, top_k=self._top_k)
 
+    def cache_key(self, payload: str) -> str:
+        """The query string: the index is immutable after setup, so
+        identical queries always score identically — the Zipfian term
+        mix makes repeats frequent enough to cache."""
+        return payload
+
     def handle_batch(self, payloads) -> list:
         """Grouped search: score each *distinct* query once per batch.
 

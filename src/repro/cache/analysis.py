@@ -1,0 +1,54 @@
+"""Closed-form hit-rate prediction for Zipf-popular request streams.
+
+Under the independent reference model with Zipfian popularity — the
+query mix the search workloads already draw
+(:mod:`repro.workloads.zipf`, Baeza-Yates 2005) — a capacity-C cache
+that manages to keep the C most popular keys resident answers exactly
+the probability mass of those keys. LFU converges there by
+construction; LRU sits close for skewed streams because the popular
+keys are re-referenced fast enough to never age out. ``fig-cache``
+validates the measured hit rate against this prediction within a 5%
+absolute band.
+"""
+
+from __future__ import annotations
+
+from ..stats import ZipfianGenerator
+
+__all__ = ["predicted_hit_rate", "capacity_for_hit_rate"]
+
+
+def predicted_hit_rate(keyspace: int, theta: float, capacity: int) -> float:
+    """Top-``capacity`` popularity mass of Zipf(``keyspace``, ``theta``).
+
+    The steady-state hit rate of an LFU (and approximately an LRU)
+    cache holding ``capacity`` of ``keyspace`` keys under independent
+    Zipfian references.
+    """
+    if keyspace < 1:
+        raise ValueError("keyspace must be >= 1")
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0")
+    if capacity >= keyspace:
+        return 1.0
+    zipf = ZipfianGenerator(keyspace, theta=theta)
+    return sum(zipf.probability(rank) for rank in range(capacity))
+
+
+def capacity_for_hit_rate(
+    keyspace: int, theta: float, target: float
+) -> int:
+    """Smallest capacity whose predicted hit rate reaches ``target``.
+
+    The planning inverse of :func:`predicted_hit_rate` — e.g. "how much
+    cache buys a 60% hit rate at theta=0.9?".
+    """
+    if not 0.0 <= target <= 1.0:
+        raise ValueError("target must be in [0, 1]")
+    zipf = ZipfianGenerator(keyspace, theta=theta)
+    mass = 0.0
+    for rank in range(keyspace):
+        if mass >= target:
+            return rank
+        mass += zipf.probability(rank)
+    return keyspace

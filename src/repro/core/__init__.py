@@ -21,11 +21,13 @@ from .clock import Clock, VirtualClock, WallClock
 from .collector import OUTCOME_KEYS, CollectedStats, StatsCollector
 from .config import (
     NO_BATCHING,
+    NO_CACHE,
     NO_FANOUT,
     NO_OBSERVABILITY,
     NO_RESILIENCE,
     PAPER_SYSTEM,
     THREADED,
+    CacheConfig,
     ExecutionConfig,
     FanoutConfig,
     HarnessConfig,
@@ -73,11 +75,13 @@ __all__ = [
     "StatsCollector",
     "OUTCOME_KEYS",
     "NO_BATCHING",
+    "NO_CACHE",
     "NO_FANOUT",
     "NO_OBSERVABILITY",
     "NO_RESILIENCE",
     "PAPER_SYSTEM",
     "THREADED",
+    "CacheConfig",
     "ExecutionConfig",
     "FanoutConfig",
     "HarnessConfig",

@@ -14,6 +14,7 @@ from .balancer import BALANCERS
 from .resilience import ResilienceConfig
 
 __all__ = [
+    "CacheConfig",
     "ExecutionConfig",
     "FanoutConfig",
     "HarnessConfig",
@@ -22,6 +23,7 @@ __all__ = [
     "SystemConfig",
     "PAPER_SYSTEM",
     "NO_BATCHING",
+    "NO_CACHE",
     "NO_CONTROL",
     "NO_FANOUT",
     "NO_HEALTH",
@@ -279,6 +281,82 @@ NO_FANOUT = FanoutConfig()
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """The request/result caching tier (:mod:`repro.cache`).
+
+    With caching enabled, server workers consult a shared cache before
+    invoking the application: a hit serves the stored response for
+    ``hit_cost`` seconds instead of the full service time. Apps opt in
+    per request via ``Application.cache_key`` (None = uncacheable).
+    The simulator draws synthetic Zipfian keys
+    (``sim_keyspace``/``sim_theta``) for its requests and substitutes
+    ``hit_cost`` for the sampled service draw on a hit — consuming the
+    draw either way, so a disabled run's RNG streams are untouched and
+    stay bit-identical per seed.
+
+    Attributes
+    ----------
+    enabled:
+        Off by default: the serving path is byte-for-byte the
+        uncached one.
+    policy:
+        Replacement/admission policy: ``"lru"``, ``"lfu"``,
+        ``"ttl"`` (LRU residence + required expiry) or ``"tinylfu"``
+        (LRU gated by frequency-sketch admission).
+    capacity:
+        Maximum resident entries.
+    ttl:
+        Optional staleness bound in seconds. Required for the
+        ``"ttl"`` policy; wraps any other policy when set.
+    hit_cost:
+        Service time a hit charges (lookup + serialization, no
+        backend work).
+    clear_at:
+        Optional cold-restart instant, seconds from run start: the
+        first access at or past it wipes the cache, modeling a
+        redeploy that comes back with an empty cache.
+    sim_keyspace / sim_theta:
+        Popularity model for the simulator's synthetic key stream
+        (Zipf over ``sim_keyspace`` keys, skew ``sim_theta``). Live
+        runs ignore both: real apps key on their actual payloads.
+    """
+
+    enabled: bool = False
+    policy: str = "lru"
+    capacity: int = 128
+    ttl: Optional[float] = None
+    hit_cost: float = 50e-6
+    clear_at: Optional[float] = None
+    sim_keyspace: int = 512
+    sim_theta: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("lru", "lfu", "ttl", "tinylfu"):
+            raise ValueError(
+                'cache policy must be one of "lru", "lfu", "ttl", '
+                f'"tinylfu", got {self.policy!r}'
+            )
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("cache ttl must be positive (or None)")
+        if self.policy == "ttl" and self.ttl is None:
+            raise ValueError('cache policy "ttl" requires a ttl')
+        if self.hit_cost < 0:
+            raise ValueError("cache hit_cost must be >= 0")
+        if self.clear_at is not None and self.clear_at <= 0:
+            raise ValueError("cache clear_at must be positive (or None)")
+        if self.sim_keyspace < 1:
+            raise ValueError("sim_keyspace must be >= 1")
+        if self.sim_theta < 0:
+            raise ValueError("sim_theta must be >= 0")
+
+
+#: Default serving path: no caching tier, every request pays full service.
+NO_CACHE = CacheConfig()
+
+
+@dataclass(frozen=True)
 class HarnessConfig:
     """One load-testing run's parameters.
 
@@ -403,6 +481,7 @@ class HarnessConfig:
     scenario: Optional[Scenario] = None
     execution: ExecutionConfig = THREADED
     fanout: FanoutConfig = NO_FANOUT
+    cache: CacheConfig = NO_CACHE
 
     def __post_init__(self) -> None:
         if self.configuration not in _CONFIG_NAMES:
@@ -506,6 +585,25 @@ class HarnessConfig:
                     "replica processes do not ship response payloads "
                     "back to the parent, so the gather point cannot "
                     "merge; fan-out is threaded-only"
+                )
+        if self.cache.enabled:
+            if self.batching.enabled:
+                raise ValueError(
+                    "the batched worker loop services whole batches "
+                    "with one application call and has no per-request "
+                    "hit path; caching does not compose with batching"
+                )
+            if self.fanout.enabled:
+                raise ValueError(
+                    "fan-out sub-requests carry partial per-shard "
+                    "responses that are only meaningful to their "
+                    "gather; caching does not compose with fan-out"
+                )
+            if self.execution.mode == "process":
+                raise ValueError(
+                    "the cache is shared in-process state; replica "
+                    "processes cannot reach it, so caching is "
+                    "threaded-only"
                 )
 
     @property

@@ -57,17 +57,37 @@ class FanoutStats:
         """All post-warmup leaf sojourns, pooled across shards."""
         return [s for samples in self.shard_samples for s in samples]
 
-    def shard_summary(self, shard: int) -> LatencySummary:
-        return LatencySummary.from_samples(self.shard_samples[shard])
+    def shard_summary(self, shard: int) -> Optional[LatencySummary]:
+        """Latency summary for one shard, or None with no measured leaves.
+
+        A short run can leave a shard with only warmup (or only
+        shed/failed) gathers; that is a reporting gap, not a crash —
+        callers render it as "-".
+        """
+        samples = self.shard_samples[shard]
+        if not samples:
+            return None
+        return LatencySummary.from_samples(samples)
 
     def shard_p99(self, shard: int) -> float:
-        return quantile(self.shard_samples[shard], 0.99)
+        """Shard leaf p99, or ``nan`` when the shard has no samples."""
+        samples = self.shard_samples[shard]
+        if not samples:
+            return float("nan")
+        return quantile(samples, 0.99)
 
     def predicted_quantile(self, q: float = 0.99) -> float:
-        """Order-statistic prediction of the end-to-end ``q`` quantile."""
+        """Order-statistic prediction of the end-to-end ``q`` quantile.
+
+        Returns ``nan`` when no leaf samples were measured (all gathers
+        landed in warmup or failed).
+        """
         from ..analysis.fanout import fanout_quantile
 
-        return fanout_quantile(self.leaf_samples(), self.shards, q)
+        leaves = sorted(self.leaf_samples())
+        if not leaves:
+            return float("nan")
+        return fanout_quantile(leaves, self.shards, q, sorted_values=True)
 
 
 class _Gather:

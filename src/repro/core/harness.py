@@ -74,6 +74,9 @@ class HarnessResult:
     #: (:class:`repro.core.fanout.FanoutStats`); None unless
     #: ``config.fanout.enabled``.
     fanout: Optional[object] = None
+    #: Caching-tier tallies (hits, misses, expirations, evictions,
+    #: rejections); empty unless ``config.cache.enabled``.
+    cache_counts: Dict[str, int] = field(default_factory=dict)
     #: Per-instance ``(server_id, completions, active_seconds)``. The
     #: active window runs from the instance joining the replica set (or
     #: run start, for the initial set) until it drained (or run end) —
@@ -174,6 +177,16 @@ class HarnessResult:
                 f"scale_ups={c.get('scale_ups', 0)} "
                 f"scale_downs={c.get('scale_downs', 0)} "
                 f"active_servers={c.get('active_servers', 0)}"
+            )
+        if self.cache_counts:
+            cc = self.cache_counts
+            keyed = cc.get("hits", 0) + cc.get("misses", 0)
+            rate = cc.get("hits", 0) / keyed if keyed else 0.0
+            lines.append(
+                f"cache: hit_rate={rate:.1%} hits={cc.get('hits', 0)} "
+                f"misses={cc.get('misses', 0)} "
+                f"expirations={cc.get('expirations', 0)} "
+                f"evictions={cc.get('evictions', 0)}"
             )
         if self.health_counts:
             h = self.health_counts
@@ -300,6 +313,13 @@ def run_harness(
         from ..health import HealthManager
 
         health = HealthManager(config.health, tracer=tracer)
+    cache = None
+    if config.cache.enabled:
+        # Lazy import, same policy as the other optional subsystems:
+        # disabled runs never touch the cache package.
+        from ..cache import build_cache
+
+        cache = build_cache(config.cache, tracer=tracer)
 
     transport.start(
         app,
@@ -311,6 +331,7 @@ def run_harness(
         balancer=make_balancer(config.balancer, seed=config.seed),
         control=plane,
         batching=batching,
+        cache=cache,
     )
     if health is not None:
         transport.set_health(health)
@@ -320,6 +341,8 @@ def run_harness(
             injector.register_metrics(registry)
         if health is not None:
             health.register_metrics(registry)
+        if cache is not None:
+            cache.register_metrics(registry)
         if live is not None:
             transport.set_live(live)
             live.register_metrics(registry)
@@ -377,6 +400,9 @@ def run_harness(
         # Window boundaries anchor at run start (the simulator anchors
         # at virtual 0.0), so alert timing is window-aligned.
         live.set_origin(started)
+    if cache is not None:
+        # Same anchoring for the cold-restart instant (clear_at).
+        cache.set_origin(started)
     if driver is not None:
         driver.start(started)
     try:
@@ -485,6 +511,7 @@ def run_harness(
         control_counts=plane.counts() if plane is not None else {},
         health_counts=health.counts() if health is not None else {},
         fanout=fanout_client.stats if fanout_client is not None else None,
+        cache_counts=cache.counts() if cache is not None else {},
         server_activity=server_activity,
     )
 

@@ -70,6 +70,11 @@ class Request:
     #: (1 when batching is off or the batch degenerated to a single
     #: member). Set by the batched worker loop at service start.
     batch_size: int = 1
+    #: True when the caching tier answered this request without running
+    #: the application (the service window then covers only the
+    #: configured hit cost). Set by the server worker (live) or the
+    #: simulated server (sim) when a cache lookup hits.
+    cache_hit: bool = False
 
     def finish(self, partial: bool = False) -> "RequestRecord":
         """Freeze into an immutable record; validates the chain.
@@ -115,6 +120,7 @@ class Request:
             shed=self.shed,
             request_class=self.request_class,
             batch_size=self.batch_size,
+            cache_hit=self.cache_hit,
         )
 
 
@@ -143,6 +149,8 @@ class RequestRecord:
     shed: bool = False
     request_class: Optional[str] = None
     batch_size: int = 1
+    #: Whether the caching tier short-circuited service for this request.
+    cache_hit: bool = False
 
     @property
     def complete(self) -> bool:

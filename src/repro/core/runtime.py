@@ -45,6 +45,7 @@ class ReplicaRuntime:
         injector=None,
         server_id: int = 0,
         batching=None,
+        cache=None,
         queue_capacity: Optional[int] = None,
         gate=None,
         buffer=None,
@@ -67,6 +68,7 @@ class ReplicaRuntime:
             injector=injector,
             server_id=server_id,
             batching=batching,
+            cache=cache,
         )
 
     # -- lifecycle -----------------------------------------------------

@@ -53,6 +53,14 @@ class Server:
         application call (``handle_batch`` when the app provides it,
         else a per-request ``process`` loop). When ``None`` (default)
         the original single-request loop runs, untouched.
+    cache:
+        Optional :class:`repro.cache.RequestCache` shared across all
+        server instances. Workers consult it before ``process``: a hit
+        short-circuits the application call, serving the cached
+        response for the configured near-zero hit cost. Requests whose
+        app declines a key (``cache_key`` returns None) bypass the
+        cache entirely. When ``None`` (default) the service path is
+        untouched.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class Server:
         injector=None,
         server_id: int = 0,
         batching=None,
+        cache=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one worker thread")
@@ -75,6 +84,7 @@ class Server:
         self._injector = injector
         self.server_id = server_id
         self._batching = batching
+        self._cache = cache
         self._batch_seq = itertools.count()
         loop = self._worker_loop if batching is None else self._batch_worker_loop
         self._threads: List[threading.Thread] = [
@@ -148,22 +158,52 @@ class Server:
                         )
                     # GC/compaction-style stall inside the service window.
                     self._clock.sleep(pause)
-            try:
-                if injector is not None and injector.app_error():
-                    if self._tracer is not None:
-                        self._tracer.emit(
-                            "fault_app_error", self._clock.now(),
-                            logical_id=request.logical_id,
-                            request_id=request.request_id,
-                            attempt=request.attempt,
-                            server_id=self.server_id,
-                        )
-                    raise InjectedFault("injected application error")
-                request.response = self._app.process(request.payload)
-            except Exception:  # noqa: BLE001 - report, don't kill the worker
-                request.error = traceback.format_exc()
-                with self._errors_lock:
-                    self._errors.append(request.error)
+            # Caching tier: consult before touching the application. A
+            # hit serves the stored response for the configured hit
+            # cost; the backend never runs (injected app errors model
+            # backend failures, so a hit skips those too).
+            cache_key = None
+            if self._cache is not None:
+                cache_key = self._app.cache_key(request.payload)
+                if cache_key is not None:
+                    hit, value = self._cache.lookup(
+                        cache_key, self._clock.now(),
+                        logical_id=request.logical_id,
+                        request_id=request.request_id,
+                        attempt=request.attempt,
+                        server_id=self.server_id,
+                    )
+                    if hit:
+                        request.response = value
+                        request.cache_hit = True
+                        if self._cache.hit_cost > 0.0:
+                            self._clock.sleep(self._cache.hit_cost)
+            if not request.cache_hit:
+                try:
+                    if injector is not None and injector.app_error():
+                        if self._tracer is not None:
+                            self._tracer.emit(
+                                "fault_app_error", self._clock.now(),
+                                logical_id=request.logical_id,
+                                request_id=request.request_id,
+                                attempt=request.attempt,
+                                server_id=self.server_id,
+                            )
+                        raise InjectedFault("injected application error")
+                    request.response = self._app.process(request.payload)
+                except Exception:  # noqa: BLE001 - report, don't kill the worker
+                    request.error = traceback.format_exc()
+                    with self._errors_lock:
+                        self._errors.append(request.error)
+                if cache_key is not None and request.error is None:
+                    # Only successful responses are cacheable.
+                    self._cache.store(
+                        cache_key, request.response, self._clock.now(),
+                        logical_id=request.logical_id,
+                        request_id=request.request_id,
+                        attempt=request.attempt,
+                        server_id=self.server_id,
+                    )
             request.service_end_at = self._clock.now()
             self._busy -= 1
             self._respond(request)

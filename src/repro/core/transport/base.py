@@ -177,6 +177,9 @@ class Transport:
         # Batching hook: None unless the run enables repro.batching. A
         # single stateless BatchPolicy is shared by every replica.
         self._batching = None
+        # Caching tier: None unless the run enables repro.cache. One
+        # thread-safe RequestCache shared by every replica's workers.
+        self._cache = None
         # Start parameters retained for runtime scale-up replicas.
         self._app = None
         self._n_threads = 0
@@ -194,6 +197,7 @@ class Transport:
         balancer: Optional[LoadBalancer] = None,
         control=None,
         batching=None,
+        cache=None,
     ) -> None:
         if self._running:
             raise RuntimeError("transport already started")
@@ -204,6 +208,7 @@ class Transport:
         self._balancer = balancer if balancer is not None else RoundRobinBalancer()
         self._control = control
         self._batching = batching
+        self._cache = cache
         self._app = app
         self._n_threads = n_threads
         self._queue_capacity = queue_capacity
@@ -237,6 +242,7 @@ class Transport:
             injector=scoped,
             server_id=server_id,
             batching=self._batching,
+            cache=self._cache,
             queue_capacity=self._queue_capacity,
             gate=control.gate_for(server_id) if control is not None else None,
             buffer=control.make_buffer() if control is not None else None,

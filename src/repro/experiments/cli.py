@@ -27,6 +27,7 @@ from .extensions import (
 )
 from .fig8 import render_fig8, run_fig8
 from .fig_batching import render_fig_batching, run_fig_batching
+from .fig_cache import render_fig_cache, run_fig_cache
 from .fig_control import render_fig_control, run_fig_control
 from .fig_fanout import render_fig_fanout, run_fig_fanout
 from .fig_live import render_fig_live, run_fig_live
@@ -69,6 +70,10 @@ EXTENSIONS: Dict[str, Tuple[Callable, Callable]] = {
     # measured e2e p99 vs the order-statistic prediction, live and
     # simulated (live arms build IVF indexes — a minute or two).
     "fig-fanout": (run_fig_fanout, render_fig_fanout),
+    # Caching tier: Zipf closed-form hit rates at C in {1%,5%,20%} of
+    # keyspace, the cold-cache restart spike, and off-run bit-identity,
+    # live and simulated (live arm serves vsearch — tens of seconds).
+    "fig-cache": (run_fig_cache, render_fig_cache),
     # Live SLO engine: slow-replica burn caught by multi-window
     # burn-rate alerting and explained by tail attribution, live and
     # simulated (live arm runs ~16s at full scale).
@@ -90,6 +95,7 @@ _FAST_KWARGS = {
     "fig-control": {"step_seconds": 0.75},
     "fig-batching": {"measure_requests": 1200},
     "fig-fanout": {"measure_requests": 1500, "modes": ("sim",)},
+    "fig-cache": {"measure_requests": 5000, "modes": ("sim",)},
     "fig-resilience": {"time_scale": 0.2, "modes": ("sim",)},
     "fig-live": {"time_scale": 0.25, "modes": ("sim",)},
 }

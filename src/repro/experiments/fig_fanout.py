@@ -172,13 +172,13 @@ def _point_from_result(
     service_p99: Optional[float] = None,
 ) -> FanoutPoint:
     stats = result.fanout
-    leaves = stats.leaf_samples()
+    leaves = sorted(stats.leaf_samples())  # one sort feeds both quantiles
     return FanoutPoint(
         fanout=fanout,
         qps=qps,
         measured_p99=quantile(result.stats.samples(), 0.99),
-        predicted_p99=fanout_quantile(leaves, fanout, 0.99),
-        leaf_p99=quantile(leaves, 0.99),
+        predicted_p99=fanout_quantile(leaves, fanout, 0.99, sorted_values=True),
+        leaf_p99=quantile(leaves, 0.99, sorted_values=True),
         shard_p99s=tuple(stats.shard_p99(s) for s in range(fanout)),
         completed=stats.completed,
         service_p99=service_p99,
@@ -321,9 +321,13 @@ def render_fig_fanout(result: FanoutComparison) -> str:
     rows = []
     for mode, series in result.points.items():
         for point in series:
+            # A shard with no measured leaves reports p99 = nan; render
+            # the spread as "-" rather than propagating nan arithmetic.
+            finite = [p for p in point.shard_p99s if p == p]
             spread = (
-                f"{min(point.shard_p99s) * 1e3:.2f}-"
-                f"{max(point.shard_p99s) * 1e3:.2f}ms"
+                f"{min(finite) * 1e3:.2f}-{max(finite) * 1e3:.2f}ms"
+                if finite
+                else "-"
             )
             rows.append([
                 mode,

@@ -118,9 +118,34 @@ class TailReport:
     n_tail: int
     causes: Tuple[RankedCause, ...]
     denials: Dict[Tuple[str, int], int]   # (kind, server_id) -> count
+    #: Cache lookups over the whole trace (0/0 when no cache ran).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Tail requests whose winning path hit / missed the cache. A tail
+    #: dominated by misses while the body enjoys hits is the cache
+    #: shaping the tail — the split ``tailbench tail`` prints.
+    tail_cache_hits: int = 0
+    tail_cache_misses: int = 0
 
     def top(self) -> Optional[RankedCause]:
         return self.causes[0] if self.causes else None
+
+    def _cache_line(self) -> Optional[str]:
+        looked = self.cache_hits + self.cache_misses
+        if not looked:
+            return None
+        tail_n = self.tail_cache_hits + self.tail_cache_misses
+        line = (
+            f"  cache: hit_rate={self.cache_hits / looked:.1%} "
+            f"({self.cache_hits}/{looked})"
+        )
+        if tail_n:
+            line += (
+                f"; tail: {self.tail_cache_hits} hit / "
+                f"{self.tail_cache_misses} missed "
+                f"(tail hit_rate={self.tail_cache_hits / tail_n:.1%})"
+            )
+        return line
 
     def render(self) -> str:
         lines = [
@@ -130,6 +155,9 @@ class TailReport:
         ]
         if not self.causes:
             lines.append("  (no complete critical paths in trace)")
+            cache_line = self._cache_line()
+            if cache_line is not None:
+                lines.append(cache_line)
             return "\n".join(lines)
         header = (
             f"  {'rank':>4s} {'component':>14s} {'server':>6s} "
@@ -151,6 +179,9 @@ class TailReport:
                 for (kind, sid), n in sorted(self.denials.items())
             ]
             lines.append("  denials: " + " ".join(parts))
+        cache_line = self._cache_line()
+        if cache_line is not None:
+            lines.append(cache_line)
         return "\n".join(lines)
 
 
@@ -322,18 +353,49 @@ def tail_report(
     events = list(events)
     paths = critical_paths(events)
     denials: Dict[Tuple[str, int], int] = {}
+    cache_hits = cache_misses = 0
+    hit_keys: set = set()
+    miss_keys: set = set()
     for event in events:
         if event.kind in DENIAL_KINDS:
             sid = event.server_id if event.server_id is not None else -1
             denials[(event.kind, sid)] = denials.get((event.kind, sid), 0) + 1
+        elif event.kind == "cache_hit":
+            cache_hits += 1
+            key = _attempt_key_of(event)
+            if key is not None:
+                hit_keys.add(_logical_key(key))
+        elif event.kind == "cache_miss":
+            cache_misses += 1
+            key = _attempt_key_of(event)
+            if key is not None:
+                miss_keys.add(_logical_key(key))
     if not paths:
-        return TailReport(pct, 0.0, 0, 0, (), denials)
+        return TailReport(
+            pct, 0.0, 0, 0, (), denials,
+            cache_hits=cache_hits, cache_misses=cache_misses,
+        )
 
     ranked = sorted(paths, key=lambda p: p.sojourn)
     cut = min(int(len(ranked) * pct / 100.0), len(ranked) - 1)
     threshold = ranked[cut].sojourn
     tail = [p for p in ranked if p.sojourn >= threshold]
     body = [p for p in ranked if p.sojourn < threshold]
+
+    # Cache split among tail requests: classify each tail path by the
+    # cache outcome its logical request saw (a retried request that
+    # both missed and later hit counts as a hit — the hit resolved it).
+    tail_cache_hits = tail_cache_misses = 0
+    if hit_keys or miss_keys:
+        for p in tail:
+            lkey = (
+                ("l", p.logical_id) if p.logical_id is not None
+                else ("r", p.request_id)
+            )
+            if lkey in hit_keys:
+                tail_cache_hits += 1
+            elif lkey in miss_keys:
+                tail_cache_misses += 1
 
     # Baselines: per (component, server, phase) among body requests,
     # falling back to the component's overall body mean when the tail
@@ -402,6 +464,10 @@ def tail_report(
         n_tail=len(tail),
         causes=tuple(causes[:top]),
         denials=denials,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        tail_cache_hits=tail_cache_hits,
+        tail_cache_misses=tail_cache_misses,
     )
 
 

@@ -101,6 +101,17 @@ POINT_EVENTS: Tuple[str, ...] = (
     "slo_clear",
     "fanout_send",
     "fanout_gather",
+    # Caching tier (repro.cache): one hit-or-miss event per keyed
+    # lookup, ``cache_expire`` when a TTL'd entry ages out at lookup
+    # (always paired with the miss it becomes), ``cache_evict`` per
+    # evicted resident (``value`` = occupancy after the store), and
+    # ``cache_clear`` at the cold-restart instant (``value`` = entries
+    # dropped).
+    "cache_hit",
+    "cache_miss",
+    "cache_evict",
+    "cache_expire",
+    "cache_clear",
 )
 
 #: Every legal value of ``TraceEvent.kind`` (the JSONL ``event`` field).

@@ -30,10 +30,12 @@ from ..core.balancer import BALANCERS, LoadBalancer, make_balancer, pick_active
 from ..batching.config import NO_BATCHING, BatchingConfig
 from ..core.collector import CollectedStats, StatsCollector
 from ..core.config import (
+    NO_CACHE,
     NO_CONTROL,
     NO_FANOUT,
     NO_OBSERVABILITY,
     NO_RESILIENCE,
+    CacheConfig,
     ControlPlaneConfig,
     FanoutConfig,
     ObservabilityConfig,
@@ -129,6 +131,14 @@ class SimConfig:
     #: bit-identically to the unsharded simulator per seed (the
     #: sub-request schedule, RNG streams, and event order coincide).
     fanout: FanoutConfig = NO_FANOUT
+    #: Request/result caching tier (see :class:`repro.core.CacheConfig`
+    #: and :mod:`repro.cache`). Off by default. When enabled, arrivals
+    #: carry synthetic Zipfian keys drawn from a *dedicated* RNG stream
+    #: and a hit substitutes ``hit_cost`` for the sampled service time
+    #: — the sample is consumed either way, and the key stream simply
+    #: never exists when disabled, so a cache-off run stays
+    #: bit-identical to pre-cache builds per seed.
+    cache: CacheConfig = NO_CACHE
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -198,6 +208,35 @@ class SimConfig:
                     "gathers forever incomplete; fan-out does not "
                     "compose with faults/scenarios"
                 )
+        if self.cache.enabled:
+            if self.batching.enabled:
+                raise ValueError(
+                    "the batched service window prices whole batches "
+                    "and has no per-request hit path; caching does not "
+                    "compose with batching"
+                )
+            if self.fanout.enabled:
+                raise ValueError(
+                    "fan-out sub-requests carry partial per-shard "
+                    "responses; caching does not compose with fan-out"
+                )
+            if (
+                self.resilience.enabled
+                or self.health.enabled
+                or self.faults is not None
+                or self.scenario is not None
+            ):
+                # The resilient-client mirror submits keyless attempts
+                # (every request would miss), which would silently
+                # defeat the cache; reject rather than mislead. The
+                # live harness does support these combinations — real
+                # apps key on real payloads there.
+                raise ValueError(
+                    "the simulator's synthetic key stream only feeds "
+                    "the direct and routed arrival paths; caching does "
+                    "not compose with resilience/health/faults in sim "
+                    "(use the live harness for those)"
+                )
 
     @property
     def total_requests(self) -> int:
@@ -242,6 +281,9 @@ class SimResult:
     #: (:class:`repro.core.fanout.FanoutStats`); None unless
     #: ``config.fanout.enabled``.
     fanout: Optional[object] = None
+    #: Caching-tier tallies (hits, misses, expirations, evictions,
+    #: rejections); empty unless ``config.cache.enabled``.
+    cache_counts: Dict[str, int] = field(default_factory=dict)
     #: Per-instance ``(server_id, completions, active_seconds)`` — the
     #: active window runs from join to drain, so per-server rates stay
     #: honest under autoscaling membership churn.
@@ -330,6 +372,16 @@ class SimResult:
                 f"probes={h.get('probes', 0)} "
                 f"breaker_opens={h.get('breaker_opens', 0)} "
                 f"retries_denied={h.get('retries_denied', 0)}"
+            )
+        if self.cache_counts:
+            cc = self.cache_counts
+            looked = cc.get("hits", 0) + cc.get("misses", 0)
+            rate = cc.get("hits", 0) / looked if looked else 0.0
+            lines.append(
+                f"cache: hit_rate={rate:.1%} hits={cc.get('hits', 0)} "
+                f"misses={cc.get('misses', 0)} "
+                f"expirations={cc.get('expirations', 0)} "
+                f"evictions={cc.get('evictions', 0)}"
             )
         if self.outcomes:
             o = self.outcomes
@@ -882,6 +934,26 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         from ..health import HealthManager
 
         health = HealthManager(config.health, tracer=tracer)
+    cache = None
+    next_cache_key = None
+    if config.cache.enabled:
+        # Same lazy-import policy: cache-off runs never touch the cache
+        # package (beyond the config dataclass itself).
+        from ..cache import build_cache
+        from ..stats import ZipfianGenerator
+
+        cache = build_cache(config.cache, tracer=tracer)
+        # The synthetic key stream gets its own RNG, constructed only
+        # here: a cache-off run draws nothing extra anywhere, so its
+        # arrival schedule and per-server service streams — hence its
+        # fingerprint — are untouched by this subsystem existing.
+        key_rng = random.Random(config.seed ^ 0xCAC4ED)
+        key_zipf = ZipfianGenerator(
+            config.cache.sim_keyspace, theta=config.cache.sim_theta
+        )
+
+        def next_cache_key() -> int:
+            return key_zipf.sample(key_rng)
 
     def make_server(server_id: int) -> SimulatedServer:
         # Server 0 keeps the pre-topology stream seed so n_servers=1
@@ -909,6 +981,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             batching=batch_policy,
             batch_marginal_cost=config.batching.sim_marginal_cost,
             live=live,
+            cache=cache,
         )
         server.started_at = engine.now
         return server
@@ -938,6 +1011,8 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         health.register_metrics(registry)
     if live is not None and registry is not None:
         live.register_metrics(registry)
+    if cache is not None and registry is not None:
+        cache.register_metrics(registry)
     if config.load_profile is not None:
         schedule = ArrivalSchedule.piecewise(
             config.load_profile,
@@ -1068,9 +1143,15 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
                 topology.submit_attempt(request)
     elif config.n_servers == 1 and plane is None:
         # Original direct path: no routing events on the heap, so the
-        # single-server event stream is byte-identical to before.
-        for generated_at in schedule:
-            servers[0].submit(generated_at)
+        # single-server event stream is byte-identical to before. With
+        # the cache on, each arrival carries a key from the dedicated
+        # Zipf stream; off, payload stays None and nothing is drawn.
+        if next_cache_key is not None:
+            for generated_at in schedule:
+                servers[0].submit(generated_at, payload=next_cache_key())
+        else:
+            for generated_at in schedule:
+                servers[0].submit(generated_at)
         topology.routed[0] = len(schedule)
     else:
 
@@ -1085,7 +1166,12 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
         topology.set_response_callback(record)
 
         def begin(generated_at: float) -> None:
-            request = Request(payload=None, generated_at=generated_at)
+            # Keys draw at the arrival event in schedule order — the
+            # same deterministic sequence the direct path assigns.
+            payload = (
+                next_cache_key() if next_cache_key is not None else None
+            )
+            request = Request(payload=payload, generated_at=generated_at)
             request.sent_at = generated_at
             topology.submit_attempt(request)
 
@@ -1167,6 +1253,7 @@ def simulate_load(profile: AppProfile, config: SimConfig) -> SimResult:
             fanout_gatherer.stats if fanout_gatherer is not None else None
         ),
         server_activity=server_activity,
+        cache_counts=cache.counts() if cache is not None else {},
     )
 
 

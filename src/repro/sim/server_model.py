@@ -107,6 +107,7 @@ class SimulatedServer:
         batching=None,
         batch_marginal_cost: float = 0.35,
         live=None,
+        cache=None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -131,6 +132,10 @@ class SimulatedServer:
         self._queue = buffer if buffer is not None else FifoBuffer()
         self._batching = batching
         self._batch_marginal = batch_marginal_cost
+        # Caching tier (repro.cache.RequestCache), shared across the
+        # fleet. Consulted at service start for requests that carry a
+        # synthetic key (payload is not None); None costs one test.
+        self._cache = cache
         self._batch_seq = itertools.count()
         # Earliest pending batch-deadline event (None when none is
         # scheduled): lets dispatch avoid stacking redundant wakeups.
@@ -158,13 +163,15 @@ class SimulatedServer:
         self._on_response_cb = callback
 
     # -- client side ------------------------------------------------------
-    def submit(self, generated_at: float) -> None:
+    def submit(self, generated_at: float, payload=None) -> None:
         """Schedule one request whose ideal arrival instant is given.
 
         The open-loop guarantee holds by construction in virtual time:
         submission instants come straight from the arrival schedule.
+        ``payload`` carries the synthetic cache key when the caching
+        tier is enabled (None otherwise — the historical shape).
         """
-        request = Request(payload=None, generated_at=generated_at)
+        request = Request(payload=payload, generated_at=generated_at)
         request.sent_at = generated_at
         self.submit_request(request)
 
@@ -379,6 +386,31 @@ class SimulatedServer:
         self._busy_workers += 1
         request.service_start_at = self._engine.now
         service_time = self._service_model.sample(self._rng)
+        if self._cache is not None and request.payload is not None:
+            # RNG-stream alignment: the service draw above is consumed
+            # whether or not the lookup hits, so enabling the cache
+            # never shifts the server's random stream — a hit merely
+            # substitutes the near-zero hit cost for the drawn value.
+            hit, _ = self._cache.lookup(
+                request.payload, request.service_start_at,
+                logical_id=request.logical_id,
+                request_id=request.request_id,
+                attempt=request.attempt,
+                server_id=self.server_id,
+            )
+            if hit:
+                request.cache_hit = True
+                service_time = self._cache.hit_cost
+            else:
+                # Resident from service start: concurrent requests for
+                # the same key coalesce onto the entry optimistically.
+                self._cache.store(
+                    request.payload, True, request.service_start_at,
+                    logical_id=request.logical_id,
+                    request_id=request.request_id,
+                    attempt=request.attempt,
+                    server_id=self.server_id,
+                )
         if self._injector is not None:
             pause = self._injector.worker_pause()
             if pause > 0.0 and self._tracer is not None:

@@ -24,18 +24,25 @@ __all__ = [
 ]
 
 
-def quantile(values: Sequence[float], q: float) -> float:
+def quantile(
+    values: Sequence[float], q: float, sorted_values: bool = False
+) -> float:
     """Return the ``q``-quantile (0 <= q <= 1) with linear interpolation.
 
     Uses the same convention as ``numpy.percentile`` (linear
     interpolation between closest ranks) so results are directly
     comparable with numpy-based analysis.
+
+    Pass ``sorted_values=True`` when ``values`` is already in ascending
+    order to skip the O(n log n) sort — the fast path for callers that
+    take many quantiles of one pooled sample list. The caller owns the
+    ordering guarantee; nothing is re-checked here.
     """
     if not values:
         raise ValueError("cannot take the quantile of no values")
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must be in [0, 1]")
-    data = sorted(values)
+    data = values if sorted_values else sorted(values)
     if len(data) == 1:
         return data[0]
     pos = q * (len(data) - 1)
@@ -48,9 +55,11 @@ def quantile(values: Sequence[float], q: float) -> float:
     return data[lo] + frac * (data[hi] - data[lo])
 
 
-def percentile(values: Sequence[float], pct: float) -> float:
+def percentile(
+    values: Sequence[float], pct: float, sorted_values: bool = False
+) -> float:
     """Return the ``pct``-th percentile (0 <= pct <= 100)."""
-    return quantile(values, pct / 100.0)
+    return quantile(values, pct / 100.0, sorted_values=sorted_values)
 
 
 def _normal_ppf(p: float) -> float:

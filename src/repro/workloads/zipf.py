@@ -73,6 +73,12 @@ class ZipfQuerySampler:
             raise ValueError("vocabulary must be non-empty")
         if not 1 <= min_terms <= max_terms:
             raise ValueError("need 1 <= min_terms <= max_terms")
+        if min_terms > len(vocabulary):
+            raise ValueError(
+                "min_terms (%d) exceeds vocabulary size (%d): every query "
+                "would silently fall short of its minimum length"
+                % (min_terms, len(vocabulary))
+            )
         self.vocabulary = list(vocabulary)
         self.min_terms = min_terms
         self.max_terms = max_terms
@@ -84,15 +90,18 @@ class ZipfQuerySampler:
 
     def next_terms(self) -> List[str]:
         n = self._rng.randint(self.min_terms, self.max_terms)
-        terms = []
+        # A query can never hold more distinct terms than the vocabulary
+        # does; cap the drawn length up front so the dedup loop always
+        # reaches it instead of bailing out short after duplicate ranks
+        # exhaust a small vocabulary.
+        n = min(n, len(self.vocabulary))
+        terms: List[str] = []
         seen = set()
         while len(terms) < n:
             term = self.vocabulary[self._ranks.next_rank()]
             if term not in seen:
                 seen.add(term)
                 terms.append(term)
-            elif len(seen) >= len(self.vocabulary):
-                break
         return terms
 
     def next_query(self) -> str:

@@ -1,0 +1,80 @@
+"""Closed-form Zipf hit-rate prediction vs empirical policy behavior."""
+
+import random
+
+import pytest
+
+from repro.cache import capacity_for_hit_rate, predicted_hit_rate
+from repro.cache.policies import HIT, make_policy
+from repro.stats import ZipfianGenerator
+
+KEYSPACE = 512
+N_DRAWS = 20_000
+
+
+def _empirical_hit_rate(policy_name, capacity, theta, seed=11,
+                        n=N_DRAWS, keyspace=KEYSPACE):
+    policy = make_policy(policy_name, capacity)
+    rng = random.Random(seed)
+    zipf = ZipfianGenerator(keyspace, theta=theta)
+    hits = 0
+    for i in range(n):
+        key = zipf.sample(rng)
+        status, _ = policy.lookup(key, float(i))
+        if status == HIT:
+            hits += 1
+        else:
+            policy.store(key, True, float(i))
+    return hits / n
+
+
+class TestPredictedHitRate:
+    def test_is_top_c_popularity_mass(self):
+        zipf = ZipfianGenerator(100, theta=0.9)
+        expected = sum(zipf.probability(rank) for rank in range(10))
+        assert predicted_hit_rate(100, 0.9, 10) == pytest.approx(expected)
+
+    def test_saturates_at_full_keyspace(self):
+        assert predicted_hit_rate(100, 0.9, 100) == pytest.approx(1.0)
+        assert predicted_hit_rate(100, 0.9, 500) == pytest.approx(1.0)
+
+    def test_monotone_in_capacity_and_theta(self):
+        rates = [predicted_hit_rate(256, 0.9, c) for c in (4, 16, 64)]
+        assert rates[0] < rates[1] < rates[2]
+        # more skew -> the same capacity covers more mass
+        assert (
+            predicted_hit_rate(256, 1.1, 16)
+            > predicted_hit_rate(256, 0.6, 16)
+        )
+
+    def test_capacity_inverse(self):
+        capacity = capacity_for_hit_rate(256, 0.9, 0.5)
+        assert predicted_hit_rate(256, 0.9, capacity) >= 0.5
+        assert predicted_hit_rate(256, 0.9, capacity - 1) < 0.5
+
+
+class TestEmpiricalAgreement:
+    @pytest.mark.parametrize("theta", [0.6, 0.9, 1.1])
+    @pytest.mark.parametrize("fraction", [0.01, 0.05, 0.20])
+    def test_lfu_within_five_percent_absolute(self, theta, fraction):
+        capacity = max(1, int(KEYSPACE * fraction))
+        predicted = predicted_hit_rate(KEYSPACE, theta, capacity)
+        measured = _empirical_hit_rate("lfu", capacity, theta)
+        assert abs(measured - predicted) <= 0.05
+
+    @pytest.mark.parametrize("theta", [0.6, 0.9, 1.1])
+    def test_lru_below_frequency_optimal_bound(self, theta):
+        # LRU pays recency churn: it must sit at (or below) the
+        # closed-form bound, never meaningfully above it.
+        capacity = max(1, int(KEYSPACE * 0.05))
+        predicted = predicted_hit_rate(KEYSPACE, theta, capacity)
+        measured = _empirical_hit_rate("lru", capacity, theta)
+        assert measured <= predicted + 0.02
+        # ...and the gap is real, which is what makes LFU worth having.
+        assert measured < predicted
+
+    def test_tinylfu_beats_lru_under_zipf(self):
+        capacity = max(1, int(KEYSPACE * 0.05))
+        lru = _empirical_hit_rate("lru", capacity, 0.9)
+        tiny = _empirical_hit_rate("tinylfu", capacity, 0.9)
+        assert tiny > lru

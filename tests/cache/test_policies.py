@@ -1,0 +1,200 @@
+"""Unit semantics of the replacement/admission policies."""
+
+import pytest
+
+from repro.cache.policies import (
+    EXPIRED,
+    HIT,
+    MISS,
+    FrequencySketch,
+    LFUCache,
+    LRUCache,
+    TinyLFUCache,
+    TTLCache,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_hit_after_store(self):
+        cache = LRUCache(2)
+        assert cache.lookup("a", 0.0) == (MISS, None)
+        cache.store("a", 1, 0.0)
+        assert cache.lookup("a", 1.0) == (HIT, 1)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.store("a", 1, 0.0)
+        cache.store("b", 2, 1.0)
+        cache.lookup("a", 2.0)  # refresh a; b is now LRU
+        admitted, evicted = cache.store("c", 3, 3.0)
+        assert admitted and evicted == ["b"]
+        assert cache.lookup("a", 4.0)[0] == HIT
+        assert cache.lookup("b", 4.0)[0] == MISS
+
+    def test_restore_refreshes_value_without_eviction(self):
+        cache = LRUCache(1)
+        cache.store("a", 1, 0.0)
+        admitted, evicted = cache.store("a", 2, 1.0)
+        assert admitted and evicted == []
+        assert cache.lookup("a", 2.0) == (HIT, 2)
+
+    def test_discard_and_clear_and_len(self):
+        cache = LRUCache(4)
+        cache.store("a", 1, 0.0)
+        cache.store("b", 2, 0.0)
+        assert len(cache) == 2
+        cache.discard("a")
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.lookup("a", 0.0)
+        cache.store("a", 1, 0.0)
+        cache.lookup("b", 0.0)
+        cache.store("b", 2, 0.0)
+        for t in range(3):  # heat up a
+            assert cache.lookup("a", float(t)) == (HIT, 1)
+        # c has been seen twice -> beats b (seen once), not a.
+        cache.lookup("c", 5.0)
+        cache.lookup("c", 6.0)
+        admitted, evicted = cache.store("c", 3, 6.0)
+        assert admitted and evicted == ["b"]
+        assert cache.lookup("a", 7.0)[0] == HIT
+
+    def test_admission_refuses_one_hit_wonder(self):
+        cache = LFUCache(1)
+        cache.lookup("hot", 0.0)
+        cache.store("hot", 1, 0.0)
+        cache.lookup("hot", 1.0)
+        # cold was seen once; hot twice -> store refused, hot stays.
+        cache.lookup("cold", 2.0)
+        admitted, evicted = cache.store("cold", 2, 2.0)
+        assert not admitted and evicted == []
+        assert cache.lookup("hot", 3.0)[0] == HIT
+
+    def test_frequency_survives_eviction(self):
+        # Perfect-LFU property: an evicted key's history persists, so
+        # it re-enters ahead of colder keys instead of restarting.
+        cache = LFUCache(1)
+        for t in range(5):
+            cache.lookup("a", float(t))
+        cache.store("a", 1, 4.0)
+        cache.discard("a")
+        cache.lookup("b", 5.0)
+        cache.store("b", 2, 5.0)
+        cache.lookup("a", 6.0)
+        admitted, evicted = cache.store("a", 1, 6.0)
+        assert admitted and evicted == ["b"]
+
+    def test_clear_drops_history(self):
+        cache = LFUCache(1)
+        for t in range(5):
+            cache.lookup("a", float(t))
+        cache.clear()
+        cache.lookup("b", 5.0)
+        cache.store("b", 2, 5.0)
+        cache.lookup("a", 6.0)
+        # post-clear, a (seen once) does not outrank b (seen once):
+        # strict inequality required for admission.
+        admitted, _ = cache.store("a", 1, 6.0)
+        assert not admitted
+
+
+class TestTTL:
+    def test_expires_after_ttl(self):
+        cache = TTLCache(LRUCache(4), ttl=10.0)
+        cache.store("a", 1, 0.0)
+        assert cache.lookup("a", 5.0) == (HIT, 1)
+        assert cache.lookup("a", 10.0) == (EXPIRED, None)
+        # the expired entry was removed: next lookup is a plain miss
+        assert cache.lookup("a", 11.0) == (MISS, None)
+
+    def test_store_refreshes_expiry(self):
+        cache = TTLCache(LRUCache(4), ttl=10.0)
+        cache.store("a", 1, 0.0)
+        cache.store("a", 2, 8.0)
+        assert cache.lookup("a", 12.0) == (HIT, 2)
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            TTLCache(LRUCache(4), ttl=0.0)
+
+
+class TestFrequencySketch:
+    def test_estimates_track_increments(self):
+        sketch = FrequencySketch(width=256, sample_size=10_000)
+        for _ in range(5):
+            sketch.increment("hot")
+        sketch.increment("cold")
+        assert sketch.estimate("hot") >= 5
+        assert sketch.estimate("hot") > sketch.estimate("cold")
+        assert sketch.estimate("never") <= sketch.estimate("cold")
+
+    def test_aging_halves_counts(self):
+        sketch = FrequencySketch(width=64, sample_size=8)
+        for _ in range(8):  # the 8th increment triggers halving
+            sketch.increment("k")
+        assert sketch.estimate("k") == 4
+
+    def test_deterministic_across_instances(self):
+        # The hash must not depend on PYTHONHASHSEED: two sketches fed
+        # identically must agree exactly.
+        a = FrequencySketch(width=128, sample_size=1000)
+        b = FrequencySketch(width=128, sample_size=1000)
+        for key in ("x", "y", ("tuple", 3), 42):
+            for _ in range(3):
+                a.increment(key)
+                b.increment(key)
+            assert a.estimate(key) == b.estimate(key)
+
+
+class TestTinyLFU:
+    def test_scan_resistance(self):
+        # A stream of one-hit wonders must not displace the hot set.
+        cache = TinyLFUCache(2)
+        for t in range(6):
+            cache.lookup("hot", float(t))
+            cache.store("hot", 1, float(t))
+        for i in range(20):
+            key = f"scan{i}"
+            cache.lookup(key, 10.0 + i)
+            cache.store(key, i, 10.0 + i)
+        assert cache.lookup("hot", 50.0)[0] == HIT
+
+    def test_admits_into_spare_capacity(self):
+        cache = TinyLFUCache(4)
+        cache.lookup("a", 0.0)
+        admitted, evicted = cache.store("a", 1, 0.0)
+        assert admitted and evicted == []
+
+
+class TestMakePolicy:
+    def test_builds_each_policy(self):
+        assert isinstance(make_policy("lru", 4), LRUCache)
+        assert isinstance(make_policy("lfu", 4), LFUCache)
+        assert isinstance(make_policy("tinylfu", 4), TinyLFUCache)
+        wrapped = make_policy("ttl", 4, ttl=1.0)
+        assert isinstance(wrapped, TTLCache)
+        assert isinstance(wrapped.inner, LRUCache)
+
+    def test_ttl_wraps_any_base(self):
+        wrapped = make_policy("lfu", 4, ttl=1.0)
+        assert isinstance(wrapped, TTLCache)
+        assert isinstance(wrapped.inner, LFUCache)
+
+    def test_ttl_policy_requires_ttl(self):
+        with pytest.raises(ValueError):
+            make_policy("ttl", 4)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("arc", 4)

@@ -1,0 +1,153 @@
+"""The counting/tracing front door, including the cold-restart model."""
+
+import pytest
+
+from repro.cache import RequestCache, build_cache
+from repro.cache.policies import LRUCache, TTLCache
+from repro.core import CacheConfig
+from repro.obs.metrics import MetricsRegistry
+
+
+class _Recorder:
+    """Minimal tracer double: records (kind, ts, kwargs)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, ts, **kwargs):
+        self.events.append((kind, ts, kwargs))
+
+    def kinds(self):
+        return [kind for kind, _, _ in self.events]
+
+
+class TestCounters:
+    def test_hit_miss_and_rate(self):
+        cache = RequestCache(LRUCache(2))
+        hit, value = cache.lookup("a", 0.0)
+        assert not hit and value is None
+        cache.store("a", 41, 0.0)
+        hit, value = cache.lookup("a", 1.0)
+        assert hit and value == 41
+        assert cache.counts()["hits"] == 1
+        assert cache.counts()["misses"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_and_expiry_counters(self):
+        cache = RequestCache(TTLCache(LRUCache(1), ttl=5.0))
+        cache.store("a", 1, 0.0)
+        cache.store("b", 2, 1.0)          # evicts a
+        assert cache.counts()["evictions"] == 1
+        hit, _ = cache.lookup("b", 6.0)   # expired
+        assert not hit
+        assert cache.counts()["expirations"] == 1
+        # an expired lookup is also a miss
+        assert cache.counts()["misses"] == 1
+
+    def test_rejects_negative_hit_cost(self):
+        with pytest.raises(ValueError):
+            RequestCache(LRUCache(2), hit_cost=-1.0)
+
+
+class TestTraceEvents:
+    def test_hit_miss_evict_expire_emitted(self):
+        tracer = _Recorder()
+        cache = RequestCache(TTLCache(LRUCache(1), ttl=5.0), tracer=tracer)
+        cache.lookup("a", 0.0, request_id=1)
+        cache.store("a", 1, 0.0, request_id=1)
+        cache.lookup("a", 1.0, request_id=2)
+        cache.store("b", 2, 2.0, request_id=3)   # evicts a
+        cache.lookup("b", 9.0, request_id=4)     # expired -> miss
+        assert tracer.kinds() == [
+            "cache_miss", "cache_hit", "cache_evict",
+            "cache_expire", "cache_miss",
+        ]
+        # the expire/miss pair shares the request's identity
+        expire = tracer.events[3]
+        assert expire[2]["request_id"] == 4
+
+    def test_clear_event_carries_dropped_count(self):
+        tracer = _Recorder()
+        cache = RequestCache(LRUCache(4), clear_at=10.0, tracer=tracer)
+        cache.store("a", 1, 0.0)
+        cache.store("b", 2, 1.0)
+        cache.lookup("a", 10.5)
+        clears = [e for e in tracer.events if e[0] == "cache_clear"]
+        assert len(clears) == 1
+        assert clears[0][2]["value"] == 2.0
+
+
+class TestColdRestart:
+    def test_clears_once_past_clear_at(self):
+        cache = RequestCache(LRUCache(4), clear_at=10.0)
+        cache.store("a", 1, 0.0)
+        hit, _ = cache.lookup("a", 9.9)
+        assert hit
+        hit, _ = cache.lookup("a", 10.0)   # wiped at this access
+        assert not hit and len(cache) == 0
+        # refills normally afterwards — the clear fires only once
+        cache.store("a", 1, 11.0)
+        hit, _ = cache.lookup("a", 12.0)
+        assert hit
+
+    def test_origin_shifts_clear_instant(self):
+        cache = RequestCache(LRUCache(4), clear_at=10.0)
+        cache.set_origin(100.0)
+        cache.store("a", 1, 105.0)
+        assert cache.lookup("a", 109.0)[0]
+        assert not cache.lookup("a", 110.0)[0]
+
+
+class TestMetrics:
+    def test_gauges_and_histogram_registered(self):
+        registry = MetricsRegistry()
+        cache = RequestCache(LRUCache(2))
+        cache.register_metrics(registry)
+        cache.lookup("a", 0.0)
+        cache.store("a", 1, 0.0)
+        cache.lookup("a", 1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["tb_cache_hit_rate"] == 0.5
+        assert snapshot["tb_cache_occupancy"] == 1.0
+        assert "tb_cache_occupancy_ratio" in snapshot
+
+
+class TestBuildCache:
+    def test_builds_from_config(self):
+        cache = build_cache(
+            CacheConfig(enabled=True, policy="lru", capacity=8,
+                        hit_cost=1e-6, clear_at=5.0)
+        )
+        assert isinstance(cache, RequestCache)
+        assert cache.hit_cost == 1e-6
+        assert cache._policy.capacity == 8
+
+    def test_refuses_disabled_config(self):
+        with pytest.raises(ValueError):
+            build_cache(CacheConfig(enabled=False))
+
+    def test_ttl_config_wraps(self):
+        cache = build_cache(
+            CacheConfig(enabled=True, policy="lfu", capacity=8, ttl=2.0)
+        )
+        assert isinstance(cache._policy, TTLCache)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(enabled=True, policy="arc")
+
+    def test_rejects_bad_capacity_ttl_costs(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=0)
+        with pytest.raises(ValueError):
+            CacheConfig(ttl=0.0)
+        with pytest.raises(ValueError):
+            CacheConfig(hit_cost=-1e-6)
+        with pytest.raises(ValueError):
+            CacheConfig(clear_at=0.0)
+
+    def test_ttl_policy_requires_ttl(self):
+        with pytest.raises(ValueError):
+            CacheConfig(policy="ttl")

@@ -1,0 +1,85 @@
+"""Empty-shard FanoutStats regressions: report gaps, don't crash.
+
+A short run can leave a shard with only warmup (or only shed/failed)
+gathers. Before the guards, ``shard_p99``/``shard_summary``/
+``predicted_quantile`` raised ``ValueError`` out of ``quantile()`` on
+the empty sample list, crashing stats rendering for the whole run.
+"""
+
+import math
+
+from repro.analysis.fanout import fanout_quantile, fanout_summary
+from repro.core.fanout import FanoutStats
+
+
+def _stats_with_gap():
+    stats = FanoutStats(3)
+    stats.shard_samples[0] = [0.010, 0.012, 0.015]
+    stats.shard_samples[1] = []            # the gap
+    stats.shard_samples[2] = [0.011, 0.013]
+    stats.completed = 3
+    return stats
+
+
+class TestEmptyShardGuards:
+    def test_shard_p99_nan_on_empty(self):
+        stats = _stats_with_gap()
+        assert math.isnan(stats.shard_p99(1))
+        # populated shards still report normally
+        assert stats.shard_p99(0) > 0.0
+
+    def test_shard_summary_none_on_empty(self):
+        stats = _stats_with_gap()
+        assert stats.shard_summary(1) is None
+        summary = stats.shard_summary(0)
+        assert summary is not None and summary.p50 > 0.0
+
+    def test_predicted_quantile_with_partial_samples(self):
+        # One empty shard does not spoil the pooled prediction.
+        stats = _stats_with_gap()
+        predicted = stats.predicted_quantile(0.99)
+        assert predicted > 0.0 and not math.isnan(predicted)
+
+    def test_predicted_quantile_nan_when_all_empty(self):
+        stats = FanoutStats(2)
+        assert math.isnan(stats.predicted_quantile(0.99))
+
+    def test_fully_empty_render_components(self):
+        stats = FanoutStats(2)
+        assert stats.leaf_samples() == []
+        assert all(math.isnan(stats.shard_p99(s)) for s in range(2))
+        assert all(stats.shard_summary(s) is None for s in range(2))
+
+
+class TestSortedValuesFastPath:
+    """`sorted_values=True` must be a pure fast path: identical output."""
+
+    def test_fanout_quantile_identical(self):
+        import random
+
+        rng = random.Random(3)
+        samples = [rng.expovariate(1000.0) for _ in range(500)]
+        pre_sorted = sorted(samples)
+        for k in (2, 4, 8):
+            for q in (0.5, 0.9, 0.99):
+                assert fanout_quantile(samples, k, q) == fanout_quantile(
+                    pre_sorted, k, q, sorted_values=True
+                )
+
+    def test_fanout_summary_matches_per_cell_naive(self):
+        import random
+
+        rng = random.Random(4)
+        samples = [rng.expovariate(1000.0) for _ in range(300)]
+        table = fanout_summary(samples, fanouts=(1, 2, 4), qs=(0.5, 0.99))
+        for k in (1, 2, 4):
+            for q in (0.5, 0.99):
+                assert table[k][q] == fanout_quantile(samples, k, q)
+
+    def test_empty_leaves_still_raise(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            fanout_quantile([], 4, 0.99)
+        with pytest.raises(ValueError):
+            fanout_summary([], fanouts=(2,))

@@ -234,6 +234,7 @@ class TestExtensions:
             "fig-resilience",
             "fig-live",
             "fig-fanout",
+            "fig-cache",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

@@ -155,3 +155,29 @@ class TestRequiredSamples:
             required_samples_for_quantile(1.0)
         with pytest.raises(ValueError):
             required_samples_for_quantile(0.9, relative_precision=0.0)
+
+
+class TestSortedValuesFastPath:
+    """`sorted_values=True` skips the sort but must change nothing else."""
+
+    def test_quantile_identical_on_presorted_data(self):
+        rng = random.Random(17)
+        values = [rng.expovariate(500.0) for _ in range(1000)]
+        ordered = sorted(values)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0):
+            assert quantile(ordered, q, sorted_values=True) == quantile(
+                values, q
+            )
+
+    def test_percentile_identical_on_presorted_data(self):
+        rng = random.Random(18)
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(500)]
+        ordered = sorted(values)
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            assert percentile(
+                ordered, pct, sorted_values=True
+            ) == percentile(values, pct)
+
+    def test_still_validates_empty_input(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5, sorted_values=True)

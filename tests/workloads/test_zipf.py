@@ -85,3 +85,56 @@ class TestZipfRankSampler:
         assert [a.next_query() for _ in range(50)] == [
             b.next_query() for _ in range(50)
         ]
+
+
+class TestShortQueryBiasFix:
+    """Regression: queries must honor the drawn length whenever the
+    vocabulary has enough distinct terms (the old dedup loop bailed
+    out short once duplicate ranks exhausted a small vocabulary)."""
+
+    def test_min_terms_honored_on_small_vocabulary(self):
+        # 4 distinct terms, min_terms=3: every query must reach 3.
+        sampler = ZipfQuerySampler(["a", "b", "c", "d"], theta=1.2,
+                                   min_terms=3, max_terms=3, seed=0)
+        for _ in range(500):
+            assert len(sampler.next_terms()) == 3
+
+    def test_length_capped_at_vocabulary_size(self):
+        # Drawn lengths above |vocab| are capped, not spun on forever
+        # (and never silently under-filled below the cap).
+        sampler = ZipfQuerySampler(["x", "y"], min_terms=1, max_terms=4,
+                                   seed=1)
+        lengths = [len(sampler.next_terms()) for _ in range(300)]
+        assert all(1 <= n <= 2 for n in lengths)
+        assert 2 in lengths  # the cap is reachable
+
+    def test_min_terms_above_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfQuerySampler(["a", "b"], min_terms=3, max_terms=5)
+
+    def test_rng_stream_unchanged_for_large_vocabulary(self):
+        # The fix must not perturb the draw sequence in the common case
+        # (vocabulary >> max_terms): same seed, same queries as a
+        # reference reimplementation of the original loop logic.
+        import random as _random
+
+        vocab = [f"t{i}" for i in range(500)]
+        sampler = ZipfQuerySampler(vocab, min_terms=1, max_terms=4, seed=3)
+
+        from repro.stats import ZipfianGenerator
+
+        rng = _random.Random(3)
+        zipf = ZipfianGenerator(len(vocab), theta=0.9)
+
+        def reference_next_terms():
+            n = rng.randint(1, 4)
+            terms, seen = [], set()
+            while len(terms) < n:
+                term = vocab[zipf.sample(rng)]
+                if term not in seen:
+                    seen.add(term)
+                    terms.append(term)
+            return terms
+
+        for _ in range(200):
+            assert sampler.next_terms() == reference_next_terms()
